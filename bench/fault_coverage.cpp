@@ -1,0 +1,70 @@
+// Statistical fault-coverage estimation — the related-work contrast.
+//
+// The paper positions script-driven probing AGAINST approaches that
+// "evaluate dependability of distributed protocol implementations through
+// statistical metrics such as fault coverage" (§5). This bench implements
+// that other methodology on top of the same machinery: Monte Carlo trials of
+// randomized omission faults against the GMP cluster, estimating the
+// probability that the group recovers, with a normal-approximation
+// confidence interval. The punchline is the last column: random trials
+// estimate HOW OFTEN the protocol survives, but (unlike the deterministic
+// scripts of Tables 5-8) they never tell you WHICH message in WHICH state
+// kills it.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/report.hpp"
+#include "experiments/gmp_testbed.hpp"
+#include "pfi/failure.hpp"
+
+using namespace pfi;
+using namespace pfi::experiments;
+
+namespace {
+
+/// One randomized trial: form the group, then run 40 s of omission faults
+/// with probability p on every node. "Tolerated" means the full group is
+/// still intact (and views consistent) at the end of the faulty period —
+/// i.e. the failure detector was never fooled into evicting a live member.
+bool trial(double p, std::uint64_t seed) {
+  GmpTestbed tb{{1, 2, 3}, gmp::GmpBugs::none(), seed * 7919};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(15));
+  for (net::NodeId id : tb.ids()) {
+    auto s = core::failure::general_omission(p);
+    tb.pfi(id).set_send_script(s.send);
+    tb.pfi(id).set_receive_script(s.receive);
+  }
+  tb.sched.run_until(sim::sec(55));
+  return tb.group_formed({1, 2, 3}) && tb.views_consistent();
+}
+
+}  // namespace
+
+int main() {
+  bench::title(
+      "Fault coverage, the statistical way (the methodology the paper "
+      "complements)");
+  std::printf("%-12s %8s %12s %18s\n", "omission p", "trials",
+              "recovered", "coverage (95% CI)");
+  bench::rule(60);
+
+  const int kTrials = 40;
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    int ok = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      if (trial(p, static_cast<std::uint64_t>(t + 1))) ++ok;
+    }
+    const double c = static_cast<double>(ok) / kTrials;
+    const double half = 1.96 * std::sqrt(c * (1 - c) / kTrials);
+    std::printf("%-12.1f %8d %12d %10.2f +/- %.2f\n", p, kTrials, ok, c,
+                half);
+  }
+  std::printf(
+      "\nReading: coverage degrades smoothly with fault intensity — a\n"
+      "statistically useful dependability number, and exactly the kind of\n"
+      "result that cannot localise a bug. The deterministic experiments in\n"
+      "the gmp_exp* benches find the four specific defects instead; the two\n"
+      "methodologies complement each other, as the paper argues.\n");
+  return 0;
+}

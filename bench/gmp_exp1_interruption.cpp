@@ -1,0 +1,80 @@
+// Regenerates Table 5: "GMP Packet Interruption".
+//
+// Four fault campaigns against the group membership daemon: dropped
+// heartbeats to self (and its suspension twin), oscillating drops of
+// outgoing heartbeats, dropped MEMBERSHIP_CHANGE ACKs at the leader, and
+// dropped COMMITs at the victim. The buggy daemon reproduces the paper's
+// findings; the fixed daemon "behaves as specified".
+#include <cstdio>
+
+#include "bench/report.hpp"
+#include "experiments/gmp_experiments.hpp"
+
+int main() {
+  using namespace pfi;
+  using namespace pfi::experiments;
+
+  bench::title("Table 5: GMP packet interruption (experiment 1)");
+
+  std::printf("--- row 1: drop all heartbeats to self / suspend gmd ---\n");
+  for (bool buggy : {true, false}) {
+    const GmpSelfHeartbeatResult r = run_gmp_exp1_self_heartbeats(buggy);
+    std::printf("  [%s]\n", buggy ? "buggy gmd" : "fixed gmd");
+    bench::row("self-deaths", std::to_string(r.self_death_events));
+    bench::row("believes dead", bench::yesno(r.believed_self_dead_at_end));
+    bench::row("stale group", bench::yesno(r.stayed_in_stale_group));
+    bench::row("excluded", bench::yesno(r.others_excluded_it));
+    bench::row("rejoined", bench::yesno(r.rejoined_after_reset));
+    bench::row("fwd lost (bug)",
+               std::to_string(r.proclaims_lost_to_forward_bug));
+    bench::row("joiner admitted", bench::yesno(r.late_joiner_admitted));
+  }
+  {
+    const GmpSelfHeartbeatResult r =
+        run_gmp_exp1_self_heartbeats(true, /*via_suspend=*/true);
+    std::printf("  [buggy gmd, SIGTSTP for 30 s instead of dropped heartbeats]\n");
+    bench::row("self-deaths", std::to_string(r.self_death_events));
+    bench::row("believes dead", bench::yesno(r.believed_self_dead_at_end));
+  }
+
+  std::printf("\n--- row 2: oscillating drops of outgoing heartbeats ---\n");
+  {
+    const GmpHeartbeatOscillationResult drop =
+        run_gmp_exp1_heartbeat_oscillation(false);
+    const GmpHeartbeatOscillationResult delay =
+        run_gmp_exp1_heartbeat_oscillation(true);
+    std::printf("  dropped:  kicked out %d times, readmitted %d times -> %s\n",
+                drop.times_kicked_out, drop.times_readmitted,
+                drop.behaved_as_specified ? "behaved as specified" : "ANOMALY");
+    std::printf("  delayed:  kicked out %d times, readmitted %d times"
+                " (delayed heartbeats are like dropped ones)\n",
+                delay.times_kicked_out, delay.times_readmitted);
+  }
+
+  std::printf("\n--- row 3: leader drops MC ACKs from one machine ---\n");
+  {
+    const GmpDropAcksResult r = run_gmp_exp1_drop_mc_acks();
+    bench::row("victim admitted",
+               bench::yesno(r.victim_ever_in_committed_group));
+    bench::row("others regroup",
+               bench::yesno(r.others_formed_group_without_victim));
+    bench::row("victim aborts", std::to_string(r.victim_transition_aborts));
+  }
+
+  std::printf("\n--- row 4: victim drops COMMITs ---\n");
+  {
+    const GmpDropCommitsResult r = run_gmp_exp1_drop_commits();
+    bench::row("victim in group", bench::yesno(r.victim_ever_established));
+    bench::row("admit+remove", bench::yesno(r.others_admitted_then_removed));
+    bench::row("victim aborts", std::to_string(r.victim_transition_aborts));
+  }
+
+  std::printf(
+      "\nPaper shape: the buggy gmd announces its own death and stays in the\n"
+      "old group marked dead (plus the proclaim-forwarding parameter bug); a\n"
+      "machine dropping outgoing heartbeats cycles kicked-out/readmitted; a\n"
+      "machine whose MC ACKs are dropped is never admitted; a machine that\n"
+      "drops COMMITs stays IN_TRANSITION, is committed by everyone else, and\n"
+      "is then kicked out for not heartbeating.\n");
+  return 0;
+}

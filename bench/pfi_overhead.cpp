@@ -1,0 +1,189 @@
+// Microbenchmarks (google-benchmark): the cost of the PFI technique itself.
+//
+// The paper argues script-driven fault injection is cheap enough to leave in
+// a protocol stack during testing. These benches quantify our
+// implementation's costs: bare-stack traversal vs. a spliced pass-through
+// PFI layer vs. active filter scripts of growing complexity, plus the
+// building blocks (interpreter dispatch, expr evaluation, stub recognition,
+// message header algebra, scheduler ops).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "pfi/pfi_layer.hpp"
+#include "pfi/stub.hpp"
+#include "pfi/tcp_stub.hpp"
+#include "script/interp.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/header.hpp"
+#include "net/layers.hpp"
+#include "xk/layer.hpp"
+
+namespace {
+
+using namespace pfi;
+
+struct Sink : xk::Layer {
+  Sink() : Layer("sink") {}
+  std::size_t count = 0;
+  void push(xk::Message) override { ++count; }
+  void pop(xk::Message) override { ++count; }
+};
+
+xk::Message toy_message() {
+  return core::ToyStub::make(core::ToyStub::kData, 42, "payload-bytes");
+}
+
+void BM_StackTraversalBare(benchmark::State& state) {
+  xk::Stack stack;
+  auto* app =
+      static_cast<xk::AppLayer*>(stack.add(std::make_unique<xk::AppLayer>()));
+  stack.add(std::make_unique<Sink>());
+  xk::Message msg = toy_message();
+  for (auto _ : state) {
+    app->send(msg);
+  }
+}
+BENCHMARK(BM_StackTraversalBare);
+
+void BM_StackTraversalWithPassThroughPfi(benchmark::State& state) {
+  sim::Scheduler sched;
+  xk::Stack stack;
+  auto* app =
+      static_cast<xk::AppLayer*>(stack.add(std::make_unique<xk::AppLayer>()));
+  core::PfiConfig cfg;
+  cfg.stub = std::make_shared<core::ToyStub>();
+  stack.add(std::make_unique<core::PfiLayer>(sched, cfg));
+  stack.add(std::make_unique<Sink>());
+  xk::Message msg = toy_message();
+  for (auto _ : state) {
+    app->send(msg);
+  }
+}
+BENCHMARK(BM_StackTraversalWithPassThroughPfi);
+
+void BM_PfiWithCountingScript(benchmark::State& state) {
+  sim::Scheduler sched;
+  xk::Stack stack;
+  auto* app =
+      static_cast<xk::AppLayer*>(stack.add(std::make_unique<xk::AppLayer>()));
+  core::PfiConfig cfg;
+  cfg.stub = std::make_shared<core::ToyStub>();
+  auto* pfi = static_cast<core::PfiLayer*>(
+      stack.add(std::make_unique<core::PfiLayer>(sched, cfg)));
+  stack.add(std::make_unique<Sink>());
+  pfi->run_setup("set count 0");
+  pfi->set_send_script("incr count");
+  xk::Message msg = toy_message();
+  for (auto _ : state) {
+    app->send(msg);
+  }
+}
+BENCHMARK(BM_PfiWithCountingScript);
+
+void BM_PfiWithTypeFilterScript(benchmark::State& state) {
+  sim::Scheduler sched;
+  xk::Stack stack;
+  auto* app =
+      static_cast<xk::AppLayer*>(stack.add(std::make_unique<xk::AppLayer>()));
+  core::PfiConfig cfg;
+  cfg.stub = std::make_shared<core::ToyStub>();
+  auto* pfi = static_cast<core::PfiLayer*>(
+      stack.add(std::make_unique<core::PfiLayer>(sched, cfg)));
+  stack.add(std::make_unique<Sink>());
+  pfi->run_setup("set ACK 0x1");
+  pfi->set_send_script(R"tcl(
+set type [msg_type cur_msg]
+if {$type eq "ack"} { xDrop cur_msg }
+)tcl");
+  xk::Message msg = toy_message();
+  for (auto _ : state) {
+    app->send(msg);
+  }
+}
+BENCHMARK(BM_PfiWithTypeFilterScript);
+
+void BM_PfiProbabilisticDropScript(benchmark::State& state) {
+  sim::Scheduler sched;
+  xk::Stack stack;
+  auto* app =
+      static_cast<xk::AppLayer*>(stack.add(std::make_unique<xk::AppLayer>()));
+  core::PfiConfig cfg;
+  cfg.stub = std::make_shared<core::ToyStub>();
+  auto* pfi = static_cast<core::PfiLayer*>(
+      stack.add(std::make_unique<core::PfiLayer>(sched, cfg)));
+  stack.add(std::make_unique<Sink>());
+  pfi->set_send_script("if {[dst_bernoulli 0.01]} { xDrop cur_msg }");
+  xk::Message msg = toy_message();
+  for (auto _ : state) {
+    app->send(msg);
+  }
+}
+BENCHMARK(BM_PfiProbabilisticDropScript);
+
+void BM_InterpSimpleCommand(benchmark::State& state) {
+  script::Interp in;
+  in.eval("set x 0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.eval("incr x"));
+  }
+}
+BENCHMARK(BM_InterpSimpleCommand);
+
+void BM_InterpExprArithmetic(benchmark::State& state) {
+  script::Interp in;
+  in.set_var("a", "17");
+  in.set_var("b", "4");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.eval_expr("($a * $b + 3) % 100 < 50"));
+  }
+}
+BENCHMARK(BM_InterpExprArithmetic);
+
+void BM_InterpProcCall(benchmark::State& state) {
+  script::Interp in;
+  in.eval("proc f {x} { return [expr {$x + 1}] }");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.eval("f 41"));
+  }
+}
+BENCHMARK(BM_InterpProcCall);
+
+void BM_TcpStubRecognition(benchmark::State& state) {
+  core::TcpStub stub;
+  tcp::TcpHeader h;
+  h.flags = tcp::kAck;
+  h.payload_len = 512;
+  xk::Message msg{std::string(512, 'x')};
+  h.push_onto(msg);
+  net::IpMeta meta;
+  meta.proto = net::IpProto::kTcp;
+  meta.push_onto(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.type_of(msg));
+  }
+}
+BENCHMARK(BM_TcpStubRecognition);
+
+void BM_MessageHeaderPushPop(benchmark::State& state) {
+  xk::Message msg{std::string(512, 'x')};
+  const std::vector<std::uint8_t> hdr(17, 0xAB);
+  for (auto _ : state) {
+    msg.push_header(hdr);
+    benchmark::DoNotOptimize(msg.pop_header(17));
+  }
+}
+BENCHMARK(BM_MessageHeaderPushPop);
+
+void BM_SchedulerScheduleAndRun(benchmark::State& state) {
+  sim::Scheduler sched;
+  for (auto _ : state) {
+    sched.schedule(1, [] {});
+    sched.step();
+  }
+}
+BENCHMARK(BM_SchedulerScheduleAndRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Mechanical specification conformance: the TcpSpecChecker observes each
+// vendor's TCP/IP boundary while the retransmission, delayed-ACK and
+// keep-alive experiments play out, and reports every RFC violation it finds.
+// This is paper goal (ii) — "identification of violations of protocol
+// specifications" — as an oracle instead of a table read by a human.
+#include <cstdio>
+#include <memory>
+
+#include "bench/report.hpp"
+#include "experiments/tcp_testbed.hpp"
+#include "pfi/driver.hpp"
+#include "spec/tcp_spec.hpp"
+#include "tcp/profile.hpp"
+
+using namespace pfi;
+using namespace pfi::experiments;
+
+namespace {
+
+struct Findings {
+  std::size_t keepalive = 0;
+  std::size_t rto_floor = 0;
+  std::size_t backoff = 0;
+  std::vector<spec::Violation> all;
+};
+
+Findings audit(const tcp::TcpProfile& profile) {
+  Findings out;
+  // Scenario A: plain retransmission run (experiment 1).
+  {
+    TcpTestbed tb{profile};
+    auto checker = std::make_shared<spec::TcpSpecChecker>(tb.sched);
+    tb.vendor_stack.insert_below(
+        *tb.vendor_tcp, std::make_unique<spec::SpecObserverLayer>(checker));
+    tb.pfi->run_setup("set count 0\nset dropping 0");
+    tb.pfi->set_receive_script(R"tcl(
+set t [msg_type cur_msg]
+if {$t == "tcp-data"} { incr count }
+if {$count > 30 || $dropping == 1} { set dropping 1; xDrop cur_msg }
+)tcl");
+    tcp::TcpConnection* conn = tb.connect();
+    core::TcpDriver driver{tb.sched, *conn};
+    driver.start(sim::msec(500), 512, 0);
+    tb.sched.run_until(sim::sec(700));
+    for (const auto& v : checker->violations()) out.all.push_back(v);
+  }
+  // Scenario B: the 3 s delayed-ACK run (experiment 2) — catches the dip.
+  {
+    TcpTestbed tb{profile};
+    auto checker = std::make_shared<spec::TcpSpecChecker>(tb.sched);
+    tb.vendor_stack.insert_below(
+        *tb.vendor_tcp, std::make_unique<spec::SpecObserverLayer>(checker));
+    tb.pfi->run_setup("set data_count 0\nset dropping 0");
+    tb.pfi->set_send_script(R"tcl(
+if {[msg_type cur_msg] == "tcp-ack" && $dropping == 0} { xDelay cur_msg 3000 }
+)tcl");
+    tb.pfi->set_receive_script(R"tcl(
+set t [msg_type cur_msg]
+if {$t == "tcp-data"} { incr data_count }
+if {$data_count > 30} { set dropping 1; peer_set dropping 1; xDrop cur_msg }
+)tcl");
+    tcp::TcpConnection* conn = tb.connect();
+    core::TcpDriver driver{tb.sched, *conn};
+    driver.start(sim::sec(5), 512, 0);
+    tb.sched.run_until(sim::sec(600));
+    for (const auto& v : checker->violations()) out.all.push_back(v);
+  }
+  // Scenario C: keep-alive on an idle connection (experiment 3).
+  {
+    TcpTestbed tb{profile};
+    auto checker = std::make_shared<spec::TcpSpecChecker>(tb.sched);
+    tb.vendor_stack.insert_below(
+        *tb.vendor_tcp, std::make_unique<spec::SpecObserverLayer>(checker));
+    tcp::TcpConnection* conn = tb.connect();
+    tb.sched.run_until(sim::sec(1));
+    conn->send("idle soon");
+    tb.sched.run_until(sim::sec(2));
+    conn->set_keepalive(true);
+    tb.sched.run_until(sim::sec(7500));
+    for (const auto& v : checker->violations()) out.all.push_back(v);
+  }
+  for (const auto& v : out.all) {
+    if (v.rule == "keepalive.threshold") ++out.keepalive;
+    if (v.rule == "rto.lower-bound") ++out.rto_floor;
+    if (v.rule == "rto.monotone-backoff") ++out.backoff;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Mechanical RFC-conformance audit per vendor (spec checker)");
+  std::printf("%-14s %12s %12s %12s %8s\n", "Vendor", "keepalive",
+              "rto-floor", "backoff", "total");
+  bench::rule(65);
+  for (const auto& profile : tcp::profiles::all_vendors()) {
+    const Findings f = audit(profile);
+    std::printf("%-14s %12zu %12zu %12zu %8zu\n", profile.name.c_str(),
+                f.keepalive, f.rto_floor, f.backoff, f.all.size());
+  }
+  std::printf("\nSample findings for Solaris 2.3:\n");
+  const Findings sol = audit(tcp::profiles::solaris_2_3());
+  int shown = 0;
+  for (const auto& v : sol.all) {
+    std::printf("  t=%9.3fs  [%s] %s\n", sim::to_seconds(v.at),
+                v.rule.c_str(), v.detail.c_str());
+    if (++shown >= 6) break;
+  }
+  std::printf(
+      "\nReading: the BSD trio audit clean; every Solaris signature the paper\n"
+      "reports — the 330 ms retransmission floor, the shrinking second\n"
+      "backoff interval, and the 6752 s keep-alive threshold — is flagged\n"
+      "mechanically, with a timestamped line the developer can act on.\n");
+  return 0;
+}

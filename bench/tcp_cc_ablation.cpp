@@ -1,0 +1,124 @@
+// Ablation: loss-recovery strategies under random segment loss.
+//
+// Compares three sender configurations moving the same bulk transfer across
+// a lossy link: plain window-limited sending (what the paper's 1994 vendor
+// models do), Tahoe congestion control with timeout-only recovery, and Tahoe
+// with fast retransmit. The completion-time gap quantifies why fast
+// retransmit exists — dup-ACK repair happens in a round trip while a timeout
+// burns a full RTO.
+#include <cstdio>
+#include <string>
+
+#include "bench/report.hpp"
+#include "net/layers.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/profile.hpp"
+#include "tcp/tcp_layer.hpp"
+
+using namespace pfi;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;
+  bool completed = false;
+};
+
+RunResult run_transfer(tcp::TcpProfile sender_profile, double loss,
+                       std::uint64_t seed) {
+  sim::Scheduler sched;
+  net::Network network{sched, seed};
+  network.default_link().latency = sim::msec(5);
+  network.link(1, 2).latency = sim::msec(5);
+  network.link(1, 2).loss_probability = loss;
+
+  xk::Stack sa;
+  xk::Stack sb;
+  auto* a = static_cast<tcp::TcpLayer*>(
+      sa.add(std::make_unique<tcp::TcpLayer>(sched, 1, sender_profile)));
+  sa.add(std::make_unique<net::IpLayer>(1));
+  sa.add(std::make_unique<net::NetDev>(network, 1));
+  tcp::TcpProfile receiver = tcp::profiles::xkernel_reference();
+  receiver.receive_buffer = 32768;
+  auto* b = static_cast<tcp::TcpLayer*>(
+      sb.add(std::make_unique<tcp::TcpLayer>(sched, 2, receiver)));
+  sb.add(std::make_unique<net::IpLayer>(2));
+  sb.add(std::make_unique<net::NetDev>(network, 2));
+  b->listen(80);
+  tcp::TcpConnection* server = nullptr;
+  b->on_accept = [&](tcp::TcpConnection& c) { server = &c; };
+
+  tcp::TcpConnection* c = a->connect(2, 80);
+  sched.run_until(sim::sec(2));
+  RunResult r;
+  if (server == nullptr) return r;  // handshake lost too many times
+
+  const std::size_t kBytes = 65536;
+  c->send(std::string(kBytes, 'z'));
+  const sim::TimePoint t0 = sched.now();
+  // Run until delivered or a generous deadline.
+  while (server->stats().bytes_received < kBytes &&
+         sched.now() < sim::sec(1200) &&
+         c->state() == tcp::State::kEstablished) {
+    sched.run_for(sim::msec(500));
+  }
+  r.completed = server->stats().bytes_received >= kBytes;
+  r.seconds = sim::to_seconds(sched.now() - t0);
+  r.retransmits = c->stats().data_retransmits;
+  r.fast_retransmits = c->stats().fast_retransmits;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Ablation: 64 KiB transfer across a lossy link, per sender strategy");
+
+  tcp::TcpProfile plain = tcp::profiles::xkernel_reference();
+  plain.receive_buffer = 32768;
+  tcp::TcpProfile tahoe = plain;
+  tahoe.congestion_control = true;
+  tcp::TcpProfile tahoe_fr = tahoe;
+  tahoe_fr.fast_retransmit = true;
+
+  std::printf("%-8s %-22s %12s %10s %10s %10s\n", "loss", "sender",
+              "time (s)", "rtx", "fast-rtx", "done");
+  bench::rule(80);
+  for (double loss : {0.0, 0.02, 0.05, 0.10}) {
+    struct Named {
+      const char* name;
+      const tcp::TcpProfile* p;
+    };
+    for (const Named& n : {Named{"window-only", &plain},
+                           Named{"tahoe (timeout)", &tahoe},
+                           Named{"tahoe + fast-rtx", &tahoe_fr}}) {
+      // Average over a few seeds so one lucky run doesn't mislead.
+      double total_s = 0;
+      std::uint64_t total_rtx = 0;
+      std::uint64_t total_frtx = 0;
+      int done = 0;
+      const int kSeeds = 5;
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const RunResult r = run_transfer(*n.p, loss, seed);
+        total_s += r.seconds;
+        total_rtx += r.retransmits;
+        total_frtx += r.fast_retransmits;
+        if (r.completed) ++done;
+      }
+      std::printf("%-8.2f %-22s %12.2f %10llu %10llu %7d/%d\n", loss, n.name,
+                  total_s / kSeeds,
+                  static_cast<unsigned long long>(total_rtx / kSeeds),
+                  static_cast<unsigned long long>(total_frtx / kSeeds), done,
+                  kSeeds);
+    }
+  }
+  std::printf(
+      "\nReading: with no loss the three are equivalent (window-limited).\n"
+      "Under loss, fast retransmit repairs most drops in one round trip and\n"
+      "finishes far sooner than timeout-only recovery, whose every loss\n"
+      "costs a full (backed-off) RTO.\n");
+  return 0;
+}

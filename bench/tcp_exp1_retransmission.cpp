@@ -1,0 +1,34 @@
+// Regenerates Table 1: "TCP Retransmission Timeout Results".
+//
+// Workload: a connection from each vendor stack to the x-Kernel machine;
+// after thirty data segments the receive filter drops everything inbound and
+// logs each arrival. The table reports how each stack retransmits the
+// dropped segment.
+#include <cstdio>
+
+#include "bench/report.hpp"
+#include "experiments/tcp_experiments.hpp"
+#include "tcp/profile.hpp"
+
+int main() {
+  using namespace pfi;
+  using namespace pfi::experiments;
+
+  bench::title("Table 1: TCP retransmission timeout results (paper section 4.1, experiment 1)");
+  std::printf("%-14s %6s %5s %10s %10s  %s\n", "Vendor", "rtx", "RST",
+              "first(s)", "bound(s)", "backoff intervals (s)");
+  bench::rule();
+  for (const auto& profile : tcp::profiles::all_vendors()) {
+    const TcpExp1Result r = run_tcp_exp1(profile);
+    std::printf("%-14s %6d %5s %10.2f %10.2f  %s\n", r.vendor.c_str(),
+                r.retransmissions, bench::yesno(r.rst_observed).c_str(),
+                r.first_interval_s, r.max_interval_s,
+                bench::series(r.intervals_s).c_str());
+  }
+  std::printf(
+      "\nPaper shape: SunOS/AIX/NeXT retransmit 12x, exponential backoff to a\n"
+      "64 s bound, then RST. Solaris retransmits only 9x from a 330 ms floor,\n"
+      "closes abruptly with no RST, and never stabilises at a bound (the gap\n"
+      "before the 9th retransmission is ~48 s).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates experiment 5 (reordering): the x-Kernel machine's send filter
+// delays one data segment three seconds so its successor arrives first and
+// drops its retransmissions meanwhile; all four vendors must queue the early
+// segment and ACK both once the gap fills (RFC-1122 SHOULD). The
+// no-reassembly strawman shows the throughput penalty of dropping instead.
+#include <cstdio>
+
+#include "bench/report.hpp"
+#include "experiments/tcp_experiments.hpp"
+#include "tcp/profile.hpp"
+
+int main() {
+  using namespace pfi;
+  using namespace pfi::experiments;
+
+  bench::title("Experiment 5: out-of-order segment handling");
+  std::printf("%-24s %8s %7s %7s %12s %10s\n", "Receiver", "queued",
+              "oooQ", "oooDrop", "delivered", "complete");
+  bench::rule(75);
+  auto stacks = tcp::profiles::all_vendors();
+  stacks.push_back(tcp::profiles::no_reassembly_strawman());
+  for (const auto& profile : stacks) {
+    const TcpExp5Result r = run_tcp_exp5(profile);
+    std::printf("%-24s %8s %7llu %7llu %12llu %10s\n", r.vendor.c_str(),
+                bench::yesno(r.queued_out_of_order).c_str(),
+                static_cast<unsigned long long>(r.ooo_segments_queued),
+                static_cast<unsigned long long>(r.ooo_segments_dropped),
+                static_cast<unsigned long long>(r.bytes_delivered),
+                bench::yesno(r.delivered_everything).c_str());
+  }
+  std::printf(
+      "\nPaper shape: \"The result was the same for [all four vendors]. The\n"
+      "second packet (which actually arrived at the receiver first) was\n"
+      "queued. When the data from the first segment arrived, the receiver\n"
+      "acked the data from both segments.\" The strawman ablation drops the\n"
+      "early segment and needs slow retransmission to recover.\n");
+  return 0;
+}

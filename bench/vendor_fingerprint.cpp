@@ -1,0 +1,50 @@
+// Vendor fingerprinting — paper aspect (iii), "insight into design
+// decisions made by the implementors", as a tool: probe each stack through
+// the PFI layer and classify its lineage from behaviour alone.
+#include <cstdio>
+
+#include "bench/report.hpp"
+#include "experiments/fingerprint.hpp"
+#include "tcp/profile.hpp"
+
+int main() {
+  using namespace pfi;
+  using namespace pfi::experiments;
+
+  bench::title("Implementation fingerprints (no source access, probes only)");
+  std::printf("%-14s %8s %6s %5s %10s %8s %9s %6s  %s\n", "Vendor", "floor",
+              "budget", "RST", "ka idle", "garbage", "cadence", "scale",
+              "lineage");
+  bench::rule(100);
+  std::vector<Fingerprint> fps;
+  for (const auto& profile : tcp::profiles::all_vendors()) {
+    const Fingerprint fp = fingerprint_vendor(profile);
+    std::printf("%-14s %7.2fs %6d %5s %9.0fs %8s %9s %6.3f  %s\n",
+                fp.vendor.c_str(), fp.rto_floor_s, fp.retransmit_budget,
+                bench::yesno(fp.rst_on_timeout).c_str(), fp.keepalive_idle_s,
+                bench::yesno(fp.keepalive_garbage_byte).c_str(),
+                fp.keepalive_fixed_cadence ? "flat" : "expo", fp.clock_scale,
+                fp.lineage.c_str());
+    fps.push_back(fp);
+  }
+
+  std::printf("\nlineage calls:\n");
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    for (std::size_t j = i + 1; j < fps.size(); ++j) {
+      std::printf("  %s vs %s: %s\n", fps[i].vendor.c_str(),
+                  fps[j].vendor.c_str(),
+                  same_lineage(fps[i], fps[j]) ? "same code base"
+                                               : "different code bases");
+    }
+  }
+  std::printf("\nSolaris evidence trail:\n");
+  for (const auto& e : fps.back().evidence) {
+    std::printf("  - %s\n", e.c_str());
+  }
+  std::printf(
+      "\nPaper shape: \"The SunOS, AIX, and NeXT Mach implementations were\n"
+      "all very similar, and seemed to have been based on the same release\n"
+      "of BSD unix. Solaris, which is based on an implementation of System\n"
+      "V, behaved differently than the others in most experiments.\"\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+# Experiment-2 style: delay every outgoing ACK by three seconds (apparent
+# network slowness) until the receive side flips `dropping`.
+#%setup
+set dropping 0
+#%send
+set t [msg_type cur_msg]
+if {$t == "tcp-ack" && $dropping == 0} {
+  xDelay cur_msg 3000
+}

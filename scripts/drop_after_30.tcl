@@ -1,0 +1,11 @@
+# Experiment-1 style receive filter: let thirty data segments through, then
+# drop and log everything inbound. Requires the TCP recognition stub.
+#%setup
+set count 0
+#%receive
+set t [msg_type cur_msg]
+if {$t == "tcp-data"} { incr count }
+if {$count > 30} {
+  msg_log cur_msg
+  xDrop cur_msg
+}

@@ -1,0 +1,5 @@
+# General omission failure model, p = 0.2 in each direction (paper sec 2.2).
+#%send
+if {[dst_bernoulli 0.2]} { xDrop cur_msg }
+#%receive
+if {[dst_bernoulli 0.2]} { xDrop cur_msg }

@@ -1,0 +1,10 @@
+# GMP partition driver: during odd 30-second phases, drop everything headed
+# to the other side of the {1,2,3} | {4,5} split. Set `mygrp` in setup per
+# node before installing. Requires the GMP recognition stub.
+#%setup
+set mygrp 0
+#%send
+set r [msg_field remote]
+set phase [expr {([now_ms] / 30000) % 2}]
+set rgrp [expr {$r <= 3 ? 0 : 1}]
+if {$phase == 1 && $rgrp != $mygrp} { xDrop cur_msg }

@@ -1,0 +1,6 @@
+# Pure monitoring: log every message both ways, touch nothing. This is the
+# packet-filter baseline the paper contrasts itself against.
+#%send
+msg_log cur_msg
+#%receive
+msg_log cur_msg

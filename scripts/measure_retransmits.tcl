@@ -1,0 +1,21 @@
+# Per-segment retransmission measurement, entirely in script: track every
+# data segment's arrival count and inter-arrival gap using arrays, and
+# annotate the trace with both. Requires the TCP recognition stub.
+#%setup
+set started 0
+#%receive
+set t [msg_type cur_msg]
+if {$t == "tcp-data"} {
+  set seq [msg_field seq]
+  set now [now_ms]
+  if {![info exists count($seq)]} {
+    set count($seq) 0
+    set last($seq) $now
+  }
+  incr count($seq)
+  if {$count($seq) > 1} {
+    set gap [expr {$now - $last($seq)}]
+    msg_log cur_msg [format "rtx#%d gap=%dms" [expr {$count($seq) - 1}] $gap]
+  }
+  set last($seq) $now
+}

@@ -1,0 +1,121 @@
+#include "experiments/fingerprint.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "experiments/tcp_experiments.hpp"
+#include "experiments/tcp_testbed.hpp"
+#include "pfi/driver.hpp"
+
+namespace pfi::experiments {
+
+namespace {
+
+/// Measure the keep-alive probe format by logging probe payload lengths at
+/// the x-Kernel receive filter.
+struct KeepaliveObservation {
+  double idle_s = 0;
+  bool garbage_byte = false;
+  bool fixed_cadence = false;
+};
+
+KeepaliveObservation observe_keepalive(const tcp::TcpProfile& profile) {
+  const TcpExp3Result dropped = run_tcp_exp3(profile, true, sim::hours(3));
+  KeepaliveObservation out;
+  out.idle_s = dropped.first_probe_after_s;
+  // Probe cadence: flat intervals (variance ~0) vs exponential growth.
+  if (dropped.probe_intervals_s.size() >= 3) {
+    const auto& iv = dropped.probe_intervals_s;
+    double ratio_sum = 0;
+    for (std::size_t i = 1; i < iv.size(); ++i) ratio_sum += iv[i] / iv[i - 1];
+    const double mean_ratio =
+        ratio_sum / static_cast<double>(iv.size() - 1);
+    out.fixed_cadence = mean_ratio < 1.3;  // ~1.0 flat, ~2.0 exponential
+  }
+  // Garbage byte: rerun without dropping and sniff probe payload lengths.
+  TcpTestbed tb{profile};
+  tb.pfi->set_receive_script("msg_log cur_msg");
+  tcp::TcpConnection* conn = tb.connect();
+  core::TcpDriver driver{tb.sched, *conn};
+  driver.start(sim::msec(100), 128, 2);
+  tb.sched.schedule(sim::sec(1), [conn] { conn->set_keepalive(true); });
+  tb.sched.run_until(sim::hours(3));
+  for (const auto& r : tb.trace.records()) {
+    if (r.direction != "recv" || r.at < sim::sec(3600)) continue;
+    if (r.type == "tcp-data" &&
+        detail_field(r.detail, "len").value_or(0) == 1) {
+      out.garbage_byte = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Fingerprint fingerprint_vendor(const tcp::TcpProfile& profile) {
+  Fingerprint fp;
+  fp.vendor = profile.name;
+
+  const TcpExp1Result rtx = run_tcp_exp1(profile);
+  fp.retransmit_budget = rtx.retransmissions;
+  fp.rst_on_timeout = rtx.rst_observed;
+  fp.rto_floor_s = rtx.first_interval_s;
+
+  const KeepaliveObservation ka = observe_keepalive(profile);
+  fp.keepalive_idle_s = ka.idle_s;
+  fp.keepalive_garbage_byte = ka.garbage_byte;
+  fp.keepalive_fixed_cadence = ka.fixed_cadence;
+  fp.clock_scale = ka.idle_s / 7200.0;
+
+  const TcpExp4Result zw = run_tcp_exp4(profile, false);
+  fp.persist_cap_s = zw.cap_s;
+
+  // --- the inference, scored from evidence --------------------------------
+  int bsd = 0;
+  int svr4 = 0;
+  auto cite = [&fp](const std::string& s) { fp.evidence.push_back(s); };
+  if (std::fabs(fp.rto_floor_s - 1.0) < 0.2) {
+    ++bsd;
+    cite("1 s RTO floor (BSD slow-timer granularity)");
+  } else if (fp.rto_floor_s < 0.6) {
+    ++svr4;
+    cite("sub-second RTO floor (fast-clock SVR4 timer)");
+  }
+  if (fp.retransmit_budget == 12 && fp.rst_on_timeout) {
+    ++bsd;
+    cite("12 per-segment retransmissions then RST (BSD TCPT_REXMT table)");
+  } else if (!fp.rst_on_timeout) {
+    ++svr4;
+    cite("silent abort without RST");
+  }
+  if (fp.keepalive_fixed_cadence) {
+    ++bsd;
+    cite("flat 75 s keep-alive probe cadence (BSD keepintvl)");
+  } else {
+    ++svr4;
+    cite("exponential keep-alive probe backoff");
+  }
+  if (std::fabs(fp.clock_scale - 1.0) < 0.01) {
+    ++bsd;
+    cite("keep-alive threshold exactly 7200 s");
+  } else {
+    ++svr4;
+    std::ostringstream os;
+    os << "scaled clock: keep-alive at " << fp.keepalive_idle_s
+       << " s and persist cap " << fp.persist_cap_s << " s share the ratio "
+       << fp.clock_scale;
+    cite(os.str());
+  }
+  fp.lineage = bsd > svr4 ? "BSD-derived" : (svr4 > bsd ? "SVR4-derived"
+                                                        : "unknown");
+  return fp;
+}
+
+bool same_lineage(const Fingerprint& a, const Fingerprint& b) {
+  return a.lineage == b.lineage &&
+         a.retransmit_budget == b.retransmit_budget &&
+         a.rst_on_timeout == b.rst_on_timeout &&
+         std::fabs(a.clock_scale - b.clock_scale) < 0.01;
+}
+
+}  // namespace pfi::experiments

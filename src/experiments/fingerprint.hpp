@@ -1,0 +1,46 @@
+// Implementation fingerprinting — paper aspect (iii): "insight into design
+// decisions made by the implementors".
+//
+// The paper inferred lineage from behavioural signatures alone: "The SunOS,
+// AIX, and NeXT Mach implementations were all very similar, and seemed to
+// have been based on the same release of BSD unix. Solaris, which is based
+// on an implementation of System V, behaved differently ... in most
+// experiments." This module runs the standard probe battery against an
+// arbitrary TcpProfile (no access to its internals) and classifies it from
+// the externally observed evidence, exactly the way the authors did by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcp/profile.hpp"
+
+namespace pfi::experiments {
+
+struct Fingerprint {
+  std::string vendor;
+
+  // Observed evidence (all measured through the PFI layer, never read from
+  // the profile object).
+  double rto_floor_s = 0;           // first backoff interval on a LAN
+  int retransmit_budget = 0;        // retransmissions before giving up
+  bool rst_on_timeout = false;
+  double keepalive_idle_s = 0;      // first probe after idle
+  bool keepalive_garbage_byte = false;
+  bool keepalive_fixed_cadence = false;  // 75 s flat vs exponential
+  double persist_cap_s = 0;         // zero-window probe plateau
+  double clock_scale = 1.0;         // keepalive_idle / 7200
+
+  // The inference.
+  std::string lineage;     // "BSD-derived" or "SVR4-derived" or "unknown"
+  std::vector<std::string> evidence;  // human-readable reasons
+};
+
+/// Probe one stack and classify it.
+Fingerprint fingerprint_vendor(const tcp::TcpProfile& profile);
+
+/// True if two fingerprints look like siblings from the same code base
+/// (the paper's "seemed to have been based on the same release" call).
+bool same_lineage(const Fingerprint& a, const Fingerprint& b);
+
+}  // namespace pfi::experiments

@@ -1,0 +1,359 @@
+#include "experiments/gmp_experiments.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "experiments/gmp_testbed.hpp"
+
+namespace pfi::experiments {
+
+namespace {
+
+/// True if `history` contains a view including `node` followed (strictly
+/// later) by one excluding it.
+bool admitted_then_removed(const std::vector<gmp::View>& history,
+                           net::NodeId node) {
+  bool seen_with = false;
+  for (const auto& v : history) {
+    if (v.contains(node)) {
+      seen_with = true;
+    } else if (seen_with) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Number of with->without transitions for `node` in a view history.
+int exclusion_count(const std::vector<gmp::View>& history, net::NodeId node) {
+  int count = 0;
+  bool with = false;
+  for (const auto& v : history) {
+    const bool now_with = v.contains(node);
+    if (with && !now_with) ++count;
+    with = now_with;
+  }
+  return count;
+}
+
+int readmission_count(const std::vector<gmp::View>& history,
+                      net::NodeId node) {
+  int count = 0;
+  bool with = false;
+  bool ever_with = false;
+  for (const auto& v : history) {
+    const bool now_with = v.contains(node);
+    if (!with && now_with && ever_with) ++count;
+    if (now_with) ever_with = true;
+    with = now_with;
+  }
+  return count;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Experiment 1a: heartbeats to self / suspension (Table 5 row 1)
+// ---------------------------------------------------------------------------
+
+GmpSelfHeartbeatResult run_gmp_exp1_self_heartbeats(bool buggy,
+                                                    bool via_suspend) {
+  gmp::GmpBugs bugs;
+  bugs.local_death_mishandled = buggy;
+  bugs.proclaim_forward_param = buggy;
+  GmpTestbed tb{{1, 2, 3, 4}, bugs};
+  tb.start(1);
+  tb.start(2);
+  tb.start(3);
+
+  if (via_suspend) {
+    tb.sched.schedule(sim::sec(15),
+                      [&tb] { tb.gmd(3).suspend_for(sim::sec(30)); });
+  } else {
+    // Drop the heartbeats node 3 sends to itself during [15 s, 25 s).
+    tb.pfi(3).set_send_script(R"tcl(
+set t [msg_type cur_msg]
+if {$t == "gmp-heartbeat" && [msg_field remote] == 3} {
+  set now [now_ms]
+  if {$now >= 15000 && $now < 25000} { xDrop cur_msg }
+}
+)tcl");
+  }
+
+  // Node 4 joins late and can only reach node 3 with its PROCLAIMs, so
+  // admission depends on node 3 forwarding them to the leader.
+  tb.pfi(4).set_send_script(R"tcl(
+set t [msg_type cur_msg]
+set r [msg_field remote]
+if {$t == "gmp-proclaim" && ($r == 1 || $r == 2)} { xDrop cur_msg }
+)tcl");
+  tb.sched.schedule(sim::sec(40), [&tb] { tb.start(4); });
+
+  tb.sched.run_until(sim::sec(80));
+
+  GmpSelfHeartbeatResult res;
+  res.buggy = buggy;
+  const auto& d3 = tb.gmd(3);
+  res.self_death_events = d3.stats().self_death_events;
+  res.believed_self_dead_at_end = d3.believes_self_dead();
+  res.others_excluded_it = !tb.gmd(1).view().contains(3);
+  res.stayed_in_stale_group = d3.believes_self_dead() &&
+                              d3.view().contains(1) &&
+                              !tb.gmd(1).view().contains(3);
+  res.rejoined_after_reset =
+      readmission_count(tb.gmd(1).view_history(), 3) > 0;
+  res.proclaims_lost_to_forward_bug =
+      d3.stats().forward_attempts_lost_to_bug;
+  res.late_joiner_admitted = tb.gmd(1).view().contains(4);
+  res.views_consistent = tb.views_consistent();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 1b: oscillating outgoing-heartbeat drops (Table 5 row 2)
+// ---------------------------------------------------------------------------
+
+GmpHeartbeatOscillationResult run_gmp_exp1_heartbeat_oscillation(
+    bool delay_instead_of_drop) {
+  GmpTestbed tb{{1, 2, 3}, gmp::GmpBugs::none()};
+  tb.start_all();
+  const char* action = delay_instead_of_drop ? "xDelay cur_msg 10000"
+                                             : "xDrop cur_msg";
+  std::ostringstream script;
+  script << R"tcl(
+set t [msg_type cur_msg]
+set r [msg_field remote]
+if {$t == "gmp-heartbeat" && $r != 3} {
+  set phase [expr {([now_ms] / 15000) % 2}]
+  if {$phase == 1} { )tcl"
+         << action << R"tcl( }
+}
+)tcl";
+  tb.pfi(3).set_send_script(script.str());
+  tb.sched.run_until(sim::sec(95));
+
+  GmpHeartbeatOscillationResult res;
+  const auto& history = tb.gmd(1).view_history();
+  res.times_kicked_out = exclusion_count(history, 3);
+  res.times_readmitted = readmission_count(history, 3);
+  res.behaved_as_specified =
+      res.times_kicked_out >= 2 && res.times_readmitted >= 2;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 1c: leader drops MC ACKs from the victim (Table 5 row 3)
+// ---------------------------------------------------------------------------
+
+GmpDropAcksResult run_gmp_exp1_drop_mc_acks() {
+  GmpTestbed tb{{1, 2, 3}, gmp::GmpBugs::none()};
+  tb.start(1);
+  tb.start(2);
+  tb.pfi(1).set_receive_script(R"tcl(
+set t [msg_type cur_msg]
+if {$t == "gmp-ack" && [msg_field sender] == 3} {
+  msg_log cur_msg dropped-by-experiment
+  xDrop cur_msg
+}
+)tcl");
+  tb.sched.schedule(sim::sec(10), [&tb] { tb.start(3); });
+  tb.sched.run_until(sim::sec(60));
+
+  GmpDropAcksResult res;
+  for (const auto& v : tb.gmd(3).view_history()) {
+    if (v.members.size() > 1) res.victim_ever_in_committed_group = true;
+  }
+  // The leader must never have committed a view containing the victim.
+  for (const auto& v : tb.gmd(1).view_history()) {
+    if (v.contains(3)) res.victim_ever_in_committed_group = true;
+  }
+  res.victim_transition_aborts = tb.gmd(3).stats().transition_aborts;
+  // The admission attempts repeat forever, so the daemons may be sampled
+  // mid-attempt (IN_TRANSITION); what matters is that every *committed* view
+  // is {1,2}.
+  res.others_formed_group_without_victim =
+      tb.gmd(1).view().members == std::vector<net::NodeId>{1, 2} &&
+      tb.gmd(2).view().members == std::vector<net::NodeId>{1, 2};
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 1d: victim drops COMMITs (Table 5 row 4)
+// ---------------------------------------------------------------------------
+
+GmpDropCommitsResult run_gmp_exp1_drop_commits() {
+  GmpTestbed tb{{1, 2, 3}, gmp::GmpBugs::none()};
+  tb.start(1);
+  tb.start(2);
+  tb.pfi(3).set_receive_script(R"tcl(
+set t [msg_type cur_msg]
+if {$t == "gmp-commit"} {
+  msg_log cur_msg dropped-by-experiment
+  xDrop cur_msg
+}
+)tcl");
+  tb.sched.schedule(sim::sec(10), [&tb] { tb.start(3); });
+  tb.sched.run_until(sim::sec(60));
+
+  GmpDropCommitsResult res;
+  for (const auto& v : tb.gmd(3).view_history()) {
+    if (v.members.size() > 1) res.victim_ever_established = true;
+  }
+  res.others_admitted_then_removed =
+      admitted_then_removed(tb.gmd(1).view_history(), 3);
+  res.victim_transition_aborts = tb.gmd(3).stats().transition_aborts;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2a: oscillating partition (Table 6 row 1)
+// ---------------------------------------------------------------------------
+
+GmpPartitionResult run_gmp_exp2_partition_oscillation() {
+  GmpTestbed tb{{1, 2, 3, 4, 5}, gmp::GmpBugs::none()};
+  tb.start_all();
+  for (net::NodeId id : tb.ids()) {
+    std::ostringstream script;
+    script << "set r [msg_field remote]\n"
+           << "set phase [expr {([now_ms] / 30000) % 2}]\n"
+           << "set mygrp " << (id <= 3 ? 0 : 1) << "\n"
+           << "set rgrp [expr {$r <= 3 ? 0 : 1}]\n"
+           << "if {$phase == 1 && $rgrp != $mygrp} { xDrop cur_msg }\n";
+    tb.pfi(id).set_send_script(script.str());
+  }
+
+  GmpPartitionResult res;
+  tb.sched.schedule(sim::sec(55), [&tb, &res] {
+    res.split_groups_formed =
+        tb.group_formed({1, 2, 3}) && tb.group_formed({4, 5});
+  });
+  tb.sched.schedule(sim::sec(88), [&tb, &res] {
+    res.merged_group_formed = tb.group_formed({1, 2, 3, 4, 5});
+  });
+  tb.sched.schedule(sim::sec(115), [&tb, &res] {
+    res.split_again = tb.group_formed({1, 2, 3}) && tb.group_formed({4, 5});
+  });
+  tb.sched.run_until(sim::sec(118));
+  res.views_consistent = tb.views_consistent();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2b: leader / crown-prince separation (Table 6 row 2)
+// ---------------------------------------------------------------------------
+
+GmpLeaderCrownPrinceResult run_gmp_exp2_leader_crownprince(
+    bool leader_detects_first) {
+  GmpTestbed tb{{1, 2, 3, 4, 5}, gmp::GmpBugs::none()};
+  // Orchestrate which of the two concurrent detections wins — the paper's
+  // "two possible courses of action ... dependent on the ordering of
+  // concurrent events".
+  tb.config(1).heartbeat_timeout =
+      leader_detects_first ? sim::msec(3500) : sim::msec(7000);
+  tb.config(2).heartbeat_timeout =
+      leader_detects_first ? sim::msec(7000) : sim::msec(3500);
+  tb.start_all();
+
+  tb.sched.schedule(sim::sec(15), [&tb] {
+    tb.pfi(1).set_send_script(
+        "if {[msg_field remote] == 2} { xDrop cur_msg }");
+    tb.pfi(2).set_send_script(
+        "if {[msg_field remote] == 1} { xDrop cur_msg }");
+  });
+  tb.sched.run_until(sim::sec(100));
+
+  GmpLeaderCrownPrinceResult res;
+  // Which daemon initiated the first membership change after the cut?
+  auto first_mc = tb.trace.first([](const trace::Record& r) {
+    return r.type == "gmp-mc-initiate" && r.at > sim::sec(15);
+  });
+  if (first_mc) res.leader_detected_first = first_mc->node == "gmd-1";
+  res.crown_prince_singleton =
+      tb.gmd(2).view().members == std::vector<net::NodeId>{2};
+  res.others_with_original_leader = tb.group_formed({1, 3, 4, 5});
+  res.final_leader_view = tb.gmd(1).view().members;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 3: proclaim forwarding (Table 7)
+// ---------------------------------------------------------------------------
+
+GmpProclaimForwardResult run_gmp_exp3_proclaim_forwarding(bool buggy) {
+  gmp::GmpBugs bugs;
+  bugs.reply_to_forwarder = buggy;
+  GmpTestbed tb{{1, 2, 3}, bugs};
+  tb.start(1);
+  tb.start(2);
+  // Node 3's PROCLAIMs to the leader are dropped: only the crown prince
+  // hears them and must forward.
+  tb.pfi(3).set_send_script(R"tcl(
+set t [msg_type cur_msg]
+if {$t == "gmp-proclaim" && [msg_field remote] == 1} { xDrop cur_msg }
+)tcl");
+  tb.sched.schedule(sim::sec(10), [&tb] { tb.start(3); });
+  tb.sched.run_until(sim::sec(30));
+
+  GmpProclaimForwardResult res;
+  res.buggy = buggy;
+  res.joiner_admitted = tb.gmd(1).view().contains(3);
+  res.proclaims_forwarded = tb.gmd(2).stats().proclaims_forwarded;
+  res.loop_replies = tb.trace
+                         .select([](const trace::Record& r) {
+                           return r.type == "gmp-proclaim-loop-reply";
+                         })
+                         .size();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 4: timer test (Table 8)
+// ---------------------------------------------------------------------------
+
+GmpTimerTestResult run_gmp_exp4_timer_test(bool buggy) {
+  gmp::GmpBugs bugs;
+  bugs.timer_unregister_inverted = buggy;
+  GmpTestbed tb{{1, 2, 3}, bugs};
+  tb.start(1);
+  tb.start(2);
+  tb.pfi(2).run_setup("set mc_count 0");
+  tb.pfi(2).set_receive_script(R"tcl(
+set t [msg_type cur_msg]
+if {$t == "gmp-mc"} { incr mc_count }
+if {$mc_count >= 2 && ($t == "gmp-commit" || $t == "gmp-heartbeat")} {
+  xDrop cur_msg
+}
+)tcl");
+  tb.sched.schedule(sim::sec(15), [&tb] { tb.start(3); });
+  tb.sched.run_until(sim::sec(45));
+
+  GmpTimerTestResult res;
+  res.buggy = buggy;
+  res.transition_hb_timeouts = tb.gmd(2).stats().transition_hb_timeouts;
+  res.transition_aborts = tb.gmd(2).stats().transition_aborts;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Probe injection: steering into hard-to-reach states
+// ---------------------------------------------------------------------------
+
+GmpProbeInjectionResult run_gmp_probe_injection() {
+  GmpTestbed tb{{1, 2, 3}, gmp::GmpBugs::none()};
+  tb.start_all();
+  tb.sched.schedule(sim::sec(15), [&tb] {
+    // Forge a death report "from node 2" about node 3 and inject it upward
+    // into the leader's stack — a spontaneous probe message (§2.1).
+    tb.pfi(1).receive_interp().eval(
+        "xInject up type death sender 2 originator 2 subject 3 remote 2");
+  });
+  tb.sched.run_until(sim::sec(60));
+
+  GmpProbeInjectionResult res;
+  res.healthy_member_evicted =
+      admitted_then_removed(tb.gmd(1).view_history(), 3);
+  res.member_rejoined = tb.gmd(1).view().contains(3);
+  return res;
+}
+
+}  // namespace pfi::experiments

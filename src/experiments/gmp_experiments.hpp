@@ -1,0 +1,118 @@
+// One function per GMP experiment in paper §4.2 (Tables 5-8), each runnable
+// with the daemon's bugs enabled (the paper's findings reproduce) or fixed
+// ("behaved as specified").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gmp/daemon.hpp"
+
+namespace pfi::experiments {
+
+/// Experiment 1a (Table 5 row 1): drop all heartbeats a gmd sends to ITSELF
+/// (or, equivalently, suspend it past its timers). Buggy daemon announces
+/// its own death but stays in the old group marked dead; fixed daemon forms
+/// a singleton and rejoins.
+struct GmpSelfHeartbeatResult {
+  bool buggy = false;
+  std::uint64_t self_death_events = 0;
+  bool believed_self_dead_at_end = false;
+  bool stayed_in_stale_group = false;  // the bug's signature
+  bool others_excluded_it = false;
+  bool rejoined_after_reset = false;   // the fixed daemon's behaviour
+  std::uint64_t proclaims_lost_to_forward_bug = 0;
+  bool late_joiner_admitted = false;   // node relying on proclaim forwarding
+  bool views_consistent = false;
+};
+GmpSelfHeartbeatResult run_gmp_exp1_self_heartbeats(bool buggy,
+                                                    bool via_suspend = false);
+
+/// Experiment 1b (Table 5 row 2): a gmd oscillates between sending and
+/// dropping its OUTGOING heartbeats to others — it should be kicked out,
+/// rejoin, and be kicked out again.
+struct GmpHeartbeatOscillationResult {
+  int times_kicked_out = 0;
+  int times_readmitted = 0;
+  bool behaved_as_specified = false;
+};
+GmpHeartbeatOscillationResult run_gmp_exp1_heartbeat_oscillation(
+    bool delay_instead_of_drop);
+
+/// Experiment 1c (Table 5 row 3): the leader's receive filter drops MC ACKs
+/// from one machine — it must never be admitted to a group.
+struct GmpDropAcksResult {
+  bool victim_ever_in_committed_group = false;
+  std::uint64_t victim_transition_aborts = 0;
+  bool others_formed_group_without_victim = false;
+};
+GmpDropAcksResult run_gmp_exp1_drop_mc_acks();
+
+/// Experiment 1d (Table 5 row 4): the victim's receive filter drops COMMITs
+/// — it stays IN_TRANSITION, gets committed into others' views, then kicked
+/// out for not heartbeating.
+struct GmpDropCommitsResult {
+  bool victim_ever_established = false;     // reached IN_GROUP with others
+  bool others_admitted_then_removed = false;
+  std::uint64_t victim_transition_aborts = 0;
+};
+GmpDropCommitsResult run_gmp_exp1_drop_commits();
+
+/// Experiment 2a (Table 6 row 1): five nodes oscillate between a full group
+/// and a {1,2,3} | {4,5} partition driven by send-filter scripts.
+struct GmpPartitionResult {
+  bool split_groups_formed = false;   // during the partition phase
+  bool merged_group_formed = false;   // after heal
+  bool split_again = false;           // second partition phase
+  bool views_consistent = false;
+};
+GmpPartitionResult run_gmp_exp2_partition_oscillation();
+
+/// Experiment 2b (Table 6 row 2): leader and crown prince stop talking to
+/// each other. Two event orderings exist; `leader_detects_first` selects
+/// which (the deterministic orchestration the paper calls out). Both must
+/// reach the same end state: crown prince alone, everyone else with the
+/// original leader.
+struct GmpLeaderCrownPrinceResult {
+  bool leader_detected_first = false;     // which path actually ran
+  bool crown_prince_singleton = false;
+  bool others_with_original_leader = false;
+  std::vector<net::NodeId> final_leader_view;
+};
+GmpLeaderCrownPrinceResult run_gmp_exp2_leader_crownprince(
+    bool leader_detects_first);
+
+/// Experiment 3 (Table 7): a joiner's PROCLAIMs reach only a non-leader,
+/// which forwards them. Buggy leader answers the forwarder -> proclaim loop
+/// and the joiner is never admitted; fixed leader answers the originator.
+struct GmpProclaimForwardResult {
+  bool buggy = false;
+  bool joiner_admitted = false;
+  std::uint64_t loop_replies = 0;         // leader's replies to the forwarder
+  std::uint64_t proclaims_forwarded = 0;
+};
+GmpProclaimForwardResult run_gmp_exp3_proclaim_forwarding(bool buggy);
+
+/// Experiment 4 (Table 8): after its second MEMBERSHIP_CHANGE a node's
+/// receive filter drops COMMITs and heartbeats. With the inverted
+/// unregister bug a heartbeat-expect timer fires during IN_TRANSITION; fixed,
+/// only the membership-change timer may fire.
+struct GmpTimerTestResult {
+  bool buggy = false;
+  std::uint64_t transition_hb_timeouts = 0;  // the bug's symptom
+  std::uint64_t transition_aborts = 0;       // the legitimate MC timer path
+};
+GmpTimerTestResult run_gmp_exp4_timer_test(bool buggy);
+
+/// Probe-injection demo (paper abstract: spontaneous messages steer the
+/// computation into hard-to-reach states): inject a forged DEATH_REPORT into
+/// the leader so a perfectly healthy member is evicted, then watch it
+/// rejoin.
+struct GmpProbeInjectionResult {
+  bool healthy_member_evicted = false;
+  bool member_rejoined = false;
+};
+GmpProbeInjectionResult run_gmp_probe_injection();
+
+}  // namespace pfi::experiments

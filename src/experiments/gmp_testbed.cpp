@@ -1,0 +1,80 @@
+#include "experiments/gmp_testbed.hpp"
+
+#include <algorithm>
+
+namespace pfi::experiments {
+
+GmpTestbed::GmpTestbed(const std::vector<net::NodeId>& ids,
+                       const gmp::GmpBugs& bugs, std::uint64_t seed_base)
+    : network(sched), ids_(ids), bugs_(bugs), seed_base_(seed_base) {
+  network.default_link().latency = sim::msec(1);
+  for (net::NodeId id : ids_) {
+    gmp::GmpConfig cfg;
+    cfg.id = id;
+    cfg.peers = ids_;
+    cfg.bugs = bugs_;
+    configs_[id] = cfg;
+  }
+}
+
+gmp::GmpConfig& GmpTestbed::config(net::NodeId id) { return configs_.at(id); }
+
+void GmpTestbed::build(net::NodeId id) {
+  if (nodes_.contains(id)) return;
+  auto node = std::make_unique<Node>();
+  node->gmd = static_cast<gmp::GmpDaemon*>(node->stack.add(
+      std::make_unique<gmp::GmpDaemon>(sched, configs_.at(id), &trace)));
+  node->rel = static_cast<gmp::ReliableLayer*>(
+      node->stack.add(std::make_unique<gmp::ReliableLayer>(sched)));
+  node->stack.add(std::make_unique<net::UdpLayer>(id));
+  node->stack.add(std::make_unique<net::IpLayer>(id));
+  node->stack.add(std::make_unique<net::NetDev>(network, id));
+
+  core::PfiConfig cfg;
+  cfg.node_name = "gmd-" + std::to_string(id);
+  cfg.trace = &trace;
+  cfg.stub = std::make_shared<core::GmpStub>();
+  cfg.sync = sync;
+  cfg.rng_seed = seed_base_ + id;
+  node->pfi = static_cast<core::PfiLayer*>(node->stack.insert_below(
+      *node->rel, std::make_unique<core::PfiLayer>(sched, cfg)));
+  nodes_[id] = std::move(node);
+}
+
+void GmpTestbed::start(net::NodeId id) {
+  build(id);
+  nodes_.at(id)->gmd->start();
+}
+
+void GmpTestbed::start_all() {
+  for (net::NodeId id : ids_) start(id);
+}
+
+bool GmpTestbed::views_consistent() const {
+  for (const auto& [ida, a] : nodes_) {
+    for (const auto& [idb, b] : nodes_) {
+      if (ida >= idb) continue;
+      const gmp::View& va = a->gmd->view();
+      const gmp::View& vb = b->gmd->view();
+      if (va.id == vb.id && va.members != vb.members) return false;
+    }
+  }
+  return true;
+}
+
+bool GmpTestbed::group_formed(std::vector<net::NodeId> group) {
+  std::sort(group.begin(), group.end());
+  for (net::NodeId id : group) {
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return false;
+    const gmp::GmpDaemon& d = *it->second->gmd;
+    if (d.status() != gmp::GmdStatus::kInGroup &&
+        d.status() != gmp::GmdStatus::kAlone) {
+      return false;
+    }
+    if (d.view().members != group) return false;
+  }
+  return true;
+}
+
+}  // namespace pfi::experiments

@@ -1,0 +1,84 @@
+// Multi-node GMP testbed reproducing the paper's Figure 5 deployment: each
+// node runs gmd / reliable / PFI / UDP / IP / dev, with the PFI tool spliced
+// in "where udp send and receive calls were made". All PFI layers share one
+// SyncBus so scripts on different nodes can coordinate.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gmp/daemon.hpp"
+#include "gmp/reliable.hpp"
+#include "net/layers.hpp"
+#include "net/network.hpp"
+#include "pfi/gmp_stub.hpp"
+#include "pfi/pfi_layer.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
+#include "xk/layer.hpp"
+
+namespace pfi::experiments {
+
+class GmpTestbed {
+ public:
+  struct Node {
+    xk::Stack stack;
+    gmp::GmpDaemon* gmd = nullptr;
+    gmp::ReliableLayer* rel = nullptr;
+    core::PfiLayer* pfi = nullptr;
+  };
+
+  /// Build nodes with the given ids (sorted ids make the lowest the eventual
+  /// leader, as in the paper's IP-address rule). Daemons are built but not
+  /// started; call start(id) or start_all().
+  GmpTestbed(const std::vector<net::NodeId>& ids, const gmp::GmpBugs& bugs,
+             std::uint64_t seed_base = 1000);
+
+  /// Override a node's config before it starts (e.g. heartbeat timeout, to
+  /// force one of the two orderings in the partition experiment).
+  gmp::GmpConfig& config(net::NodeId id);
+
+  void start(net::NodeId id);
+  void start_all();
+
+  /// Accessors build the node's stack on first touch (so filter scripts can
+  /// be installed before the daemon is started), without starting the gmd.
+  [[nodiscard]] Node& node(net::NodeId id) {
+    build(id);
+    return *nodes_.at(id);
+  }
+  [[nodiscard]] gmp::GmpDaemon& gmd(net::NodeId id) { return *node(id).gmd; }
+  [[nodiscard]] core::PfiLayer& pfi(net::NodeId id) { return *node(id).pfi; }
+  [[nodiscard]] const std::vector<net::NodeId>& ids() const { return ids_; }
+
+  /// True when every listed daemon is IN_GROUP/ALONE and all daemons that
+  /// share a view id agree exactly on its membership.
+  [[nodiscard]] bool views_consistent() const;
+
+  /// ids of the members of `id`'s current view.
+  [[nodiscard]] std::vector<net::NodeId> view_of(net::NodeId id) {
+    return gmd(id).view().members;
+  }
+
+  /// True if every node in `group` currently has exactly `group` as its view
+  /// membership (order-insensitive).
+  [[nodiscard]] bool group_formed(std::vector<net::NodeId> group);
+
+  sim::Scheduler sched;
+  trace::TraceLog trace;
+  net::Network network;
+  std::shared_ptr<core::SyncBus> sync = std::make_shared<core::SyncBus>();
+
+ private:
+  std::vector<net::NodeId> ids_;
+  std::map<net::NodeId, gmp::GmpConfig> configs_;
+  std::map<net::NodeId, std::unique_ptr<Node>> nodes_;
+  gmp::GmpBugs bugs_;
+  std::uint64_t seed_base_ = 1000;
+  bool built_ = false;
+
+  void build(net::NodeId id);
+};
+
+}  // namespace pfi::experiments

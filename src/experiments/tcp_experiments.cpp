@@ -1,0 +1,374 @@
+#include "experiments/tcp_experiments.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "experiments/tcp_testbed.hpp"
+
+namespace pfi::experiments {
+
+namespace {
+
+/// Receive-filter drops of data segments, grouped by sequence number in
+/// first-seen order: {seq -> arrival timestamps}.
+std::vector<std::pair<std::int64_t, std::vector<sim::TimePoint>>>
+dropped_data_by_seq(const trace::TraceLog& trace) {
+  std::vector<std::pair<std::int64_t, std::vector<sim::TimePoint>>> out;
+  for (const auto& r : trace.records()) {
+    if (r.node != "xkernel" || r.direction != "recv") continue;
+    if (r.type != "tcp-data" && r.type != "tcp-ack") continue;
+    auto seq = detail_field(r.detail, "seq");
+    if (!seq) continue;
+    auto it = std::find_if(out.begin(), out.end(),
+                           [&](const auto& p) { return p.first == *seq; });
+    if (it == out.end()) {
+      out.push_back({*seq, {r.at}});
+    } else {
+      it->second.push_back(r.at);
+    }
+  }
+  return out;
+}
+
+std::vector<double> to_seconds(const std::vector<sim::Duration>& ds) {
+  std::vector<double> out;
+  out.reserve(ds.size());
+  for (sim::Duration d : ds) out.push_back(sim::to_seconds(d));
+  return out;
+}
+
+bool rst_seen(const trace::TraceLog& trace) {
+  return trace
+      .first([](const trace::Record& r) {
+        return r.node == "xkernel" && r.direction == "recv" &&
+               r.type == "tcp-rst";
+      })
+      .has_value();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Experiment 1: retransmission intervals (Table 1)
+// ---------------------------------------------------------------------------
+
+TcpExp1Result run_tcp_exp1(const tcp::TcpProfile& vendor,
+                           sim::Duration link_latency) {
+  TcpTestbed tb{vendor, link_latency};
+  tb.pfi->run_setup("set count 0");
+  tb.pfi->set_receive_script(R"tcl(
+# Let thirty data segments through, then drop (and log) everything inbound.
+set t [msg_type cur_msg]
+if {$t == "tcp-data"} { incr count }
+if {$count > 30} {
+  msg_log cur_msg
+  xDrop cur_msg
+}
+)tcl");
+
+  tcp::TcpConnection* conn = tb.connect();
+  core::TcpDriver driver{tb.sched, *conn};
+  driver.start(sim::msec(500), 512, 0);
+  tb.sched.run_until(sim::sec(1500));
+
+  TcpExp1Result res;
+  res.vendor = vendor.name;
+  const auto groups = dropped_data_by_seq(tb.trace);
+  if (!groups.empty()) {
+    const auto& [seq, times] = groups.front();  // the first dropped segment
+    res.retransmissions = static_cast<int>(times.size()) - 1;
+    res.intervals_s = to_seconds(trace::TraceLog::intervals(times));
+    if (!res.intervals_s.empty()) {
+      res.first_interval_s = res.intervals_s.front();
+      res.max_interval_s =
+          *std::max_element(res.intervals_s.begin(), res.intervals_s.end());
+    }
+  }
+  res.rst_observed = rst_seen(tb.trace);
+  res.close_reason = conn->close_reason();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2: RTO with delayed ACKs (Table 2 / Figure 4)
+// ---------------------------------------------------------------------------
+
+TcpExp2Result run_tcp_exp2(const tcp::TcpProfile& vendor,
+                           sim::Duration ack_delay) {
+  TcpTestbed tb{vendor};
+  std::ostringstream setup;
+  setup << "set data_count 0\nset dropping 0\nset delay_ms "
+        << ack_delay / sim::kMillisecond;
+  tb.pfi->run_setup(setup.str());
+  // Delay every outgoing ACK while the first thirty data segments flow;
+  // from the 31st data segment on, the receive filter drops (and logs)
+  // everything inbound — so the 31st segment's entire retransmission series
+  // is observable. The receive filter flips the send filter's state through
+  // the cross-interpreter channel, the paper's own signalling example.
+  tb.pfi->set_send_script(R"tcl(
+set t [msg_type cur_msg]
+if {$t == "tcp-ack" && $dropping == 0} {
+  xDelay cur_msg $delay_ms
+}
+)tcl");
+  tb.pfi->set_receive_script(R"tcl(
+set t [msg_type cur_msg]
+if {$t == "tcp-data"} { incr data_count }
+if {$data_count > 30} {
+  set dropping 1
+  peer_set dropping 1
+  msg_log cur_msg
+  xDrop cur_msg
+}
+)tcl");
+
+  tcp::TcpConnection* conn = tb.connect();
+  core::TcpDriver driver{tb.sched, *conn};
+  // Space segments wider than the ACK delay so each one completes its round
+  // trip alone — the paper's measurements are per-segment RTO values, not
+  // pipeline artifacts of the retransmit timer being restarted by ACKs for
+  // earlier segments.
+  const sim::Duration spacing =
+      std::max<sim::Duration>(sim::sec(4), ack_delay + sim::sec(2));
+  driver.start(spacing, 512, 0);
+  tb.sched.run_until(sim::sec(2000));
+
+  TcpExp2Result res;
+  res.vendor = vendor.name;
+  res.ack_delay_s = sim::to_seconds(ack_delay);
+  const auto groups = dropped_data_by_seq(tb.trace);
+  // The dropped-and-retransmitted segment is the one with the most logged
+  // arrivals (fresh segments that were dropped once never retransmit: they
+  // are behind the stalled window).
+  const auto* best =
+      static_cast<const std::pair<std::int64_t,
+                                  std::vector<sim::TimePoint>>*>(nullptr);
+  for (const auto& g : groups) {
+    if (best == nullptr || g.second.size() > best->second.size()) best = &g;
+  }
+  if (best != nullptr) {
+    res.retransmissions = static_cast<int>(best->second.size()) - 1;
+    res.intervals_s = to_seconds(trace::TraceLog::intervals(best->second));
+    if (!res.intervals_s.empty()) res.first_rto_s = res.intervals_s.front();
+  }
+  res.rst_observed = rst_seen(tb.trace);
+  res.close_reason = conn->close_reason();
+  return res;
+}
+
+TcpExp2CounterResult run_tcp_exp2_counter(const tcp::TcpProfile& vendor) {
+  TcpTestbed tb{vendor};
+  tb.pfi->run_setup("set count 0\nset delay_next_ack 0");
+  tb.pfi->set_receive_script(R"tcl(
+# Pass thirty segments; the 31st (m1) also passes but its ACK will be held
+# 35 seconds; everything after that is dropped.
+set t [msg_type cur_msg]
+if {$t == "tcp-data"} {
+  incr count
+  if {$count == 31} { peer_set delay_next_ack 1 }
+}
+if {$count >= 32} {
+  msg_log cur_msg
+  xDrop cur_msg
+}
+)tcl");
+  tb.pfi->set_send_script(R"tcl(
+set t [msg_type cur_msg]
+if {$delay_next_ack == 1 && $t == "tcp-ack"} {
+  set delay_next_ack 0
+  xDelay cur_msg 35000
+}
+)tcl");
+
+  tcp::TcpConnection* conn = tb.connect();
+  core::TcpDriver driver{tb.sched, *conn};
+  driver.start(sim::msec(500), 512, 0);
+  tb.sched.run_until(sim::sec(1500));
+
+  TcpExp2CounterResult res;
+  res.vendor = vendor.name;
+  auto groups = dropped_data_by_seq(tb.trace);
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (!groups.empty()) {
+    // m1's initial transmission passed the filter, so every logged drop of
+    // m1's seq is a retransmission.
+    res.m1_retransmissions = static_cast<int>(groups[0].second.size());
+  }
+  if (groups.size() > 1) {
+    // m2's initial transmission was already dropped: retransmissions are
+    // everything after the first drop.
+    res.m2_retransmissions = static_cast<int>(groups[1].second.size()) - 1;
+  }
+  res.close_reason = conn->close_reason();
+  res.connection_died = conn->state() == tcp::State::kClosed;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 3: keep-alive (Table 3)
+// ---------------------------------------------------------------------------
+
+TcpExp3Result run_tcp_exp3(const tcp::TcpProfile& vendor, bool drop_probes,
+                           sim::Duration observe) {
+  TcpTestbed tb{vendor};
+  tb.pfi->run_setup(std::string("set dropping 0\nset do_drop ") +
+                    (drop_probes ? "1" : "0"));
+  tb.pfi->set_receive_script(R"tcl(
+msg_log cur_msg
+if {$dropping == 1 && $do_drop == 1} { xDrop cur_msg }
+)tcl");
+
+  tcp::TcpConnection* conn = tb.connect();
+  core::TcpDriver driver{tb.sched, *conn};
+  driver.start(sim::msec(100), 128, 3);  // a little traffic, then idle
+  tb.sched.schedule(sim::sec(1), [conn] { conn->set_keepalive(true); });
+  tb.sched.schedule(sim::sec(2), [&tb] {
+    tb.pfi->receive_interp().set_global("dropping", "1");
+  });
+  tb.sched.run_until(observe);
+
+  TcpExp3Result res;
+  res.vendor = vendor.name;
+  res.probes_dropped = drop_probes;
+  // Idle anchor: the last inbound segment before the quiet period.
+  sim::TimePoint idle_anchor = 0;
+  std::vector<sim::TimePoint> probe_times;
+  for (const auto& r : tb.trace.records()) {
+    if (r.node != "xkernel" || r.direction != "recv") continue;
+    if (r.at < sim::sec(100)) {
+      idle_anchor = r.at;
+    } else if (r.type == "tcp-ack" || r.type == "tcp-data") {
+      probe_times.push_back(r.at);
+    } else if (r.type == "tcp-rst") {
+      res.rst_observed = true;
+    }
+  }
+  res.probes_observed = static_cast<int>(probe_times.size());
+  if (!probe_times.empty()) {
+    res.first_probe_after_s =
+        sim::to_seconds(probe_times.front() - idle_anchor);
+    res.probe_intervals_s =
+        to_seconds(trace::TraceLog::intervals(probe_times));
+    res.spec_violation_threshold = res.first_probe_after_s < 7199.0;
+  }
+  res.close_reason = conn->close_reason();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 4: zero-window probes (Table 4)
+// ---------------------------------------------------------------------------
+
+TcpExp4Result run_tcp_exp4(const tcp::TcpProfile& vendor, bool drop_probes) {
+  TcpTestbed tb{vendor};
+  tb.pfi->run_setup(std::string("set dropping 0\nset do_drop ") +
+                    (drop_probes ? "1" : "0"));
+  // The send filter notices our own zero-window advertisement and flips the
+  // receive filter into drop mode ("as soon as x-injector advertised a zero
+  // window, the receive filter started dropping incoming packets").
+  tb.pfi->set_send_script(R"tcl(
+if {$do_drop == 1 && [msg_field window] == 0} { peer_set dropping 1 }
+)tcl");
+  tb.pfi->set_receive_script(R"tcl(
+msg_log cur_msg
+if {$dropping == 1} { xDrop cur_msg }
+)tcl");
+
+  tcp::TcpConnection* conn = tb.connect();
+  core::TcpDriver driver{tb.sched, *conn};
+  tb.sched.run_until(sim::msec(100));  // let the handshake finish
+  if (tb.accepted() != nullptr) {
+    tb.accepted()->set_auto_drain(false);  // never reset the receive buffer
+  }
+  driver.start(sim::msec(100), 512, 20);  // 10 KiB into a 4 KiB window
+  tb.sched.run_until(sim::sec(600));
+
+  TcpExp4Result res;
+  res.vendor = vendor.name;
+  res.probes_dropped = drop_probes;
+
+  std::vector<sim::TimePoint> probe_times;
+  for (const auto& r : tb.trace.records()) {
+    if (r.node != "xkernel" || r.direction != "recv") continue;
+    if (r.type != "tcp-data") continue;
+    auto len = detail_field(r.detail, "len");
+    if (len && *len == 1) probe_times.push_back(r.at);
+  }
+  res.probe_intervals_s = to_seconds(trace::TraceLog::intervals(probe_times));
+  if (!res.probe_intervals_s.empty()) {
+    res.cap_s = *std::max_element(res.probe_intervals_s.begin(),
+                                  res.probe_intervals_s.end());
+  }
+
+  if (drop_probes) {
+    // Unplug the ethernet for two days, replug, and see if probes continue
+    // (the paper did exactly this; all four vendors were still probing).
+    const std::uint64_t before = conn->stats().persist_probes_sent;
+    tb.network.unplug(TcpTestbed::kXkernelNode);
+    tb.sched.run_for(sim::hours(48));
+    tb.network.plug(TcpTestbed::kXkernelNode);
+    tb.sched.run_for(sim::sec(300));
+    res.still_probing_after_unplug =
+        conn->stats().persist_probes_sent > before &&
+        conn->state() == tcp::State::kEstablished;
+  }
+  res.probes_sent = conn->stats().persist_probes_sent;
+  res.close_reason = conn->close_reason();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 5: reordering (paper §4.1 experiment 5)
+// ---------------------------------------------------------------------------
+
+TcpExp5Result run_tcp_exp5(const tcp::TcpProfile& vendor) {
+  TcpTestbed tb{vendor};
+  tb.pfi->run_setup("set n 0\nset target -1");
+  tb.pfi->set_send_script(R"tcl(
+# Delay the fifth outgoing data segment three seconds so its successor
+# arrives first, and drop every retransmission of it meanwhile.
+set t [msg_type cur_msg]
+if {$t == "tcp-data"} {
+  set s [msg_field seq]
+  if {$s == $target} {
+    msg_log cur_msg dropped-retransmission
+    xDrop cur_msg
+  } else {
+    incr n
+    if {$n == 5} {
+      set target $s
+      msg_log cur_msg delayed-3000ms
+      xDelay cur_msg 3000
+    }
+  }
+}
+)tcl");
+
+  tcp::TcpConnection* conn = tb.connect();
+  tb.sched.run_until(sim::msec(100));
+  TcpExp5Result res;
+  res.vendor = vendor.name;
+  if (tb.accepted() == nullptr) return res;
+
+  // This experiment reverses the data direction: the x-Kernel machine sends
+  // and the vendor machine receives the reordered stream.
+  core::TcpDriver driver{tb.sched, *tb.accepted()};
+  driver.start(sim::msec(200), 512, 10);
+  // Generous horizon: the no-reassembly strawman recovers every dropped
+  // out-of-order segment by retransmission under Karn-retained backoff,
+  // which is exactly the throughput penalty RFC-1122 warns about.
+  tb.sched.run_until(sim::sec(400));
+
+  res.ooo_segments_queued = conn->stats().out_of_order_queued;
+  res.ooo_segments_dropped = conn->stats().out_of_order_dropped;
+  res.queued_out_of_order = res.ooo_segments_queued > 0;
+  res.bytes_delivered = conn->stats().bytes_received;
+  res.bytes_sent = tb.accepted()->stats().bytes_sent;
+  res.delivered_everything =
+      res.bytes_sent > 0 && res.bytes_delivered == res.bytes_sent;
+  return res;
+}
+
+}  // namespace pfi::experiments

@@ -1,0 +1,105 @@
+// One function per TCP experiment in paper §4.1. Each runs the full
+// scripted scenario on the TcpTestbed and returns a structured result that
+// the bench binaries format into the paper's tables and that the
+// integration tests assert against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "tcp/connection.hpp"
+#include "tcp/profile.hpp"
+
+namespace pfi::experiments {
+
+/// Experiment 1 (Table 1): retransmission behaviour when the receiver's PFI
+/// layer drops everything after 30 data segments.
+struct TcpExp1Result {
+  std::string vendor;
+  int retransmissions = 0;  // of the first dropped segment, seen at receiver
+  std::vector<double> intervals_s;  // successive retransmission gaps
+  bool rst_observed = false;        // did a reset reach the receiver?
+  double max_interval_s = 0;        // the backoff upper bound (64 s for BSD)
+  double first_interval_s = 0;      // the backoff starting point
+  tcp::CloseReason close_reason = tcp::CloseReason::kNone;
+};
+TcpExp1Result run_tcp_exp1(const tcp::TcpProfile& vendor,
+                           sim::Duration link_latency = sim::msec(1));
+
+/// Experiment 2 (Table 2 / Figure 4): RTO adaptation when the receiver's
+/// send filter delays 30 ACKs by `ack_delay`, then the receive filter drops
+/// everything. ack_delay 0 degenerates to experiment 1 (the "no delay"
+/// series of Figure 4).
+struct TcpExp2Result {
+  std::string vendor;
+  double ack_delay_s = 0;
+  double first_rto_s = 0;             // gap between drop #1 and drop #2
+  std::vector<double> intervals_s;    // full backoff series (Figure 4)
+  int retransmissions = 0;
+  tcp::CloseReason close_reason = tcp::CloseReason::kNone;
+  bool rst_observed = false;
+};
+TcpExp2Result run_tcp_exp2(const tcp::TcpProfile& vendor,
+                           sim::Duration ack_delay);
+
+/// Experiment 2 follow-up: the 35-second-delayed-ACK probe that exposed
+/// Solaris's global error counter (m1 retransmitted 6 times, then m2 only 3
+/// times before the connection died: 6 + 3 = 9).
+struct TcpExp2CounterResult {
+  std::string vendor;
+  int m1_retransmissions = 0;
+  int m2_retransmissions = 0;
+  tcp::CloseReason close_reason = tcp::CloseReason::kNone;
+  bool connection_died = false;
+};
+TcpExp2CounterResult run_tcp_exp2_counter(const tcp::TcpProfile& vendor);
+
+/// Experiment 3 (Table 3): keep-alive probing. With `drop_probes` the
+/// receiver's PFI drops every probe (connection should eventually be
+/// declared dead); without, probes are ACKed and the inter-probe interval is
+/// measured over `observe` of idle time.
+struct TcpExp3Result {
+  std::string vendor;
+  bool probes_dropped = false;
+  double first_probe_after_s = 0;     // idle threshold (7200 vs 6752)
+  int probes_observed = 0;
+  std::vector<double> probe_intervals_s;
+  bool rst_observed = false;
+  tcp::CloseReason close_reason = tcp::CloseReason::kNone;
+  bool spec_violation_threshold = false;  // first probe before 7200 s
+};
+TcpExp3Result run_tcp_exp3(const tcp::TcpProfile& vendor, bool drop_probes,
+                           sim::Duration observe = sim::hours(30));
+
+/// Experiment 4 (Table 4): zero-window probing. Variant A ACKs probes and
+/// measures the backoff cap; variant B (`drop_probes`) drops everything once
+/// the window closes, unplugs the ethernet for two days, replugs, and checks
+/// the sender is still probing.
+struct TcpExp4Result {
+  std::string vendor;
+  bool probes_dropped = false;
+  std::vector<double> probe_intervals_s;
+  double cap_s = 0;                  // steady-state probe interval
+  bool still_probing_after_unplug = false;
+  std::uint64_t probes_sent = 0;
+  tcp::CloseReason close_reason = tcp::CloseReason::kNone;
+};
+TcpExp4Result run_tcp_exp4(const tcp::TcpProfile& vendor, bool drop_probes);
+
+/// Experiment 5: out-of-order delivery. The x-Kernel machine sends data to
+/// the vendor; its PFI send filter delays one segment 3 s (so its successor
+/// arrives first) and drops retransmissions of it. All four vendors queue
+/// the early segment and ACK both once the gap fills.
+struct TcpExp5Result {
+  std::string vendor;
+  bool queued_out_of_order = false;
+  std::uint64_t ooo_segments_queued = 0;
+  std::uint64_t ooo_segments_dropped = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+  bool delivered_everything = false;
+};
+TcpExp5Result run_tcp_exp5(const tcp::TcpProfile& vendor);
+
+}  // namespace pfi::experiments

@@ -1,0 +1,69 @@
+#include "experiments/tcp_testbed.hpp"
+
+namespace pfi::experiments {
+
+TcpTestbed::TcpTestbed(const tcp::TcpProfile& vendor_profile,
+                       sim::Duration link_latency)
+    : network(sched) {
+  network.default_link().latency = link_latency;
+
+  // Vendor machine: app-less stack, driven through the connection API.
+  vendor_tcp = static_cast<tcp::TcpLayer*>(vendor_stack.add(
+      std::make_unique<tcp::TcpLayer>(sched, kVendorNode, vendor_profile,
+                                      &trace, "vendor")));
+  vendor_stack.add(std::make_unique<net::IpLayer>(kVendorNode));
+  vendor_stack.add(std::make_unique<net::NetDev>(network, kVendorNode));
+
+  // x-Kernel machine: reference TCP / PFI / IP / dev.
+  xk_tcp = static_cast<tcp::TcpLayer*>(xk_stack.add(
+      std::make_unique<tcp::TcpLayer>(sched, kXkernelNode,
+                                      tcp::profiles::xkernel_reference(),
+                                      &trace, "xkernel")));
+  xk_stack.add(std::make_unique<net::IpLayer>(kXkernelNode));
+  xk_stack.add(std::make_unique<net::NetDev>(network, kXkernelNode));
+
+  core::PfiConfig cfg;
+  cfg.node_name = "xkernel";
+  cfg.trace = &trace;
+  cfg.stub = std::make_shared<core::TcpStub>();
+  pfi = static_cast<core::PfiLayer*>(
+      xk_stack.insert_below(*xk_tcp, std::make_unique<core::PfiLayer>(sched, cfg)));
+
+  xk_tcp->listen(kServicePort);
+  xk_tcp->on_accept = [this](tcp::TcpConnection& conn) { accepted_ = &conn; };
+}
+
+tcp::TcpConnection* TcpTestbed::connect() {
+  return vendor_tcp->connect(kXkernelNode, kServicePort);
+}
+
+std::optional<std::int64_t> detail_field(const std::string& detail,
+                                         const std::string& name) {
+  const std::string needle = name + "=";
+  std::size_t pos = 0;
+  while ((pos = detail.find(needle, pos)) != std::string::npos) {
+    // Require a word boundary before the match ("seq=" must not match
+    // "relseq=").
+    if (pos > 0 && (std::isalnum(static_cast<unsigned char>(detail[pos - 1])) ||
+                    detail[pos - 1] == '_')) {
+      pos += needle.size();
+      continue;
+    }
+    const std::size_t start = pos + needle.size();
+    std::size_t end = start;
+    while (end < detail.size() &&
+           (std::isdigit(static_cast<unsigned char>(detail[end])) ||
+            detail[end] == '-')) {
+      ++end;
+    }
+    if (end == start) return std::nullopt;
+    try {
+      return std::stoll(detail.substr(start, end - start));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pfi::experiments

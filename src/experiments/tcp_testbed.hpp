@@ -1,0 +1,59 @@
+// Two-node TCP testbed reproducing the paper's Figure 3 deployment: one
+// "vendor machine" running a profile-parameterised TCP, and one "x-Kernel
+// machine" running the reference TCP with a PFI layer spliced between its
+// TCP and IP layers. Connections are opened from the vendor machine to the
+// x-Kernel machine, exactly as in the paper's tests.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/layers.hpp"
+#include "net/network.hpp"
+#include "pfi/driver.hpp"
+#include "pfi/pfi_layer.hpp"
+#include "pfi/tcp_stub.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp_layer.hpp"
+#include "trace/trace.hpp"
+#include "xk/layer.hpp"
+
+namespace pfi::experiments {
+
+class TcpTestbed {
+ public:
+  static constexpr net::NodeId kVendorNode = 1;
+  static constexpr net::NodeId kXkernelNode = 2;
+  static constexpr net::Port kServicePort = 5000;
+
+  explicit TcpTestbed(const tcp::TcpProfile& vendor_profile,
+                      sim::Duration link_latency = sim::msec(1));
+
+  /// Open a connection vendor -> x-Kernel. Returns the vendor-side
+  /// connection; run() the scheduler to let the handshake complete.
+  tcp::TcpConnection* connect();
+
+  /// The x-Kernel-side connection accepted for the vendor (nullptr until
+  /// the SYN arrives).
+  [[nodiscard]] tcp::TcpConnection* accepted() const { return accepted_; }
+
+  sim::Scheduler sched;
+  trace::TraceLog trace;
+  net::Network network;
+
+  xk::Stack vendor_stack;
+  tcp::TcpLayer* vendor_tcp = nullptr;
+
+  xk::Stack xk_stack;
+  tcp::TcpLayer* xk_tcp = nullptr;
+  core::PfiLayer* pfi = nullptr;
+
+ private:
+  tcp::TcpConnection* accepted_ = nullptr;
+};
+
+/// Extract an integer field like "seq=1234" from a trace detail string.
+std::optional<std::int64_t> detail_field(const std::string& detail,
+                                         const std::string& name);
+
+}  // namespace pfi::experiments

@@ -1,0 +1,50 @@
+#include "experiments/tpc_testbed.hpp"
+
+namespace pfi::experiments {
+
+TpcTestbed::TpcTestbed(const std::vector<net::NodeId>& ids)
+    : network(sched), ids_(ids) {
+  network.default_link().latency = sim::msec(1);
+  for (net::NodeId id : ids_) {
+    auto node = std::make_unique<Node>();
+    tpc::TpcConfig cfg;
+    cfg.id = id;
+    node->tpc = static_cast<tpc::TpcNode*>(
+        node->stack.add(std::make_unique<tpc::TpcNode>(sched, cfg, &trace)));
+    node->stack.add(std::make_unique<net::UdpLayer>(id));
+    node->stack.add(std::make_unique<net::IpLayer>(id));
+    node->stack.add(std::make_unique<net::NetDev>(network, id));
+
+    core::PfiConfig pcfg;
+    pcfg.node_name = "tpc-" + std::to_string(id);
+    pcfg.trace = &trace;
+    pcfg.stub = std::make_shared<core::TpcStub>();
+    pcfg.rng_seed = 500 + id;
+    node->pfi = static_cast<core::PfiLayer*>(node->stack.insert_below(
+        *node->tpc, std::make_unique<core::PfiLayer>(sched, pcfg)));
+    nodes_[id] = std::move(node);
+  }
+}
+
+bool TpcTestbed::atomic(std::uint32_t txid) {
+  bool saw_commit = false;
+  bool saw_abort = false;
+  for (net::NodeId id : ids_) {
+    const auto outcome = tpc(id).outcome_of(txid);
+    if (!outcome) continue;
+    if (*outcome == tpc::Decision::kCommit) saw_commit = true;
+    if (*outcome == tpc::Decision::kAbort) saw_abort = true;
+  }
+  return !(saw_commit && saw_abort);
+}
+
+bool TpcTestbed::all_decided(std::uint32_t txid, tpc::Decision d,
+                             const std::vector<net::NodeId>& among) {
+  for (net::NodeId id : among) {
+    const auto outcome = tpc(id).outcome_of(txid);
+    if (!outcome || *outcome != d) return false;
+  }
+  return true;
+}
+
+}  // namespace pfi::experiments

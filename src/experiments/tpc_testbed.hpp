@@ -1,0 +1,52 @@
+// Multi-node 2PC testbed: every node runs tpc / PFI / UDP / IP / dev, with
+// the PFI layer at the protocol's UDP boundary (same placement as GMP).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/layers.hpp"
+#include "net/network.hpp"
+#include "pfi/pfi_layer.hpp"
+#include "pfi/tpc_stub.hpp"
+#include "sim/scheduler.hpp"
+#include "tpc/tpc.hpp"
+#include "trace/trace.hpp"
+#include "xk/layer.hpp"
+
+namespace pfi::experiments {
+
+class TpcTestbed {
+ public:
+  struct Node {
+    xk::Stack stack;
+    tpc::TpcNode* tpc = nullptr;
+    core::PfiLayer* pfi = nullptr;
+  };
+
+  explicit TpcTestbed(const std::vector<net::NodeId>& ids);
+
+  [[nodiscard]] Node& node(net::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] tpc::TpcNode& tpc(net::NodeId id) { return *node(id).tpc; }
+  [[nodiscard]] core::PfiLayer& pfi(net::NodeId id) { return *node(id).pfi; }
+  [[nodiscard]] const std::vector<net::NodeId>& ids() const { return ids_; }
+
+  /// Atomicity invariant: no two nodes reached opposite outcomes for the
+  /// same transaction.
+  [[nodiscard]] bool atomic(std::uint32_t txid);
+
+  /// Every listed node reached `d` for `txid`.
+  [[nodiscard]] bool all_decided(std::uint32_t txid, tpc::Decision d,
+                                 const std::vector<net::NodeId>& among);
+
+  sim::Scheduler sched;
+  trace::TraceLog trace;
+  net::Network network;
+
+ private:
+  std::vector<net::NodeId> ids_;
+  std::map<net::NodeId, std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace pfi::experiments

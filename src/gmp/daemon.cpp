@@ -1,0 +1,585 @@
+#include "gmp/daemon.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "net/layers.hpp"
+
+namespace pfi::gmp {
+
+std::string to_string(GmdStatus s) {
+  switch (s) {
+    case GmdStatus::kAlone: return "ALONE";
+    case GmdStatus::kInGroup: return "IN_GROUP";
+    case GmdStatus::kInTransition: return "IN_TRANSITION";
+    case GmdStatus::kSuspended: return "SUSPENDED";
+  }
+  return "?";
+}
+
+bool View::contains(net::NodeId n) const {
+  return std::find(members.begin(), members.end(), n) != members.end();
+}
+
+net::NodeId View::leader() const { return members.empty() ? 0 : members[0]; }
+
+net::NodeId View::crown_prince() const {
+  return members.size() < 2 ? 0 : members[1];
+}
+
+std::string View::summary() const {
+  std::ostringstream os;
+  os << "view " << id << " {";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) os << ',';
+    os << members[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+GmpDaemon::GmpDaemon(sim::Scheduler& sched, GmpConfig cfg,
+                     trace::TraceLog* trace)
+    : Layer("gmd"),
+      sched_(sched),
+      cfg_(std::move(cfg)),
+      trace_log_(trace),
+      collect_timer_(sched),
+      commit_wait_timer_(sched),
+      hb_timer_(sched),
+      check_timer_(sched),
+      proclaim_timer_(sched),
+      resume_timer_(sched) {}
+
+void GmpDaemon::start() {
+  view_ = View{next_view_id(), {cfg_.id}};
+  history_.push_back(view_);
+  ++stats_.views_committed;
+  status_ = GmdStatus::kAlone;
+  refresh_expectations();
+  trace_event("start", view_.summary());
+  on_heartbeat_tick();
+  on_check_tick();
+  on_proclaim_tick();
+}
+
+void GmpDaemon::suspend_for(sim::Duration span) {
+  trace_event("suspend", std::to_string(span / sim::kSecond) + "s");
+  const GmdStatus prev = status_;
+  status_ = GmdStatus::kSuspended;
+  resume_timer_.arm(span, [this, prev] {
+    status_ = prev;
+    trace_event("resume");
+    // Timers kept ticking but were inert; heartbeat-expect deadlines have
+    // all lapsed, exactly like a process that just got SIGCONT.
+  });
+}
+
+void GmpDaemon::push(xk::Message msg) { send_down(std::move(msg)); }
+
+void GmpDaemon::pop(xk::Message msg) {
+  if (status_ == GmdStatus::kSuspended) return;  // stopped process reads nothing
+  net::UdpMeta meta = net::UdpMeta::pop_from(msg);
+  GmpMessage m;
+  if (!GmpMessage::decode(msg, m)) return;
+  handle(m, meta.remote);
+}
+
+// ---------------------------------------------------------------------------
+// Messaging helpers
+// ---------------------------------------------------------------------------
+
+GmpMessage GmpDaemon::base_msg(MsgType type) const {
+  GmpMessage m;
+  m.type = type;
+  m.sender = cfg_.id;
+  m.originator = cfg_.id;
+  m.view_id = view_.id;
+  return m;
+}
+
+void GmpDaemon::send_msg(net::NodeId to, const GmpMessage& m, SendMode mode) {
+  xk::Message msg = m.encode();
+  const auto ctrl = static_cast<std::uint8_t>(mode);
+  msg.push_header(std::span{&ctrl, 1});
+  net::UdpMeta meta;
+  meta.remote = to;
+  meta.remote_port = cfg_.port;
+  meta.local_port = cfg_.port;
+  meta.push_onto(msg);
+  send_down(std::move(msg));
+}
+
+void GmpDaemon::broadcast_to_members(const GmpMessage& m, SendMode mode,
+                                     bool include_self) {
+  for (net::NodeId peer : view_.members) {
+    if (!include_self && peer == cfg_.id) continue;
+    send_msg(peer, m, mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+void GmpDaemon::on_heartbeat_tick() {
+  hb_timer_.arm(cfg_.heartbeat_period, [this] { on_heartbeat_tick(); });
+  if (status_ == GmdStatus::kSuspended ||
+      status_ == GmdStatus::kInTransition) {
+    return;
+  }
+  if (self_marked_dead_) {
+    // The local-death bug's broken state: no heartbeats, and the daemon
+    // keeps pushing "I am dead" reports at the group — the paper's "continue
+    // to send bad information to the other gmds".
+    GmpMessage m = base_msg(MsgType::kDeathReport);
+    m.subject = cfg_.id;
+    broadcast_to_members(m, SendMode::kRaw, false);
+    stats_.death_reports_sent += view_.members.size() - 1;
+    return;
+  }
+  GmpMessage hb = base_msg(MsgType::kHeartbeat);
+  broadcast_to_members(hb, SendMode::kRaw, true);  // self included (loopback)
+  stats_.heartbeats_sent += view_.members.size();
+}
+
+void GmpDaemon::on_check_tick() {
+  check_timer_.arm(cfg_.check_period, [this] { on_check_tick(); });
+  if (status_ == GmdStatus::kSuspended || !expect_checking_) return;
+  // The local-death bug's frozen state: a daemon that believes itself dead
+  // stops evaluating liveness (it never forms a singleton and never
+  // recovers) while still limping along forwarding messages — the paper's
+  // "did not update its own local state very well".
+  if (self_marked_dead_) return;
+
+  std::vector<net::NodeId> stale;
+  for (const auto& [node, t] : last_heard_) {
+    if (sched_.now() - t > cfg_.heartbeat_timeout) stale.push_back(node);
+  }
+  if (stale.empty()) return;
+
+  // "I missed my own heartbeats" dominates any observation about others.
+  if (auto self_it = std::find(stale.begin(), stale.end(), cfg_.id);
+      self_it != stale.end() && status_ != GmdStatus::kInTransition) {
+    last_heard_[cfg_.id] = sched_.now();
+    suspect(cfg_.id);
+    return;
+  }
+
+  if (status_ == GmdStatus::kInTransition) {
+    // Only reachable with the inverted-unregister bug: "compsun1 timed out
+    // waiting for a heartbeat message from the leader" while no timer but
+    // the MEMBERSHIP_CHANGE timer was supposed to be set.
+    ++stats_.transition_hb_timeouts;
+    trace_event("transition-hb-timeout",
+                "heartbeat-expect fired in IN_TRANSITION for node " +
+                    std::to_string(stale.front()));
+    abort_transition("spurious heartbeat timeout during transition");
+    return;
+  }
+  for (net::NodeId node : stale) {
+    last_heard_[node] = sched_.now();  // re-arm; commit/refresh will clear
+    suspect(node);
+    if (status_ != GmdStatus::kInGroup && status_ != GmdStatus::kAlone) break;
+  }
+}
+
+void GmpDaemon::on_proclaim_tick() {
+  proclaim_timer_.arm(cfg_.proclaim_period, [this] { on_proclaim_tick(); });
+  if (status_ == GmdStatus::kSuspended ||
+      status_ == GmdStatus::kInTransition || self_marked_dead_) {
+    return;
+  }
+  const bool singleton = view_.members.size() == 1;
+  const bool leading = view_.leader() == cfg_.id;
+  if (!singleton && !leading) return;
+  // Singletons proclaim to everyone (they desire membership). A group
+  // leader only tries to reclaim *lost members* — nodes that were once in a
+  // committed view and fell out (partition, crash) — so healed partitions
+  // re-merge. Leaders never proclaim to strangers: a new joiner must knock
+  // first (which is what makes the proclaim-forwarding experiment
+  // meaningful).
+  GmpMessage m = base_msg(MsgType::kProclaim);
+  for (net::NodeId peer : cfg_.peers) {
+    if (peer == cfg_.id) continue;
+    if (!singleton && !lost_members_.contains(peer)) continue;
+    send_msg(peer, m, SendMode::kRaw);
+    ++stats_.proclaims_sent;
+  }
+}
+
+void GmpDaemon::unregister_expect_timers() {
+  if (cfg_.bugs.timer_unregister_inverted) {
+    // The paper's bug: "if an argument is NULL, all timeouts of the same
+    // type are unregistered. If the argument is non-NULL, only the first is
+    // unregistered. It worked the opposite of how it should have."
+    // Here: asked to unregister ALL, it removes only one entry and leaves
+    // checking armed — so the leader's heartbeat-expect deadline survives
+    // into IN_TRANSITION and fires ("compsun1 timed out waiting for a
+    // heartbeat message from the leader").
+    if (!last_heard_.empty()) last_heard_.erase(std::prev(last_heard_.end()));
+    return;
+  }
+  last_heard_.clear();
+  expect_checking_ = false;
+}
+
+void GmpDaemon::refresh_expectations() {
+  last_heard_.clear();
+  suspected_.clear();
+  for (net::NodeId m : view_.members) last_heard_[m] = sched_.now();
+  expect_checking_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol events
+// ---------------------------------------------------------------------------
+
+void GmpDaemon::handle(const GmpMessage& m, net::NodeId /*from*/) {
+  switch (m.type) {
+    case MsgType::kHeartbeat: on_heartbeat(m); break;
+    case MsgType::kProclaim: on_proclaim(m); break;
+    case MsgType::kJoin: on_join(m); break;
+    case MsgType::kMembershipChange: on_membership_change(m); break;
+    case MsgType::kMcAck: on_mc_ack(m); break;
+    case MsgType::kMcNak: on_mc_nak(m); break;
+    case MsgType::kCommit: on_commit(m); break;
+    case MsgType::kDeathReport: on_death_report(m); break;
+  }
+}
+
+void GmpDaemon::on_heartbeat(const GmpMessage& m) {
+  // Heartbeats from outside the group carry no liveness obligation; tracking
+  // them would make the failure detector suspect strangers.
+  if (!view_.contains(m.sender)) return;
+  last_heard_[m.sender] = sched_.now();
+  suspected_.erase(m.sender);
+}
+
+void GmpDaemon::on_proclaim(const GmpMessage& m) {
+  const bool i_lead = view_.leader() == cfg_.id &&
+                      status_ != GmdStatus::kInTransition;
+  if (cfg_.bugs.reply_to_forwarder && i_lead && m.sender != m.originator) {
+    // BUG (experiment 3): respond to whoever forwarded the message, not to
+    // the originator — which bounces a proclaim between leader and
+    // forwarder forever while the real joiner hears nothing.
+    GmpMessage reply = base_msg(MsgType::kProclaim);
+    send_msg(m.sender, reply, SendMode::kRaw);
+    ++stats_.proclaims_sent;
+    trace_event("proclaim-loop-reply",
+                "replied to forwarder " + std::to_string(m.sender) +
+                    " instead of originator " + std::to_string(m.originator));
+    return;
+  }
+  if (m.originator == cfg_.id) return;
+
+  if (i_lead) {
+    if (cfg_.id < m.originator) {
+      // Invite the (higher-id) proclaimer to join us.
+      GmpMessage reply = base_msg(MsgType::kProclaim);
+      send_msg(m.originator, reply, SendMode::kRaw);
+      ++stats_.proclaims_sent;
+    } else {
+      // They outrank us: defect to them.
+      GmpMessage join = base_msg(MsgType::kJoin);
+      send_msg(m.originator, join, SendMode::kReliable);
+      join_target_ = m.originator;
+      ++stats_.joins_sent;
+    }
+    return;
+  }
+  if (status_ == GmdStatus::kInGroup) {
+    if (m.originator < view_.leader()) {
+      // A lower-id leader exists: join it (paper's partition-heal path).
+      GmpMessage join = base_msg(MsgType::kJoin);
+      send_msg(m.originator, join, SendMode::kReliable);
+      join_target_ = m.originator;
+      ++stats_.joins_sent;
+      return;
+    }
+    // Forward to our leader.
+    if (cfg_.bugs.proclaim_forward_param) {
+      // BUG (experiment 1): "a routine was being called with the wrong type
+      // of parameter, which resulted in the packet not being forwarded at
+      // all."
+      ++stats_.forward_attempts_lost_to_bug;
+      trace_event("proclaim-forward-lost",
+                  "forwarding to leader silently failed (parameter bug)");
+      return;
+    }
+    GmpMessage fwd = m;
+    fwd.sender = cfg_.id;
+    send_msg(view_.leader(), fwd, SendMode::kRaw);
+    ++stats_.proclaims_forwarded;
+  }
+  // IN_TRANSITION daemons ignore proclaims.
+}
+
+void GmpDaemon::on_join(const GmpMessage& m) {
+  if (view_.leader() != cfg_.id || status_ == GmdStatus::kInTransition) {
+    return;
+  }
+  if (collecting_) {
+    pending_joins_.insert(m.sender);
+    return;
+  }
+  if (view_.contains(m.sender) && !suspected_.contains(m.sender)) return;
+  std::vector<net::NodeId> proposed = view_.members;
+  for (net::NodeId s : suspected_) std::erase(proposed, s);
+  proposed.push_back(m.sender);
+  initiate_membership_change(std::move(proposed));
+}
+
+void GmpDaemon::on_membership_change(const GmpMessage& m) {
+  const bool valid_leader =
+      !m.members.empty() && m.sender == m.members.front() &&
+      std::is_sorted(m.members.begin(), m.members.end());
+  View proposal{m.view_id, m.members};
+  if (!valid_leader || !proposal.contains(cfg_.id)) return;
+  // Only someone we currently recognise may pull us into a new group: a
+  // member of our view (our leader, or the crown prince after the leader's
+  // death), the leader we just sent a JOIN to (defection), or anyone at all
+  // while we stand alone. A stranger's proposal — e.g. an evicted ex-member
+  // trying to reclaim followers — is ignored.
+  if (view_.members.size() > 1 && !view_.contains(m.sender) &&
+      m.sender != join_target_) {
+    return;
+  }
+  if (m.view_id <= max_seen_view_) {
+    GmpMessage nak = base_msg(MsgType::kMcNak);
+    nak.view_id = m.view_id;
+    send_msg(m.sender, nak, SendMode::kReliable);
+    return;
+  }
+  max_seen_view_ = m.view_id;
+  if (collecting_) {  // someone with a fresher change outranks our collect
+    collecting_ = false;
+    collect_timer_.cancel();
+    pending_joins_.clear();
+  }
+  trace_event("membership-change-accepted", m.summary());
+  status_ = GmdStatus::kInTransition;
+  unregister_expect_timers();  // the experiment-4 code path
+  pending_commit_view_ = m.view_id;
+  GmpMessage ack = base_msg(MsgType::kMcAck);
+  ack.view_id = m.view_id;
+  send_msg(m.sender, ack, SendMode::kReliable);
+  commit_wait_timer_.arm(cfg_.commit_wait_timeout, [this] {
+    ++stats_.transition_aborts;
+    abort_transition("COMMIT never arrived");
+  });
+}
+
+void GmpDaemon::on_mc_ack(const GmpMessage& m) {
+  if (!collecting_ || m.view_id != collect_view_id_) return;
+  acked_.insert(m.sender);
+  bool all = true;
+  for (net::NodeId p : proposed_) {
+    if (!acked_.contains(p)) {
+      all = false;
+      break;
+    }
+  }
+  if (all) finish_collect();
+}
+
+void GmpDaemon::on_mc_nak(const GmpMessage& m) {
+  if (!collecting_ || m.view_id != collect_view_id_) return;
+  proposed_.erase(m.sender);
+  bool all = true;
+  for (net::NodeId p : proposed_) {
+    if (!acked_.contains(p)) {
+      all = false;
+      break;
+    }
+  }
+  if (all) finish_collect();
+}
+
+void GmpDaemon::on_commit(const GmpMessage& m) {
+  if (status_ != GmdStatus::kInTransition) return;
+  if (m.view_id != pending_commit_view_) return;
+  View v{m.view_id, m.members};
+  if (!v.contains(cfg_.id) || m.sender != v.leader()) return;
+  commit_view(std::move(v));
+}
+
+void GmpDaemon::on_death_report(const GmpMessage& m) {
+  if (m.subject == cfg_.id) return;  // reports about us are noise
+  if (status_ != GmdStatus::kInGroup && status_ != GmdStatus::kAlone) return;
+  if (!view_.contains(m.sender)) return;  // only members may accuse
+  if (!view_.contains(m.subject)) return;
+  suspected_.insert(m.subject);
+  std::vector<net::NodeId> alive = view_.members;
+  for (net::NodeId s : suspected_) std::erase(alive, s);
+  if (!alive.empty() && alive.front() == cfg_.id) {
+    initiate_membership_change(std::move(alive));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling and view changes
+// ---------------------------------------------------------------------------
+
+std::uint64_t GmpDaemon::next_view_id() {
+  const std::uint64_t seq = (max_seen_view_ >> 16) + 1;
+  max_seen_view_ = (seq << 16) | (cfg_.id & 0xFFFF);
+  return max_seen_view_;
+}
+
+void GmpDaemon::suspect(net::NodeId node) {
+  ++stats_.suspects_raised;
+  trace_event("suspect", "node " + std::to_string(node));
+  if (node == cfg_.id) {
+    handle_self_death();
+    return;
+  }
+  suspected_.insert(node);
+  std::vector<net::NodeId> alive = view_.members;
+  for (net::NodeId s : suspected_) std::erase(alive, s);
+  if (alive.empty()) return;
+  if (alive.front() == cfg_.id) {
+    // We are the effective leader of the survivors (possibly as crown
+    // prince after the leader's death): run the two-phase change.
+    if (!collecting_) initiate_membership_change(std::move(alive));
+  } else {
+    GmpMessage report = base_msg(MsgType::kDeathReport);
+    report.subject = node;
+    send_msg(alive.front(), report, SendMode::kReliable);
+    ++stats_.death_reports_sent;
+  }
+}
+
+void GmpDaemon::handle_self_death() {
+  ++stats_.self_death_events;
+  if (cfg_.bugs.local_death_mishandled) {
+    // BUG (experiment 1): announce our own death and mark ourselves down,
+    // but stay in the old group instead of forming a singleton.
+    trace_event("self-death-mishandled",
+                "announced own death; staying in old group marked dead");
+    GmpMessage m = base_msg(MsgType::kDeathReport);
+    m.subject = cfg_.id;
+    broadcast_to_members(m, SendMode::kReliable, false);
+    stats_.death_reports_sent += view_.members.size() - 1;
+    self_marked_dead_ = true;
+    return;
+  }
+  trace_event("self-death-reset",
+              "missed own heartbeats; forming singleton group");
+  become_alone();
+}
+
+void GmpDaemon::initiate_membership_change(std::vector<net::NodeId> proposed) {
+  std::sort(proposed.begin(), proposed.end());
+  proposed.erase(std::unique(proposed.begin(), proposed.end()),
+                 proposed.end());
+  if (proposed.empty() || proposed.front() != cfg_.id) return;
+  if (proposed == view_.members && suspected_.empty() &&
+      status_ == GmdStatus::kInGroup) {
+    return;  // nothing would change
+  }
+  ++stats_.mc_initiated;
+  collecting_ = true;
+  collect_view_id_ = next_view_id();
+  proposed_.clear();
+  proposed_.insert(proposed.begin(), proposed.end());
+  acked_ = {cfg_.id};
+  trace_event("mc-initiate",
+              View{collect_view_id_, proposed}.summary());
+  // The leader is itself "in transition" while the group reforms.
+  status_ = GmdStatus::kInTransition;
+  unregister_expect_timers();
+  GmpMessage mc = base_msg(MsgType::kMembershipChange);
+  mc.view_id = collect_view_id_;
+  mc.members = proposed;
+  for (net::NodeId p : proposed) {
+    if (p != cfg_.id) send_msg(p, mc, SendMode::kReliable);
+  }
+  if (proposed.size() == 1) {
+    finish_collect();  // nobody to wait for
+    return;
+  }
+  collect_timer_.arm(cfg_.mc_collect_timeout, [this] { finish_collect(); });
+}
+
+void GmpDaemon::finish_collect() {
+  if (!collecting_) return;
+  collecting_ = false;
+  collect_timer_.cancel();
+  std::vector<net::NodeId> final_members;
+  for (net::NodeId p : proposed_) {
+    if (acked_.contains(p)) final_members.push_back(p);
+  }
+  if (final_members.empty() || final_members.front() != cfg_.id) {
+    final_members = {cfg_.id};
+  }
+  View v{collect_view_id_, final_members};
+  GmpMessage commit = base_msg(MsgType::kCommit);
+  commit.view_id = v.id;
+  commit.members = v.members;
+  for (net::NodeId p : v.members) {
+    if (p != cfg_.id) {
+      send_msg(p, commit, SendMode::kReliable);
+      ++stats_.commits_sent;
+    }
+  }
+  commit_view(std::move(v));
+  // Joiners that knocked while we were busy get the next round.
+  if (!pending_joins_.empty()) {
+    std::vector<net::NodeId> proposed = view_.members;
+    for (net::NodeId j : pending_joins_) proposed.push_back(j);
+    pending_joins_.clear();
+    initiate_membership_change(std::move(proposed));
+  }
+}
+
+void GmpDaemon::commit_view(View v) {
+  trace_event("commit", v.summary());
+  // Track members that fell out of the group so the leader can try to
+  // reclaim them later (partition heal); anyone re-admitted stops being lost.
+  for (net::NodeId old : view_.members) {
+    if (old != cfg_.id && !v.contains(old)) lost_members_.insert(old);
+  }
+  for (net::NodeId now : v.members) lost_members_.erase(now);
+  view_ = std::move(v);
+  status_ = GmdStatus::kInGroup;
+  join_target_ = 0;
+  pending_commit_view_ = 0;
+  commit_wait_timer_.cancel();
+  self_marked_dead_ = false;
+  refresh_expectations();
+  history_.push_back(view_);
+  ++stats_.views_committed;
+  if (on_view_committed) on_view_committed(view_);
+}
+
+void GmpDaemon::become_alone() {
+  collecting_ = false;
+  collect_timer_.cancel();
+  commit_wait_timer_.cancel();
+  pending_commit_view_ = 0;
+  pending_joins_.clear();
+  lost_members_.clear();  // a singleton proclaims to everyone anyway
+  self_marked_dead_ = false;
+  view_ = View{next_view_id(), {cfg_.id}};
+  status_ = GmdStatus::kAlone;
+  refresh_expectations();
+  history_.push_back(view_);
+  ++stats_.views_committed;
+  trace_event("singleton", view_.summary());
+  if (on_view_committed) on_view_committed(view_);
+}
+
+void GmpDaemon::abort_transition(const std::string& why) {
+  trace_event("transition-abort", why);
+  become_alone();
+}
+
+void GmpDaemon::trace_event(const std::string& what,
+                            const std::string& detail) {
+  if (trace_log_ == nullptr) return;
+  trace_log_->add(sched_.now(), "gmd-" + std::to_string(cfg_.id), "event",
+                  "gmp-" + what, detail);
+}
+
+}  // namespace pfi::gmp

@@ -1,0 +1,208 @@
+// Strong group-membership daemon (gmd), after [18] as described in paper
+// §4.2: heartbeats for failure detection, PROCLAIM/JOIN for admission, and a
+// leader-driven two-phase commit (MEMBERSHIP_CHANGE -> ACK/NAK -> COMMIT)
+// that guarantees membership changes are seen in the same order by all
+// members. The group's leader is the member with the lowest id; the "crown
+// prince" (second-lowest) takes over if the leader dies.
+//
+// The paper tested a student prototype and found four real bugs. Each is
+// reproduced here behind a GmpBugs flag so the PFI experiments can detect
+// them exactly as the paper did, and so the fixed daemon can be shown to
+// "behave as specified":
+//
+//   local_death_mishandled  — on missing its own heartbeats the gmd
+//     announces its own death to the group and marks itself down, but stays
+//     in the old group instead of forming a singleton (experiment 1).
+//   proclaim_forward_param  — the routine forwarding a PROCLAIM to the
+//     leader is called with a wrong-typed parameter and the packet is never
+//     sent (experiment 1).
+//   reply_to_forwarder      — the leader answers a forwarded PROCLAIM to the
+//     forwarding member instead of the originator, creating the proclaim
+//     loop (experiment 3).
+//   timer_unregister_inverted — the NULL/non-NULL logic of the timeout
+//     unregistration routine is inverted, so heartbeat-expect timers survive
+//     into the IN_TRANSITION state (experiment 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gmp/message.hpp"
+#include "net/addr.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
+#include "xk/layer.hpp"
+
+namespace pfi::gmp {
+
+struct GmpBugs {
+  bool local_death_mishandled = false;
+  bool proclaim_forward_param = false;
+  bool reply_to_forwarder = false;
+  bool timer_unregister_inverted = false;
+
+  [[nodiscard]] static GmpBugs none() { return {}; }
+  [[nodiscard]] static GmpBugs all() { return {true, true, true, true}; }
+};
+
+struct GmpConfig {
+  net::NodeId id = 0;
+  std::vector<net::NodeId> peers;  // every potential member, self included
+  net::Port port = 7777;
+  sim::Duration heartbeat_period = sim::sec(1);
+  sim::Duration heartbeat_timeout = sim::msec(3500);
+  sim::Duration check_period = sim::msec(500);
+  sim::Duration proclaim_period = sim::sec(2);
+  sim::Duration mc_collect_timeout = sim::sec(2);   // leader gathers ACK/NAK
+  sim::Duration commit_wait_timeout = sim::sec(5);  // member in transition
+  GmpBugs bugs;
+};
+
+enum class GmdStatus { kAlone, kInGroup, kInTransition, kSuspended };
+
+std::string to_string(GmdStatus s);
+
+struct View {
+  std::uint64_t id = 0;
+  std::vector<net::NodeId> members;  // sorted ascending
+
+  [[nodiscard]] bool contains(net::NodeId n) const;
+  [[nodiscard]] net::NodeId leader() const;        // lowest id; 0 if empty
+  [[nodiscard]] net::NodeId crown_prince() const;  // second lowest; 0 if none
+  [[nodiscard]] std::string summary() const;
+  bool operator==(const View&) const = default;
+};
+
+struct GmdStats {
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t proclaims_sent = 0;
+  std::uint64_t proclaims_forwarded = 0;
+  std::uint64_t forward_attempts_lost_to_bug = 0;
+  std::uint64_t joins_sent = 0;
+  std::uint64_t mc_initiated = 0;
+  std::uint64_t commits_sent = 0;
+  std::uint64_t views_committed = 0;
+  std::uint64_t suspects_raised = 0;
+  std::uint64_t self_death_events = 0;
+  std::uint64_t transition_hb_timeouts = 0;  // the experiment-4 symptom
+  std::uint64_t transition_aborts = 0;
+  std::uint64_t death_reports_sent = 0;
+};
+
+class GmpDaemon : public xk::Layer {
+ public:
+  GmpDaemon(sim::Scheduler& sched, GmpConfig cfg,
+            trace::TraceLog* trace = nullptr);
+
+  /// Boot the daemon: starts as a singleton group and begins proclaiming.
+  void start();
+
+  /// Emulate Ctrl-Z / SIGTSTP for `span`: timers stop, incoming messages are
+  /// ignored, and on resume every heartbeat-expect deadline has lapsed —
+  /// exactly the paper's suspension test.
+  void suspend_for(sim::Duration span);
+
+  void pop(xk::Message msg) override;    // from the reliable layer
+  void push(xk::Message msg) override;   // unused (daemon is the stack top)
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] net::NodeId id() const { return cfg_.id; }
+  [[nodiscard]] GmdStatus status() const { return status_; }
+  [[nodiscard]] const View& view() const { return view_; }
+  [[nodiscard]] const std::vector<View>& view_history() const {
+    return history_;
+  }
+  [[nodiscard]] bool is_leader() const {
+    return view_.leader() == cfg_.id && status_ != GmdStatus::kInTransition;
+  }
+  [[nodiscard]] bool believes_self_dead() const { return self_marked_dead_; }
+  [[nodiscard]] const GmdStats& stats() const { return stats_; }
+  [[nodiscard]] const GmpConfig& config() const { return cfg_; }
+
+  std::function<void(const View&)> on_view_committed;
+
+ private:
+  // --- messaging ---------------------------------------------------------------
+  void send_msg(net::NodeId to, const GmpMessage& m, SendMode mode);
+  void broadcast_to_members(const GmpMessage& m, SendMode mode,
+                            bool include_self);
+  GmpMessage base_msg(MsgType type) const;
+
+  // --- timers -----------------------------------------------------------------
+  void start_heartbeating();
+  void on_heartbeat_tick();
+  void on_check_tick();
+  void on_proclaim_tick();
+  void unregister_expect_timers();  // the buggy routine of experiment 4
+  void refresh_expectations();
+
+  // --- protocol events ----------------------------------------------------------
+  void handle(const GmpMessage& m, net::NodeId from);
+  void on_heartbeat(const GmpMessage& m);
+  void on_proclaim(const GmpMessage& m);
+  void on_join(const GmpMessage& m);
+  void on_membership_change(const GmpMessage& m);
+  void on_mc_ack(const GmpMessage& m);
+  void on_mc_nak(const GmpMessage& m);
+  void on_commit(const GmpMessage& m);
+  void on_death_report(const GmpMessage& m);
+
+  /// Mint a fresh, globally unique view id: a sequence number (upper bits,
+  /// monotone across everything this daemon has seen) tagged with the
+  /// initiator's id (lower 16 bits). Two different initiators can therefore
+  /// never produce the same id, which is what makes "same id => same
+  /// membership" a checkable agreement property.
+  std::uint64_t next_view_id();
+
+  void suspect(net::NodeId node);
+  void handle_self_death();
+  void initiate_membership_change(std::vector<net::NodeId> proposed);
+  void finish_collect();
+  void commit_view(View v);
+  void become_alone();
+  void abort_transition(const std::string& why);
+
+  void trace_event(const std::string& what, const std::string& detail = {});
+
+  sim::Scheduler& sched_;
+  GmpConfig cfg_;
+  trace::TraceLog* trace_log_;
+
+  GmdStatus status_ = GmdStatus::kAlone;
+  View view_;
+  std::vector<View> history_;
+  std::uint64_t max_seen_view_ = 0;
+  bool self_marked_dead_ = false;  // the local-death bug's broken state
+  net::NodeId join_target_ = 0;    // leader we last sent a JOIN to
+  std::set<net::NodeId> lost_members_;  // fell out of a committed view
+
+  // Failure detection.
+  std::map<net::NodeId, sim::TimePoint> last_heard_;
+  std::set<net::NodeId> suspected_;
+  bool expect_checking_ = true;
+
+  // Two-phase change, leader side.
+  bool collecting_ = false;
+  std::uint64_t collect_view_id_ = 0;
+  std::set<net::NodeId> proposed_;
+  std::set<net::NodeId> acked_;
+  std::set<net::NodeId> pending_joins_;
+  sim::Timer collect_timer_;
+
+  // Two-phase change, member side.
+  std::uint64_t pending_commit_view_ = 0;
+  sim::Timer commit_wait_timer_;
+
+  sim::Timer hb_timer_;
+  sim::Timer check_timer_;
+  sim::Timer proclaim_timer_;
+  sim::Timer resume_timer_;
+
+  GmdStats stats_;
+};
+
+}  // namespace pfi::gmp

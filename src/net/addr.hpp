@@ -1,0 +1,27 @@
+// Addressing primitives for the simulated internetwork.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pfi::net {
+
+/// Host address (plays the role of an IP address in the paper's testbed).
+using NodeId = std::uint32_t;
+
+/// Transport port number.
+using Port = std::uint16_t;
+
+/// Broadcast destination: delivered to every attached node except the sender.
+constexpr NodeId kBroadcast = 0xFFFFFFFFu;
+
+/// IP protocol numbers (real values, for familiarity).
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+  kRaw = 255,
+};
+
+std::string to_string(NodeId id);
+
+}  // namespace pfi::net

@@ -1,0 +1,96 @@
+// Device, IP and UDP layers of the simulated x-Kernel-style stack.
+//
+// Wire/meta formats (all big-endian):
+//
+//   IpMeta (between a transport and IP, both directions):
+//       remote addr  u32   (destination going down, source coming up)
+//       proto        u8
+//   The PFI layer for TCP sits between TCP and IP, so every message it sees
+//   starts with IpMeta followed by the TCP header — its recognition stub
+//   skips the 5 meta bytes.
+//
+//   IP header (on the wire):
+//       src u32, dst u32, proto u8, ttl u8, total_len u16      (12 bytes)
+//
+//   UdpMeta (between an application and UDP, both directions):
+//       remote addr u32, remote port u16, local port u16        (8 bytes)
+//
+//   UDP header (handed to IP):
+//       src_port u16, dst_port u16, len u16                     (6 bytes)
+#pragma once
+
+#include "net/addr.hpp"
+#include "net/network.hpp"
+#include "xk/layer.hpp"
+
+namespace pfi::net {
+
+struct IpMeta {
+  NodeId remote = 0;
+  IpProto proto = IpProto::kRaw;
+
+  void push_onto(xk::Message& msg) const;
+  static IpMeta pop_from(xk::Message& msg);
+  /// Inspect without consuming (used by recognition stubs).
+  static IpMeta peek(const xk::Message& msg);
+  static constexpr std::size_t kSize = 5;
+};
+
+struct UdpMeta {
+  NodeId remote = 0;
+  Port remote_port = 0;
+  Port local_port = 0;
+
+  void push_onto(xk::Message& msg) const;
+  static UdpMeta pop_from(xk::Message& msg);
+  static UdpMeta peek(const xk::Message& msg);
+  static constexpr std::size_t kSize = 8;
+};
+
+/// Bottom layer: hands frames to the Network and receives deliveries.
+class NetDev : public xk::Layer {
+ public:
+  NetDev(Network& network, NodeId self);
+  ~NetDev() override;
+
+  void push(xk::Message msg) override;  // frame with IP header -> wire
+  void pop(xk::Message msg) override;   // never called; devices are bottom
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+ private:
+  Network& network_;
+  NodeId self_;
+};
+
+/// Network layer: IpMeta <-> IP header translation and destination check.
+class IpLayer : public xk::Layer {
+ public:
+  explicit IpLayer(NodeId self);
+
+  void push(xk::Message msg) override;
+  void pop(xk::Message msg) override;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+ private:
+  NodeId self_;
+};
+
+/// Transport layer: UdpMeta <-> UDP header translation.
+///
+/// The layer above a UdpLayer sees UdpMeta + payload in both directions.
+/// Datagrams arriving for a port nobody above cares about still flow up;
+/// filtering by port is the upper layer's business (keeps the stack linear).
+class UdpLayer : public xk::Layer {
+ public:
+  explicit UdpLayer(NodeId self);
+
+  void push(xk::Message msg) override;
+  void pop(xk::Message msg) override;
+
+ private:
+  NodeId self_;
+};
+
+}  // namespace pfi::net

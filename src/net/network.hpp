@@ -1,0 +1,98 @@
+// Simulated internetwork.
+//
+// Nodes attach a NetDev (their bottom stack layer) to the Network; frames
+// travel between them with configurable per-directed-link latency, jitter and
+// loss, plus partition and "unplugged ethernet" controls. The zero-window
+// experiment in the paper literally unplugs the ethernet for two days —
+// Network::unplug models that exactly.
+//
+// Faults configured here model the *link* failure models of paper §2.2
+// (link crash, link omission, link timing). Process-side failure models are
+// expressed through the PFI layer instead, which is the paper's point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "xk/message.hpp"
+
+namespace pfi::net {
+
+struct LinkConfig {
+  sim::Duration latency = sim::msec(1);
+  sim::Duration jitter = 0;     // uniform extra delay in [0, jitter]
+  double loss_probability = 0;  // per-frame independent loss
+  bool down = false;            // link crash: silently discards frames
+  /// Finite link capacity in bits/second (0 = infinite). Frames serialise
+  /// one after another: a frame queued behind others waits for the link to
+  /// drain, modelling transmission delay and FIFO queueing.
+  std::int64_t bandwidth_bps = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;       // random loss
+  std::uint64_t frames_blackholed = 0; // down link / unplugged / no such node
+};
+
+class Network {
+ public:
+  explicit Network(sim::Scheduler& sched, std::uint64_t seed = 1)
+      : sched_(sched), rng_(seed) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register a node's delivery callback (called by NetDev on construction).
+  void attach(NodeId node, std::function<void(xk::Message)> deliver);
+  void detach(NodeId node);
+
+  /// Transmit a frame from `src` to `dst` (or kBroadcast). Applies the
+  /// directed link's latency/jitter/loss and partition/unplug state.
+  void transmit(NodeId src, NodeId dst, xk::Message frame);
+
+  /// Directed-link configuration (created on demand; overrides the default).
+  LinkConfig& link(NodeId src, NodeId dst);
+
+  /// Default configuration for links without an explicit override.
+  LinkConfig& default_link() { return default_link_; }
+
+  /// Split the network into groups: frames between different groups are
+  /// blackholed. Nodes absent from every group can talk to everyone.
+  void partition(const std::vector<std::vector<NodeId>>& groups);
+
+  /// Remove any partition.
+  void heal();
+
+  /// Pull the cable on a node: nothing in or out (paper's ethernet unplug).
+  void unplug(NodeId node) { unplugged_.insert(node); }
+  void plug(NodeId node) { unplugged_.erase(node); }
+  [[nodiscard]] bool is_unplugged(NodeId node) const {
+    return unplugged_.contains(node);
+  }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+  void deliver_one(NodeId src, NodeId dst, xk::Message frame);
+
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  LinkConfig default_link_{};
+  std::map<std::pair<NodeId, NodeId>, LinkConfig> links_;
+  std::map<std::pair<NodeId, NodeId>, sim::TimePoint> link_busy_until_;
+  std::map<NodeId, std::function<void(xk::Message)>> nodes_;
+  std::map<NodeId, int> partition_group_;  // node -> group index
+  bool partition_active_ = false;
+  std::set<NodeId> unplugged_;
+  NetworkStats stats_;
+};
+
+}  // namespace pfi::net

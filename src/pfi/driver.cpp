@@ -1,0 +1,36 @@
+#include "pfi/driver.hpp"
+
+namespace pfi::core {
+
+void TcpDriver::start(sim::Duration interval, std::size_t chunk,
+                      std::size_t count) {
+  interval_ = interval;
+  chunk_ = chunk;
+  count_ = count;
+  sent_ = 0;
+  if (conn_->state() == tcp::State::kEstablished) {
+    tick();
+  } else {
+    auto prev = conn_->on_established;
+    conn_->on_established = [this, prev] {
+      if (prev) prev();
+      tick();
+    };
+  }
+}
+
+void TcpDriver::tick() {
+  if (conn_->state() != tcp::State::kEstablished &&
+      conn_->state() != tcp::State::kCloseWait) {
+    return;
+  }
+  std::string chunk(chunk_, static_cast<char>('a' + (sent_ % 26)));
+  conn_->send(chunk);
+  ++sent_;
+  if (on_chunk) on_chunk(sent_);
+  if (count_ == 0 || sent_ < count_) {
+    timer_.arm(interval_, [this] { tick(); });
+  }
+}
+
+}  // namespace pfi::core

@@ -1,0 +1,60 @@
+// Driver layer (paper §2.1, Figure 1(a)).
+//
+// The driver sits ABOVE the target protocol and generates protocol-valid
+// traffic "so that data structures in the target protocol will be updated
+// correctly" — the stateful half of message generation that the PFI layer
+// (which sits below and has no access to the target's state) cannot do.
+// TcpDriver feeds a TcpConnection a paced byte stream and controls the
+// receive-buffer drain, which is how the paper's experiments created a full
+// window ("the driver layer ... did not reset the receive buffer space
+// inside the TCP layer").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/scheduler.hpp"
+#include "tcp/connection.hpp"
+
+namespace pfi::core {
+
+class TcpDriver {
+ public:
+  TcpDriver(sim::Scheduler& sched, tcp::TcpConnection& conn)
+      : sched_(sched), conn_(&conn), timer_(sched) {}
+
+  /// Send `chunk` bytes every `interval`, `count` times (0 = forever).
+  /// Starts immediately if the connection is established, otherwise on
+  /// establishment.
+  void start(sim::Duration interval, std::size_t chunk, std::size_t count);
+
+  /// Stop generating.
+  void stop() { timer_.cancel(); }
+
+  /// Stop consuming received data so the receive buffer fills and the
+  /// advertised window closes (zero-window experiment).
+  void stop_draining() { conn_->set_auto_drain(false); }
+  void resume_draining() {
+    conn_->set_auto_drain(true);
+    conn_->read();
+  }
+
+  [[nodiscard]] std::size_t chunks_sent() const { return sent_; }
+
+  /// Called after each chunk is queued.
+  std::function<void(std::size_t)> on_chunk;
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  tcp::TcpConnection* conn_;
+  sim::Timer timer_;
+  sim::Duration interval_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t count_ = 0;
+  std::size_t sent_ = 0;
+};
+
+}  // namespace pfi::core

@@ -1,0 +1,92 @@
+#include "pfi/failure.hpp"
+
+#include <sstream>
+
+namespace pfi::core::failure {
+
+namespace {
+
+std::string drop_after(sim::Duration at) {
+  std::ostringstream os;
+  os << "if {[now_ms] >= " << at / sim::kMillisecond << "} { xDrop }";
+  return os.str();
+}
+
+std::string drop_with_probability(double p) {
+  std::ostringstream os;
+  os << "if {[dst_bernoulli " << p << "]} { xDrop }";
+  return os.str();
+}
+
+}  // namespace
+
+Scripts process_crash(sim::Duration at) {
+  Scripts s;
+  s.send = drop_after(at);
+  s.receive = drop_after(at);
+  return s;
+}
+
+Scripts link_crash(sim::Duration at) {
+  Scripts s;
+  s.send = drop_after(at);
+  return s;
+}
+
+Scripts send_omission(double p) {
+  Scripts s;
+  s.send = drop_with_probability(p);
+  return s;
+}
+
+Scripts receive_omission(double p) {
+  Scripts s;
+  s.receive = drop_with_probability(p);
+  return s;
+}
+
+Scripts general_omission(double p) {
+  Scripts s;
+  s.send = drop_with_probability(p);
+  s.receive = drop_with_probability(p);
+  return s;
+}
+
+Scripts timing_failure(sim::Duration lo, sim::Duration hi) {
+  std::ostringstream os;
+  os << "xDelay [expr {int([dst_uniform " << lo / sim::kMillisecond << " "
+     << hi / sim::kMillisecond << "])}]";
+  Scripts s;
+  s.send = os.str();
+  s.receive = os.str();
+  return s;
+}
+
+Scripts byzantine_corruption(double p, std::size_t offset) {
+  std::ostringstream os;
+  os << "if {[dst_bernoulli " << p << "]} { msg_set_byte " << offset
+     << " [expr {int([dst_uniform 0 256])}] }";
+  Scripts s;
+  s.send = os.str();
+  return s;
+}
+
+Scripts byzantine_duplication(double p, int copies) {
+  std::ostringstream os;
+  os << "if {[dst_bernoulli " << p << "]} { xDuplicate " << copies << " }";
+  Scripts s;
+  s.send = os.str();
+  return s;
+}
+
+Scripts byzantine_reorder(int batch) {
+  std::ostringstream os;
+  os << "xHold reorder\n"
+     << "if {[xHeldCount reorder] >= " << batch
+     << "} { xReleaseReversed reorder }";
+  Scripts s;
+  s.send = os.str();
+  return s;
+}
+
+}  // namespace pfi::core::failure

@@ -1,0 +1,65 @@
+// Failure-model library (paper §2.2).
+//
+// Each function compiles one of the classic distributed-systems failure
+// models into PFI filter scripts, so a test can say "make this participant
+// suffer send-omission failures with p = 0.3" in one call. The models are
+// ordered by severity exactly as the paper presents them; anything tolerant
+// of a later model tolerates the earlier ones.
+//
+// All are expressed purely as scripts over the generic PFI commands — no
+// C++ hooks — demonstrating the paper's claim that new failure scenarios
+// need no recompilation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace pfi::core::failure {
+
+/// What to install where: `send` goes to set_send_script, `receive` to
+/// set_receive_script, `setup` (if non-empty) to run_setup first.
+struct Scripts {
+  std::string setup;
+  std::string send;
+  std::string receive;
+};
+
+/// Process crash at absolute simulated time `at`: the participant behaves
+/// correctly, then halts — nothing in, nothing out, forever.
+Scripts process_crash(sim::Duration at);
+
+/// Link crash at `at`: messages in the instrumented direction(s) are lost;
+/// nothing is delayed, duplicated or corrupted.
+Scripts link_crash(sim::Duration at);
+
+/// Send-omission: each outgoing message is independently dropped with
+/// probability `p`.
+Scripts send_omission(double p);
+
+/// Receive-omission: each incoming message is independently dropped with
+/// probability `p`.
+Scripts receive_omission(double p);
+
+/// General omission: both directions, probability `p` each.
+Scripts general_omission(double p);
+
+/// Timing failure: each message (both directions) is delayed by a uniform
+/// random duration in [lo, hi] — a link "transporting messages slower than
+/// its specification".
+Scripts timing_failure(sim::Duration lo, sim::Duration hi);
+
+/// Byzantine corruption: with probability `p`, overwrite the byte at
+/// `offset` of an outgoing message with a value drawn uniformly from 0..255.
+Scripts byzantine_corruption(double p, std::size_t offset);
+
+/// Byzantine duplication: with probability `p`, send `copies` extra copies
+/// of each outgoing message ("claim to have received" / spurious resend).
+Scripts byzantine_duplication(double p, int copies);
+
+/// Byzantine reordering: hold every outgoing message and release the queue
+/// in reverse order once `batch` messages have accumulated.
+Scripts byzantine_reorder(int batch);
+
+}  // namespace pfi::core::failure

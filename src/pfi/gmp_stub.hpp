@@ -1,0 +1,32 @@
+// Recognition/generation stub for GMP traffic at the reliable-layer/UDP
+// boundary: messages start with UdpMeta (8) + RelHeader (5) + GmpMessage.
+// This stub plays the role of the protocol-developer-supplied stub of paper
+// §2.1 — the testing organisation wrote it from the daemon's packet formats.
+#pragma once
+
+#include "pfi/stub.hpp"
+
+namespace pfi::core {
+
+class GmpStub : public PacketStub {
+ public:
+  /// Types: rel-ack, gmp-heartbeat, gmp-proclaim, gmp-join, gmp-mc,
+  /// gmp-ack, gmp-nak, gmp-commit, gmp-death, unknown.
+  [[nodiscard]] std::string type_of(const xk::Message& msg) const override;
+  [[nodiscard]] std::string summary(const xk::Message& msg) const override;
+
+  /// Fields: remote, remote_port, local_port (UdpMeta); rel_kind, rel_seq;
+  /// type, sender, originator, subject, view_id, member_count.
+  [[nodiscard]] std::optional<std::int64_t> field(
+      const xk::Message& msg, const std::string& name) const override;
+  bool set_field(xk::Message& msg, const std::string& name,
+                 std::int64_t value) const override;
+
+  /// Generation: params type (name), remote, sender, originator, subject,
+  /// view_id — builds a RAW-shipped GMP message (spurious heartbeats, forged
+  /// death reports: the byzantine probes of §2.2).
+  [[nodiscard]] std::optional<xk::Message> generate(
+      const std::map<std::string, std::string>& params) const override;
+};
+
+}  // namespace pfi::core

@@ -1,0 +1,147 @@
+// The PFI (probe/fault-injection) layer — the paper's contribution.
+//
+// Spliced between any two consecutive layers of a protocol stack
+// (Stack::insert_below), it intercepts every message in both directions and
+// evaluates a Tcl script per message:
+//
+//   * send filter   — runs on every push (message travelling DOWN),
+//   * receive filter — runs on every pop (message travelling UP).
+//
+// Each filter runs in its own persistent interpreter, so scripts keep state
+// (counters, phase flags) across messages; the two interpreters can poke
+// each other's variables (peer_set/peer_get), and PFI layers on different
+// nodes coordinate through a SyncBus (sync_set/sync_get). Scripts act on the
+// current message with the operation families of paper §2.1:
+//
+//   message filtering    — msg_type, msg_field, msg_len, msg_byte, msg_log
+//   message manipulation — xDrop, xDelay, xDuplicate, xCorrupt (msg_set_byte/
+//                          msg_set_field/msg_truncate), xHold/xRelease
+//                          (reordering)
+//   message injection    — xInject (via the generation stub), xInjectHex
+//
+// plus utilities: distributions (dst_normal/dst_uniform/dst_exponential/
+// dst_bernoulli), clocks (now_ms/now_us), deferred scripts (after), and
+// trace_note. A script that neither drops, holds, nor delays the current
+// message lets it pass unchanged; a script error is counted, logged, and the
+// message passes (fail-open, so a typo can't silently black-hole a link).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pfi/stub.hpp"
+#include "pfi/sync.hpp"
+#include "script/interp.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
+#include "xk/layer.hpp"
+
+namespace pfi::core {
+
+struct PfiStats {
+  std::uint64_t sends_intercepted = 0;
+  std::uint64_t recvs_intercepted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t held = 0;
+  std::uint64_t released = 0;
+  std::uint64_t script_errors = 0;
+};
+
+struct PfiConfig {
+  std::string node_name = "node";
+  trace::TraceLog* trace = nullptr;              // optional
+  std::shared_ptr<PacketStub> stub;              // optional (raw mode if null)
+  std::shared_ptr<SyncBus> sync;                 // optional
+  std::uint64_t rng_seed = 42;
+};
+
+class PfiLayer : public xk::Layer {
+ public:
+  PfiLayer(sim::Scheduler& sched, PfiConfig cfg);
+  ~PfiLayer() override;
+
+  /// Install filter scripts. Empty script = pass-through.
+  void set_send_script(std::string script) { send_script_ = std::move(script); }
+  void set_receive_script(std::string script) {
+    receive_script_ = std::move(script);
+  }
+
+  /// Evaluate a script once in BOTH interpreters (setup: constants, procs,
+  /// `after` schedules). Returns the receive interpreter's result; a send-
+  /// side error wins if both fail.
+  script::Result run_setup(const std::string& script);
+
+  /// Register a user-defined command into both interpreters (the paper's
+  /// "user defined procedures ... written in C and linked into the tool").
+  void register_command(const std::string& name, script::Interp::Command fn);
+
+  [[nodiscard]] script::Interp& send_interp() { return *send_interp_; }
+  [[nodiscard]] script::Interp& receive_interp() { return *receive_interp_; }
+
+  void push(xk::Message msg) override;
+  void pop(xk::Message msg) override;
+
+  [[nodiscard]] const PfiStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+  [[nodiscard]] const std::string& node_name() const { return cfg_.node_name; }
+  [[nodiscard]] PacketStub* stub() const { return cfg_.stub.get(); }
+
+  /// Messages currently parked in a hold queue.
+  [[nodiscard]] std::size_t held_count(const std::string& queue) const;
+
+ private:
+  enum class Direction { kDown, kUp };  // push = down (send), pop = up (recv)
+
+  struct MsgCtx {
+    xk::Message msg;
+    Direction dir = Direction::kDown;
+    bool dropped = false;
+    bool corrupted = false;
+    bool held = false;  // xHold already moved the message into a queue
+    sim::Duration delay = 0;
+    int duplicates = 0;
+  };
+
+  struct HeldMsg {
+    xk::Message msg;
+    Direction dir;
+  };
+
+  void run_filter(Direction dir, xk::Message msg);
+  void forward(Direction dir, xk::Message msg);
+  void install_commands(script::Interp& interp, Direction dir);
+  script::Interp& interp_for(Direction dir) {
+    return dir == Direction::kDown ? *send_interp_ : *receive_interp_;
+  }
+  script::Interp& other_interp(Direction dir) {
+    return dir == Direction::kDown ? *receive_interp_ : *send_interp_;
+  }
+  [[nodiscard]] std::string type_of(const xk::Message& msg) const;
+  void trace_packet(const MsgCtx& ctx, const std::string& verb,
+                    const std::string& note) const;
+
+  sim::Scheduler& sched_;
+  PfiConfig cfg_;
+  sim::Rng rng_;
+  std::unique_ptr<script::Interp> send_interp_;
+  std::unique_ptr<script::Interp> receive_interp_;
+  std::string send_script_;
+  std::string receive_script_;
+  MsgCtx* current_ = nullptr;  // valid only during run_filter
+  std::map<std::string, std::deque<HeldMsg>> hold_queues_;
+  PfiStats stats_;
+  std::string last_error_;
+  // `after` callbacks capture `this`; invalidate them on destruction.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace pfi::core

@@ -1,0 +1,59 @@
+#include "pfi/script_file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "pfi/pfi_layer.hpp"
+
+namespace pfi::core {
+
+ScriptFile parse_script_sections(const std::string& contents) {
+  ScriptFile out;
+  std::string* current = &out.receive;  // default section
+  bool saw_marker = false;
+  std::istringstream is{contents};
+  std::string line;
+  std::string receive_default;
+  while (std::getline(is, line)) {
+    if (line.rfind("#%setup", 0) == 0) {
+      current = &out.setup;
+      saw_marker = true;
+      continue;
+    }
+    if (line.rfind("#%send", 0) == 0) {
+      current = &out.send;
+      saw_marker = true;
+      continue;
+    }
+    if (line.rfind("#%receive", 0) == 0) {
+      current = &out.receive;
+      saw_marker = true;
+      continue;
+    }
+    *current += line;
+    *current += '\n';
+  }
+  (void)saw_marker;
+  return out;
+}
+
+std::optional<ScriptFile> load_script_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_script_sections(buf.str());
+}
+
+bool install_script_file(PfiLayer& layer, const std::string& path) {
+  auto file = load_script_file(path);
+  if (!file) return false;
+  if (!file->setup.empty()) {
+    if (layer.run_setup(file->setup).is_error()) return false;
+  }
+  layer.set_send_script(file->send);
+  layer.set_receive_script(file->receive);
+  return true;
+}
+
+}  // namespace pfi::core

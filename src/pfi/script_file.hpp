@@ -1,0 +1,45 @@
+// Loading filter scripts from .tcl files.
+//
+// The PFI tool's operational model is "the tool stays compiled; tests are
+// script files fed to it". This helper reads a script file and understands
+// an optional sectioning convention so one file can carry all three scripts
+// a PfiLayer takes:
+//
+//   #%setup
+//   set count 0
+//   #%send
+//   ...send filter...
+//   #%receive
+//   ...receive filter...
+//
+// A file without section markers is a receive filter (the common case in
+// the paper's experiments).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pfi/failure.hpp"
+
+namespace pfi::core {
+
+class PfiLayer;
+
+/// Parsed sections of a script file.
+struct ScriptFile {
+  std::string setup;
+  std::string send;
+  std::string receive;
+};
+
+/// Split file contents by the #%setup / #%send / #%receive markers.
+ScriptFile parse_script_sections(const std::string& contents);
+
+/// Read and parse a script file; nullopt if the file can't be read.
+std::optional<ScriptFile> load_script_file(const std::string& path);
+
+/// Convenience: load a file and install its sections on a layer.
+/// Returns false if the file can't be read or the setup script errors.
+bool install_script_file(PfiLayer& layer, const std::string& path);
+
+}  // namespace pfi::core

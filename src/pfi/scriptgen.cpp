@@ -1,0 +1,112 @@
+#include "pfi/scriptgen.hpp"
+
+#include <sstream>
+
+namespace pfi::core::scriptgen {
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kReorder: return "reorder";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Emit the action statement(s) for one fault kind.
+std::string action_for(FaultKind kind, const Options& opts) {
+  std::ostringstream os;
+  switch (kind) {
+    case FaultKind::kDrop:
+      os << "xDrop cur_msg";
+      break;
+    case FaultKind::kDelay:
+      os << "xDelay cur_msg " << opts.delay / sim::kMillisecond;
+      break;
+    case FaultKind::kDuplicate:
+      os << "xDuplicate " << opts.duplicate_copies;
+      break;
+    case FaultKind::kCorrupt:
+      os << "msg_set_byte " << opts.corrupt_offset
+         << " [expr {int([dst_uniform 0 256])}]";
+      break;
+    case FaultKind::kReorder:
+      os << "xHold sg_q\n"
+         << "    if {[xHeldCount sg_q] >= " << opts.reorder_batch
+         << "} { xReleaseReversed sg_q }";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+GeneratedTest generate(const ProtocolSpec& spec, const std::string& type,
+                       FaultKind kind, const Options& opts) {
+  GeneratedTest t;
+  t.target_type = type;
+  t.kind = kind;
+  t.name = spec.name + "/" + type + "/" + to_string(kind);
+  {
+    std::ostringstream d;
+    d << to_string(kind) << " " << type << " messages";
+    if (opts.warmup_occurrences > 0) {
+      d << " after the first " << opts.warmup_occurrences;
+    }
+    if (opts.max_faults > 0) d << " (at most " << opts.max_faults << ")";
+    d << " on the " << (opts.on_send_side ? "send" : "receive") << " side";
+    t.description = d.str();
+  }
+
+  std::ostringstream script;
+  script << "# generated: " << t.name << "\n"
+         << "set t [msg_type cur_msg]\n"
+         << "if {$t eq \"" << type << "\"} {\n"
+         << "  incr sg_seen\n";
+  script << "  if {$sg_seen > " << opts.warmup_occurrences;
+  if (opts.max_faults > 0) {
+    script << " && $sg_seen <= "
+           << opts.warmup_occurrences + opts.max_faults;
+  }
+  script << "} {\n"
+         << "    msg_log cur_msg generated-" << to_string(kind) << "\n"
+         << "    " << action_for(kind, opts) << "\n"
+         << "  }\n"
+         << "}\n";
+
+  t.scripts.setup = "set sg_seen 0";
+  if (opts.on_send_side) {
+    t.scripts.send = script.str();
+  } else {
+    t.scripts.receive = script.str();
+  }
+  return t;
+}
+
+std::vector<GeneratedTest> generate_campaign(const ProtocolSpec& spec,
+                                             const Options& opts) {
+  return generate_campaign(spec,
+                           {FaultKind::kDrop, FaultKind::kDelay,
+                            FaultKind::kDuplicate, FaultKind::kCorrupt,
+                            FaultKind::kReorder},
+                           opts);
+}
+
+std::vector<GeneratedTest> generate_campaign(
+    const ProtocolSpec& spec, const std::vector<FaultKind>& kinds,
+    const Options& opts) {
+  std::vector<GeneratedTest> out;
+  out.reserve(spec.message_types.size() * kinds.size());
+  for (const auto& type : spec.message_types) {
+    for (FaultKind kind : kinds) {
+      out.push_back(generate(spec, type, kind, opts));
+    }
+  }
+  return out;
+}
+
+}  // namespace pfi::core::scriptgen

@@ -1,0 +1,77 @@
+// Automatic test-script generation from a protocol specification.
+//
+// The paper's conclusion names this as ongoing work: "(ii) automatic
+// generation of test scripts from a protocol specification". Given a small
+// declarative spec — the protocol's message types as reported by its
+// recognition stub, plus knobs — this module emits a systematic campaign of
+// PFI filter scripts: for every message type, a deterministic fault of every
+// supported kind (drop / delay / duplicate / corrupt / reorder), optionally
+// gated to start only after the Nth occurrence so the protocol can reach a
+// steady state first. Each generated script is plain Tcl over the standard
+// PFI command set, so campaigns run with zero recompilation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfi/failure.hpp"
+#include "sim/time.hpp"
+
+namespace pfi::core::scriptgen {
+
+/// What the generator needs to know about a protocol: the type names its
+/// recognition stub produces, and which of them carry payload worth
+/// corrupting.
+struct ProtocolSpec {
+  std::string name;
+  std::vector<std::string> message_types;
+};
+
+enum class FaultKind {
+  kDrop,
+  kDelay,
+  kDuplicate,
+  kCorrupt,
+  kReorder,
+};
+
+std::string to_string(FaultKind k);
+
+struct Options {
+  /// Let this many messages of the target type through before faulting
+  /// (0 = fault from the first occurrence).
+  int warmup_occurrences = 0;
+  /// Fault at most this many occurrences, then stand down (0 = forever).
+  int max_faults = 0;
+  sim::Duration delay = sim::msec(1000);  // for kDelay
+  int duplicate_copies = 1;               // for kDuplicate
+  std::size_t corrupt_offset = 0;         // for kCorrupt
+  int reorder_batch = 3;                  // for kReorder
+  /// Install on the send side (true) or the receive side (false).
+  bool on_send_side = true;
+};
+
+/// One generated test case.
+struct GeneratedTest {
+  std::string name;         // "<proto>/<type>/<fault>"
+  std::string description;  // human-readable intent
+  std::string target_type;
+  FaultKind kind = FaultKind::kDrop;
+  failure::Scripts scripts;  // ready to install on a PfiLayer
+};
+
+/// One script faulting exactly one message type with one fault kind.
+GeneratedTest generate(const ProtocolSpec& spec, const std::string& type,
+                       FaultKind kind, const Options& opts = {});
+
+/// The full cross product: every message type x every fault kind.
+std::vector<GeneratedTest> generate_campaign(const ProtocolSpec& spec,
+                                             const Options& opts = {});
+
+/// Types x the subset of fault kinds given.
+std::vector<GeneratedTest> generate_campaign(
+    const ProtocolSpec& spec, const std::vector<FaultKind>& kinds,
+    const Options& opts = {});
+
+}  // namespace pfi::core::scriptgen

@@ -1,0 +1,71 @@
+// Packet recognition/generation stubs (paper Figure 1(b) / Figure 2).
+//
+// The PFI layer itself is protocol-agnostic; everything it knows about a
+// target protocol's wire format comes from a stub "written by people who
+// know the packet formats of the target protocol". A stub names a message's
+// type, exposes header fields to scripts, rewrites fields (message
+// corruption / redirection faults), and generates new messages of a given
+// type (probing). TcpStub and GmpStub are the system-supplied stubs for the
+// two protocols the paper studies; ToyStub serves examples and tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "xk/message.hpp"
+
+namespace pfi::core {
+
+class PacketStub {
+ public:
+  virtual ~PacketStub() = default;
+
+  /// Short type name ("tcp-data", "gmp-commit", ...); "unknown" if the stub
+  /// cannot parse the message.
+  [[nodiscard]] virtual std::string type_of(const xk::Message& msg) const = 0;
+
+  /// Human-readable header summary for logging.
+  [[nodiscard]] virtual std::string summary(const xk::Message& msg) const = 0;
+
+  /// Read a named header field; nullopt if absent/unparseable.
+  [[nodiscard]] virtual std::optional<std::int64_t> field(
+      const xk::Message& msg, const std::string& name) const = 0;
+
+  /// Rewrite a named header field in place. Returns false if unsupported.
+  virtual bool set_field(xk::Message& msg, const std::string& name,
+                         std::int64_t value) const = 0;
+
+  /// Build a new message from key/value parameters (the generation stub).
+  /// Returns nullopt for unsupported parameter sets.
+  [[nodiscard]] virtual std::optional<xk::Message> generate(
+      const std::map<std::string, std::string>& params) const = 0;
+};
+
+/// Minimal demo protocol used by examples and unit tests. Wire format:
+///   type u8 | id u32 | payload...
+/// with types mirroring the script example in paper §3 (ACK/NACK/GACK) plus
+/// DATA.
+class ToyStub : public PacketStub {
+ public:
+  static constexpr std::uint8_t kAck = 0x1;
+  static constexpr std::uint8_t kNack = 0x2;
+  static constexpr std::uint8_t kGack = 0x4;
+  static constexpr std::uint8_t kData = 0x8;
+
+  [[nodiscard]] std::string type_of(const xk::Message& msg) const override;
+  [[nodiscard]] std::string summary(const xk::Message& msg) const override;
+  [[nodiscard]] std::optional<std::int64_t> field(
+      const xk::Message& msg, const std::string& name) const override;
+  bool set_field(xk::Message& msg, const std::string& name,
+                 std::int64_t value) const override;
+  [[nodiscard]] std::optional<xk::Message> generate(
+      const std::map<std::string, std::string>& params) const override;
+
+  /// Convenience builder for tests.
+  static xk::Message make(std::uint8_t type, std::uint32_t id,
+                          std::string_view payload = {});
+};
+
+}  // namespace pfi::core

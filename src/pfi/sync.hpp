@@ -1,0 +1,53 @@
+// Cross-node script synchronization (paper §2.3: "synchronizing scripts
+// executed by PFI layers running on different nodes").
+//
+// A SyncBus is a blackboard of named string values shared by every PFI layer
+// constructed with the same bus. Scripts use sync_set/sync_get/sync_incr to
+// coordinate — e.g. "start dropping on node B once node A has seen 30
+// packets". In the paper's distributed deployment this was a small
+// coordination protocol; in the simulator a shared map gives identical
+// semantics with deterministic ordering.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace pfi::core {
+
+class SyncBus {
+ public:
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const {
+    auto it = vars_.find(name);
+    return it == vars_.end() ? std::nullopt
+                             : std::optional<std::string>{it->second};
+  }
+
+  void set(const std::string& name, std::string value) {
+    vars_[name] = std::move(value);
+  }
+
+  /// Add `by` to an integer-valued entry (missing counts as 0); returns the
+  /// new value.
+  std::int64_t incr(const std::string& name, std::int64_t by = 1) {
+    std::int64_t v = 0;
+    if (auto it = vars_.find(name); it != vars_.end()) {
+      try {
+        v = std::stoll(it->second);
+      } catch (...) {
+        v = 0;
+      }
+    }
+    v += by;
+    vars_[name] = std::to_string(v);
+    return v;
+  }
+
+  void clear() { vars_.clear(); }
+
+ private:
+  std::map<std::string, std::string> vars_;
+};
+
+}  // namespace pfi::core

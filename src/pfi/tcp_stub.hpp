@@ -1,0 +1,33 @@
+// Recognition/generation stub for TCP segments as seen between the TCP and
+// IP layers: messages start with the 5-byte IpMeta followed by the TCP
+// header. The paper treats TCP as "a popular protocol ... whose packet
+// formats are known", so this stub would "be supplied by the system".
+#pragma once
+
+#include "pfi/stub.hpp"
+
+namespace pfi::core {
+
+class TcpStub : public PacketStub {
+ public:
+  /// Types: tcp-syn, tcp-synack, tcp-fin, tcp-rst, tcp-ack (pure ack),
+  /// tcp-data (carries payload), unknown.
+  [[nodiscard]] std::string type_of(const xk::Message& msg) const override;
+  [[nodiscard]] std::string summary(const xk::Message& msg) const override;
+
+  /// Fields: remote, proto (IpMeta); src_port, dst_port, seq, ack, flags,
+  /// window, len (TCP header).
+  [[nodiscard]] std::optional<std::int64_t> field(
+      const xk::Message& msg, const std::string& name) const override;
+  bool set_field(xk::Message& msg, const std::string& name,
+                 std::int64_t value) const override;
+
+  /// Generation: params remote, src_port, dst_port, seq, ack, flags (int or
+  /// "syn"/"ack"/"rst"/"fin"/"synack" names), window, payload. Only
+  /// stateless segments (e.g. spurious ACKs, RSTs) can be generated here —
+  /// per paper §2.1, stateful data generation belongs to the driver layer.
+  [[nodiscard]] std::optional<xk::Message> generate(
+      const std::map<std::string, std::string>& params) const override;
+};
+
+}  // namespace pfi::core

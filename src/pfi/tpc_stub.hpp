@@ -1,0 +1,29 @@
+// Recognition/generation stub for the 2PC protocol at the UDP boundary:
+// messages start with UdpMeta (8) followed by the TpcMessage payload.
+#pragma once
+
+#include "pfi/stub.hpp"
+
+namespace pfi::core {
+
+class TpcStub : public PacketStub {
+ public:
+  /// Types: tpc-vote-req, tpc-vote-yes, tpc-vote-no, tpc-decision, tpc-ack,
+  /// tpc-decision-req, unknown.
+  [[nodiscard]] std::string type_of(const xk::Message& msg) const override;
+  [[nodiscard]] std::string summary(const xk::Message& msg) const override;
+
+  /// Fields: remote (UdpMeta), type, txid, sender, decision,
+  /// participant_count.
+  [[nodiscard]] std::optional<std::int64_t> field(
+      const xk::Message& msg, const std::string& name) const override;
+  bool set_field(xk::Message& msg, const std::string& name,
+                 std::int64_t value) const override;
+
+  /// Generation: params type (name), remote, txid, sender, decision
+  /// ("commit"/"abort") — forged votes and decisions for byzantine probes.
+  [[nodiscard]] std::optional<xk::Message> generate(
+      const std::map<std::string, std::string>& params) const override;
+};
+
+}  // namespace pfi::core

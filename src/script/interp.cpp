@@ -1,0 +1,601 @@
+#include "script/interp.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace pfi::script {
+
+namespace {
+
+bool is_word_sep(char c) { return c == ' ' || c == '\t'; }
+bool is_cmd_sep(char c) { return c == '\n' || c == '\r' || c == ';'; }
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+char backslash_subst(char c) {
+  switch (c) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case 'a': return '\a';
+    case '0': return '\0';
+    default: return c;  // \$ \[ \] \" \\ \{ \} ... -> literal
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Word parser
+// ---------------------------------------------------------------------------
+
+/// Scans one command's worth of words out of a script, performing variable,
+/// command and backslash substitution. One instance per eval() call.
+class WordParser {
+ public:
+  WordParser(Interp& interp, std::string_view text)
+      : interp_(interp), text_(text) {}
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  /// Skip command separators, blank lines and comments. Returns false at EOF.
+  bool skip_to_command() {
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (is_word_sep(c) || is_cmd_sep(c)) {
+        ++pos_;
+      } else if (c == '#') {
+        while (!at_end() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Parse the words of a single command (stops at ; or newline or EOF).
+  /// On success fills `words`; on substitution error returns it.
+  Result parse_command(std::vector<std::string>& words) {
+    words.clear();
+    while (true) {
+      while (!at_end() && is_word_sep(text_[pos_])) ++pos_;
+      if (at_end() || is_cmd_sep(text_[pos_])) {
+        if (!at_end()) ++pos_;  // consume the separator
+        return Result::ok();
+      }
+      std::string word;
+      Result r = parse_word(word);
+      if (!r.is_ok()) return r;
+      words.push_back(std::move(word));
+    }
+  }
+
+ private:
+  Result parse_word(std::string& out) {
+    if (text_[pos_] == '{') return parse_braced(out);
+    if (text_[pos_] == '"') return parse_quoted(out);
+    return parse_bare(out);
+  }
+
+  Result parse_braced(std::string& out) {
+    ++pos_;  // consume '{'
+    int depth = 1;
+    std::string body;
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        body += c;
+        body += text_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          ++pos_;
+          out = std::move(body);
+          // Trailing garbage after close brace is tolerated as a new word
+          // boundary requirement: next char must be a separator or EOF.
+          if (!at_end() && !is_word_sep(text_[pos_]) &&
+              !is_cmd_sep(text_[pos_]) && text_[pos_] != ']') {
+            return Result::error("extra characters after close-brace");
+          }
+          return Result::ok();
+        }
+      }
+      body += c;
+      ++pos_;
+    }
+    return Result::error("missing close-brace");
+  }
+
+  Result parse_quoted(std::string& out) {
+    ++pos_;  // consume '"'
+    std::string body;
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        out = std::move(body);
+        return Result::ok();
+      }
+      Result r = substitute_one(body);
+      if (!r.is_ok()) return r;
+    }
+    return Result::error("missing closing quote");
+  }
+
+  Result parse_bare(std::string& out) {
+    std::string body;
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (is_word_sep(c) || is_cmd_sep(c) || c == ']') break;
+      Result r = substitute_one(body);
+      if (!r.is_ok()) return r;
+    }
+    out = std::move(body);
+    return Result::ok();
+  }
+
+  /// Consume one character (or one $var / [cmd] / backslash group) from the
+  /// input, appending its substituted value to `body`.
+  Result substitute_one(std::string& body) {
+    const char c = text_[pos_];
+    if (c == '\\') {
+      ++pos_;
+      if (at_end()) {
+        body += '\\';
+        return Result::ok();
+      }
+      if (text_[pos_] == '\n') {  // line continuation -> single space
+        ++pos_;
+        body += ' ';
+        return Result::ok();
+      }
+      body += backslash_subst(text_[pos_]);
+      ++pos_;
+      return Result::ok();
+    }
+    if (c == '$') return substitute_var(body);
+    if (c == '[') return substitute_command(body);
+    body += c;
+    ++pos_;
+    return Result::ok();
+  }
+
+  Result substitute_var(std::string& body) {
+    ++pos_;  // consume '$'
+    std::string name;
+    if (!at_end() && text_[pos_] == '{') {
+      ++pos_;
+      while (!at_end() && text_[pos_] != '}') name += text_[pos_++];
+      if (at_end()) return Result::error("missing close-brace for ${name}");
+      ++pos_;  // consume '}'
+    } else {
+      while (!at_end() && is_name_char(text_[pos_])) name += text_[pos_++];
+      // Array element: $a(index), where the index itself may contain
+      // $var and [cmd] substitutions ($seen($seq) is the common pattern).
+      if (!name.empty() && !at_end() && text_[pos_] == '(') {
+        name += text_[pos_++];  // '('
+        std::string index;
+        while (!at_end() && text_[pos_] != ')') {
+          Result r = substitute_one(index);
+          if (!r.is_ok()) return r;
+        }
+        if (at_end()) return Result::error("missing ')' in array reference");
+        ++pos_;  // consume ')'
+        name += index;
+        name += ')';
+      }
+    }
+    if (name.empty()) {  // lone '$' is literal
+      body += '$';
+      return Result::ok();
+    }
+    auto value = interp_.get_var(name);
+    if (!value) {
+      return Result::error("can't read \"" + name + "\": no such variable");
+    }
+    body += *value;
+    return Result::ok();
+  }
+
+  Result substitute_command(std::string& body) {
+    ++pos_;  // consume '['
+    const std::size_t start = pos_;
+    int depth = 1;
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '[') ++depth;
+      if (c == ']') {
+        --depth;
+        if (depth == 0) break;
+      }
+      ++pos_;
+    }
+    if (at_end()) return Result::error("missing close-bracket");
+    const std::string_view inner = text_.substr(start, pos_ - start);
+    ++pos_;  // consume ']'
+    Result r = interp_.eval(inner);
+    if (r.code == Code::kError) return r;
+    body += r.value;
+    return Result::ok();
+  }
+
+  Interp& interp_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Interp
+// ---------------------------------------------------------------------------
+
+Interp::Interp() {
+  frames_.emplace_back();  // global frame
+  install_builtins();
+}
+
+Result Interp::eval(std::string_view script) {
+  if (++depth_ > max_depth_) {
+    --depth_;
+    return Result::error("too many nested evaluations (infinite recursion?)");
+  }
+  WordParser parser{*this, script};
+  Result last = Result::ok();
+  std::vector<std::string> words;
+  while (parser.skip_to_command()) {
+    Result r = parser.parse_command(words);
+    if (!r.is_ok()) {
+      --depth_;
+      return r;
+    }
+    if (words.empty()) continue;
+    last = invoke(words);
+    if (last.code != Code::kOk) {
+      --depth_;
+      return last;
+    }
+  }
+  --depth_;
+  return last;
+}
+
+Result Interp::invoke(const std::vector<std::string>& words) {
+  auto it = commands_.find(words[0]);
+  if (it == commands_.end()) {
+    return Result::error("invalid command name \"" + words[0] + "\"");
+  }
+  return it->second(*this, words);
+}
+
+Result Interp::eval_body_mapping_loop_codes(std::string_view body) {
+  Result r = eval(body);
+  // Loop bodies translate Break/Continue at the loop; this helper is for
+  // callers that must surface them unchanged. Kept for symmetry.
+  return r;
+}
+
+void Interp::register_command(std::string name, Command fn) {
+  commands_[std::move(name)] = std::move(fn);
+}
+
+void Interp::unregister_command(const std::string& name) {
+  commands_.erase(name);
+}
+
+bool Interp::has_command(const std::string& name) const {
+  return commands_.contains(name);
+}
+
+std::vector<std::string> Interp::command_names() const {
+  std::vector<std::string> out;
+  out.reserve(commands_.size());
+  for (const auto& [name, _] : commands_) out.push_back(name);
+  return out;
+}
+
+namespace {
+/// For an array element "a(k)", the name that `global` would have aliased.
+std::string global_alias_base(const std::string& name) {
+  const auto paren = name.find('(');
+  return paren == std::string::npos ? name : name.substr(0, paren);
+}
+}  // namespace
+
+std::optional<std::string> Interp::get_var(const std::string& name) const {
+  const Frame& frame = frames_.back();
+  if (frames_.size() > 1 && (frame.globals.contains(name) ||
+                             frame.globals.contains(global_alias_base(name)))) {
+    return get_global(name);
+  }
+  if (auto it = frame.vars.find(name); it != frame.vars.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+void Interp::set_var(const std::string& name, std::string value) {
+  Frame& frame = frames_.back();
+  if (frames_.size() > 1 && (frame.globals.contains(name) ||
+                             frame.globals.contains(global_alias_base(name)))) {
+    set_global(name, std::move(value));
+    return;
+  }
+  frame.vars[name] = std::move(value);
+}
+
+bool Interp::unset_var(const std::string& name) {
+  Frame& frame = frames_.back();
+  if (frames_.size() > 1 && (frame.globals.contains(name) ||
+                             frame.globals.contains(global_alias_base(name)))) {
+    return frames_.front().vars.erase(name) > 0;
+  }
+  return frame.vars.erase(name) > 0;
+}
+
+std::optional<std::string> Interp::get_global(const std::string& name) const {
+  const Frame& global = frames_.front();
+  if (auto it = global.vars.find(name); it != global.vars.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+void Interp::set_global(const std::string& name, std::string value) {
+  frames_.front().vars[name] = std::move(value);
+}
+
+void Interp::mark_global(const std::string& name) {
+  frames_.back().globals.insert(name);
+}
+
+std::vector<std::string> Interp::var_names() const {
+  std::vector<std::string> out;
+  const Frame& frame = frames_.back();
+  for (const auto& [name, value] : frame.vars) out.push_back(name);
+  if (frames_.size() > 1) {
+    for (const auto& name : frame.globals) {
+      if (get_global(name)) out.push_back(name);
+      // A `global a` alias covers every element of array a.
+      const std::string prefix = name + "(";
+      for (const auto& [gname, gvalue] : frames_.front().vars) {
+        if (gname.rfind(prefix, 0) == 0) out.push_back(gname);
+      }
+    }
+  }
+  return out;
+}
+
+std::string Interp::take_output() { return std::exchange(output_, {}); }
+
+// ---------------------------------------------------------------------------
+// List utilities
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> parse_list(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+    if (i >= text.size()) break;
+    std::string elem;
+    if (text[i] == '{') {
+      int depth = 1;
+      ++i;
+      while (i < text.size() && depth > 0) {
+        if (text[i] == '{') ++depth;
+        if (text[i] == '}') {
+          --depth;
+          if (depth == 0) break;
+        }
+        elem += text[i++];
+      }
+      if (i < text.size()) ++i;  // consume '}'
+    } else if (text[i] == '"') {
+      ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          elem += backslash_subst(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        elem += text[i++];
+      }
+      if (i < text.size()) ++i;  // consume '"'
+    } else {
+      while (i < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+        elem += text[i++];
+      }
+    }
+    out.push_back(std::move(elem));
+  }
+  return out;
+}
+
+std::string make_list(const std::vector<std::string>& elems) {
+  std::string out;
+  for (const auto& e : elems) {
+    if (!out.empty()) out += ' ';
+    const bool needs_brace =
+        e.empty() ||
+        e.find_first_of(" \t\n{}\"") != std::string::npos;
+    if (needs_brace) {
+      out += '{';
+      out += e;
+      out += '}';
+    } else {
+      out += e;
+    }
+  }
+  return out;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star_p = std::string_view::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '[') {
+      // character class, possibly with ranges
+      std::size_t q = p + 1;
+      bool matched = false;
+      bool negate = false;
+      if (q < pattern.size() && pattern[q] == '^') {
+        negate = true;
+        ++q;
+      }
+      while (q < pattern.size() && pattern[q] != ']') {
+        if (q + 2 < pattern.size() && pattern[q + 1] == '-' &&
+            pattern[q + 2] != ']') {
+          if (pattern[q] <= text[t] && text[t] <= pattern[q + 2]) {
+            matched = true;
+          }
+          q += 3;
+        } else {
+          if (pattern[q] == text[t]) matched = true;
+          ++q;
+        }
+      }
+      if (q >= pattern.size()) return false;  // unterminated class
+      if (matched == negate) {
+        // fall through to star backtrack below
+        if (star_p == std::string_view::npos) return false;
+        p = star_p + 1;
+        t = ++star_t;
+        continue;
+      }
+      p = q + 1;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+// ---------------------------------------------------------------------------
+// ExprValue
+// ---------------------------------------------------------------------------
+
+ExprValue ExprValue::from_int(std::int64_t v) {
+  ExprValue e;
+  e.kind = Kind::kInt;
+  e.i = v;
+  return e;
+}
+
+ExprValue ExprValue::from_double(double v) {
+  ExprValue e;
+  e.kind = Kind::kDouble;
+  e.d = v;
+  return e;
+}
+
+ExprValue ExprValue::from_string(std::string v) {
+  ExprValue e;
+  e.kind = Kind::kString;
+  e.s = std::move(v);
+  return e;
+}
+
+double ExprValue::as_double() const {
+  switch (kind) {
+    case Kind::kInt: return static_cast<double>(i);
+    case Kind::kDouble: return d;
+    case Kind::kString: return 0.0;
+  }
+  return 0.0;
+}
+
+bool ExprValue::truthy() const {
+  switch (kind) {
+    case Kind::kInt: return i != 0;
+    case Kind::kDouble: return d != 0.0;
+    case Kind::kString: return !s.empty() && s != "0" && s != "false";
+  }
+  return false;
+}
+
+std::string ExprValue::str() const {
+  switch (kind) {
+    case Kind::kInt: return std::to_string(i);
+    case Kind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.12g", d);
+      std::string out = buf;
+      // Keep doubles visually distinct from ints (Tcl prints 2.0, not 2).
+      if (out.find_first_of(".eEnN") == std::string::npos) out += ".0";
+      return out;
+    }
+    case Kind::kString: return s;
+  }
+  return {};
+}
+
+ExprValue ExprValue::parse(std::string_view text) {
+  // Trim surrounding whitespace.
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])) != 0) {
+    --e;
+  }
+  const std::string_view t = text.substr(b, e - b);
+  if (t.empty()) return from_string(std::string{text});
+
+  // Try integer (decimal or 0x hex).
+  {
+    std::int64_t v = 0;
+    const char* first = t.data();
+    const char* last = t.data() + t.size();
+    std::from_chars_result r{};
+    if (t.size() > 2 && (t.substr(0, 2) == "0x" || t.substr(0, 2) == "0X")) {
+      r = std::from_chars(first + 2, last, v, 16);
+    } else if (t.size() > 3 && t[0] == '-' &&
+               (t.substr(1, 2) == "0x" || t.substr(1, 2) == "0X")) {
+      r = std::from_chars(first + 3, last, v, 16);
+      v = -v;
+    } else {
+      r = std::from_chars(first, last, v, 10);
+    }
+    if (r.ec == std::errc{} && r.ptr == last) return from_int(v);
+  }
+  // Try double.
+  {
+    double v = 0.0;
+    const char* first = t.data();
+    const char* last = t.data() + t.size();
+    auto r = std::from_chars(first, last, v);
+    if (r.ec == std::errc{} && r.ptr == last) return from_double(v);
+  }
+  return from_string(std::string{text});
+}
+
+}  // namespace pfi::script

@@ -1,0 +1,156 @@
+// A from-scratch interpreter for a Tcl subset.
+//
+// The paper argues (§2.3) that the right scripting vehicle is "a popular
+// interpreted language with a collection of predefined libraries" and picks
+// Tcl: the PFI tool evaluates a *send filter* script and a *receive filter*
+// script inside persistent interpreter objects, and C-coded commands are
+// registered into the interpreter for message operations. This module
+// reproduces that surface without an external Tcl dependency:
+//
+//   * Tcl syntax: command words; `$var`/`${var}` substitution; `[...]`
+//     command substitution; `{...}` literal braces; `"..."` quoting;
+//     backslash escapes; `#` comments; `;`/newline separators.
+//   * Core commands: set/unset/incr/append, expr, if/elseif/else, while,
+//     for, foreach, break/continue/return, proc+global, catch/error, eval,
+//     puts, string ops (incl. glob `string match`), list ops, format, info.
+//   * Host commands registered from C++ (`Interp::register_command`) — these
+//     are the paper's "user-defined procedures written in C and linked into
+//     the tool".
+//
+// Interpreter state (variables, procs) persists across eval() calls, so a
+// filter script can keep counters across messages, exactly as §3 describes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfi::script {
+
+/// Tcl-style result codes. Error carries the message in `value`.
+enum class Code { kOk, kError, kReturn, kBreak, kContinue };
+
+struct Result {
+  Code code = Code::kOk;
+  std::string value;
+
+  static Result ok(std::string v = {}) { return {Code::kOk, std::move(v)}; }
+  static Result error(std::string msg) {
+    return {Code::kError, std::move(msg)};
+  }
+  [[nodiscard]] bool is_ok() const { return code == Code::kOk; }
+  [[nodiscard]] bool is_error() const { return code == Code::kError; }
+};
+
+/// Parse a string as a Tcl list (whitespace-separated, braces group).
+std::vector<std::string> parse_list(std::string_view text);
+
+/// Join elements into a canonical Tcl list (bracing elements as needed).
+std::string make_list(const std::vector<std::string>& elems);
+
+/// Tcl-style glob match (`*`, `?`, `[a-z]`).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+class Interp {
+ public:
+  using Command =
+      std::function<Result(Interp&, const std::vector<std::string>&)>;
+
+  Interp();
+  Interp(const Interp&) = delete;
+  Interp& operator=(const Interp&) = delete;
+
+  /// Evaluate a script (sequence of commands). Break/Continue escaping a
+  /// top-level script are reported as errors by callers that care.
+  Result eval(std::string_view script);
+
+  /// Evaluate an expression string (the `expr` engine). Performs its own
+  /// `$`/`[...]` substitution, like Tcl's expr on braced arguments.
+  Result eval_expr(std::string_view expr);
+
+  /// Register a host command (overwrites any existing binding).
+  void register_command(std::string name, Command fn);
+  void unregister_command(const std::string& name);
+  [[nodiscard]] bool has_command(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> command_names() const;
+
+  /// Variable access in the *current* frame (global frame between evals).
+  [[nodiscard]] std::optional<std::string> get_var(
+      const std::string& name) const;
+  void set_var(const std::string& name, std::string value);
+  bool unset_var(const std::string& name);
+  /// All variable names visible in the current frame (array elements are
+  /// stored as "name(key)" entries).
+  [[nodiscard]] std::vector<std::string> var_names() const;
+
+  /// Variable access that always targets the global frame — used by the PFI
+  /// layer's cross-interpreter state sharing (send filter pokes a variable
+  /// in the receive filter's interpreter and vice versa, §3).
+  [[nodiscard]] std::optional<std::string> get_global(
+      const std::string& name) const;
+  void set_global(const std::string& name, std::string value);
+
+  /// Everything `puts` wrote since the last take_output().
+  [[nodiscard]] const std::string& output() const { return output_; }
+  std::string take_output();
+
+  /// Recursion / runaway-loop guards.
+  void set_max_depth(int depth) { max_depth_ = depth; }
+  void set_max_loop_iterations(std::uint64_t n) { max_loop_iters_ = n; }
+  [[nodiscard]] std::uint64_t max_loop_iterations() const {
+    return max_loop_iters_;
+  }
+
+  // --- internals shared with builtins (public for the command library) ---
+  struct Frame {
+    std::map<std::string, std::string> vars;
+    std::set<std::string> globals;  // names aliased to the global frame
+  };
+  Result invoke(const std::vector<std::string>& words);
+  Result eval_body_mapping_loop_codes(std::string_view body);
+  void push_frame() { frames_.emplace_back(); }
+  void pop_frame() {
+    if (frames_.size() > 1) frames_.pop_back();
+  }
+  void mark_global(const std::string& name);
+  void append_output(std::string_view text) { output_ += text; }
+
+ private:
+  friend class WordParser;
+  void install_builtins();
+
+  std::map<std::string, Command> commands_;
+  std::vector<Frame> frames_;  // frames_[0] is the global frame
+  std::string output_;
+  int depth_ = 0;
+  int max_depth_ = 200;
+  std::uint64_t max_loop_iters_ = 10'000'000;
+};
+
+/// Numeric/string value used by the expression engine; exposed for tests.
+struct ExprValue {
+  enum class Kind { kInt, kDouble, kString } kind = Kind::kInt;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+
+  static ExprValue from_int(std::int64_t v);
+  static ExprValue from_double(double v);
+  static ExprValue from_string(std::string v);
+  static ExprValue from_bool(bool b) { return from_int(b ? 1 : 0); }
+
+  [[nodiscard]] bool is_numeric() const { return kind != Kind::kString; }
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] bool truthy() const;
+  [[nodiscard]] std::string str() const;
+
+  /// Parse a string into int/double/string (Tcl numeric rules, 0x hex ok).
+  static ExprValue parse(std::string_view text);
+};
+
+}  // namespace pfi::script

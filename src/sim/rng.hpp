@@ -1,0 +1,49 @@
+// Seeded random-number source and the probability-distribution helpers the
+// paper's script library exposes (dst_normal_mean_var etc., §3).
+//
+// A single splitmix64/xoshiro-style generator per simulation keeps runs
+// reproducible: the same seed and script always yield the same fault pattern.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace pfi::sim {
+
+/// Deterministic PRNG (xoshiro256** core, splitmix64 seeding).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Normal (Gaussian) with the given mean and variance (Box–Muller).
+  double normal(double mean, double variance);
+
+  /// Exponential with the given mean (= 1/rate).
+  double exponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Convenience: a random duration uniform in [lo, hi].
+  Duration uniform_duration(Duration lo, Duration hi);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace pfi::sim

@@ -1,0 +1,66 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pfi::sim {
+
+TimerId Scheduler::schedule(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max<Duration>(delay, 0), std::move(fn));
+}
+
+TimerId Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  Event ev;
+  ev.when = std::max(when, now_);
+  ev.seq = next_seq_++;
+  ev.id = id;
+  ev.fn = std::move(fn);
+  queue_.push(std::move(ev));
+  live_.insert(id);
+  return id;
+}
+
+bool Scheduler::cancel(TimerId id) { return live_.erase(id) > 0; }
+
+bool Scheduler::pending(TimerId id) const { return live_.contains(id); }
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; we need to move the callback out.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (live_.erase(ev.id) == 0) continue;  // cancelled tombstone
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+  return fired;
+}
+
+std::size_t Scheduler::run_until(TimePoint deadline, std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && !queue_.empty()) {
+    // Peek past cancelled tombstones without firing anything late.
+    if (!live_.contains(queue_.top().id)) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    if (step()) ++fired;
+  }
+  now_ = std::max(now_, deadline);
+  return fired;
+}
+
+std::size_t Scheduler::run_for(Duration span, std::size_t max_events) {
+  return run_until(now_ + std::max<Duration>(span, 0), max_events);
+}
+
+}  // namespace pfi::sim

@@ -1,0 +1,41 @@
+// Simulated-time primitives.
+//
+// The whole toolkit runs on a deterministic discrete-event clock. Time is an
+// integral count of microseconds since simulation start; this gives exact,
+// reproducible arithmetic (no floating-point drift) while still resolving the
+// sub-millisecond retransmission timers the Solaris 2.3 profile needs.
+#pragma once
+
+#include <cstdint>
+
+namespace pfi::sim {
+
+/// A point in simulated time, in microseconds since simulation start.
+using TimePoint = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+
+constexpr Duration usec(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration msec(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration sec(std::int64_t n) { return n * kSecond; }
+constexpr Duration minutes(std::int64_t n) { return n * kMinute; }
+constexpr Duration hours(std::int64_t n) { return n * kHour; }
+
+/// Convert a duration to fractional seconds (for human-facing reports only).
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Convert a duration to fractional milliseconds.
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace pfi::sim

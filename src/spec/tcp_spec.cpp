@@ -1,0 +1,173 @@
+#include "spec/tcp_spec.hpp"
+
+#include <sstream>
+
+#include "net/layers.hpp"
+
+namespace pfi::spec {
+
+using tcp::seq_gt;
+using tcp::seq_le;
+using tcp::seq_lt;
+
+void TcpSpecChecker::add(const std::string& rule, const std::string& detail) {
+  violations_.push_back(Violation{sched_.now(), rule, detail});
+}
+
+std::size_t TcpSpecChecker::count(const std::string& rule) const {
+  std::size_t n = 0;
+  for (const auto& v : violations_) {
+    if (v.rule == rule) ++n;
+  }
+  return n;
+}
+
+TcpSpecChecker::FlowState& TcpSpecChecker::flow(std::uint16_t src_port,
+                                                std::uint16_t dst_port) {
+  const std::uint32_t key =
+      (static_cast<std::uint32_t>(src_port) << 16) | dst_port;
+  return flows_[key];
+}
+
+void TcpSpecChecker::on_segment(Direction /*dir*/, const tcp::TcpHeader& h) {
+  FlowState& f = flow(h.src_port, h.dst_port);   // the sender's flow
+  FlowState& rev = flow(h.dst_port, h.src_port);  // the reverse flow
+  const sim::TimePoint now = sched_.now();
+
+  std::uint32_t seg_len = h.payload_len;
+  if (h.has(tcp::kSyn)) ++seg_len;
+  if (h.has(tcp::kFin)) ++seg_len;
+  const std::uint32_t seg_end = h.seq + seg_len;
+
+  // --- ack.validity: you cannot acknowledge what was never sent -----------
+  if (h.has(tcp::kAck) && rev.seen && seq_gt(h.ack, rev.snd_max)) {
+    std::ostringstream os;
+    os << "ack " << h.ack << " beyond peer snd_max " << rev.snd_max;
+    add("ack.validity", os.str());
+  }
+
+  // The reverse flow's sender learns its ack/window state from this segment.
+  if (h.has(tcp::kAck)) {
+    if (!rev.seen || seq_gt(h.ack, rev.highest_ack)) rev.highest_ack = h.ack;
+    rev.peer_window = h.window;
+    rev.window_known = true;
+  }
+
+  if (h.has(tcp::kRst)) return;  // resets end analysis for this segment
+
+  // --- flow.window-respect --------------------------------------------------
+  // One byte of grace permits zero-window probes; SYN/FIN occupy sequence
+  // space but carry no buffered payload.
+  if (f.seen && f.window_known && h.payload_len > 1 &&
+      seq_gt(seg_end, f.highest_ack + f.peer_window + 1)) {
+    std::ostringstream os;
+    os << "seq " << h.seq << " len " << h.payload_len << " exceeds ack "
+       << f.highest_ack << " + window " << f.peer_window;
+    add("flow.window-respect", os.str());
+  }
+
+  if (!f.seen) {
+    f.seen = true;
+    f.snd_max = seg_end;
+    f.last_activity = now;
+    return;
+  }
+
+  const bool sends_new = seq_gt(seg_end, f.snd_max);
+  if (sends_new) {
+    f.snd_max = seg_end;
+    if (seg_len > 0) {
+      f.last_activity = now;
+      f.keepalive_phase = false;
+    }
+    return;
+  }
+  // From here: a segment within already-sent sequence space — a pure ACK,
+  // retransmission, keep-alive or window probe.
+  const sim::Duration idle = now - f.last_activity;
+  // Keep-alive probes come in two formats (paper Table 3): SEG.SEQ =
+  // SND.NXT-1 with one garbage byte (SunOS) or with zero bytes (AIX, NeXT,
+  // Solaris). Both are "tiny" segments positioned just below snd_max.
+  const bool tiny = h.payload_len <= 1;
+  const bool old_position = seq_lt(h.seq, f.snd_max);
+
+  if (seg_len == 0 && !old_position) return;  // ordinary pure ACK
+
+  if (tiny && old_position &&
+      (f.keepalive_phase || idle >= opts_.keepalive_idle_heuristic)) {
+    // --- keepalive.threshold ----------------------------------------------
+    if (!f.keepalive_phase) {
+      f.keepalive_phase = true;
+      if (idle < opts_.keepalive_threshold) {
+        std::ostringstream os;
+        os << "first keep-alive probe after only " << sim::to_seconds(idle)
+           << " s idle (spec requires >= "
+           << sim::to_seconds(opts_.keepalive_threshold) << " s)";
+        add("keepalive.threshold", os.str());
+      }
+    }
+    return;  // probe retransmission cadence is unregulated
+  }
+  if (seg_len == 0) return;  // stray pure ACK below snd_max: nothing to check
+
+  // --- RTO rules -------------------------------------------------------------
+  if (h.seq == f.rtx_seq && f.rtx_count > 0) {
+    const sim::Duration interval = now - f.rtx_last_tx;
+    if (interval < opts_.min_rto) {
+      std::ostringstream os;
+      os << "retransmission of seq " << h.seq << " after "
+         << sim::to_millis(interval) << " ms (< "
+         << sim::to_millis(opts_.min_rto) << " ms floor)";
+      add("rto.lower-bound", os.str());
+    }
+    if (f.rtx_last_interval > 0 &&
+        static_cast<double>(interval) <
+            static_cast<double>(f.rtx_last_interval) *
+                opts_.backoff_tolerance) {
+      std::ostringstream os;
+      os << "backoff shrank: " << sim::to_seconds(f.rtx_last_interval)
+         << " s then " << sim::to_seconds(interval) << " s for seq " << h.seq;
+      add("rto.monotone-backoff", os.str());
+    }
+    f.rtx_last_interval = interval;
+    f.rtx_last_tx = now;
+    ++f.rtx_count;
+  } else {
+    // First observed retransmission of this segment. We only know the
+    // original send time when it was the newest data (last_activity), in
+    // which case `idle` is the true first RTO and seeds the backoff
+    // monotonicity baseline.
+    f.rtx_last_interval = 0;
+    if (seg_end == f.snd_max && idle > 0) {
+      if (idle < opts_.min_rto) {
+        std::ostringstream os;
+        os << "first retransmission of seq " << h.seq << " after "
+           << sim::to_millis(idle) << " ms (< "
+           << sim::to_millis(opts_.min_rto) << " ms floor)";
+        add("rto.lower-bound", os.str());
+      }
+      f.rtx_last_interval = idle;
+    }
+    f.rtx_seq = h.seq;
+    f.rtx_last_tx = now;
+    f.rtx_count = 1;
+  }
+}
+
+void SpecObserverLayer::push(xk::Message msg) {
+  tcp::TcpHeader h;
+  if (tcp::TcpHeader::peek(msg, net::IpMeta::kSize, h)) {
+    checker_->on_segment(TcpSpecChecker::Direction::kOut, h);
+  }
+  send_down(std::move(msg));
+}
+
+void SpecObserverLayer::pop(xk::Message msg) {
+  tcp::TcpHeader h;
+  if (tcp::TcpHeader::peek(msg, net::IpMeta::kSize, h)) {
+    checker_->on_segment(TcpSpecChecker::Direction::kIn, h);
+  }
+  send_up(std::move(msg));
+}
+
+}  // namespace pfi::spec

@@ -1,0 +1,121 @@
+// Online TCP specification checking.
+//
+// The paper's three goals for fault injection are (i) finding bugs,
+// (ii) "identification of violations of protocol specifications", and
+// (iii) insight into design decisions. The experiments identify violations
+// by reading tables; this module turns (ii) into a first-class oracle: a
+// pass-through observer layer watches every segment crossing the TCP/IP
+// boundary and checks RFC-793/1122 assertions mechanically, accumulating
+// Violation records.
+//
+// Rules (conservative; tuned to what the paper's experiments can trip):
+//
+//   keepalive.threshold   First keep-alive style probe (tiny segment
+//                         retransmitting old sequence space after a long
+//                         idle period) must come >= 7200 s after the last
+//                         real activity. Solaris 2.3's 6752 s trips it.
+//   rto.lower-bound       A data segment must not be retransmitted sooner
+//                         than 1 s after its previous transmission
+//                         (RFC-1122's conservative floor). Solaris's 330 ms
+//                         floor trips it.
+//   rto.monotone-backoff  Successive retransmission intervals of the same
+//                         segment must not shrink ("the retransmission
+//                         timeout should increase exponentially"). The
+//                         Solaris half-base dip trips it.
+//   flow.window-respect   A sender must not put more than the last
+//                         advertised window beyond the highest acknowledged
+//                         byte in flight (one byte of grace for zero-window
+//                         probes).
+//   ack.validity          An ACK must not acknowledge sequence space the
+//                         peer never sent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "tcp/header.hpp"
+#include "xk/layer.hpp"
+
+namespace pfi::spec {
+
+struct Violation {
+  sim::TimePoint at = 0;
+  std::string rule;
+  std::string detail;
+};
+
+class TcpSpecChecker {
+ public:
+  enum class Direction { kOut, kIn };  // relative to the observed node
+
+  struct Options {
+    sim::Duration keepalive_threshold = sim::sec(7200);
+    sim::Duration min_rto = sim::sec(1);
+    /// Idle gap after which a tiny old-sequence segment counts as a
+    /// keep-alive probe rather than an ordinary retransmission.
+    sim::Duration keepalive_idle_heuristic = sim::minutes(30);
+    /// Tolerance factor for backoff monotonicity (an interval may be up to
+    /// this fraction shorter than its predecessor before we flag it).
+    double backoff_tolerance = 0.9;
+  };
+
+  explicit TcpSpecChecker(sim::Scheduler& sched) : sched_(sched), opts_{} {}
+  TcpSpecChecker(sim::Scheduler& sched, Options opts)
+      : sched_(sched), opts_(opts) {}
+
+  /// Feed one segment as it crosses the TCP/IP boundary.
+  void on_segment(Direction dir, const tcp::TcpHeader& h);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t count(const std::string& rule) const;
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+
+ private:
+  /// Per half-connection (one direction of one port pair) tracking state.
+  struct FlowState {
+    bool seen = false;
+    std::uint32_t snd_max = 0;       // highest seq+len sent
+    std::uint32_t highest_ack = 0;   // largest ack received by this sender
+    std::uint16_t peer_window = 0;   // last window the peer advertised
+    bool window_known = false;
+    sim::TimePoint last_activity = 0;      // last non-probe transmission
+    bool keepalive_phase = false;          // probes observed already
+    // Retransmission tracking for the oldest outstanding segment.
+    std::uint32_t rtx_seq = 0;
+    sim::TimePoint rtx_last_tx = 0;
+    sim::Duration rtx_last_interval = 0;
+    int rtx_count = 0;
+  };
+
+  void add(const std::string& rule, const std::string& detail);
+  FlowState& flow(std::uint16_t src_port, std::uint16_t dst_port);
+
+  sim::Scheduler& sched_;
+  Options opts_;
+  std::map<std::uint32_t, FlowState> flows_;  // key: src_port<<16 | dst_port
+  std::vector<Violation> violations_;
+};
+
+/// Pass-through layer feeding a checker; splice between TCP and IP (or
+/// between PFI and IP to observe what the wire actually carries).
+class SpecObserverLayer : public xk::Layer {
+ public:
+  SpecObserverLayer(std::shared_ptr<TcpSpecChecker> checker)
+      : Layer("spec-observer"), checker_(std::move(checker)) {}
+
+  void push(xk::Message msg) override;
+  void pop(xk::Message msg) override;
+
+  [[nodiscard]] TcpSpecChecker& checker() { return *checker_; }
+
+ private:
+  std::shared_ptr<TcpSpecChecker> checker_;
+};
+
+}  // namespace pfi::spec

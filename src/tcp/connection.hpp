@@ -1,0 +1,244 @@
+// One TCP connection: the full state machine.
+//
+// Implements what the paper's experiments exercise end to end: three-way
+// handshake with SYN retransmission, cumulative ACKs, sliding-window flow
+// control, RTO estimation per profile (rtt.hpp) with Karn sample selection,
+// exponential backoff with per-segment or global error counters, keep-alive
+// probing, zero-window (persist) probing, out-of-order reassembly, graceful
+// close and RST handling. Delayed ACKs and Tahoe congestion control (slow
+// start, congestion avoidance, fast retransmit) are available behind
+// profile flags but default OFF: the paper's probed 1994 stacks are
+// modelled window-limited with immediate ACKs, and the experiment
+// calibrations depend on that.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/header.hpp"
+#include "tcp/profile.hpp"
+#include "tcp/rtt.hpp"
+#include "trace/trace.hpp"
+#include "xk/message.hpp"
+
+namespace pfi::tcp {
+
+enum class State {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+std::string to_string(State s);
+
+enum class CloseReason {
+  kNone,
+  kNormal,            // orderly FIN handshake completed
+  kReset,             // peer sent RST
+  kRetransmitTimeout, // gave up retransmitting data
+  kKeepaliveTimeout,  // keep-alive probes unanswered
+  kUserAbort,         // local abort()
+};
+
+std::string to_string(CloseReason r);
+
+struct TcpStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_received = 0;
+  std::uint64_t bytes_sent = 0;      // payload bytes, first transmissions
+  std::uint64_t bytes_received = 0;  // payload bytes delivered in order
+  std::uint64_t data_retransmits = 0;
+  std::uint64_t spurious_retransmits = 0;  // retransmitted then orig ACKed
+  std::uint64_t keepalive_probes_sent = 0;
+  std::uint64_t persist_probes_sent = 0;
+  std::uint64_t duplicate_acks_sent = 0;
+  std::uint64_t duplicate_acks_received = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t delayed_acks_coalesced = 0;
+  std::uint64_t out_of_order_queued = 0;
+  std::uint64_t out_of_order_dropped = 0;
+  std::uint64_t rsts_sent = 0;
+};
+
+class TcpConnection {
+ public:
+  /// Ships a finished segment (TCP header + IpMeta already pushed) to the
+  /// layer below the owning TcpLayer.
+  using Output = std::function<void(xk::Message)>;
+
+  TcpConnection(sim::Scheduler& sched, TcpProfile profile, net::NodeId local,
+                net::Port local_port, net::NodeId remote,
+                net::Port remote_port, std::uint32_t iss, Output output,
+                trace::TraceLog* trace = nullptr, std::string node_name = {});
+
+  // --- application API -----------------------------------------------------
+  /// Active open: send SYN.
+  void open();
+  /// Passive open: consume the peer's SYN (called by TcpLayer).
+  void open_passive(const TcpHeader& syn);
+  /// Queue application data for transmission.
+  void send(std::string_view data);
+  /// Drain up to `max` bytes of in-order received data, reopening the
+  /// advertised window. With auto-drain on (default) this is a no-op because
+  /// data never accumulates.
+  std::string read(std::size_t max = static_cast<std::size_t>(-1));
+  /// When off, received data accumulates until read(), shrinking the
+  /// advertised window — how the paper's driver manufactured a zero window
+  /// ("did not reset the receive buffer space inside the TCP layer").
+  void set_auto_drain(bool on) { auto_drain_ = on; }
+  /// Orderly close (FIN after queued data).
+  void close();
+  /// Abortive close (RST now).
+  void abort();
+  /// Keep-alive on/off (spec default: off).
+  void set_keepalive(bool on);
+
+  // --- segment input (from TcpLayer) ----------------------------------------
+  void on_segment(const TcpHeader& h, xk::Message payload);
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] CloseReason close_reason() const { return close_reason_; }
+  [[nodiscard]] const TcpStats& stats() const { return stats_; }
+  [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+  [[nodiscard]] const TcpProfile& profile() const { return profile_; }
+  [[nodiscard]] std::uint32_t snd_una() const { return snd_una_; }
+  [[nodiscard]] std::uint32_t snd_nxt() const { return snd_nxt_; }
+  [[nodiscard]] std::uint32_t rcv_nxt() const { return rcv_nxt_; }
+  [[nodiscard]] std::uint32_t snd_wnd() const { return snd_wnd_; }
+  [[nodiscard]] std::uint32_t advertised_window() const;
+  [[nodiscard]] int backoff_shift() const { return shift_; }
+  [[nodiscard]] int error_counter() const { return error_counter_; }
+  [[nodiscard]] std::size_t unacked_segments() const { return rtxq_.size(); }
+  [[nodiscard]] std::size_t pending_bytes() const {
+    return send_queue_.size();
+  }
+  [[nodiscard]] std::size_t buffered_bytes() const { return rcv_buf_.size(); }
+  [[nodiscard]] bool persist_active() const { return persist_timer_.armed(); }
+  [[nodiscard]] std::uint32_t cwnd() const { return cwnd_; }
+  [[nodiscard]] std::uint32_t ssthresh() const { return ssthresh_; }
+
+  [[nodiscard]] net::NodeId local() const { return local_; }
+  [[nodiscard]] net::Port local_port() const { return local_port_; }
+  [[nodiscard]] net::NodeId remote() const { return remote_; }
+  [[nodiscard]] net::Port remote_port() const { return remote_port_; }
+
+  // --- callbacks --------------------------------------------------------------
+  std::function<void()> on_established;
+  std::function<void(CloseReason)> on_closed;
+  std::function<void()> on_data;  // in-order data became readable
+
+ private:
+  struct OutSeg {
+    std::uint32_t seq = 0;
+    std::uint8_t flags = 0;  // SYN/FIN bits only
+    std::vector<std::uint8_t> data;
+    sim::TimePoint first_tx = 0;
+    sim::TimePoint last_tx = 0;
+    int rtx_count = 0;
+
+    [[nodiscard]] std::uint32_t seq_len() const {
+      std::uint32_t n = static_cast<std::uint32_t>(data.size());
+      if ((flags & kSyn) != 0) ++n;
+      if ((flags & kFin) != 0) ++n;
+      return n;
+    }
+  };
+
+  void transmit(OutSeg& seg, bool retransmission);
+  void send_control(std::uint8_t flags, std::uint32_t seq, bool count_dup);
+  void send_ack() { send_control(kAck, snd_nxt_, false); }
+  void try_send();
+  void enqueue_fin_if_ready();
+  void arm_rtx_timer();
+  void on_rtx_timeout();
+  void enter_persist();
+  void on_persist_timeout();
+  void reset_keepalive_idle();
+  void on_keepalive_timeout();
+  void ack_in_order_data();   // immediate or delayed per profile
+  void flush_delayed_ack();
+  void on_congestion_ack(std::uint32_t bytes_acked);
+  void on_congestion_loss();
+  void process_ack(const TcpHeader& h);
+  void process_payload(const TcpHeader& h, xk::Message& payload);
+  void process_fin(const TcpHeader& h);
+  void deliver_in_order(std::vector<std::uint8_t> data);
+  void drain_ooo_queue();
+  void become_established();
+  void enter_time_wait();
+  void drop(CloseReason reason, bool send_rst);
+  void set_state(State s);
+  void trace_event(const std::string& what, const std::string& detail = {});
+
+  sim::Scheduler& sched_;
+  TcpProfile profile_;
+  net::NodeId local_;
+  net::Port local_port_;
+  net::NodeId remote_;
+  net::Port remote_port_;
+  Output output_;
+  trace::TraceLog* trace_log_;
+  std::string node_name_;
+
+  State state_ = State::kClosed;
+  CloseReason close_reason_ = CloseReason::kNone;
+
+  // Send side.
+  std::uint32_t iss_;
+  std::uint32_t snd_una_;
+  std::uint32_t snd_nxt_;
+  std::uint32_t snd_wnd_ = 0;
+  std::deque<std::uint8_t> send_queue_;
+  std::deque<OutSeg> rtxq_;
+  bool fin_queued_ = false;
+  bool fin_sent_ = false;
+  std::uint32_t fin_seq_ = 0;
+
+  // Receive side.
+  std::uint32_t rcv_nxt_ = 0;
+  std::string rcv_buf_;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> ooo_;
+  bool auto_drain_ = true;
+  bool peer_fin_received_ = false;
+
+  // Timers and estimation.
+  RttEstimator rtt_;
+  sim::Timer rtx_timer_;
+  sim::Timer persist_timer_;
+  sim::Timer keepalive_timer_;
+  sim::Timer time_wait_timer_;
+  int shift_ = 0;          // backoff shift for the oldest outstanding segment
+  int error_counter_ = 0;  // per-segment (BSD) or global (Solaris) retransmit
+                           // counter, per profile semantics
+  int persist_shift_ = 0;
+  int ka_probes_unanswered_ = 0;
+  bool keepalive_enabled_ = false;
+
+  // Optional mechanisms (profile flags).
+  sim::Timer delack_timer_;
+  int unacked_segments_rcvd_ = 0;  // in-order segments awaiting a coalesced ACK
+  std::uint32_t cwnd_ = 0;         // 0 = congestion control off
+  std::uint32_t ssthresh_ = 65535;
+  int dup_acks_rcvd_ = 0;
+  std::uint32_t last_fast_rtx_una_ = 0;  // one fast retransmit per stall
+
+  TcpStats stats_;
+};
+
+}  // namespace pfi::tcp

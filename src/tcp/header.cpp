@@ -1,0 +1,59 @@
+#include "tcp/header.hpp"
+
+#include <sstream>
+
+namespace pfi::tcp {
+
+void TcpHeader::push_onto(xk::Message& msg) const {
+  xk::Writer w;
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(flags);
+  w.u16(window);
+  w.u16(payload_len);
+  w.push_onto(msg);
+}
+
+bool TcpHeader::pop_from(xk::Message& msg, TcpHeader& out) {
+  if (!peek(msg, 0, out)) return false;
+  msg.pop_header(kSize);
+  return true;
+}
+
+bool TcpHeader::peek(const xk::Message& msg, std::size_t at, TcpHeader& out) {
+  if (msg.size() < at + kSize) return false;
+  xk::Reader r{msg.bytes().subspan(at)};
+  out.src_port = r.u16();
+  out.dst_port = r.u16();
+  out.seq = r.u32();
+  out.ack = r.u32();
+  out.flags = r.u8();
+  out.window = r.u16();
+  out.payload_len = r.u16();
+  return !r.truncated();
+}
+
+std::string TcpHeader::summary() const {
+  std::ostringstream os;
+  bool first = true;
+  auto flag = [&](Flags f, const char* name) {
+    if (has(f)) {
+      if (!first) os << '|';
+      os << name;
+      first = false;
+    }
+  };
+  flag(kSyn, "SYN");
+  flag(kFin, "FIN");
+  flag(kRst, "RST");
+  flag(kPsh, "PSH");
+  flag(kAck, "ACK");
+  if (first) os << "none";
+  os << " seq=" << seq << " ack=" << ack << " win=" << window
+     << " len=" << payload_len;
+  return os.str();
+}
+
+}  // namespace pfi::tcp

@@ -1,0 +1,65 @@
+// TCP segment header (simulator wire format).
+//
+// Structurally faithful to RFC 793 (ports, sequence/ack numbers, flags,
+// window) but not byte-compatible: no options, no checksum (the simulated
+// network never corrupts bytes unless a PFI script asks it to), and an
+// explicit payload length. Layout after the 5-byte IpMeta:
+//
+//   src_port u16 | dst_port u16 | seq u32 | ack u32 | flags u8 |
+//   window u16 | payload_len u16                         (17 bytes)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xk/message.hpp"
+
+namespace pfi::tcp {
+
+enum Flags : std::uint8_t {
+  kFin = 0x01,
+  kSyn = 0x02,
+  kRst = 0x04,
+  kPsh = 0x08,
+  kAck = 0x10,
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t payload_len = 0;
+
+  static constexpr std::size_t kSize = 17;
+
+  [[nodiscard]] bool has(Flags f) const { return (flags & f) != 0; }
+
+  /// Prepend this header to `msg` (whose contents are the payload).
+  void push_onto(xk::Message& msg) const;
+
+  /// Strip and parse the header from the front of `msg`. Returns false on a
+  /// runt segment (msg left unchanged).
+  static bool pop_from(xk::Message& msg, TcpHeader& out);
+
+  /// Parse without consuming, at byte offset `at` (recognition stubs peek
+  /// past IpMeta).
+  static bool peek(const xk::Message& msg, std::size_t at, TcpHeader& out);
+
+  /// Human-readable one-liner ("SYN|ACK seq=100 ack=7 win=4096 len=0").
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Sequence-number arithmetic (wrap-around safe).
+inline bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+inline bool seq_gt(std::uint32_t a, std::uint32_t b) { return seq_lt(b, a); }
+inline bool seq_ge(std::uint32_t a, std::uint32_t b) { return seq_le(b, a); }
+
+}  // namespace pfi::tcp

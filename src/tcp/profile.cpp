@@ -1,0 +1,100 @@
+#include "tcp/profile.hpp"
+
+namespace pfi::tcp::profiles {
+
+namespace {
+
+/// Shared base for the three BSD-derived stacks (the paper found SunOS, AIX
+/// and NeXT Mach "all very similar, and seemed to have been based on the
+/// same release of BSD unix").
+TcpProfile bsd_base() {
+  TcpProfile p;
+  p.rto_min = sim::sec(1);
+  p.rto_max = sim::sec(64);
+  p.rto_initial = sim::sec(3);
+  p.rtt_alg = RttAlgorithm::kJacobsonKarn;
+  p.max_data_retransmits = 12;
+  p.global_error_counter = false;
+  p.rst_on_timeout = true;
+  p.keepalive_idle = sim::sec(7200);
+  p.keepalive_fixed_interval = true;
+  p.keepalive_probe_interval = sim::sec(75);
+  p.max_keepalive_probes = 8;
+  p.keepalive_rst = true;
+  p.persist_min = sim::sec(5);
+  p.persist_max = sim::sec(60);
+  p.timer_scale = 1.0;
+  return p;
+}
+
+}  // namespace
+
+TcpProfile sunos_4_1_3() {
+  TcpProfile p = bsd_base();
+  p.name = "SunOS 4.1.3";
+  p.rto_rtt_factor = 2.1;        // first retransmit ~6.5 s under 3 s delay
+  p.keepalive_garbage_byte = true;  // SND.NXT-1 plus 1 byte of garbage
+  return p;
+}
+
+TcpProfile aix_3_2_3() {
+  TcpProfile p = bsd_base();
+  p.name = "AIX 3.2.3";
+  p.rto_rtt_factor = 2.6;        // first retransmit ~8 s under 3 s delay
+  p.keepalive_garbage_byte = false;
+  return p;
+}
+
+TcpProfile next_mach() {
+  TcpProfile p = bsd_base();
+  p.name = "NeXT Mach";
+  p.rto_rtt_factor = 1.65;       // first retransmit ~5 s under 3 s delay
+  p.keepalive_garbage_byte = false;
+  return p;
+}
+
+TcpProfile solaris_2_3() {
+  TcpProfile p;
+  p.name = "Solaris 2.3";
+  p.rto_min = sim::msec(330);  // the paper's measured 330 ms floor
+  // The paper measured the gap between the 8th and 9th retransmission as
+  // ~48 s and saw no stabilised upper bound; we encode the measured cap.
+  p.rto_max = sim::sec(48);
+  p.rto_initial = sim::msec(3500);
+  p.rtt_alg = RttAlgorithm::kLegacySolaris;
+  p.rto_rtt_factor = 0.8;        // systematic underestimate (fast ticks)
+  p.max_data_retransmits = 9;
+  p.global_error_counter = true;
+  p.counter_reset_shift_limit = 4;
+  p.rst_on_timeout = false;      // "no reset segment was sent"
+  p.keepalive_idle = sim::sec(7200);
+  p.keepalive_fixed_interval = false;  // exponential probe backoff
+  p.keepalive_probe_interval = sim::msec(330);
+  p.max_keepalive_probes = 7;
+  p.keepalive_rst = false;
+  p.keepalive_garbage_byte = false;
+  p.persist_min = sim::sec(5);
+  p.persist_max = sim::sec(60);
+  p.timer_scale = 6752.0 / 7200.0;  // 7200 s -> 6752 s, 60 s -> 56 s
+  return p;
+}
+
+TcpProfile xkernel_reference() {
+  TcpProfile p = bsd_base();
+  p.name = "x-Kernel reference";
+  p.rto_rtt_factor = 1.0;
+  return p;
+}
+
+TcpProfile no_reassembly_strawman() {
+  TcpProfile p = bsd_base();
+  p.name = "no-reassembly strawman";
+  p.queue_out_of_order = false;
+  return p;
+}
+
+std::vector<TcpProfile> all_vendors() {
+  return {sunos_4_1_3(), aix_3_2_3(), next_mach(), solaris_2_3()};
+}
+
+}  // namespace pfi::tcp::profiles

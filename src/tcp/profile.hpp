@@ -1,0 +1,139 @@
+// Vendor behaviour profiles.
+//
+// The paper probed four source-less vendor TCPs (SunOS 4.1.3, AIX 3.2.3,
+// NeXT Mach, Solaris 2.3) and characterised their externally visible quirks.
+// We can't run those binaries, so one TCP implementation is parameterised by
+// a TcpProfile that encodes each stack's published behavioural signature
+// (DESIGN.md §5). The PFI experiments then *rediscover* the signatures the
+// same way the paper did — by injecting faults and reading the packet trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pfi::tcp {
+
+enum class RttAlgorithm {
+  /// RFC-1122 mandated: Jacobson smoothed RTT + variance, Karn sample
+  /// selection (never sample a retransmitted segment), exponential backoff.
+  kJacobsonKarn,
+  /// Pre-Jacobson SVR4-style estimator the paper deduced for Solaris 2.3:
+  /// coarse smoothing without a variance term, systematic underestimate, and
+  /// a backoff that restarts from half the base RTO after the first timeout.
+  kLegacySolaris,
+};
+
+struct TcpProfile {
+  std::string name = "reference";
+
+  // --- retransmission -----------------------------------------------------
+  sim::Duration rto_min = sim::sec(1);
+  sim::Duration rto_max = sim::sec(64);
+  sim::Duration rto_initial = sim::sec(3);  // before any RTT sample
+  RttAlgorithm rtt_alg = RttAlgorithm::kJacobsonKarn;
+  /// Multiplier on srtt in the RTO formula. Real BSD derivatives quantised
+  /// RTT into slow-timer ticks, inflating the effective RTO by a
+  /// vendor-specific factor (the paper measured first-retransmit times of
+  /// 6.5 s / 8 s / 5 s against a 3 s delay). 1.0 = textbook Jacobson.
+  double rto_rtt_factor = 1.0;
+  /// Give up after this many retransmissions of a data segment.
+  int max_data_retransmits = 12;
+  /// Solaris kept one *global* error counter across segments instead of a
+  /// per-segment count; paper §4.1 experiment 2 exposed it (6 retransmits of
+  /// m1 + 3 of m2 = 9 and the connection died).
+  bool global_error_counter = false;
+  /// The global counter resets when an ACK advances SND.UNA, but only if the
+  /// acked segment's backoff shift is still below this threshold (a heavily
+  /// backed-off segment's ACK is too ambiguous to count as progress). This
+  /// reconciles the paper's two observations: 30 delayed ACKs did not kill
+  /// the connection, yet the 35 s-delayed ACK did not reset the counter.
+  int counter_reset_shift_limit = 4;
+  /// Send a RST when giving up on retransmissions (BSD yes, Solaris no —
+  /// "no reset segment was sent, presumably because no one would be waiting
+  /// to receive it").
+  bool rst_on_timeout = true;
+
+  // --- keep-alive (paper experiment 3) -------------------------------------
+  /// Idle threshold before the first probe. Spec says >= 7200 s; Solaris's
+  /// broken clock made it 6752 s (a violation the tool caught).
+  sim::Duration keepalive_idle = sim::sec(7200);
+  /// BSD probes at a fixed interval; Solaris retransmitted the probe with
+  /// exponential backoff starting near its (tiny) RTO floor.
+  bool keepalive_fixed_interval = true;
+  sim::Duration keepalive_probe_interval = sim::sec(75);
+  int max_keepalive_probes = 8;
+  bool keepalive_rst = true;  // send RST when declaring the peer dead
+  /// SunOS keep-alives carried one byte of garbage data "for compatibility
+  /// with older TCPs"; AIX/NeXT/Solaris sent zero bytes.
+  bool keepalive_garbage_byte = false;
+
+  // --- zero-window probing (paper experiment 4) ----------------------------
+  sim::Duration persist_min = sim::sec(5);
+  /// Probe backoff cap: 60 s BSD, 56 s Solaris (56/60 == 6752/7200 — the
+  /// same scaled-timer signature).
+  sim::Duration persist_max = sim::sec(60);
+  // All four vendors probed forever whether or not probes were ACKed; the
+  // paper flags it as a liveness hazard but none of them gave up, so there
+  // is no knob for it.
+
+  // --- clock quirk ----------------------------------------------------------
+  /// All long-interval timers are multiplied by this. Solaris 2.3's "one
+  /// second" tick actually measured ~0.938 s (6752/7200), which the paper's
+  /// acknowledgement credits Stuart Sechrest for spotting.
+  double timer_scale = 1.0;
+
+  // --- optional RFC-1122 mechanisms (off by default: the paper's probed
+  // stacks are modelled without them, and the experiment calibrations assume
+  // immediate ACKs and window-limited sending) -------------------------------
+  /// Delayed ACKs: coalesce the ACK for in-order data, sending immediately
+  /// on every second segment or after delayed_ack_timeout. Duplicate ACKs
+  /// and window updates are never delayed.
+  bool delayed_ack = false;
+  sim::Duration delayed_ack_timeout = sim::msec(200);
+  /// Tahoe congestion control: slow start + congestion avoidance; on loss,
+  /// ssthresh = flight/2 and cwnd = 1 MSS.
+  bool congestion_control = false;
+  /// Fast retransmit on the third duplicate ACK (requires
+  /// congestion_control).
+  bool fast_retransmit = false;
+
+  // --- general --------------------------------------------------------------
+  std::uint16_t mss = 512;
+  std::uint32_t receive_buffer = 4096;
+  int max_syn_retransmits = 4;
+  sim::Duration msl = sim::sec(30);  // TIME_WAIT = 2*MSL
+  /// RFC-1122 SHOULD: queue out-of-order segments rather than drop them.
+  /// All four vendors queued (paper experiment 5); a profile with false
+  /// models the degenerate drop-them implementation for A/B benches.
+  bool queue_out_of_order = true;
+
+  [[nodiscard]] sim::Duration scaled(sim::Duration d) const {
+    return static_cast<sim::Duration>(static_cast<double>(d) * timer_scale);
+  }
+};
+
+namespace profiles {
+
+/// The paper's four probed vendors.
+TcpProfile sunos_4_1_3();
+TcpProfile aix_3_2_3();
+TcpProfile next_mach();
+TcpProfile solaris_2_3();
+
+/// The instrumented x-Kernel endpoint the PFI tool rides on (textbook
+/// RFC-1122 behaviour, no vendor quirks).
+TcpProfile xkernel_reference();
+
+/// A deliberately non-conforming stack that drops out-of-order segments —
+/// baseline for the reordering/throughput ablation bench.
+TcpProfile no_reassembly_strawman();
+
+/// All four vendor profiles in the order the paper's tables list them.
+std::vector<TcpProfile> all_vendors();
+
+}  // namespace profiles
+
+}  // namespace pfi::tcp

@@ -1,0 +1,64 @@
+#include "tcp/rtt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pfi::tcp {
+
+void RttEstimator::sample(sim::Duration rtt) {
+  const double r = static_cast<double>(std::max<sim::Duration>(rtt, 0));
+  if (!has_sample_) {
+    srtt_ = r;
+    rttvar_ = r / 2.0;
+    has_sample_ = true;
+    return;
+  }
+  switch (profile_->rtt_alg) {
+    case RttAlgorithm::kJacobsonKarn:
+      // RFC 6298 constants (alpha = 1/8, beta = 1/4), Jacobson '88.
+      rttvar_ += 0.25 * (std::fabs(r - srtt_) - rttvar_);
+      srtt_ += 0.125 * (r - srtt_);
+      break;
+    case RttAlgorithm::kLegacySolaris:
+      // Coarser smoothing, no variance term.
+      srtt_ += 0.25 * (r - srtt_);
+      rttvar_ = 0.0;
+      break;
+  }
+}
+
+sim::Duration RttEstimator::base_rto() const {
+  if (!has_sample_) return profile_->rto_initial;
+  return clamp(profile_->rto_rtt_factor * srtt_ + 4.0 * rttvar_);
+}
+
+sim::Duration RttEstimator::rto_for_shift(int shift) const {
+  const double base = static_cast<double>(base_rto());
+  switch (profile_->rtt_alg) {
+    case RttAlgorithm::kJacobsonKarn:
+      return clamp(base * std::exp2(std::min(shift, 30)));
+    case RttAlgorithm::kLegacySolaris: {
+      if (shift == 0) return clamp(base);
+      // After the first timeout the RTO dips to half the base ("the second
+      // retransmission was seen an average of 1.2 seconds later") and then
+      // doubles — but only when that dip stays above the floor. In the
+      // floor regime (LAN, base == rto_min) the series is plain doubling
+      // from the floor, which is what produces the paper's six m1
+      // retransmissions inside the 35 s ACK delay.
+      const double dip = base / 2.0;
+      if (dip >= static_cast<double>(profile_->rto_min)) {
+        return clamp(dip * std::exp2(std::min(shift - 1, 30)));
+      }
+      return clamp(base * std::exp2(std::min(shift, 30)));
+    }
+  }
+  return profile_->rto_initial;
+}
+
+sim::Duration RttEstimator::clamp(double rto) const {
+  const double lo = static_cast<double>(profile_->rto_min);
+  const double hi = static_cast<double>(profile_->rto_max);
+  return static_cast<sim::Duration>(std::min(std::max(rto, lo), hi));
+}
+
+}  // namespace pfi::tcp

@@ -1,0 +1,55 @@
+// Retransmission-timeout estimation.
+//
+// Two estimators, selected by TcpProfile::rtt_alg:
+//
+//  * kJacobsonKarn — RFC-1122's required combination: Jacobson's smoothed
+//    RTT + mean deviation for the base RTO, Karn's rule for sample selection
+//    (the connection never feeds ambiguous samples in), and binary
+//    exponential backoff clamped to [rto_min, rto_max].
+//
+//  * kLegacySolaris — the behaviour the paper deduced for Solaris 2.3: a
+//    coarse smoother with no variance term whose RTO systematically
+//    *undershoots* the real path delay (rto_rtt_factor < 1), and a backoff
+//    that dips to half the base after the first timeout before doubling
+//    ("the first retransmission occurred at an average of 2.4 seconds; the
+//    second was seen an average of 1.2 seconds later, and exponential
+//    backoff started from there").
+#pragma once
+
+#include "sim/time.hpp"
+#include "tcp/profile.hpp"
+
+namespace pfi::tcp {
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(const TcpProfile& profile) : profile_(&profile) {}
+
+  /// Feed an unambiguous RTT sample (Karn filtering happens in the caller).
+  void sample(sim::Duration rtt);
+
+  /// Base RTO (backoff shift 0). Falls back to rto_initial with no samples.
+  [[nodiscard]] sim::Duration base_rto() const;
+
+  /// RTO to wait before retransmission number `shift + 1` (shift 0 = the
+  /// wait before the first retransmission).
+  [[nodiscard]] sim::Duration rto_for_shift(int shift) const;
+
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+  [[nodiscard]] sim::Duration srtt() const {
+    return static_cast<sim::Duration>(srtt_);
+  }
+  [[nodiscard]] sim::Duration rttvar() const {
+    return static_cast<sim::Duration>(rttvar_);
+  }
+
+ private:
+  [[nodiscard]] sim::Duration clamp(double rto) const;
+
+  const TcpProfile* profile_;
+  double srtt_ = 0.0;    // microseconds
+  double rttvar_ = 0.0;  // microseconds
+  bool has_sample_ = false;
+};
+
+}  // namespace pfi::tcp

@@ -1,0 +1,118 @@
+#include "tcp/tcp_layer.hpp"
+
+#include "net/layers.hpp"
+
+namespace pfi::tcp {
+
+TcpLayer::TcpLayer(sim::Scheduler& sched, net::NodeId self, TcpProfile profile,
+                   trace::TraceLog* trace, std::string node_name)
+    : Layer("tcp"),
+      sched_(sched),
+      self_(self),
+      profile_(std::move(profile)),
+      trace_log_(trace),
+      node_name_(std::move(node_name)) {}
+
+TcpConnection* TcpLayer::connect(net::NodeId remote, net::Port remote_port,
+                                 net::Port local_port) {
+  if (local_port == 0) local_port = next_ephemeral_++;
+  TcpConnection* conn = make_connection(remote, remote_port, local_port);
+  conn->open();
+  return conn;
+}
+
+void TcpLayer::listen(net::Port port) { listening_.insert(port); }
+void TcpLayer::unlisten(net::Port port) { listening_.erase(port); }
+
+TcpConnection* TcpLayer::find(net::Port local_port, net::NodeId remote,
+                              net::Port remote_port) const {
+  auto it = conns_.find({local_port, remote, remote_port});
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+std::vector<TcpConnection*> TcpLayer::connections() const { return order_; }
+
+std::size_t TcpLayer::gc() {
+  std::size_t reaped = 0;
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->second->state() == State::kClosed) {
+      std::erase(order_, it->second.get());
+      it = conns_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+TcpConnection* TcpLayer::make_connection(net::NodeId remote,
+                                         net::Port remote_port,
+                                         net::Port local_port) {
+  auto conn = std::make_unique<TcpConnection>(
+      sched_, profile_, self_, local_port, remote, remote_port, next_iss_,
+      [this](xk::Message msg) { send_down(std::move(msg)); }, trace_log_,
+      node_name_);
+  next_iss_ += 64000;
+  TcpConnection* raw = conn.get();
+  conns_[{local_port, remote, remote_port}] = std::move(conn);
+  order_.push_back(raw);
+  return raw;
+}
+
+void TcpLayer::push(xk::Message msg) {
+  if (order_.empty()) return;
+  order_.front()->send(msg.as_string());
+}
+
+void TcpLayer::pop(xk::Message msg) {
+  const net::IpMeta meta = net::IpMeta::pop_from(msg);
+  if (meta.proto != net::IpProto::kTcp) return;
+  TcpHeader h;
+  if (!TcpHeader::pop_from(msg, h)) return;  // runt
+
+  if (TcpConnection* conn = find(h.dst_port, meta.remote, h.src_port)) {
+    conn->on_segment(h, std::move(msg));
+    return;
+  }
+  if (h.has(kSyn) && !h.has(kAck) && listening_.contains(h.dst_port)) {
+    TcpConnection* conn =
+        make_connection(meta.remote, h.src_port, h.dst_port);
+    conn->open_passive(h);
+    if (on_accept) on_accept(*conn);
+    return;
+  }
+  // Stray segment for a connection we don't have: answer with RST so probes
+  // of dead endpoints get the response real stacks give (the paper's
+  // unplugged-receiver scenario ends when the rebooted peer RSTs a probe).
+  if (!h.has(kRst)) send_rst_for(h, meta.remote);
+}
+
+void TcpLayer::send_rst_for(const TcpHeader& h, net::NodeId remote) {
+  TcpHeader rst;
+  rst.src_port = h.dst_port;
+  rst.dst_port = h.src_port;
+  rst.flags = kRst | kAck;
+  std::uint32_t seg_len = h.payload_len;
+  if (h.has(kSyn)) ++seg_len;
+  if (h.has(kFin)) ++seg_len;
+  if (h.has(kAck)) {
+    rst.seq = h.ack;
+  } else {
+    rst.seq = 0;
+  }
+  rst.ack = h.seq + seg_len;
+  xk::Message msg;
+  rst.push_onto(msg);
+  net::IpMeta meta;
+  meta.remote = remote;
+  meta.proto = net::IpProto::kTcp;
+  meta.push_onto(msg);
+  if (trace_log_ != nullptr) {
+    trace_log_->add(sched_.now(), node_name_, "send", "tcp-stray-rst",
+                    rst.summary());
+  }
+  send_down(std::move(msg));
+}
+
+}  // namespace pfi::tcp

@@ -1,0 +1,81 @@
+// TCP layer for the x-Kernel-style stack: connection demux, passive opens,
+// and RST generation for strays. The PFI layer is typically spliced directly
+// below this layer (paper Figure 3: "the PFI layer sits directly between the
+// TCP layer and the IP layer").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/connection.hpp"
+#include "tcp/profile.hpp"
+#include "trace/trace.hpp"
+#include "xk/layer.hpp"
+
+namespace pfi::tcp {
+
+class TcpLayer : public xk::Layer {
+ public:
+  TcpLayer(sim::Scheduler& sched, net::NodeId self, TcpProfile profile,
+           trace::TraceLog* trace = nullptr, std::string node_name = {});
+
+  /// Active open. `local_port` 0 picks an ephemeral port.
+  TcpConnection* connect(net::NodeId remote, net::Port remote_port,
+                         net::Port local_port = 0);
+
+  /// Accept incoming connections on `port`.
+  void listen(net::Port port);
+  void unlisten(net::Port port);
+
+  /// Invoked when a passive open completes its handshake start (SYN
+  /// received, SYN|ACK sent).
+  std::function<void(TcpConnection&)> on_accept;
+
+  [[nodiscard]] TcpConnection* find(net::Port local_port, net::NodeId remote,
+                                    net::Port remote_port) const;
+
+  /// All connections, in creation order (closed ones included so tests and
+  /// experiments can post-mortem them).
+  [[nodiscard]] std::vector<TcpConnection*> connections() const;
+
+  /// Destroy fully CLOSED connections and return how many were reaped.
+  /// Callers must drop any pointers to reaped connections first.
+  std::size_t gc();
+
+  /// Application data pushed from the layer above goes to the first
+  /// connection — supports using a driver layer directly on top of TCP.
+  void push(xk::Message msg) override;
+
+  void pop(xk::Message msg) override;
+
+  [[nodiscard]] const TcpProfile& profile() const { return profile_; }
+  [[nodiscard]] net::NodeId self() const { return self_; }
+
+ private:
+  using Key = std::tuple<net::Port, net::NodeId, net::Port>;
+
+  TcpConnection* make_connection(net::NodeId remote, net::Port remote_port,
+                                 net::Port local_port);
+  void send_rst_for(const TcpHeader& h, net::NodeId remote);
+
+  sim::Scheduler& sched_;
+  net::NodeId self_;
+  TcpProfile profile_;
+  trace::TraceLog* trace_log_;
+  std::string node_name_;
+
+  std::map<Key, std::unique_ptr<TcpConnection>> conns_;
+  std::vector<TcpConnection*> order_;
+  std::set<net::Port> listening_;
+  net::Port next_ephemeral_ = 30000;
+  std::uint32_t next_iss_ = 10001;
+};
+
+}  // namespace pfi::tcp

@@ -1,0 +1,134 @@
+#include "trace/sequence.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pfi::trace {
+
+namespace {
+
+std::size_t lane_index(const std::vector<std::string>& lanes,
+                       const std::string& name) {
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (lanes[i] == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+std::string render_sequence(const std::vector<std::string>& lanes,
+                            const std::vector<SequenceEvent>& events,
+                            int lane_width) {
+  std::ostringstream os;
+  const auto w = static_cast<std::size_t>(lane_width);
+  const std::size_t time_col = 12;
+
+  // Header: lane names centred over their lifelines.
+  os << std::string(time_col, ' ');
+  for (const auto& lane : lanes) {
+    const std::size_t pad = w > lane.size() ? (w - lane.size()) / 2 : 0;
+    os << std::string(pad, ' ') << lane
+       << std::string(w - pad - std::min(lane.size(), w), ' ');
+  }
+  os << '\n';
+
+  auto lifeline_row = [&](const std::string& prefix) {
+    os << prefix;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      os << std::string(w / 2, ' ') << '|' << std::string(w - w / 2 - 1, ' ');
+    }
+    os << '\n';
+  };
+  lifeline_row(std::string(time_col, ' '));
+
+  for (const auto& ev : events) {
+    char tbuf[16];
+    std::snprintf(tbuf, sizeof tbuf, "%10.3fs ", sim::to_seconds(ev.at));
+    const std::size_t a = lane_index(lanes, ev.from);
+    const std::size_t b = lane_index(lanes, ev.to);
+    os << tbuf;
+
+    if (a == static_cast<std::size_t>(-1)) {
+      // Pure annotation line.
+      os << "  " << ev.label << '\n';
+      continue;
+    }
+    if (b == static_cast<std::size_t>(-1) || a == b) {
+      // Local event: a marker on the lane with the label beside it.
+      for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (i == a) {
+          os << std::string(w / 2, ' ') << '*'
+             << std::string(w - w / 2 - 1, ' ');
+        } else {
+          os << std::string(w / 2, ' ') << '|'
+             << std::string(w - w / 2 - 1, ' ');
+        }
+      }
+      os << ' ' << ev.label << '\n';
+      continue;
+    }
+
+    // Arrow between two lanes. Draw each column segment.
+    const std::size_t lo = std::min(a, b);
+    const std::size_t hi = std::max(a, b);
+    const bool rightward = a < b;
+    std::string line;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const std::size_t centre = i * w + w / 2;
+      line.resize(std::max(line.size(), centre + 1), ' ');
+      line[centre] = '|';
+    }
+    const std::size_t from_c = lo * w + w / 2;
+    const std::size_t to_c = hi * w + w / 2;
+    for (std::size_t c = from_c + 1; c < to_c; ++c) line[c] = '-';
+    if (rightward) {
+      line[to_c - 1] = '>';
+    } else {
+      line[from_c + 1] = '<';
+    }
+    // Centre the label inside the arrow if it fits.
+    if (!ev.label.empty() && ev.label.size() + 4 < to_c - from_c) {
+      const std::size_t start =
+          from_c + ((to_c - from_c) - ev.label.size()) / 2;
+      for (std::size_t i = 0; i < ev.label.size(); ++i) {
+        line[start + i] = ev.label[i];
+      }
+      os << line << '\n';
+    } else {
+      os << line << "  " << ev.label << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::vector<SequenceEvent> events_from_trace(
+    const TraceLog& trace, const std::vector<std::string>& lanes,
+    const std::string& peer, const std::string& type_prefix) {
+  std::vector<SequenceEvent> out;
+  for (const auto& r : trace.records()) {
+    if (!type_prefix.empty() && r.type.rfind(type_prefix, 0) != 0) continue;
+    SequenceEvent ev;
+    ev.at = r.at;
+    ev.label = r.type;
+    if (r.direction == "send") {
+      ev.from = r.node;
+      ev.to = peer;
+    } else if (r.direction == "recv") {
+      ev.from = peer;
+      ev.to = r.node;
+    } else {
+      ev.from = r.node;
+      ev.label = r.type + (r.detail.empty() ? "" : " " + r.detail);
+    }
+    if (lane_index(lanes, ev.from) == static_cast<std::size_t>(-1) &&
+        !ev.from.empty()) {
+      continue;  // node not charted
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+}  // namespace pfi::trace

@@ -1,0 +1,43 @@
+// ASCII message-sequence charts from trace logs.
+//
+// Paper §4.1 explains the Solaris global-error-counter discovery with a
+// hand-drawn A -> B sequence diagram. This module generates the same kind of
+// diagram mechanically from the PFI trace, so every experiment can show its
+// message flow:
+//
+//        A                    B
+//        |----- m1 ---------->|
+//        |<---- ACK m1 -------|  (delayed)
+//        |----- m1 ---------->|  retransmit
+//        ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pfi::trace {
+
+struct SequenceEvent {
+  sim::TimePoint at = 0;
+  std::string from;   // lane name; empty = annotation only
+  std::string to;     // lane name; empty = local event on `from`
+  std::string label;  // arrow/event label
+};
+
+/// Render events as a two-or-more-lane ASCII chart. Lanes appear in the
+/// order given; events must be time-sorted (they are, coming from a trace).
+std::string render_sequence(const std::vector<std::string>& lanes,
+                            const std::vector<SequenceEvent>& events,
+                            int lane_width = 24);
+
+/// Build sequence events from a trace: "send"-direction records become
+/// arrows from their node to `peer_of(node)`, "recv" records arrows into the
+/// node, "inject"/"event" records become local events. `type_filter` keeps
+/// only matching types (empty = all).
+std::vector<SequenceEvent> events_from_trace(
+    const TraceLog& trace, const std::vector<std::string>& lanes,
+    const std::string& peer, const std::string& type_prefix = "");
+
+}  // namespace pfi::trace

@@ -1,0 +1,111 @@
+#include "trace/trace.hpp"
+
+#include <sstream>
+#include <iomanip>
+
+namespace pfi::trace {
+
+void TraceLog::add(sim::TimePoint at, std::string node, std::string direction,
+                   std::string type, std::string detail) {
+  records_.push_back(Record{at, std::move(node), std::move(direction),
+                            std::move(type), std::move(detail)});
+}
+
+std::vector<Record> TraceLog::select(
+    const std::function<bool(const Record&)>& pred) const {
+  std::vector<Record> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Record> TraceLog::of_type(const std::string& type) const {
+  return select([&](const Record& r) { return r.type == type; });
+}
+
+std::size_t TraceLog::count(const std::string& type,
+                            const std::string& direction) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.type == type && (direction.empty() || r.direction == direction)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<sim::TimePoint> TraceLog::times(
+    const std::function<bool(const Record&)>& pred) const {
+  std::vector<sim::TimePoint> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(r.at);
+  }
+  return out;
+}
+
+std::vector<sim::Duration> TraceLog::intervals(
+    const std::vector<sim::TimePoint>& times) {
+  std::vector<sim::Duration> out;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    out.push_back(times[i] - times[i - 1]);
+  }
+  return out;
+}
+
+std::optional<Record> TraceLog::first(
+    const std::function<bool(const Record&)>& pred) const {
+  for (const auto& r : records_) {
+    if (pred(r)) return r;
+  }
+  return std::nullopt;
+}
+
+std::string TraceLog::render() const {
+  std::ostringstream os;
+  for (const auto& r : records_) {
+    os << std::fixed << std::setprecision(3) << std::setw(12)
+       << sim::to_seconds(r.at) << "s  " << std::setw(10) << r.node << "  "
+       << std::setw(7) << r.direction << "  " << std::setw(18) << r.type
+       << "  " << r.detail << '\n';
+  }
+  return os.str();
+}
+
+std::string TraceLog::to_json() const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    if (i > 0) os << ",";
+    os << "\n  {\"t_us\": " << r.at << ", \"node\": \"" << escape(r.node)
+       << "\", \"dir\": \"" << escape(r.direction) << "\", \"type\": \""
+       << escape(r.type) << "\", \"detail\": \"" << escape(r.detail)
+       << "\"}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace pfi::trace

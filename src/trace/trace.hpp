@@ -1,0 +1,71 @@
+// Timestamped experiment trace.
+//
+// Every experiment in the paper is evaluated by *logging packets with a
+// timestamp* at the PFI layer (e.g. "each packet was logged with a timestamp
+// by the receive filter script before it was dropped") and then reading
+// intervals off the log. TraceLog is that notebook: scripts and layers append
+// records; the experiment harness queries and renders them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pfi::trace {
+
+struct Record {
+  sim::TimePoint at = 0;
+  std::string node;      // which node's PFI layer observed it
+  std::string direction; // "send", "recv", "drop", "inject", "event", ...
+  std::string type;      // packet type as reported by the recognition stub
+  std::string detail;    // free-form (header fields, script annotations)
+};
+
+class TraceLog {
+ public:
+  void add(sim::TimePoint at, std::string node, std::string direction,
+           std::string type, std::string detail = {});
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// All records matching a predicate, in time order.
+  [[nodiscard]] std::vector<Record> select(
+      const std::function<bool(const Record&)>& pred) const;
+
+  /// Records of a given type (exact match on the stub-reported type name).
+  [[nodiscard]] std::vector<Record> of_type(const std::string& type) const;
+
+  /// Count of records matching type and (optionally) direction.
+  [[nodiscard]] std::size_t count(const std::string& type,
+                                  const std::string& direction = {}) const;
+
+  /// Timestamps of records matching a predicate.
+  [[nodiscard]] std::vector<sim::TimePoint> times(
+      const std::function<bool(const Record&)>& pred) const;
+
+  /// Successive differences of `times` — the "retransmission intervals" the
+  /// paper's tables report. Empty if fewer than two matches.
+  [[nodiscard]] static std::vector<sim::Duration> intervals(
+      const std::vector<sim::TimePoint>& times);
+
+  /// First record matching the predicate, if any.
+  [[nodiscard]] std::optional<Record> first(
+      const std::function<bool(const Record&)>& pred) const;
+
+  /// Render the whole log as a human-readable table (for examples/benches).
+  [[nodiscard]] std::string render() const;
+
+  /// Export as a JSON array of records (for external analysis tooling).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace pfi::trace

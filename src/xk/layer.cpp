@@ -1,0 +1,65 @@
+#include "xk/layer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pfi::xk {
+
+Layer* Stack::add(std::unique_ptr<Layer> layer) {
+  Layer* raw = layer.get();
+  layers_.push_back(std::move(layer));
+  relink();
+  return raw;
+}
+
+Layer* Stack::insert_below(Layer& target, std::unique_ptr<Layer> layer) {
+  Layer* raw = layer.get();
+  auto it = std::find_if(layers_.begin(), layers_.end(),
+                         [&](const auto& l) { return l.get() == &target; });
+  assert(it != layers_.end() && "insert_below: target not in stack");
+  layers_.insert(std::next(it), std::move(layer));
+  relink();
+  return raw;
+}
+
+Layer* Stack::insert_above(Layer& target, std::unique_ptr<Layer> layer) {
+  Layer* raw = layer.get();
+  auto it = std::find_if(layers_.begin(), layers_.end(),
+                         [&](const auto& l) { return l.get() == &target; });
+  assert(it != layers_.end() && "insert_above: target not in stack");
+  layers_.insert(it, std::move(layer));
+  relink();
+  return raw;
+}
+
+void Stack::remove(Layer& layer) {
+  auto it = std::find_if(layers_.begin(), layers_.end(),
+                         [&](const auto& l) { return l.get() == &layer; });
+  if (it == layers_.end()) return;
+  layers_.erase(it);
+  relink();
+}
+
+Layer* Stack::find(const std::string& name) const {
+  for (const auto& l : layers_) {
+    if (l->name() == name) return l.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Stack::names() const {
+  std::vector<std::string> out;
+  out.reserve(layers_.size());
+  for (const auto& l : layers_) out.push_back(l->name());
+  return out;
+}
+
+void Stack::relink() {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->set_above(i == 0 ? nullptr : layers_[i - 1].get());
+    layers_[i]->set_below(i + 1 == layers_.size() ? nullptr
+                                                  : layers_[i + 1].get());
+  }
+}
+
+}  // namespace pfi::xk

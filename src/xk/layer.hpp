@@ -1,0 +1,125 @@
+// Protocol-layer abstraction (paper Figure 1).
+//
+// A protocol stack is a chain of Layers. Each layer sees two verbs:
+//   push(msg) — a message travelling DOWN, from the layer above toward the
+//               network;
+//   pop(msg)  — a message travelling UP, from the layer below toward the
+//               application.
+// The PFI layer is just another Layer spliced between two consecutive layers
+// of the chain; the target protocol cannot tell it is there. That uniform
+// treatment of application-level protocols, transport protocols and device
+// layers is the core of the paper's model (§2.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xk/message.hpp"
+
+namespace pfi::xk {
+
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Message from the layer above, travelling down toward the network.
+  virtual void push(Message msg) = 0;
+
+  /// Message from the layer below, travelling up toward the application.
+  virtual void pop(Message msg) = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] Layer* above() const { return above_; }
+  [[nodiscard]] Layer* below() const { return below_; }
+  void set_above(Layer* l) { above_ = l; }
+  void set_below(Layer* l) { below_ = l; }
+
+ protected:
+  /// Continue a downward trip: hand `msg` to the layer below. Messages that
+  /// reach the bottom of a stack with no device layer are dropped silently
+  /// (mirrors an unplugged interface).
+  void send_down(Message msg) {
+    if (below_ != nullptr) below_->push(std::move(msg));
+  }
+
+  /// Continue an upward trip: hand `msg` to the layer above. Messages that
+  /// reach the top with no listener are dropped.
+  void send_up(Message msg) {
+    if (above_ != nullptr) above_->pop(std::move(msg));
+  }
+
+ private:
+  std::string name_;
+  Layer* above_ = nullptr;
+  Layer* below_ = nullptr;
+};
+
+/// A whole protocol stack on one node: an ordered chain of layers, top
+/// (application) first. Owns its layers.
+class Stack {
+ public:
+  /// Append `layer` at the bottom of the stack. Returns a non-owning handle.
+  Layer* add(std::unique_ptr<Layer> layer);
+
+  /// Splice `layer` directly below `target` — the paper's PFI-insertion
+  /// operation. `target` must already be in this stack.
+  Layer* insert_below(Layer& target, std::unique_ptr<Layer> layer);
+
+  /// Splice `layer` directly above `target`.
+  Layer* insert_above(Layer& target, std::unique_ptr<Layer> layer);
+
+  /// Remove a previously spliced layer, re-linking its neighbours. The layer
+  /// is destroyed. Used to "pull" a PFI layer out of a running stack.
+  void remove(Layer& layer);
+
+  [[nodiscard]] Layer* top() const {
+    return layers_.empty() ? nullptr : layers_.front().get();
+  }
+  [[nodiscard]] Layer* bottom() const {
+    return layers_.empty() ? nullptr : layers_.back().get();
+  }
+
+  /// Find a layer by name; nullptr if absent.
+  [[nodiscard]] Layer* find(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+
+  /// Layer names, top first — handy for tests and diagnostics.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  void relink();
+
+  std::vector<std::unique_ptr<Layer>> layers_;  // top first
+};
+
+/// Convenience base for the top of a stack: collects popped messages for the
+/// test harness / application to consume, and pushes app payloads down.
+class AppLayer : public Layer {
+ public:
+  explicit AppLayer(std::string name = "app") : Layer(std::move(name)) {}
+
+  void push(Message msg) override { send_down(std::move(msg)); }
+  void pop(Message msg) override { received_.push_back(std::move(msg)); }
+
+  /// Messages delivered to the application, oldest first.
+  [[nodiscard]] const std::vector<Message>& received() const {
+    return received_;
+  }
+  std::vector<Message> take_received() { return std::exchange(received_, {}); }
+
+  /// Send application data down the stack.
+  void send(Message msg) { send_down(std::move(msg)); }
+  void send(std::string_view payload) { send_down(Message{payload}); }
+
+ private:
+  std::vector<Message> received_;
+};
+
+}  // namespace pfi::xk

@@ -1,0 +1,153 @@
+// Integration tests: each GMP experiment from paper §4.2 must find the bug
+// when it is present (Tables 5-8) and report "behaved as specified" when the
+// daemon is fixed.
+#include <gtest/gtest.h>
+
+#include "experiments/gmp_experiments.hpp"
+
+namespace pfi::experiments {
+namespace {
+
+// --- Experiment 1a: heartbeats to self (Table 5 row 1) -----------------------
+
+TEST(GmpExp1a, BuggyDaemonAnnouncesOwnDeathAndStaysInStaleGroup) {
+  const GmpSelfHeartbeatResult r = run_gmp_exp1_self_heartbeats(true);
+  EXPECT_GE(r.self_death_events, 1u);
+  EXPECT_TRUE(r.believed_self_dead_at_end);
+  EXPECT_TRUE(r.stayed_in_stale_group);   // the bug's signature
+  EXPECT_TRUE(r.others_excluded_it);
+  // The proclaim-forwarding parameter bug swallows the late joiner's way in.
+  EXPECT_GE(r.proclaims_lost_to_forward_bug, 1u);
+  EXPECT_FALSE(r.late_joiner_admitted);
+}
+
+TEST(GmpExp1a, FixedDaemonFormsSingletonAndRejoins) {
+  const GmpSelfHeartbeatResult r = run_gmp_exp1_self_heartbeats(false);
+  EXPECT_GE(r.self_death_events, 1u);
+  EXPECT_FALSE(r.believed_self_dead_at_end);
+  EXPECT_FALSE(r.stayed_in_stale_group);
+  EXPECT_TRUE(r.rejoined_after_reset);
+  EXPECT_EQ(r.proclaims_lost_to_forward_bug, 0u);
+  // With forwarding intact the late joiner gets through node 3 to the leader.
+  EXPECT_TRUE(r.late_joiner_admitted);
+  EXPECT_TRUE(r.views_consistent);
+}
+
+TEST(GmpExp1a, SuspensionTriggersSameBug) {
+  const GmpSelfHeartbeatResult buggy =
+      run_gmp_exp1_self_heartbeats(true, /*via_suspend=*/true);
+  EXPECT_GE(buggy.self_death_events, 1u);
+  EXPECT_TRUE(buggy.believed_self_dead_at_end);
+  const GmpSelfHeartbeatResult fixed =
+      run_gmp_exp1_self_heartbeats(false, /*via_suspend=*/true);
+  EXPECT_TRUE(fixed.rejoined_after_reset);
+}
+
+// --- Experiment 1b: oscillating outgoing heartbeats (Table 5 row 2) ----------
+
+TEST(GmpExp1b, KickedOutReadmittedRepeatedly) {
+  const GmpHeartbeatOscillationResult r =
+      run_gmp_exp1_heartbeat_oscillation(false);
+  EXPECT_GE(r.times_kicked_out, 2);
+  EXPECT_GE(r.times_readmitted, 2);
+  EXPECT_TRUE(r.behaved_as_specified);
+}
+
+TEST(GmpExp1b, DelayedHeartbeatsActLikeDropped) {
+  // "The results were exactly the same because delayed heartbeats are like
+  // dropped ones."
+  const GmpHeartbeatOscillationResult r =
+      run_gmp_exp1_heartbeat_oscillation(true);
+  EXPECT_GE(r.times_kicked_out, 2);
+  EXPECT_GE(r.times_readmitted, 2);
+}
+
+// --- Experiment 1c: dropped MC ACKs (Table 5 row 3) --------------------------
+
+TEST(GmpExp1c, VictimNeverAdmitted) {
+  const GmpDropAcksResult r = run_gmp_exp1_drop_mc_acks();
+  EXPECT_FALSE(r.victim_ever_in_committed_group);
+  EXPECT_TRUE(r.others_formed_group_without_victim);
+  // It keeps timing out of IN_TRANSITION and re-proclaiming.
+  EXPECT_GE(r.victim_transition_aborts, 2u);
+}
+
+// --- Experiment 1d: dropped COMMITs (Table 5 row 4) --------------------------
+
+TEST(GmpExp1d, VictimCommittedByOthersThenKickedOut) {
+  const GmpDropCommitsResult r = run_gmp_exp1_drop_commits();
+  EXPECT_FALSE(r.victim_ever_established);
+  EXPECT_TRUE(r.others_admitted_then_removed);
+  EXPECT_GE(r.victim_transition_aborts, 1u);
+}
+
+// --- Experiment 2a: partition oscillation (Table 6 row 1) --------------------
+
+TEST(GmpExp2a, SplitMergeSplit) {
+  const GmpPartitionResult r = run_gmp_exp2_partition_oscillation();
+  EXPECT_TRUE(r.split_groups_formed);
+  EXPECT_TRUE(r.merged_group_formed);
+  EXPECT_TRUE(r.split_again);
+  EXPECT_TRUE(r.views_consistent);
+}
+
+// --- Experiment 2b: leader / crown prince separation (Table 6 row 2) ---------
+
+TEST(GmpExp2b, LeaderDetectsFirstPath) {
+  const GmpLeaderCrownPrinceResult r =
+      run_gmp_exp2_leader_crownprince(/*leader_detects_first=*/true);
+  EXPECT_TRUE(r.leader_detected_first);
+  EXPECT_TRUE(r.crown_prince_singleton);
+  EXPECT_TRUE(r.others_with_original_leader);
+  EXPECT_EQ(r.final_leader_view, (std::vector<net::NodeId>{1, 3, 4, 5}));
+}
+
+TEST(GmpExp2b, CrownPrinceDetectsFirstPathSameEndState) {
+  const GmpLeaderCrownPrinceResult r =
+      run_gmp_exp2_leader_crownprince(/*leader_detects_first=*/false);
+  EXPECT_FALSE(r.leader_detected_first);  // the other ordering actually ran
+  // "the result was the same for both"
+  EXPECT_TRUE(r.crown_prince_singleton);
+  EXPECT_TRUE(r.others_with_original_leader);
+  EXPECT_EQ(r.final_leader_view, (std::vector<net::NodeId>{1, 3, 4, 5}));
+}
+
+// --- Experiment 3: proclaim forwarding (Table 7) ------------------------------
+
+TEST(GmpExp3, BuggyLeaderLoopsWithForwarderAndJoinerStarves) {
+  const GmpProclaimForwardResult r = run_gmp_exp3_proclaim_forwarding(true);
+  EXPECT_FALSE(r.joiner_admitted);
+  EXPECT_GE(r.loop_replies, 10u);  // the vicious cycle
+  EXPECT_GE(r.proclaims_forwarded, 10u);
+}
+
+TEST(GmpExp3, FixedLeaderAnswersOriginator) {
+  const GmpProclaimForwardResult r = run_gmp_exp3_proclaim_forwarding(false);
+  EXPECT_TRUE(r.joiner_admitted);
+  EXPECT_EQ(r.loop_replies, 0u);
+  EXPECT_GE(r.proclaims_forwarded, 1u);
+}
+
+// --- Experiment 4: timer test (Table 8) ---------------------------------------
+
+TEST(GmpExp4, BuggyUnregisterFiresHeartbeatTimerInTransition) {
+  const GmpTimerTestResult r = run_gmp_exp4_timer_test(true);
+  EXPECT_GE(r.transition_hb_timeouts, 1u);  // the paper's symptom
+}
+
+TEST(GmpExp4, FixedUnregisterLeavesOnlyMembershipChangeTimer) {
+  const GmpTimerTestResult r = run_gmp_exp4_timer_test(false);
+  EXPECT_EQ(r.transition_hb_timeouts, 0u);
+  EXPECT_GE(r.transition_aborts, 1u);  // the MC timer is the one that fires
+}
+
+// --- Probe injection ----------------------------------------------------------
+
+TEST(GmpProbe, ForgedDeathReportEvictsHealthyMember) {
+  const GmpProbeInjectionResult r = run_gmp_probe_injection();
+  EXPECT_TRUE(r.healthy_member_evicted);
+  EXPECT_TRUE(r.member_rejoined);
+}
+
+}  // namespace
+}  // namespace pfi::experiments

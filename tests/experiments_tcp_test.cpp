@@ -1,0 +1,277 @@
+// Integration tests: each TCP experiment from paper §4.1 must reproduce the
+// qualitative result the paper's tables report.
+#include <gtest/gtest.h>
+
+#include "experiments/tcp_experiments.hpp"
+#include "tcp/profile.hpp"
+
+namespace pfi::experiments {
+namespace {
+
+using tcp::CloseReason;
+using tcp::profiles::aix_3_2_3;
+using tcp::profiles::next_mach;
+using tcp::profiles::no_reassembly_strawman;
+using tcp::profiles::solaris_2_3;
+using tcp::profiles::sunos_4_1_3;
+
+// --- Experiment 1 (Table 1) --------------------------------------------------
+
+TEST(TcpExp1, BsdRetransmitsTwelveTimesThenRst) {
+  for (const auto& profile : {sunos_4_1_3(), aix_3_2_3(), next_mach()}) {
+    const TcpExp1Result r = run_tcp_exp1(profile);
+    EXPECT_EQ(r.retransmissions, 12) << r.vendor;
+    EXPECT_TRUE(r.rst_observed) << r.vendor;
+    EXPECT_EQ(r.close_reason, CloseReason::kRetransmitTimeout) << r.vendor;
+    // Exponential growth to the 64 s upper bound where it levels off.
+    EXPECT_NEAR(r.max_interval_s, 64.0, 0.5) << r.vendor;
+    EXPECT_NEAR(r.first_interval_s, 1.0, 0.3) << r.vendor;
+    ASSERT_GE(r.intervals_s.size(), 7u) << r.vendor;
+    EXPECT_NEAR(r.intervals_s[1] / r.intervals_s[0], 2.0, 0.2) << r.vendor;
+    // Levels off: the last intervals are all the bound.
+    EXPECT_NEAR(r.intervals_s[r.intervals_s.size() - 1], 64.0, 0.5)
+        << r.vendor;
+    EXPECT_NEAR(r.intervals_s[r.intervals_s.size() - 2], 64.0, 0.5)
+        << r.vendor;
+  }
+}
+
+TEST(TcpExp1, SolarisNineRetransmitsNoRstNoBound) {
+  const TcpExp1Result r = run_tcp_exp1(solaris_2_3());
+  EXPECT_EQ(r.retransmissions, 9);
+  EXPECT_FALSE(r.rst_observed);  // "no reset segment was sent"
+  EXPECT_EQ(r.close_reason, CloseReason::kRetransmitTimeout);
+  // Very short lower bound (~330 ms) and no stabilisation at an upper bound:
+  // the longest interval stays far below 64 s.
+  EXPECT_NEAR(r.first_interval_s, 0.33, 0.05);
+  EXPECT_LT(r.max_interval_s, 50.0);
+  // Paper: "the ninth retransmission occurred an average of only 48 seconds
+  // after the eighth".
+  EXPECT_NEAR(r.intervals_s.back(), 48.0, 1.0);
+}
+
+// --- Experiment 2 (Table 2 / Figure 4) ---------------------------------------
+
+TEST(TcpExp2, BsdFirstRtoTracksAckDelay) {
+  // Paper: SunOS 6.5 s, AIX 8 s, NeXT 5 s against the 3 s delay.
+  const TcpExp2Result sun = run_tcp_exp2(sunos_4_1_3(), sim::sec(3));
+  EXPECT_NEAR(sun.first_rto_s, 6.5, 0.7);
+  const TcpExp2Result aix = run_tcp_exp2(aix_3_2_3(), sim::sec(3));
+  EXPECT_NEAR(aix.first_rto_s, 8.0, 0.8);
+  const TcpExp2Result nxt = run_tcp_exp2(next_mach(), sim::sec(3));
+  EXPECT_NEAR(nxt.first_rto_s, 5.0, 0.6);
+  // Ordering must match the paper: AIX > SunOS > NeXT.
+  EXPECT_GT(aix.first_rto_s, sun.first_rto_s);
+  EXPECT_GT(sun.first_rto_s, nxt.first_rto_s);
+}
+
+TEST(TcpExp2, BsdAdaptsToEightSecondDelayToo) {
+  const TcpExp2Result r = run_tcp_exp2(sunos_4_1_3(), sim::sec(8));
+  // RTO adjusted above the 8 s apparent network delay.
+  EXPECT_GT(r.first_rto_s, 8.0);
+  EXPECT_EQ(r.close_reason, CloseReason::kRetransmitTimeout);
+}
+
+TEST(TcpExp2, SolarisBarelyAdapts) {
+  const TcpExp2Result r = run_tcp_exp2(solaris_2_3(), sim::sec(3));
+  // Paper: first retransmission at ~2.4 s — BELOW the 3 s delay — and the
+  // second only ~1.2 s later.
+  EXPECT_NEAR(r.first_rto_s, 2.4, 0.25);
+  ASSERT_GE(r.intervals_s.size(), 2u);
+  EXPECT_NEAR(r.intervals_s[1], 1.2, 0.2);
+  EXPECT_FALSE(r.rst_observed);
+  const TcpExp2Result r8 = run_tcp_exp2(solaris_2_3(), sim::sec(8));
+  // "The Solaris RTO seemed to be unaffected by the increased ACK delays" —
+  // it must remain far below what Jacobson would produce for an 8 s path.
+  EXPECT_LT(r8.first_rto_s, 8.0);
+}
+
+TEST(TcpExp2, NoDelayVariantMatchesExperimentOne) {
+  const TcpExp2Result r = run_tcp_exp2(sunos_4_1_3(), 0);
+  EXPECT_EQ(r.retransmissions, 12);
+  EXPECT_NEAR(r.first_rto_s, 1.0, 0.3);
+}
+
+TEST(TcpExp2Counter, SolarisGlobalCounterSixPlusThree) {
+  // The paper's flagship finding: m1 retransmitted six times before its
+  // 35 s-delayed ACK lands, then m2 only three times: 6 + 3 = 9 and the
+  // connection dies.
+  const TcpExp2CounterResult r = run_tcp_exp2_counter(solaris_2_3());
+  EXPECT_EQ(r.m1_retransmissions, 6);
+  EXPECT_EQ(r.m2_retransmissions, 3);
+  EXPECT_TRUE(r.connection_died);
+  EXPECT_EQ(r.close_reason, CloseReason::kRetransmitTimeout);
+}
+
+TEST(TcpExp2Counter, BsdPerSegmentCounterGivesM2FullBudget) {
+  const TcpExp2CounterResult r = run_tcp_exp2_counter(sunos_4_1_3());
+  // BSD counts per segment: m2 gets its full 12 retransmissions regardless
+  // of how many m1 consumed.
+  EXPECT_EQ(r.m2_retransmissions, 12);
+  EXPECT_TRUE(r.connection_died);
+}
+
+// --- Experiment 3 (Table 3) ---------------------------------------------------
+
+TEST(TcpExp3, BsdKeepaliveProbesThenRst) {
+  const TcpExp3Result r =
+      run_tcp_exp3(sunos_4_1_3(), /*drop_probes=*/true, sim::hours(3));
+  // First probe ~7200 s after the connection went idle.
+  EXPECT_NEAR(r.first_probe_after_s, 7200.0, 5.0);
+  EXPECT_FALSE(r.spec_violation_threshold);
+  // Probe + 8 retransmissions at 75 s intervals, then a reset.
+  EXPECT_EQ(r.probes_observed, 9);
+  for (std::size_t i = 0; i < r.probe_intervals_s.size(); ++i) {
+    EXPECT_NEAR(r.probe_intervals_s[i], 75.0, 1.0);
+  }
+  EXPECT_TRUE(r.rst_observed);
+  EXPECT_EQ(r.close_reason, CloseReason::kKeepaliveTimeout);
+}
+
+TEST(TcpExp3, SolarisKeepaliveViolatesSpecThreshold) {
+  const TcpExp3Result r =
+      run_tcp_exp3(solaris_2_3(), /*drop_probes=*/true, sim::hours(3));
+  // Paper: first keep-alive at 6752 s — a violation of the >= 7200 s rule.
+  EXPECT_NEAR(r.first_probe_after_s, 6752.0, 5.0);
+  EXPECT_TRUE(r.spec_violation_threshold);
+  // Retransmitted almost immediately, then exponential backoff, 7 times,
+  // no RST.
+  EXPECT_EQ(r.probes_observed, 8);  // initial + 7
+  ASSERT_GE(r.probe_intervals_s.size(), 2u);
+  EXPECT_LT(r.probe_intervals_s[0], 1.0);  // "almost immediately"
+  EXPECT_NEAR(r.probe_intervals_s[1] / r.probe_intervals_s[0], 2.0, 0.3);
+  EXPECT_FALSE(r.rst_observed);
+  EXPECT_EQ(r.close_reason, CloseReason::kKeepaliveTimeout);
+}
+
+TEST(TcpExp3, AckedKeepalivesContinueAtIdleInterval) {
+  const TcpExp3Result bsd =
+      run_tcp_exp3(aix_3_2_3(), /*drop_probes=*/false, sim::hours(30));
+  EXPECT_GE(bsd.probes_observed, 10);
+  for (double iv : bsd.probe_intervals_s) EXPECT_NEAR(iv, 7200.0, 10.0);
+  EXPECT_EQ(bsd.close_reason, CloseReason::kNone);  // connection stays up
+
+  const TcpExp3Result sol =
+      run_tcp_exp3(solaris_2_3(), /*drop_probes=*/false, sim::hours(30));
+  for (double iv : sol.probe_intervals_s) EXPECT_NEAR(iv, 6752.0, 10.0);
+  // The 6752/7200 signature across the whole run.
+  EXPECT_GT(sol.probes_observed, bsd.probes_observed);
+}
+
+// --- Experiment 4 (Table 4) ---------------------------------------------------
+
+TEST(TcpExp4, ProbeBackoffLevelsAt60SecondsForBsd) {
+  const TcpExp4Result r = run_tcp_exp4(sunos_4_1_3(), /*drop_probes=*/false);
+  ASSERT_GE(r.probe_intervals_s.size(), 5u);
+  EXPECT_NEAR(r.cap_s, 60.0, 1.0);
+  // Exponential rise then plateau: last two intervals both at the cap.
+  const auto n = r.probe_intervals_s.size();
+  EXPECT_NEAR(r.probe_intervals_s[n - 1], 60.0, 1.0);
+  EXPECT_NEAR(r.probe_intervals_s[n - 2], 60.0, 1.0);
+  EXPECT_LT(r.probe_intervals_s[0], 60.0);
+  EXPECT_EQ(r.close_reason, CloseReason::kNone);
+}
+
+TEST(TcpExp4, SolarisCapIs56Seconds) {
+  const TcpExp4Result r = run_tcp_exp4(solaris_2_3(), /*drop_probes=*/false);
+  // 56/60 == 6752/7200 — the scaled-timer signature again.
+  EXPECT_NEAR(r.cap_s, 56.3, 0.7);
+}
+
+TEST(TcpExp4, ProbesForeverEvenUnplugged) {
+  for (const auto& profile : {sunos_4_1_3(), solaris_2_3()}) {
+    const TcpExp4Result r = run_tcp_exp4(profile, /*drop_probes=*/true);
+    // Two days of unplugged ethernet later, probes still flow and the
+    // connection never dies — the liveness hazard the paper flags.
+    EXPECT_TRUE(r.still_probing_after_unplug) << profile.name;
+    EXPECT_EQ(r.close_reason, CloseReason::kNone) << profile.name;
+    EXPECT_GT(r.probes_sent, 1000u) << profile.name;  // 48 h / ~60 s
+  }
+}
+
+// --- Experiment 5 -------------------------------------------------------------
+
+TEST(TcpExp5, AllVendorsQueueOutOfOrderSegments) {
+  for (const auto& profile : tcp::profiles::all_vendors()) {
+    const TcpExp5Result r = run_tcp_exp5(profile);
+    EXPECT_TRUE(r.queued_out_of_order) << profile.name;
+    EXPECT_TRUE(r.delivered_everything) << profile.name;
+    EXPECT_EQ(r.bytes_delivered, 5120u) << profile.name;
+  }
+}
+
+TEST(TcpExp5, StrawmanDropsButStillRecovers) {
+  const TcpExp5Result r = run_tcp_exp5(no_reassembly_strawman());
+  EXPECT_FALSE(r.queued_out_of_order);
+  EXPECT_TRUE(r.delivered_everything);  // retransmission saves it, slowly
+}
+
+// Property sweep: experiment 1's retransmission count always equals the
+// profile's configured budget, for every vendor.
+class Exp1Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Exp1Sweep, RetransmissionsMatchBudget) {
+  const auto all = tcp::profiles::all_vendors();
+  const auto& profile = all[static_cast<std::size_t>(GetParam())];
+  const TcpExp1Result r = run_tcp_exp1(profile);
+  EXPECT_EQ(r.retransmissions, profile.max_data_retransmits) << profile.name;
+  EXPECT_EQ(r.rst_observed, profile.rst_on_timeout) << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Vendors, Exp1Sweep, ::testing::Range(0, 4));
+
+// Sensitivity: the experiment-1 findings are protocol properties, not
+// artifacts of our 1 ms default link — they must hold across two orders of
+// magnitude of link latency.
+class Exp1LatencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Exp1LatencySweep, FindingsLatencyInvariant) {
+  const auto latency = sim::msec(GetParam());
+  const TcpExp1Result bsd = run_tcp_exp1(sunos_4_1_3(), latency);
+  EXPECT_EQ(bsd.retransmissions, 12);
+  EXPECT_TRUE(bsd.rst_observed);
+  EXPECT_NEAR(bsd.max_interval_s, 64.0, 0.5);
+  const TcpExp1Result sol = run_tcp_exp1(solaris_2_3(), latency);
+  EXPECT_EQ(sol.retransmissions, 9);
+  EXPECT_FALSE(sol.rst_observed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, Exp1LatencySweep,
+                         ::testing::Values(1, 10, 40, 100));
+
+// Keep-alive sweep: every vendor's probe budget, RST policy and idle
+// threshold must match its profile's published signature.
+class Exp3VendorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Exp3VendorSweep, KeepaliveSignatureMatchesProfile) {
+  const auto all = tcp::profiles::all_vendors();
+  const auto& profile = all[static_cast<std::size_t>(GetParam())];
+  const TcpExp3Result r = run_tcp_exp3(profile, true, sim::hours(3));
+  EXPECT_EQ(r.probes_observed, profile.max_keepalive_probes + 1)
+      << profile.name;
+  EXPECT_EQ(r.rst_observed, profile.keepalive_rst) << profile.name;
+  EXPECT_NEAR(r.first_probe_after_s,
+              sim::to_seconds(profile.scaled(profile.keepalive_idle)), 5.0)
+      << profile.name;
+  EXPECT_EQ(r.close_reason, CloseReason::kKeepaliveTimeout) << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Vendors, Exp3VendorSweep, ::testing::Range(0, 4));
+
+// Zero-window sweep: the probe cap equals the scaled persist maximum.
+class Exp4VendorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Exp4VendorSweep, PersistCapMatchesScaledProfile) {
+  const auto all = tcp::profiles::all_vendors();
+  const auto& profile = all[static_cast<std::size_t>(GetParam())];
+  const TcpExp4Result r = run_tcp_exp4(profile, false);
+  EXPECT_NEAR(r.cap_s, sim::to_seconds(profile.scaled(profile.persist_max)),
+              1.0)
+      << profile.name;
+  EXPECT_EQ(r.close_reason, CloseReason::kNone) << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Vendors, Exp4VendorSweep, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace pfi::experiments

@@ -1,0 +1,64 @@
+// Fingerprinting tests: the classifier must reproduce the paper's lineage
+// call from behaviour alone — BSD trio siblings, Solaris the outlier.
+#include <gtest/gtest.h>
+
+#include "experiments/fingerprint.hpp"
+#include "tcp/profile.hpp"
+
+namespace pfi::experiments {
+namespace {
+
+TEST(Fingerprint, BsdTrioClassifiedBsd) {
+  for (const auto& profile :
+       {tcp::profiles::sunos_4_1_3(), tcp::profiles::aix_3_2_3(),
+        tcp::profiles::next_mach()}) {
+    const Fingerprint fp = fingerprint_vendor(profile);
+    EXPECT_EQ(fp.lineage, "BSD-derived") << profile.name;
+    EXPECT_EQ(fp.retransmit_budget, 12) << profile.name;
+    EXPECT_TRUE(fp.rst_on_timeout) << profile.name;
+    EXPECT_NEAR(fp.clock_scale, 1.0, 0.01) << profile.name;
+  }
+}
+
+TEST(Fingerprint, SolarisClassifiedSvr4) {
+  const Fingerprint fp = fingerprint_vendor(tcp::profiles::solaris_2_3());
+  EXPECT_EQ(fp.lineage, "SVR4-derived");
+  EXPECT_EQ(fp.retransmit_budget, 9);
+  EXPECT_FALSE(fp.rst_on_timeout);
+  EXPECT_NEAR(fp.clock_scale, 6752.0 / 7200.0, 0.01);
+  EXPECT_FALSE(fp.keepalive_fixed_cadence);
+}
+
+TEST(Fingerprint, GarbageByteDistinguishesSunosFromSiblings) {
+  // The one observable difference inside the BSD family: SunOS keep-alives
+  // carry a garbage byte, AIX/NeXT send empty probes.
+  EXPECT_TRUE(
+      fingerprint_vendor(tcp::profiles::sunos_4_1_3()).keepalive_garbage_byte);
+  EXPECT_FALSE(
+      fingerprint_vendor(tcp::profiles::aix_3_2_3()).keepalive_garbage_byte);
+  EXPECT_FALSE(
+      fingerprint_vendor(tcp::profiles::next_mach()).keepalive_garbage_byte);
+}
+
+TEST(Fingerprint, SameLineageCall) {
+  const Fingerprint sun = fingerprint_vendor(tcp::profiles::sunos_4_1_3());
+  const Fingerprint aix = fingerprint_vendor(tcp::profiles::aix_3_2_3());
+  const Fingerprint sol = fingerprint_vendor(tcp::profiles::solaris_2_3());
+  EXPECT_TRUE(same_lineage(sun, aix));   // "same release of BSD unix"
+  EXPECT_FALSE(same_lineage(sun, sol));  // "behaved differently"
+}
+
+TEST(Fingerprint, EvidenceIsCited) {
+  const Fingerprint fp = fingerprint_vendor(tcp::profiles::solaris_2_3());
+  EXPECT_GE(fp.evidence.size(), 3u);
+  bool scaled_clock_cited = false;
+  for (const auto& e : fp.evidence) {
+    if (e.find("scaled clock") != std::string::npos) {
+      scaled_clock_cited = true;
+    }
+  }
+  EXPECT_TRUE(scaled_clock_cited);
+}
+
+}  // namespace
+}  // namespace pfi::experiments

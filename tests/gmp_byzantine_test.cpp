@@ -1,0 +1,140 @@
+// Byzantine-failure tests for GMP (paper §2.2's most severe model): forged
+// control messages, corrupted wire bytes, spurious traffic from strangers —
+// injected through the PFI layer's generation stub. The daemon must protect
+// the agreement property even when liveness is attacked.
+#include <gtest/gtest.h>
+
+#include "experiments/gmp_testbed.hpp"
+#include "pfi/failure.hpp"
+
+namespace pfi::gmp {
+namespace {
+
+using experiments::GmpTestbed;
+
+bool agreement(GmpTestbed& tb) {
+  for (net::NodeId a : tb.ids()) {
+    for (net::NodeId b : tb.ids()) {
+      if (a >= b) continue;
+      for (const auto& va : tb.gmd(a).view_history()) {
+        for (const auto& vb : tb.gmd(b).view_history()) {
+          if (va.id == vb.id && va.members != vb.members) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TEST(GmpByzantine, ForgedMembershipChangeFromStrangerIgnored) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(12));
+  ASSERT_TRUE(tb.group_formed({1, 2, 3}));
+  const auto views_before = tb.gmd(3).view_history().size();
+  // A "membership change" from node 9 — not a member of anyone's view —
+  // proposing {3, 9}. Members of a real group must ignore strangers.
+  // (Generation stubs can't encode member lists, so corrupt a forged commit
+  // path instead: send an MC claiming sender 9.)
+  tb.pfi(3).receive_interp().eval(
+      "xInject up type mc sender 9 originator 9 view_id 99999999 remote 9");
+  tb.sched.run_until(sim::sec(20));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3}));
+  EXPECT_EQ(tb.gmd(3).view_history().size(), views_before);
+  EXPECT_TRUE(agreement(tb));
+}
+
+TEST(GmpByzantine, ForgedCommitWithoutPendingChangeIgnored) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(12));
+  tb.pfi(2).receive_interp().eval(
+      "xInject up type commit sender 1 originator 1 view_id 123456 remote 1");
+  tb.sched.run_until(sim::sec(20));
+  // Node 2 was not IN_TRANSITION awaiting that view: nothing changes.
+  EXPECT_TRUE(tb.group_formed({1, 2, 3}));
+  EXPECT_TRUE(agreement(tb));
+}
+
+TEST(GmpByzantine, DeathReportFromStrangerIgnored) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(12));
+  // Node 9 (not a member) accuses node 3.
+  tb.pfi(1).receive_interp().eval(
+      "xInject up type death sender 9 originator 9 subject 3 remote 9");
+  tb.sched.run_until(sim::sec(25));
+  EXPECT_TRUE(tb.gmd(1).view().contains(3));  // accusation ignored
+}
+
+TEST(GmpByzantine, DeathReportFromMemberActedUpon) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(12));
+  // Member 2 (forged) accuses node 3: the leader must act (and node 3,
+  // being healthy, rejoins later) — the probe-injection experiment's core.
+  tb.pfi(1).receive_interp().eval(
+      "xInject up type death sender 2 originator 2 subject 3 remote 2");
+  tb.sched.run_until(sim::sec(16));
+  EXPECT_FALSE(tb.gmd(1).view().contains(3));
+  tb.sched.run_until(sim::sec(60));
+  EXPECT_TRUE(tb.gmd(1).view().contains(3));  // healthy node readmitted
+  EXPECT_TRUE(agreement(tb));
+}
+
+TEST(GmpByzantine, CorruptedBytesNeverBreakAgreement) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  // Node 2 corrupts a random byte of 30% of its outgoing messages for the
+  // whole run — decoding may fail or produce nonsense types; agreement must
+  // survive.
+  auto s = core::failure::byzantine_corruption(0.3, 14);
+  tb.pfi(2).set_send_script(s.send);
+  tb.sched.run_until(sim::sec(90));
+  EXPECT_TRUE(agreement(tb));
+  EXPECT_TRUE(tb.views_consistent());
+}
+
+TEST(GmpByzantine, SpuriousHeartbeatsFromStrangerHarmless) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(12));
+  // Flood the leader with heartbeats from a node that is in the peer list
+  // of nobody: they must not create failure-detector state or views.
+  for (int i = 0; i < 20; ++i) {
+    tb.sched.schedule(sim::sec(12) + sim::msec(100 * i), [&tb] {
+      tb.pfi(1).receive_interp().eval(
+          "xInject up type heartbeat sender 77 originator 77 remote 77");
+    });
+  }
+  tb.sched.run_until(sim::sec(40));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3}));
+  EXPECT_FALSE(tb.gmd(1).view().contains(77));
+}
+
+TEST(GmpByzantine, DuplicatedControlTrafficHarmless) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  // Node 1 (the eventual leader) duplicates everything it sends, twice.
+  auto s = core::failure::byzantine_duplication(1.0, 2);
+  tb.pfi(1).set_send_script(s.send);
+  tb.sched.run_until(sim::sec(30));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3}));
+  EXPECT_TRUE(agreement(tb));
+  // The reliable layer deduplicated the sequenced control messages.
+  EXPECT_GE(tb.node(2).rel->stats().duplicates_suppressed, 1u);
+}
+
+TEST(GmpByzantine, ReorderedControlTrafficConverges) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  auto s = core::failure::byzantine_reorder(3);
+  tb.pfi(2).set_send_script(s.send);
+  tb.sched.run_until(sim::sec(60));
+  // Reordering batches of 3 stalls some exchanges but never corrupts
+  // agreement; node 2 may or may not be in the final group.
+  EXPECT_TRUE(agreement(tb));
+}
+
+}  // namespace
+}  // namespace pfi::gmp

@@ -1,0 +1,415 @@
+// GMP daemon and reliable-layer tests: group formation, joins, failure
+// detection, partitions, leader succession, and view agreement properties.
+#include <gtest/gtest.h>
+
+#include "experiments/gmp_testbed.hpp"
+#include "gmp/daemon.hpp"
+#include "gmp/message.hpp"
+#include "gmp/reliable.hpp"
+#include "net/layers.hpp"
+
+namespace pfi::gmp {
+namespace {
+
+using experiments::GmpTestbed;
+
+/// Count without->with transitions for `node` across a view history.
+int readmissions(const std::vector<View>& history, net::NodeId node) {
+  int count = 0;
+  bool with = false;
+  bool ever = false;
+  for (const auto& v : history) {
+    const bool now_with = v.contains(node);
+    if (!with && now_with && ever) ++count;
+    if (now_with) ever = true;
+    with = now_with;
+  }
+  return count;
+}
+
+TEST(GmpMessage, EncodeDecodeRoundTrip) {
+  GmpMessage m;
+  m.type = MsgType::kCommit;
+  m.sender = 7;
+  m.originator = 8;
+  m.subject = 9;
+  m.view_id = 0xDEADBEEFCAFEULL;
+  m.members = {1, 2, 3};
+  xk::Message wire = m.encode();
+  GmpMessage out;
+  ASSERT_TRUE(GmpMessage::decode(wire, out));
+  EXPECT_EQ(out.type, MsgType::kCommit);
+  EXPECT_EQ(out.sender, 7u);
+  EXPECT_EQ(out.originator, 8u);
+  EXPECT_EQ(out.subject, 9u);
+  EXPECT_EQ(out.view_id, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(out.members, (std::vector<net::NodeId>{1, 2, 3}));
+}
+
+TEST(GmpMessage, RuntRejected) {
+  xk::Message runt{std::vector<std::uint8_t>{1, 2, 3}};
+  GmpMessage out;
+  EXPECT_FALSE(GmpMessage::decode(runt, out));
+}
+
+TEST(View, LeaderAndCrownPrince) {
+  View v{1, {3, 5, 9}};
+  EXPECT_EQ(v.leader(), 3u);
+  EXPECT_EQ(v.crown_prince(), 5u);
+  EXPECT_TRUE(v.contains(5));
+  EXPECT_FALSE(v.contains(4));
+  View single{2, {7}};
+  EXPECT_EQ(single.leader(), 7u);
+  EXPECT_EQ(single.crown_prince(), 0u);
+}
+
+TEST(Gmp, TwoDaemonsFormGroup) {
+  GmpTestbed tb{{1, 2}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(15));
+  EXPECT_TRUE(tb.group_formed({1, 2}));
+  EXPECT_TRUE(tb.gmd(1).is_leader());
+  EXPECT_FALSE(tb.gmd(2).is_leader());
+}
+
+TEST(Gmp, FiveDaemonsFormGroupWithLowestIdLeader) {
+  GmpTestbed tb{{3, 7, 11, 15, 19}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(25));
+  EXPECT_TRUE(tb.group_formed({3, 7, 11, 15, 19}));
+  EXPECT_EQ(tb.gmd(3).view().leader(), 3u);
+  EXPECT_TRUE(tb.views_consistent());
+}
+
+TEST(Gmp, LateJoinerAdmitted) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start(1);
+  tb.start(2);
+  tb.sched.run_until(sim::sec(10));
+  EXPECT_TRUE(tb.group_formed({1, 2}));
+  tb.start(3);
+  tb.sched.run_until(sim::sec(25));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3}));
+}
+
+TEST(Gmp, LowerIdJoinerBecomesLeader) {
+  GmpTestbed tb{{1, 5, 9}, GmpBugs::none()};
+  tb.start(5);
+  tb.start(9);
+  tb.sched.run_until(sim::sec(10));
+  EXPECT_TRUE(tb.group_formed({5, 9}));
+  tb.start(1);
+  tb.sched.run_until(sim::sec(25));
+  EXPECT_TRUE(tb.group_formed({1, 5, 9}));
+  EXPECT_TRUE(tb.gmd(1).is_leader());
+}
+
+TEST(Gmp, CrashedMemberExcluded) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(15));
+  ASSERT_TRUE(tb.group_formed({1, 2, 3}));
+  tb.network.unplug(3);
+  tb.sched.run_until(sim::sec(30));
+  EXPECT_TRUE(tb.gmd(1).view().members == (std::vector<net::NodeId>{1, 2}));
+  EXPECT_TRUE(tb.gmd(2).view().members == (std::vector<net::NodeId>{1, 2}));
+}
+
+TEST(Gmp, CrashedLeaderSucceededByCrownPrince) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(15));
+  ASSERT_TRUE(tb.group_formed({1, 2, 3}));
+  tb.network.unplug(1);
+  tb.sched.run_until(sim::sec(35));
+  EXPECT_TRUE(tb.gmd(2).view().members == (std::vector<net::NodeId>{2, 3}));
+  EXPECT_TRUE(tb.gmd(2).is_leader());
+  EXPECT_TRUE(tb.gmd(3).view().members == (std::vector<net::NodeId>{2, 3}));
+}
+
+TEST(Gmp, RecoveredMemberRejoins) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(15));
+  tb.network.unplug(3);
+  tb.sched.run_until(sim::sec(35));
+  ASSERT_FALSE(tb.gmd(1).view().contains(3));
+  tb.network.plug(3);
+  tb.sched.run_until(sim::sec(70));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3}));
+}
+
+TEST(Gmp, PartitionFormsDisjointGroupsAndRemerges) {
+  GmpTestbed tb{{1, 2, 3, 4, 5}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(20));
+  ASSERT_TRUE(tb.group_formed({1, 2, 3, 4, 5}));
+  tb.network.partition({{1, 2, 3}, {4, 5}});
+  tb.sched.run_until(sim::sec(45));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3}));
+  EXPECT_TRUE(tb.group_formed({4, 5}));
+  tb.network.heal();
+  tb.sched.run_until(sim::sec(90));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3, 4, 5}));
+}
+
+TEST(Gmp, SuspensionTreatedAsDeathThenRecovers) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(15));
+  tb.gmd(3).suspend_for(sim::sec(30));
+  tb.sched.run_until(sim::sec(35));
+  EXPECT_FALSE(tb.gmd(1).view().contains(3));
+  tb.sched.run_until(sim::sec(90));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3}));
+}
+
+TEST(Gmp, ViewHistoryIdsMonotone) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(15));
+  tb.network.unplug(3);
+  tb.sched.run_until(sim::sec(40));
+  tb.network.plug(3);
+  tb.sched.run_until(sim::sec(80));
+  for (net::NodeId id : tb.ids()) {
+    const auto& h = tb.gmd(id).view_history();
+    for (std::size_t i = 1; i < h.size(); ++i) {
+      EXPECT_GT(h[i].id, h[i - 1].id) << "daemon " << id;
+    }
+  }
+}
+
+// Agreement property: any two daemons that ever committed the same view id
+// committed identical memberships.
+TEST(Gmp, AgreementOnCommittedViews) {
+  GmpTestbed tb{{1, 2, 3, 4, 5}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(20));
+  tb.network.partition({{1, 3, 5}, {2, 4}});
+  tb.sched.run_until(sim::sec(50));
+  tb.network.heal();
+  tb.sched.run_until(sim::sec(100));
+  for (net::NodeId a : tb.ids()) {
+    for (net::NodeId b : tb.ids()) {
+      if (a >= b) continue;
+      for (const auto& va : tb.gmd(a).view_history()) {
+        for (const auto& vb : tb.gmd(b).view_history()) {
+          if (va.id == vb.id) {
+            EXPECT_EQ(va.members, vb.members);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(tb.group_formed({1, 2, 3, 4, 5}));
+}
+
+TEST(Gmp, NineNodeClusterFormsAndSurvivesThreeWayPartition) {
+  GmpTestbed tb{{1, 2, 3, 4, 5, 6, 7, 8, 9}, GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(40));
+  ASSERT_TRUE(tb.group_formed({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  tb.network.partition({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  tb.sched.run_until(sim::sec(90));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3}));
+  EXPECT_TRUE(tb.group_formed({4, 5, 6}));
+  EXPECT_TRUE(tb.group_formed({7, 8, 9}));
+  tb.network.heal();
+  tb.sched.run_until(sim::sec(220));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_TRUE(tb.views_consistent());
+  for (net::NodeId a : tb.ids()) {
+    for (net::NodeId b : tb.ids()) {
+      if (a >= b) continue;
+      for (const auto& va : tb.gmd(a).view_history()) {
+        for (const auto& vb : tb.gmd(b).view_history()) {
+          if (va.id == vb.id) {
+            EXPECT_EQ(va.members, vb.members);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Gmp, ChurnManyJoinLeaveCyclesStaysConsistent) {
+  // Sustained churn: node 3 crashes and recovers repeatedly while 4 and 5
+  // arrive late. Views must stay agreed at every shared id and the final
+  // group must contain everyone.
+  GmpTestbed tb{{1, 2, 3, 4, 5}, GmpBugs::none()};
+  tb.start(1);
+  tb.start(2);
+  tb.start(3);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    tb.sched.schedule(sim::sec(15 + 25 * cycle),
+                      [&tb] { tb.network.unplug(3); });
+    tb.sched.schedule(sim::sec(27 + 25 * cycle),
+                      [&tb] { tb.network.plug(3); });
+  }
+  tb.sched.schedule(sim::sec(40), [&tb] { tb.start(4); });
+  tb.sched.schedule(sim::sec(60), [&tb] { tb.start(5); });
+  tb.sched.run_until(sim::sec(140));
+  EXPECT_TRUE(tb.group_formed({1, 2, 3, 4, 5}));
+  for (net::NodeId a : tb.ids()) {
+    for (net::NodeId b : tb.ids()) {
+      if (a >= b) continue;
+      for (const auto& va : tb.gmd(a).view_history()) {
+        for (const auto& vb : tb.gmd(b).view_history()) {
+          if (va.id == vb.id) {
+            EXPECT_EQ(va.members, vb.members);
+          }
+        }
+      }
+    }
+  }
+  // Node 3 was excluded and readmitted repeatedly.
+  EXPECT_GE(readmissions(tb.gmd(1).view_history(), 3), 2);
+}
+
+// Property sweep: view agreement holds under increasing random message loss.
+class GmpLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GmpLossSweep, ConvergesDespiteLoss) {
+  GmpTestbed tb{{1, 2, 3}, GmpBugs::none()};
+  net::LinkConfig lossy;
+  lossy.latency = sim::msec(1);
+  lossy.loss_probability = GetParam() / 100.0;
+  for (net::NodeId a : tb.ids()) {
+    for (net::NodeId b : tb.ids()) {
+      if (a != b) tb.network.link(a, b) = lossy;
+    }
+  }
+  tb.start_all();
+  tb.sched.run_until(sim::sec(120));
+  // With 20% loss heartbeats still mostly flow; the group must assemble and
+  // every daemon must agree on committed views.
+  for (net::NodeId a : tb.ids()) {
+    for (net::NodeId b : tb.ids()) {
+      if (a >= b) continue;
+      for (const auto& va : tb.gmd(a).view_history()) {
+        for (const auto& vb : tb.gmd(b).view_history()) {
+          if (va.id == vb.id) {
+            EXPECT_EQ(va.members, vb.members);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(tb.views_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(LossPercent, GmpLossSweep,
+                         ::testing::Values(0, 5, 10, 15, 20, 25));
+
+// Reliable layer tests.
+struct RelPair {
+  sim::Scheduler sched;
+  net::Network network{sched};
+  xk::Stack a_stack;
+  xk::Stack b_stack;
+  xk::AppLayer* a_app;
+  xk::AppLayer* b_app;
+  ReliableLayer* a_rel;
+  ReliableLayer* b_rel;
+
+  RelPair() {
+    a_app = static_cast<xk::AppLayer*>(
+        a_stack.add(std::make_unique<xk::AppLayer>()));
+    a_rel = static_cast<ReliableLayer*>(
+        a_stack.add(std::make_unique<ReliableLayer>(sched)));
+    a_stack.add(std::make_unique<net::UdpLayer>(1));
+    a_stack.add(std::make_unique<net::IpLayer>(1));
+    a_stack.add(std::make_unique<net::NetDev>(network, 1));
+    b_app = static_cast<xk::AppLayer*>(
+        b_stack.add(std::make_unique<xk::AppLayer>()));
+    b_rel = static_cast<ReliableLayer*>(
+        b_stack.add(std::make_unique<ReliableLayer>(sched)));
+    b_stack.add(std::make_unique<net::UdpLayer>(2));
+    b_stack.add(std::make_unique<net::IpLayer>(2));
+    b_stack.add(std::make_unique<net::NetDev>(network, 2));
+  }
+
+  void send(net::NodeId to, SendMode mode, std::string_view payload) {
+    xk::Message msg{payload};
+    const auto ctrl = static_cast<std::uint8_t>(mode);
+    msg.push_header(std::span{&ctrl, 1});
+    net::UdpMeta meta;
+    meta.remote = to;
+    meta.remote_port = 7777;
+    meta.local_port = 7777;
+    meta.push_onto(msg);
+    a_app->send(std::move(msg));
+  }
+
+  static std::string payload_of(xk::Message msg) {
+    net::UdpMeta::pop_from(msg);
+    return msg.as_string();
+  }
+};
+
+TEST(Reliable, RawDeliversOnce) {
+  RelPair p;
+  p.send(2, SendMode::kRaw, "raw msg");
+  p.sched.run();
+  ASSERT_EQ(p.b_app->received().size(), 1u);
+  EXPECT_EQ(RelPair::payload_of(p.b_app->received()[0]), "raw msg");
+  EXPECT_EQ(p.a_rel->pending_count(), 0u);
+}
+
+TEST(Reliable, DataAckedAndNotRetransmitted) {
+  RelPair p;
+  p.send(2, SendMode::kReliable, "reliable msg");
+  p.sched.run();
+  ASSERT_EQ(p.b_app->received().size(), 1u);
+  EXPECT_EQ(p.a_rel->pending_count(), 0u);
+  EXPECT_EQ(p.a_rel->stats().retransmits, 0u);
+  EXPECT_EQ(p.b_rel->stats().acks_sent, 1u);
+}
+
+TEST(Reliable, RetransmitsUntilAcked) {
+  RelPair p;
+  p.network.link(1, 2).loss_probability = 1.0;
+  p.send(2, SendMode::kReliable, "lossy");
+  p.sched.run_until(sim::msec(1200));  // a couple of retry intervals
+  p.network.link(1, 2).loss_probability = 0.0;
+  p.sched.run_until(sim::sec(10));
+  ASSERT_EQ(p.b_app->received().size(), 1u);
+  EXPECT_GE(p.a_rel->stats().retransmits, 1u);
+  EXPECT_EQ(p.a_rel->pending_count(), 0u);
+}
+
+TEST(Reliable, GivesUpAfterMaxRetries) {
+  RelPair p;
+  p.network.link(1, 2).down = true;
+  p.send(2, SendMode::kReliable, "never");
+  p.sched.run_until(sim::sec(30));
+  EXPECT_EQ(p.a_rel->stats().gave_up, 1u);
+  EXPECT_EQ(p.a_rel->pending_count(), 0u);
+  EXPECT_TRUE(p.b_app->received().empty());
+}
+
+TEST(Reliable, DuplicateDataSuppressed) {
+  RelPair p;
+  // Kill the ACK path so retransmissions hit a receiver that already has it.
+  p.network.link(2, 1).down = true;
+  p.send(2, SendMode::kReliable, "once only");
+  p.sched.run_until(sim::sec(30));
+  EXPECT_EQ(p.b_app->received().size(), 1u);
+  EXPECT_GE(p.b_rel->stats().duplicates_suppressed, 1u);
+}
+
+TEST(Reliable, ResetDropsPendingState) {
+  RelPair p;
+  p.network.link(1, 2).down = true;
+  p.send(2, SendMode::kReliable, "a");
+  p.send(2, SendMode::kReliable, "b");
+  EXPECT_EQ(p.a_rel->pending_count(), 2u);
+  p.a_rel->reset();
+  EXPECT_EQ(p.a_rel->pending_count(), 0u);
+  p.sched.run_until(sim::sec(10));
+  EXPECT_EQ(p.a_rel->stats().retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace pfi::gmp

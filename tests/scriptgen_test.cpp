@@ -1,0 +1,226 @@
+// Tests for the automatic test-script generator (paper §6 future work ii),
+// including a safety campaign: GMP view agreement must survive EVERY
+// generated single-type fault, even the ones that wreck liveness.
+#include <gtest/gtest.h>
+
+#include "experiments/gmp_testbed.hpp"
+#include "pfi/pfi_layer.hpp"
+#include "pfi/scriptgen.hpp"
+#include "pfi/stub.hpp"
+#include "sim/scheduler.hpp"
+#include "xk/layer.hpp"
+
+namespace pfi::core::scriptgen {
+namespace {
+
+ProtocolSpec toy_spec() {
+  return ProtocolSpec{"toy", {"ack", "nack", "gack", "data"}};
+}
+
+TEST(ScriptGen, CampaignCoversCrossProduct) {
+  const auto tests = generate_campaign(toy_spec());
+  EXPECT_EQ(tests.size(), 4u * 5u);
+  // Names are unique.
+  std::set<std::string> names;
+  for (const auto& t : tests) names.insert(t.name);
+  EXPECT_EQ(names.size(), tests.size());
+}
+
+TEST(ScriptGen, SubsetCampaign) {
+  const auto tests =
+      generate_campaign(toy_spec(), {FaultKind::kDrop, FaultKind::kDelay});
+  EXPECT_EQ(tests.size(), 4u * 2u);
+}
+
+TEST(ScriptGen, DescriptionsMentionTypeAndFault) {
+  Options opts;
+  opts.warmup_occurrences = 5;
+  opts.max_faults = 3;
+  const GeneratedTest t =
+      generate(toy_spec(), "ack", FaultKind::kDrop, opts);
+  EXPECT_EQ(t.name, "toy/ack/drop");
+  EXPECT_NE(t.description.find("drop ack"), std::string::npos);
+  EXPECT_NE(t.description.find("first 5"), std::string::npos);
+  EXPECT_NE(t.description.find("at most 3"), std::string::npos);
+}
+
+struct Harness {
+  sim::Scheduler sched;
+  xk::Stack stack;
+  xk::AppLayer* app;
+  PfiLayer* pfi;
+
+  struct Loopback : xk::Layer {
+    Loopback() : Layer("loop") {}
+    void push(xk::Message m) override { send_up(std::move(m)); }
+    void pop(xk::Message m) override { send_up(std::move(m)); }
+  };
+
+  Harness() {
+    app = static_cast<xk::AppLayer*>(
+        stack.add(std::make_unique<xk::AppLayer>()));
+    PfiConfig cfg;
+    cfg.stub = std::make_shared<ToyStub>();
+    pfi = static_cast<PfiLayer*>(
+        stack.add(std::make_unique<PfiLayer>(sched, cfg)));
+    stack.add(std::make_unique<Loopback>());
+  }
+
+  void install(const GeneratedTest& t) {
+    pfi->run_setup(t.scripts.setup);
+    pfi->set_send_script(t.scripts.send);
+    pfi->set_receive_script(t.scripts.receive);
+  }
+};
+
+TEST(ScriptGen, GeneratedDropOnlyHitsTargetType) {
+  Harness h;
+  h.install(generate(toy_spec(), "ack", FaultKind::kDrop));
+  for (int i = 0; i < 5; ++i) {
+    h.app->send(ToyStub::make(ToyStub::kAck, static_cast<std::uint32_t>(i)));
+    h.app->send(ToyStub::make(ToyStub::kData, static_cast<std::uint32_t>(i)));
+  }
+  h.sched.run();
+  EXPECT_EQ(h.app->received().size(), 5u);  // all data, no acks
+  ToyStub stub;
+  for (const auto& m : h.app->received()) {
+    EXPECT_EQ(stub.type_of(m), "data");
+  }
+  EXPECT_EQ(h.pfi->stats().script_errors, 0u);
+}
+
+TEST(ScriptGen, WarmupAndBudgetRespected) {
+  Harness h;
+  Options opts;
+  opts.warmup_occurrences = 2;
+  opts.max_faults = 3;
+  h.install(generate(toy_spec(), "data", FaultKind::kDrop, opts));
+  for (int i = 0; i < 10; ++i) {
+    h.app->send(ToyStub::make(ToyStub::kData, static_cast<std::uint32_t>(i)));
+  }
+  h.sched.run();
+  // 2 warmup pass, 3 dropped, remaining 5 pass.
+  EXPECT_EQ(h.app->received().size(), 7u);
+  EXPECT_EQ(h.pfi->stats().dropped, 3u);
+}
+
+TEST(ScriptGen, GeneratedDelayDefersDelivery) {
+  Harness h;
+  Options opts;
+  opts.delay = sim::msec(700);
+  h.install(generate(toy_spec(), "data", FaultKind::kDelay, opts));
+  h.app->send(ToyStub::make(ToyStub::kData, 1));
+  h.sched.run_until(sim::msec(300));
+  EXPECT_TRUE(h.app->received().empty());
+  h.sched.run_until(sim::msec(800));
+  EXPECT_EQ(h.app->received().size(), 1u);
+}
+
+TEST(ScriptGen, GeneratedDuplicateMultiplies) {
+  Harness h;
+  Options opts;
+  opts.duplicate_copies = 2;
+  h.install(generate(toy_spec(), "data", FaultKind::kDuplicate, opts));
+  h.app->send(ToyStub::make(ToyStub::kData, 1));
+  h.sched.run();
+  EXPECT_EQ(h.app->received().size(), 3u);
+}
+
+TEST(ScriptGen, GeneratedCorruptMutates) {
+  Harness h;
+  Options opts;
+  opts.corrupt_offset = 1;  // high byte of the id field
+  h.install(generate(toy_spec(), "data", FaultKind::kCorrupt, opts));
+  int mutated = 0;
+  ToyStub stub;
+  for (int i = 0; i < 64; ++i) {
+    h.app->send(ToyStub::make(ToyStub::kData, 0));
+  }
+  h.sched.run();
+  for (const auto& m : h.app->received()) {
+    if (stub.field(m, "id").value_or(0) != 0) ++mutated;
+  }
+  EXPECT_GT(mutated, 48);  // uniform byte is nonzero 255/256 of the time
+}
+
+TEST(ScriptGen, GeneratedReorderReverses) {
+  Harness h;
+  Options opts;
+  opts.reorder_batch = 3;
+  h.install(generate(toy_spec(), "data", FaultKind::kReorder, opts));
+  for (int i = 1; i <= 3; ++i) {
+    h.app->send(ToyStub::make(ToyStub::kData, static_cast<std::uint32_t>(i)));
+  }
+  h.sched.run();
+  ASSERT_EQ(h.app->received().size(), 3u);
+  ToyStub stub;
+  EXPECT_EQ(stub.field(h.app->received()[0], "id"), 3);
+  EXPECT_EQ(stub.field(h.app->received()[2], "id"), 1);
+}
+
+TEST(ScriptGen, EveryGeneratedScriptParsesCleanly) {
+  Harness h;
+  for (const auto& t : generate_campaign(toy_spec())) {
+    h.install(t);
+    h.app->send(ToyStub::make(ToyStub::kData, 7, "x"));
+    h.app->send(ToyStub::make(ToyStub::kAck, 8));
+    h.sched.run();
+    EXPECT_EQ(h.pfi->stats().script_errors, 0u) << t.name << ": "
+                                                << h.pfi->last_error();
+  }
+}
+
+// The paper-grade application: run a generated fault campaign against the
+// GMP cluster and check the SAFETY property (any two daemons that committed
+// the same view id agree on its membership) under every single-type fault.
+// Liveness may legitimately suffer (dropping every commit starves joiners);
+// agreement must not.
+class GmpGeneratedCampaign
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GmpGeneratedCampaign, ViewAgreementSurvives) {
+  const auto [type_idx, kind_idx] = GetParam();
+  const ProtocolSpec spec{
+      "gmp",
+      {"gmp-heartbeat", "gmp-proclaim", "gmp-join", "gmp-mc", "gmp-ack",
+       "gmp-commit"}};
+  const std::vector<FaultKind> kinds{FaultKind::kDrop, FaultKind::kDelay,
+                                     FaultKind::kDuplicate,
+                                     FaultKind::kReorder};
+  Options opts;
+  opts.warmup_occurrences = 3;
+  opts.delay = sim::msec(1500);
+  const GeneratedTest t =
+      generate(spec, spec.message_types[static_cast<std::size_t>(type_idx)],
+               kinds[static_cast<std::size_t>(kind_idx)], opts);
+
+  experiments::GmpTestbed tb{{1, 2, 3}, gmp::GmpBugs::none()};
+  tb.start_all();
+  tb.sched.run_until(sim::sec(10));
+  // Fault node 2's traffic per the generated script.
+  tb.pfi(2).run_setup(t.scripts.setup);
+  tb.pfi(2).set_send_script(t.scripts.send);
+  tb.pfi(2).set_receive_script(t.scripts.receive);
+  tb.sched.run_until(sim::sec(70));
+
+  EXPECT_EQ(tb.pfi(2).stats().script_errors, 0u) << t.name;
+  for (net::NodeId a : tb.ids()) {
+    for (net::NodeId b : tb.ids()) {
+      if (a >= b) continue;
+      for (const auto& va : tb.gmd(a).view_history()) {
+        for (const auto& vb : tb.gmd(b).view_history()) {
+          if (va.id == vb.id) {
+            EXPECT_EQ(va.members, vb.members) << t.name;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFaults, GmpGeneratedCampaign,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace pfi::core::scriptgen

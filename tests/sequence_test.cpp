@@ -1,0 +1,91 @@
+// Tests for the ASCII message-sequence-chart renderer.
+#include <gtest/gtest.h>
+
+#include "trace/sequence.hpp"
+
+namespace pfi::trace {
+namespace {
+
+TEST(Sequence, HeaderContainsLaneNames) {
+  const std::string out = render_sequence({"A", "B"}, {});
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("B"), std::string::npos);
+  EXPECT_NE(out.find("|"), std::string::npos);  // lifelines
+}
+
+TEST(Sequence, RightwardArrowWithLabel) {
+  std::vector<SequenceEvent> ev{{sim::sec(1), "A", "B", "m1"}};
+  const std::string out = render_sequence({"A", "B"}, ev);
+  EXPECT_NE(out.find("m1"), std::string::npos);
+  EXPECT_NE(out.find('>'), std::string::npos);
+  EXPECT_EQ(out.find('<'), std::string::npos);
+  EXPECT_NE(out.find("1.000s"), std::string::npos);
+}
+
+TEST(Sequence, LeftwardArrow) {
+  std::vector<SequenceEvent> ev{{sim::sec(2), "B", "A", "ACK"}};
+  const std::string out = render_sequence({"A", "B"}, ev);
+  EXPECT_NE(out.find('<'), std::string::npos);
+  EXPECT_EQ(out.find('>'), std::string::npos);
+}
+
+TEST(Sequence, LocalEventMarker) {
+  std::vector<SequenceEvent> ev{{sim::sec(3), "A", "", "timeout fired"}};
+  const std::string out = render_sequence({"A", "B"}, ev);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("timeout fired"), std::string::npos);
+}
+
+TEST(Sequence, AnnotationLine) {
+  std::vector<SequenceEvent> ev{{sim::sec(4), "", "", "PFI started dropping"}};
+  const std::string out = render_sequence({"A", "B"}, ev);
+  EXPECT_NE(out.find("PFI started dropping"), std::string::npos);
+}
+
+TEST(Sequence, ThreeLaneArrowSkipsMiddle) {
+  std::vector<SequenceEvent> ev{{sim::sec(1), "A", "C", "far"}};
+  const std::string out = render_sequence({"A", "B", "C"}, ev);
+  // The arrow crosses B's lifeline position with dashes.
+  EXPECT_NE(out.find("far"), std::string::npos);
+  EXPECT_NE(out.find('>'), std::string::npos);
+}
+
+TEST(Sequence, LongLabelFallsOutsideArrow) {
+  std::vector<SequenceEvent> ev{
+      {sim::sec(1), "A", "B",
+       "a very long label that cannot possibly fit inside"}};
+  const std::string out = render_sequence({"A", "B"}, ev, 12);
+  EXPECT_NE(out.find("cannot possibly fit"), std::string::npos);
+}
+
+TEST(Sequence, FromTraceMapsDirections) {
+  TraceLog log;
+  log.add(sim::sec(1), "xkernel", "recv", "tcp-data", "seq=1");
+  log.add(sim::sec(2), "xkernel", "send", "tcp-ack", "ack=513");
+  log.add(sim::sec(3), "xkernel", "event", "tcp-state", "x -> y");
+  auto events = events_from_trace(log, {"vendor", "xkernel"}, "vendor");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].from, "vendor");
+  EXPECT_EQ(events[0].to, "xkernel");
+  EXPECT_EQ(events[1].from, "xkernel");
+  EXPECT_EQ(events[1].to, "vendor");
+  EXPECT_EQ(events[2].to, "");  // local event
+}
+
+TEST(Sequence, FromTraceTypePrefixFilter) {
+  TraceLog log;
+  log.add(1, "n", "recv", "tcp-data");
+  log.add(2, "n", "recv", "gmp-commit");
+  auto events = events_from_trace(log, {"p", "n"}, "p", "tcp-");
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(Sequence, UnchartedNodesSkipped) {
+  TraceLog log;
+  log.add(1, "elsewhere", "event", "x");
+  auto events = events_from_trace(log, {"A", "B"}, "B");
+  EXPECT_TRUE(events.empty());
+}
+
+}  // namespace
+}  // namespace pfi::trace

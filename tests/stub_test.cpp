@@ -1,0 +1,277 @@
+// Recognition/generation stub tests: ToyStub, TcpStub, GmpStub.
+#include <gtest/gtest.h>
+
+#include "gmp/message.hpp"
+#include "net/layers.hpp"
+#include "pfi/gmp_stub.hpp"
+#include "pfi/stub.hpp"
+#include "pfi/tcp_stub.hpp"
+#include "pfi/tpc_stub.hpp"
+#include "tcp/header.hpp"
+#include "tpc/tpc.hpp"
+
+namespace pfi::core {
+namespace {
+
+TEST(ToyStubTest, RecognisesTypes) {
+  ToyStub stub;
+  EXPECT_EQ(stub.type_of(ToyStub::make(ToyStub::kAck, 1)), "ack");
+  EXPECT_EQ(stub.type_of(ToyStub::make(ToyStub::kNack, 1)), "nack");
+  EXPECT_EQ(stub.type_of(ToyStub::make(ToyStub::kGack, 1)), "gack");
+  EXPECT_EQ(stub.type_of(ToyStub::make(ToyStub::kData, 1)), "data");
+  EXPECT_EQ(stub.type_of(xk::Message{"xy"}), "unknown");
+}
+
+TEST(ToyStubTest, FieldsAndSetFields) {
+  ToyStub stub;
+  xk::Message m = ToyStub::make(ToyStub::kData, 0x01020304, "pp");
+  EXPECT_EQ(stub.field(m, "id"), 0x01020304);
+  EXPECT_EQ(stub.field(m, "type"), ToyStub::kData);
+  EXPECT_EQ(stub.field(m, "len"), 2);
+  EXPECT_FALSE(stub.field(m, "bogus").has_value());
+  EXPECT_TRUE(stub.set_field(m, "id", 0x0A0B0C0D));
+  EXPECT_EQ(stub.field(m, "id"), 0x0A0B0C0D);
+}
+
+TEST(ToyStubTest, GenerateFromParams) {
+  ToyStub stub;
+  auto m = stub.generate({{"type", "nack"}, {"id", "12"}, {"payload", "zz"}});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(stub.type_of(*m), "nack");
+  EXPECT_EQ(stub.field(*m, "id"), 12);
+  EXPECT_EQ(stub.field(*m, "len"), 2);
+  EXPECT_FALSE(stub.generate({{"type", "garbage"}}).has_value());
+}
+
+xk::Message make_tcp_segment(std::uint8_t flags, std::uint32_t seq,
+                             std::uint32_t ack, std::string_view payload) {
+  tcp::TcpHeader h;
+  h.src_port = 1000;
+  h.dst_port = 2000;
+  h.seq = seq;
+  h.ack = ack;
+  h.flags = flags;
+  h.window = 4096;
+  h.payload_len = static_cast<std::uint16_t>(payload.size());
+  xk::Message m{payload};
+  h.push_onto(m);
+  net::IpMeta meta;
+  meta.remote = 42;
+  meta.proto = net::IpProto::kTcp;
+  meta.push_onto(m);
+  return m;
+}
+
+TEST(TcpStubTest, RecognisesSegmentTypes) {
+  TcpStub stub;
+  EXPECT_EQ(stub.type_of(make_tcp_segment(tcp::kSyn, 1, 0, "")), "tcp-syn");
+  EXPECT_EQ(stub.type_of(make_tcp_segment(tcp::kSyn | tcp::kAck, 1, 2, "")),
+            "tcp-synack");
+  EXPECT_EQ(stub.type_of(make_tcp_segment(tcp::kAck, 1, 2, "")), "tcp-ack");
+  EXPECT_EQ(stub.type_of(make_tcp_segment(tcp::kAck, 1, 2, "pay")),
+            "tcp-data");
+  EXPECT_EQ(stub.type_of(make_tcp_segment(tcp::kRst | tcp::kAck, 1, 2, "")),
+            "tcp-rst");
+  EXPECT_EQ(stub.type_of(make_tcp_segment(tcp::kFin | tcp::kAck, 1, 2, "")),
+            "tcp-fin");
+  EXPECT_EQ(stub.type_of(xk::Message{"short"}), "unknown");
+}
+
+TEST(TcpStubTest, FieldsReadable) {
+  TcpStub stub;
+  xk::Message m = make_tcp_segment(tcp::kAck, 111, 222, "body");
+  EXPECT_EQ(stub.field(m, "seq"), 111);
+  EXPECT_EQ(stub.field(m, "ack"), 222);
+  EXPECT_EQ(stub.field(m, "src_port"), 1000);
+  EXPECT_EQ(stub.field(m, "dst_port"), 2000);
+  EXPECT_EQ(stub.field(m, "window"), 4096);
+  EXPECT_EQ(stub.field(m, "len"), 4);
+  EXPECT_EQ(stub.field(m, "remote"), 42);
+  EXPECT_EQ(stub.field(m, "ack_flag"), 1);
+  EXPECT_EQ(stub.field(m, "syn"), 0);
+}
+
+TEST(TcpStubTest, SetFieldRewritesWire) {
+  TcpStub stub;
+  xk::Message m = make_tcp_segment(tcp::kAck, 111, 222, "");
+  EXPECT_TRUE(stub.set_field(m, "seq", 999));
+  EXPECT_TRUE(stub.set_field(m, "window", 0));
+  EXPECT_TRUE(stub.set_field(m, "remote", 7));
+  EXPECT_EQ(stub.field(m, "seq"), 999);
+  EXPECT_EQ(stub.field(m, "window"), 0);
+  EXPECT_EQ(stub.field(m, "remote"), 7);
+  EXPECT_FALSE(stub.set_field(m, "nonsense", 1));
+}
+
+TEST(TcpStubTest, GenerateSpuriousAck) {
+  TcpStub stub;
+  auto m = stub.generate({{"remote", "9"},
+                          {"src_port", "5000"},
+                          {"dst_port", "6000"},
+                          {"seq", "100"},
+                          {"ack", "200"},
+                          {"flags", "ack"},
+                          {"window", "1024"}});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(stub.type_of(*m), "tcp-ack");
+  EXPECT_EQ(stub.field(*m, "remote"), 9);
+  EXPECT_EQ(stub.field(*m, "ack"), 200);
+  auto rst = stub.generate({{"flags", "rst"}});
+  ASSERT_TRUE(rst.has_value());
+  EXPECT_EQ(stub.type_of(*rst), "tcp-rst");
+}
+
+TEST(TcpStubTest, SummaryMentionsFlagsAndSeq) {
+  TcpStub stub;
+  const std::string s =
+      stub.summary(make_tcp_segment(tcp::kSyn, 7, 0, ""));
+  EXPECT_NE(s.find("SYN"), std::string::npos);
+  EXPECT_NE(s.find("seq=7"), std::string::npos);
+}
+
+xk::Message make_gmp_wire(gmp::MsgType type, net::NodeId sender,
+                          gmp::RelKind kind = gmp::RelKind::kRaw) {
+  gmp::GmpMessage m;
+  m.type = type;
+  m.sender = sender;
+  m.originator = sender;
+  m.view_id = 0x10007;
+  m.members = {1, 2};
+  xk::Message wire = m.encode();
+  gmp::RelHeader rel;
+  rel.kind = kind;
+  rel.seq = 5;
+  rel.push_onto(wire);
+  net::UdpMeta meta;
+  meta.remote = sender;
+  meta.remote_port = 7777;
+  meta.local_port = 7777;
+  meta.push_onto(wire);
+  return wire;
+}
+
+TEST(GmpStubTest, RecognisesAllTypes) {
+  GmpStub stub;
+  using gmp::MsgType;
+  EXPECT_EQ(stub.type_of(make_gmp_wire(MsgType::kHeartbeat, 1)),
+            "gmp-heartbeat");
+  EXPECT_EQ(stub.type_of(make_gmp_wire(MsgType::kProclaim, 1)),
+            "gmp-proclaim");
+  EXPECT_EQ(stub.type_of(make_gmp_wire(MsgType::kJoin, 1)), "gmp-join");
+  EXPECT_EQ(stub.type_of(make_gmp_wire(MsgType::kMembershipChange, 1)),
+            "gmp-mc");
+  EXPECT_EQ(stub.type_of(make_gmp_wire(MsgType::kMcAck, 1)), "gmp-ack");
+  EXPECT_EQ(stub.type_of(make_gmp_wire(MsgType::kMcNak, 1)), "gmp-nak");
+  EXPECT_EQ(stub.type_of(make_gmp_wire(MsgType::kCommit, 1)), "gmp-commit");
+  EXPECT_EQ(stub.type_of(make_gmp_wire(MsgType::kDeathReport, 1)),
+            "gmp-death");
+  EXPECT_EQ(stub.type_of(make_gmp_wire(MsgType::kHeartbeat, 1,
+                                       gmp::RelKind::kAck)),
+            "rel-ack");
+}
+
+TEST(GmpStubTest, FieldsReadable) {
+  GmpStub stub;
+  xk::Message m = make_gmp_wire(gmp::MsgType::kCommit, 3);
+  EXPECT_EQ(stub.field(m, "sender"), 3);
+  EXPECT_EQ(stub.field(m, "remote"), 3);
+  EXPECT_EQ(stub.field(m, "view_id"), 0x10007);
+  EXPECT_EQ(stub.field(m, "member_count"), 2);
+  EXPECT_EQ(stub.field(m, "rel_seq"), 5);
+}
+
+TEST(GmpStubTest, SetFieldRedirectsAndRewrites) {
+  GmpStub stub;
+  xk::Message m = make_gmp_wire(gmp::MsgType::kProclaim, 3);
+  EXPECT_TRUE(stub.set_field(m, "remote", 9));
+  EXPECT_TRUE(stub.set_field(m, "sender", 8));
+  EXPECT_TRUE(stub.set_field(m, "subject", 4));
+  EXPECT_EQ(stub.field(m, "remote"), 9);
+  EXPECT_EQ(stub.field(m, "sender"), 8);
+  EXPECT_EQ(stub.field(m, "subject"), 4);
+}
+
+TEST(GmpStubTest, GenerateForgedDeathReport) {
+  GmpStub stub;
+  auto m = stub.generate({{"type", "death"},
+                          {"sender", "2"},
+                          {"originator", "2"},
+                          {"subject", "3"},
+                          {"remote", "1"}});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(stub.type_of(*m), "gmp-death");
+  EXPECT_EQ(stub.field(*m, "subject"), 3);
+  EXPECT_FALSE(stub.generate({{"type", "nonsense"}}).has_value());
+}
+
+TEST(GmpStubTest, SummaryHumanReadable) {
+  GmpStub stub;
+  const std::string s = stub.summary(make_gmp_wire(gmp::MsgType::kCommit, 3));
+  EXPECT_NE(s.find("commit"), std::string::npos);
+  EXPECT_NE(s.find("members={1,2}"), std::string::npos);
+}
+
+xk::Message make_tpc_wire(tpc::MsgType type, std::uint32_t txid) {
+  tpc::TpcMessage m;
+  m.type = type;
+  m.txid = txid;
+  m.sender = 5;
+  m.decision = tpc::Decision::kCommit;
+  m.participants = {1, 2};
+  xk::Message wire = m.encode();
+  net::UdpMeta meta;
+  meta.remote = 5;
+  meta.remote_port = 9900;
+  meta.local_port = 9900;
+  meta.push_onto(wire);
+  return wire;
+}
+
+TEST(TpcStubTest, RecognisesAllTypes) {
+  TpcStub stub;
+  using tpc::MsgType;
+  EXPECT_EQ(stub.type_of(make_tpc_wire(MsgType::kVoteReq, 1)),
+            "tpc-vote-req");
+  EXPECT_EQ(stub.type_of(make_tpc_wire(MsgType::kVoteYes, 1)),
+            "tpc-vote-yes");
+  EXPECT_EQ(stub.type_of(make_tpc_wire(MsgType::kVoteNo, 1)), "tpc-vote-no");
+  EXPECT_EQ(stub.type_of(make_tpc_wire(MsgType::kDecision, 1)),
+            "tpc-decision");
+  EXPECT_EQ(stub.type_of(make_tpc_wire(MsgType::kAck, 1)), "tpc-ack");
+  EXPECT_EQ(stub.type_of(make_tpc_wire(MsgType::kDecisionReq, 1)),
+            "tpc-decision-req");
+  EXPECT_EQ(stub.type_of(xk::Message{"runt"}), "unknown");
+}
+
+TEST(TpcStubTest, FieldsAndRewrites) {
+  TpcStub stub;
+  xk::Message m = make_tpc_wire(tpc::MsgType::kDecision, 77);
+  EXPECT_EQ(stub.field(m, "txid"), 77);
+  EXPECT_EQ(stub.field(m, "sender"), 5);
+  EXPECT_EQ(stub.field(m, "decision"),
+            static_cast<std::int64_t>(tpc::Decision::kCommit));
+  EXPECT_EQ(stub.field(m, "participant_count"), 2);
+  EXPECT_TRUE(stub.set_field(m, "decision",
+                             static_cast<std::int64_t>(tpc::Decision::kAbort)));
+  EXPECT_EQ(stub.field(m, "decision"),
+            static_cast<std::int64_t>(tpc::Decision::kAbort));
+  EXPECT_TRUE(stub.set_field(m, "txid", 99));
+  EXPECT_EQ(stub.field(m, "txid"), 99);
+}
+
+TEST(TpcStubTest, GenerateForgedDecision) {
+  TpcStub stub;
+  auto m = stub.generate({{"type", "decision"},
+                          {"txid", "8"},
+                          {"sender", "1"},
+                          {"decision", "abort"},
+                          {"remote", "3"}});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(stub.type_of(*m), "tpc-decision");
+  EXPECT_EQ(stub.field(*m, "txid"), 8);
+  EXPECT_FALSE(stub.generate({{"type", "nonsense"}}).has_value());
+  EXPECT_FALSE(stub.generate({{"decision", "maybe"}}).has_value());
+}
+
+}  // namespace
+}  // namespace pfi::core

@@ -1,0 +1,209 @@
+// Tests for the optional RFC-1122 mechanisms: delayed ACKs and Tahoe
+// congestion control with fast retransmit. These are off by default — the
+// probed-vendor profiles never enable them — so these tests flip them on
+// explicitly.
+#include <gtest/gtest.h>
+
+#include "net/layers.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/profile.hpp"
+#include "tcp/tcp_layer.hpp"
+
+namespace pfi::tcp {
+namespace {
+
+struct TcpPair {
+  sim::Scheduler sched;
+  net::Network network{sched};
+  xk::Stack a_stack;
+  xk::Stack b_stack;
+  TcpLayer* a;
+  TcpLayer* b;
+  TcpConnection* server = nullptr;
+
+  TcpPair(TcpProfile pa, TcpProfile pb) {
+    network.default_link().latency = sim::msec(5);
+    a = static_cast<TcpLayer*>(a_stack.add(
+        std::make_unique<TcpLayer>(sched, 1, std::move(pa), nullptr, "a")));
+    a_stack.add(std::make_unique<net::IpLayer>(1));
+    a_stack.add(std::make_unique<net::NetDev>(network, 1));
+    b = static_cast<TcpLayer*>(b_stack.add(
+        std::make_unique<TcpLayer>(sched, 2, std::move(pb), nullptr, "b")));
+    b_stack.add(std::make_unique<net::IpLayer>(2));
+    b_stack.add(std::make_unique<net::NetDev>(network, 2));
+    b->listen(80);
+    b->on_accept = [this](TcpConnection& c) { server = &c; };
+  }
+
+  TcpConnection* connect() {
+    TcpConnection* c = a->connect(2, 80);
+    sched.run_until(sched.now() + sim::msec(200));
+    return c;
+  }
+};
+
+TcpProfile delack_profile() {
+  TcpProfile p = profiles::xkernel_reference();
+  p.delayed_ack = true;
+  return p;
+}
+
+TcpProfile cc_profile(bool fast_rtx) {
+  TcpProfile p = profiles::xkernel_reference();
+  p.congestion_control = true;
+  p.fast_retransmit = fast_rtx;
+  p.receive_buffer = 32768;  // let cwnd, not the window, be the limiter
+  return p;
+}
+
+TEST(TcpDelAck, SingleSegmentAckedAfterTimeout) {
+  TcpPair p{profiles::xkernel_reference(), delack_profile()};
+  TcpConnection* c = p.connect();
+  c->send("one segment");
+  // The ACK is withheld up to 200 ms; data arrives at ~5 ms.
+  p.sched.run_until(p.sched.now() + sim::msec(100));
+  EXPECT_EQ(c->snd_una(), c->snd_nxt() - 11);  // still unacked
+  p.sched.run_until(p.sched.now() + sim::msec(300));
+  EXPECT_EQ(c->snd_una(), c->snd_nxt());  // delack timer fired
+  EXPECT_GE(p.server->stats().delayed_acks_coalesced, 1u);
+}
+
+TEST(TcpDelAck, EverySecondSegmentAckedImmediately) {
+  TcpPair p{profiles::xkernel_reference(), delack_profile()};
+  TcpConnection* c = p.connect();
+  c->send(std::string(1024, 'x'));  // exactly two MSS
+  p.sched.run_until(p.sched.now() + sim::msec(60));
+  // Second in-order segment forces the coalesced ACK well before 200 ms.
+  EXPECT_EQ(c->snd_una(), c->snd_nxt());
+  // Fewer ACK segments than data segments were sent.
+  EXPECT_LT(p.server->stats().segments_sent, 4u);
+}
+
+TEST(TcpDelAck, DuplicateAcksNeverDelayed) {
+  TcpPair p{profiles::xkernel_reference(), delack_profile()};
+  TcpConnection* c = p.connect();
+  p.server->set_auto_drain(false);
+  // Make segment 1 arrive after segment 2 (out of order).
+  p.network.link(1, 2).latency = sim::msec(500);
+  c->send(std::string(512, 'A'));
+  p.sched.run_until(p.sched.now() + sim::msec(5));
+  p.network.link(1, 2).latency = sim::msec(5);
+  c->send(std::string(512, 'B'));
+  p.sched.run_until(p.sched.now() + sim::msec(100));
+  // The gap triggered an immediate duplicate ACK despite delayed-ack mode.
+  EXPECT_GE(p.server->stats().duplicate_acks_sent, 1u);
+  p.sched.run_until(p.sched.now() + sim::sec(5));
+  EXPECT_EQ(p.server->read(),
+            std::string(512, 'A') + std::string(512, 'B'));
+}
+
+TEST(TcpDelAck, TransferIntegrityUnchanged) {
+  TcpPair p{delack_profile(), delack_profile()};
+  TcpConnection* c = p.connect();
+  p.server->set_auto_drain(false);
+  const std::string data(9000, 'd');
+  c->send(data);
+  std::string got;
+  for (int i = 0; i < 10; ++i) {
+    p.sched.run_until(p.sched.now() + sim::sec(2));
+    got += p.server->read();
+  }
+  EXPECT_EQ(got, data);
+}
+
+TEST(TcpCc, SlowStartGrowsCwndExponentially) {
+  TcpPair p{cc_profile(false), profiles::xkernel_reference()};
+  TcpConnection* c = p.connect();
+  EXPECT_EQ(c->cwnd(), 512u);  // 1 MSS after establishment
+  p.server->set_auto_drain(true);
+  c->send(std::string(8192, 's'));
+  p.sched.run_until(p.sched.now() + sim::msec(45));  // a few RTTs (10 ms each)
+  // Slow start: cwnd grew by one MSS per ACK — several doublings by now.
+  EXPECT_GE(c->cwnd(), 4u * 512u);
+  p.sched.run_until(p.sched.now() + sim::sec(5));
+  EXPECT_EQ(c->stats().bytes_sent, 8192u);
+}
+
+TEST(TcpCc, FirstRttSendsOnlyOneSegment) {
+  TcpPair p{cc_profile(false), profiles::xkernel_reference()};
+  TcpConnection* c = p.connect();
+  c->send(std::string(8192, 's'));
+  // Before any data ACK returns, exactly cwnd = 1 MSS may be in flight.
+  p.sched.run_until(p.sched.now() + sim::msec(2));
+  EXPECT_EQ(c->snd_nxt() - c->snd_una(), 512u);
+}
+
+TEST(TcpCc, TimeoutCollapsesCwnd) {
+  TcpPair p{cc_profile(false), profiles::xkernel_reference()};
+  TcpConnection* c = p.connect();
+  c->send(std::string(4096, 's'));
+  p.sched.run_until(p.sched.now() + sim::msec(60));
+  const auto grown = c->cwnd();
+  ASSERT_GT(grown, 512u);
+  // Lose a segment while it is outstanding: the RTO must collapse cwnd.
+  p.network.link(1, 2).down = true;
+  c->send(std::string(512, 'l'));
+  p.sched.run_until(p.sched.now() + sim::sec(3));  // at least one RTO
+  EXPECT_EQ(c->cwnd(), 512u);
+  EXPECT_LT(c->ssthresh(), 65535u);
+  p.network.link(1, 2).down = false;
+  p.sched.run_until(p.sched.now() + sim::sec(60));
+  EXPECT_EQ(c->stats().bytes_sent, 4608u);
+}
+
+TEST(TcpCc, FastRetransmitBeatsTimeout) {
+  // Drop exactly one data segment; with fast retransmit the repair happens
+  // on the third duplicate ACK (~tens of ms), far sooner than the 1 s RTO.
+  TcpPair fr{cc_profile(true), profiles::xkernel_reference()};
+  TcpConnection* c = fr.connect();
+  fr.server->set_auto_drain(true);
+  c->send(std::string(2048, 'x'));  // ramp cwnd to ~2.5 KB
+  fr.sched.run_until(fr.sched.now() + sim::msec(100));
+  ASSERT_GE(c->cwnd(), 2560u);
+  const auto t0 = fr.sched.now();
+  fr.network.link(1, 2).loss_probability = 1.0;
+  c->send(std::string(512, 'L'));  // this one dies
+  fr.sched.run_until(fr.sched.now() + sim::msec(2));
+  fr.network.link(1, 2).loss_probability = 0.0;
+  c->send(std::string(2048, 'y'));  // these arrive, generating dup ACKs
+  fr.sched.run_until(fr.sched.now() + sim::sec(5));
+  EXPECT_EQ(c->stats().fast_retransmits, 1u);
+  EXPECT_GE(c->stats().duplicate_acks_received, 3u);
+  // Everything was delivered, and far faster than an RTO would allow.
+  EXPECT_EQ(fr.server->stats().bytes_received, 2048u + 512u + 2048u);
+  EXPECT_LT(fr.sched.now() - t0, sim::sec(6));
+}
+
+TEST(TcpCc, CongestionAvoidanceSlowerThanSlowStart) {
+  TcpPair p{cc_profile(false), profiles::xkernel_reference()};
+  TcpConnection* c = p.connect();
+  // Force a small ssthresh via a timeout, then watch linear growth.
+  c->send(std::string(4096, 'a'));
+  p.sched.run_until(p.sched.now() + sim::msec(60));
+  p.network.link(1, 2).down = true;
+  c->send(std::string(512, 'l'));  // lost -> RTO -> collapse
+  p.sched.run_until(p.sched.now() + sim::sec(3));
+  p.network.link(1, 2).down = false;
+  const auto ssthresh = c->ssthresh();
+  c->send(std::string(8192, 'b'));
+  p.sched.run_until(p.sched.now() + sim::sec(30));
+  // cwnd passed ssthresh and kept growing, but sub-exponentially; it must
+  // not exceed ssthresh by orders of magnitude in this short run.
+  EXPECT_GT(c->cwnd(), ssthresh);
+  EXPECT_LT(c->cwnd(), ssthresh + 40u * 512u);
+}
+
+TEST(TcpCc, DefaultProfilesUnaffected) {
+  for (const auto& prof : profiles::all_vendors()) {
+    EXPECT_FALSE(prof.congestion_control) << prof.name;
+    EXPECT_FALSE(prof.delayed_ack) << prof.name;
+    EXPECT_FALSE(prof.fast_retransmit) << prof.name;
+  }
+  TcpPair p{profiles::xkernel_reference(), profiles::xkernel_reference()};
+  TcpConnection* c = p.connect();
+  EXPECT_EQ(c->cwnd(), 0u);  // off: window-limited only
+}
+
+}  // namespace
+}  // namespace pfi::tcp

@@ -1,0 +1,174 @@
+// Vendor-profile behavioural signatures (DESIGN.md §5): the knobs that make
+// the four probed stacks distinguishable, and the Solaris scaled-timer
+// arithmetic the paper's acknowledgement highlights (6752/7200 == 56/60).
+#include <gtest/gtest.h>
+
+#include "tcp/profile.hpp"
+#include "tcp/rtt.hpp"
+
+namespace pfi::tcp {
+namespace {
+
+TEST(Profiles, BsdTrioSharesCoreBehaviour) {
+  for (const TcpProfile& p :
+       {profiles::sunos_4_1_3(), profiles::aix_3_2_3(),
+        profiles::next_mach()}) {
+    EXPECT_EQ(p.max_data_retransmits, 12) << p.name;
+    EXPECT_TRUE(p.rst_on_timeout) << p.name;
+    EXPECT_EQ(p.rto_min, sim::sec(1)) << p.name;
+    EXPECT_EQ(p.rto_max, sim::sec(64)) << p.name;
+    EXPECT_EQ(p.keepalive_idle, sim::sec(7200)) << p.name;
+    EXPECT_TRUE(p.keepalive_fixed_interval) << p.name;
+    EXPECT_EQ(p.keepalive_probe_interval, sim::sec(75)) << p.name;
+    EXPECT_EQ(p.max_keepalive_probes, 8) << p.name;
+    EXPECT_TRUE(p.keepalive_rst) << p.name;
+    EXPECT_EQ(p.persist_max, sim::sec(60)) << p.name;
+    EXPECT_DOUBLE_EQ(p.timer_scale, 1.0) << p.name;
+    EXPECT_FALSE(p.global_error_counter) << p.name;
+    EXPECT_TRUE(p.queue_out_of_order) << p.name;
+  }
+}
+
+TEST(Profiles, OnlySunosSendsKeepaliveGarbageByte) {
+  EXPECT_TRUE(profiles::sunos_4_1_3().keepalive_garbage_byte);
+  EXPECT_FALSE(profiles::aix_3_2_3().keepalive_garbage_byte);
+  EXPECT_FALSE(profiles::next_mach().keepalive_garbage_byte);
+  EXPECT_FALSE(profiles::solaris_2_3().keepalive_garbage_byte);
+}
+
+TEST(Profiles, SolarisSignatures) {
+  const TcpProfile p = profiles::solaris_2_3();
+  EXPECT_EQ(p.rto_min, sim::msec(330));
+  EXPECT_EQ(p.max_data_retransmits, 9);
+  EXPECT_TRUE(p.global_error_counter);
+  EXPECT_FALSE(p.rst_on_timeout);
+  EXPECT_FALSE(p.keepalive_fixed_interval);
+  EXPECT_EQ(p.max_keepalive_probes, 7);
+  EXPECT_FALSE(p.keepalive_rst);
+  EXPECT_EQ(p.rtt_alg, RttAlgorithm::kLegacySolaris);
+}
+
+TEST(Profiles, SolarisScaledTimersMatchPaperArithmetic) {
+  const TcpProfile p = profiles::solaris_2_3();
+  // 7200 s of nominal keep-alive idle becomes ~6752 s of real time.
+  EXPECT_NEAR(sim::to_seconds(p.scaled(p.keepalive_idle)), 6752.0, 1.0);
+  // 60 s of nominal persist cap becomes ~56 s — same ratio, the paper's
+  // "thanks to Stuart Sechrest" observation.
+  EXPECT_NEAR(sim::to_seconds(p.scaled(p.persist_max)), 56.3, 0.5);
+  const double keepalive_ratio = 6752.0 / 7200.0;
+  const double persist_ratio =
+      sim::to_seconds(p.scaled(p.persist_max)) / 60.0;
+  EXPECT_NEAR(keepalive_ratio, persist_ratio, 0.001);
+}
+
+TEST(Profiles, BsdScaleIsIdentity) {
+  const TcpProfile p = profiles::sunos_4_1_3();
+  EXPECT_EQ(p.scaled(sim::sec(7200)), sim::sec(7200));
+}
+
+TEST(Profiles, VendorRtoFactorsOrderedAsPaperMeasured) {
+  // First retransmit under a 3 s delay: AIX (8 s) > SunOS (6.5 s) >
+  // NeXT (5 s); the factors must preserve that ordering.
+  EXPECT_GT(profiles::aix_3_2_3().rto_rtt_factor,
+            profiles::sunos_4_1_3().rto_rtt_factor);
+  EXPECT_GT(profiles::sunos_4_1_3().rto_rtt_factor,
+            profiles::next_mach().rto_rtt_factor);
+}
+
+TEST(Profiles, AllVendorsReturnsPaperOrder) {
+  const auto all = profiles::all_vendors();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "SunOS 4.1.3");
+  EXPECT_EQ(all[1].name, "AIX 3.2.3");
+  EXPECT_EQ(all[2].name, "NeXT Mach");
+  EXPECT_EQ(all[3].name, "Solaris 2.3");
+}
+
+TEST(Profiles, StrawmanDiffersOnlyInReassembly) {
+  const TcpProfile s = profiles::no_reassembly_strawman();
+  EXPECT_FALSE(s.queue_out_of_order);
+  EXPECT_TRUE(profiles::xkernel_reference().queue_out_of_order);
+}
+
+// The exact backoff series the paper's tables rest on.
+
+TEST(RtoSeries, BsdSeriesWithConvergedRttAt3s) {
+  const TcpProfile p = profiles::sunos_4_1_3();
+  RttEstimator est{p};
+  for (int i = 0; i < 30; ++i) est.sample(sim::sec(3));
+  // First retransmit ~6.3-6.8 s (paper: 6.5 s).
+  EXPECT_NEAR(sim::to_seconds(est.rto_for_shift(0)), 6.5, 0.5);
+  // Doubles until the 64 s cap.
+  EXPECT_NEAR(sim::to_seconds(est.rto_for_shift(1)), 13.0, 1.0);
+  EXPECT_EQ(est.rto_for_shift(5), p.rto_max);
+  EXPECT_EQ(est.rto_for_shift(12), p.rto_max);
+}
+
+TEST(RtoSeries, BsdLanFloorIsOneSecond) {
+  const TcpProfile p = profiles::sunos_4_1_3();
+  RttEstimator est{p};
+  for (int i = 0; i < 30; ++i) est.sample(sim::msec(2));
+  EXPECT_EQ(est.rto_for_shift(0), sim::sec(1));
+  EXPECT_EQ(est.rto_for_shift(1), sim::sec(2));
+  EXPECT_EQ(est.rto_for_shift(6), sim::sec(64));
+}
+
+TEST(RtoSeries, SolarisLanSeriesStartsAt330ms) {
+  const TcpProfile p = profiles::solaris_2_3();
+  RttEstimator est{p};
+  for (int i = 0; i < 30; ++i) est.sample(sim::msec(2));
+  EXPECT_EQ(est.rto_for_shift(0), sim::msec(330));
+  // In the floor regime the dip would undershoot the minimum, so the series
+  // is plain doubling from 330 ms...
+  EXPECT_EQ(est.rto_for_shift(1), sim::msec(660));
+  EXPECT_EQ(est.rto_for_shift(2), sim::msec(1320));
+  // ...capped at the measured 48 s: the gap between the 8th and 9th
+  // retransmission the paper reports.
+  EXPECT_NEAR(sim::to_seconds(est.rto_for_shift(8)), 48.0, 0.5);
+}
+
+TEST(RtoSeries, SolarisDelayedSeriesDipsAtSecondRetransmit) {
+  const TcpProfile p = profiles::solaris_2_3();
+  RttEstimator est{p};
+  for (int i = 0; i < 30; ++i) est.sample(sim::sec(3));
+  // Paper: first retransmission at ~2.4 s, the second only ~1.2 s later.
+  EXPECT_NEAR(sim::to_seconds(est.rto_for_shift(0)), 2.4, 0.1);
+  EXPECT_NEAR(sim::to_seconds(est.rto_for_shift(1)), 1.2, 0.1);
+  EXPECT_NEAR(sim::to_seconds(est.rto_for_shift(2)), 2.4, 0.1);
+  EXPECT_NEAR(sim::to_seconds(est.rto_for_shift(3)), 4.8, 0.2);
+}
+
+TEST(RtoSeries, JacobsonVarianceWidensRtoUnderJitter) {
+  const TcpProfile p = profiles::xkernel_reference();
+  RttEstimator steady{p};
+  RttEstimator jittery{p};
+  for (int i = 0; i < 50; ++i) {
+    steady.sample(sim::sec(2));
+    jittery.sample(i % 2 == 0 ? sim::sec(1) : sim::sec(3));
+  }
+  EXPECT_GT(jittery.base_rto(), steady.base_rto());
+}
+
+// Property: for every profile, the backoff series is monotone non-decreasing
+// and bounded by rto_max.
+class BackoffMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackoffMonotone, SeriesMonotoneAndCapped) {
+  const auto all = profiles::all_vendors();
+  const TcpProfile& p = all[static_cast<std::size_t>(GetParam())];
+  RttEstimator est{p};
+  for (int i = 0; i < 30; ++i) est.sample(sim::sec(3));
+  // Legacy Solaris dips once at shift 1; from there on it must be monotone.
+  const int start = p.rtt_alg == RttAlgorithm::kLegacySolaris ? 1 : 0;
+  for (int shift = start; shift < 20; ++shift) {
+    EXPECT_LE(est.rto_for_shift(shift), est.rto_for_shift(shift + 1))
+        << p.name << " shift " << shift;
+    EXPECT_LE(est.rto_for_shift(shift), p.rto_max) << p.name;
+    EXPECT_GE(est.rto_for_shift(shift), p.rto_min) << p.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Vendors, BackoffMonotone, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace pfi::tcp

@@ -1,0 +1,379 @@
+// TCP state machine tests: handshake, data transfer, retransmission,
+// reassembly, persist, keep-alive, teardown, RST.
+#include <gtest/gtest.h>
+
+#include "net/layers.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/profile.hpp"
+#include "tcp/tcp_layer.hpp"
+
+namespace pfi::tcp {
+namespace {
+
+struct TcpPair {
+  sim::Scheduler sched;
+  net::Network network{sched};
+  xk::Stack a_stack;
+  xk::Stack b_stack;
+  TcpLayer* a;
+  TcpLayer* b;
+  TcpConnection* server = nullptr;
+
+  explicit TcpPair(TcpProfile pa = profiles::xkernel_reference(),
+                   TcpProfile pb = profiles::xkernel_reference()) {
+    network.default_link().latency = sim::msec(1);
+    a = static_cast<TcpLayer*>(a_stack.add(
+        std::make_unique<TcpLayer>(sched, 1, std::move(pa), nullptr, "a")));
+    a_stack.add(std::make_unique<net::IpLayer>(1));
+    a_stack.add(std::make_unique<net::NetDev>(network, 1));
+    b = static_cast<TcpLayer*>(b_stack.add(
+        std::make_unique<TcpLayer>(sched, 2, std::move(pb), nullptr, "b")));
+    b_stack.add(std::make_unique<net::IpLayer>(2));
+    b_stack.add(std::make_unique<net::NetDev>(network, 2));
+    b->listen(80);
+    b->on_accept = [this](TcpConnection& c) { server = &c; };
+  }
+
+  TcpConnection* connect() {
+    TcpConnection* c = a->connect(2, 80);
+    sched.run_until(sched.now() + sim::msec(100));
+    return c;
+  }
+};
+
+TEST(TcpHeader, RoundTrip) {
+  TcpHeader h;
+  h.src_port = 1234;
+  h.dst_port = 80;
+  h.seq = 0xAABBCCDD;
+  h.ack = 0x11223344;
+  h.flags = kSyn | kAck;
+  h.window = 4096;
+  h.payload_len = 512;
+  xk::Message m{"x"};
+  h.push_onto(m);
+  TcpHeader out;
+  ASSERT_TRUE(TcpHeader::pop_from(m, out));
+  EXPECT_EQ(out.src_port, 1234);
+  EXPECT_EQ(out.dst_port, 80);
+  EXPECT_EQ(out.seq, 0xAABBCCDDu);
+  EXPECT_EQ(out.ack, 0x11223344u);
+  EXPECT_EQ(out.flags, kSyn | kAck);
+  EXPECT_EQ(out.window, 4096);
+  EXPECT_EQ(out.payload_len, 512);
+  EXPECT_EQ(m.as_string(), "x");
+}
+
+TEST(TcpHeader, RuntRejected) {
+  xk::Message m{std::vector<std::uint8_t>(5)};
+  TcpHeader h;
+  EXPECT_FALSE(TcpHeader::pop_from(m, h));
+  EXPECT_EQ(m.size(), 5u);
+}
+
+TEST(TcpHeader, SummaryShowsFlags) {
+  TcpHeader h;
+  h.flags = kSyn | kAck;
+  EXPECT_NE(h.summary().find("SYN|ACK"), std::string::npos);
+}
+
+TEST(SeqArith, WrapAround) {
+  EXPECT_TRUE(seq_lt(0xFFFFFFF0u, 0x10u));
+  EXPECT_TRUE(seq_gt(0x10u, 0xFFFFFFF0u));
+  EXPECT_TRUE(seq_le(5u, 5u));
+  EXPECT_TRUE(seq_ge(5u, 5u));
+}
+
+TEST(Tcp, ThreeWayHandshake) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  EXPECT_EQ(c->state(), State::kEstablished);
+  ASSERT_NE(p.server, nullptr);
+  EXPECT_EQ(p.server->state(), State::kEstablished);
+}
+
+TEST(Tcp, DataTransferInOrder) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  std::string got;
+  p.server->set_auto_drain(false);
+  c->send("hello world");
+  p.sched.run_until(p.sched.now() + sim::sec(1));
+  EXPECT_EQ(p.server->read(), "hello world");
+  EXPECT_EQ(p.server->stats().bytes_received, 11u);
+}
+
+TEST(Tcp, LargeTransferSegmented) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  p.server->set_auto_drain(false);
+  const std::string data(3000, 'z');
+  c->send(data);
+  p.sched.run_until(p.sched.now() + sim::sec(2));
+  EXPECT_EQ(p.server->read(), data);
+  // 3000 bytes at mss 512 = 6 segments minimum.
+  EXPECT_GE(c->stats().segments_sent, 6u);
+}
+
+TEST(Tcp, TransferLargerThanWindowUsesFlowControl) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  const std::string data(20000, 'q');  // 5x the receive buffer
+  std::string got;
+  p.server->on_data = [&] { got += p.server->read(); };
+  p.server->set_auto_drain(false);
+  c->send(data);
+  p.sched.run_until(p.sched.now() + sim::sec(5));
+  EXPECT_EQ(got, data);
+}
+
+TEST(Tcp, RetransmitsLostSegment) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  p.server->set_auto_drain(false);
+  // Drop the next frame a->b once.
+  p.network.link(1, 2).loss_probability = 1.0;
+  c->send("lost once");
+  p.sched.run_until(p.sched.now() + sim::msec(10));
+  p.network.link(1, 2).loss_probability = 0.0;
+  p.sched.run_until(p.sched.now() + sim::sec(10));
+  EXPECT_EQ(p.server->read(), "lost once");
+  EXPECT_GE(c->stats().data_retransmits, 1u);
+}
+
+TEST(Tcp, GivesUpAfterMaxRetransmits) {
+  TcpProfile prof = profiles::xkernel_reference();
+  prof.max_data_retransmits = 3;
+  TcpPair p{prof, profiles::xkernel_reference()};
+  TcpConnection* c = p.connect();
+  p.network.link(1, 2).down = true;
+  c->send("into the void");
+  p.sched.run_until(p.sched.now() + sim::sec(200));
+  EXPECT_EQ(c->state(), State::kClosed);
+  EXPECT_EQ(c->close_reason(), CloseReason::kRetransmitTimeout);
+  EXPECT_EQ(c->stats().data_retransmits, 3u);
+}
+
+TEST(Tcp, SynRetransmittedWhenLost) {
+  TcpPair p;
+  p.network.link(1, 2).down = true;
+  TcpConnection* c = p.a->connect(2, 80);
+  p.sched.run_until(p.sched.now() + sim::sec(4));
+  p.network.link(1, 2).down = false;
+  p.sched.run_until(p.sched.now() + sim::sec(10));
+  EXPECT_EQ(c->state(), State::kEstablished);
+}
+
+TEST(Tcp, SynGivesUpEventually) {
+  TcpPair p;
+  p.network.link(1, 2).down = true;
+  TcpConnection* c = p.a->connect(2, 80);
+  p.sched.run_until(p.sched.now() + sim::sec(600));
+  EXPECT_EQ(c->state(), State::kClosed);
+}
+
+TEST(Tcp, ConnectToNonListeningPortGetsRst) {
+  TcpPair p;
+  TcpConnection* c = p.a->connect(2, 12345);  // nobody listens there
+  p.sched.run_until(p.sched.now() + sim::sec(1));
+  EXPECT_EQ(c->state(), State::kClosed);
+  EXPECT_EQ(c->close_reason(), CloseReason::kReset);
+}
+
+TEST(Tcp, GracefulCloseBothSides) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  c->send("bye");
+  p.sched.run_until(p.sched.now() + sim::msec(100));
+  c->close();
+  p.sched.run_until(p.sched.now() + sim::msec(200));
+  EXPECT_EQ(p.server->state(), State::kCloseWait);
+  p.server->close();
+  p.sched.run_until(p.sched.now() + sim::msec(200));
+  EXPECT_EQ(p.server->state(), State::kClosed);
+  EXPECT_EQ(c->state(), State::kTimeWait);
+  p.sched.run_until(p.sched.now() + 2 * c->profile().msl + sim::sec(1));
+  EXPECT_EQ(c->state(), State::kClosed);
+  EXPECT_EQ(c->close_reason(), CloseReason::kNormal);
+}
+
+TEST(Tcp, AbortSendsRst) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  c->abort();
+  p.sched.run_until(p.sched.now() + sim::msec(100));
+  EXPECT_EQ(c->state(), State::kClosed);
+  EXPECT_EQ(c->close_reason(), CloseReason::kUserAbort);
+  EXPECT_EQ(p.server->state(), State::kClosed);
+  EXPECT_EQ(p.server->close_reason(), CloseReason::kReset);
+}
+
+TEST(Tcp, ZeroWindowTriggersPersistProbes) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  p.server->set_auto_drain(false);
+  c->send(std::string(8000, 'w'));  // exceeds the 4096-byte buffer
+  p.sched.run_until(p.sched.now() + sim::sec(30));
+  EXPECT_TRUE(c->persist_active());
+  EXPECT_GE(c->stats().persist_probes_sent, 2u);
+  // Reading at the receiver reopens the window and completes the transfer.
+  std::string got = p.server->read();
+  p.sched.run_until(p.sched.now() + sim::sec(30));
+  got += p.server->read();
+  p.sched.run_until(p.sched.now() + sim::sec(30));
+  got += p.server->read();
+  p.sched.run_until(p.sched.now() + sim::sec(30));
+  EXPECT_FALSE(c->persist_active());
+  EXPECT_EQ(c->stats().bytes_sent, 8000u);
+}
+
+TEST(Tcp, PersistProbesForeverWithoutAcks) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  p.server->set_auto_drain(false);
+  c->send(std::string(8000, 'w'));
+  p.sched.run_until(p.sched.now() + sim::sec(10));
+  ASSERT_TRUE(c->persist_active());
+  p.network.link(2, 1).down = true;  // no more ACKs reach the sender
+  const auto before = c->stats().persist_probes_sent;
+  p.sched.run_until(p.sched.now() + sim::hours(2));
+  EXPECT_EQ(c->state(), State::kEstablished);  // never gives up
+  EXPECT_GT(c->stats().persist_probes_sent, before + 50);
+}
+
+TEST(Tcp, KeepaliveProbesIdleConnection) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  c->send("warmup");
+  p.sched.run_until(p.sched.now() + sim::sec(1));
+  c->set_keepalive(true);
+  p.sched.run_until(p.sched.now() + sim::sec(7300));
+  EXPECT_GE(c->stats().keepalive_probes_sent, 1u);
+  EXPECT_EQ(c->state(), State::kEstablished);  // probe was ACKed
+}
+
+TEST(Tcp, KeepaliveKillsDeadPeer) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  c->send("warmup");
+  p.sched.run_until(p.sched.now() + sim::sec(1));
+  c->set_keepalive(true);
+  p.network.link(2, 1).down = true;  // peer's ACKs vanish
+  p.sched.run_until(p.sched.now() + sim::sec(7200 + 800));
+  EXPECT_EQ(c->state(), State::kClosed);
+  EXPECT_EQ(c->close_reason(), CloseReason::kKeepaliveTimeout);
+  // BSD reference: probe + 8 retransmissions.
+  EXPECT_EQ(c->stats().keepalive_probes_sent, 9u);
+}
+
+TEST(Tcp, KeepaliveOffByDefault) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  p.network.link(2, 1).down = true;
+  p.sched.run_until(p.sched.now() + sim::sec(9000));
+  EXPECT_EQ(c->stats().keepalive_probes_sent, 0u);
+}
+
+TEST(Tcp, OutOfOrderSegmentsQueuedAndDelivered) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  p.server->set_auto_drain(false);
+  // Delay only the first data frame a->b by raising latency for it.
+  p.network.link(1, 2).latency = sim::msec(500);
+  c->send(std::string(512, 'A'));
+  p.sched.run_until(p.sched.now() + sim::msec(5));
+  p.network.link(1, 2).latency = sim::msec(1);
+  c->send(std::string(512, 'B'));  // arrives first
+  p.sched.run_until(p.sched.now() + sim::sec(5));
+  EXPECT_GE(p.server->stats().out_of_order_queued, 1u);
+  const std::string got = p.server->read();
+  EXPECT_EQ(got, std::string(512, 'A') + std::string(512, 'B'));
+}
+
+TEST(Tcp, StrawmanProfileDropsOutOfOrder) {
+  TcpPair p{profiles::xkernel_reference(), profiles::no_reassembly_strawman()};
+  TcpConnection* c = p.connect();
+  p.server->set_auto_drain(false);
+  p.network.link(1, 2).latency = sim::msec(500);
+  c->send(std::string(512, 'A'));
+  p.sched.run_until(p.sched.now() + sim::msec(5));
+  p.network.link(1, 2).latency = sim::msec(1);
+  c->send(std::string(512, 'B'));
+  p.sched.run_until(p.sched.now() + sim::sec(10));
+  EXPECT_GE(p.server->stats().out_of_order_dropped, 1u);
+  // Retransmission eventually completes the stream anyway.
+  EXPECT_EQ(p.server->read(),
+            std::string(512, 'A') + std::string(512, 'B'));
+}
+
+TEST(Tcp, DuplicateSegmentsIgnoredByReceiver) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  p.server->set_auto_drain(false);
+  // Break the ACK path so the sender retransmits into a healthy receiver.
+  p.network.link(2, 1).loss_probability = 1.0;
+  c->send("dup me");
+  p.sched.run_until(p.sched.now() + sim::sec(5));
+  p.network.link(2, 1).loss_probability = 0.0;
+  p.sched.run_until(p.sched.now() + sim::sec(30));
+  EXPECT_EQ(p.server->read(), "dup me");  // delivered exactly once
+  EXPECT_EQ(p.server->stats().bytes_received, 6u);
+}
+
+TEST(Tcp, RttEstimatorConvergesAndSetsRto) {
+  TcpProfile prof = profiles::xkernel_reference();
+  RttEstimator est{prof};
+  EXPECT_EQ(est.base_rto(), prof.rto_initial);
+  for (int i = 0; i < 40; ++i) est.sample(sim::msec(100));
+  // srtt ~100ms, variance ~0 -> clamped to the 1 s floor.
+  EXPECT_EQ(est.base_rto(), prof.rto_min);
+  EXPECT_NEAR(static_cast<double>(est.srtt()), sim::msec(100), sim::msec(5));
+}
+
+TEST(Tcp, RttBackoffDoublesAndCaps) {
+  TcpProfile prof = profiles::xkernel_reference();
+  RttEstimator est{prof};
+  for (int i = 0; i < 40; ++i) est.sample(sim::sec(2));
+  const auto base = est.base_rto();
+  EXPECT_EQ(est.rto_for_shift(1), std::min(base * 2, prof.rto_max));
+  EXPECT_EQ(est.rto_for_shift(20), prof.rto_max);
+}
+
+TEST(Tcp, LegacySolarisBackoffDipsThenDoubles) {
+  TcpProfile prof = profiles::solaris_2_3();
+  RttEstimator est{prof};
+  for (int i = 0; i < 40; ++i) est.sample(sim::sec(3));
+  const auto base = est.base_rto();
+  EXPECT_NEAR(static_cast<double>(base), sim::msec(2400), sim::msec(50));
+  EXPECT_NEAR(static_cast<double>(est.rto_for_shift(1)),
+              static_cast<double>(base) / 2, sim::msec(20));
+  EXPECT_NEAR(static_cast<double>(est.rto_for_shift(2)),
+              static_cast<double>(base), sim::msec(30));
+}
+
+TEST(Tcp, LayerDemuxesMultipleConnections) {
+  TcpPair p;
+  TcpConnection* c1 = p.a->connect(2, 80);
+  TcpConnection* c2 = p.a->connect(2, 80);
+  p.sched.run_until(p.sched.now() + sim::msec(100));
+  EXPECT_EQ(c1->state(), State::kEstablished);
+  EXPECT_EQ(c2->state(), State::kEstablished);
+  EXPECT_NE(c1->local_port(), c2->local_port());
+  EXPECT_EQ(p.b->connections().size(), 2u);
+}
+
+TEST(Tcp, WindowUpdateAfterReadResumesTransfer) {
+  TcpPair p;
+  TcpConnection* c = p.connect();
+  p.server->set_auto_drain(false);
+  c->send(std::string(6000, 'r'));
+  p.sched.run_until(p.sched.now() + sim::sec(3));
+  EXPECT_EQ(p.server->buffered_bytes(), 4096u);  // window closed
+  p.server->read();                              // reopen
+  p.sched.run_until(p.sched.now() + sim::sec(10));
+  EXPECT_EQ(p.server->buffered_bytes(), 6000u - 4096u);
+}
+
+}  // namespace
+}  // namespace pfi::tcp

@@ -1,0 +1,215 @@
+// 2PC tests: normal commit/abort, presumed abort on lost votes, decision
+// retransmission, the blocking window forced by scripts, cooperative
+// termination, the forged-decision vulnerability probe, and an atomicity
+// sweep under omission failures.
+#include <gtest/gtest.h>
+
+#include "experiments/tpc_testbed.hpp"
+#include "pfi/failure.hpp"
+
+namespace pfi::tpc {
+namespace {
+
+using experiments::TpcTestbed;
+
+TEST(TpcMessageTest, EncodeDecodeRoundTrip) {
+  TpcMessage m;
+  m.type = MsgType::kDecision;
+  m.txid = 0xABCD;
+  m.sender = 7;
+  m.decision = Decision::kCommit;
+  m.participants = {1, 2, 3};
+  xk::Message wire = m.encode();
+  TpcMessage out;
+  ASSERT_TRUE(TpcMessage::decode(wire, out));
+  EXPECT_EQ(out.type, MsgType::kDecision);
+  EXPECT_EQ(out.txid, 0xABCDu);
+  EXPECT_EQ(out.sender, 7u);
+  EXPECT_EQ(out.decision, Decision::kCommit);
+  EXPECT_EQ(out.participants, (std::vector<net::NodeId>{1, 2, 3}));
+}
+
+TEST(Tpc, UnanimousYesCommitsEverywhere) {
+  TpcTestbed tb{{1, 2, 3}};
+  tb.tpc(1).begin(100, {1, 2, 3});
+  tb.sched.run_until(sim::sec(5));
+  EXPECT_TRUE(tb.all_decided(100, Decision::kCommit, {1, 2, 3}));
+  EXPECT_TRUE(tb.atomic(100));
+  EXPECT_EQ(tb.tpc(2).state_of(100), TxState::kCommitted);
+}
+
+TEST(Tpc, SingleNoVoteAbortsEverywhere) {
+  TpcTestbed tb{{1, 2, 3}};
+  tb.tpc(3).vote_fn = [](std::uint32_t) { return false; };
+  tb.tpc(1).begin(101, {1, 2, 3});
+  tb.sched.run_until(sim::sec(5));
+  EXPECT_TRUE(tb.all_decided(101, Decision::kAbort, {1, 2, 3}));
+  EXPECT_TRUE(tb.atomic(101));
+}
+
+TEST(Tpc, CoordinatorCanAlsoVoteNo) {
+  TpcTestbed tb{{1, 2}};
+  tb.tpc(1).vote_fn = [](std::uint32_t) { return false; };
+  tb.tpc(1).begin(102, {1, 2});
+  tb.sched.run_until(sim::sec(5));
+  EXPECT_TRUE(tb.all_decided(102, Decision::kAbort, {1, 2}));
+}
+
+TEST(Tpc, LostVoteRequestMeansPresumedAbort) {
+  TpcTestbed tb{{1, 2, 3}};
+  // Node 3 never receives its vote request.
+  tb.pfi(3).set_receive_script(
+      "if {[msg_type cur_msg] eq \"tpc-vote-req\"} { xDrop cur_msg }");
+  tb.tpc(1).begin(103, {1, 2, 3});
+  tb.sched.run_until(sim::sec(10));
+  // Vote-collect timeout -> presumed abort everywhere, including node 3
+  // which learns via the retried decision despite never having voted.
+  EXPECT_TRUE(tb.all_decided(103, Decision::kAbort, {1, 2, 3}));
+  EXPECT_TRUE(tb.atomic(103));
+}
+
+TEST(Tpc, LostDecisionRecoveredByRetransmission) {
+  TpcTestbed tb{{1, 2}};
+  tb.pfi(2).run_setup("set drops 0");
+  tb.pfi(2).set_receive_script(R"tcl(
+if {[msg_type cur_msg] eq "tpc-decision" && $drops < 3} {
+  incr drops
+  xDrop cur_msg
+}
+)tcl");
+  tb.tpc(1).begin(104, {1, 2});
+  tb.sched.run_until(sim::sec(15));
+  EXPECT_TRUE(tb.all_decided(104, Decision::kCommit, {1, 2}));
+  EXPECT_GE(tb.tpc(1).stats().decision_retransmits, 3u);
+}
+
+TEST(Tpc, BlockingWindowWhileCoordinatorMute) {
+  TpcTestbed tb{{1, 2, 3}};
+  // The coordinator's outgoing decisions all vanish: it decided, nobody
+  // hears. Participants are prepared and uncertain — the blocking window.
+  tb.pfi(1).set_send_script(
+      "if {[msg_type cur_msg] eq \"tpc-decision\"} { xDrop cur_msg }");
+  tb.tpc(1).begin(105, {1, 2, 3});
+  tb.sched.run_until(sim::sec(12));
+  EXPECT_TRUE(tb.tpc(2).is_blocked_on(105));
+  EXPECT_TRUE(tb.tpc(3).is_blocked_on(105));
+  EXPECT_GE(tb.tpc(2).stats().termination_queries_sent, 2u);
+  // Nobody else knows either, so cooperative termination stays silent.
+  EXPECT_EQ(tb.tpc(2).stats().decisions_learned_from_peers, 0u);
+  // Heal the coordinator: the retry loop delivers the decision.
+  tb.pfi(1).set_send_script("");
+  tb.sched.run_until(sim::sec(25));
+  EXPECT_TRUE(tb.all_decided(105, Decision::kCommit, {1, 2, 3}));
+  EXPECT_TRUE(tb.atomic(105));
+}
+
+TEST(Tpc, CooperativeTerminationLearnsFromPeer) {
+  TpcTestbed tb{{1, 2, 3}};
+  // Node 3's decision is lost AND the coordinator crashes right after the
+  // first decision round; node 3 must learn the outcome from node 2.
+  tb.pfi(3).set_receive_script(R"tcl(
+if {[msg_type cur_msg] eq "tpc-decision" && [msg_field sender] == 1} {
+  xDrop cur_msg
+}
+)tcl");
+  tb.tpc(1).begin(106, {1, 2, 3});
+  tb.sched.schedule(sim::msec(500), [&tb] { tb.tpc(1).crash(); });
+  tb.sched.run_until(sim::sec(20));
+  EXPECT_EQ(tb.tpc(3).state_of(106), TxState::kCommitted);
+  EXPECT_GE(tb.tpc(2).stats().termination_answers_sent, 1u);
+  EXPECT_GE(tb.tpc(3).stats().decisions_learned_from_peers, 1u);
+}
+
+TEST(Tpc, CoordinatorCrashBeforeVoteReqTimesOutCleanly) {
+  TpcTestbed tb{{1, 2, 3}};
+  // Crash before anything is sent: participants never hear about the tx.
+  tb.tpc(1).crash();
+  tb.tpc(1).begin(107, {1, 2, 3});  // begin() on a crashed node still sends?
+  tb.sched.run_until(sim::sec(10));
+  // begin() was called by the "application" — sends went out, but the
+  // crashed node ignores replies and drives nothing further. Participants
+  // vote, block, and query; nobody answers. This is the unbounded blocking
+  // the protocol is famous for.
+  EXPECT_TRUE(tb.tpc(2).is_blocked_on(107));
+  tb.tpc(1).revive();
+  tb.sched.run_until(sim::sec(30));
+  // Recovery applies presumed abort to the transaction it crashed on and
+  // announces it, releasing the blocked participants.
+  EXPECT_TRUE(tb.all_decided(107, Decision::kAbort, {2, 3}));
+  EXPECT_FALSE(tb.tpc(2).is_blocked_on(107));
+  EXPECT_TRUE(tb.atomic(107));
+}
+
+TEST(Tpc, ForgedDecisionVulnerabilityDetected) {
+  // The PFI probe the paper's methodology exists for: inject a forged ABORT
+  // "from the coordinator" into one prepared participant while the real
+  // coordinator commits. Unauthenticated 2PC follows the forgery -> the
+  // atomicity invariant breaks, and the harness DETECTS it.
+  TpcTestbed tb{{1, 2, 3}};
+  // Hold node 3's real decision long enough to slip the forgery in.
+  tb.pfi(3).run_setup("set held 0");
+  tb.pfi(3).set_receive_script(R"tcl(
+if {[msg_type cur_msg] eq "tpc-decision" && $held == 0} {
+  set held 1
+  xDelay cur_msg 3000
+}
+)tcl");
+  tb.tpc(1).begin(108, {1, 2, 3});
+  tb.sched.schedule(sim::msec(200), [&tb] {
+    tb.pfi(3).receive_interp().eval(
+        "xInject up type decision txid 108 sender 1 decision abort remote 1");
+  });
+  tb.sched.run_until(sim::sec(10));
+  EXPECT_EQ(tb.tpc(3).state_of(108), TxState::kAborted);   // followed forgery
+  EXPECT_EQ(tb.tpc(2).state_of(108), TxState::kCommitted);  // real outcome
+  EXPECT_FALSE(tb.atomic(108));  // the tool surfaced the vulnerability
+}
+
+TEST(Tpc, ForgedCommitForUnknownTransactionIgnored) {
+  TpcTestbed tb{{1, 2}};
+  tb.pfi(2).receive_interp().eval(
+      "xInject up type decision txid 999 sender 1 decision commit remote 1");
+  tb.sched.run_until(sim::sec(2));
+  EXPECT_EQ(tb.tpc(2).state_of(999), TxState::kUnknown);
+}
+
+TEST(Tpc, ManyConcurrentTransactions) {
+  TpcTestbed tb{{1, 2, 3, 4}};
+  for (std::uint32_t tx = 200; tx < 220; ++tx) {
+    tb.tpc(1 + tx % 4).begin(tx, {1, 2, 3, 4});
+  }
+  tb.sched.run_until(sim::sec(10));
+  for (std::uint32_t tx = 200; tx < 220; ++tx) {
+    EXPECT_TRUE(tb.all_decided(tx, Decision::kCommit, {1, 2, 3, 4}))
+        << "tx " << tx;
+  }
+}
+
+// Atomicity sweep: under increasing omission rates, transactions may commit
+// or abort — but never both for the same txid, on any node pair.
+class TpcOmissionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpcOmissionSweep, AtomicityHolds) {
+  const double p = GetParam() / 100.0;
+  TpcTestbed tb{{1, 2, 3}};
+  for (net::NodeId id : tb.ids()) {
+    auto s = core::failure::general_omission(p);
+    tb.pfi(id).set_send_script(s.send);
+    tb.pfi(id).set_receive_script(s.receive);
+  }
+  for (std::uint32_t tx = 300; tx < 315; ++tx) {
+    tb.sched.schedule(sim::sec(tx - 300), [&tb, tx] {
+      tb.tpc(1).begin(tx, {1, 2, 3});
+    });
+  }
+  tb.sched.run_until(sim::sec(120));
+  for (std::uint32_t tx = 300; tx < 315; ++tx) {
+    EXPECT_TRUE(tb.atomic(tx)) << "p=" << p << " tx=" << tx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossPercent, TpcOmissionSweep,
+                         ::testing::Values(0, 10, 25, 40));
+
+}  // namespace
+}  // namespace pfi::tpc

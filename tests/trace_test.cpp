@@ -1,0 +1,118 @@
+// Dedicated tests for the trace log and the experiment-side field parsing.
+#include <gtest/gtest.h>
+
+#include "experiments/tcp_testbed.hpp"
+#include "trace/trace.hpp"
+
+namespace pfi::trace {
+namespace {
+
+TEST(Trace, RecordsKeepInsertionOrder) {
+  TraceLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.add(sim::msec(i), "n", "send", "t", std::to_string(i));
+  }
+  ASSERT_EQ(log.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(log.records()[static_cast<std::size_t>(i)].detail,
+              std::to_string(i));
+  }
+}
+
+TEST(Trace, OfTypeFiltersExactly) {
+  TraceLog log;
+  log.add(1, "n", "send", "tcp-data");
+  log.add(2, "n", "send", "tcp-data-extra");
+  log.add(3, "n", "send", "tcp-ack");
+  EXPECT_EQ(log.of_type("tcp-data").size(), 1u);
+}
+
+TEST(Trace, TimesAndIntervals) {
+  TraceLog log;
+  log.add(sim::sec(1), "n", "recv", "x");
+  log.add(sim::sec(2), "n", "send", "x");
+  log.add(sim::sec(4), "n", "recv", "x");
+  auto times =
+      log.times([](const Record& r) { return r.direction == "recv"; });
+  ASSERT_EQ(times.size(), 2u);
+  auto iv = TraceLog::intervals(times);
+  ASSERT_EQ(iv.size(), 1u);
+  EXPECT_EQ(iv[0], sim::sec(3));
+  EXPECT_TRUE(TraceLog::intervals({}).empty());
+  EXPECT_TRUE(TraceLog::intervals({sim::sec(9)}).empty());
+}
+
+TEST(Trace, FirstReturnsEarliestMatch) {
+  TraceLog log;
+  log.add(1, "a", "send", "x");
+  log.add(2, "b", "send", "x");
+  auto r = log.first([](const Record& rec) { return rec.node == "b"; });
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->at, 2);
+  EXPECT_FALSE(
+      log.first([](const Record& rec) { return rec.node == "zz"; }).has_value());
+}
+
+TEST(Trace, ClearEmpties) {
+  TraceLog log;
+  log.add(1, "n", "send", "x");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(Trace, RenderContainsEveryRecord) {
+  TraceLog log;
+  log.add(sim::msec(1500), "node-a", "send", "tcp-data", "seq=55");
+  const std::string out = log.render();
+  EXPECT_NE(out.find("node-a"), std::string::npos);
+  EXPECT_NE(out.find("tcp-data"), std::string::npos);
+  EXPECT_NE(out.find("seq=55"), std::string::npos);
+  EXPECT_NE(out.find("1.500"), std::string::npos);
+}
+
+TEST(Trace, JsonExportEscapesAndStructures) {
+  TraceLog log;
+  log.add(sim::msec(1), "n\"1", "send", "tcp-data", "say \"hi\"\nthere");
+  log.add(sim::msec(2), "n2", "recv", "tcp-ack", "back\\slash");
+  const std::string j = log.to_json();
+  EXPECT_NE(j.find("\"t_us\": 1000"), std::string::npos);
+  EXPECT_NE(j.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(j.find("\\n"), std::string::npos);
+  EXPECT_NE(j.find("back\\\\slash"), std::string::npos);
+  EXPECT_EQ(j.front(), '[');
+  // Balanced braces: two records.
+  std::size_t opens = 0;
+  for (char c : j) {
+    if (c == '{') ++opens;
+  }
+  EXPECT_EQ(opens, 2u);
+}
+
+TEST(Trace, JsonExportEmptyLog) {
+  TraceLog log;
+  EXPECT_EQ(log.to_json(), "[\n]\n");
+}
+
+TEST(DetailField, ParsesNamedIntegers) {
+  using experiments::detail_field;
+  EXPECT_EQ(detail_field("SYN seq=100 ack=7 win=4096 len=0", "seq"), 100);
+  EXPECT_EQ(detail_field("SYN seq=100 ack=7 win=4096 len=0", "ack"), 7);
+  EXPECT_EQ(detail_field("SYN seq=100 ack=7 win=4096 len=0", "len"), 0);
+  EXPECT_FALSE(detail_field("seq=100", "nope").has_value());
+}
+
+TEST(DetailField, RequiresWordBoundary) {
+  using experiments::detail_field;
+  // "relseq=9" must not satisfy a lookup of "seq".
+  EXPECT_EQ(detail_field("relseq=9 seq=3", "seq"), 3);
+  EXPECT_FALSE(detail_field("relseq=9", "seq").has_value());
+}
+
+TEST(DetailField, NegativeNumbersAndMissingValue) {
+  using experiments::detail_field;
+  EXPECT_EQ(detail_field("delta=-42", "delta"), -42);
+  EXPECT_FALSE(detail_field("seq= ack=1", "seq").has_value());
+}
+
+}  // namespace
+}  // namespace pfi::trace
