@@ -60,9 +60,15 @@ int main() {
                       std::vector<net::NodeId>{1, 2, 3};
     std::string victim;
     for (auto m : tb.gmd(2).view().members) victim += std::to_string(m);
+    const bool agreement = agreement_holds(tb);
     std::printf("%-28s %10s %12s %10s\n", t.name.c_str(),
                 bench::yesno(full).c_str(), ("{" + victim + "}").c_str(),
-                bench::yesno(agreement_holds(tb)).c_str());
+                bench::yesno(agreement).c_str());
+    bench::json_row("gmp_generated_campaign",
+                    {{"test", t.name},
+                     {"full_group", bench::yesno(full)},
+                     {"victim_view", "{" + victim + "}"},
+                     {"agreement", bench::yesno(agreement)}});
   }
 
   std::printf(

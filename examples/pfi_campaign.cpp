@@ -1,0 +1,201 @@
+// pfi_campaign — plan, execute and report a fault-injection campaign.
+//
+//   $ ./pfi_campaign ../scripts/campaign_gmp_omission.spec --jobs 4
+//   $ ./pfi_campaign spec.file --filter gmp-commit --minimize --out out.json
+//
+// Reads a campaign spec (docs/CAMPAIGN.md), expands the run matrix, executes
+// every cell on a worker pool, and writes one JSON document: per-run records
+// (byte-identical whatever --jobs was), a summary, and — with --minimize —
+// a 1-minimal reproduction schedule for each failing cell.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "campaign/executor.hpp"
+#include "campaign/json.hpp"
+#include "campaign/minimize.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+using namespace pfi::campaign;
+
+namespace {
+
+struct Args {
+  std::string spec_path;
+  std::string filter;
+  std::string out;       // empty = stdout
+  int jobs = 1;
+  int max_minimize = 8;  // cap on cells minimised per campaign
+  bool minimize = false;
+  bool list = false;
+  bool quiet = false;
+};
+
+int usage(int code) {
+  std::printf(
+      "usage: pfi_campaign <spec-file> [options]\n"
+      "  --jobs N          worker threads (default 1)\n"
+      "  --filter SUBSTR   run only cells whose id contains SUBSTR\n"
+      "  --minimize        delta-debug each failing schedule to a minimal\n"
+      "                    reproduction (schedule-mode cells only)\n"
+      "  --max-minimize N  minimise at most N failing cells (default 8)\n"
+      "  --out FILE        write the JSON report to FILE (default stdout)\n"
+      "  --list            print the planned cell ids and exit\n"
+      "  --quiet           no progress output on stderr\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--jobs") {
+      args.jobs = std::atoi(next());
+    } else if (a == "--filter") {
+      args.filter = next();
+    } else if (a == "--minimize") {
+      args.minimize = true;
+    } else if (a == "--max-minimize") {
+      args.max_minimize = std::atoi(next());
+    } else if (a == "--out") {
+      args.out = next();
+    } else if (a == "--list") {
+      args.list = true;
+    } else if (a == "--quiet") {
+      args.quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(0);
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(2);
+    } else {
+      args.spec_path = a;
+    }
+  }
+  if (args.spec_path.empty()) return usage(2);
+
+  std::string err;
+  auto spec = load_spec_file(args.spec_path, &err);
+  if (!spec) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 2;
+  }
+
+  const auto cells = filter_cells(plan(*spec), args.filter);
+  if (args.list) {
+    for (const auto& c : cells) std::printf("%s\n", c.id.c_str());
+    return 0;
+  }
+  if (cells.empty()) {
+    std::fprintf(stderr, "error: no cells match\n");
+    return 2;
+  }
+  if (!args.quiet) {
+    std::fprintf(stderr, "campaign %s: %zu cells, %d job(s)\n",
+                 spec->name.c_str(), cells.size(), std::max(1, args.jobs));
+  }
+
+  int done = 0;
+  ExecutorOptions opts;
+  opts.jobs = args.jobs;
+  if (!args.quiet) {
+    opts.on_result = [&](const RunResult& r) {
+      ++done;
+      if (!r.pass || r.errored() || done % 50 == 0 ||
+          done == static_cast<int>(cells.size())) {
+        std::fprintf(stderr, "  [%d/%zu] %-40s %s\n", done, cells.size(),
+                     r.id.c_str(),
+                     r.errored() ? "ERROR" : (r.pass ? "pass" : "FAIL"));
+      }
+    };
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = run_cells(cells, opts);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  const Summary sum = summarize(results);
+
+  pfi::campaign::json::Writer w;
+  w.begin_object();
+  w.kv("campaign", spec->name);
+  w.kv("protocol", spec->protocol);
+  w.kv("oracle", spec->oracle);
+  w.kv("cells", sum.total);
+  w.key("runs").begin_array();
+  for (const auto& r : results) w.value_raw(record_json(r));
+  w.end_array();
+  w.key("summary").begin_object();
+  w.kv("pass", sum.passed);
+  w.kv("fail", sum.failed);
+  w.kv("error", sum.errored);
+  w.kv("jobs", std::max(1, args.jobs));
+  w.kv("wall_ms", wall_ms);
+  w.key("failing_ids").begin_array();
+  for (const RunResult* f : sum.failures) w.value(f->id);
+  w.end_array();
+  w.end_object();
+
+  if (args.minimize) {
+    int minimized = 0;
+    w.key("minimized").begin_array();
+    for (const RunResult* f : sum.failures) {
+      if (minimized >= args.max_minimize) break;
+      const RunCell& cell = cells[static_cast<std::size_t>(f->index)];
+      if (cell.schedule.empty()) continue;  // literal .tcl: nothing to cut
+      if (!args.quiet) {
+        std::fprintf(stderr, "  minimizing %s (%zu events)...\n",
+                     cell.id.c_str(), cell.schedule.size());
+      }
+      const MinimizeResult m = minimize_schedule(cell);
+      ++minimized;
+      w.begin_object();
+      w.kv("id", cell.id);
+      w.kv("original_events", static_cast<std::uint64_t>(m.original_events));
+      w.kv("minimal_events", static_cast<std::uint64_t>(m.minimal_events));
+      w.kv("probe_runs", m.runs);
+      w.kv("reproduced", m.reproduced);
+      w.kv("schedule_summary", m.schedule.summary());
+      w.key("schedule");
+      m.schedule.to_json(w);
+      if (!m.verification.reason.empty()) {
+        w.kv("failure", m.verification.reason);
+      }
+      w.end_object();
+      if (!args.quiet) {
+        std::fprintf(stderr, "    -> %zu event(s), reproduced=%s: %s\n",
+                     m.minimal_events, m.reproduced ? "yes" : "NO",
+                     m.schedule.summary().c_str());
+      }
+    }
+    w.end_array();
+  }
+  w.end_object();
+
+  const std::string& doc = w.str();
+  if (args.out.empty()) {
+    std::printf("%s\n", doc.c_str());
+  } else {
+    FILE* f = std::fopen(args.out.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", args.out.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n", doc.c_str());
+    std::fclose(f);
+  }
+  if (!args.quiet) {
+    std::fprintf(stderr, "%d/%d pass, %d fail, %d error in %.0f ms\n",
+                 sum.passed, sum.total, sum.failed, sum.errored, wall_ms);
+  }
+  return sum.failed + sum.errored > 0 ? 1 : 0;
+}

@@ -1,0 +1,62 @@
+#include "campaign/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace pfi::campaign {
+
+std::vector<RunResult> run_cells(const std::vector<RunCell>& cells,
+                                 const ExecutorOptions& opts) {
+  std::vector<RunResult> results(cells.size());
+  const int jobs =
+      std::max(1, std::min<int>(opts.jobs, static_cast<int>(cells.size())));
+
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      results[i] = run_cell(cells[i]);
+      if (opts.on_result) opts.on_result(results[i]);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex cb_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      results[i] = run_cell(cells[i]);
+      if (opts.on_result) {
+        std::lock_guard<std::mutex> lock(cb_mutex);
+        opts.on_result(results[i]);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+Summary summarize(const std::vector<RunResult>& results) {
+  Summary s;
+  s.total = static_cast<int>(results.size());
+  for (const RunResult& r : results) {
+    if (r.errored()) {
+      ++s.errored;
+      s.failures.push_back(&r);
+    } else if (r.pass) {
+      ++s.passed;
+    } else {
+      ++s.failed;
+      s.failures.push_back(&r);
+    }
+  }
+  return s;
+}
+
+}  // namespace pfi::campaign

@@ -1,0 +1,44 @@
+// Parallel campaign executor.
+//
+// Cells are claimed from an atomic cursor by a pool of worker threads; each
+// worker builds and tears down a private testbed per cell (see runner.hpp),
+// so there is no shared mutable state between concurrent runs and no locks
+// around the simulation itself. Results land in a pre-sized vector slot per
+// cell, which makes the returned order — and therefore every per-run JSON
+// record — identical whatever the thread count. The determinism test in
+// tests/campaign_test.cpp holds this invariant down.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace pfi::campaign {
+
+struct ExecutorOptions {
+  /// Worker threads; values < 1 are clamped to 1. 1 = run inline, no pool.
+  int jobs = 1;
+  /// Called as each cell finishes (any worker thread, serialised by an
+  /// internal mutex). Completion order is nondeterministic — only use this
+  /// for progress display, never for result assembly.
+  std::function<void(const RunResult&)> on_result;
+};
+
+/// Run every cell; returns results in cell order (results[i] is cells[i]).
+std::vector<RunResult> run_cells(const std::vector<RunCell>& cells,
+                                 const ExecutorOptions& opts = {});
+
+/// Aggregate counts over a finished campaign.
+struct Summary {
+  int total = 0;
+  int passed = 0;
+  int failed = 0;
+  int errored = 0;
+  std::vector<const RunResult*> failures;  // fail + error, cell order
+};
+
+Summary summarize(const std::vector<RunResult>& results);
+
+}  // namespace pfi::campaign

@@ -1,0 +1,158 @@
+// Minimal streaming JSON writer shared by the campaign engine and bench/.
+//
+// Campaign results must be machine-readable and byte-reproducible: the
+// determinism-under-parallelism guarantee is "the per-run record is identical
+// whatever --jobs was", which only holds if serialisation itself is
+// deterministic. So this writer is deliberately dumb: no maps, no reflection,
+// no locale — keys appear exactly in the order the caller emits them, doubles
+// are formatted with a fixed printf spec, and the output carries no
+// whitespace the caller didn't ask for.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfi::campaign::json {
+
+/// Escape a string for inclusion inside JSON quotes.
+inline std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming writer with comma bookkeeping. Usage:
+///
+///   Writer w;
+///   w.begin_object().key("verdict").value("pass").key("n").value(3)
+///    .end_object();
+///   std::string doc = w.str();
+class Writer {
+ public:
+  Writer& begin_object() {
+    pre_value();
+    out_ += '{';
+    fresh_.push_back(true);
+    return *this;
+  }
+  Writer& end_object() {
+    out_ += '}';
+    fresh_.pop_back();
+    return *this;
+  }
+  Writer& begin_array() {
+    pre_value();
+    out_ += '[';
+    fresh_.push_back(true);
+    return *this;
+  }
+  Writer& end_array() {
+    out_ += ']';
+    fresh_.pop_back();
+    return *this;
+  }
+
+  Writer& key(std::string_view k) {
+    comma();
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  Writer& value(std::string_view v) {
+    pre_value();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+  }
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(const std::string& v) { return value(std::string_view(v)); }
+  Writer& value(bool b) {
+    pre_value();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  Writer& value(std::int64_t n) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
+    pre_value();
+    out_ += buf;
+    return *this;
+  }
+  Writer& value(std::uint64_t n) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(n));
+    pre_value();
+    out_ += buf;
+    return *this;
+  }
+  Writer& value(int n) { return value(static_cast<std::int64_t>(n)); }
+  /// Fixed three-decimal formatting: enough for millisecond-resolution
+  /// timings, and stable across platforms/locales.
+  Writer& value(double d) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.3f", d);
+    pre_value();
+    out_ += buf;
+    return *this;
+  }
+  /// Splice pre-serialised JSON verbatim (e.g. a cached per-run record).
+  Writer& value_raw(std::string_view json) {
+    pre_value();
+    out_ += json;
+    return *this;
+  }
+
+  /// key+value in one call.
+  template <typename V>
+  Writer& kv(std::string_view k, V&& v) {
+    return key(k).value(std::forward<V>(v));
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma() {
+    if (!fresh_.empty()) {
+      if (!fresh_.back()) out_ += ',';
+      fresh_.back() = false;
+    }
+  }
+  void pre_value() {
+    if (pending_value_) {
+      pending_value_ = false;  // key() already placed the comma
+    } else {
+      comma();
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;  // per nesting level: no element emitted yet
+  bool pending_value_ = false;
+};
+
+}  // namespace pfi::campaign::json

@@ -1,0 +1,213 @@
+#include "campaign/runner.hpp"
+
+#include <memory>
+
+#include "experiments/gmp_testbed.hpp"
+#include "experiments/oracles.hpp"
+#include "experiments/tcp_testbed.hpp"
+#include "experiments/tpc_testbed.hpp"
+#include "pfi/driver.hpp"
+#include "pfi/script_file.hpp"
+#include "spec/tcp_spec.hpp"
+#include "tcp/profile.hpp"
+
+namespace pfi::campaign {
+
+namespace {
+
+using experiments::oracles::Verdict;
+
+/// Resolve the cell's fault load to installable scripts. Literal files win.
+bool resolve_scripts(const RunCell& cell, core::failure::Scripts* out,
+                     std::string* err) {
+  if (!cell.script_file.empty()) {
+    auto file = core::load_script_file(cell.script_file);
+    if (!file) {
+      *err = "cannot read script file " + cell.script_file;
+      return false;
+    }
+    out->setup = file->setup;
+    out->send = file->send;
+    out->receive = file->receive;
+    return true;
+  }
+  *out = cell.schedule.compile();
+  return true;
+}
+
+void install(core::PfiLayer& pfi, const core::failure::Scripts& s) {
+  if (!s.setup.empty()) pfi.run_setup(s.setup);
+  pfi.set_send_script(s.send);
+  pfi.set_receive_script(s.receive);
+}
+
+void collect_pfi(const core::PfiLayer& pfi, RunResult* r) {
+  const auto& st = pfi.stats();
+  r->faults_injected = st.dropped + st.delayed + st.duplicated + st.corrupted;
+  r->messages_seen = st.sends_intercepted + st.recvs_intercepted;
+  r->script_errors = st.script_errors;
+}
+
+tcp::TcpProfile vendor_profile(const std::string& name) {
+  if (name == "solaris") return tcp::profiles::solaris_2_3();
+  if (name == "aix") return tcp::profiles::aix_3_2_3();
+  if (name == "next") return tcp::profiles::next_mach();
+  if (name == "reference") return tcp::profiles::xkernel_reference();
+  return tcp::profiles::sunos_4_1_3();
+}
+
+void run_gmp(const RunCell& cell, const core::failure::Scripts& scripts,
+             RunResult* r) {
+  std::vector<net::NodeId> ids;
+  for (int i = 1; i <= cell.nodes; ++i) {
+    ids.push_back(static_cast<net::NodeId>(i));
+  }
+  experiments::GmpTestbed tb{
+      ids, cell.buggy ? gmp::GmpBugs::all() : gmp::GmpBugs::none(),
+      cell.seed * 1000};
+  tb.network.reseed(cell.seed);
+  tb.network.default_link().jitter = cell.jitter;
+
+  // Stagger daemon starts 1 s apart: a simultaneous cold start inherently
+  // raises one transient suspicion during the group merge, which would make
+  // the "quiet" oracle fail even with zero faults. Sequential joins give a
+  // disruption-free baseline, so a quiet-oracle failure is always the
+  // fault's doing. Scripts install at `warmup` (before the target daemon
+  // starts when warmup is 0, so formation traffic is already filtered).
+  constexpr sim::Duration kStagger = sim::sec(1);
+  bool installed = false;
+  auto install_at_warmup = [&] {
+    tb.sched.run_until(cell.warmup);
+    install(tb.pfi(static_cast<net::NodeId>(cell.target_node)), scripts);
+    installed = true;
+  };
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const sim::Duration at = static_cast<sim::Duration>(i) * kStagger;
+    if (!installed && cell.warmup <= at) install_at_warmup();
+    tb.sched.run_until(at);
+    tb.start(ids[i]);
+  }
+  if (!installed) install_at_warmup();
+  tb.sched.run_until(cell.duration);
+
+  Verdict v;
+  if (cell.oracle == "liveness") {
+    v = experiments::oracles::gmp_liveness(tb);
+  } else if (cell.oracle == "quiet") {
+    v = experiments::oracles::gmp_quiet(tb);
+  } else {
+    v = experiments::oracles::gmp_agreement(tb);
+  }
+  r->pass = v.pass;
+  r->reason = v.reason;
+  collect_pfi(tb.pfi(static_cast<net::NodeId>(cell.target_node)), r);
+  r->trace_records = tb.trace.records().size();
+}
+
+void run_tcp(const RunCell& cell, const core::failure::Scripts& scripts,
+             RunResult* r) {
+  experiments::TcpTestbed tb{vendor_profile(cell.vendor)};
+  tb.network.reseed(cell.seed);
+  tb.network.default_link().jitter = cell.jitter;
+  auto checker = std::make_shared<spec::TcpSpecChecker>(tb.sched);
+  tb.vendor_stack.insert_below(
+      *tb.vendor_tcp, std::make_unique<spec::SpecObserverLayer>(checker));
+  install(*tb.pfi, scripts);
+
+  tcp::TcpConnection* conn = tb.connect();
+  core::TcpDriver driver{tb.sched, *conn};
+  driver.start(sim::msec(500), 512, 0);
+  tb.sched.run_until(cell.duration);
+
+  const Verdict v = cell.oracle == "alive"
+                        ? experiments::oracles::tcp_alive(*conn)
+                        : experiments::oracles::tcp_spec(*checker);
+  r->pass = v.pass;
+  r->reason = v.reason;
+  collect_pfi(*tb.pfi, r);
+  r->trace_records = tb.trace.records().size();
+}
+
+void run_tpc(const RunCell& cell, const core::failure::Scripts& scripts,
+             RunResult* r) {
+  std::vector<net::NodeId> ids;
+  for (int i = 1; i <= cell.nodes; ++i) {
+    ids.push_back(static_cast<net::NodeId>(i));
+  }
+  experiments::TpcTestbed tb{ids, cell.seed * 1000};
+  tb.network.reseed(cell.seed);
+  tb.network.default_link().jitter = cell.jitter;
+  install(tb.pfi(static_cast<net::NodeId>(cell.target_node)), scripts);
+
+  // Three transactions spread across the run, all coordinated by the lowest
+  // node with everyone participating — the blocking window lives between
+  // PREPARED and the decision, which the faulted node's filters can stretch.
+  const std::vector<std::uint32_t> txids{1, 2, 3};
+  tb.sched.run_until(cell.warmup);
+  sim::Duration slice = (cell.duration - cell.warmup) /
+                        static_cast<sim::Duration>(txids.size());
+  if (slice <= 0) slice = sim::sec(1);
+  for (std::size_t k = 0; k < txids.size(); ++k) {
+    tb.tpc(ids.front()).begin(txids[k], ids);
+    tb.sched.run_until(cell.warmup +
+                       static_cast<sim::Duration>(k + 1) * slice);
+  }
+  tb.sched.run_until(cell.duration);
+
+  const Verdict v = experiments::oracles::tpc_atomic(tb, txids);
+  r->pass = v.pass;
+  r->reason = v.reason;
+  collect_pfi(tb.pfi(static_cast<net::NodeId>(cell.target_node)), r);
+  r->trace_records = tb.trace.records().size();
+}
+
+}  // namespace
+
+RunResult run_cell(const RunCell& cell) {
+  RunResult r;
+  r.index = cell.index;
+  r.id = cell.id;
+  r.oracle = cell.oracle;
+  r.seed = cell.seed;
+  r.sim_seconds = sim::to_seconds(cell.duration);
+
+  core::failure::Scripts scripts;
+  if (!resolve_scripts(cell, &scripts, &r.error)) return r;
+
+  try {
+    if (cell.protocol == "gmp") {
+      run_gmp(cell, scripts, &r);
+    } else if (cell.protocol == "tcp") {
+      run_tcp(cell, scripts, &r);
+    } else if (cell.protocol == "tpc") {
+      run_tpc(cell, scripts, &r);
+    } else {
+      r.error = "unknown protocol " + cell.protocol;
+    }
+  } catch (const std::exception& e) {
+    r.error = std::string("exception: ") + e.what();
+    r.pass = false;
+  }
+  return r;
+}
+
+std::string record_json(const RunResult& r) {
+  json::Writer w;
+  w.begin_object();
+  w.kv("index", r.index);
+  w.kv("id", r.id);
+  w.kv("verdict", r.errored() ? "error" : (r.pass ? "pass" : "fail"));
+  w.kv("oracle", r.oracle);
+  if (!r.reason.empty()) w.kv("reason", r.reason);
+  if (!r.error.empty()) w.kv("error", r.error);
+  w.kv("seed", r.seed);
+  w.kv("faults_injected", r.faults_injected);
+  w.kv("messages_seen", r.messages_seen);
+  w.kv("script_errors", r.script_errors);
+  w.kv("trace_records", r.trace_records);
+  w.kv("sim_seconds", r.sim_seconds);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace pfi::campaign

@@ -1,0 +1,47 @@
+// Deterministic execution of one campaign cell.
+//
+// Each call builds a private testbed (scheduler, network, protocol stacks,
+// PFI layers) on the caller's stack, runs the simulation, applies the cell's
+// oracle, and tears everything down. Nothing is shared between calls, so
+// cells can run concurrently from any number of threads — the executor's
+// whole parallelism story rests on this function being self-contained.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/json.hpp"
+#include "campaign/spec.hpp"
+
+namespace pfi::campaign {
+
+/// Outcome of one cell. Everything here is a pure function of the cell
+/// (wall-clock time is tracked campaign-wide, never per-record, so records
+/// compare byte-identical across --jobs settings).
+struct RunResult {
+  int index = -1;
+  std::string id;
+  bool pass = false;
+  std::string reason;  // oracle's explanation when failing
+  std::string oracle;
+  std::uint64_t seed = 0;
+  std::uint64_t faults_injected = 0;  // dropped+delayed+duplicated+corrupted
+  std::uint64_t messages_seen = 0;    // intercepted by the target PFI layer
+  std::uint64_t script_errors = 0;
+  std::uint64_t trace_records = 0;
+  double sim_seconds = 0;
+  std::string error;  // non-oracle failure (bad script file, bad protocol)
+
+  [[nodiscard]] bool errored() const { return !error.empty(); }
+};
+
+/// Run one cell to completion. Never throws; infrastructure problems land in
+/// RunResult::error.
+RunResult run_cell(const RunCell& cell);
+
+/// Serialise the deterministic per-run record (one JSON object, no
+/// whitespace) — the unit compared by the determinism test and emitted as a
+/// JSON line per run.
+std::string record_json(const RunResult& r);
+
+}  // namespace pfi::campaign

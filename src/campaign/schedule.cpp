@@ -1,0 +1,164 @@
+#include "campaign/schedule.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace pfi::campaign {
+
+using core::scriptgen::FaultKind;
+
+namespace {
+
+/// Message types become Tcl variable suffixes; keep only [A-Za-z0-9_].
+std::string sanitize(const std::string& type) {
+  std::string out;
+  out.reserve(type.size());
+  for (char c : type) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "any";
+  return out;
+}
+
+std::string action_for(const FaultEvent& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case FaultKind::kDrop:
+      os << "xDrop cur_msg";
+      break;
+    case FaultKind::kDelay:
+      os << "xDelay cur_msg " << e.delay / sim::kMillisecond;
+      break;
+    case FaultKind::kDuplicate:
+      os << "xDuplicate " << e.copies;
+      break;
+    case FaultKind::kCorrupt:
+      os << "msg_set_byte " << e.corrupt_offset
+         << " [expr {int([dst_uniform 0 256])}]";
+      break;
+    case FaultKind::kReorder:
+      // Unsupported in schedules (needs a multi-message hold queue); the
+      // planner never emits it. Degrade to a drop rather than mis-parse.
+      os << "xDrop cur_msg";
+      break;
+  }
+  return os.str();
+}
+
+std::string side_script(const std::vector<const FaultEvent*>& events) {
+  // Group by message type, preserving first-seen order for determinism.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<const FaultEvent*>> by_type;
+  for (const FaultEvent* e : events) {
+    if (!by_type.contains(e->type)) order.push_back(e->type);
+    by_type[e->type].push_back(e);
+  }
+
+  std::ostringstream os;
+  os << "set t [msg_type cur_msg]\n";
+  for (const auto& type : order) {
+    const std::string var = "sched_n_" + sanitize(type);
+    const bool any = type == "*";
+    if (any) {
+      os << "incr " << var << "\n";
+    } else {
+      os << "if {$t eq \"" << type << "\"} {\n  incr " << var << "\n";
+    }
+    const std::string in = any ? "" : "  ";
+    for (const FaultEvent* e : by_type[type]) {
+      os << in << "if {$" << var << " == " << e->occurrence << "} {\n"
+         << in << "  msg_log cur_msg campaign-"
+         << core::scriptgen::to_string(e->kind) << "\n"
+         << in << "  " << action_for(*e) << "\n"
+         << in << "}\n";
+    }
+    if (!any) os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string FaultEvent::summary() const {
+  std::ostringstream os;
+  os << core::scriptgen::to_string(kind) << " " << type << "#" << occurrence
+     << (on_send ? "" : " (recv)");
+  return os.str();
+}
+
+core::failure::Scripts FaultSchedule::compile() const {
+  core::failure::Scripts s;
+  if (events.empty()) return s;
+
+  std::vector<const FaultEvent*> send_events, recv_events;
+  for (const FaultEvent& e : events) {
+    (e.on_send ? send_events : recv_events).push_back(&e);
+  }
+
+  // One counter per (type) — setup runs in BOTH interpreters, so the send
+  // and receive filters each get an independent zeroed copy.
+  std::vector<std::string> order;
+  std::ostringstream setup;
+  for (const FaultEvent& e : events) {
+    const std::string var = "sched_n_" + sanitize(e.type);
+    bool seen = false;
+    for (const auto& v : order) seen = seen || v == var;
+    if (!seen) {
+      order.push_back(var);
+      setup << "set " << var << " 0\n";
+    }
+  }
+  s.setup = setup.str();
+  if (!send_events.empty()) s.send = side_script(send_events);
+  if (!recv_events.empty()) s.receive = side_script(recv_events);
+  return s;
+}
+
+std::string FaultSchedule::summary() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    if (!out.empty()) out += "; ";
+    out += e.summary();
+  }
+  return out;
+}
+
+void FaultSchedule::to_json(json::Writer& w) const {
+  w.begin_array();
+  for (const FaultEvent& e : events) {
+    w.begin_object();
+    w.kv("type", e.type);
+    w.kv("fault", core::scriptgen::to_string(e.kind));
+    w.kv("occurrence", e.occurrence);
+    w.kv("side", e.on_send ? "send" : "receive");
+    if (e.kind == FaultKind::kDelay) {
+      w.kv("delay_ms", e.delay / sim::kMillisecond);
+    }
+    if (e.kind == FaultKind::kDuplicate) w.kv("copies", e.copies);
+    if (e.kind == FaultKind::kCorrupt) {
+      w.kv("offset", static_cast<std::uint64_t>(e.corrupt_offset));
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+FaultSchedule burst(const std::string& type, FaultKind kind,
+                    int first_occurrence, int count, bool on_send,
+                    sim::Duration delay) {
+  FaultSchedule s;
+  for (int i = 0; i < count; ++i) {
+    FaultEvent e;
+    e.type = type;
+    e.kind = kind;
+    e.occurrence = first_occurrence + i;
+    e.on_send = on_send;
+    e.delay = delay;
+    s.events.push_back(e);
+  }
+  return s;
+}
+
+}  // namespace pfi::campaign

@@ -1,0 +1,64 @@
+// Structured fault schedules.
+//
+// A campaign cell's fault load is not an opaque Tcl blob but a *list of
+// events* — "on the Nth occurrence of message type T, apply fault F" — that
+// compiles down to the same PFI filter scripts everything else uses
+// (pfi::core::failure::Scripts). Keeping the structured form around is what
+// makes failing runs minimisable: the delta-debugger removes events, not
+// script lines, and recompiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/json.hpp"
+#include "pfi/failure.hpp"
+#include "pfi/scriptgen.hpp"
+#include "sim/time.hpp"
+
+namespace pfi::campaign {
+
+/// One scheduled fault. Schedules support the deterministic per-occurrence
+/// kinds (drop / delay / duplicate / corrupt); kReorder needs a hold queue
+/// spanning many messages and stays exclusive to pfi::core::scriptgen.
+struct FaultEvent {
+  std::string type;  // message type to match; "*" = every message
+  core::scriptgen::FaultKind kind = core::scriptgen::FaultKind::kDrop;
+  int occurrence = 1;  // 1-based Nth occurrence of `type` at this layer
+  bool on_send = true;  // send filter (outgoing) or receive filter (incoming)
+  sim::Duration delay = sim::msec(1500);  // kDelay
+  int copies = 1;                         // kDuplicate
+  std::size_t corrupt_offset = 0;         // kCorrupt
+
+  [[nodiscard]] std::string summary() const;
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+  [[nodiscard]] std::size_t size() const { return events.size(); }
+
+  /// Compile to installable PFI filter scripts. Events are grouped per side
+  /// and per message type; each type gets one occurrence counter, so two
+  /// events on different occurrences of the same type share state.
+  [[nodiscard]] core::failure::Scripts compile() const;
+
+  /// "drop gmp-commit#1; delay gmp-heartbeat#3" — for logs and records.
+  [[nodiscard]] std::string summary() const;
+
+  /// Serialise as a JSON array of event objects into `w`.
+  void to_json(json::Writer& w) const;
+
+  bool operator==(const FaultSchedule&) const = default;
+};
+
+/// Convenience builder: `count` events of `kind` on occurrences
+/// [first, first + count) of `type`.
+FaultSchedule burst(const std::string& type, core::scriptgen::FaultKind kind,
+                    int first_occurrence, int count, bool on_send = true,
+                    sim::Duration delay = sim::msec(1500));
+
+}  // namespace pfi::campaign

@@ -1,0 +1,103 @@
+#include "experiments/oracles.hpp"
+
+#include <sstream>
+
+#include "experiments/gmp_testbed.hpp"
+#include "experiments/tpc_testbed.hpp"
+
+namespace pfi::experiments::oracles {
+
+namespace {
+
+std::string members_str(const std::vector<net::NodeId>& ms) {
+  std::string out = "{";
+  for (net::NodeId m : ms) {
+    if (out.size() > 1) out += ",";
+    out += std::to_string(m);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+Verdict gmp_agreement(GmpTestbed& tb) {
+  for (net::NodeId a : tb.ids()) {
+    for (net::NodeId b : tb.ids()) {
+      if (a >= b) continue;
+      for (const auto& va : tb.gmd(a).view_history()) {
+        for (const auto& vb : tb.gmd(b).view_history()) {
+          if (va.id == vb.id && va.members != vb.members) {
+            std::ostringstream os;
+            os << "view " << va.id << " committed as " << members_str(va.members)
+               << " on node " << a << " but " << members_str(vb.members)
+               << " on node " << b;
+            return Verdict::failed(os.str());
+          }
+        }
+      }
+    }
+  }
+  return Verdict::ok();
+}
+
+Verdict gmp_liveness(GmpTestbed& tb) {
+  if (Verdict v = gmp_agreement(tb); !v.pass) return v;
+  if (!tb.group_formed(tb.ids())) {
+    std::string views;
+    for (net::NodeId id : tb.ids()) {
+      if (!views.empty()) views += " ";
+      views += std::to_string(id) + ":" + members_str(tb.view_of(id));
+    }
+    return Verdict::failed("full group not formed at end: " + views);
+  }
+  return Verdict::ok();
+}
+
+Verdict gmp_quiet(GmpTestbed& tb) {
+  if (Verdict v = gmp_agreement(tb); !v.pass) return v;
+  for (net::NodeId id : tb.ids()) {
+    const auto& st = tb.gmd(id).stats();
+    if (st.suspects_raised > 0) {
+      return Verdict::failed("node " + std::to_string(id) + " raised " +
+                             std::to_string(st.suspects_raised) +
+                             " suspicion(s)");
+    }
+    if (st.transition_aborts > 0) {
+      return Verdict::failed("node " + std::to_string(id) + " aborted " +
+                             std::to_string(st.transition_aborts) +
+                             " transition(s)");
+    }
+  }
+  return Verdict::ok();
+}
+
+Verdict tcp_spec(const spec::TcpSpecChecker& checker) {
+  if (checker.clean()) return Verdict::ok();
+  const auto& v = checker.violations().front();
+  return Verdict::failed(
+      v.rule + ": " + v.detail + " (+" +
+      std::to_string(checker.violations().size() - 1) + " more)");
+}
+
+Verdict tcp_alive(const tcp::TcpConnection& conn) {
+  switch (conn.close_reason()) {
+    case tcp::CloseReason::kNone:
+    case tcp::CloseReason::kNormal:
+      return Verdict::ok();
+    default:
+      return Verdict::failed("connection died: " +
+                             tcp::to_string(conn.close_reason()));
+  }
+}
+
+Verdict tpc_atomic(TpcTestbed& tb, const std::vector<std::uint32_t>& txids) {
+  for (std::uint32_t tx : txids) {
+    if (!tb.atomic(tx)) {
+      return Verdict::failed("atomicity breach: tx " + std::to_string(tx) +
+                             " decided both ways");
+    }
+  }
+  return Verdict::ok();
+}
+
+}  // namespace pfi::experiments::oracles

@@ -1,0 +1,55 @@
+// Pass/fail oracles over the testbeds, for campaign cells.
+//
+// The experiments library reports rich per-experiment structs; a campaign
+// needs the opposite: one machine-checkable verdict per run, with a reason
+// string when it fails. Each oracle encodes a property the paper's
+// experiments check by reading tables:
+//
+//   gmp agreement  - no two daemons ever committed different memberships for
+//                    the same view id (safety; the generated-campaign bench's
+//                    invariant).
+//   gmp liveness   - the full group is formed and consistent at the end.
+//   gmp quiet      - the run stayed disruption-free: no suspicion was ever
+//                    raised and no membership transition aborted. The
+//                    strictest oracle; any effective fault trips it, which
+//                    makes it the right target for schedule minimisation.
+//   tcp spec       - the TcpSpecChecker saw no RFC-793/1122 violation.
+//   tcp alive      - the probed connection ended ESTABLISHED or closed
+//                    cleanly (no reset, no retransmission give-up).
+//   tpc atomic     - no two nodes decided opposite outcomes for any checked
+//                    transaction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/tcp_spec.hpp"
+#include "tcp/connection.hpp"
+
+namespace pfi::experiments {
+
+class GmpTestbed;
+class TpcTestbed;
+
+namespace oracles {
+
+struct Verdict {
+  bool pass = true;
+  std::string reason;  // empty when passing
+
+  static Verdict ok() { return {}; }
+  static Verdict failed(std::string why) { return {false, std::move(why)}; }
+};
+
+Verdict gmp_agreement(GmpTestbed& tb);
+Verdict gmp_liveness(GmpTestbed& tb);
+Verdict gmp_quiet(GmpTestbed& tb);
+
+Verdict tcp_spec(const spec::TcpSpecChecker& checker);
+Verdict tcp_alive(const tcp::TcpConnection& conn);
+
+Verdict tpc_atomic(TpcTestbed& tb, const std::vector<std::uint32_t>& txids);
+
+}  // namespace oracles
+}  // namespace pfi::experiments

@@ -2,7 +2,8 @@
 
 namespace pfi::experiments {
 
-TpcTestbed::TpcTestbed(const std::vector<net::NodeId>& ids)
+TpcTestbed::TpcTestbed(const std::vector<net::NodeId>& ids,
+                       std::uint64_t seed_base)
     : network(sched), ids_(ids) {
   network.default_link().latency = sim::msec(1);
   for (net::NodeId id : ids_) {
@@ -19,7 +20,7 @@ TpcTestbed::TpcTestbed(const std::vector<net::NodeId>& ids)
     pcfg.node_name = "tpc-" + std::to_string(id);
     pcfg.trace = &trace;
     pcfg.stub = std::make_shared<core::TpcStub>();
-    pcfg.rng_seed = 500 + id;
+    pcfg.rng_seed = seed_base + id;
     node->pfi = static_cast<core::PfiLayer*>(node->stack.insert_below(
         *node->tpc, std::make_unique<core::PfiLayer>(sched, pcfg)));
     nodes_[id] = std::move(node);

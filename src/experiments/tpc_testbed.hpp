@@ -25,7 +25,8 @@ class TpcTestbed {
     core::PfiLayer* pfi = nullptr;
   };
 
-  explicit TpcTestbed(const std::vector<net::NodeId>& ids);
+  explicit TpcTestbed(const std::vector<net::NodeId>& ids,
+                      std::uint64_t seed_base = 500);
 
   [[nodiscard]] Node& node(net::NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] tpc::TpcNode& tpc(net::NodeId id) { return *node(id).tpc; }

@@ -79,6 +79,10 @@ class Network {
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
 
+  /// Re-seed the jitter/loss RNG (campaign cells vary the seed after the
+  /// testbed has constructed the network).
+  void reseed(std::uint64_t seed) { rng_ = sim::Rng(seed); }
+
  private:
   [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
   void deliver_one(NodeId src, NodeId dst, xk::Message frame);

@@ -37,6 +37,21 @@ ScriptFile parse_script_sections(const std::string& contents) {
   return out;
 }
 
+std::string render_script_sections(const ScriptFile& file) {
+  std::string out;
+  auto section = [&](const char* marker, const std::string& body) {
+    if (body.empty()) return;
+    out += marker;
+    out += '\n';
+    out += body;
+    if (!body.empty() && body.back() != '\n') out += '\n';
+  };
+  section("#%setup", file.setup);
+  section("#%send", file.send);
+  section("#%receive", file.receive);
+  return out;
+}
+
 std::optional<ScriptFile> load_script_file(const std::string& path) {
   std::ifstream in{path};
   if (!in) return std::nullopt;

@@ -35,6 +35,12 @@ struct ScriptFile {
 /// Split file contents by the #%setup / #%send / #%receive markers.
 ScriptFile parse_script_sections(const std::string& contents);
 
+/// Render sections back into the marker file format (the inverse of
+/// parse_script_sections, up to a trailing newline per section). Lets
+/// generated campaigns (pfi::core::scriptgen, campaign::FaultSchedule) be
+/// written out as ordinary .tcl files and re-loaded.
+std::string render_script_sections(const ScriptFile& file);
+
 /// Read and parse a script file; nullopt if the file can't be read.
 std::optional<ScriptFile> load_script_file(const std::string& path);
 

@@ -1,0 +1,72 @@
+// The JSON writer must be boring and exact: deterministic ordering, correct
+// escaping, correct commas at every nesting depth — campaign records and
+// bench JSON lines both ride on it.
+#include <gtest/gtest.h>
+
+#include "campaign/json.hpp"
+
+namespace pfi::campaign::json {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  Writer w;
+  w.begin_object().kv("a", "x").kv("b", 2).kv("c", true).end_object();
+  EXPECT_EQ(w.str(), R"({"a":"x","b":2,"c":true})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  Writer w;
+  w.begin_object();
+  w.key("list").begin_array().value(1).value(2).end_array();
+  w.key("obj").begin_object().kv("k", "v").end_object();
+  w.key("empty").begin_array().end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"list":[1,2],"obj":{"k":"v"},"empty":[]})");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  Writer w;
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object().kv("i", i).end_object();
+  }
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(escape(std::string("\x01", 1)), "\\u0001");
+  Writer w;
+  w.begin_object().kv("k\"ey", "v\nal").end_object();
+  EXPECT_EQ(w.str(), "{\"k\\\"ey\":\"v\\nal\"}");
+}
+
+TEST(JsonWriter, NumbersAreLocaleProofAndFixed) {
+  Writer w;
+  w.begin_array()
+      .value(std::uint64_t{18446744073709551615ull})
+      .value(std::int64_t{-42})
+      .value(1.5)
+      .value(0.0005)
+      .end_array();
+  // Doubles use fixed %.3f — deterministic across platforms.
+  EXPECT_EQ(w.str(), "[18446744073709551615,-42,1.500,0.001]");
+}
+
+TEST(JsonWriter, RawSplicing) {
+  Writer w;
+  w.begin_array().value_raw(R"({"pre":"made"})").value(1).end_array();
+  EXPECT_EQ(w.str(), R"([{"pre":"made"},1])");
+}
+
+TEST(JsonWriter, TopLevelScalar) {
+  Writer w;
+  w.value("alone");
+  EXPECT_EQ(w.str(), R"("alone")");
+}
+
+}  // namespace
+}  // namespace pfi::campaign::json

@@ -3,8 +3,12 @@
 // generated single-type fault, even the ones that wreck liveness.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "experiments/gmp_testbed.hpp"
 #include "pfi/pfi_layer.hpp"
+#include "pfi/script_file.hpp"
 #include "pfi/scriptgen.hpp"
 #include "pfi/stub.hpp"
 #include "sim/scheduler.hpp"
@@ -169,6 +173,81 @@ TEST(ScriptGen, EveryGeneratedScriptParsesCleanly) {
                                                 << h.pfi->last_error();
   }
 }
+
+// Satellite coverage: every generated fault type must survive the full
+// operational loop — render to a .tcl file in the #%section format, re-load
+// through script_file, install, and run without a single interpreter error.
+// This is the compile-shaped gap the drop-only tests above left open.
+class GeneratedScriptFileRoundTrip
+    : public ::testing::TestWithParam<FaultKind> {};
+
+TEST_P(GeneratedScriptFileRoundTrip, RendersParsesInstallsAndRuns) {
+  const FaultKind kind = GetParam();
+  const GeneratedTest t = generate(toy_spec(), "data", kind);
+
+  // Render the generated scripts as a sectioned .tcl file and parse back.
+  ScriptFile sections;
+  sections.setup = t.scripts.setup;
+  sections.send = t.scripts.send;
+  sections.receive = t.scripts.receive;
+  const std::string text = render_script_sections(sections);
+  const ScriptFile parsed = parse_script_sections(text);
+  auto strip = [](std::string s) {
+    while (!s.empty() && s.back() == '\n') s.pop_back();
+    return s;
+  };
+  EXPECT_EQ(strip(parsed.setup), strip(sections.setup));
+  EXPECT_EQ(strip(parsed.send), strip(sections.send));
+  EXPECT_EQ(strip(parsed.receive), strip(sections.receive));
+
+  // Write to disk and install through the standard loader.
+  const std::string path = ::testing::TempDir() + "scriptgen_roundtrip_" +
+                           to_string(kind) + ".tcl";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << text;
+  }
+  Harness h;
+  ASSERT_TRUE(install_script_file(*h.pfi, path));
+
+  // Drive traffic through it: the script must compile and run clean.
+  for (int i = 0; i < 6; ++i) {
+    h.app->send(ToyStub::make(ToyStub::kData, static_cast<std::uint32_t>(i)));
+  }
+  h.sched.run();
+  EXPECT_EQ(h.pfi->stats().script_errors, 0u)
+      << to_string(kind) << ": " << h.pfi->last_error();
+  // And it must actually have acted on the traffic.
+  const auto& st = h.pfi->stats();
+  switch (kind) {
+    case FaultKind::kDrop:
+      EXPECT_GT(st.dropped, 0u);
+      break;
+    case FaultKind::kDelay:
+      EXPECT_GT(st.delayed, 0u);
+      break;
+    case FaultKind::kDuplicate:
+      EXPECT_GT(st.duplicated, 0u);
+      break;
+    case FaultKind::kCorrupt:
+      EXPECT_GT(st.corrupted, 0u);
+      break;
+    case FaultKind::kReorder:
+      EXPECT_GT(st.held + st.released, 0u);
+      break;
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GeneratedScriptFileRoundTrip,
+                         ::testing::Values(FaultKind::kDrop, FaultKind::kDelay,
+                                           FaultKind::kDuplicate,
+                                           FaultKind::kCorrupt,
+                                           FaultKind::kReorder),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
 
 // The paper-grade application: run a generated fault campaign against the
 // GMP cluster and check the SAFETY property (any two daemons that committed
