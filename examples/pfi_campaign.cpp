@@ -2,18 +2,36 @@
 //
 //   $ ./pfi_campaign ../scripts/campaign_gmp_omission.spec --jobs 4
 //   $ ./pfi_campaign spec.file --filter gmp-commit --minimize --out out.json
+//   $ ./pfi_campaign spec.file --isolate --timeout-ms 5000 --retries 2
+//   $ ./pfi_campaign spec.file --resume        # skip journaled cells
 //
 // Reads a campaign spec (docs/CAMPAIGN.md), expands the run matrix, executes
 // every cell on a worker pool, and writes one JSON document: per-run records
 // (byte-identical whatever --jobs was), a summary, and — with --minimize —
 // a 1-minimal reproduction schedule for each failing cell.
+//
+// Resilience: --timeout-ms / --max-events arm a per-cell watchdog (overruns
+// become deterministic `timeout` error records), --isolate forks each cell
+// into a child process (crashes become `signal ...` error records),
+// --retries re-runs errored cells with backoff, and --resume + the journal
+// (an append-only JSONL checkpoint next to the spec) survive SIGINT: the
+// first Ctrl-C stops gracefully and flushes completed records, a second
+// kills immediately, and the next --resume run executes only the cells the
+// journal doesn't already hold.
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <vector>
+
+#include <unistd.h>
 
 #include "campaign/executor.hpp"
+#include "campaign/journal.hpp"
 #include "campaign/json.hpp"
 #include "campaign/minimize.hpp"
 #include "campaign/runner.hpp"
@@ -23,12 +41,25 @@ using namespace pfi::campaign;
 
 namespace {
 
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void handle_sigint(int) {
+  if (g_interrupted != 0) _exit(130);  // second Ctrl-C: die now
+  g_interrupted = 1;                   // first: finish in-flight cells, flush
+}
+
 struct Args {
   std::string spec_path;
   std::string filter;
-  std::string out;       // empty = stdout
+  std::string out;          // empty = stdout
+  std::string journal;      // empty = <spec>.journal when journaling
   int jobs = 1;
-  int max_minimize = 8;  // cap on cells minimised per campaign
+  int max_minimize = 8;     // cap on cells minimised per campaign
+  int timeout_ms = -1;      // -1 = keep the spec's value
+  long long max_events = -1;
+  int retries = -1;
+  bool isolate = false;
+  bool resume = false;
   bool minimize = false;
   bool list = false;
   bool quiet = false;
@@ -37,8 +68,18 @@ struct Args {
 int usage(int code) {
   std::printf(
       "usage: pfi_campaign <spec-file> [options]\n"
-      "  --jobs N          worker threads (default 1)\n"
+      "  --jobs N          worker threads / child processes (default 1)\n"
       "  --filter SUBSTR   run only cells whose id contains SUBSTR\n"
+      "  --timeout-ms N    per-cell wall-clock budget; overruns become\n"
+      "                    deterministic `timeout` error records\n"
+      "  --max-events N    per-cell simulation-event budget (same reporting)\n"
+      "  --isolate         fork each cell into a child process: crashes\n"
+      "                    (SIGSEGV, aborts) become `signal` error records\n"
+      "  --retries N       re-run errored cells (never oracle failures) up\n"
+      "                    to N extra times with capped backoff\n"
+      "  --resume          skip cells whose record is already journaled;\n"
+      "                    implies journaling to <spec>.journal\n"
+      "  --journal FILE    journal path (enables journaling)\n"
       "  --minimize        delta-debug each failing schedule to a minimal\n"
       "                    reproduction (schedule-mode cells only)\n"
       "  --max-minimize N  minimise at most N failing cells (default 8)\n"
@@ -46,6 +87,11 @@ int usage(int code) {
       "  --list            print the planned cell ids and exit\n"
       "  --quiet           no progress output on stderr\n");
   return code;
+}
+
+/// Verdict string of a raw record (fresh or journaled) for summary counts.
+std::string record_verdict(const std::string& record) {
+  return json::probe_string_field(record, "verdict").value_or("error");
 }
 
 }  // namespace
@@ -61,6 +107,18 @@ int main(int argc, char** argv) {
       args.jobs = std::atoi(next());
     } else if (a == "--filter") {
       args.filter = next();
+    } else if (a == "--timeout-ms") {
+      args.timeout_ms = std::atoi(next());
+    } else if (a == "--max-events") {
+      args.max_events = std::atoll(next());
+    } else if (a == "--isolate") {
+      args.isolate = true;
+    } else if (a == "--retries") {
+      args.retries = std::atoi(next());
+    } else if (a == "--resume") {
+      args.resume = true;
+    } else if (a == "--journal") {
+      args.journal = next();
     } else if (a == "--minimize") {
       args.minimize = true;
     } else if (a == "--max-minimize") {
@@ -87,6 +145,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
     return 2;
   }
+  // CLI overrides win over the spec's own resilience knobs.
+  if (args.timeout_ms >= 0) spec->timeout_ms = args.timeout_ms;
+  if (args.max_events >= 0) {
+    spec->max_sim_events = static_cast<std::uint64_t>(args.max_events);
+  }
+  const int retries = args.retries >= 0 ? args.retries : spec->retries;
 
   const auto cells = filter_cells(plan(*spec), args.filter);
   if (args.list) {
@@ -97,33 +161,136 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: no cells match\n");
     return 2;
   }
+
+  // ---- journal: content keys, prior records, the todo subset --------------
+  const bool journaling = args.resume || !args.journal.empty();
+  const std::string journal_path =
+      args.journal.empty() ? args.spec_path + ".journal" : args.journal;
+  std::vector<std::string> keys;
+  std::map<std::string, std::string> prior;
+  if (journaling) {
+    keys.reserve(cells.size());
+    for (const auto& c : cells) keys.push_back(cell_key(c));
+    if (args.resume) prior = load_journal(journal_path);
+  }
+  // records[i] is plan slot i's JSON record; empty = not run (interrupted).
+  std::vector<std::string> records(cells.size());
+  std::vector<RunCell> todo;
+  int resumed = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto hit = journaling ? prior.find(keys[i]) : prior.end();
+    if (hit != prior.end()) {
+      records[i] = rewrite_index(hit->second, cells[i].index);
+      ++resumed;
+    } else {
+      todo.push_back(cells[i]);  // keeps its plan index
+    }
+  }
+
   if (!args.quiet) {
-    std::fprintf(stderr, "campaign %s: %zu cells, %d job(s)\n",
-                 spec->name.c_str(), cells.size(), std::max(1, args.jobs));
+    std::fprintf(stderr, "campaign %s: %zu cells, %d job(s)%s%s\n",
+                 spec->name.c_str(), cells.size(), std::max(1, args.jobs),
+                 args.isolate ? ", isolated" : "",
+                 args.resume ? (", " + std::to_string(resumed) +
+                                " journaled, " + std::to_string(todo.size()) +
+                                " to run")
+                                   .c_str()
+                             : "");
+  }
+
+  Journal journal;
+  if (journaling && !todo.empty() && !journal.open(journal_path)) {
+    std::fprintf(stderr, "error: cannot append to journal %s\n",
+                 journal_path.c_str());
+    return 2;
+  }
+  std::map<int, const std::string*> key_of_index;  // plan index -> cell key
+  if (journaling) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      key_of_index[cells[i].index] = &keys[i];
+    }
   }
 
   int done = 0;
   ExecutorOptions opts;
   opts.jobs = args.jobs;
-  if (!args.quiet) {
-    opts.on_result = [&](const RunResult& r) {
-      ++done;
-      if (!r.pass || r.errored() || done % 50 == 0 ||
-          done == static_cast<int>(cells.size())) {
-        std::fprintf(stderr, "  [%d/%zu] %-40s %s\n", done, cells.size(),
-                     r.id.c_str(),
-                     r.errored() ? "ERROR" : (r.pass ? "pass" : "FAIL"));
+  opts.isolate = args.isolate;
+  opts.retries = retries;
+  opts.should_stop = [] { return g_interrupted != 0; };
+  opts.on_result = [&](const RunResult& r) {
+    ++done;
+    if (journal.is_open()) {
+      const auto it = key_of_index.find(r.index);
+      if (it != key_of_index.end()) {
+        journal.append(*it->second, record_json(r));
       }
+    }
+    if (!args.quiet &&
+        (!r.pass || r.errored() || done % 50 == 0 ||
+         done == static_cast<int>(todo.size()))) {
+      std::fprintf(stderr, "  [%d/%zu] %-40s %s%s\n", done, todo.size(),
+                   r.id.c_str(),
+                   r.errored() ? "ERROR" : (r.pass ? "pass" : "FAIL"),
+                   r.attempts > 1
+                       ? (" (attempt " + std::to_string(r.attempts) + ")")
+                             .c_str()
+                       : "");
+    }
+  };
+  if (!args.quiet) {
+    opts.on_retry = [&](const RunResult& r, int attempt, int max_attempts) {
+      std::fprintf(stderr, "  retry %-40s attempt %d/%d failed: %s\n",
+                   r.id.c_str(), attempt, max_attempts, r.error.c_str());
     };
   }
 
+  std::signal(SIGINT, handle_sigint);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = run_cells(cells, opts);
+  const auto results = run_cells(todo, opts);
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
-  const Summary sum = summarize(results);
+  std::signal(SIGINT, SIG_DFL);
+  journal.close();
+  const bool interrupted = g_interrupted != 0;
+
+  // Splice freshly-executed records into their plan slots. Skipped cells
+  // (index -1: claimed by nobody before the interrupt) leave the slot empty.
+  std::map<int, std::size_t> slot_of_index;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    slot_of_index[cells[i].index] = i;
+  }
+  for (const RunResult& r : results) {
+    if (r.index < 0) continue;
+    records[slot_of_index[r.index]] = record_json(r);
+  }
+
+  // Summary over the merged set — journaled and fresh records count alike.
+  Summary sum;
+  sum.total = static_cast<int>(cells.size());
+  for (const RunResult& r : results) {
+    if (r.index >= 0 && (r.errored() || !r.pass)) sum.failures.push_back(&r);
+  }
+  std::vector<std::string> failing_ids;
+  for (const std::string& rec : records) {
+    if (rec.empty()) {
+      ++sum.skipped;
+      continue;
+    }
+    const std::string verdict = record_verdict(rec);
+    if (verdict == "pass") {
+      ++sum.passed;
+    } else {
+      if (verdict == "error") {
+        ++sum.errored;
+      } else {
+        ++sum.failed;
+      }
+      failing_ids.push_back(
+          json::probe_string_field(rec, "id").value_or(""));
+    }
+  }
 
   pfi::campaign::json::Writer w;
   w.begin_object();
@@ -132,25 +299,34 @@ int main(int argc, char** argv) {
   w.kv("oracle", spec->oracle);
   w.kv("cells", sum.total);
   w.key("runs").begin_array();
-  for (const auto& r : results) w.value_raw(record_json(r));
+  for (const std::string& rec : records) {
+    if (!rec.empty()) w.value_raw(rec);
+  }
   w.end_array();
   w.key("summary").begin_object();
   w.kv("pass", sum.passed);
   w.kv("fail", sum.failed);
   w.kv("error", sum.errored);
+  if (sum.skipped > 0) w.kv("skipped", sum.skipped);
+  if (resumed > 0) w.kv("resumed", resumed);
+  if (interrupted) w.kv("interrupted", true);
   w.kv("jobs", std::max(1, args.jobs));
   w.kv("wall_ms", wall_ms);
   w.key("failing_ids").begin_array();
-  for (const RunResult* f : sum.failures) w.value(f->id);
+  for (const std::string& id : failing_ids) w.value(id);
   w.end_array();
   w.end_object();
 
   if (args.minimize) {
+    // Only freshly-executed failures are minimised: a journaled failure was
+    // (or can be) minimised by the run that produced it.
     int minimized = 0;
     w.key("minimized").begin_array();
     for (const RunResult* f : sum.failures) {
-      if (minimized >= args.max_minimize) break;
-      const RunCell& cell = cells[static_cast<std::size_t>(f->index)];
+      if (interrupted || minimized >= args.max_minimize) break;
+      if (f->errored()) continue;  // infrastructure error, not a repro
+      const std::size_t slot = slot_of_index[f->index];
+      const RunCell& cell = cells[slot];
       if (cell.schedule.empty()) continue;  // literal .tcl: nothing to cut
       if (!args.quiet) {
         std::fprintf(stderr, "  minimizing %s (%zu events)...\n",
@@ -194,8 +370,14 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
   if (!args.quiet) {
-    std::fprintf(stderr, "%d/%d pass, %d fail, %d error in %.0f ms\n",
-                 sum.passed, sum.total, sum.failed, sum.errored, wall_ms);
+    std::fprintf(stderr, "%d/%d pass, %d fail, %d error%s in %.0f ms\n",
+                 sum.passed, sum.total, sum.failed, sum.errored,
+                 sum.skipped > 0
+                     ? (", " + std::to_string(sum.skipped) + " skipped")
+                           .c_str()
+                     : "",
+                 wall_ms);
   }
+  if (interrupted) return 130;
   return sum.failed + sum.errored > 0 ? 1 : 0;
 }

@@ -1,0 +1,12 @@
+# Sandbox fixture: abort the *hosting* process (SIGABRT) once a few
+# messages have been intercepted — simulating a testbed bug (wild pointer,
+# assertion) rather than a protocol fault. A plain campaign dies with it;
+# under pfi_campaign --isolate the crash is contained in the cell's child
+# process and reported as a `signal SIGABRT (6)` error record.
+#%setup
+set n 0
+#%receive
+incr n
+if {$n >= 5} {
+  xCrashProcess
+}

@@ -1,0 +1,14 @@
+# Watchdog fixture: a receive filter that never returns control to the
+# scheduler. The interpreter's per-loop iteration budget cannot stop it —
+# every entry of the inner loop gets a fresh budget, so the nesting below is
+# ~10^13 operations, i.e. a genuine hang. Only an external budget
+# (pfi_campaign --timeout-ms / --max-events, or a test watchdog) ends it.
+#%receive
+set spin 0
+while {$spin < 1000000000} {
+  set j 0
+  while {$j < 1000000} {
+    incr j
+  }
+  incr spin
+}

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +42,44 @@ inline std::string escape(std::string_view s) {
     }
   }
   return out;
+}
+
+/// Extract the (unescaped) value of a top-level string field from a JSON
+/// object *this writer produced* — a structural probe for re-reading our
+/// own deterministic records (journal resume, summary verdict counting),
+/// not a general JSON parser. Returns nullopt when the key is absent.
+inline std::optional<std::string> probe_string_field(std::string_view doc,
+                                                     std::string_view key) {
+  std::string needle = "\"";
+  needle.append(key);
+  needle += "\":\"";
+  const auto at = doc.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = at + needle.size(); i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (c == '"') return out;
+    if (c == '\\' && i + 1 < doc.size()) {
+      const char e = doc[++i];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // \u00XX (the writer only emits control codes this way).
+          if (i + 4 < doc.size()) {
+            const std::string hex(doc.substr(i + 1, 4));
+            out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: out += e;
+      }
+      continue;
+    }
+    out += c;
+  }
+  return std::nullopt;  // unterminated: not something we wrote
 }
 
 /// Streaming writer with comma bookkeeping. Usage:

@@ -1,7 +1,10 @@
 #include "campaign/runner.hpp"
 
+#include <cstdio>
 #include <memory>
+#include <optional>
 
+#include "campaign/watchdog.hpp"
 #include "experiments/gmp_testbed.hpp"
 #include "experiments/oracles.hpp"
 #include "experiments/tcp_testbed.hpp"
@@ -16,6 +19,44 @@ namespace pfi::campaign {
 namespace {
 
 using experiments::oracles::Verdict;
+
+/// An empty oracle means "protocol default" (the planner always fills one
+/// in, but run_cell is also a public API); anything else must be a name the
+/// protocol's dispatch below actually understands — a typo must become an
+/// error record, not a silent fallback to the default oracle.
+bool known_oracle(const std::string& protocol, const std::string& oracle) {
+  if (oracle.empty()) return true;
+  if (protocol == "gmp") {
+    return oracle == "agreement" || oracle == "liveness" || oracle == "quiet";
+  }
+  if (protocol == "tcp") return oracle == "spec" || oracle == "alive";
+  if (protocol == "tpc") return oracle == "atomic";
+  return false;
+}
+
+/// Advance the simulation to `deadline`. With a watchdog, advance in slices
+/// so wall-clock and sim-event budgets are sampled even inside a single
+/// long quiescent stretch; once expired, stop driving the simulation.
+void advance(sim::Scheduler& sched, sim::TimePoint deadline, Watchdog* wd) {
+  if (wd == nullptr) {
+    sched.run_until(deadline);
+    return;
+  }
+  constexpr std::size_t kSlice = 20'000;
+  while (!wd->check()) {
+    const std::size_t fired = sched.run_until(deadline, kSlice);
+    wd->add_sim_events(fired);
+    if (fired < kSlice) return;  // every event <= deadline has fired
+  }
+}
+
+/// Point the PFI layer's two interpreters at the cell's watchdog, so a
+/// filter script that never returns (spin loop) is cut short too.
+void arm_interpreters(core::PfiLayer& pfi, Watchdog* wd) {
+  if (wd == nullptr) return;
+  pfi.send_interp().set_watchdog(wd->interp_hook());
+  pfi.receive_interp().set_watchdog(wd->interp_hook());
+}
 
 /// Resolve the cell's fault load to installable scripts. Literal files win.
 bool resolve_scripts(const RunCell& cell, core::failure::Scripts* out,
@@ -57,7 +98,7 @@ tcp::TcpProfile vendor_profile(const std::string& name) {
 }
 
 void run_gmp(const RunCell& cell, const core::failure::Scripts& scripts,
-             RunResult* r) {
+             Watchdog* wd, RunResult* r) {
   std::vector<net::NodeId> ids;
   for (int i = 1; i <= cell.nodes; ++i) {
     ids.push_back(static_cast<net::NodeId>(i));
@@ -67,6 +108,7 @@ void run_gmp(const RunCell& cell, const core::failure::Scripts& scripts,
       cell.seed * 1000};
   tb.network.reseed(cell.seed);
   tb.network.default_link().jitter = cell.jitter;
+  arm_interpreters(tb.pfi(static_cast<net::NodeId>(cell.target_node)), wd);
 
   // Stagger daemon starts 1 s apart: a simultaneous cold start inherently
   // raises one transient suspicion during the group merge, which would make
@@ -77,18 +119,18 @@ void run_gmp(const RunCell& cell, const core::failure::Scripts& scripts,
   constexpr sim::Duration kStagger = sim::sec(1);
   bool installed = false;
   auto install_at_warmup = [&] {
-    tb.sched.run_until(cell.warmup);
+    advance(tb.sched, cell.warmup, wd);
     install(tb.pfi(static_cast<net::NodeId>(cell.target_node)), scripts);
     installed = true;
   };
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const sim::Duration at = static_cast<sim::Duration>(i) * kStagger;
     if (!installed && cell.warmup <= at) install_at_warmup();
-    tb.sched.run_until(at);
+    advance(tb.sched, at, wd);
     tb.start(ids[i]);
   }
   if (!installed) install_at_warmup();
-  tb.sched.run_until(cell.duration);
+  advance(tb.sched, cell.duration, wd);
 
   Verdict v;
   if (cell.oracle == "liveness") {
@@ -105,31 +147,49 @@ void run_gmp(const RunCell& cell, const core::failure::Scripts& scripts,
 }
 
 void run_tcp(const RunCell& cell, const core::failure::Scripts& scripts,
-             RunResult* r) {
+             Watchdog* wd, RunResult* r) {
   experiments::TcpTestbed tb{vendor_profile(cell.vendor)};
   tb.network.reseed(cell.seed);
   tb.network.default_link().jitter = cell.jitter;
   auto checker = std::make_shared<spec::TcpSpecChecker>(tb.sched);
   tb.vendor_stack.insert_below(
       *tb.vendor_tcp, std::make_unique<spec::SpecObserverLayer>(checker));
+  arm_interpreters(*tb.pfi, wd);
   install(*tb.pfi, scripts);
 
   tcp::TcpConnection* conn = tb.connect();
   core::TcpDriver driver{tb.sched, *conn};
   driver.start(sim::msec(500), 512, 0);
-  tb.sched.run_until(cell.duration);
+  advance(tb.sched, cell.duration, wd);
 
   const Verdict v = cell.oracle == "alive"
                         ? experiments::oracles::tcp_alive(*conn)
                         : experiments::oracles::tcp_spec(*checker);
   r->pass = v.pass;
   r->reason = v.reason;
+  if (cell.oracle != "alive") {
+    // Satellite of ROADMAP "TCP campaign depth": the spec checker's full
+    // violation text travels with the record, not just a pass/fail bit.
+    for (const spec::Violation& viol : checker->violations()) {
+      if (r->violations.size() >= RunResult::kMaxViolations) {
+        r->violations.push_back(
+            "+" +
+            std::to_string(checker->violations().size() -
+                           RunResult::kMaxViolations) +
+            " more");
+        break;
+      }
+      char at[32];
+      std::snprintf(at, sizeof at, "%.3f", sim::to_seconds(viol.at));
+      r->violations.push_back(viol.rule + " @" + at + "s: " + viol.detail);
+    }
+  }
   collect_pfi(*tb.pfi, r);
   r->trace_records = tb.trace.records().size();
 }
 
 void run_tpc(const RunCell& cell, const core::failure::Scripts& scripts,
-             RunResult* r) {
+             Watchdog* wd, RunResult* r) {
   std::vector<net::NodeId> ids;
   for (int i = 1; i <= cell.nodes; ++i) {
     ids.push_back(static_cast<net::NodeId>(i));
@@ -137,22 +197,23 @@ void run_tpc(const RunCell& cell, const core::failure::Scripts& scripts,
   experiments::TpcTestbed tb{ids, cell.seed * 1000};
   tb.network.reseed(cell.seed);
   tb.network.default_link().jitter = cell.jitter;
+  arm_interpreters(tb.pfi(static_cast<net::NodeId>(cell.target_node)), wd);
   install(tb.pfi(static_cast<net::NodeId>(cell.target_node)), scripts);
 
   // Three transactions spread across the run, all coordinated by the lowest
   // node with everyone participating — the blocking window lives between
   // PREPARED and the decision, which the faulted node's filters can stretch.
   const std::vector<std::uint32_t> txids{1, 2, 3};
-  tb.sched.run_until(cell.warmup);
+  advance(tb.sched, cell.warmup, wd);
   sim::Duration slice = (cell.duration - cell.warmup) /
                         static_cast<sim::Duration>(txids.size());
   if (slice <= 0) slice = sim::sec(1);
   for (std::size_t k = 0; k < txids.size(); ++k) {
     tb.tpc(ids.front()).begin(txids[k], ids);
-    tb.sched.run_until(cell.warmup +
-                       static_cast<sim::Duration>(k + 1) * slice);
+    advance(tb.sched,
+            cell.warmup + static_cast<sim::Duration>(k + 1) * slice, wd);
   }
-  tb.sched.run_until(cell.duration);
+  advance(tb.sched, cell.duration, wd);
 
   const Verdict v = experiments::oracles::tpc_atomic(tb, txids);
   r->pass = v.pass;
@@ -171,22 +232,48 @@ RunResult run_cell(const RunCell& cell) {
   r.seed = cell.seed;
   r.sim_seconds = sim::to_seconds(cell.duration);
 
+  if (!known_oracle(cell.protocol, cell.oracle)) {
+    r.error = "unknown oracle '" + cell.oracle + "' for protocol " +
+              cell.protocol;
+    return r;
+  }
+
   core::failure::Scripts scripts;
   if (!resolve_scripts(cell, &scripts, &r.error)) return r;
 
+  std::optional<Watchdog> wd;
+  if (cell.timeout_ms > 0 || cell.max_sim_events > 0) {
+    wd.emplace(cell.timeout_ms, cell.max_sim_events);
+  }
+  Watchdog* wdp = wd ? &*wd : nullptr;
+
   try {
     if (cell.protocol == "gmp") {
-      run_gmp(cell, scripts, &r);
+      run_gmp(cell, scripts, wdp, &r);
     } else if (cell.protocol == "tcp") {
-      run_tcp(cell, scripts, &r);
+      run_tcp(cell, scripts, wdp, &r);
     } else if (cell.protocol == "tpc") {
-      run_tpc(cell, scripts, &r);
+      run_tpc(cell, scripts, wdp, &r);
     } else {
       r.error = "unknown protocol " + cell.protocol;
     }
   } catch (const std::exception& e) {
     r.error = std::string("exception: ") + e.what();
     r.pass = false;
+  }
+
+  if (wdp != nullptr && wdp->expired()) {
+    // Deterministic timeout record: how far the run got before a wall-clock
+    // watchdog fired varies run to run, so every volatile stat is dropped —
+    // the record is a pure function of the cell and its budgets again.
+    RunResult t;
+    t.index = r.index;
+    t.id = r.id;
+    t.oracle = r.oracle;
+    t.seed = r.seed;
+    t.sim_seconds = r.sim_seconds;
+    t.error = wdp->reason();
+    return t;
   }
   return r;
 }
@@ -199,6 +286,11 @@ std::string record_json(const RunResult& r) {
   w.kv("verdict", r.errored() ? "error" : (r.pass ? "pass" : "fail"));
   w.kv("oracle", r.oracle);
   if (!r.reason.empty()) w.kv("reason", r.reason);
+  if (!r.violations.empty()) {
+    w.key("violations").begin_array();
+    for (const std::string& v : r.violations) w.value(v);
+    w.end_array();
+  }
   if (!r.error.empty()) w.kv("error", r.error);
   w.kv("seed", r.seed);
   w.kv("faults_injected", r.faults_injected);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "campaign/json.hpp"
 #include "campaign/spec.hpp"
@@ -30,13 +31,28 @@ struct RunResult {
   std::uint64_t script_errors = 0;
   std::uint64_t trace_records = 0;
   double sim_seconds = 0;
+  /// Every spec-checker violation of a tcp `spec` cell ("rule @t: detail"),
+  /// capped at kMaxViolations with a "+N more" tail entry.
+  std::vector<std::string> violations;
   std::string error;  // non-oracle failure (bad script file, bad protocol)
+  /// Executions this result took (campaign-side retry bookkeeping; > 1 only
+  /// when the executor re-ran an errored cell). NOT part of record_json —
+  /// the deterministic record must not depend on retry luck.
+  int attempts = 1;
+
+  static constexpr std::size_t kMaxViolations = 32;
 
   [[nodiscard]] bool errored() const { return !error.empty(); }
+  [[nodiscard]] bool timed_out() const {
+    return error.rfind("timeout:", 0) == 0;
+  }
 };
 
 /// Run one cell to completion. Never throws; infrastructure problems land in
-/// RunResult::error.
+/// RunResult::error. When the cell carries a watchdog budget (timeout_ms /
+/// max_sim_events) and it expires, the result is a deterministic `timeout`
+/// error record: volatile stats are zeroed so the record's bytes do not
+/// depend on how far the run got before the (wall-clock) watchdog fired.
 RunResult run_cell(const RunCell& cell);
 
 /// Serialise the deterministic per-run record (one JSON object, no

@@ -1,0 +1,276 @@
+#include "campaign/sandbox.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/watchdog.hpp"
+
+namespace pfi::campaign {
+
+namespace {
+
+void put(std::string* out, const char* key, const std::string& v) {
+  *out += key;
+  *out += ' ';
+  *out += std::to_string(v.size());
+  *out += '\n';
+  *out += v;
+  *out += '\n';
+}
+
+void put_u64(std::string* out, const char* key, std::uint64_t v) {
+  put(out, key, std::to_string(v));
+}
+
+/// Doubles travel as C99 hex floats: exact round-trip, no locale, no
+/// precision policy to keep in sync with record_json.
+void put_double(std::string* out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  put(out, key, buf);
+}
+
+/// Cursor over `key len\nbytes\n` entries.
+struct WireReader {
+  const std::string& bytes;
+  std::size_t pos = 0;
+
+  bool next(std::string* key, std::string* value) {
+    if (pos >= bytes.size()) return false;
+    const std::size_t sp = bytes.find(' ', pos);
+    if (sp == std::string::npos) return false;
+    *key = bytes.substr(pos, sp - pos);
+    const std::size_t nl = bytes.find('\n', sp + 1);
+    if (nl == std::string::npos) return false;
+    char* end = nullptr;
+    const unsigned long long len =
+        std::strtoull(bytes.c_str() + sp + 1, &end, 10);
+    if (end != bytes.c_str() + nl) return false;
+    if (nl + 1 + len + 1 > bytes.size()) return false;
+    *value = bytes.substr(nl + 1, len);
+    if (bytes[nl + 1 + len] != '\n') return false;
+    pos = nl + 1 + len + 1;
+    return true;
+  }
+};
+
+std::string signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGKILL: return "SIGKILL";
+    case SIGTERM: return "SIGTERM";
+    default: return "signal " + std::to_string(sig);
+  }
+}
+
+/// Base of every synthesised (timeout / crash) record: identity fields
+/// only, volatile stats zeroed, so the bytes are deterministic.
+RunResult skeleton(const RunCell& cell) {
+  RunResult r;
+  r.index = cell.index;
+  r.id = cell.id;
+  r.oracle = cell.oracle;
+  r.seed = cell.seed;
+  r.sim_seconds = sim::to_seconds(cell.duration);
+  return r;
+}
+
+}  // namespace
+
+std::string wire_encode(const RunResult& r) {
+  std::string out;
+  put(&out, "index", std::to_string(r.index));
+  put(&out, "id", r.id);
+  put(&out, "pass", r.pass ? "1" : "0");
+  put(&out, "reason", r.reason);
+  put(&out, "oracle", r.oracle);
+  put_u64(&out, "seed", r.seed);
+  put_u64(&out, "faults", r.faults_injected);
+  put_u64(&out, "msgs", r.messages_seen);
+  put_u64(&out, "serr", r.script_errors);
+  put_u64(&out, "trace", r.trace_records);
+  put_double(&out, "sim", r.sim_seconds);
+  put(&out, "error", r.error);
+  put_u64(&out, "nviol", r.violations.size());
+  for (const std::string& v : r.violations) put(&out, "viol", v);
+  put(&out, "end", "");
+  return out;
+}
+
+bool wire_decode(const std::string& bytes, RunResult* out) {
+  WireReader rd{bytes};
+  RunResult r;
+  std::string key, value;
+  bool complete = false;
+  while (rd.next(&key, &value)) {
+    if (key == "index") {
+      r.index = std::atoi(value.c_str());
+    } else if (key == "id") {
+      r.id = value;
+    } else if (key == "pass") {
+      r.pass = value == "1";
+    } else if (key == "reason") {
+      r.reason = value;
+    } else if (key == "oracle") {
+      r.oracle = value;
+    } else if (key == "seed") {
+      r.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "faults") {
+      r.faults_injected = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "msgs") {
+      r.messages_seen = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "serr") {
+      r.script_errors = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "trace") {
+      r.trace_records = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "sim") {
+      r.sim_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "error") {
+      r.error = value;
+    } else if (key == "viol") {
+      r.violations.push_back(value);
+    } else if (key == "end") {
+      complete = true;
+    }
+    // Unknown keys (incl. "nviol") are skipped: forward compatibility.
+  }
+  if (!complete) return false;
+  *out = std::move(r);
+  return true;
+}
+
+bool sandbox_spawn(const RunCell& cell, SandboxChild* child,
+                   std::string* err) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    *err = std::string("sandbox: pipe failed: ") + std::strerror(errno);
+    return false;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    *err = std::string("sandbox: fork failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: run the cell, stream the result, die without running parent
+    // teardown (atexit, stream flushes) — the parent owns those.
+    close(fds[0]);
+    const RunResult r = run_cell(cell);
+    const std::string wire = wire_encode(r);
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const ssize_t n = write(fds[1], wire.data() + off, wire.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        _exit(3);
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  child->pid = pid;
+  child->fd = fds[0];
+  return true;
+}
+
+RunResult sandbox_finish(const RunCell& cell, int wait_status,
+                         const std::string& bytes, bool killed_on_timeout) {
+  if (killed_on_timeout) {
+    RunResult r = skeleton(cell);
+    // Identical text to the in-process watchdog: whether the child's
+    // cooperative watchdog reported the overrun or the parent had to
+    // SIGKILL it, the record bytes agree.
+    r.error = Watchdog::wall_reason(cell.timeout_ms);
+    return r;
+  }
+  if (WIFSIGNALED(wait_status)) {
+    RunResult r = skeleton(cell);
+    const int sig = WTERMSIG(wait_status);
+    r.error = "signal " + signal_name(sig) + " (" + std::to_string(sig) + ")";
+    return r;
+  }
+  if (WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0) {
+    RunResult r;
+    if (wire_decode(bytes, &r)) return r;
+    RunResult bad = skeleton(cell);
+    bad.error = "sandbox: child produced an unreadable result";
+    return bad;
+  }
+  RunResult r = skeleton(cell);
+  r.error = "sandbox: child exited with status " +
+            std::to_string(WIFEXITED(wait_status) ? WEXITSTATUS(wait_status)
+                                                  : wait_status);
+  return r;
+}
+
+RunResult run_cell_sandboxed(const RunCell& cell) {
+  SandboxChild child;
+  std::string err;
+  if (!sandbox_spawn(cell, &child, &err)) {
+    RunResult r = skeleton(cell);
+    r.error = err;
+    return r;
+  }
+
+  // Grace past the cell's own budget: the child's cooperative watchdog gets
+  // first claim on reporting the timeout; SIGKILL is for wedged children.
+  constexpr int kGraceMs = 2000;
+  const bool has_deadline = cell.timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(cell.timeout_ms + kGraceMs);
+
+  std::string bytes;
+  bool killed = false;
+  char buf[4096];
+  for (;;) {
+    int wait_ms = -1;
+    if (has_deadline && !killed) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      wait_ms = left > 0 ? static_cast<int>(left) : 0;
+    }
+    struct pollfd pfd{child.fd, POLLIN, 0};
+    const int pr = poll(&pfd, 1, wait_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) {  // deadline: the child is wedged
+      kill(child.pid, SIGKILL);
+      killed = true;
+      continue;  // drain until EOF so waitpid can't block forever
+    }
+    const ssize_t n = read(child.fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF: child exited (or died)
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  close(child.fd);
+
+  int status = 0;
+  while (waitpid(child.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  return sandbox_finish(cell, status, bytes, killed);
+}
+
+}  // namespace pfi::campaign

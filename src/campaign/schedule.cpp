@@ -1,5 +1,6 @@
 #include "campaign/schedule.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
@@ -39,12 +40,19 @@ std::string action_for(const FaultEvent& e) {
          << " [expr {int([dst_uniform 0 256])}]";
       break;
     case FaultKind::kReorder:
-      // Unsupported in schedules (needs a multi-message hold queue); the
-      // planner never emits it. Degrade to a drop rather than mis-parse.
-      os << "xDrop cur_msg";
+      // Never reached: reorder events compile to a multi-line hold-queue
+      // block in side_script(), not a single action.
       break;
   }
   return os.str();
+}
+
+int reorder_batch(const FaultEvent& e) { return std::max(2, e.batch); }
+
+/// The hold queue backing one reorder event; unique per (type, occurrence)
+/// so overlapping windows on the same type stay independent.
+std::string reorder_queue(const FaultEvent& e) {
+  return "schedq_" + sanitize(e.type) + "_" + std::to_string(e.occurrence);
 }
 
 std::string side_script(const std::vector<const FaultEvent*>& events) {
@@ -68,6 +76,20 @@ std::string side_script(const std::vector<const FaultEvent*>& events) {
     }
     const std::string in = any ? "" : "  ";
     for (const FaultEvent* e : by_type[type]) {
+      if (e->kind == FaultKind::kReorder) {
+        // Window [occurrence, occurrence+batch-1]: park each matching
+        // message; once the batch is full, flush it in reverse order.
+        const std::string q = reorder_queue(*e);
+        const int last = e->occurrence + reorder_batch(*e) - 1;
+        os << in << "if {$" << var << " >= " << e->occurrence << " && $"
+           << var << " <= " << last << "} {\n"
+           << in << "  msg_log cur_msg campaign-reorder\n"
+           << in << "  xHold " << q << "\n"
+           << in << "  if {[xHeldCount " << q << "] >= " << reorder_batch(*e)
+           << "} { xReleaseReversed " << q << " }\n"
+           << in << "}\n";
+        continue;
+      }
       os << in << "if {$" << var << " == " << e->occurrence << "} {\n"
          << in << "  msg_log cur_msg campaign-"
          << core::scriptgen::to_string(e->kind) << "\n"
@@ -83,8 +105,11 @@ std::string side_script(const std::vector<const FaultEvent*>& events) {
 
 std::string FaultEvent::summary() const {
   std::ostringstream os;
-  os << core::scriptgen::to_string(kind) << " " << type << "#" << occurrence
-     << (on_send ? "" : " (recv)");
+  os << core::scriptgen::to_string(kind) << " " << type << "#" << occurrence;
+  if (kind == FaultKind::kReorder) {
+    os << ".." << occurrence + std::max(2, batch) - 1;
+  }
+  os << (on_send ? "" : " (recv)");
   return os.str();
 }
 
@@ -140,6 +165,7 @@ void FaultSchedule::to_json(json::Writer& w) const {
     if (e.kind == FaultKind::kCorrupt) {
       w.kv("offset", static_cast<std::uint64_t>(e.corrupt_offset));
     }
+    if (e.kind == FaultKind::kReorder) w.kv("batch", std::max(2, e.batch));
     w.end_object();
   }
   w.end_array();
@@ -149,6 +175,18 @@ FaultSchedule burst(const std::string& type, FaultKind kind,
                     int first_occurrence, int count, bool on_send,
                     sim::Duration delay) {
   FaultSchedule s;
+  if (kind == FaultKind::kReorder) {
+    // One hold-queue window covering the whole burst.
+    FaultEvent e;
+    e.type = type;
+    e.kind = kind;
+    e.occurrence = first_occurrence;
+    e.on_send = on_send;
+    e.delay = delay;
+    e.batch = std::max(2, count);
+    s.events.push_back(e);
+    return s;
+  }
   for (int i = 0; i < count; ++i) {
     FaultEvent e;
     e.type = type;

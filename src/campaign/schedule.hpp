@@ -19,9 +19,12 @@
 
 namespace pfi::campaign {
 
-/// One scheduled fault. Schedules support the deterministic per-occurrence
-/// kinds (drop / delay / duplicate / corrupt); kReorder needs a hold queue
-/// spanning many messages and stays exclusive to pfi::core::scriptgen.
+/// One scheduled fault. The per-occurrence kinds (drop / delay / duplicate /
+/// corrupt) act on exactly one occurrence of `type`. kReorder is a *window*:
+/// occurrences [occurrence, occurrence + batch - 1] are parked in a hold
+/// queue and released in reverse order once the batch is full (compiled to
+/// xHold / xHeldCount / xReleaseReversed, the same primitives
+/// pfi::core::failure::byzantine_reorder uses).
 struct FaultEvent {
   std::string type;  // message type to match; "*" = every message
   core::scriptgen::FaultKind kind = core::scriptgen::FaultKind::kDrop;
@@ -30,6 +33,7 @@ struct FaultEvent {
   sim::Duration delay = sim::msec(1500);  // kDelay
   int copies = 1;                         // kDuplicate
   std::size_t corrupt_offset = 0;         // kCorrupt
+  int batch = 3;                          // kReorder window (clamped to >= 2)
 
   [[nodiscard]] std::string summary() const;
   bool operator==(const FaultEvent&) const = default;
@@ -56,7 +60,9 @@ struct FaultSchedule {
 };
 
 /// Convenience builder: `count` events of `kind` on occurrences
-/// [first, first + count) of `type`.
+/// [first, first + count) of `type`. For kReorder the whole burst is one
+/// hold-queue window: a single event starting at `first_occurrence` with
+/// batch = max(2, count).
 FaultSchedule burst(const std::string& type, core::scriptgen::FaultKind kind,
                     int first_occurrence, int count, bool on_send = true,
                     sim::Duration delay = sim::msec(1500));

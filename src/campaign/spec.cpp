@@ -23,7 +23,8 @@ bool parse_fault(const std::string& s, FaultKind* out) {
   else if (s == "delay") *out = FaultKind::kDelay;
   else if (s == "duplicate") *out = FaultKind::kDuplicate;
   else if (s == "corrupt") *out = FaultKind::kCorrupt;
-  else return false;  // reorder needs a hold queue; not schedulable per-event
+  else if (s == "reorder") *out = FaultKind::kReorder;
+  else return false;
   return true;
 }
 
@@ -110,7 +111,7 @@ std::optional<CampaignSpec> parse_spec(const std::string& text,
         FaultKind k;
         if (!parse_fault(a, &k)) {
           return fail("unknown fault '" + a +
-                      "' (drop|delay|duplicate|corrupt)");
+                      "' (drop|delay|duplicate|corrupt|reorder)");
         }
         spec.faults.push_back(k);
       }
@@ -148,6 +149,16 @@ std::optional<CampaignSpec> parse_spec(const std::string& text,
       spec.jitter = sim::msec(std::atoi(one().c_str()));
     } else if (key == "buggy") {
       spec.buggy = one() == "true" || one() == "1";
+    } else if (key == "timeout_ms") {
+      spec.timeout_ms = std::atoi(one().c_str());
+      if (spec.timeout_ms < 0) return fail("timeout_ms must be >= 0");
+    } else if (key == "max_events") {
+      char* end = nullptr;
+      spec.max_sim_events = std::strtoull(one().c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return fail("bad max_events");
+    } else if (key == "retries") {
+      spec.retries = std::atoi(one().c_str());
+      if (spec.retries < 0) return fail("retries must be >= 0");
     } else {
       return fail("unknown key '" + key + "'");
     }
@@ -200,6 +211,8 @@ std::vector<RunCell> plan(const CampaignSpec& spec) {
     c.duration = spec.duration;
     c.jitter = spec.jitter;
     c.buggy = spec.buggy;
+    c.timeout_ms = spec.timeout_ms;
+    c.max_sim_events = spec.max_sim_events;
     return c;
   };
   auto id_prefix = [&](const std::string& vendor) {

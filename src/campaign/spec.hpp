@@ -54,6 +54,11 @@ struct CampaignSpec {
   sim::Duration duration = sim::sec(70); // total simulated time
   sim::Duration jitter = 0;              // per-link jitter (seed-sensitive)
   bool buggy = false;  // enable the GMP daemon's seeded historical bugs
+
+  // --- resilience ----------------------------------------------------------
+  int timeout_ms = 0;  // wall-clock watchdog per cell (0 = off)
+  std::uint64_t max_sim_events = 0;  // sim-event watchdog per cell (0 = off)
+  int retries = 0;     // executor re-runs of *errored* cells (0 = off)
 };
 
 /// Parse the text form. Returns nullopt and sets *err on malformed input.
@@ -80,6 +85,8 @@ struct RunCell {
   sim::Duration duration = sim::sec(70);
   sim::Duration jitter = 0;
   bool buggy = false;
+  int timeout_ms = 0;                // wall-clock watchdog (0 = off)
+  std::uint64_t max_sim_events = 0;  // sim-event watchdog (0 = off)
 };
 
 /// Expand the spec's cross product in deterministic order:

@@ -1,0 +1,41 @@
+#include "campaign/watchdog.hpp"
+
+namespace pfi::campaign {
+
+std::string Watchdog::wall_reason(int timeout_ms) {
+  return "timeout: wall-clock budget " + std::to_string(timeout_ms) +
+         " ms exceeded";
+}
+
+std::string Watchdog::events_reason(std::uint64_t max_sim_events) {
+  return "timeout: sim event budget " + std::to_string(max_sim_events) +
+         " exceeded";
+}
+
+void Watchdog::add_sim_events(std::size_t n) {
+  sim_events_ += n;
+  if (reason_.empty() && max_sim_events_ > 0 &&
+      sim_events_ > max_sim_events_) {
+    reason_ = events_reason(max_sim_events_);
+  }
+}
+
+bool Watchdog::check() {
+  if (!reason_.empty()) return true;
+  if (max_sim_events_ > 0 && sim_events_ > max_sim_events_) {
+    reason_ = events_reason(max_sim_events_);
+    return true;
+  }
+  if (timeout_ms_ > 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+    if (elapsed > timeout_ms_) {
+      reason_ = wall_reason(timeout_ms_);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pfi::campaign

@@ -1,0 +1,70 @@
+// Per-cell execution budgets.
+//
+// The paper's tool exists to provoke failures — which means campaign cells
+// routinely run scripts and protocol states that were *designed* to
+// misbehave. A runaway filter script (`while {1} {...}`) or a protocol
+// ping-ponging messages at zero delay must not hang a 10k-cell campaign.
+// The Watchdog gives one run_cell() invocation two budgets:
+//
+//   * a sim-event budget  — total scheduler events fired (deterministic:
+//     the same cell always trips at the same event);
+//   * a wall-clock budget — sampled from std::chrono::steady_clock, for
+//     hangs that never return to the scheduler at all.
+//
+// Expiry is *cooperative*: the runner slices its scheduler advancement and
+// checks between slices, and the script interpreters sample the same
+// watchdog from their loop guards (Interp::set_watchdog). When a budget
+// trips, the cell is cut short and its record becomes a `timeout` error
+// with a deterministic reason string (the *configured* budget, never the
+// measured overrun, so records stay byte-stable across runs and --jobs).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pfi::campaign {
+
+class Watchdog {
+ public:
+  /// Budgets of 0 disable the corresponding check.
+  Watchdog(int timeout_ms, std::uint64_t max_sim_events)
+      : timeout_ms_(timeout_ms),
+        max_sim_events_(max_sim_events),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Account scheduler events fired since the last call; trips the
+  /// sim-event budget.
+  void add_sim_events(std::size_t n);
+
+  /// Sample both budgets. Returns true when expired (sticky).
+  bool check();
+
+  [[nodiscard]] bool expired() const { return !reason_.empty(); }
+  /// Deterministic error text, e.g. "timeout: wall-clock budget 500 ms
+  /// exceeded". Empty while healthy.
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+  [[nodiscard]] std::uint64_t sim_events() const { return sim_events_; }
+
+  /// Adapter for script::Interp::set_watchdog. The returned callable
+  /// samples this watchdog; it must not outlive it.
+  [[nodiscard]] std::function<bool()> interp_hook() {
+    return [this] { return check(); };
+  }
+
+  /// The deterministic reason strings, shared with the sandbox so a cell
+  /// killed by the parent process reports the identical record a
+  /// cooperative in-process timeout would have produced.
+  static std::string wall_reason(int timeout_ms);
+  static std::string events_reason(std::uint64_t max_sim_events);
+
+ private:
+  int timeout_ms_ = 0;
+  std::uint64_t max_sim_events_ = 0;
+  std::uint64_t sim_events_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::string reason_;
+};
+
+}  // namespace pfi::campaign

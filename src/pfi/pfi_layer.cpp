@@ -1,6 +1,8 @@
 #include "pfi/pfi_layer.hpp"
 
 #include <charconv>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
@@ -387,6 +389,16 @@ void PfiLayer::install_commands(script::Interp& interp, Direction dir) {
       "xHeldCount", [this](script::Interp&, const Args& a) -> Result {
         if (a.size() != 2) return Result::error("usage: xHeldCount queueName");
         return Result::ok(std::to_string(held_count(a[1])));
+      });
+
+  // Kill the *hosting* process, not the simulated node — a fault-injection
+  // fixture for testing that a crashing testbed is contained by the
+  // campaign sandbox (--isolate). Never use outside sandboxed runs.
+  interp.register_command(
+      "xCrashProcess", [](script::Interp&, const Args& a) -> Result {
+        if (a.size() != 1) return Result::error("usage: xCrashProcess");
+        std::fflush(nullptr);  // don't lose buffered trace output
+        std::abort();          // SIGABRT; unreachable return
       });
 
   // --- injection --------------------------------------------------------------

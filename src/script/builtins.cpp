@@ -134,6 +134,9 @@ Result cmd_while(Interp& in, const Args& a) {
     if (++iters > in.max_loop_iterations()) {
       return Result::error("while loop exceeded iteration budget");
     }
+    if (in.watchdog_tripped()) {
+      return Result::error("watchdog: execution budget exceeded");
+    }
     bool truthy = false;
     Result c = eval_condition(in, a[1], truthy);
     if (!c.is_ok()) return c;
@@ -154,6 +157,9 @@ Result cmd_for(Interp& in, const Args& a) {
   while (true) {
     if (++iters > in.max_loop_iterations()) {
       return Result::error("for loop exceeded iteration budget");
+    }
+    if (in.watchdog_tripped()) {
+      return Result::error("watchdog: execution budget exceeded");
     }
     bool truthy = false;
     Result c = eval_condition(in, a[2], truthy);

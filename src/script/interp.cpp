@@ -272,6 +272,9 @@ Result Interp::eval(std::string_view script) {
 }
 
 Result Interp::invoke(const std::vector<std::string>& words) {
+  if (watchdog_tripped()) {
+    return Result::error("watchdog: execution budget exceeded");
+  }
   auto it = commands_.find(words[0]);
   if (it == commands_.end()) {
     return Result::error("invalid command name \"" + words[0] + "\"");

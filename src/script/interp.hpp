@@ -106,6 +106,26 @@ class Interp {
     return max_loop_iters_;
   }
 
+  /// External execution watchdog. The callback is sampled during command
+  /// dispatch and on every loop iteration (at a stride, so the common case
+  /// costs one counter increment); once it returns true the interpreter
+  /// aborts every evaluation with a "watchdog" error until the callback is
+  /// replaced. This is how a campaign wall-clock budget reaches a script
+  /// that spins inside one filter invocation and therefore never returns
+  /// to the scheduler.
+  void set_watchdog(std::function<bool()> cb) {
+    watchdog_ = std::move(cb);
+    watchdog_tripped_cache_ = false;
+  }
+  /// True once the watchdog has fired (sampled; sticky until reset).
+  [[nodiscard]] bool watchdog_tripped() {
+    if (watchdog_tripped_cache_) return true;
+    if (!watchdog_) return false;
+    if ((++watchdog_probe_ & 0xFFu) != 0) return false;
+    watchdog_tripped_cache_ = watchdog_();
+    return watchdog_tripped_cache_;
+  }
+
   // --- internals shared with builtins (public for the command library) ---
   struct Frame {
     std::map<std::string, std::string> vars;
@@ -130,6 +150,9 @@ class Interp {
   int depth_ = 0;
   int max_depth_ = 200;
   std::uint64_t max_loop_iters_ = 10'000'000;
+  std::function<bool()> watchdog_;
+  std::uint64_t watchdog_probe_ = 0;
+  bool watchdog_tripped_cache_ = false;
 };
 
 /// Numeric/string value used by the expression engine; exposed for tests.

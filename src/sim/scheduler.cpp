@@ -46,13 +46,17 @@ std::size_t Scheduler::run(std::size_t max_events) {
 
 std::size_t Scheduler::run_until(TimePoint deadline, std::size_t max_events) {
   std::size_t fired = 0;
-  while (fired < max_events && !queue_.empty()) {
+  while (!queue_.empty()) {
     // Peek past cancelled tombstones without firing anything late.
     if (!live_.contains(queue_.top().id)) {
       queue_.pop();
       continue;
     }
     if (queue_.top().when > deadline) break;
+    // Budget-stopped with due events still queued: leave the clock at the
+    // last fired event so a follow-up call resumes exactly where this one
+    // left off (the campaign watchdog advances in slices this way).
+    if (fired >= max_events) return fired;
     if (step()) ++fired;
   }
   now_ = std::max(now_, deadline);

@@ -56,7 +56,9 @@ class Scheduler {
   std::size_t run(std::size_t max_events = kDefaultEventBudget);
 
   /// Run all events with timestamp <= `deadline`, then advance the clock to
-  /// `deadline` (even if idle). Returns the number of events fired.
+  /// `deadline` (even if idle). Returns the number of events fired. If
+  /// `max_events` stops the run with due events still queued, the clock
+  /// stays at the last fired event so a follow-up call resumes seamlessly.
   std::size_t run_until(TimePoint deadline,
                         std::size_t max_events = kDefaultEventBudget);
 

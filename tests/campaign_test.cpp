@@ -62,7 +62,7 @@ TEST(CampaignSpec, RejectsGarbage) {
   std::string err;
   EXPECT_FALSE(parse_spec("protocol smtp\n", &err).has_value());
   EXPECT_NE(err.find("protocol"), std::string::npos);
-  EXPECT_FALSE(parse_spec("types a\nfaults reorder\n", &err).has_value());
+  EXPECT_FALSE(parse_spec("types a\nfaults explode\n", &err).has_value());
   EXPECT_FALSE(parse_spec("types a\nseeds 9..5\n", &err).has_value());
   EXPECT_FALSE(parse_spec("bogus_key 1\n", &err).has_value());
   // No fault axis at all.
