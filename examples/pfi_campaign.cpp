@@ -20,6 +20,7 @@
 // journal doesn't already hold.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +37,8 @@
 #include "campaign/minimize.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 
 using namespace pfi::campaign;
 
@@ -53,6 +56,8 @@ struct Args {
   std::string filter;
   std::string out;          // empty = stdout
   std::string journal;      // empty = <spec>.journal when journaling
+  std::string metrics_out;  // merged metrics JSON (empty = off)
+  std::string timeline;     // Chrome trace-event JSON (empty = off)
   int jobs = 1;
   int max_minimize = 8;     // cap on cells minimised per campaign
   int timeout_ms = -1;      // -1 = keep the spec's value
@@ -84,6 +89,10 @@ int usage(int code) {
       "                    reproduction (schedule-mode cells only)\n"
       "  --max-minimize N  minimise at most N failing cells (default 8)\n"
       "  --out FILE        write the JSON report to FILE (default stdout)\n"
+      "  --metrics-out FILE  write campaign-merged metrics (counters sum,\n"
+      "                    gauges max across cells) as one JSON document\n"
+      "  --timeline FILE   write a Chrome trace-event timeline of the\n"
+      "                    executed cells (open in about:tracing / Perfetto)\n"
       "  --list            print the planned cell ids and exit\n"
       "  --quiet           no progress output on stderr\n");
   return code;
@@ -125,6 +134,10 @@ int main(int argc, char** argv) {
       args.max_minimize = std::atoi(next());
     } else if (a == "--out") {
       args.out = next();
+    } else if (a == "--metrics-out") {
+      args.metrics_out = next();
+    } else if (a == "--timeline") {
+      args.timeline = next();
     } else if (a == "--list") {
       args.list = true;
     } else if (a == "--quiet") {
@@ -186,6 +199,11 @@ int main(int argc, char** argv) {
       todo.push_back(cells[i]);  // keeps its plan index
     }
   }
+  if (!args.timeline.empty()) {
+    // Only freshly-executed cells can contribute timeline fragments —
+    // journaled records don't carry one.
+    for (RunCell& c : todo) c.capture_timeline = true;
+  }
 
   if (!args.quiet) {
     std::fprintf(stderr, "campaign %s: %zu cells, %d job(s)%s%s\n",
@@ -212,6 +230,28 @@ int main(int argc, char** argv) {
   }
 
   int done = 0;
+  // Live telemetry (stderr only — wall-clock never reaches a record). On a
+  // tty the line redraws in place; otherwise a full line every 50 cells.
+  int live_pass = 0, live_fail = 0, live_err = 0;
+  const bool tty = isatty(2) != 0;
+  const auto progress_t0 = std::chrono::steady_clock::now();
+  auto progress_line = [&]() -> std::string {
+    const double el = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - progress_t0)
+                          .count();
+    const double rate = el > 0 ? done / el : 0.0;
+    const long eta =
+        rate > 0
+            ? std::lround((static_cast<double>(todo.size()) - done) / rate)
+            : 0;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  [%d/%zu] pass %d | fail %d | error %d | %.1f cells/s | "
+                  "ETA %lds",
+                  done, todo.size(), live_pass, live_fail, live_err, rate,
+                  eta);
+    return buf;
+  };
   ExecutorOptions opts;
   opts.jobs = args.jobs;
   opts.isolate = args.isolate;
@@ -219,22 +259,33 @@ int main(int argc, char** argv) {
   opts.should_stop = [] { return g_interrupted != 0; };
   opts.on_result = [&](const RunResult& r) {
     ++done;
+    if (r.errored()) {
+      ++live_err;
+    } else if (r.pass) {
+      ++live_pass;
+    } else {
+      ++live_fail;
+    }
     if (journal.is_open()) {
       const auto it = key_of_index.find(r.index);
       if (it != key_of_index.end()) {
         journal.append(*it->second, record_json(r));
       }
     }
-    if (!args.quiet &&
-        (!r.pass || r.errored() || done % 50 == 0 ||
-         done == static_cast<int>(todo.size()))) {
-      std::fprintf(stderr, "  [%d/%zu] %-40s %s%s\n", done, todo.size(),
-                   r.id.c_str(),
-                   r.errored() ? "ERROR" : (r.pass ? "pass" : "FAIL"),
+    if (args.quiet) return;
+    if (!r.pass || r.errored()) {
+      std::fprintf(stderr, "%s  %-40s %s%s\n", tty ? "\r\x1b[K" : "",
+                   r.id.c_str(), r.errored() ? "ERROR" : "FAIL",
                    r.attempts > 1
                        ? (" (attempt " + std::to_string(r.attempts) + ")")
                              .c_str()
                        : "");
+    }
+    if (tty) {
+      std::fprintf(stderr, "\r\x1b[K%s", progress_line().c_str());
+      if (done == static_cast<int>(todo.size())) std::fputc('\n', stderr);
+    } else if (done % 50 == 0 || done == static_cast<int>(todo.size())) {
+      std::fprintf(stderr, "%s\n", progress_line().c_str());
     }
   };
   if (!args.quiet) {
@@ -254,6 +305,53 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, SIG_DFL);
   journal.close();
   const bool interrupted = g_interrupted != 0;
+  if (!args.quiet && tty && done != static_cast<int>(todo.size())) {
+    std::fputc('\n', stderr);  // leave the partial progress line intact
+  }
+
+  // ---- observability outputs ----------------------------------------------
+  // Results come back in cell order, so both documents are deterministic
+  // whatever --jobs or --isolate was.
+  if (!args.metrics_out.empty()) {
+    std::map<std::string, pfi::obs::MetricSample> merged;
+    int measured = 0;
+    for (const RunResult& r : results) {
+      if (r.index < 0 || r.metrics.empty()) continue;
+      ++measured;
+      pfi::obs::merge_samples(&merged, r.metrics);
+    }
+    json::Writer mw;
+    mw.begin_object();
+    mw.kv("campaign", spec->name);
+    mw.kv("cells", static_cast<int>(cells.size()));
+    mw.kv("cells_measured", measured);
+    mw.key("metrics").begin_object();
+    for (const auto& [name, m] : merged) mw.kv(name, m.value);
+    mw.end_object();
+    mw.end_object();
+    FILE* f = std::fopen(args.metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.metrics_out.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n", mw.str().c_str());
+    std::fclose(f);
+  }
+  if (!args.timeline.empty()) {
+    std::vector<std::string> fragments;
+    for (const RunResult& r : results) {
+      if (r.index >= 0 && !r.timeline.empty()) fragments.push_back(r.timeline);
+    }
+    FILE* f = std::fopen(args.timeline.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", args.timeline.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n",
+                 pfi::obs::timeline_document(fragments).c_str());
+    std::fclose(f);
+  }
 
   // Splice freshly-executed records into their plan slots. Skipped cells
   // (index -1: claimed by nobody before the interrupt) leave the slot empty.

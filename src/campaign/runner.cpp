@@ -9,6 +9,9 @@
 #include "experiments/oracles.hpp"
 #include "experiments/tcp_testbed.hpp"
 #include "experiments/tpc_testbed.hpp"
+#include "obs/coverage.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "pfi/driver.hpp"
 #include "pfi/script_file.hpp"
 #include "spec/tcp_spec.hpp"
@@ -89,6 +92,67 @@ void collect_pfi(const core::PfiLayer& pfi, RunResult* r) {
   r->script_errors = st.script_errors;
 }
 
+/// The zero-omitting fault-action table of the target PFI layer — feeds both
+/// the coverage fingerprint and the pfi.action.* metric exports.
+std::vector<std::pair<std::string, std::uint64_t>> pfi_actions(
+    const core::PfiStats& st) {
+  return {{"dropped", st.dropped},       {"delayed", st.delayed},
+          {"duplicated", st.duplicated}, {"corrupted", st.corrupted},
+          {"injected", st.injected},     {"held", st.held},
+          {"released", st.released}};
+}
+
+void export_interp(obs::Registry* reg, const std::string& prefix,
+                   const script::Interp::Stats& st) {
+  reg->set_counter(prefix + ".evals", st.evals);
+  reg->set_counter(prefix + ".commands", st.commands);
+  reg->set_counter(prefix + ".loop_ticks", st.loop_ticks);
+  reg->set_counter(prefix + ".watchdog_probes", st.watchdog_probes);
+}
+
+/// Collect-time export + fingerprint: fold the testbed's intrinsic stats
+/// structs into the cell's registry, snapshot it, compute the coverage
+/// fingerprint, and (when asked) render the timeline fragment. Everything
+/// here is a pure function of the simulation, so the result is byte-stable
+/// across --jobs and --isolate.
+void finish_observability(const RunCell& cell, obs::Registry* reg,
+                          const sim::Scheduler& sched,
+                          const net::Network& network,
+                          const trace::TraceLog& trace, core::PfiLayer& pfi,
+                          RunResult* r) {
+  const sim::SchedulerStats& ss = sched.stats();
+  reg->set_counter("sim.events_dispatched", ss.events_dispatched);
+  reg->set_counter("sim.timers_scheduled", ss.timers_scheduled);
+  reg->set_counter("sim.timers_cancelled", ss.timers_cancelled);
+  reg->set_max_gauge("sim.queue_high_water", ss.queue_high_water);
+
+  const net::NetworkStats& ns = network.stats();
+  reg->set_counter("net.frames_sent", ns.frames_sent);
+  reg->set_counter("net.frames_delivered", ns.frames_delivered);
+  reg->set_counter("net.frames_lost", ns.frames_lost);
+  reg->set_counter("net.frames_blackholed", ns.frames_blackholed);
+
+  const core::PfiStats& ps = pfi.stats();
+  reg->set_counter("pfi.sends_intercepted", ps.sends_intercepted);
+  reg->set_counter("pfi.recvs_intercepted", ps.recvs_intercepted);
+  reg->set_counter("pfi.script_errors", ps.script_errors);
+  for (const auto& [name, value] : pfi_actions(ps)) {
+    reg->set_counter("pfi.action." + name, value);
+  }
+  export_interp(reg, "script.send", pfi.send_interp().stats());
+  export_interp(reg, "script.recv", pfi.receive_interp().stats());
+
+  reg->set_counter("trace.records", trace.size());
+  reg->set_counter("trace.dropped", trace.dropped());
+
+  r->coverage = obs::compute_coverage(trace, *reg, pfi_actions(ps));
+  r->metrics = reg->snapshot();
+  if (cell.capture_timeline) {
+    r->timeline =
+        obs::timeline_events(trace, cell.id, cell.index, cell.duration);
+  }
+}
+
 tcp::TcpProfile vendor_profile(const std::string& name) {
   if (name == "solaris") return tcp::profiles::solaris_2_3();
   if (name == "aix") return tcp::profiles::aix_3_2_3();
@@ -98,7 +162,7 @@ tcp::TcpProfile vendor_profile(const std::string& name) {
 }
 
 void run_gmp(const RunCell& cell, const core::failure::Scripts& scripts,
-             Watchdog* wd, RunResult* r) {
+             Watchdog* wd, obs::Registry* reg, RunResult* r) {
   std::vector<net::NodeId> ids;
   for (int i = 1; i <= cell.nodes; ++i) {
     ids.push_back(static_cast<net::NodeId>(i));
@@ -107,8 +171,11 @@ void run_gmp(const RunCell& cell, const core::failure::Scripts& scripts,
       ids, cell.buggy ? gmp::GmpBugs::all() : gmp::GmpBugs::none(),
       cell.seed * 1000};
   tb.network.reseed(cell.seed);
+  tb.network.set_metrics(reg);
   tb.network.default_link().jitter = cell.jitter;
-  arm_interpreters(tb.pfi(static_cast<net::NodeId>(cell.target_node)), wd);
+  core::PfiLayer& target = tb.pfi(static_cast<net::NodeId>(cell.target_node));
+  target.set_metrics(reg);
+  arm_interpreters(target, wd);
 
   // Stagger daemon starts 1 s apart: a simultaneous cold start inherently
   // raises one transient suspicion during the group merge, which would make
@@ -142,15 +209,28 @@ void run_gmp(const RunCell& cell, const core::failure::Scripts& scripts,
   }
   r->pass = v.pass;
   r->reason = v.reason;
-  collect_pfi(tb.pfi(static_cast<net::NodeId>(cell.target_node)), r);
+  collect_pfi(target, r);
   r->trace_records = tb.trace.records().size();
+
+  // Protocol-level exports: per-daemon group-membership activity.
+  for (net::NodeId id : ids) {
+    const gmp::GmdStats& gs = tb.gmd(id).stats();
+    const std::string p = "gmp.gmd-" + std::to_string(id) + ".";
+    reg->set_counter(p + "heartbeats_sent", gs.heartbeats_sent);
+    reg->set_counter(p + "views_committed", gs.views_committed);
+    reg->set_counter(p + "suspects_raised", gs.suspects_raised);
+    reg->set_counter(p + "transition_aborts", gs.transition_aborts);
+  }
+  finish_observability(cell, reg, tb.sched, tb.network, tb.trace, target, r);
 }
 
 void run_tcp(const RunCell& cell, const core::failure::Scripts& scripts,
-             Watchdog* wd, RunResult* r) {
+             Watchdog* wd, obs::Registry* reg, RunResult* r) {
   experiments::TcpTestbed tb{vendor_profile(cell.vendor)};
   tb.network.reseed(cell.seed);
+  tb.network.set_metrics(reg);
   tb.network.default_link().jitter = cell.jitter;
+  tb.pfi->set_metrics(reg);
   auto checker = std::make_shared<spec::TcpSpecChecker>(tb.sched);
   tb.vendor_stack.insert_below(
       *tb.vendor_tcp, std::make_unique<spec::SpecObserverLayer>(checker));
@@ -186,19 +266,40 @@ void run_tcp(const RunCell& cell, const core::failure::Scripts& scripts,
   }
   collect_pfi(*tb.pfi, r);
   r->trace_records = tb.trace.records().size();
+
+  // Protocol-level exports: both endpoints' TCP machinery, prefixed by side.
+  const auto export_tcp = [&](const std::string& side,
+                              const tcp::TcpStats& ts) {
+    reg->set_counter("tcp." + side + ".segments_sent", ts.segments_sent);
+    reg->set_counter("tcp." + side + ".segments_received",
+                     ts.segments_received);
+    reg->set_counter("tcp." + side + ".data_retransmits", ts.data_retransmits);
+    reg->set_counter("tcp." + side + ".fast_retransmits", ts.fast_retransmits);
+    reg->set_counter("tcp." + side + ".keepalive_probes",
+                     ts.keepalive_probes_sent);
+    reg->set_counter("tcp." + side + ".persist_probes",
+                     ts.persist_probes_sent);
+    reg->set_counter("tcp." + side + ".rsts_sent", ts.rsts_sent);
+  };
+  export_tcp("vendor", conn->stats());
+  if (tb.accepted() != nullptr) export_tcp("xk", tb.accepted()->stats());
+  finish_observability(cell, reg, tb.sched, tb.network, tb.trace, *tb.pfi, r);
 }
 
 void run_tpc(const RunCell& cell, const core::failure::Scripts& scripts,
-             Watchdog* wd, RunResult* r) {
+             Watchdog* wd, obs::Registry* reg, RunResult* r) {
   std::vector<net::NodeId> ids;
   for (int i = 1; i <= cell.nodes; ++i) {
     ids.push_back(static_cast<net::NodeId>(i));
   }
   experiments::TpcTestbed tb{ids, cell.seed * 1000};
   tb.network.reseed(cell.seed);
+  tb.network.set_metrics(reg);
   tb.network.default_link().jitter = cell.jitter;
-  arm_interpreters(tb.pfi(static_cast<net::NodeId>(cell.target_node)), wd);
-  install(tb.pfi(static_cast<net::NodeId>(cell.target_node)), scripts);
+  core::PfiLayer& target = tb.pfi(static_cast<net::NodeId>(cell.target_node));
+  target.set_metrics(reg);
+  arm_interpreters(target, wd);
+  install(target, scripts);
 
   // Three transactions spread across the run, all coordinated by the lowest
   // node with everyone participating — the blocking window lives between
@@ -218,8 +319,9 @@ void run_tpc(const RunCell& cell, const core::failure::Scripts& scripts,
   const Verdict v = experiments::oracles::tpc_atomic(tb, txids);
   r->pass = v.pass;
   r->reason = v.reason;
-  collect_pfi(tb.pfi(static_cast<net::NodeId>(cell.target_node)), r);
+  collect_pfi(target, r);
   r->trace_records = tb.trace.records().size();
+  finish_observability(cell, reg, tb.sched, tb.network, tb.trace, target, r);
 }
 
 }  // namespace
@@ -247,13 +349,17 @@ RunResult run_cell(const RunCell& cell) {
   }
   Watchdog* wdp = wd ? &*wd : nullptr;
 
+  // One private registry per cell: testbed components count into it live,
+  // finish_observability folds intrinsic stats in and snapshots it.
+  obs::Registry reg;
+
   try {
     if (cell.protocol == "gmp") {
-      run_gmp(cell, scripts, wdp, &r);
+      run_gmp(cell, scripts, wdp, &reg, &r);
     } else if (cell.protocol == "tcp") {
-      run_tcp(cell, scripts, wdp, &r);
+      run_tcp(cell, scripts, wdp, &reg, &r);
     } else if (cell.protocol == "tpc") {
-      run_tpc(cell, scripts, wdp, &r);
+      run_tpc(cell, scripts, wdp, &reg, &r);
     } else {
       r.error = "unknown protocol " + cell.protocol;
     }
@@ -297,6 +403,10 @@ std::string record_json(const RunResult& r) {
   w.kv("messages_seen", r.messages_seen);
   w.kv("script_errors", r.script_errors);
   w.kv("trace_records", r.trace_records);
+  if (!r.coverage.empty()) {
+    w.key("coverage");
+    r.coverage.to_json(w);
+  }
   w.kv("sim_seconds", r.sim_seconds);
   w.end_object();
   return w.str();

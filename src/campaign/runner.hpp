@@ -13,6 +13,8 @@
 
 #include "campaign/json.hpp"
 #include "campaign/spec.hpp"
+#include "obs/coverage.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfi::campaign {
 
@@ -35,6 +37,16 @@ struct RunResult {
   /// capped at kMaxViolations with a "+N more" tail entry.
   std::vector<std::string> violations;
   std::string error;  // non-oracle failure (bad script file, bad protocol)
+  /// Behavioural fingerprint of the run (message types, fired fault actions,
+  /// protocol state transitions + FNV digest). Part of record_json when
+  /// non-empty; empty on timeout/error skeleton records.
+  obs::Coverage coverage;
+  /// Per-cell metric snapshot (sorted by name). NOT part of record_json —
+  /// the campaign CLI merges cell snapshots for --metrics-out.
+  std::vector<obs::MetricSample> metrics;
+  /// Chrome trace-event fragment, only when the cell asked for one
+  /// (RunCell::capture_timeline). NOT part of record_json.
+  std::string timeline;
   /// Executions this result took (campaign-side retry bookkeeping; > 1 only
   /// when the executor re-ran an errored cell). NOT part of record_json —
   /// the deterministic record must not depend on retry luck.

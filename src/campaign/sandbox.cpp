@@ -105,6 +105,24 @@ std::string wire_encode(const RunResult& r) {
   put(&out, "error", r.error);
   put_u64(&out, "nviol", r.violations.size());
   for (const std::string& v : r.violations) put(&out, "viol", v);
+  // Coverage fingerprint: digest + the three sets. Counted pairs travel as
+  // "<count> <name>" so names may contain spaces.
+  if (!r.coverage.empty()) {
+    put(&out, "cvd", r.coverage.digest);
+    for (const auto& [type, n] : r.coverage.msg_types) {
+      put(&out, "cvt", std::to_string(n) + " " + type);
+    }
+    for (const auto& [action, n] : r.coverage.actions) {
+      put(&out, "cva", std::to_string(n) + " " + action);
+    }
+    for (const std::string& t : r.coverage.transitions) put(&out, "cvx", t);
+  }
+  // Metric snapshot: "<kind> <value> <name>".
+  for (const obs::MetricSample& m : r.metrics) {
+    put(&out, "met",
+        std::string(1, m.kind) + " " + std::to_string(m.value) + " " + m.name);
+  }
+  if (!r.timeline.empty()) put(&out, "tl", r.timeline);
   put(&out, "end", "");
   return out;
 }
@@ -141,6 +159,31 @@ bool wire_decode(const std::string& bytes, RunResult* out) {
       r.error = value;
     } else if (key == "viol") {
       r.violations.push_back(value);
+    } else if (key == "cvd") {
+      r.coverage.digest = value;
+    } else if (key == "cvt" || key == "cva") {
+      const std::size_t sp = value.find(' ');
+      if (sp != std::string::npos) {
+        const std::uint64_t n = std::strtoull(value.c_str(), nullptr, 10);
+        auto& dst = key == "cvt" ? r.coverage.msg_types : r.coverage.actions;
+        dst.emplace_back(value.substr(sp + 1), n);
+      }
+    } else if (key == "cvx") {
+      r.coverage.transitions.push_back(value);
+    } else if (key == "met") {
+      // "<kind> <value> <name>"
+      const std::size_t sp1 = value.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? sp1 : value.find(' ', sp1 + 1);
+      if (sp1 == 1 && sp2 != std::string::npos) {
+        obs::MetricSample m;
+        m.kind = value[0];
+        m.value = std::strtoull(value.c_str() + sp1 + 1, nullptr, 10);
+        m.name = value.substr(sp2 + 1);
+        r.metrics.push_back(std::move(m));
+      }
+    } else if (key == "tl") {
+      r.timeline = value;
     } else if (key == "end") {
       complete = true;
     }

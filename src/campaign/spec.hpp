@@ -87,6 +87,9 @@ struct RunCell {
   bool buggy = false;
   int timeout_ms = 0;                // wall-clock watchdog (0 = off)
   std::uint64_t max_sim_events = 0;  // sim-event watchdog (0 = off)
+  // Runner-side toggle (not part of the planned matrix or cell identity):
+  // capture a Chrome trace-event timeline fragment for this cell.
+  bool capture_timeline = false;
 };
 
 /// Expand the spec's cross product in deterministic order:

@@ -15,6 +15,26 @@ void Network::attach(NodeId node, std::function<void(xk::Message)> deliver) {
   nodes_[node] = std::move(deliver);
 }
 
+void Network::set_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+  link_metrics_.clear();
+  frame_bytes_ =
+      registry != nullptr ? &registry->histogram("net.frame_bytes") : nullptr;
+}
+
+Network::LinkMetrics* Network::link_metrics(NodeId src, NodeId dst) {
+  if (metrics_ == nullptr) return nullptr;
+  auto [it, fresh] = link_metrics_.try_emplace({src, dst});
+  if (fresh) {
+    const std::string base = "net.link." + std::to_string(src) + "-" +
+                             std::to_string(dst) + ".";
+    it->second.delivered = &metrics_->counter(base + "delivered");
+    it->second.lost = &metrics_->counter(base + "lost");
+    it->second.blackholed = &metrics_->counter(base + "blackholed");
+  }
+  return &it->second;
+}
+
 void Network::detach(NodeId node) { nodes_.erase(node); }
 
 void Network::transmit(NodeId src, NodeId dst, xk::Message frame) {
@@ -29,9 +49,14 @@ void Network::transmit(NodeId src, NodeId dst, xk::Message frame) {
 }
 
 void Network::deliver_one(NodeId src, NodeId dst, xk::Message frame) {
+  LinkMetrics* lm = link_metrics(src, dst);
+  if (frame_bytes_ != nullptr) {
+    PFI_OBS_OBSERVE(frame_bytes_, frame.size());
+  }
   if (!nodes_.contains(dst) || unplugged_.contains(src) ||
       unplugged_.contains(dst) || partitioned(src, dst)) {
     ++stats_.frames_blackholed;
+    if (lm != nullptr) PFI_OBS_INC(lm->blackholed);
     return;
   }
   const LinkConfig* cfg = &default_link_;
@@ -40,10 +65,12 @@ void Network::deliver_one(NodeId src, NodeId dst, xk::Message frame) {
   }
   if (cfg->down) {
     ++stats_.frames_blackholed;
+    if (lm != nullptr) PFI_OBS_INC(lm->blackholed);
     return;
   }
   if (cfg->loss_probability > 0 && rng_.bernoulli(cfg->loss_probability)) {
     ++stats_.frames_lost;
+    if (lm != nullptr) PFI_OBS_INC(lm->lost);
     return;
   }
   sim::Duration delay = cfg->latency;
@@ -59,15 +86,20 @@ void Network::deliver_one(NodeId src, NodeId dst, xk::Message frame) {
     busy = start + tx_time;
     delay += (busy - sched_.now());
   }
-  sched_.schedule(delay, [this, dst, frame = std::move(frame)]() mutable {
+  sched_.schedule(delay, [this, src, dst, frame = std::move(frame)]() mutable {
     // Re-check attachment at delivery time: the node may have crashed
-    // (detached) while the frame was in flight.
+    // (detached) while the frame was in flight. Counters are re-resolved
+    // here rather than captured — set_metrics may have swapped registries
+    // while the frame was in flight.
+    LinkMetrics* at_delivery = link_metrics(src, dst);
     auto it = nodes_.find(dst);
     if (it == nodes_.end() || unplugged_.contains(dst)) {
       ++stats_.frames_blackholed;
+      if (at_delivery != nullptr) PFI_OBS_INC(at_delivery->blackholed);
       return;
     }
     ++stats_.frames_delivered;
+    if (at_delivery != nullptr) PFI_OBS_INC(at_delivery->delivered);
     it->second(std::move(frame));
   });
 }

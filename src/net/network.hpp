@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/addr.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "xk/message.hpp"
@@ -83,9 +84,22 @@ class Network {
   /// testbed has constructed the network).
   void reseed(std::uint64_t seed) { rng_ = sim::Rng(seed); }
 
+  /// Attach a metrics registry: per-directed-link delivered/lost/blackholed
+  /// counters ("net.link.1-2.delivered") and a frame-size histogram, counted
+  /// live. Null detaches (the default — detached costs one branch per
+  /// frame). The registry must outlive the network or the next detach.
+  void set_metrics(obs::Registry* registry);
+
  private:
+  struct LinkMetrics {
+    obs::Counter* delivered = nullptr;
+    obs::Counter* lost = nullptr;
+    obs::Counter* blackholed = nullptr;
+  };
+
   [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
   void deliver_one(NodeId src, NodeId dst, xk::Message frame);
+  LinkMetrics* link_metrics(NodeId src, NodeId dst);
 
   sim::Scheduler& sched_;
   sim::Rng rng_;
@@ -97,6 +111,9 @@ class Network {
   bool partition_active_ = false;
   std::set<NodeId> unplugged_;
   NetworkStats stats_;
+  obs::Registry* metrics_ = nullptr;
+  obs::Histogram* frame_bytes_ = nullptr;
+  std::map<std::pair<NodeId, NodeId>, LinkMetrics> link_metrics_;
 };
 
 }  // namespace pfi::net

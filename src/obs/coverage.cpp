@@ -1,0 +1,131 @@
+#include "obs/coverage.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace pfi::obs {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+struct Fnv {
+  std::uint64_t h = kFnvOffset;
+  void feed(std::string_view s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= kFnvPrime;
+    }
+    h ^= 0xFF;  // separator: feed("ab")+feed("c") != feed("a")+feed("bc")
+    h *= kFnvPrime;
+  }
+  void feed_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= kFnvPrime;
+    }
+  }
+};
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string fnv1a_hex(std::string_view bytes) {
+  Fnv f;
+  f.feed(bytes);
+  return hex16(f.h);
+}
+
+void Coverage::to_json(campaign::json::Writer& w) const {
+  w.begin_object();
+  w.kv("digest", digest);
+  w.key("msg_types").begin_object();
+  for (const auto& [type, n] : msg_types) w.kv(type, n);
+  w.end_object();
+  w.key("actions").begin_object();
+  for (const auto& [action, n] : actions) w.kv(action, n);
+  w.end_object();
+  w.key("transitions").begin_array();
+  for (const std::string& t : transitions) w.value(t);
+  w.end_array();
+  w.end_object();
+}
+
+Coverage compute_coverage(
+    const trace::TraceLog& trace, const Registry& registry,
+    std::vector<std::pair<std::string, std::uint64_t>> actions) {
+  Coverage cov;
+
+  // --- message-type histogram ----------------------------------------------
+  cov.msg_types = registry.counters_with_prefix("pfi.msg_type.");
+  if (cov.msg_types.empty()) {
+    // Metrics were detached: fall back to packet-level trace records
+    // (msg_log / inject verbs), which carry the stub-reported type.
+    std::map<std::string, std::uint64_t> counts;
+    for (const auto& r : trace.records()) {
+      if (r.direction == "send" || r.direction == "recv" ||
+          r.direction == "drop" || r.direction == "inject") {
+        ++counts[r.type];
+      }
+    }
+    cov.msg_types.assign(counts.begin(), counts.end());
+  }
+
+  // --- fault actions --------------------------------------------------------
+  std::erase_if(actions, [](const auto& kv) { return kv.second == 0; });
+  std::sort(actions.begin(), actions.end());
+  cov.actions = std::move(actions);
+
+  // --- state-transition set -------------------------------------------------
+  // Protocol layers log behavioural events with direction "event"; the TCP
+  // state machine additionally logs explicit from->to transitions as type
+  // "tcp-state". The set (not sequence) keeps the fingerprint compact and
+  // insensitive to benign repetition counts.
+  std::set<std::string> transitions;
+  for (const auto& r : trace.records()) {
+    if (r.direction != "event") continue;
+    if (r.type == "tcp-state") {
+      transitions.insert(r.node + ":" + r.detail);
+    } else {
+      transitions.insert(r.node + ":" + r.type);
+    }
+  }
+
+  // --- digest over the *full* sets ------------------------------------------
+  Fnv fnv;
+  fnv.feed("pfi-coverage-v1");
+  for (const auto& [type, n] : cov.msg_types) {
+    fnv.feed(type);
+    fnv.feed_u64(n);
+  }
+  for (const auto& [action, n] : cov.actions) {
+    fnv.feed(action);
+    fnv.feed_u64(n);
+  }
+  for (const std::string& t : transitions) fnv.feed(t);
+  cov.digest = hex16(fnv.h);
+
+  // Emit capped transitions (digest above already covered everything).
+  for (const std::string& t : transitions) {
+    if (cov.transitions.size() >= Coverage::kMaxTransitions) {
+      cov.transitions.push_back(
+          "+" +
+          std::to_string(transitions.size() - Coverage::kMaxTransitions) +
+          " more");
+      break;
+    }
+    cov.transitions.push_back(t);
+  }
+  return cov;
+}
+
+}  // namespace pfi::obs

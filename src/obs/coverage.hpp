@@ -1,0 +1,58 @@
+// Per-cell coverage fingerprint.
+//
+// The ROADMAP's coverage-guided fault-space search needs a coverage signal:
+// a deterministic digest of what a run *did* (which message types flowed,
+// which faults actually fired, which protocol state transitions happened),
+// byte-stable across --jobs and --isolate so two executions of the same cell
+// always fingerprint identically and a mutator can key on "behaviour we have
+// not seen yet". Computed from the cell's trace and metrics after the
+// simulation finishes; serialised as the `coverage` object of every campaign
+// record via the same deterministic JSON writer the records use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/json.hpp"
+#include "obs/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace pfi::obs {
+
+struct Coverage {
+  /// 16-hex-digit FNV-1a 64 over the canonical form of the three sets
+  /// below (all entries, even past the emission cap).
+  std::string digest;
+  /// Message-type histogram seen at the target PFI layer, sorted by type.
+  std::vector<std::pair<std::string, std::uint64_t>> msg_types;
+  /// Fault actions that actually fired (dropped/delayed/...), sorted,
+  /// zero entries omitted.
+  std::vector<std::pair<std::string, std::uint64_t>> actions;
+  /// Protocol state-transition set ("vendor:SYN_SENT -> ESTABLISHED",
+  /// "gmd-2:gmp-commit"), sorted unique, capped at kMaxTransitions with a
+  /// "+N more" tail (the digest still covers the full set).
+  std::vector<std::string> transitions;
+
+  static constexpr std::size_t kMaxTransitions = 64;
+
+  [[nodiscard]] bool empty() const { return digest.empty(); }
+
+  /// Append as one JSON object (caller has already emitted the key).
+  void to_json(campaign::json::Writer& w) const;
+};
+
+/// Compute the fingerprint of one finished run. `msg_types` come from the
+/// registry's "pfi.msg_type." counters (live-counted by the target PFI
+/// layer); when none were registered (metrics detached), packet-level trace
+/// records are counted instead. `actions` is the target layer's fault
+/// counters, zero entries dropped here.
+Coverage compute_coverage(
+    const trace::TraceLog& trace, const Registry& registry,
+    std::vector<std::pair<std::string, std::uint64_t>> actions);
+
+/// FNV-1a 64 as a 16-hex-digit string (shared by tests).
+std::string fnv1a_hex(std::string_view bytes);
+
+}  // namespace pfi::obs

@@ -1,0 +1,130 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "campaign/json.hpp"
+
+namespace pfi::obs {
+
+namespace {
+
+using campaign::json::Writer;
+
+void meta_event(Writer& w, const char* what, int pid, int tid,
+                const std::string& name) {
+  w.begin_object();
+  w.kv("name", what);
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.key("args").begin_object().kv("name", name).end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string timeline_events(const trace::TraceLog& trace,
+                            const std::string& cell_id, int pid,
+                            sim::Duration duration) {
+  const auto& records = trace.records();
+  if (records.empty()) return {};
+
+  // Thread lanes: tid 0 is the whole-cell span, nodes get 1..N in name
+  // order (deterministic whatever order nodes first spoke in).
+  std::map<std::string, int> tid_of;
+  for (const auto& r : records) tid_of.emplace(r.node, 0);
+  int next_tid = 1;
+  for (auto& [node, tid] : tid_of) tid = next_tid++;
+
+  struct Span {
+    sim::TimePoint first = 0;
+    sim::TimePoint last = 0;
+    bool seen = false;
+  };
+  std::map<std::string, Span> spans;
+  for (const auto& r : records) {
+    Span& s = spans[r.node];
+    if (!s.seen) {
+      s.first = r.at;
+      s.seen = true;
+    }
+    s.last = r.at;
+  }
+
+  Writer w;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) w.value_raw(",");
+    first = false;
+  };
+
+  sep();
+  meta_event(w, "process_name", pid, 0, cell_id);
+  sep();
+  meta_event(w, "thread_name", pid, 0, "cell");
+  for (const auto& [node, tid] : tid_of) {
+    sep();
+    meta_event(w, "thread_name", pid, tid, node);
+  }
+
+  // Whole-cell span on lane 0.
+  sep();
+  w.begin_object();
+  w.kv("name", cell_id);
+  w.kv("cat", "cell");
+  w.kv("ph", "X");
+  w.kv("ts", std::uint64_t{0});
+  w.kv("dur", static_cast<std::uint64_t>(std::max<sim::Duration>(duration, 1)));
+  w.kv("pid", pid);
+  w.kv("tid", 0);
+  w.end_object();
+
+  // Per-node activity spans (first..last record).
+  for (const auto& [node, span] : spans) {
+    sep();
+    w.begin_object();
+    w.kv("name", node);
+    w.kv("cat", "node");
+    w.kv("ph", "X");
+    w.kv("ts", static_cast<std::uint64_t>(span.first));
+    w.kv("dur", static_cast<std::uint64_t>(
+                    std::max<sim::Duration>(span.last - span.first, 1)));
+    w.kv("pid", pid);
+    w.kv("tid", tid_of.at(node));
+    w.end_object();
+  }
+
+  // Every record as a thread-scoped instant on its node's lane.
+  for (const auto& r : records) {
+    sep();
+    w.begin_object();
+    w.kv("name", r.type);
+    w.kv("cat", r.direction);
+    w.kv("ph", "i");
+    w.kv("ts", static_cast<std::uint64_t>(r.at));
+    w.kv("pid", pid);
+    w.kv("tid", tid_of.at(r.node));
+    w.kv("s", "t");
+    if (!r.detail.empty()) {
+      w.key("args").begin_object().kv("detail", r.detail).end_object();
+    }
+    w.end_object();
+  }
+  return w.str();
+}
+
+std::string timeline_document(const std::vector<std::string>& fragments) {
+  std::string doc = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::string& f : fragments) {
+    if (f.empty()) continue;
+    if (!first) doc += ',';
+    first = false;
+    doc += f;
+  }
+  doc += "]}";
+  return doc;
+}
+
+}  // namespace pfi::obs

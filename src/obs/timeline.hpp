@@ -1,0 +1,34 @@
+// Chrome trace-event timeline export.
+//
+// Renders a cell's TraceLog as trace-event JSON objects loadable in
+// about:tracing / Perfetto (https://ui.perfetto.dev): the cell is a process
+// (pid = cell index), each simulated node is a thread lane, every trace
+// record is an instant event at its simulated-time microsecond, and per-node
+// "X" spans stretch from a node's first to last record so the lanes read as
+// sim-time spans. The campaign CLI concatenates per-cell fragments into one
+// {"traceEvents":[...]} document (--timeline out.json).
+//
+// Everything is emitted through campaign::json::Writer, so the fragment is
+// deterministic: same cell, same bytes, whatever --jobs or --isolate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+namespace pfi::obs {
+
+/// Serialise one cell's trace as a comma-separated list of trace-event JSON
+/// objects (no enclosing brackets — the caller splices fragments into one
+/// traceEvents array). Empty string if the log holds no records.
+/// `duration` draws the whole-cell span on lane 0.
+std::string timeline_events(const trace::TraceLog& trace,
+                            const std::string& cell_id, int pid,
+                            sim::Duration duration);
+
+/// Wrap fragments into a complete Chrome trace JSON document.
+std::string timeline_document(const std::vector<std::string>& fragments);
+
+}  // namespace pfi::obs

@@ -104,7 +104,36 @@ std::size_t PfiLayer::held_count(const std::string& queue) const {
   return it == hold_queues_.end() ? 0 : it->second.size();
 }
 
+void PfiLayer::set_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+  m_type_counters_.clear();
+  m_last_type_.clear();
+  m_last_type_counter_ = nullptr;
+  m_msg_bytes_ =
+      registry != nullptr ? &registry->histogram("pfi.msg_bytes") : nullptr;
+}
+
+void PfiLayer::count_message(const xk::Message& msg) {
+  // Per-message cost budget: one histogram observe + one counter inc via the
+  // single-entry type cache. Filter-invocation counts need no live counter —
+  // they are already in PfiStats (sends/recvs_intercepted), exported into
+  // the registry at collect time.
+  if (metrics_ == nullptr) return;
+  PFI_OBS_OBSERVE(m_msg_bytes_, msg.size());
+  std::string type = type_of(msg);
+  if (m_last_type_counter_ == nullptr || type != m_last_type_) {
+    auto [it, fresh] = m_type_counters_.try_emplace(std::move(type));
+    if (fresh) {
+      it->second = &metrics_->counter("pfi.msg_type." + it->first);
+    }
+    m_last_type_ = it->first;
+    m_last_type_counter_ = it->second;
+  }
+  PFI_OBS_INC(m_last_type_counter_);
+}
+
 void PfiLayer::run_filter(Direction dir, xk::Message msg) {
+  count_message(msg);
   MsgCtx ctx;
   ctx.msg = std::move(msg);
   ctx.dir = dir;

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pfi/stub.hpp"
 #include "pfi/sync.hpp"
 #include "script/interp.hpp"
@@ -98,6 +99,12 @@ class PfiLayer : public xk::Layer {
   /// Messages currently parked in a hold queue.
   [[nodiscard]] std::size_t held_count(const std::string& queue) const;
 
+  /// Attach a metrics registry: per-message-type counters
+  /// ("pfi.msg_type.ka-heartbeat") and a message-size histogram, counted
+  /// live in run_filter. Null detaches (the default). The registry must
+  /// outlive the layer or the next detach.
+  void set_metrics(obs::Registry* registry);
+
  private:
   enum class Direction { kDown, kUp };  // push = down (send), pop = up (recv)
 
@@ -128,6 +135,7 @@ class PfiLayer : public xk::Layer {
   [[nodiscard]] std::string type_of(const xk::Message& msg) const;
   void trace_packet(const MsgCtx& ctx, const std::string& verb,
                     const std::string& note) const;
+  void count_message(const xk::Message& msg);
 
   sim::Scheduler& sched_;
   PfiConfig cfg_;
@@ -140,6 +148,13 @@ class PfiLayer : public xk::Layer {
   std::map<std::string, std::deque<HeldMsg>> hold_queues_;
   PfiStats stats_;
   std::string last_error_;
+  obs::Registry* metrics_ = nullptr;
+  obs::Histogram* m_msg_bytes_ = nullptr;
+  std::map<std::string, obs::Counter*> m_type_counters_;
+  // Single-entry hot cache: protocols emit long runs of one message type,
+  // so most messages skip the map lookup entirely.
+  std::string m_last_type_;
+  obs::Counter* m_last_type_counter_ = nullptr;
   // `after` callbacks capture `this`; invalidate them on destruction.
   std::shared_ptr<bool> alive_;
 };

@@ -131,6 +131,7 @@ Result cmd_while(Interp& in, const Args& a) {
   if (a.size() != 3) return arity_error("while test command");
   std::uint64_t iters = 0;
   while (true) {
+    in.note_loop_tick();
     if (++iters > in.max_loop_iterations()) {
       return Result::error("while loop exceeded iteration budget");
     }
@@ -155,6 +156,7 @@ Result cmd_for(Interp& in, const Args& a) {
   if (!init.is_ok()) return init;
   std::uint64_t iters = 0;
   while (true) {
+    in.note_loop_tick();
     if (++iters > in.max_loop_iterations()) {
       return Result::error("for loop exceeded iteration budget");
     }
@@ -178,6 +180,7 @@ Result cmd_foreach(Interp& in, const Args& a) {
   if (a.size() != 4) return arity_error("foreach varName list command");
   const auto items = parse_list(a[2]);
   for (const auto& item : items) {
+    in.note_loop_tick();
     in.set_var(a[1], item);
     Result r = in.eval(a[3]);
     if (r.code == Code::kBreak) break;

@@ -247,6 +247,7 @@ Interp::Interp() {
 }
 
 Result Interp::eval(std::string_view script) {
+  ++stats_.evals;
   if (++depth_ > max_depth_) {
     --depth_;
     return Result::error("too many nested evaluations (infinite recursion?)");
@@ -272,6 +273,7 @@ Result Interp::eval(std::string_view script) {
 }
 
 Result Interp::invoke(const std::vector<std::string>& words) {
+  ++stats_.commands;
   if (watchdog_tripped()) {
     return Result::error("watchdog: execution budget exceeded");
   }

@@ -61,6 +61,17 @@ class Interp {
   using Command =
       std::function<Result(Interp&, const std::vector<std::string>&)>;
 
+  /// Intrinsic execution counters, always on (each is one integer add on an
+  /// already-expensive path). A campaign exports them per cell into the
+  /// metrics registry: eval volume and loop-guard ticks are the observable
+  /// "how hard did the filter scripts work" signal.
+  struct Stats {
+    std::uint64_t evals = 0;             // eval() entries (incl. nested)
+    std::uint64_t commands = 0;          // command dispatches
+    std::uint64_t loop_ticks = 0;        // while/for/foreach iterations
+    std::uint64_t watchdog_probes = 0;   // watchdog_tripped() samples
+  };
+
   Interp();
   Interp(const Interp&) = delete;
   Interp& operator=(const Interp&) = delete;
@@ -122,9 +133,15 @@ class Interp {
     if (watchdog_tripped_cache_) return true;
     if (!watchdog_) return false;
     if ((++watchdog_probe_ & 0xFFu) != 0) return false;
+    ++stats_.watchdog_probes;
     watchdog_tripped_cache_ = watchdog_();
     return watchdog_tripped_cache_;
   }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Loop builtins report each iteration (one add; the guard check already
+  /// pays a comparison there).
+  void note_loop_tick() { ++stats_.loop_ticks; }
 
   // --- internals shared with builtins (public for the command library) ---
   struct Frame {
@@ -153,6 +170,7 @@ class Interp {
   std::function<bool()> watchdog_;
   std::uint64_t watchdog_probe_ = 0;
   bool watchdog_tripped_cache_ = false;
+  Stats stats_;
 };
 
 /// Numeric/string value used by the expression engine; exposed for tests.

@@ -18,10 +18,18 @@ TimerId Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
   ev.fn = std::move(fn);
   queue_.push(std::move(ev));
   live_.insert(id);
+  ++stats_.timers_scheduled;
+  if (live_.size() > stats_.queue_high_water) {
+    stats_.queue_high_water = live_.size();
+  }
   return id;
 }
 
-bool Scheduler::cancel(TimerId id) { return live_.erase(id) > 0; }
+bool Scheduler::cancel(TimerId id) {
+  if (live_.erase(id) == 0) return false;
+  ++stats_.timers_cancelled;
+  return true;
+}
 
 bool Scheduler::pending(TimerId id) const { return live_.contains(id); }
 
@@ -32,6 +40,7 @@ bool Scheduler::step() {
     queue_.pop();
     if (live_.erase(ev.id) == 0) continue;  // cancelled tombstone
     now_ = ev.when;
+    ++stats_.events_dispatched;
     ev.fn();
     return true;
   }

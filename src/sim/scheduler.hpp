@@ -23,6 +23,17 @@ using TimerId = std::uint64_t;
 
 constexpr TimerId kInvalidTimer = 0;
 
+/// Intrinsic instrumentation, always on: four integer updates per event is
+/// cheap enough to never gate, and keeping it inside the scheduler means the
+/// counts are a pure function of the simulation (exported into the campaign
+/// metrics registry at collect time, never sampled off wall clocks).
+struct SchedulerStats {
+  std::uint64_t events_dispatched = 0;  // callbacks actually fired
+  std::uint64_t timers_scheduled = 0;
+  std::uint64_t timers_cancelled = 0;   // cancelled before firing
+  std::uint64_t queue_high_water = 0;   // max live events ever queued
+};
+
 class Scheduler {
  public:
   Scheduler() = default;
@@ -47,6 +58,8 @@ class Scheduler {
 
   /// Number of events still queued (including cancelled tombstones' live peers).
   [[nodiscard]] std::size_t queued() const { return live_.size(); }
+
+  [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
 
   /// Run a single event. Returns false if the queue is empty.
   bool step();
@@ -90,6 +103,7 @@ class Scheduler {
   TimerId next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<TimerId> live_;
+  SchedulerStats stats_;
 };
 
 /// RAII one-shot timer bound to a scheduler.

@@ -1,14 +1,34 @@
 #include "trace/trace.hpp"
 
-#include <sstream>
 #include <iomanip>
+#include <sstream>
+
+#include "campaign/json.hpp"
 
 namespace pfi::trace {
 
 void TraceLog::add(sim::TimePoint at, std::string node, std::string direction,
                    std::string type, std::string detail) {
+  ++total_added_;
+  if (capacity_ != 0 && records_.size() >= capacity_) {
+    const std::size_t chunk = std::max<std::size_t>(1, capacity_ / 8);
+    const std::size_t evict = std::min(chunk, records_.size());
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(evict));
+    dropped_ += evict;
+  }
   records_.push_back(Record{at, std::move(node), std::move(direction),
                             std::move(type), std::move(detail)});
+}
+
+void TraceLog::set_capacity(std::size_t cap) {
+  capacity_ = cap;
+  if (capacity_ != 0 && records_.size() > capacity_) {
+    const std::size_t evict = records_.size() - capacity_;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(evict));
+    dropped_ += evict;
+  }
 }
 
 std::vector<Record> TraceLog::select(
@@ -73,27 +93,10 @@ std::string TraceLog::render() const {
 }
 
 std::string TraceLog::to_json() const {
-  auto escape = [](const std::string& s) {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out;
-  };
+  // One escaper for the whole project: campaign::json handles \r and
+  // control bytes without sign-extension, which the old local lambda got
+  // wrong for chars >= 0x80 on signed-char platforms.
+  const auto& escape = campaign::json::escape;
   std::ostringstream os;
   os << "[";
   for (std::size_t i = 0; i < records_.size(); ++i) {

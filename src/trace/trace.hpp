@@ -32,7 +32,23 @@ class TraceLog {
 
   [[nodiscard]] const std::vector<Record>& records() const { return records_; }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+    total_added_ = 0;
+  }
+
+  /// Bound the log's memory: keep at most `cap` records, evicting the
+  /// *oldest* when full (the newest records are the ones an oracle or a
+  /// minimizer wants). 0 (the default) means unlimited. Eviction happens in
+  /// chunks of max(1, cap/8) so a full log pays one memmove per chunk, not
+  /// per record.
+  void set_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Records evicted by the capacity bound since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Records ever added since the last clear() (= size() + dropped()).
+  [[nodiscard]] std::uint64_t total_added() const { return total_added_; }
 
   /// All records matching a predicate, in time order.
   [[nodiscard]] std::vector<Record> select(
@@ -66,6 +82,9 @@ class TraceLog {
 
  private:
   std::vector<Record> records_;
+  std::size_t capacity_ = 0;  // 0 = unlimited
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_added_ = 0;
 };
 
 }  // namespace pfi::trace
