@@ -15,6 +15,7 @@
 #include <string>
 
 #include "bench/report.hpp"
+#include "lint/lint.hpp"
 #include "net/layers.hpp"
 #include "obs/metrics.hpp"
 #include "pfi/pfi_layer.hpp"
@@ -287,6 +288,59 @@ void report_instrumentation_overhead() {
                    {"overhead_pct", buf}});
 }
 
+// ---------------------------------------------------------------------------
+// Lint cost: how long pfi_lint's full pass pipeline takes per script. This
+// runs once per cell under `pfi_campaign --lint`, so it has to stay orders
+// of magnitude below a cell's simulation time.
+// ---------------------------------------------------------------------------
+
+void report_lint_cost() {
+  // Representative filter: sections, a proc, state, guards, host commands.
+  const std::string script = R"tcl(#%setup
+set threshold 3
+set dropped 0
+proc should_drop {n} {
+  global threshold
+  return [expr {$n >= $threshold}]
+}
+#%receive
+set t [msg_type cur_msg]
+if {$t == "tcp-data"} {
+  set seq [msg_field seq]
+  if {![info exists count($seq)]} { set count($seq) 0 }
+  incr count($seq)
+  if {[should_drop $count($seq)]} {
+    incr dropped
+    xDrop cur_msg
+  }
+}
+)tcl";
+  constexpr int kIters = 2'000;
+  auto diags = pfi::lint::check_script(script, "bench.tcl");
+  double best = 1e300;
+  for (int round = 0; round < 5; ++round) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      diags = pfi::lint::check_script(script, "bench.tcl");
+      benchmark::DoNotOptimize(diags);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best,
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kIters);
+  }
+
+  std::printf("\n--- lint cost (full pass pipeline per script) ---\n");
+  std::printf("  check_script     : %8.2f us/script  (%zu diagnostics)\n",
+              best, diags.size());
+
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", best);
+  bench::json_row("pfi_overhead.lint",
+                  {{"us_per_script", buf},
+                   {"script_bytes", std::to_string(script.size())}});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,5 +349,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report_instrumentation_overhead();
+  report_lint_cost();
   return 0;
 }

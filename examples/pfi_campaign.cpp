@@ -37,6 +37,7 @@
 #include "campaign/minimize.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 
@@ -63,6 +64,7 @@ struct Args {
   int timeout_ms = -1;      // -1 = keep the spec's value
   long long max_events = -1;
   int retries = -1;
+  int lint = 0;  // 0 = off, 1 = --lint (errors), 2 = --lint=strict
   bool isolate = false;
   bool resume = false;
   bool minimize = false;
@@ -85,6 +87,10 @@ int usage(int code) {
       "  --resume          skip cells whose record is already journaled;\n"
       "                    implies journaling to <spec>.journal\n"
       "  --journal FILE    journal path (enables journaling)\n"
+      "  --lint            statically check each cell's schedule/script\n"
+      "                    before running; violations become deterministic\n"
+      "                    `lint` error records and the cell is skipped\n"
+      "  --lint=strict     as --lint, but warnings also reject a cell\n"
       "  --minimize        delta-debug each failing schedule to a minimal\n"
       "                    reproduction (schedule-mode cells only)\n"
       "  --max-minimize N  minimise at most N failing cells (default 8)\n"
@@ -128,6 +134,10 @@ int main(int argc, char** argv) {
       args.resume = true;
     } else if (a == "--journal") {
       args.journal = next();
+    } else if (a == "--lint") {
+      args.lint = 1;
+    } else if (a == "--lint=strict") {
+      args.lint = 2;
     } else if (a == "--minimize") {
       args.minimize = true;
     } else if (a == "--max-minimize") {
@@ -190,14 +200,33 @@ int main(int argc, char** argv) {
   std::vector<std::string> records(cells.size());
   std::vector<RunCell> todo;
   int resumed = 0;
+  int lint_rejected = 0;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto hit = journaling ? prior.find(keys[i]) : prior.end();
     if (hit != prior.end()) {
       records[i] = rewrite_index(hit->second, cells[i].index);
       ++resumed;
-    } else {
-      todo.push_back(cells[i]);  // keeps its plan index
+      continue;
     }
+    if (args.lint > 0) {
+      // Lint runs sequentially over the plan, before the worker pool, so
+      // rejected cells produce records that are byte-identical whatever
+      // --jobs or --isolate was — the timeout-record discipline.
+      const auto diags = pfi::lint::check_cell(cells[i]);
+      const bool reject = pfi::lint::has_errors(diags) ||
+                          (args.lint == 2 && !diags.empty());
+      if (reject) {
+        records[i] =
+            record_json(pfi::lint::lint_error_result(cells[i], diags));
+        ++lint_rejected;
+        if (!args.quiet) {
+          std::fprintf(stderr, "  lint %-40s %s\n", cells[i].id.c_str(),
+                       pfi::lint::format_text(diags.front()).c_str());
+        }
+        continue;
+      }
+    }
+    todo.push_back(cells[i]);  // keeps its plan index
   }
   if (!args.timeline.empty()) {
     // Only freshly-executed cells can contribute timeline fragments —
@@ -406,6 +435,7 @@ int main(int argc, char** argv) {
   w.kv("fail", sum.failed);
   w.kv("error", sum.errored);
   if (sum.skipped > 0) w.kv("skipped", sum.skipped);
+  if (lint_rejected > 0) w.kv("lint_rejected", lint_rejected);
   if (resumed > 0) w.kv("resumed", resumed);
   if (interrupted) w.kv("interrupted", true);
   w.kv("jobs", std::max(1, args.jobs));

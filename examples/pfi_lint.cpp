@@ -1,0 +1,105 @@
+// pfi_lint — static analysis of fault scripts and campaign specs.
+//
+//   pfi_lint [--json] [--strict] [--no-filter] [--no-driver] file...
+//
+// Files ending in .spec are parsed and checked as campaign specs (their
+// referenced scripts are linted too); everything else is checked as a
+// filter script. Exit status: 0 clean, 1 when any error-severity
+// diagnostic was reported (or any diagnostic at all under --strict),
+// 2 on usage / unreadable file.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: pfi_lint [--json] [--strict] [--no-filter] [--no-driver] "
+        "file...\n"
+     << "  --json       emit one JSON document instead of text\n"
+     << "  --strict     warnings also fail the run\n"
+     << "  --no-filter  do not accept PfiLayer host commands (msg_*, x*)\n"
+     << "  --no-driver  do not accept ScriptedDriver commands (drv_*)\n";
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool strict = false;
+  pfi::lint::Options opts;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--no-filter") {
+      opts.filter_commands = false;
+    } else if (arg == "--no-driver") {
+      opts.driver_commands = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pfi_lint: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<pfi::lint::Diagnostic> all;
+  for (const std::string& file : files) {
+    std::ifstream in{file};
+    if (!in) {
+      std::cerr << "pfi_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const auto diags = ends_with(file, ".spec")
+                           ? pfi::lint::check_spec_text(text, file, opts)
+                           : pfi::lint::check_script(text, file, opts);
+    all.insert(all.end(), diags.begin(), diags.end());
+  }
+  pfi::lint::sort_diagnostics(&all);
+
+  int errors = 0;
+  int warnings = 0;
+  for (const auto& d : all) {
+    (d.severity == pfi::lint::Severity::kError ? errors : warnings) += 1;
+  }
+
+  if (json) {
+    std::cout << pfi::lint::diagnostics_json(all) << "\n";
+  } else {
+    for (const auto& d : all) {
+      std::cout << pfi::lint::format_text(d) << "\n";
+    }
+    std::cout << files.size() << " file" << (files.size() == 1 ? "" : "s")
+              << " checked: " << errors << " error"
+              << (errors == 1 ? "" : "s") << ", " << warnings << " warning"
+              << (warnings == 1 ? "" : "s") << "\n";
+  }
+  if (errors > 0) return 1;
+  if (strict && warnings > 0) return 1;
+  return 0;
+}

@@ -1,8 +1,6 @@
 # Per-segment retransmission measurement, entirely in script: track every
 # data segment's arrival count and inter-arrival gap using arrays, and
 # annotate the trace with both. Requires the TCP recognition stub.
-#%setup
-set started 0
 #%receive
 set t [msg_type cur_msg]
 if {$t == "tcp-data"} {

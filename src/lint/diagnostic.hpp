@@ -1,0 +1,65 @@
+// Structured lint findings.
+//
+// Every pass in src/lint/ reports Diagnostics — a severity, a stable rule
+// id (the thing suppression comments name), a file:line:col anchor, a
+// human message and an optional fix hint. docs/LINT.md is the catalog of
+// rule ids; tests/lint_test.cpp pins one positive and one negative case
+// per rule.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace pfi::lint {
+
+enum class Severity { kWarning, kError };
+
+inline const char* to_string(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;  // stable id, e.g. "unknown-command"
+  std::string file;  // as given to the checker; may be empty
+  int line = 0;      // 1-based; 0 = file-level finding
+  int col = 0;
+  std::string message;
+  std::string hint;  // optional "did you mean ..." / fix suggestion
+};
+
+/// "file:line:col: severity: message [rule]" — the CLI text format.
+inline std::string format_text(const Diagnostic& d) {
+  std::string out = d.file.empty() ? std::string{"<script>"} : d.file;
+  out += ':' + std::to_string(d.line) + ':' + std::to_string(d.col);
+  out += ": ";
+  out += to_string(d.severity);
+  out += ": ";
+  out += d.message;
+  out += " [" + d.rule + "]";
+  if (!d.hint.empty()) out += "\n    hint: " + d.hint;
+  return out;
+}
+
+inline bool has_errors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+/// Stable presentation order: file, then position, then rule, then message.
+/// Checkers emit in pass order; sorting here is what makes --json output a
+/// pure function of the input files.
+inline void sort_diagnostics(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.col != b.col) return a.col < b.col;
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.message < b.message;
+                   });
+}
+
+}  // namespace pfi::lint

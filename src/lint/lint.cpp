@@ -1,0 +1,1133 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "campaign/json.hpp"
+#include "lint/registry.hpp"
+#include "pfi/script_file.hpp"
+#include "pfi/scriptgen.hpp"
+#include "script/interp.hpp"
+#include "script/parse.hpp"
+#include "sim/time.hpp"
+
+namespace pfi::lint {
+
+namespace {
+
+namespace sp = script::parse;
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// "count" for `count($seq)` / `count(x)` / `count`; nullopt when the
+/// variable name itself is computed ($name, [cmd], ...).
+std::optional<std::string> var_name_base(const std::string& raw) {
+  std::string base;
+  for (const char c : raw) {
+    if (c == '(') break;
+    if (!is_name_char(c)) return std::nullopt;
+    base += c;
+  }
+  if (base.empty()) return std::nullopt;
+  return base;
+}
+
+std::string normalize_read(const std::string& name) {
+  const auto paren = name.find('(');
+  return paren == std::string::npos ? name : name.substr(0, paren);
+}
+
+/// Edit distance capped at 3 (enough to decide "is it within 2?").
+int edit_distance(const std::string& a, const std::string& b) {
+  if (a.size() > b.size() + 2 || b.size() > a.size() + 2) return 3;
+  std::vector<int> prev(b.size() + 1);
+  std::vector<int> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = static_cast<int>(j);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = static_cast<int>(i);
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return std::min(prev[b.size()], 3);
+}
+
+/// `# pfi-lint: allow <rule> ...` comment lines, collected file-wide.
+std::set<std::string> collect_suppressions(const std::string& contents) {
+  std::set<std::string> allow;
+  std::istringstream is{contents};
+  std::string line;
+  while (std::getline(is, line)) {
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] != '#') continue;
+    const auto tag = line.find("pfi-lint:", i);
+    if (tag == std::string::npos) continue;
+    std::istringstream words{line.substr(tag + 9)};
+    std::string w;
+    if (!(words >> w) || w != "allow") continue;
+    while (words >> w) allow.insert(w);
+  }
+  return allow;
+}
+
+struct ReadSite {
+  std::string name;  // normalized base name
+  int line = 0;
+  int col = 0;
+  bool required = true;  // false: info exists / unset (use, not a read)
+};
+
+struct DefSite {
+  int line = 0;
+  int col = 0;
+  std::string section;
+};
+
+struct Scope {
+  std::map<std::string, DefSite> defs;
+  std::vector<ReadSite> reads;
+  std::set<std::string> globals;  // proc scopes: names imported via `global`
+  bool dynamic = false;  // saw `eval` or a computed var name: stop judging
+};
+
+struct ProcSig {
+  int min_args = 0;
+  int max_args = -1;
+  std::string section;
+};
+
+struct CmdUse {
+  std::string name;
+  int nargs = 0;
+  int line = 0;
+  int col = 0;
+  std::string section;
+};
+
+constexpr const char* kSetup = "setup";
+constexpr const char* kSend = "send";
+constexpr const char* kReceive = "receive";
+
+class Analyzer {
+ public:
+  Analyzer(const Options& opts, std::string file, std::set<std::string> allow,
+           std::vector<Diagnostic>* out)
+      : opts_(opts), file_(std::move(file)), allow_(std::move(allow)),
+        out_(out) {}
+
+  void analyze_section(const std::string& text, int first_line,
+                       const char* section) {
+    Scope& scope = section_scope(section);
+    const sp::Script script = sp::parse_script(text, first_line, 1);
+    if (!script.ok()) {
+      diag(Severity::kError, "parse-error", script.error_line,
+           script.error_col, script.error);
+      return;
+    }
+    walk(script, &scope, section, /*in_proc=*/false);
+  }
+
+  void finish() {
+    resolve_procs();
+    resolve_commands();
+    resolve_reads();
+    resolve_unused();
+  }
+
+ private:
+  // -- emission -------------------------------------------------------------
+
+  void diag(Severity sev, const char* rule, int line, int col,
+            std::string message, std::string hint = {}) {
+    if (allow_.contains(rule) || allow_.contains("all")) return;
+    out_->push_back(
+        {sev, rule, file_, line, col, std::move(message), std::move(hint)});
+  }
+
+  Scope& section_scope(const char* section) {
+    if (section == kSetup) return setup_;
+    if (section == kSend) return send_;
+    return receive_;
+  }
+
+  // -- the walk -------------------------------------------------------------
+
+  void walk(const sp::Script& script, Scope* scope, const std::string& section,
+            bool in_proc) {
+    bool reported_unreachable = false;
+    bool terminated = false;
+    for (const sp::Command& cmd : script.commands) {
+      if (cmd.words.empty()) continue;
+      if (terminated && !reported_unreachable) {
+        diag(Severity::kWarning, "unreachable-code", cmd.line, cmd.col,
+             "command is unreachable (the block already returned)");
+        reported_unreachable = true;
+      }
+      walk_command(cmd, scope, section, in_proc);
+      if (cmd.words[0].literal()) {
+        const std::string name = sp::literal_value(cmd.words[0]);
+        if (name == "return" || name == "break" || name == "continue" ||
+            name == "error") {
+          terminated = true;
+        }
+      }
+    }
+  }
+
+  void walk_command(const sp::Command& cmd, Scope* scope,
+                    const std::string& section, bool in_proc) {
+    // Generic effects first: every $read in every bare/quoted word, every
+    // [nested] script. (Braced words carry neither — the command-specific
+    // handling below decides which braces are code.)
+    for (const sp::Word& w : cmd.words) {
+      record_word_reads(w, scope);
+      for (const sp::Script& nested : w.nested) {
+        walk(nested, scope, section, in_proc);
+      }
+    }
+
+    const sp::Word& head = cmd.words[0];
+    if (!head.literal()) {
+      scope->dynamic = true;  // computed command name: stop judging
+      return;
+    }
+    const std::string name = sp::literal_value(head);
+    const int nargs = static_cast<int>(cmd.words.size()) - 1;
+    uses_.push_back({name, nargs, cmd.line, cmd.col, section});
+
+    auto arg = [&cmd](int i) -> const sp::Word& { return cmd.words[i]; };
+
+    if (name == "set") {
+      if (nargs >= 1) {
+        if (auto base = var_name_base(arg(1).text)) {
+          if (nargs >= 2) {
+            note_def(scope, *base, arg(1), section);
+          } else {
+            scope->reads.push_back(
+                {*base, arg(1).line, arg(1).col, /*required=*/true});
+          }
+        } else if (nargs >= 2) {
+          scope->dynamic = true;  // set $name v / set [..] v
+        }
+      }
+    } else if (name == "incr" || name == "append" || name == "lappend") {
+      if (nargs >= 1) {
+        if (auto base = var_name_base(arg(1).text)) {
+          note_def(scope, *base, arg(1), section);
+        } else {
+          scope->dynamic = true;
+        }
+      }
+    } else if (name == "unset") {
+      for (int i = 1; i <= nargs; ++i) {
+        if (auto base = var_name_base(arg(i).text)) {
+          scope->reads.push_back(
+              {*base, arg(i).line, arg(i).col, /*required=*/false});
+        }
+      }
+    } else if (name == "global") {
+      for (int i = 1; i <= nargs; ++i) {
+        if (auto base = var_name_base(arg(i).text)) {
+          if (in_proc) {
+            scope->globals.insert(*base);
+          }
+        }
+      }
+    } else if (name == "info") {
+      if (nargs == 2 && sp::literal_value(arg(1)) == "exists") {
+        if (auto base = var_name_base(arg(2).text)) {
+          scope->reads.push_back(
+              {*base, arg(2).line, arg(2).col, /*required=*/false});
+        }
+      }
+    } else if (name == "foreach") {
+      if (nargs == 3) {
+        if (auto base = var_name_base(arg(1).text)) {
+          note_def(scope, *base, arg(1), section);
+        }
+        walk_body(arg(3), scope, section, in_proc);
+      }
+    } else if (name == "while") {
+      if (nargs == 2) {
+        handle_condition(arg(1), scope, section, in_proc, &arg(2));
+        walk_body(arg(2), scope, section, in_proc);
+      }
+    } else if (name == "if") {
+      walk_if(cmd, scope, section, in_proc);
+    } else if (name == "for") {
+      if (nargs == 4) {
+        walk_body(arg(1), scope, section, in_proc);
+        handle_condition(arg(2), scope, section, in_proc, nullptr);
+        walk_body(arg(3), scope, section, in_proc);
+        walk_body(arg(4), scope, section, in_proc);
+      }
+    } else if (name == "expr") {
+      for (int i = 1; i <= nargs; ++i) {
+        scan_expr_word(arg(i), scope, section, in_proc);
+      }
+    } else if (name == "catch") {
+      if (nargs >= 1) walk_body(arg(1), scope, section, in_proc);
+      if (nargs >= 2) {
+        if (auto base = var_name_base(arg(2).text)) {
+          note_def(scope, *base, arg(2), section);
+        }
+      }
+    } else if (name == "proc") {
+      if (nargs == 3) walk_proc(cmd, section);
+    } else if (name == "after") {
+      if (nargs >= 2 && arg(2).kind == sp::Word::Kind::kBraced) {
+        walk_body(arg(2), scope, section, in_proc);
+      }
+    } else if (name == "switch") {
+      walk_switch(cmd, scope, section, in_proc);
+    } else if (name == "eval") {
+      scope->dynamic = true;  // arbitrary computed script
+    }
+  }
+
+  void record_word_reads(const sp::Word& w, Scope* scope) {
+    for (const sp::VarRef& ref : w.vars) {
+      scope->reads.push_back(
+          {normalize_read(ref.name), ref.line, ref.col, /*required=*/true});
+    }
+  }
+
+  void note_def(Scope* scope, const std::string& base, const sp::Word& at,
+                const std::string& section) {
+    scope->defs.try_emplace(base, DefSite{at.line, at.col, section});
+  }
+
+  /// A braced (or literal) word used as a script body.
+  void walk_body(const sp::Word& w, Scope* scope, const std::string& section,
+                 bool in_proc) {
+    if (!w.literal()) return;  // computed body: nothing static to say
+    const std::string body =
+        w.kind == sp::Word::Kind::kBraced ? w.text : sp::literal_value(w);
+    const sp::Script script = sp::parse_script(body, w.line, w.col + 1);
+    if (!script.ok()) {
+      diag(Severity::kError, "parse-error", script.error_line,
+           script.error_col, script.error + " (in script body)");
+      return;
+    }
+    walk(script, scope, section, in_proc);
+  }
+
+  /// A braced word holding expression text: record its reads, walk its
+  /// command substitutions. (Bare/quoted expr words were already scanned
+  /// generically by the parser.)
+  void scan_expr_word(const sp::Word& w, Scope* scope,
+                      const std::string& section, bool in_proc) {
+    if (w.kind != sp::Word::Kind::kBraced) return;
+    const sp::ExprScan scan = sp::scan_expr(w.text, w.line, w.col + 1);
+    for (const sp::VarRef& ref : scan.vars) {
+      scope->reads.push_back(
+          {normalize_read(ref.name), ref.line, ref.col, /*required=*/true});
+    }
+    for (const sp::Script& nested : scan.nested) {
+      walk(nested, scope, section, in_proc);
+    }
+  }
+
+  /// An if/while guard: reads + nested commands, then the constant-
+  /// condition / infinite-loop passes. `loop_body` is non-null for while.
+  void handle_condition(const sp::Word& w, Scope* scope,
+                        const std::string& section, bool in_proc,
+                        const sp::Word* loop_body) {
+    scan_expr_word(w, scope, section, in_proc);
+    if (!w.literal()) return;
+    const std::string& text = w.text;
+    const bool has_subst = text.find('$') != std::string::npos ||
+                           text.find('[') != std::string::npos;
+    if (has_subst) {
+      if (loop_body != nullptr) check_loop_bound(w);
+      return;
+    }
+    // Constant guard: fold it with the real expression engine.
+    const script::Result r = folder_.eval_expr(text);
+    if (r.is_error()) {
+      diag(Severity::kError, "bad-expr", w.line, w.col,
+           "condition {" + text + "} fails to evaluate: " + r.value);
+      return;
+    }
+    const bool truthy = script::ExprValue::parse(r.value).truthy();
+    if (loop_body == nullptr) {
+      diag(Severity::kWarning, "constant-condition", w.line, w.col,
+           std::string{"condition is always "} +
+               (truthy ? "true" : "false"));
+      return;
+    }
+    if (!truthy) {
+      diag(Severity::kWarning, "constant-condition", w.line, w.col,
+           "loop condition is always false; the body never runs");
+      return;
+    }
+    if (!body_can_escape(*loop_body)) {
+      diag(Severity::kError, "infinite-loop", w.line, w.col,
+           "loop condition is always true and the body never breaks, "
+           "returns or errors",
+           "the interpreter will abort it at " +
+               std::to_string(opts_.loop_budget) +
+               " iterations; add a break/return or a real guard");
+    }
+  }
+
+  /// `while {$i < 1000000000}`: a literal bound beyond the interpreter's
+  /// iteration budget spins until the watchdog kills the cell.
+  void check_loop_bound(const sp::Word& w) {
+    const std::string& text = w.text;
+    if (text.find('[') != std::string::npos) return;  // bound is computed
+    if (text.find('<') == std::string::npos &&
+        text.find('>') == std::string::npos) {
+      return;
+    }
+    std::uint64_t worst = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(text[i])) == 0) continue;
+      std::uint64_t v = 0;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+        v = v * 10 + static_cast<std::uint64_t>(text[i] - '0');
+        ++i;
+      }
+      worst = std::max(worst, v);
+    }
+    if (worst > opts_.loop_budget) {
+      diag(Severity::kWarning, "infinite-loop", w.line, w.col,
+           "loop bound " + std::to_string(worst) +
+               " exceeds the interpreter's iteration budget (" +
+               std::to_string(opts_.loop_budget) + ")",
+           "the watchdog will cut this loop short at runtime");
+    }
+  }
+
+  /// True when any (over-approximated) reachable command in the body can
+  /// leave the loop: break, return, error, or crashing the process.
+  bool body_can_escape(const sp::Word& body) {
+    if (!body.literal()) return true;  // computed body: assume it can
+    const sp::Script script = sp::parse_script(
+        body.kind == sp::Word::Kind::kBraced ? body.text
+                                             : sp::literal_value(body));
+    return script.ok() ? script_escapes(script) : true;
+  }
+
+  static bool script_escapes(const sp::Script& script) {
+    for (const sp::Command& cmd : script.commands) {
+      if (!cmd.words.empty() && cmd.words[0].literal()) {
+        const std::string name = sp::literal_value(cmd.words[0]);
+        if (name == "break" || name == "return" || name == "error" ||
+            name == "xCrashProcess") {
+          return true;
+        }
+      }
+      for (const sp::Word& w : cmd.words) {
+        // Over-approximate: treat every brace as potential code (data
+        // braces can only create false "can escape", never a false alarm).
+        if (w.kind == sp::Word::Kind::kBraced) {
+          const sp::Script inner = sp::parse_script(w.text);
+          if (inner.ok() && script_escapes(inner)) return true;
+        }
+        for (const sp::Script& nested : w.nested) {
+          if (script_escapes(nested)) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void walk_if(const sp::Command& cmd, Scope* scope,
+               const std::string& section, bool in_proc) {
+    std::size_t i = 1;
+    const std::size_t n = cmd.words.size();
+    while (i < n) {
+      handle_condition(cmd.words[i], scope, section, in_proc, nullptr);
+      ++i;
+      if (i < n && cmd.words[i].literal() &&
+          sp::literal_value(cmd.words[i]) == "then") {
+        ++i;
+      }
+      if (i < n) {
+        walk_body(cmd.words[i], scope, section, in_proc);
+        ++i;
+      }
+      if (i >= n) break;
+      if (!cmd.words[i].literal()) break;
+      const std::string kw = sp::literal_value(cmd.words[i]);
+      if (kw == "elseif") {
+        ++i;
+        continue;
+      }
+      if (kw == "else") {
+        ++i;
+        if (i < n) walk_body(cmd.words[i], scope, section, in_proc);
+      }
+      break;
+    }
+  }
+
+  void walk_switch(const sp::Command& cmd, Scope* scope,
+                   const std::string& section, bool in_proc) {
+    std::size_t i = 1;
+    const std::size_t n = cmd.words.size();
+    while (i < n && cmd.words[i].literal()) {
+      const std::string v = sp::literal_value(cmd.words[i]);
+      if (v == "-exact" || v == "-glob") {
+        ++i;
+      } else {
+        break;
+      }
+    }
+    ++i;  // the subject (generic effects already recorded)
+    if (i >= n) return;
+    if (n - i == 1 && cmd.words[i].kind == sp::Word::Kind::kBraced) {
+      // One braced {pattern body ...} list. Element positions are lost to
+      // parse_list, so bodies are anchored at the list word itself.
+      const auto elems = script::parse_list(cmd.words[i].text);
+      for (std::size_t e = 1; e < elems.size(); e += 2) {
+        if (elems[e] == "-") continue;
+        const sp::Script body =
+            sp::parse_script(elems[e], cmd.words[i].line, cmd.words[i].col);
+        if (body.ok()) walk(body, scope, section, in_proc);
+      }
+      return;
+    }
+    for (std::size_t e = i + 1; e < n; e += 2) {
+      if (cmd.words[e].literal() && sp::literal_value(cmd.words[e]) == "-") {
+        continue;
+      }
+      walk_body(cmd.words[e], scope, section, in_proc);
+    }
+  }
+
+  void walk_proc(const sp::Command& cmd, const std::string& section) {
+    const sp::Word& name_w = cmd.words[1];
+    const sp::Word& params_w = cmd.words[2];
+    const sp::Word& body_w = cmd.words[3];
+    if (!name_w.literal() || !params_w.literal()) return;
+    const std::string name = sp::literal_value(name_w);
+
+    ProcSig sig;
+    sig.section = section;
+    Scope proc_scope;
+    const auto params = script::parse_list(sp::literal_value(params_w));
+    int required = 0;
+    bool varargs = false;
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      const auto parts = script::parse_list(params[p]);
+      const std::string pname = parts.empty() ? params[p] : parts[0];
+      if (pname == "args" && p + 1 == params.size()) {
+        varargs = true;
+      } else if (parts.size() < 2) {
+        ++required;
+      }
+      proc_scope.defs.try_emplace(
+          pname, DefSite{params_w.line, params_w.col, section});
+    }
+    // Defaulted params are optional; anything after the first default stays
+    // optional in our builtins too.
+    sig.min_args = required;
+    sig.max_args = varargs ? -1 : static_cast<int>(params.size());
+    procs_.emplace(name, sig);
+
+    if (body_w.kind == sp::Word::Kind::kBraced) {
+      const sp::Script body =
+          sp::parse_script(body_w.text, body_w.line, body_w.col + 1);
+      if (!body.ok()) {
+        diag(Severity::kError, "parse-error", body.error_line, body.error_col,
+             body.error + " (in proc \"" + name + "\")");
+        return;
+      }
+      walk(body, &proc_scope, section, /*in_proc=*/true);
+    }
+    proc_scopes_.push_back(std::move(proc_scope));
+  }
+
+  // -- resolution -----------------------------------------------------------
+
+  void resolve_procs() {
+    for (Scope& p : proc_scopes_) {
+      for (const auto& [name, site] : p.defs) {
+        if (p.globals.contains(name)) {
+          // Writes through a `global` alias define the interp's global.
+          section_scope_by_name(site.section)
+              .defs.try_emplace(name, site);
+        }
+      }
+      for (const ReadSite& r : p.reads) {
+        if (p.defs.contains(r.name)) continue;
+        if (p.globals.contains(r.name)) {
+          global_reads_.push_back(r);
+          continue;
+        }
+        if (p.dynamic) continue;
+        if (!r.required) continue;
+        diag(Severity::kError, "undefined-var", r.line, r.col,
+             "\"" + r.name + "\" is read but never set in this proc",
+             "add `global " + r.name + "` or set it first");
+      }
+    }
+  }
+
+  Scope& section_scope_by_name(const std::string& s) {
+    if (s == kSetup) return setup_;
+    if (s == kSend) return send_;
+    return receive_;
+  }
+
+  void resolve_commands() {
+    for (const CmdUse& u : uses_) {
+      // Script-defined procs win over builtins, and a proc defined in any
+      // section is accepted everywhere: setup runs in both interpreters
+      // and flow-insensitivity can't order cross-section definitions.
+      if (const auto p = procs_.find(u.name); p != procs_.end()) {
+        check_arity(u, p->second.min_args, p->second.max_args,
+                    "proc \"" + u.name + "\"");
+        continue;
+      }
+      const CommandSig* sig = find_command(u.name);
+      const bool allowed =
+          sig != nullptr &&
+          (sig->origin == Origin::kCore ||
+           (sig->origin == Origin::kFilter && opts_.filter_commands) ||
+           (sig->origin == Origin::kDriver && opts_.driver_commands));
+      if (!allowed) {
+        diag(Severity::kError, "unknown-command", u.line, u.col,
+             "invalid command name \"" + u.name + "\"", suggest(u.name));
+        continue;
+      }
+      check_arity(u, sig->min_args, sig->max_args, "usage: " + sig->usage);
+    }
+  }
+
+  void check_arity(const CmdUse& u, int min_args, int max_args,
+                   const std::string& hint) {
+    if (u.nargs < min_args || (max_args >= 0 && u.nargs > max_args)) {
+      diag(Severity::kError, "bad-arity", u.line, u.col,
+           "wrong # args for \"" + u.name + "\" (got " +
+               std::to_string(u.nargs) + ")",
+           hint);
+    }
+  }
+
+  std::string suggest(const std::string& name) {
+    std::string best;
+    int best_d = 3;
+    for (const CommandSig& sig : builtin_registry()) {
+      const int d = edit_distance(name, sig.name);
+      if (d < best_d) {
+        best_d = d;
+        best = sig.name;
+      }
+    }
+    for (const auto& [pname, _] : procs_) {
+      const int d = edit_distance(name, pname);
+      if (d < best_d) {
+        best_d = d;
+        best = pname;
+      }
+    }
+    return best.empty() ? std::string{} : "did you mean \"" + best + "\"?";
+  }
+
+  void resolve_reads() {
+    // Interpreter visibility: setup is evaluated in both the send and the
+    // receive interpreter, then each filter runs in its own. Reads are
+    // checked against what their interpreter could ever hold.
+    const auto check = [this](const Scope& scope,
+                              std::initializer_list<const Scope*> visible,
+                              bool suppressed) {
+      if (suppressed) return;
+      for (const ReadSite& r : scope.reads) {
+        if (!r.required) continue;
+        bool found = false;
+        for (const Scope* v : visible) {
+          if (v->defs.contains(r.name)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          diag(Severity::kError, "undefined-var", r.line, r.col,
+               "\"" + r.name + "\" is read but never set",
+               "set it in #%setup (it runs in both interpreters)");
+        }
+      }
+    };
+    check(setup_, {&setup_}, setup_.dynamic);
+    check(send_, {&setup_, &send_}, setup_.dynamic || send_.dynamic);
+    check(receive_, {&setup_, &receive_},
+          setup_.dynamic || receive_.dynamic);
+
+    const bool any_dynamic =
+        setup_.dynamic || send_.dynamic || receive_.dynamic;
+    for (const ReadSite& r : global_reads_) {
+      if (any_dynamic) break;
+      if (!r.required) continue;
+      if (setup_.defs.contains(r.name) || send_.defs.contains(r.name) ||
+          receive_.defs.contains(r.name)) {
+        continue;
+      }
+      diag(Severity::kError, "undefined-var", r.line, r.col,
+           "global \"" + r.name + "\" is read but never set in any section");
+    }
+  }
+
+  void resolve_unused() {
+    if (setup_.dynamic || send_.dynamic || receive_.dynamic) return;
+    std::set<std::string> used;
+    const auto collect = [&used](const Scope& s) {
+      for (const ReadSite& r : s.reads) used.insert(r.name);
+    };
+    collect(setup_);
+    collect(send_);
+    collect(receive_);
+    for (const Scope& p : proc_scopes_) {
+      collect(p);
+      for (const std::string& g : p.globals) used.insert(g);
+    }
+    for (const ReadSite& r : global_reads_) used.insert(r.name);
+
+    // One report per name: a variable defined in several scopes (set in
+    // setup, incr'd in receive) is still one unused variable.
+    std::map<std::string, DefSite> unused;
+    const auto sweep = [&](const Scope& s) {
+      for (const auto& [name, site] : s.defs) {
+        if (!used.contains(name)) unused.try_emplace(name, site);
+      }
+    };
+    sweep(setup_);
+    sweep(send_);
+    sweep(receive_);
+    for (const auto& [name, site] : unused) {
+      diag(Severity::kWarning, "unused-var", site.line, site.col,
+           "\"" + name + "\" is set but never read");
+    }
+  }
+
+  const Options& opts_;
+  std::string file_;
+  std::set<std::string> allow_;
+  std::vector<Diagnostic>* out_;
+
+  Scope setup_;
+  Scope send_;
+  Scope receive_;
+  std::vector<Scope> proc_scopes_;
+  std::vector<ReadSite> global_reads_;
+  std::map<std::string, ProcSig> procs_;
+  std::vector<CmdUse> uses_;
+  script::Interp folder_;  // private engine for constant-folding guards
+};
+
+// ---------------------------------------------------------------------------
+// Spec / schedule helpers
+// ---------------------------------------------------------------------------
+
+/// 1-based line of the first line containing `token`; 0 when absent.
+int line_of_token(const std::string& text, const std::string& token) {
+  if (text.empty() || token.empty()) return 0;
+  std::istringstream is{text};
+  std::string line;
+  int n = 0;
+  while (std::getline(is, line)) {
+    ++n;
+    if (line.find(token) != std::string::npos) return n;
+  }
+  return 0;
+}
+
+bool file_readable(const std::string& path) {
+  std::ifstream in{path};
+  return static_cast<bool>(in);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string dirname_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string{} : path.substr(0, slash);
+}
+
+void emit(std::vector<Diagnostic>* out, const std::set<std::string>& allow,
+          Severity sev, const char* rule, const std::string& file, int line,
+          std::string message, std::string hint = {}) {
+  if (allow.contains(rule) || allow.contains("all")) return;
+  out->push_back(
+      {sev, rule, file, line, 0, std::move(message), std::move(hint)});
+}
+
+void check_schedule_into(const campaign::FaultSchedule& sched,
+                         const std::string& protocol,
+                         const std::string& context,
+                         const std::set<std::string>& allow,
+                         std::vector<Diagnostic>* out) {
+  using core::scriptgen::FaultKind;
+  if (sched.empty()) {
+    emit(out, allow, Severity::kWarning, "empty-schedule", context, 0,
+         "fault schedule has no events; the cell is a plain baseline run");
+    return;
+  }
+  const auto& types = protocol_message_types(protocol);
+
+  for (const campaign::FaultEvent& e : sched.events) {
+    const std::string what = e.summary();
+    if (!types.empty() &&
+        std::find(types.begin(), types.end(), e.type) == types.end()) {
+      emit(out, allow, Severity::kWarning, "unknown-message-type", context, 0,
+           "message type \"" + e.type + "\" is not produced by the " +
+               protocol + " stub; the fault can never fire");
+    }
+    if (e.occurrence < 1) {
+      emit(out, allow, Severity::kError, "bad-occurrence", context, 0,
+           "occurrence " + std::to_string(e.occurrence) + " of \"" + e.type +
+               "\" can never match (occurrences are 1-based)");
+    }
+    if (e.kind == FaultKind::kDelay && e.delay <= 0) {
+      emit(out, allow, Severity::kWarning, "no-op-fault", context, 0,
+           "delay fault on \"" + e.type + "\" has a non-positive delay");
+    }
+    if (e.kind == FaultKind::kDuplicate && e.copies < 1) {
+      emit(out, allow, Severity::kWarning, "no-op-fault", context, 0,
+           "duplicate fault on \"" + e.type + "\" makes " +
+               std::to_string(e.copies) + " copies");
+    }
+    if (e.kind == FaultKind::kReorder && e.batch < 2) {
+      emit(out, allow, Severity::kWarning, "degenerate-reorder", context, 0,
+           "reorder window on \"" + e.type + "\" holds fewer than 2 "
+           "messages; releasing it reversed is the identity");
+    }
+  }
+
+  // Cross-event conflicts on the same (type, side).
+  for (std::size_t i = 0; i < sched.events.size(); ++i) {
+    const auto& a = sched.events[i];
+    for (std::size_t j = i + 1; j < sched.events.size(); ++j) {
+      const auto& b = sched.events[j];
+      if (a.type != b.type || a.on_send != b.on_send) continue;
+      const bool same_occ = a.occurrence == b.occurrence &&
+                            a.kind != FaultKind::kReorder &&
+                            b.kind != FaultKind::kReorder;
+      if (same_occ && a.kind == b.kind) {
+        emit(out, allow, Severity::kWarning, "duplicate-event", context, 0,
+             "events " + std::to_string(i) + " and " + std::to_string(j) +
+                 " are identical (" + a.summary() + ")");
+        continue;
+      }
+      if (same_occ &&
+          (a.kind == FaultKind::kDrop || b.kind == FaultKind::kDrop)) {
+        const auto& other = a.kind == FaultKind::kDrop ? b : a;
+        emit(out, allow, Severity::kError, "conflicting-faults", context, 0,
+             "occurrence " + std::to_string(a.occurrence) + " of \"" +
+                 a.type + "\" is dropped and also targeted by `" +
+                 other.summary() + "`; a dropped message cannot be faulted "
+                 "again");
+      }
+      // Reorder windows hold [occurrence, occurrence + batch - 1].
+      const auto window = [](const campaign::FaultEvent& e) {
+        return std::pair<int, int>{e.occurrence,
+                                   e.occurrence + std::max(e.batch, 2) - 1};
+      };
+      if (a.kind == FaultKind::kReorder && b.kind == FaultKind::kReorder) {
+        const auto [a0, a1] = window(a);
+        const auto [b0, b1] = window(b);
+        if (a0 <= b1 && b0 <= a1) {
+          emit(out, allow, Severity::kError, "overlapping-windows", context, 0,
+               "reorder windows [" + std::to_string(a0) + "," +
+                   std::to_string(a1) + "] and [" + std::to_string(b0) + "," +
+                   std::to_string(b1) + "] on \"" + a.type +
+                   "\" overlap; a message cannot sit in two hold queues");
+        }
+      } else if (a.kind == FaultKind::kReorder ||
+                 b.kind == FaultKind::kReorder) {
+        const auto& re = a.kind == FaultKind::kReorder ? a : b;
+        const auto& other = a.kind == FaultKind::kReorder ? b : a;
+        const auto [w0, w1] = window(re);
+        if (other.occurrence >= w0 && other.occurrence <= w1) {
+          emit(out, allow, Severity::kError, "conflicting-faults", context, 0,
+               "occurrence " + std::to_string(other.occurrence) + " of \"" +
+                   other.type + "\" (" + other.summary() +
+                   ") falls inside the reorder hold window [" +
+                   std::to_string(w0) + "," + std::to_string(w1) + "]");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+std::vector<Diagnostic> check_script(const std::string& contents,
+                                     const std::string& file,
+                                     const Options& opts) {
+  std::vector<Diagnostic> out;
+  Analyzer an{opts, file, collect_suppressions(contents), &out};
+  const core::ScriptFile sections = core::parse_script_sections(contents);
+  if (!sections.setup.empty()) {
+    an.analyze_section(sections.setup, sections.setup_line, kSetup);
+  }
+  if (!sections.send.empty()) {
+    an.analyze_section(sections.send, sections.send_line, kSend);
+  }
+  if (!sections.receive.empty()) {
+    an.analyze_section(sections.receive, sections.receive_line, kReceive);
+  }
+  an.finish();
+  sort_diagnostics(&out);
+  return out;
+}
+
+std::vector<Diagnostic> check_schedule(const campaign::FaultSchedule& sched,
+                                       const std::string& protocol,
+                                       const std::string& context) {
+  std::vector<Diagnostic> out;
+  check_schedule_into(sched, protocol, context, {}, &out);
+  sort_diagnostics(&out);
+  return out;
+}
+
+std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
+                                   const std::string& file,
+                                   const std::string& text,
+                                   const Options& opts) {
+  using core::scriptgen::FaultKind;
+  std::vector<Diagnostic> out;
+  const std::set<std::string> allow = collect_suppressions(text);
+
+  const auto& oracles = protocol_oracles(spec.protocol);
+  if (oracles.empty()) {
+    emit(&out, allow, Severity::kError, "bad-protocol", file,
+         line_of_token(text, "protocol"),
+         "unknown protocol \"" + spec.protocol + "\"");
+  } else if (!spec.oracle.empty() &&
+             std::find(oracles.begin(), oracles.end(), spec.oracle) ==
+                 oracles.end()) {
+    std::string known;
+    for (const auto& o : oracles) {
+      if (!known.empty()) known += " | ";
+      known += o;
+    }
+    emit(&out, allow, Severity::kError, "bad-oracle", file,
+         line_of_token(text, "oracle"),
+         "oracle \"" + spec.oracle + "\" is not valid for protocol " +
+             spec.protocol,
+         "valid: " + known);
+  }
+
+  const auto& types = protocol_message_types(spec.protocol);
+  for (const std::string& t : spec.types) {
+    if (!types.empty() &&
+        std::find(types.begin(), types.end(), t) == types.end()) {
+      emit(&out, allow, Severity::kWarning, "unknown-message-type", file,
+           line_of_token(text, t),
+           "message type \"" + t + "\" is not produced by the " +
+               spec.protocol + " stub; its cells can never inject");
+    }
+  }
+
+  if (spec.duration > 0 && spec.warmup >= spec.duration) {
+    emit(&out, allow, Severity::kError, "empty-fault-window", file,
+         line_of_token(text, "warmup"),
+         "faults install after warmup (" +
+             std::to_string(sim::to_seconds(spec.warmup)) +
+             "s) but the run ends at " +
+             std::to_string(sim::to_seconds(spec.duration)) +
+             "s; no fault can ever fire");
+  }
+  if (spec.first_occurrence < 1) {
+    emit(&out, allow, Severity::kError, "bad-occurrence", file,
+         line_of_token(text, "first_occurrence"),
+         "first_occurrence " + std::to_string(spec.first_occurrence) +
+             " can never match (occurrences are 1-based)");
+  }
+  if (spec.burst < 1) {
+    emit(&out, allow, Severity::kError, "bad-occurrence", file,
+         line_of_token(text, "burst"),
+         "burst " + std::to_string(spec.burst) + " plans zero fault events");
+  }
+  if (spec.nodes < 1 || spec.target_node < 0 ||
+      spec.target_node >= spec.nodes) {
+    emit(&out, allow, Severity::kError, "bad-target", file,
+         line_of_token(text, "target_node"),
+         "target_node " + std::to_string(spec.target_node) +
+             " is outside the cluster (nodes=" + std::to_string(spec.nodes) +
+             ")");
+  }
+  if (std::find(spec.faults.begin(), spec.faults.end(), FaultKind::kDelay) !=
+          spec.faults.end() &&
+      spec.delay <= 0) {
+    emit(&out, allow, Severity::kWarning, "no-op-fault", file,
+         line_of_token(text, "delay"),
+         "delay faults are planned with a non-positive delay");
+  }
+
+  // Script-mode: resolve each referenced script (as the runner would —
+  // relative to the process CWD — falling back to the spec's directory)
+  // and lint it.
+  const std::string spec_dir = dirname_of(file);
+  for (const std::string& s : spec.script_files) {
+    std::string resolved = s;
+    if (!file_readable(resolved)) {
+      const std::string alt =
+          spec_dir.empty() ? s : spec_dir + "/" + s;
+      if (!spec_dir.empty() && file_readable(alt)) {
+        emit(&out, allow, Severity::kWarning, "script-path", file,
+             line_of_token(text, s),
+             "script \"" + s + "\" resolves relative to the process working "
+             "directory, not the spec file; found it next to the spec",
+             "run the campaign from the directory the path expects");
+        resolved = alt;
+      } else {
+        emit(&out, allow, Severity::kError, "missing-script", file,
+             line_of_token(text, s), "script \"" + s + "\" not found");
+        continue;
+      }
+    }
+    if (const auto contents = read_file(resolved)) {
+      auto sub = check_script(*contents, s, opts);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  }
+
+  sort_diagnostics(&out);
+  return out;
+}
+
+std::vector<Diagnostic> check_spec_text(const std::string& text,
+                                        const std::string& file,
+                                        const Options& opts) {
+  std::string err;
+  const auto spec = campaign::parse_spec(text, &err);
+  if (!spec) {
+    // parse_spec errors read "line N: message".
+    int line = 0;
+    if (err.rfind("line ", 0) == 0) line = std::atoi(err.c_str() + 5);
+    return {{Severity::kError, "parse-error", file, line, 0, err, {}}};
+  }
+  return check_spec(*spec, file, text, opts);
+}
+
+std::vector<Diagnostic> check_cell(const campaign::RunCell& cell,
+                                   const Options& opts) {
+  std::vector<Diagnostic> out;
+  const std::set<std::string> no_allow;
+
+  if (protocol_oracles(cell.protocol).empty()) {
+    emit(&out, no_allow, Severity::kError, "bad-protocol", cell.id, 0,
+         "unknown protocol \"" + cell.protocol + "\"");
+  } else if (!cell.oracle.empty()) {
+    const auto& oracles = protocol_oracles(cell.protocol);
+    if (std::find(oracles.begin(), oracles.end(), cell.oracle) ==
+        oracles.end()) {
+      emit(&out, no_allow, Severity::kError, "bad-oracle", cell.id, 0,
+           "oracle \"" + cell.oracle + "\" is not valid for protocol " +
+               cell.protocol);
+    }
+  }
+  if (cell.duration > 0 && cell.warmup >= cell.duration) {
+    emit(&out, no_allow, Severity::kError, "empty-fault-window", cell.id, 0,
+         "faults install after warmup (" +
+             std::to_string(sim::to_seconds(cell.warmup)) +
+             "s) but the run ends at " +
+             std::to_string(sim::to_seconds(cell.duration)) + "s");
+  }
+
+  if (!cell.script_file.empty()) {
+    if (const auto contents = read_file(cell.script_file)) {
+      auto sub = check_script(*contents, cell.script_file, opts);
+      out.insert(out.end(), sub.begin(), sub.end());
+    } else {
+      emit(&out, no_allow, Severity::kError, "missing-script", cell.id, 0,
+           "script \"" + cell.script_file + "\" not found");
+    }
+  } else {
+    check_schedule_into(cell.schedule, cell.protocol, cell.id, {}, &out);
+  }
+
+  sort_diagnostics(&out);
+  return out;
+}
+
+campaign::RunResult lint_error_result(
+    const campaign::RunCell& cell, const std::vector<Diagnostic>& diags) {
+  // Same skeleton as the runner's timeout records: a pure function of the
+  // cell and its (deterministic, sorted) diagnostics — byte-identical
+  // whatever --jobs or --isolate was.
+  campaign::RunResult r;
+  r.index = cell.index;
+  r.id = cell.id;
+  r.oracle = cell.oracle;
+  r.seed = cell.seed;
+  r.sim_seconds = sim::to_seconds(cell.duration);
+
+  const Diagnostic* pick = nullptr;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) {
+      pick = &d;
+      break;
+    }
+  }
+  if (pick == nullptr && !diags.empty()) pick = &diags.front();
+
+  std::string msg = "lint: ";
+  if (pick != nullptr) {
+    msg += "[" + pick->rule + "] ";
+    if (pick->line > 0) msg += "line " + std::to_string(pick->line) + ": ";
+    msg += pick->message;
+    if (diags.size() > 1) {
+      msg += " (+" + std::to_string(diags.size() - 1) + " more)";
+    }
+  } else {
+    msg += "failed";
+  }
+  r.error = std::move(msg);
+  return r;
+}
+
+std::string diagnostics_json(const std::vector<Diagnostic>& diags) {
+  campaign::json::Writer w;
+  int errors = 0;
+  int warnings = 0;
+  w.begin_object();
+  w.key("diagnostics").begin_array();
+  for (const Diagnostic& d : diags) {
+    (d.severity == Severity::kError ? errors : warnings) += 1;
+    w.begin_object();
+    w.kv("file", d.file);
+    w.kv("line", d.line);
+    w.kv("col", d.col);
+    w.kv("severity", to_string(d.severity));
+    w.kv("rule", d.rule);
+    w.kv("message", d.message);
+    if (!d.hint.empty()) w.kv("hint", d.hint);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("errors", errors);
+  w.kv("warnings", warnings);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace pfi::lint

@@ -1,0 +1,91 @@
+// Static analysis of filter scripts, fault schedules and campaign specs.
+//
+// The paper's fault scenarios are scripts; a typo'd builtin or a fault
+// window that can never fire should be rejected before a campaign burns a
+// cell's watchdog budget on it. check_script() parses (never executes) a
+// .tcl filter file with src/script/parse.hpp and runs the pass pipeline:
+//
+//   1. unknown-command / bad-arity — every command must be a core builtin,
+//      a script-defined proc, or a registered host command (lint/registry);
+//   2. undefined-var / unused-var — flow-insensitive def/use with
+//      #%setup/#%send/#%receive interpreter visibility and proc scoping;
+//   3. dead code — constant if/while guards (folded with the real expr
+//      engine), unreachable commands after return/break/continue/error,
+//      and `while 1` loops that can never escape (the spin_forever.tcl
+//      hang class the watchdog otherwise catches at runtime);
+//   4. fault semantics — check_schedule/check_spec validate FaultSchedules
+//      and campaign specs: fault windows, drop-vs-delay conflicts on one
+//      message class, fault types unknown to the protocol's stub, oracles
+//      the runner would reject.
+//
+// Suppression: a comment line `# pfi-lint: allow <rule> ...` (or
+// `allow all`) disables those rules for the whole file.
+//
+// docs/LINT.md is the rule catalog. Entry points are pure functions of
+// their inputs; diagnostics come back sorted, so JSON output is
+// byte-stable — the same discipline campaign records follow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/schedule.hpp"
+#include "campaign/spec.hpp"
+#include "lint/diagnostic.hpp"
+
+namespace pfi::lint {
+
+struct Options {
+  /// Interp's default max_loop_iterations; a literal loop bound above this
+  /// is flagged as infinite-loop (the interpreter would abort it anyway).
+  std::uint64_t loop_budget = 10'000'000;
+  /// Accept PfiLayer host commands (msg_*, x*, dst_*, ...).
+  bool filter_commands = true;
+  /// Accept ScriptedDriver commands (drv_send, drv_send_hex).
+  bool driver_commands = true;
+};
+
+/// Lint one script file's contents (with or without #%setup/#%send/
+/// #%receive markers). `file` only labels diagnostics.
+std::vector<Diagnostic> check_script(const std::string& contents,
+                                     const std::string& file = {},
+                                     const Options& opts = {});
+
+/// Lint a structured fault schedule against a protocol's message types.
+/// `context` labels diagnostics (a cell id or file name).
+std::vector<Diagnostic> check_schedule(const campaign::FaultSchedule& sched,
+                                       const std::string& protocol,
+                                       const std::string& context = {});
+
+/// Lint a parsed campaign spec. `file` labels diagnostics and anchors
+/// relative script paths (spec-dir fallback); `text` (the raw spec source,
+/// optional) recovers line numbers and suppression comments.
+std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
+                                   const std::string& file = {},
+                                   const std::string& text = {},
+                                   const Options& opts = {});
+
+/// Parse + lint spec source text (parse failures become diagnostics).
+std::vector<Diagnostic> check_spec_text(const std::string& text,
+                                        const std::string& file = {},
+                                        const Options& opts = {});
+
+/// Lint one planned cell: its oracle, its schedule or its script file.
+/// This is what `pfi_campaign --lint` runs per cell, and what a future
+/// schedule mutator calls to reject statically-invalid candidates.
+std::vector<Diagnostic> check_cell(const campaign::RunCell& cell,
+                                   const Options& opts = {});
+
+/// Build the deterministic `lint_error` record for a cell whose lint
+/// failed — same byte-stable discipline as timeout/signal records: a pure
+/// function of the cell and its diagnostics, no volatile stats.
+campaign::RunResult lint_error_result(const campaign::RunCell& cell,
+                                      const std::vector<Diagnostic>& diags);
+
+/// One JSON document for a diagnostic list (sorted input expected):
+/// {"diagnostics":[...],"errors":N,"warnings":N}.
+std::string diagnostics_json(const std::vector<Diagnostic>& diags);
+
+}  // namespace pfi::lint

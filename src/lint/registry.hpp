@@ -1,0 +1,48 @@
+// Machine-readable registry of every command a filter script may call.
+//
+// The interpreter's builtins (src/script/builtins.cpp) and the host
+// commands the PFI layer / scripted driver register
+// (src/pfi/pfi_layer.cpp, src/pfi/scripted_driver.cpp) only exist as C++
+// registration calls — fine for execution, useless for analysis. This
+// table mirrors them: name, arity bounds where the implementation checks
+// them, and which host registers the command. tests/lint_test.cpp asserts
+// the table covers exactly what live interpreters expose, so it cannot
+// drift silently.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfi::lint {
+
+enum class Origin {
+  kCore,    // interpreter builtin (always available)
+  kFilter,  // registered by PfiLayer into send/receive filter interps
+  kDriver,  // registered by ScriptedDriver (drv_* scripts)
+};
+
+struct CommandSig {
+  std::string name;
+  int min_args = 0;   // arguments after the command word
+  int max_args = -1;  // -1 = unbounded
+  Origin origin = Origin::kCore;
+  std::string usage;  // the implementation's usage string, for hints
+};
+
+/// The full registry, sorted by name.
+const std::vector<CommandSig>& builtin_registry();
+
+/// Lookup by command name; nullptr when unknown.
+const CommandSig* find_command(std::string_view name);
+
+/// Message types a protocol's packet stub recognises (plus "*" wildcard
+/// and the stub's "unknown" bucket). Empty for unknown protocols.
+const std::vector<std::string>& protocol_message_types(
+    std::string_view protocol);
+
+/// Oracles the campaign runner accepts for a protocol (mirrors
+/// runner.cpp's known_oracle table). Empty for unknown protocols.
+const std::vector<std::string>& protocol_oracles(std::string_view protocol);
+
+}  // namespace pfi::lint

@@ -77,10 +77,12 @@ PfiLayer::PfiLayer(sim::Scheduler& sched, PfiConfig cfg)
 
 PfiLayer::~PfiLayer() { *alive_ = false; }
 
-script::Result PfiLayer::run_setup(const std::string& script) {
+script::Result PfiLayer::run_setup(const std::string& script, int first_line) {
   Result s = send_interp_->eval(script);
   Result r = receive_interp_->eval(script);
-  return s.is_error() ? s : r;
+  Result out = s.is_error() ? std::move(s) : std::move(r);
+  if (out.is_error() && out.line > 0) out.line += first_line - 1;
+  return out;
 }
 
 void PfiLayer::register_command(const std::string& name,
@@ -146,10 +148,19 @@ void PfiLayer::run_filter(Direction dir, xk::Message msg) {
     current_ = nullptr;
     if (r.is_error()) {
       ++stats_.script_errors;
+      // Report the file-absolute line of the failing top-level command
+      // ("line 12: invalid command name ..."), offset by where this
+      // section sits in its source file.
       last_error_ = r.value;
+      if (r.line > 0) {
+        const int offset =
+            dir == Direction::kDown ? send_script_line_ : receive_script_line_;
+        last_error_ = "line " + std::to_string(r.line + offset - 1) + ": " +
+                      r.value;
+      }
       if (cfg_.trace != nullptr) {
         cfg_.trace->add(sched_.now(), cfg_.node_name, "error", "pfi-script",
-                        r.value);
+                        last_error_);
       }
     }
   }

@@ -70,16 +70,24 @@ class PfiLayer : public xk::Layer {
   PfiLayer(sim::Scheduler& sched, PfiConfig cfg);
   ~PfiLayer() override;
 
-  /// Install filter scripts. Empty script = pass-through.
-  void set_send_script(std::string script) { send_script_ = std::move(script); }
-  void set_receive_script(std::string script) {
+  /// Install filter scripts. Empty script = pass-through. `first_line` is
+  /// the 1-based line the script text starts on in its source file (a
+  /// sectioned .tcl file — ScriptFile records it), so script errors report
+  /// file-absolute lines.
+  void set_send_script(std::string script, int first_line = 1) {
+    send_script_ = std::move(script);
+    send_script_line_ = first_line;
+  }
+  void set_receive_script(std::string script, int first_line = 1) {
     receive_script_ = std::move(script);
+    receive_script_line_ = first_line;
   }
 
   /// Evaluate a script once in BOTH interpreters (setup: constants, procs,
   /// `after` schedules). Returns the receive interpreter's result; a send-
-  /// side error wins if both fail.
-  script::Result run_setup(const std::string& script);
+  /// side error wins if both fail. On error, Result::line is shifted by
+  /// `first_line` so it is file-absolute.
+  script::Result run_setup(const std::string& script, int first_line = 1);
 
   /// Register a user-defined command into both interpreters (the paper's
   /// "user defined procedures ... written in C and linked into the tool").
@@ -144,6 +152,8 @@ class PfiLayer : public xk::Layer {
   std::unique_ptr<script::Interp> receive_interp_;
   std::string send_script_;
   std::string receive_script_;
+  int send_script_line_ = 1;
+  int receive_script_line_ = 1;
   MsgCtx* current_ = nullptr;  // valid only during run_filter
   std::map<std::string, std::deque<HeldMsg>> hold_queues_;
   PfiStats stats_;

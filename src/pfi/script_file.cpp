@@ -10,30 +10,31 @@ namespace pfi::core {
 ScriptFile parse_script_sections(const std::string& contents) {
   ScriptFile out;
   std::string* current = &out.receive;  // default section
-  bool saw_marker = false;
+  int* current_line = &out.receive_line;
   std::istringstream is{contents};
   std::string line;
-  std::string receive_default;
+  int lineno = 0;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.rfind("#%setup", 0) == 0) {
       current = &out.setup;
-      saw_marker = true;
+      current_line = &out.setup_line;
       continue;
     }
     if (line.rfind("#%send", 0) == 0) {
       current = &out.send;
-      saw_marker = true;
+      current_line = &out.send_line;
       continue;
     }
     if (line.rfind("#%receive", 0) == 0) {
       current = &out.receive;
-      saw_marker = true;
+      current_line = &out.receive_line;
       continue;
     }
+    if (current->empty()) *current_line = lineno;
     *current += line;
     *current += '\n';
   }
-  (void)saw_marker;
   return out;
 }
 
@@ -64,10 +65,12 @@ bool install_script_file(PfiLayer& layer, const std::string& path) {
   auto file = load_script_file(path);
   if (!file) return false;
   if (!file->setup.empty()) {
-    if (layer.run_setup(file->setup).is_error()) return false;
+    if (layer.run_setup(file->setup, file->setup_line).is_error()) {
+      return false;
+    }
   }
-  layer.set_send_script(file->send);
-  layer.set_receive_script(file->receive);
+  layer.set_send_script(file->send, file->send_line);
+  layer.set_receive_script(file->receive, file->receive_line);
   return true;
 }
 

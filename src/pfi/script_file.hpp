@@ -25,11 +25,17 @@ namespace pfi::core {
 
 class PfiLayer;
 
-/// Parsed sections of a script file.
+/// Parsed sections of a script file. The *_line fields give the 1-based
+/// file line each section's body starts on, so script errors (and lint
+/// diagnostics) can report positions in the original file rather than in
+/// the extracted section text.
 struct ScriptFile {
   std::string setup;
   std::string send;
   std::string receive;
+  int setup_line = 1;
+  int send_line = 1;
+  int receive_line = 1;
 };
 
 /// Split file contents by the #%setup / #%send / #%receive markers.

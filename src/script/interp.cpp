@@ -255,15 +255,30 @@ Result Interp::eval(std::string_view script) {
   WordParser parser{*this, script};
   Result last = Result::ok();
   std::vector<std::string> words;
+  // 1 + newlines before `pos`: the line a command starts on. Computed only
+  // on error paths, so the happy path stays allocation- and scan-free.
+  const auto line_at = [&script](std::size_t pos) {
+    int line = 1;
+    for (std::size_t i = 0; i < pos && i < script.size(); ++i) {
+      if (script[i] == '\n') ++line;
+    }
+    return line;
+  };
   while (parser.skip_to_command()) {
+    const std::size_t cmd_start = parser.pos();
     Result r = parser.parse_command(words);
     if (!r.is_ok()) {
+      if (r.code == Code::kError) r.line = line_at(cmd_start);
       --depth_;
       return r;
     }
     if (words.empty()) continue;
     last = invoke(words);
     if (last.code != Code::kOk) {
+      // Re-stamp even when an inner eval already set a line: the innermost
+      // number is relative to a body string the caller never saw, while
+      // this one locates the failing top-level command in `script`.
+      if (last.code == Code::kError) last.line = line_at(cmd_start);
       --depth_;
       return last;
     }

@@ -38,6 +38,13 @@ enum class Code { kOk, kError, kReturn, kBreak, kContinue };
 struct Result {
   Code code = Code::kOk;
   std::string value;
+  /// For errors: 1-based line of the top-level command (within the script
+  /// text handed to the outermost eval()) that raised or propagated the
+  /// error. 0 = unknown (e.g. results built outside eval). Each eval()
+  /// level re-stamps, so the surviving value is relative to the script the
+  /// caller actually passed in — a filter file, a setup section — which is
+  /// what error reporting wants.
+  int line = 0;
 
   static Result ok(std::string v = {}) { return {Code::kOk, std::move(v)}; }
   static Result error(std::string msg) {

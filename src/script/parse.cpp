@@ -1,0 +1,371 @@
+#include "script/parse.hpp"
+
+#include <cctype>
+
+namespace pfi::script::parse {
+
+namespace {
+
+// Mirrors the character classes in interp.cpp's WordParser.
+bool is_word_sep(char c) { return c == ' ' || c == '\t'; }
+bool is_cmd_sep(char c) { return c == '\n' || c == '\r' || c == ';'; }
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+char backslash_subst(char c) {
+  switch (c) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case 'a': return '\a';
+    case '0': return '\0';
+    default: return c;
+  }
+}
+
+/// Cursor over the source text that keeps line:col in step with pos.
+class Cursor {
+ public:
+  Cursor(std::string_view text, int line, int col)
+      : text_(text), line_(line), col_(col) {}
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  [[nodiscard]] char peek2() const {
+    return pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+  }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+  [[nodiscard]] std::string_view text() const { return text_; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+  int col_;
+};
+
+/// Scans one `$`-reference at the cursor (which sits on the '$'), recording
+/// the base-name read plus any reads/commands inside an array index.
+/// Appends the raw source of the reference to `raw`. Returns false when the
+/// '$' turned out to be a literal lone dollar.
+bool scan_var_ref(Cursor& cur, std::string& raw, std::vector<VarRef>* vars,
+                  std::vector<Script>* nested, std::string* err, int* err_line,
+                  int* err_col);
+
+/// Scans a balanced `[...]` at the cursor (on the '['), parses the inner
+/// text as a Script anchored at its position, appends the raw source to
+/// `raw`. Returns false (with *err set) on a missing close-bracket.
+bool scan_cmd_subst(Cursor& cur, std::string& raw, std::vector<Script>* nested,
+                    std::string* err, int* err_line, int* err_col) {
+  raw += cur.advance();  // '['
+  const std::size_t start = cur.pos();
+  const int inner_line = cur.line();
+  const int inner_col = cur.col();
+  int depth = 1;
+  while (!cur.at_end()) {
+    const char c = cur.peek();
+    if (c == '\\' && cur.pos() + 1 < cur.text().size()) {
+      raw += cur.advance();
+      raw += cur.advance();
+      continue;
+    }
+    if (c == '[') ++depth;
+    if (c == ']') {
+      --depth;
+      if (depth == 0) break;
+    }
+    raw += cur.advance();
+  }
+  if (cur.at_end()) {
+    *err = "missing close-bracket";
+    *err_line = cur.line();
+    *err_col = cur.col();
+    return false;
+  }
+  const std::string_view inner =
+      cur.text().substr(start, cur.pos() - start);
+  raw += cur.advance();  // ']'
+  if (nested != nullptr) {
+    nested->push_back(parse_script(inner, inner_line, inner_col));
+    if (!nested->back().ok()) {
+      *err = nested->back().error;
+      *err_line = nested->back().error_line;
+      *err_col = nested->back().error_col;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool scan_var_ref(Cursor& cur, std::string& raw, std::vector<VarRef>* vars,
+                  std::vector<Script>* nested, std::string* err, int* err_line,
+                  int* err_col) {
+  const int ref_line = cur.line();
+  const int ref_col = cur.col();
+  raw += cur.advance();  // '$'
+  std::string name;
+  if (!cur.at_end() && cur.peek() == '{') {
+    raw += cur.advance();
+    while (!cur.at_end() && cur.peek() != '}') {
+      name += cur.peek();
+      raw += cur.advance();
+    }
+    if (cur.at_end()) {
+      *err = "missing close-brace for ${name}";
+      *err_line = cur.line();
+      *err_col = cur.col();
+      return false;
+    }
+    raw += cur.advance();  // '}'
+  } else {
+    while (!cur.at_end() && is_name_char(cur.peek())) {
+      name += cur.peek();
+      raw += cur.advance();
+    }
+    // Array element: $a(index); the index may itself contain $var / [cmd].
+    if (!name.empty() && !cur.at_end() && cur.peek() == '(') {
+      raw += cur.advance();  // '('
+      while (!cur.at_end() && cur.peek() != ')') {
+        const char c = cur.peek();
+        if (c == '\\' && cur.pos() + 1 < cur.text().size()) {
+          raw += cur.advance();
+          raw += cur.advance();
+        } else if (c == '$') {
+          if (!scan_var_ref(cur, raw, vars, nested, err, err_line, err_col)) {
+            return false;
+          }
+        } else if (c == '[') {
+          if (!scan_cmd_subst(cur, raw, nested, err, err_line, err_col)) {
+            return false;
+          }
+        } else {
+          raw += cur.advance();
+        }
+      }
+      if (cur.at_end()) {
+        *err = "missing ')' in array reference";
+        *err_line = cur.line();
+        *err_col = cur.col();
+        return false;
+      }
+      raw += cur.advance();  // ')'
+    }
+  }
+  if (name.empty()) return true;  // lone '$' is literal
+  if (vars != nullptr) vars->push_back({std::move(name), ref_line, ref_col});
+  return true;
+}
+
+class StaticParser {
+ public:
+  StaticParser(std::string_view text, int line, int col)
+      : cur_(text, line, col) {}
+
+  Script run() {
+    Script out;
+    while (skip_to_command()) {
+      Command cmd;
+      cmd.line = cur_.line();
+      cmd.col = cur_.col();
+      if (!parse_command(cmd, &out)) return out;
+      if (!cmd.words.empty()) out.commands.push_back(std::move(cmd));
+    }
+    return out;
+  }
+
+ private:
+  bool skip_to_command() {
+    while (!cur_.at_end()) {
+      const char c = cur_.peek();
+      if (is_word_sep(c) || is_cmd_sep(c)) {
+        cur_.advance();
+      } else if (c == '#') {
+        while (!cur_.at_end() && cur_.peek() != '\n') cur_.advance();
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool fail(Script* out, std::string msg, int line, int col) {
+    out->error = std::move(msg);
+    out->error_line = line;
+    out->error_col = col;
+    return false;
+  }
+
+  bool parse_command(Command& cmd, Script* out) {
+    while (true) {
+      while (!cur_.at_end() && is_word_sep(cur_.peek())) cur_.advance();
+      if (cur_.at_end() || is_cmd_sep(cur_.peek())) {
+        if (!cur_.at_end()) cur_.advance();
+        return true;
+      }
+      Word w;
+      w.line = cur_.line();
+      w.col = cur_.col();
+      bool ok = false;
+      if (cur_.peek() == '{') {
+        w.kind = Word::Kind::kBraced;
+        ok = parse_braced(w, out);
+      } else if (cur_.peek() == '"') {
+        w.kind = Word::Kind::kQuoted;
+        ok = parse_quoted(w, out);
+      } else {
+        w.kind = Word::Kind::kBare;
+        ok = parse_bare(w, out);
+      }
+      if (!ok) return false;
+      cmd.words.push_back(std::move(w));
+    }
+  }
+
+  bool parse_braced(Word& w, Script* out) {
+    cur_.advance();  // '{'
+    int depth = 1;
+    while (!cur_.at_end()) {
+      const char c = cur_.peek();
+      if (c == '\\' && cur_.pos() + 1 < cur_.text().size()) {
+        w.text += cur_.advance();
+        w.text += cur_.advance();
+        continue;
+      }
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          cur_.advance();
+          if (!cur_.at_end() && !is_word_sep(cur_.peek()) &&
+              !is_cmd_sep(cur_.peek()) && cur_.peek() != ']') {
+            return fail(out, "extra characters after close-brace",
+                        cur_.line(), cur_.col());
+          }
+          return true;
+        }
+      }
+      w.text += cur_.advance();
+    }
+    return fail(out, "missing close-brace", w.line, w.col);
+  }
+
+  bool parse_quoted(Word& w, Script* out) {
+    cur_.advance();  // '"'
+    while (!cur_.at_end()) {
+      if (cur_.peek() == '"') {
+        cur_.advance();
+        return true;
+      }
+      if (!scan_one(w, out)) return false;
+    }
+    return fail(out, "missing closing quote", w.line, w.col);
+  }
+
+  bool parse_bare(Word& w, Script* out) {
+    while (!cur_.at_end()) {
+      const char c = cur_.peek();
+      if (is_word_sep(c) || is_cmd_sep(c) || c == ']') break;
+      if (!scan_one(w, out)) return false;
+    }
+    return true;
+  }
+
+  /// One character / `$ref` / `[cmd]` / backslash group of a bare or quoted
+  /// word, recorded into the word.
+  bool scan_one(Word& w, Script* out) {
+    const char c = cur_.peek();
+    if (c == '\\') {
+      w.text += cur_.advance();
+      if (!cur_.at_end()) w.text += cur_.advance();
+      return true;
+    }
+    if (c == '$') {
+      const std::size_t before = w.vars.size();
+      std::string err;
+      int el = 0;
+      int ec = 0;
+      if (!scan_var_ref(cur_, w.text, &w.vars, &w.nested, &err, &el, &ec)) {
+        return fail(out, std::move(err), el, ec);
+      }
+      if (w.vars.size() > before) w.has_var = true;
+      return true;
+    }
+    if (c == '[') {
+      std::string err;
+      int el = 0;
+      int ec = 0;
+      if (!scan_cmd_subst(cur_, w.text, &w.nested, &err, &el, &ec)) {
+        return fail(out, std::move(err), el, ec);
+      }
+      w.has_cmd = true;
+      return true;
+    }
+    w.text += cur_.advance();
+    return true;
+  }
+
+  Cursor cur_;
+};
+
+}  // namespace
+
+Script parse_script(std::string_view text, int line, int col) {
+  return StaticParser{text, line, col}.run();
+}
+
+ExprScan scan_expr(std::string_view text, int line, int col) {
+  ExprScan out;
+  Cursor cur{text, line, col};
+  std::string raw;
+  std::string err;
+  int el = 0;
+  int ec = 0;
+  while (!cur.at_end()) {
+    const char c = cur.peek();
+    if (c == '\\' && cur.pos() + 1 < text.size()) {
+      cur.advance();
+      cur.advance();
+    } else if (c == '$') {
+      if (!scan_var_ref(cur, raw, &out.vars, &out.nested, &err, &el, &ec)) {
+        break;  // malformed reference; the expr engine will report it
+      }
+    } else if (c == '[') {
+      if (!scan_cmd_subst(cur, raw, &out.nested, &err, &el, &ec)) break;
+    } else {
+      cur.advance();
+    }
+  }
+  return out;
+}
+
+std::string literal_value(const Word& w) {
+  if (w.kind == Word::Kind::kBraced) return w.text;
+  std::string out;
+  out.reserve(w.text.size());
+  for (std::size_t i = 0; i < w.text.size(); ++i) {
+    if (w.text[i] == '\\' && i + 1 < w.text.size()) {
+      const char next = w.text[i + 1];
+      out += next == '\n' ? ' ' : backslash_subst(next);
+      ++i;
+    } else {
+      out += w.text[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace pfi::script::parse

@@ -1,0 +1,92 @@
+// Static (non-evaluating) parser for the Tcl subset.
+//
+// The runtime WordParser in interp.cpp substitutes eagerly — parsing a
+// script and evaluating it are one pass. A static analyzer needs the
+// opposite: the full command structure of a script, with source positions,
+// and *no* evaluation. This module re-implements the exact same syntax
+// rules (word separators, `{...}` / `"..."` words, `$var` and `${var}` and
+// `$arr(index)` references, `[...]` command substitution, backslash
+// escapes, `#` comments, `;`/newline command separators) but records what
+// it sees instead of resolving it:
+//
+//   * each command knows its words and its line:col;
+//   * each bare/quoted word knows every `$name` it reads (VarRef) and
+//     carries every `[...]` it contains as a recursively parsed Script;
+//   * braced words keep their raw body — the analyzer decides whether a
+//     given brace is a script body, an expression, or data, and re-parses
+//     it with the recorded line offset so positions stay file-absolute.
+//
+// Used by src/lint/; kept in src/script/ because it must track interp.cpp's
+// grammar line by line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfi::script::parse {
+
+struct Script;
+
+/// One `$name` / `${name}` / `$arr(index)` read site. `name` is the base
+/// variable name (array references are normalized to the array name; reads
+/// inside the index are recorded as their own VarRefs).
+struct VarRef {
+  std::string name;
+  int line = 1;
+  int col = 1;
+};
+
+/// One word of a command, unsubstituted.
+struct Word {
+  enum class Kind { kBare, kQuoted, kBraced };
+  Kind kind = Kind::kBare;
+  /// Raw source content: braces/quotes stripped, substitutions unresolved.
+  std::string text;
+  int line = 1;
+  int col = 1;
+  bool has_var = false;  // contains $-substitution (bare/quoted only)
+  bool has_cmd = false;  // contains [...] substitution (bare/quoted only)
+  std::vector<VarRef> vars;    // every read inside a bare/quoted word
+  std::vector<Script> nested;  // every [...] inside a bare/quoted word
+
+  /// True when the runtime value of this word is known statically: braced,
+  /// or bare/quoted with no $/[] substitution.
+  [[nodiscard]] bool literal() const {
+    return kind == Kind::kBraced || (!has_var && !has_cmd);
+  }
+};
+
+struct Command {
+  std::vector<Word> words;
+  int line = 1;
+  int col = 1;
+};
+
+struct Script {
+  std::vector<Command> commands;
+  std::string error;  // parse error message; empty on success
+  int error_line = 0;
+  int error_col = 0;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Parse a script without evaluating anything. `line`/`col` anchor the
+/// first character, so bodies cut out of a larger file keep absolute
+/// positions.
+Script parse_script(std::string_view text, int line = 1, int col = 1);
+
+/// Result of scanning expression text (an `expr` argument or an if/while
+/// guard) for reads and command substitutions.
+struct ExprScan {
+  std::vector<VarRef> vars;
+  std::vector<Script> nested;
+};
+ExprScan scan_expr(std::string_view text, int line = 1, int col = 1);
+
+/// The runtime value of a literal() word: braced bodies verbatim,
+/// bare/quoted words with backslash escapes applied.
+std::string literal_value(const Word& w);
+
+}  // namespace pfi::script::parse
