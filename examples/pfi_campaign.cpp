@@ -40,6 +40,7 @@
 #include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
+#include "search/search.hpp"
 
 using namespace pfi::campaign;
 
@@ -65,6 +66,9 @@ struct Args {
   long long max_events = -1;
   int retries = -1;
   int lint = 0;  // 0 = off, 1 = --lint (errors), 2 = --lint=strict
+  int explore = 0;          // > 0: coverage-guided search with this budget
+  std::string corpus_out;   // --explore: write the corpus JSONL here
+  std::string corpus_in;    // --explore: resume from this corpus JSONL
   bool isolate = false;
   bool resume = false;
   bool minimize = false;
@@ -91,6 +95,12 @@ int usage(int code) {
       "                    before running; violations become deterministic\n"
       "                    `lint` error records and the cell is skipped\n"
       "  --lint=strict     as --lint, but warnings also reject a cell\n"
+      "  --explore=N       coverage-guided search instead of the static\n"
+      "                    matrix: spend N cell executions mutating fault\n"
+      "                    schedules toward unseen coverage digests; the\n"
+      "                    search report replaces the campaign report\n"
+      "  --corpus-out FILE (--explore) write the final corpus as JSONL\n"
+      "  --corpus-in FILE  (--explore) resume from a corpus JSONL\n"
       "  --minimize        delta-debug each failing schedule to a minimal\n"
       "                    reproduction (schedule-mode cells only)\n"
       "  --max-minimize N  minimise at most N failing cells (default 8)\n"
@@ -138,6 +148,14 @@ int main(int argc, char** argv) {
       args.lint = 1;
     } else if (a == "--lint=strict") {
       args.lint = 2;
+    } else if (a.rfind("--explore=", 0) == 0) {
+      args.explore = std::atoi(a.c_str() + std::strlen("--explore="));
+    } else if (a == "--explore") {
+      args.explore = std::atoi(next());
+    } else if (a == "--corpus-out") {
+      args.corpus_out = next();
+    } else if (a == "--corpus-in") {
+      args.corpus_in = next();
     } else if (a == "--minimize") {
       args.minimize = true;
     } else if (a == "--max-minimize") {
@@ -174,6 +192,71 @@ int main(int argc, char** argv) {
     spec->max_sim_events = static_cast<std::uint64_t>(args.max_events);
   }
   const int retries = args.retries >= 0 ? args.retries : spec->retries;
+
+  if (args.explore > 0) {
+    // Coverage-guided mode: the budget buys mutated schedules chasing
+    // unseen coverage digests instead of the planner's fixed matrix.
+    pfi::search::SearchOptions sopts;
+    sopts.budget = args.explore;
+    sopts.jobs = args.jobs;
+    sopts.isolate = args.isolate;
+    sopts.retries = retries;
+    sopts.max_minimize = args.max_minimize;
+    sopts.corpus_in = args.corpus_in;
+    if (args.resume || !args.journal.empty()) {
+      sopts.journal_path =
+          args.journal.empty() ? args.spec_path + ".journal" : args.journal;
+    }
+    if (!args.quiet) {
+      sopts.on_progress = [](const std::string& line) {
+        std::fprintf(stderr, "  %s\n", line.c_str());
+      };
+    }
+    sopts.should_stop = [] { return g_interrupted != 0; };
+    std::signal(SIGINT, handle_sigint);
+    const auto t0 = std::chrono::steady_clock::now();
+    const pfi::search::SearchResult sres = pfi::search::explore(*spec, sopts);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    std::signal(SIGINT, SIG_DFL);
+    if (!sres.error.empty()) {
+      std::fprintf(stderr, "error: %s\n", sres.error.c_str());
+      if (sres.executed == 0) return 2;
+    }
+    if (!args.corpus_out.empty()) {
+      FILE* f = std::fopen(args.corpus_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     args.corpus_out.c_str());
+        return 2;
+      }
+      const std::string jsonl = sres.corpus.to_jsonl();
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+    }
+    const std::string doc = pfi::search::report_json(*spec, sopts, sres);
+    if (args.out.empty()) {
+      std::printf("%s\n", doc.c_str());
+    } else {
+      FILE* f = std::fopen(args.out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n", args.out.c_str());
+        return 2;
+      }
+      std::fprintf(f, "%s\n", doc.c_str());
+      std::fclose(f);
+    }
+    if (!args.quiet) {
+      std::fprintf(stderr,
+                   "explore %s: %d executed -> %zu digests, %zu violation(s) "
+                   "in %.0f ms\n",
+                   spec->name.c_str(), sres.executed, sres.corpus.size(),
+                   sres.violations.size(), wall_ms);
+    }
+    if (sres.interrupted) return 130;
+    return sres.violations.empty() ? 0 : 1;
+  }
 
   const auto cells = filter_cells(plan(*spec), args.filter);
   if (args.list) {
@@ -332,7 +415,6 @@ int main(int argc, char** argv) {
           std::chrono::steady_clock::now() - t0)
           .count();
   std::signal(SIGINT, SIG_DFL);
-  journal.close();
   const bool interrupted = g_interrupted != 0;
   if (!args.quiet && tty && done != static_cast<int>(todo.size())) {
     std::fputc('\n', stderr);  // leave the partial progress line intact
@@ -448,6 +530,16 @@ int main(int argc, char** argv) {
   if (args.minimize) {
     // Only freshly-executed failures are minimised: a journaled failure was
     // (or can be) minimised by the run that produced it.
+    //
+    // When journaling, warm ddmin's probe cache from the journal file (it
+    // already holds this run's flushed records plus any prior runs') and
+    // keep appending fresh probe records, so re-minimising after --resume
+    // answers repeated subsets without re-executing them.
+    std::map<std::string, std::string> mincache;
+    if (journaling) mincache = load_journal(journal_path);
+    MinimizeOptions mopts;
+    mopts.cache = &mincache;
+    if (journal.is_open()) mopts.journal = &journal;
     int minimized = 0;
     w.key("minimized").begin_array();
     for (const RunResult* f : sum.failures) {
@@ -460,13 +552,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "  minimizing %s (%zu events)...\n",
                      cell.id.c_str(), cell.schedule.size());
       }
-      const MinimizeResult m = minimize_schedule(cell);
+      const MinimizeResult m = minimize_schedule(cell, mopts);
       ++minimized;
       w.begin_object();
       w.kv("id", cell.id);
       w.kv("original_events", static_cast<std::uint64_t>(m.original_events));
       w.kv("minimal_events", static_cast<std::uint64_t>(m.minimal_events));
       w.kv("probe_runs", m.runs);
+      w.kv("probe_cache_hits", m.cache_hits);
       w.kv("reproduced", m.reproduced);
       w.kv("schedule_summary", m.schedule.summary());
       w.key("schedule");
@@ -484,6 +577,7 @@ int main(int argc, char** argv) {
     w.end_array();
   }
   w.end_object();
+  journal.close();
 
   const std::string& doc = w.str();
   if (args.out.empty()) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "campaign/json.hpp"
+
 namespace pfi::campaign {
 
 namespace {
@@ -45,8 +47,28 @@ MinimizeResult minimize_schedule(const RunCell& cell,
   auto probe = [&](const Events& events) {
     RunCell c = cell;
     c.schedule.events = events;
+    // The record is a pure function of the cell, so a cached record's
+    // verdict answers the probe without re-executing (ROADMAP: point
+    // --minimize's ddmin probes at the journal cache).
+    std::string key;
+    if (opts.cache != nullptr) {
+      key = cell_key(c);
+      const auto hit = opts.cache->find(key);
+      if (hit != opts.cache->end()) {
+        ++res.cache_hits;
+        return json::probe_string_field(hit->second, "verdict")
+                   .value_or("error") == "fail";
+      }
+    }
     ++res.runs;
     const RunResult r = run_cell(c);
+    if (opts.cache != nullptr) {
+      const std::string record = record_json(r);
+      (*opts.cache)[key] = record;
+      if (opts.journal != nullptr && opts.journal->is_open()) {
+        opts.journal->append(key, record);
+      }
+    }
     return !r.errored() && !r.pass;  // "interesting" = still fails cleanly
   };
 

@@ -14,7 +14,10 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <string>
 
+#include "campaign/journal.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/schedule.hpp"
 #include "campaign/spec.hpp"
@@ -24,7 +27,18 @@ namespace pfi::campaign {
 struct MinimizeOptions {
   /// Probe budget: maximum cell re-executions before giving up and
   /// returning the best (smallest still-failing) schedule found so far.
+  /// Cache-answered probes don't count against it.
   int max_runs = 512;
+  /// Optional content-hash record cache (cell_key -> record_json, the
+  /// journal's in-memory form). Probes whose key is present answer from
+  /// the cached record's verdict instead of re-executing — ddmin revisits
+  /// many subsets, and across resumed campaigns the same subsets repeat —
+  /// and fresh probe records are inserted so later probes (and later
+  /// minimisations) hit. The final re-verification always runs for real.
+  std::map<std::string, std::string>* cache = nullptr;
+  /// Optional journal to append fresh probe records to (persists the cache
+  /// across campaign runs). Ignored when null.
+  Journal* journal = nullptr;
 };
 
 struct MinimizeResult {
@@ -32,6 +46,7 @@ struct MinimizeResult {
   std::size_t original_events = 0;
   std::size_t minimal_events = 0;
   int runs = 0;             // probe simulations executed
+  int cache_hits = 0;       // probes answered from the record cache
   bool failed_originally = false;  // original schedule reproduced the failure
   bool reproduced = false;  // final re-verification run still fails
   RunResult verification;   // result of that final run

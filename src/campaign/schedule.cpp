@@ -65,7 +65,13 @@ std::string side_script(const std::vector<const FaultEvent*>& events) {
   }
 
   std::ostringstream os;
-  os << "set t [msg_type cur_msg]\n";
+  // Only type-matching events read $t; an all-wildcard side skips the
+  // lookup (and stays clean under `pfi_lint --strict`'s unused-var rule).
+  const bool needs_type = std::any_of(order.begin(), order.end(),
+                                      [](const std::string& t) {
+                                        return t != "*";
+                                      });
+  if (needs_type) os << "set t [msg_type cur_msg]\n";
   for (const auto& type : order) {
     const std::string var = "sched_n_" + sanitize(type);
     const bool any = type == "*";

@@ -128,4 +128,29 @@ Coverage compute_coverage(
   return cov;
 }
 
+int count_bucket(std::uint64_t n) {
+  int bits = 0;
+  while (n != 0) {
+    ++bits;
+    n >>= 1;
+  }
+  return bits;
+}
+
+std::vector<std::string> coverage_features(const Coverage& cov) {
+  std::vector<std::string> out;
+  out.reserve(cov.msg_types.size() + cov.actions.size() +
+              cov.transitions.size());
+  for (const auto& [type, n] : cov.msg_types) {
+    out.push_back("t:" + type + "@" + std::to_string(count_bucket(n)));
+  }
+  for (const auto& [action, n] : cov.actions) {
+    out.push_back("a:" + action + "@" + std::to_string(count_bucket(n)));
+  }
+  for (const std::string& t : cov.transitions) out.push_back("s:" + t);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 }  // namespace pfi::obs

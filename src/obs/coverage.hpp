@@ -55,4 +55,15 @@ Coverage compute_coverage(
 /// FNV-1a 64 as a 16-hex-digit string (shared by tests).
 std::string fnv1a_hex(std::string_view bytes);
 
+/// Flatten a fingerprint into feature strings for corpus rarity weighting
+/// (coverage-guided search): message types and fired fault actions carry a
+/// power-of-two count bucket ("t:gmp-ack@3" = 4..7 occurrences), state
+/// transitions travel verbatim ("s:gmd-2:gmp-commit"). Sorted unique, so
+/// two runs with the same behaviour always produce identical feature sets.
+std::vector<std::string> coverage_features(const Coverage& cov);
+
+/// Power-of-two count bucket used by coverage_features: 0 -> 0, n -> number
+/// of bits in n (1 -> 1, 2..3 -> 2, 4..7 -> 3, ...).
+int count_bucket(std::uint64_t n);
+
 }  // namespace pfi::obs

@@ -1,0 +1,74 @@
+// The search corpus: (FaultSchedule, coverage digest) pairs plus provenance.
+//
+// A corpus entry is admitted when its run produced a coverage digest (or a
+// protocol state transition) the search had not seen; afterwards it competes
+// for mutation slots weighted by the *rarity* of its coverage features — an
+// entry whose features appear in few other entries is picked more often, the
+// usual greybox-fuzzing pressure toward the frontier of behaviour space.
+//
+// The whole corpus serialises to JSONL (one entry per line, schedules in the
+// same JSON shape FaultSchedule::to_json emits), so --corpus-out / --corpus-in
+// make search runs resumable and the digest set diffable in a golden test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/schedule.hpp"
+#include "search/prng.hpp"
+
+namespace pfi::search {
+
+struct CorpusEntry {
+  campaign::FaultSchedule schedule;
+  std::string digest;                 // coverage digest of its run
+  std::vector<std::string> features;  // sorted coverage features (obs)
+  int iteration = 0;                  // executed-cell count at admission
+  int parent = -1;                    // corpus index mutated from (-1 = seed)
+  std::string op = "seed";            // operator that produced it
+};
+
+class Corpus {
+ public:
+  /// Admit an entry; returns its index, or -1 when the digest is already
+  /// present (the corpus is digest-unique).
+  int admit(CorpusEntry entry);
+
+  [[nodiscard]] const std::vector<CorpusEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] bool has_digest(const std::string& digest) const {
+    return digests_.count(digest) != 0;
+  }
+
+  /// Rarity-weighted draw: an entry's weight is the sum over its features of
+  /// 1/count(feature), in fixed point, so the draw is integer-deterministic.
+  /// Returns the entry index; requires a non-empty corpus.
+  [[nodiscard]] std::size_t pick_weighted(SplitMix64& rng) const;
+
+  /// One JSONL line per entry, in admission order.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Parse JSONL (as produced by to_jsonl); malformed lines abort the load.
+  /// Entries whose digest is already present are skipped (resume may replay
+  /// a seed set). Returns false and sets *err on parse failure.
+  bool load_jsonl(const std::string& text, std::string* err);
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  std::map<std::string, int> digests_;        // digest -> entry index
+  std::map<std::string, std::uint32_t> feature_count_;
+};
+
+/// Parse the JSON array form FaultSchedule::to_json emits back into a
+/// schedule. Fields irrelevant to an event's kind come back as defaults
+/// (to_json omits them), which compiles to identical filter scripts.
+std::optional<campaign::FaultSchedule> schedule_from_json(
+    const std::string& array_json, std::string* err);
+
+}  // namespace pfi::search

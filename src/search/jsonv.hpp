@@ -1,0 +1,204 @@
+// Minimal JSON value reader for the search engine's own artefacts.
+//
+// The corpus JSONL (--corpus-in) and the journal's cached records are both
+// produced by campaign::json::Writer, so this reader only has to cover the
+// grammar that writer emits: objects, arrays, strings with \"\\\n\r\t\uXXXX
+// escapes, integers/fixed-point numbers, true/false/null, no comments. It is
+// deliberately not a general-purpose parser — unknown input fails cleanly
+// with nullopt, and object key order is preserved so round-trips stay
+// byte-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pfi::search::jsonv {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<Value> items;                            // kArray
+  std::vector<std::pair<std::string, Value>> fields;   // kObject, in order
+
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] std::string str_or(std::string_view key,
+                                   const std::string& fallback) const {
+    const Value* v = find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->text : fallback;
+  }
+  [[nodiscard]] std::int64_t int_or(std::string_view key,
+                                    std::int64_t fallback) const {
+    const Value* v = find(key);
+    return v != nullptr && v->kind == Kind::kNumber
+               ? static_cast<std::int64_t>(v->number)
+               : fallback;
+  }
+};
+
+namespace detail {
+
+struct Reader {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool lit(std::string_view t) {
+    if (s.compare(i, t.size(), t) != 0) return false;
+    i += t.size();
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i];
+      if (c == '\\') {
+        if (++i >= s.size()) return false;
+        switch (s[i]) {
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'u': {
+            if (i + 4 >= s.size()) return false;
+            const std::string hex(s.substr(i + 1, 4));
+            c = static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+            i += 4;
+            break;
+          }
+          default: return false;
+        }
+      }
+      out->push_back(c);
+      ++i;
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  }
+
+  bool value(Value* out) {
+    ws();
+    if (i >= s.size()) return false;
+    switch (s[i]) {
+      case '{': {
+        ++i;
+        out->kind = Value::Kind::kObject;
+        ws();
+        if (i < s.size() && s[i] == '}') {
+          ++i;
+          return true;
+        }
+        for (;;) {
+          ws();
+          std::string key;
+          if (!string(&key)) return false;
+          ws();
+          if (i >= s.size() || s[i] != ':') return false;
+          ++i;
+          Value v;
+          if (!value(&v)) return false;
+          out->fields.emplace_back(std::move(key), std::move(v));
+          ws();
+          if (i < s.size() && s[i] == ',') {
+            ++i;
+            continue;
+          }
+          break;
+        }
+        if (i >= s.size() || s[i] != '}') return false;
+        ++i;
+        return true;
+      }
+      case '[': {
+        ++i;
+        out->kind = Value::Kind::kArray;
+        ws();
+        if (i < s.size() && s[i] == ']') {
+          ++i;
+          return true;
+        }
+        for (;;) {
+          Value v;
+          if (!value(&v)) return false;
+          out->items.push_back(std::move(v));
+          ws();
+          if (i < s.size() && s[i] == ',') {
+            ++i;
+            continue;
+          }
+          break;
+        }
+        if (i >= s.size() || s[i] != ']') return false;
+        ++i;
+        return true;
+      }
+      case '"':
+        out->kind = Value::Kind::kString;
+        return string(&out->text);
+      case 't':
+        out->kind = Value::Kind::kBool;
+        out->boolean = true;
+        return lit("true");
+      case 'f':
+        out->kind = Value::Kind::kBool;
+        out->boolean = false;
+        return lit("false");
+      case 'n':
+        out->kind = Value::Kind::kNull;
+        return lit("null");
+      default: {
+        const std::size_t start = i;
+        if (s[i] == '-') ++i;
+        while (i < s.size() &&
+               ((s[i] >= '0' && s[i] <= '9') || s[i] == '.' || s[i] == 'e' ||
+                s[i] == 'E' || s[i] == '+' || s[i] == '-')) {
+          ++i;
+        }
+        if (i == start) return false;
+        out->kind = Value::Kind::kNumber;
+        out->number =
+            std::strtod(std::string(s.substr(start, i - start)).c_str(),
+                        nullptr);
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Parse one JSON document; nullopt on any syntax error or trailing junk.
+inline std::optional<Value> parse(std::string_view text) {
+  detail::Reader r{text};
+  Value v;
+  if (!r.value(&v)) return std::nullopt;
+  r.ws();
+  if (r.i != text.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace pfi::search::jsonv

@@ -1,0 +1,178 @@
+#include "search/mutate.hpp"
+
+#include <algorithm>
+
+#include "lint/registry.hpp"
+
+namespace pfi::search {
+
+using campaign::FaultEvent;
+using campaign::FaultSchedule;
+using core::scriptgen::FaultKind;
+
+namespace {
+
+constexpr FaultKind kAllKinds[] = {
+    FaultKind::kDrop, FaultKind::kDelay, FaultKind::kDuplicate,
+    FaultKind::kCorrupt, FaultKind::kReorder,
+};
+
+/// Fixed palette of delays; a continuous draw would make every delay mutant
+/// a unique digest for the wrong reason (the schedule, not the behaviour).
+constexpr int kDelaysMs[] = {100, 500, 1500, 3000};
+
+FaultKind pick_kind(const MutationPools& pools, SplitMix64& rng) {
+  if (pools.kinds.empty()) {
+    return kAllKinds[rng.below(std::size(kAllKinds))];
+  }
+  return pools.kinds[rng.below(pools.kinds.size())];
+}
+
+/// Re-draw the parameters that only matter for `e.kind`; keeps unrelated
+/// fields at their defaults so equal-behaviour mutants hash equal.
+void draw_kind_params(FaultEvent* e, SplitMix64& rng) {
+  e->delay = sim::msec(kDelaysMs[rng.below(std::size(kDelaysMs))]);
+  e->copies = rng.range(1, 3);
+  e->corrupt_offset = static_cast<std::size_t>(rng.below(9));
+  e->batch = rng.range(2, 5);
+}
+
+std::size_t pick_index(const FaultSchedule& s, SplitMix64& rng) {
+  return static_cast<std::size_t>(rng.below(s.events.size()));
+}
+
+void op_add(FaultSchedule* s, const MutationPools& pools, SplitMix64& rng) {
+  if (static_cast<int>(s->events.size()) >= pools.max_events) return;
+  const FaultEvent e = random_event(pools, rng);
+  const std::size_t at = static_cast<std::size_t>(rng.below(s->events.size() + 1));
+  s->events.insert(s->events.begin() + static_cast<std::ptrdiff_t>(at), e);
+}
+
+void op_remove(FaultSchedule* s, SplitMix64& rng) {
+  if (s->events.size() < 2) return;  // never mutate down to a bare baseline
+  const std::size_t at = pick_index(*s, rng);
+  s->events.erase(s->events.begin() + static_cast<std::ptrdiff_t>(at));
+}
+
+void op_retarget(FaultSchedule* s, const MutationPools& pools,
+                 SplitMix64& rng) {
+  if (s->events.empty() || pools.types.empty()) return;
+  FaultEvent& e = s->events[pick_index(*s, rng)];
+  e.type = pools.types[rng.below(pools.types.size())];
+  if (rng.one_in(3)) e.on_send = !e.on_send;
+}
+
+void op_shift(FaultSchedule* s, const MutationPools& pools, SplitMix64& rng) {
+  if (s->events.empty()) return;
+  FaultEvent& e = s->events[pick_index(*s, rng)];
+  int delta = rng.range(-2, 3);
+  if (delta == 0) delta = 1;
+  e.occurrence = std::clamp(e.occurrence + delta, 1, pools.max_occurrence);
+  if (e.kind == FaultKind::kReorder) {
+    e.batch = std::clamp(e.batch + rng.range(-1, 1), 2, 6);
+  }
+}
+
+void op_flip_kind(FaultSchedule* s, const MutationPools& pools,
+                  SplitMix64& rng) {
+  if (s->events.empty()) return;
+  FaultEvent& e = s->events[pick_index(*s, rng)];
+  const FaultKind before = e.kind;
+  for (int tries = 0; tries < 4 && e.kind == before; ++tries) {
+    e.kind = pick_kind(pools, rng);
+  }
+  draw_kind_params(&e, rng);
+}
+
+void op_splice(FaultSchedule* s, const FaultSchedule* partner,
+               const MutationPools& pools, SplitMix64& rng) {
+  if (partner == nullptr || partner->events.empty()) {
+    op_add(s, pools, rng);  // nothing to cross with; still make progress
+    return;
+  }
+  // Keep events [0, cut) of the parent, append events [cut2, end) of the
+  // partner; both cuts random, result clamped to the pool's size cap.
+  const std::size_t cut = rng.below(s->events.size() + 1);
+  const std::size_t cut2 = rng.below(partner->events.size());
+  s->events.resize(cut);
+  for (std::size_t i = cut2; i < partner->events.size(); ++i) {
+    if (static_cast<int>(s->events.size()) >= pools.max_events) break;
+    s->events.push_back(partner->events[i]);
+  }
+  if (s->events.empty()) op_add(s, pools, rng);
+}
+
+}  // namespace
+
+const char* to_string(MutOp op) {
+  switch (op) {
+    case MutOp::kAdd: return "add";
+    case MutOp::kRemove: return "remove";
+    case MutOp::kRetarget: return "retarget";
+    case MutOp::kShift: return "shift";
+    case MutOp::kFlipKind: return "flip-kind";
+    case MutOp::kSplice: return "splice";
+    case MutOp::kHavoc: return "havoc";
+  }
+  return "?";
+}
+
+MutationPools pools_for(const std::vector<std::string>& spec_types,
+                        const std::string& protocol) {
+  MutationPools pools;
+  auto push_unique = [&](const std::string& t) {
+    if (t == "*" || t == "unknown") return;
+    if (std::find(pools.types.begin(), pools.types.end(), t) ==
+        pools.types.end()) {
+      pools.types.push_back(t);
+    }
+  };
+  for (const std::string& t : spec_types) push_unique(t);
+  for (const std::string& t : lint::protocol_message_types(protocol)) {
+    push_unique(t);
+  }
+  return pools;
+}
+
+FaultEvent random_event(const MutationPools& pools, SplitMix64& rng) {
+  FaultEvent e;
+  e.type = pools.types.empty() ? "*" : pools.types[rng.below(pools.types.size())];
+  e.kind = pick_kind(pools, rng);
+  e.occurrence = rng.range(1, pools.max_occurrence);
+  e.on_send = rng.below(2) == 0;
+  draw_kind_params(&e, rng);
+  return e;
+}
+
+MutOp pick_op(SplitMix64& rng, std::size_t parent_events, bool can_splice) {
+  if (parent_events == 0) return MutOp::kAdd;  // baseline: only growth works
+  std::vector<MutOp> ops = {MutOp::kAdd, MutOp::kRetarget, MutOp::kShift,
+                            MutOp::kFlipKind, MutOp::kHavoc};
+  if (parent_events >= 2) ops.push_back(MutOp::kRemove);
+  if (can_splice) ops.push_back(MutOp::kSplice);
+  return ops[rng.below(ops.size())];
+}
+
+FaultSchedule mutate(const FaultSchedule& parent, const FaultSchedule* partner,
+                     const MutationPools& pools, SplitMix64& rng, MutOp op) {
+  FaultSchedule s = parent;
+  switch (op) {
+    case MutOp::kAdd: op_add(&s, pools, rng); break;
+    case MutOp::kRemove: op_remove(&s, rng); break;
+    case MutOp::kRetarget: op_retarget(&s, pools, rng); break;
+    case MutOp::kShift: op_shift(&s, pools, rng); break;
+    case MutOp::kFlipKind: op_flip_kind(&s, pools, rng); break;
+    case MutOp::kSplice: op_splice(&s, partner, pools, rng); break;
+    case MutOp::kHavoc: {
+      const int stack = rng.range(2, 5);
+      for (int k = 0; k < stack; ++k) {
+        const MutOp sub = pick_op(rng, s.events.size(), /*can_splice=*/false);
+        s = mutate(s, nullptr, pools, rng, sub);
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace pfi::search

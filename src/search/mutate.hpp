@@ -1,0 +1,67 @@
+// Structured mutation operators over FaultSchedules.
+//
+// An AFL-style fuzzer mutates byte buffers; here the genome is already
+// structured — a list of FaultEvents — so the operators are semantic:
+// add/remove/retarget an event, shift its occurrence or reorder window,
+// flip its fault kind, splice two schedules, or stack several of those
+// (havoc). Every operator is a pure function of (parent, splice partner,
+// pools, PRNG state), so a search run replays exactly from its seed.
+//
+// Mutants are *candidates*: the engine pre-screens each one with
+// lint::check_schedule and skips statically-invalid or no-op schedules
+// before they cost a simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/schedule.hpp"
+#include "search/prng.hpp"
+
+namespace pfi::search {
+
+enum class MutOp {
+  kAdd,       // insert a fresh random event
+  kRemove,    // delete one event
+  kRetarget,  // re-aim one event at another message type
+  kShift,     // move an event's occurrence (and reorder batch) around
+  kFlipKind,  // change the fault kind, re-drawing kind parameters
+  kSplice,    // prefix of parent + suffix of another corpus schedule
+  kHavoc,     // 2..5 of the above, stacked
+};
+
+const char* to_string(MutOp op);
+
+/// Parameter pools the operators draw from. `types` must be non-empty;
+/// `kinds` defaults to all five fault kinds when left empty.
+struct MutationPools {
+  std::vector<std::string> types;
+  std::vector<core::scriptgen::FaultKind> kinds;
+  int max_occurrence = 12;  // occurrences are drawn from [1, max_occurrence]
+  int max_events = 16;      // kAdd refuses to grow a schedule past this
+};
+
+/// Pools for a campaign spec: the spec's own types first, then every type
+/// the protocol's stub recognises (deterministic order, deduped, wildcard
+/// excluded — a "*" event shadows per-type counters without adding
+/// coverage the per-type pool can't reach).
+MutationPools pools_for(const std::vector<std::string>& spec_types,
+                        const std::string& protocol);
+
+/// One fresh random event drawn entirely from `pools` + `rng`.
+campaign::FaultEvent random_event(const MutationPools& pools, SplitMix64& rng);
+
+/// Pick an operator appropriate for the parent (no kRemove on a 0/1-event
+/// schedule, no kSplice without a partner, no structure ops on an empty
+/// schedule).
+MutOp pick_op(SplitMix64& rng, std::size_t parent_events, bool can_splice);
+
+/// Apply `op` to `parent`. `partner` is only read by kSplice (and by kHavoc
+/// when it stacks a splice); it may be null, which degrades splice to add.
+campaign::FaultSchedule mutate(const campaign::FaultSchedule& parent,
+                               const campaign::FaultSchedule* partner,
+                               const MutationPools& pools, SplitMix64& rng,
+                               MutOp op);
+
+}  // namespace pfi::search

@@ -1,0 +1,42 @@
+// The search engine's single source of randomness.
+//
+// Everything the coverage-guided search decides — which corpus entry to
+// mutate, which operator to apply, every operator parameter — is drawn from
+// one SplitMix64 stream seeded from the spec seed. The simulation side has
+// its own PRNG (sim::Rng, per cell); keeping the search stream separate and
+// strictly sequential is what makes a whole exploration run byte-identical
+// at any --jobs and in-process vs --isolate: parallelism only ever happens
+// *between* draws (inside the executor batch), never during them.
+#pragma once
+
+#include <cstdint>
+
+namespace pfi::search {
+
+struct SplitMix64 {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, n); returns 0 when n == 0. The modulo bias is
+  /// irrelevant at fuzzing pool sizes and keeps the draw a single `next()`,
+  /// which keeps replay simple.
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+  /// Uniform int in [lo, hi] inclusive. Requires lo <= hi.
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// True once in `n` draws on average.
+  bool one_in(std::uint64_t n) { return below(n) == 0; }
+};
+
+}  // namespace pfi::search
