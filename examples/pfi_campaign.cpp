@@ -29,7 +29,14 @@
 #include <string>
 #include <vector>
 
+#include <cerrno>
+
+#include <signal.h>
+#include <sys/socket.h>
 #include <unistd.h>
+
+#include <fstream>
+#include <sstream>
 
 #include "campaign/executor.hpp"
 #include "campaign/journal.hpp"
@@ -37,6 +44,10 @@
 #include "campaign/minimize.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/socket.hpp"
+#include "fabric/wire.hpp"
+#include "fabric/worker.hpp"
 #include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -69,6 +80,10 @@ struct Args {
   int explore = 0;          // > 0: coverage-guided search with this budget
   std::string corpus_out;   // --explore: write the corpus JSONL here
   std::string corpus_in;    // --explore: resume from this corpus JSONL
+  int workers = 0;          // > 0: distribute over auto-spawned workers
+  std::string submit;       // daemon address: run the spec as a fabric job
+  bool merge_journals = false;  // positional args are journal files to merge
+  bool workers_kill_one = false;  // test hook: SIGKILL one worker mid-run
   bool isolate = false;
   bool resume = false;
   bool minimize = false;
@@ -109,9 +124,44 @@ int usage(int code) {
       "                    gauges max across cells) as one JSON document\n"
       "  --timeline FILE   write a Chrome trace-event timeline of the\n"
       "                    executed cells (open in about:tracing / Perfetto)\n"
+      "  --workers N       distribute cells over N auto-spawned local worker\n"
+      "                    processes (docs/FABRIC.md); the report is\n"
+      "                    byte-identical to --jobs 1\n"
+      "  --submit ADDR     send the spec to a pfi_fabricd daemon at ADDR\n"
+      "                    (HOST:PORT or unix:PATH) instead of executing\n"
+      "                    locally; streams progress, writes the returned\n"
+      "                    artifacts to --out/--journal/--metrics-out\n"
+      "  --merge-journals  treat the positional arguments as journal JSONL\n"
+      "                    files: dedupe by content key, sort, write one\n"
+      "                    byte-deterministic journal to --out (or stdout)\n"
       "  --list            print the planned cell ids and exit\n"
       "  --quiet           no progress output on stderr\n");
   return code;
+}
+
+/// First integer after `"key":` in a JSON object (daemon DONE summaries).
+int probe_int_field(const std::string& doc, const std::string& key,
+                    int fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = doc.find(needle);
+  if (at == std::string::npos) return fallback;
+  return std::atoi(doc.c_str() + at + needle.size());
+}
+
+/// Write `bytes` to `path` ("" or "-" = stdout). False on I/O failure.
+bool write_file_or_stdout(const std::string& path, const std::string& bytes) {
+  if (path.empty() || path == "-") {
+    std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+    return true;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 /// Verdict string of a raw record (fresh or journaled) for summary counts.
@@ -123,6 +173,7 @@ std::string record_verdict(const std::string& record) {
 
 int main(int argc, char** argv) {
   Args args;
+  std::vector<std::string> positionals;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -166,6 +217,16 @@ int main(int argc, char** argv) {
       args.metrics_out = next();
     } else if (a == "--timeline") {
       args.timeline = next();
+    } else if (a == "--workers") {
+      args.workers = std::atoi(next());
+    } else if (a == "--workers-kill-one") {
+      // Test hook (CI worker-death smoke): SIGKILL one auto-spawned worker
+      // after the first result arrives; the survivors absorb its leases.
+      args.workers_kill_one = true;
+    } else if (a == "--submit") {
+      args.submit = next();
+    } else if (a == "--merge-journals") {
+      args.merge_journals = true;
     } else if (a == "--list") {
       args.list = true;
     } else if (a == "--quiet") {
@@ -175,9 +236,29 @@ int main(int argc, char** argv) {
     } else if (!a.empty() && a[0] == '-') {
       return usage(2);
     } else {
-      args.spec_path = a;
+      positionals.push_back(a);
     }
   }
+
+  if (args.merge_journals) {
+    // Offline recovery: workers' (or interrupted runs') journals merge into
+    // one byte-deterministic normal form — dedupe by content key, sort.
+    if (positionals.empty()) return usage(2);
+    int conflicts = 0;
+    const auto merged = merge_journals(positionals, &conflicts);
+    if (!write_file_or_stdout(args.out, journal_jsonl(merged))) return 2;
+    if (!args.quiet) {
+      std::fprintf(stderr, "merged %zu journal(s): %zu record(s)%s\n",
+                   positionals.size(), merged.size(),
+                   conflicts > 0 ? (", " + std::to_string(conflicts) +
+                                    " conflicting record(s) dropped")
+                                       .c_str()
+                                 : "");
+    }
+    return conflicts > 0 ? 1 : 0;
+  }
+
+  if (!positionals.empty()) args.spec_path = positionals.front();
   if (args.spec_path.empty()) return usage(2);
 
   std::string err;
@@ -192,6 +273,130 @@ int main(int argc, char** argv) {
     spec->max_sim_events = static_cast<std::uint64_t>(args.max_events);
   }
   const int retries = args.retries >= 0 ? args.retries : spec->retries;
+
+  if (!args.submit.empty()) {
+    // Client mode: the daemon parses, plans and executes; we stream its
+    // progress and write the returned artifacts where the local flags
+    // would have put them.
+    std::ifstream in(args.spec_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const int fd = pfi::fabric::dial(args.submit, &err);
+    if (fd < 0) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 2;
+    }
+    pfi::fabric::FrameReader reader;
+    auto read_frame = [&](pfi::fabric::Frame* out) {
+      for (;;) {
+        if (reader.next(out)) return true;
+        if (reader.corrupt()) return false;
+        char buf[65536];
+        const ssize_t n = recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          return false;
+        }
+        reader.feed(buf, static_cast<std::size_t>(n));
+      }
+    };
+    auto send_frame = [&](const std::string& bytes) {
+      return pfi::fabric::send_all(fd, bytes.data(), bytes.size());
+    };
+
+    pfi::fabric::Hello hello;
+    hello.role = "client";
+    hello.name = "pfi_campaign-" + std::to_string(getpid());
+    pfi::fabric::Frame f;
+    if (!send_frame(pfi::fabric::encode_frame(
+            pfi::fabric::FrameType::kHello,
+            pfi::fabric::encode_hello(hello))) ||
+        !read_frame(&f)) {
+      std::fprintf(stderr, "error: daemon handshake failed\n");
+      close(fd);
+      return 2;
+    }
+    if (f.type == pfi::fabric::FrameType::kBye) {
+      std::fprintf(stderr, "error: daemon refused: %s\n",
+                   pfi::fabric::decode_bye(f.payload).c_str());
+      close(fd);
+      return 2;
+    }
+
+    pfi::fabric::Submit s;
+    s.spec_text = text.str();
+    s.filter = args.filter;
+    s.timeout_ms = args.timeout_ms;
+    s.max_events = args.max_events;
+    s.retries = args.retries;
+    s.explore = args.explore;
+    if (!send_frame(pfi::fabric::encode_frame(
+            pfi::fabric::FrameType::kSubmit, pfi::fabric::encode_submit(s)))) {
+      std::fprintf(stderr, "error: submit failed\n");
+      close(fd);
+      return 2;
+    }
+
+    const bool journaling = args.resume || !args.journal.empty();
+    const std::string journal_path =
+        args.journal.empty() ? args.spec_path + ".journal" : args.journal;
+    int rc = 2;  // no DONE = daemon died on us
+    while (read_frame(&f)) {
+      if (f.type == pfi::fabric::FrameType::kProgress) {
+        if (!args.quiet) {
+          std::fprintf(stderr, "  %s\n",
+                       pfi::fabric::decode_json_line(f.payload).c_str());
+        }
+      } else if (f.type == pfi::fabric::FrameType::kArtifact) {
+        std::string name, bytes;
+        if (!pfi::fabric::decode_artifact(f.payload, &name, &bytes)) continue;
+        if (name == "report") {
+          if (!write_file_or_stdout(args.out, bytes)) rc = 2;
+        } else if (name == "journal" && journaling) {
+          write_file_or_stdout(journal_path, bytes);
+        } else if (name == "metrics" && !args.metrics_out.empty()) {
+          write_file_or_stdout(args.metrics_out, bytes);
+        } else if (name == "corpus" && !args.corpus_out.empty()) {
+          write_file_or_stdout(args.corpus_out, bytes);
+        }
+      } else if (f.type == pfi::fabric::FrameType::kDone) {
+        const std::string done = pfi::fabric::decode_json_line(f.payload);
+        const std::string status =
+            json::probe_string_field(done, "status").value_or("error");
+        if (!args.quiet) {
+          std::fprintf(stderr, "%s\n", done.c_str());
+        }
+        if (status == "error") {
+          const auto msg = json::probe_string_field(done, "error");
+          if (msg) std::fprintf(stderr, "error: %s\n", msg->c_str());
+          rc = 2;
+        } else if (status == "interrupted") {
+          rc = 130;
+        } else if (args.explore > 0) {
+          rc = probe_int_field(done, "violations", 0) > 0 ? 1 : 0;
+        } else {
+          rc = probe_int_field(done, "fail", 0) +
+                           probe_int_field(done, "error", 0) >
+                       0
+                   ? 1
+                   : 0;
+        }
+        break;
+      } else if (f.type == pfi::fabric::FrameType::kBye) {
+        break;
+      }
+    }
+    close(fd);
+    return rc;
+  }
+
+  if (args.workers > 0 && args.explore > 0) {
+    std::fprintf(stderr,
+                 "error: --workers applies to the static matrix; distribute "
+                 "--explore through pfi_fabricd + --submit instead\n");
+    return 2;
+  }
 
   if (args.explore > 0) {
     // Coverage-guided mode: the budget buys mutated schedules chasing
@@ -407,9 +612,67 @@ int main(int argc, char** argv) {
     };
   }
 
+  // ---- execution: in-process pool, or the distributed fabric --------------
+  // Either way `results` comes back slot-ordered, so everything downstream
+  // (records, journal, metrics, summary) is byte-identical.
+  pfi::fabric::Listener listener;
+  pfi::fabric::LocalWorkerPool pool;
+  if (args.workers > 0) {
+    std::string ferr;
+    if (!listener.open("127.0.0.1:0", &ferr)) {
+      std::fprintf(stderr, "error: %s\n", ferr.c_str());
+      return 2;
+    }
+    pfi::fabric::WorkerOptions wopts;
+    wopts.connect = listener.address();
+    wopts.isolate = args.isolate;
+    wopts.retries = retries;
+    // Spawned before any threads exist (the poll-loop coordinator never
+    // spawns its own): fork() from a single-threaded parent only.
+    if (!pfi::fabric::spawn_local_workers(wopts, args.workers, listener.fd(),
+                                          &pool, &ferr)) {
+      std::fprintf(stderr, "error: %s\n", ferr.c_str());
+      return 2;
+    }
+  }
+
   std::signal(SIGINT, handle_sigint);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = run_cells(todo, opts);
+  std::vector<RunResult> results;
+  if (args.workers > 0) {
+    pfi::fabric::FabricOptions fopts;
+    fopts.no_worker_timeout_ms = 60000;
+    fopts.should_stop = opts.should_stop;
+    fopts.on_result = opts.on_result;
+    if (args.workers_kill_one) {
+      bool killed = false;
+      fopts.on_result = [&, inner = opts.on_result](const RunResult& r) {
+        if (!killed && !pool.pids.empty()) {
+          killed = true;
+          kill(pool.pids.front(), SIGKILL);
+        }
+        if (inner) inner(r);
+      };
+    }
+    if (!args.quiet) {
+      fopts.on_log = [&](const std::string& msg) {
+        std::fprintf(stderr, "%s  fabric: %s\n", tty ? "\r\x1b[K" : "",
+                     msg.c_str());
+      };
+    }
+    pfi::fabric::FabricStats fstats;
+    results = pfi::fabric::run_fabric(&listener, todo, fopts, &fstats);
+    pfi::fabric::reap_local_workers(&pool);
+    if (!args.quiet) {
+      std::fprintf(stderr,
+                   "fabric: %d worker(s) joined, %d lost, %d lease(s), "
+                   "%d cell(s) requeued\n",
+                   fstats.workers_joined, fstats.workers_lost,
+                   fstats.leases_granted, fstats.cells_requeued);
+    }
+  } else {
+    results = run_cells(todo, opts);
+  }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)

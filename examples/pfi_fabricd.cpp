@@ -1,0 +1,119 @@
+// pfi_fabricd — the campaign-as-a-service daemon.
+//
+//   $ ./pfi_fabricd --listen 0.0.0.0:7700 --workers 4
+//   $ ./pfi_fabricd --listen unix:/tmp/fabricd.sock
+//
+// One socket, two populations: workers (pfi_worker, or --workers N
+// auto-spawned local ones) join the lease pool; clients
+// (`pfi_campaign spec --submit ADDR`) submit campaign or search specs as
+// jobs. Jobs queue FIFO and run one at a time over the shared pool; each
+// client streams PROGRESS lines while its job runs and receives the
+// merged artifacts (report, journal, metrics / corpus) when it finishes.
+// SIGINT/SIGTERM drains the active job and BYEs every connection.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fabric/service.hpp"
+#include "fabric/socket.hpp"
+#include "fabric/worker.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void handle_stop(int) { g_stop = 1; }
+
+int usage(int code) {
+  std::printf(
+      "usage: pfi_fabricd --listen HOST:PORT|unix:PATH [options]\n"
+      "  --workers N       auto-spawn N local worker processes\n"
+      "  --jobs N          executor threads per auto-spawned worker\n"
+      "  --isolate         auto-spawned workers fork-sandbox each cell\n"
+      "  --retries N       auto-spawned workers' retry policy\n"
+      "  --lease-batch N   max cells per lease grant (default 8)\n"
+      "  --dead-after-ms N worker silence threshold (default 5000)\n"
+      "  --quiet           no job/worker log lines on stderr\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen;
+  int workers = 0;
+  pfi::fabric::WorkerOptions wopts;
+  pfi::fabric::ServiceOptions sopts;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--listen") {
+      listen = next();
+    } else if (a == "--workers") {
+      workers = std::atoi(next());
+    } else if (a == "--jobs") {
+      wopts.jobs = std::atoi(next());
+    } else if (a == "--isolate") {
+      wopts.isolate = true;
+    } else if (a == "--retries") {
+      wopts.retries = std::atoi(next());
+    } else if (a == "--lease-batch") {
+      sopts.lease_batch = std::atoi(next());
+    } else if (a == "--dead-after-ms") {
+      sopts.dead_after_ms = std::atoi(next());
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(0);
+    } else {
+      return usage(2);
+    }
+  }
+  if (listen.empty()) return usage(2);
+
+  std::string err;
+  pfi::fabric::Listener listener;
+  if (!listener.open(listen, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 2;
+  }
+  if (!quiet) {
+    sopts.on_log = [](const std::string& msg) {
+      std::fprintf(stderr, "pfi_fabricd: %s\n", msg.c_str());
+    };
+    std::fprintf(stderr, "pfi_fabricd: listening on %s\n",
+                 listener.address().c_str());
+  }
+
+  // Spawn local workers *before* the service starts any threads: the
+  // children come from fork() and must not inherit a multithreaded parent.
+  pfi::fabric::LocalWorkerPool pool;
+  if (workers > 0) {
+    wopts.connect = listener.address();
+    if (!pfi::fabric::spawn_local_workers(wopts, workers, listener.fd(),
+                                          &pool, &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  sopts.should_stop = [] { return g_stop != 0; };
+  pfi::fabric::ServiceStats stats;
+  const int rc = pfi::fabric::run_service(&listener, sopts, &stats);
+  pfi::fabric::reap_local_workers(&pool);
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "pfi_fabricd: %d job(s) accepted, %d completed, %d "
+                 "rejected; %d worker join(s), %d lost\n",
+                 stats.jobs_accepted, stats.jobs_completed,
+                 stats.jobs_rejected, stats.fabric.workers_joined,
+                 stats.fabric.workers_lost);
+  }
+  return rc;
+}

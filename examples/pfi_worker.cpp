@@ -1,0 +1,70 @@
+// pfi_worker — join a campaign fabric and execute leased cells.
+//
+//   $ ./pfi_worker --connect 10.0.0.5:7700 --jobs 4 --isolate
+//   $ ./pfi_worker --connect unix:/tmp/fabricd.sock
+//
+// Connects to a coordinator (`pfi_campaign --workers N` auto-spawns these
+// locally; this binary is the remote/manual form), pulls cell leases, runs
+// them through the ordinary campaign executor — so --jobs, --isolate,
+// --retries and the per-cell watchdog all apply *inside* the worker — and
+// streams each result back as it finishes. Exits 0 when the coordinator
+// says BYE, 2 if the protocol versions disagree.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fabric/worker.hpp"
+
+namespace {
+
+int usage(int code) {
+  std::printf(
+      "usage: pfi_worker --connect HOST:PORT|unix:PATH [options]\n"
+      "  --jobs N       executor threads / child processes (default 1)\n"
+      "  --isolate      fork-sandbox each cell inside this worker\n"
+      "  --retries N    re-run errored cells up to N extra times\n"
+      "  --lease N      cells requested per lease (default 2*jobs, min 2)\n"
+      "  --name LABEL   diagnostic name sent in HELLO (default pid-<pid>)\n"
+      "  --quiet        no per-lease log lines on stderr\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pfi::fabric::WorkerOptions opts;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--connect") {
+      opts.connect = next();
+    } else if (a == "--jobs") {
+      opts.jobs = std::atoi(next());
+    } else if (a == "--isolate") {
+      opts.isolate = true;
+    } else if (a == "--retries") {
+      opts.retries = std::atoi(next());
+    } else if (a == "--lease") {
+      opts.lease_want = std::atoi(next());
+    } else if (a == "--name") {
+      opts.name = next();
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(0);
+    } else {
+      return usage(2);
+    }
+  }
+  if (opts.connect.empty()) return usage(2);
+  if (!quiet) {
+    opts.on_log = [](const std::string& msg) {
+      std::fprintf(stderr, "pfi_worker: %s\n", msg.c_str());
+    };
+  }
+  return pfi::fabric::run_worker(opts);
+}

@@ -111,6 +111,36 @@ std::string rewrite_index(const std::string& record, int new_index) {
   return prefix + std::to_string(new_index) + record.substr(end);
 }
 
+std::map<std::string, std::string> merge_journals(
+    const std::vector<std::string>& paths, int* conflicts) {
+  std::map<std::string, std::string> out;
+  int clashes = 0;
+  for (const std::string& path : paths) {
+    for (auto& [key, record] : load_journal(path)) {
+      const auto it = out.find(key);
+      if (it == out.end()) {
+        out.emplace(key, std::move(record));
+      } else if (it->second != record) {
+        ++clashes;  // first-seen record wins
+      }
+    }
+  }
+  if (conflicts != nullptr) *conflicts = clashes;
+  return out;
+}
+
+std::string journal_jsonl(const std::map<std::string, std::string>& entries) {
+  std::string out;
+  for (const auto& [key, record] : entries) {
+    out += "{\"key\":\"";
+    out += key;
+    out += "\",\"record\":";
+    out += record;
+    out += "}\n";
+  }
+  return out;
+}
+
 bool Journal::open(const std::string& path) {
   close();
   f_ = std::fopen(path.c_str(), "a");

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "campaign/spec.hpp"
 
@@ -41,6 +42,20 @@ std::map<std::string, std::string> load_journal(const std::string& path);
 /// in the current plan. Records always start {"index":N, (record_json's
 /// fixed field order); anything else is returned unchanged.
 std::string rewrite_index(const std::string& record, int new_index);
+
+/// Merge several journal files into one key -> record map: within a file
+/// later lines win (same as load_journal); across files the first file to
+/// define a key wins. Since a record is a pure function of its key, a
+/// cross-file collision with *different* bytes means corruption — those are
+/// counted into *conflicts (the first-seen record is kept).
+std::map<std::string, std::string> merge_journals(
+    const std::vector<std::string>& paths, int* conflicts = nullptr);
+
+/// Serialise a journal map back to JSONL, one `{"key":...,"record":...}`
+/// line per entry, sorted by key: a byte-deterministic normal form, so two
+/// journals holding the same records — however the campaign was split
+/// across workers, hosts, or interrupted runs — compare byte-identical.
+std::string journal_jsonl(const std::map<std::string, std::string>& entries);
 
 /// Append side. One instance per campaign run; every append is flushed so
 /// a kill -9 loses at most the line being written.

@@ -1,0 +1,364 @@
+#include "fabric/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pfi::fabric {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+int ms_since(Clock::time_point then) {
+  return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - then)
+                              .count());
+}
+
+}  // namespace
+
+Engine::Engine(Listener* listener, Options opts)
+    : listener_(listener), opts_(std::move(opts)) {
+  if (opts_.lease_batch < 1) opts_.lease_batch = 1;
+}
+
+Engine::~Engine() { shutdown(""); }
+
+void Engine::set_batch(
+    const std::vector<campaign::RunCell>* cells,
+    std::function<void(int slot, campaign::RunResult)> on_cell,
+    std::function<void()> on_done) {
+  cells_ = cells;
+  on_cell_ = std::move(on_cell);
+  on_done_ = std::move(on_done);
+  queue_.clear();
+  filled_.assign(cells->size(), 0);
+  remaining_ = cells->size();
+  for (std::size_t i = 0; i < cells->size(); ++i) {
+    queue_.push_back(static_cast<int>(i));
+  }
+}
+
+int Engine::worker_count() const {
+  int n = 0;
+  for (const Conn& c : conns_) {
+    if (c.role == Conn::Role::kWorker) ++n;
+  }
+  return n;
+}
+
+std::size_t Engine::find_conn(int fd) const {
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].fd == fd) return i;
+  }
+  return kNone;
+}
+
+void Engine::accept_pending() {
+  const int fd = listener_->accept_one();
+  if (fd < 0) return;
+  Conn c;
+  c.fd = fd;
+  c.last_seen = Clock::now();
+  conns_.push_back(std::move(c));
+}
+
+void Engine::requeue_outstanding(Conn* c) {
+  // Front of the queue: a lost lease should complete before untouched work
+  // so the campaign's tail latency doesn't double on every worker death.
+  for (auto it = c->outstanding.rbegin(); it != c->outstanding.rend(); ++it) {
+    if (filled_.empty() || filled_[static_cast<std::size_t>(*it)] != 0) {
+      continue;  // raced: the result arrived before the death verdict
+    }
+    queue_.push_front(*it);
+    ++stats.cells_requeued;
+  }
+  c->outstanding.clear();
+}
+
+void Engine::drop_conn(std::size_t i, bool requeue) {
+  Conn& c = conns_[i];
+  if (c.role == Conn::Role::kWorker) {
+    ++stats.workers_lost;
+    if (requeue) requeue_outstanding(&c);
+  }
+  const bool was_client = c.role == Conn::Role::kClient;
+  const int fd = c.fd;
+  close(c.fd);
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+  if (was_client && opts_.on_client_closed) opts_.on_client_closed(fd);
+}
+
+bool Engine::handle_frame(std::size_t i, const Frame& f) {
+  Conn& c = conns_[i];
+  if (c.role == Conn::Role::kUnknown) {
+    Hello h;
+    if (f.type != FrameType::kHello || !decode_hello(f.payload, &h)) {
+      return false;  // protocol violation: drop
+    }
+    if (h.version != kProtocolVersion) {
+      ++stats.version_rejected;
+      const std::string bye = encode_frame(
+          FrameType::kBye,
+          encode_bye("version mismatch: peer v" + std::to_string(h.version) +
+                     ", coordinator v" + std::to_string(kProtocolVersion)));
+      send_all(c.fd, bye.data(), bye.size());
+      return false;
+    }
+    if (h.role == "worker") {
+      c.role = Conn::Role::kWorker;
+      c.name = h.name;
+      ++stats.workers_joined;
+      if (opts_.on_log) {
+        opts_.on_log("worker joined: " + (h.name.empty() ? "?" : h.name));
+      }
+    } else if (h.role == "client" && opts_.accept_clients) {
+      c.role = Conn::Role::kClient;
+      c.name = h.name;
+    } else {
+      const std::string bye = encode_frame(
+          FrameType::kBye, encode_bye("role not accepted here: " + h.role));
+      send_all(c.fd, bye.data(), bye.size());
+      return false;
+    }
+    Hello reply;
+    reply.role = "coordinator";
+    const std::string out =
+        encode_frame(FrameType::kHello, encode_hello(reply));
+    return send_all(c.fd, out.data(), out.size());
+  }
+
+  if (c.role == Conn::Role::kClient) {
+    if (f.type == FrameType::kBye) return false;
+    if (opts_.on_client_frame) opts_.on_client_frame(c.fd, f);
+    return true;
+  }
+
+  // Worker frames.
+  switch (f.type) {
+    case FrameType::kLease: {
+      int want = 0;
+      if (!decode_lease_request(f.payload, &want)) return false;
+      c.pending_want = want;
+      return true;
+    }
+    case FrameType::kResult: {
+      int slot = -1;
+      campaign::RunResult r;
+      if (!decode_result(f.payload, &slot, &r)) return false;
+      c.outstanding.erase(slot);
+      if (cells_ == nullptr || slot < 0 ||
+          static_cast<std::size_t>(slot) >= filled_.size() ||
+          filled_[static_cast<std::size_t>(slot)] != 0) {
+        ++stats.duplicate_results;  // raced or stale: first result won
+        return true;
+      }
+      filled_[static_cast<std::size_t>(slot)] = 1;
+      --remaining_;
+      if (on_cell_) on_cell_(slot, std::move(r));
+      return true;
+    }
+    case FrameType::kHeartbeat:
+      return true;  // last_seen already refreshed by the read itself
+    case FrameType::kBye:
+      return false;  // graceful leave: drop (outstanding requeues)
+    default:
+      return false;  // a worker has no business sending anything else
+  }
+}
+
+void Engine::service_conn(int fd) {
+  std::size_t i = find_conn(fd);
+  if (i == kNone) return;
+  char buf[65536];
+  const ssize_t n = recv(fd, buf, sizeof buf, 0);
+  if (n < 0) {
+    if (errno != EINTR && errno != EAGAIN) drop_conn(i, /*requeue=*/true);
+    return;
+  }
+  if (n == 0) {  // EOF: the peer is gone
+    drop_conn(i, /*requeue=*/true);
+    return;
+  }
+  conns_[i].last_seen = Clock::now();
+  conns_[i].reader.feed(buf, static_cast<std::size_t>(n));
+  // Frame handlers (and the daemon callbacks they invoke) may drop other
+  // connections, shifting indices — re-locate by fd every iteration.
+  Frame f;
+  for (;;) {
+    i = find_conn(fd);
+    if (i == kNone) return;  // dropped by a handler side effect
+    if (!conns_[i].reader.next(&f)) {
+      if (conns_[i].reader.corrupt()) drop_conn(i, /*requeue=*/true);
+      return;
+    }
+    if (!handle_frame(i, f)) {
+      i = find_conn(fd);
+      if (i != kNone) drop_conn(i, /*requeue=*/true);
+      return;
+    }
+  }
+}
+
+void Engine::reap_dead() {
+  for (std::size_t i = conns_.size(); i-- > 0;) {
+    Conn& c = conns_[i];
+    if (c.role != Conn::Role::kWorker) continue;
+    if (ms_since(c.last_seen) > opts_.dead_after_ms) {
+      if (opts_.on_log) {
+        opts_.on_log("worker lost (silent " +
+                     std::to_string(opts_.dead_after_ms) + " ms): " +
+                     (c.name.empty() ? "?" : c.name));
+      }
+      drop_conn(i, /*requeue=*/true);
+    }
+  }
+}
+
+void Engine::grant_leases() {
+  if (cells_ == nullptr) return;
+  for (std::size_t i = conns_.size(); i-- > 0;) {
+    if (queue_.empty()) break;
+    Conn& c = conns_[i];
+    if (c.role != Conn::Role::kWorker || c.pending_want <= 0) continue;
+    const int take = std::min<int>(
+        {c.pending_want, opts_.lease_batch, static_cast<int>(queue_.size())});
+    std::vector<int> slots;
+    std::vector<campaign::RunCell> cells;
+    slots.reserve(static_cast<std::size_t>(take));
+    cells.reserve(static_cast<std::size_t>(take));
+    for (int k = 0; k < take; ++k) {
+      const int slot = queue_.front();
+      queue_.pop_front();
+      slots.push_back(slot);
+      cells.push_back((*cells_)[static_cast<std::size_t>(slot)]);
+    }
+    const std::string out =
+        encode_frame(FrameType::kLease, encode_lease_grant(slots, cells));
+    if (!send_all(c.fd, out.data(), out.size())) {
+      // Write failed: the worker is gone; its would-be lease goes back.
+      for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
+        queue_.push_front(*it);
+      }
+      drop_conn(i, /*requeue=*/true);
+      continue;
+    }
+    c.outstanding.insert(slots.begin(), slots.end());
+    c.pending_want = 0;
+    ++stats.leases_granted;
+  }
+}
+
+void Engine::step(int timeout_ms) {
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(conns_.size() + 1);
+  pfds.push_back({listener_->fd(), POLLIN, 0});
+  for (const Conn& c : conns_) pfds.push_back({c.fd, POLLIN, 0});
+
+  const int pr =
+      poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+  if (pr > 0) {
+    if ((pfds[0].revents & POLLIN) != 0) accept_pending();
+    for (std::size_t k = 1; k < pfds.size(); ++k) {
+      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        service_conn(pfds[k].fd);
+      }
+    }
+  }
+  reap_dead();
+  grant_leases();
+  if (cells_ != nullptr && remaining_ == 0) {
+    // Clear the batch *before* the callback: on_done may set a new one.
+    cells_ = nullptr;
+    on_cell_ = nullptr;
+    auto done = std::move(on_done_);
+    on_done_ = nullptr;
+    if (done) done();
+  }
+}
+
+void Engine::shutdown(const std::string& reason) {
+  const std::string bye = encode_frame(FrameType::kBye, encode_bye(reason));
+  for (Conn& c : conns_) {
+    send_all(c.fd, bye.data(), bye.size());
+    close(c.fd);
+  }
+  conns_.clear();
+  cells_ = nullptr;
+  on_cell_ = nullptr;
+  on_done_ = nullptr;
+}
+
+bool Engine::send_to_client(int fd, const std::string& frame_bytes) {
+  const std::size_t i = find_conn(fd);
+  if (i == kNone || conns_[i].role != Conn::Role::kClient) return false;
+  if (send_all(fd, frame_bytes.data(), frame_bytes.size())) return true;
+  drop_conn(i, /*requeue=*/false);
+  return false;
+}
+
+std::vector<campaign::RunResult> run_fabric(
+    Listener* listener, const std::vector<campaign::RunCell>& cells,
+    const FabricOptions& opts, FabricStats* stats) {
+  std::vector<campaign::RunResult> results(cells.size());
+  Engine::Options eopts;
+  eopts.lease_batch = opts.lease_batch;
+  eopts.dead_after_ms = opts.dead_after_ms;
+  eopts.on_log = opts.on_log;
+  Engine eng(listener, eopts);
+
+  bool done = cells.empty();
+  std::vector<char> have(cells.size(), 0);
+  std::size_t next_ordered = 0;
+  if (!done) {
+    eng.set_batch(
+        &cells,
+        [&](int slot, campaign::RunResult r) {
+          const auto s = static_cast<std::size_t>(slot);
+          results[s] = std::move(r);
+          have[s] = 1;
+          if (opts.on_result) opts.on_result(results[s]);
+          if (opts.on_result_ordered) {
+            while (next_ordered < have.size() && have[next_ordered] != 0) {
+              opts.on_result_ordered(results[next_ordered]);
+              ++next_ordered;
+            }
+          }
+        },
+        [&] { done = true; });
+  }
+
+  auto worker_seen = Clock::now();
+  bool interrupted = false;
+  while (!done) {
+    if (opts.should_stop && opts.should_stop()) {
+      interrupted = true;
+      break;
+    }
+    eng.step(200);
+    if (eng.worker_count() > 0) {
+      worker_seen = Clock::now();
+    } else if (opts.no_worker_timeout_ms > 0 &&
+               ms_since(worker_seen) > opts.no_worker_timeout_ms) {
+      if (opts.on_log) {
+        opts.on_log("no workers for " +
+                    std::to_string(opts.no_worker_timeout_ms) +
+                    " ms; abandoning the remaining cells");
+      }
+      interrupted = true;
+      break;
+    }
+  }
+  eng.shutdown(interrupted ? "coordinator interrupted" : "campaign complete");
+  if (stats != nullptr) *stats = eng.stats;
+  return results;
+}
+
+}  // namespace pfi::fabric

@@ -1,0 +1,153 @@
+// Socket coordinator: leases cells to worker processes, splices results.
+//
+// The Engine is the single-threaded event core shared by the one-shot
+// coordinator (`pfi_campaign --workers N`) and the campaign-as-a-service
+// daemon (service.hpp). It owns the listening socket and every connection,
+// speaks the worker side of the wire protocol (wire.hpp), and dispatches
+// one *batch* of cells at a time:
+//
+//   * pull-based work stealing — an idle worker sends LEASE {want}; the
+//     request parks until cells exist, so fast workers drain the queue and
+//     a late joiner is handed the next available (or requeued) cells.
+//   * lost leases are requeued — a worker that disconnects, says BYE, or
+//     goes silent past dead_after_ms has its outstanding slots pushed back
+//     to the front of the queue for the survivors.
+//   * results are deduped by slot — if a "dead" worker's results race its
+//     replacement's, the first to arrive wins; since records are pure
+//     functions of the cell, both copies are byte-identical anyway.
+//
+// Determinism: the coordinator never reorders anything that reaches a
+// report. Results land in their dispatch slot; run_fabric() returns the
+// same slot-ordered vector run_cells() would have, so everything
+// downstream (records, journal, metrics, summary) is byte-identical to a
+// single-process run at any worker count (test-asserted).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "fabric/socket.hpp"
+#include "fabric/wire.hpp"
+
+namespace pfi::fabric {
+
+struct FabricStats {
+  int workers_joined = 0;      // completed HELLO handshakes
+  int workers_lost = 0;        // disconnected / timed out with work or not
+  int leases_granted = 0;
+  int cells_requeued = 0;      // slots re-queued from lost workers
+  int duplicate_results = 0;   // raced results dropped by slot dedupe
+  int version_rejected = 0;    // HELLOs refused by version negotiation
+};
+
+class Engine {
+ public:
+  struct Options {
+    /// Max cells per LEASE grant (a worker's `want` caps it further).
+    int lease_batch = 8;
+    /// A worker silent this long is dead; its leases requeue. Workers
+    /// heartbeat every ~500 ms even while computing.
+    int dead_after_ms = 5000;
+    /// Accept HELLO {role=client} connections (the daemon). When false,
+    /// clients are turned away with BYE.
+    bool accept_clients = false;
+    std::function<void(const std::string&)> on_log;
+    /// Daemon hooks: a decoded frame from a handshaken client / a client
+    /// connection that went away.
+    std::function<void(int fd, const Frame&)> on_client_frame;
+    std::function<void(int fd)> on_client_closed;
+  };
+
+  Engine(Listener* listener, Options opts);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Dispatch `cells` (kept alive by the caller until the batch finishes).
+  /// on_cell fires once per slot as results arrive (arrival order);
+  /// on_done fires from within step() once every slot has a result.
+  /// Only one batch may be active at a time.
+  void set_batch(const std::vector<campaign::RunCell>* cells,
+                 std::function<void(int slot, campaign::RunResult)> on_cell,
+                 std::function<void()> on_done);
+  [[nodiscard]] bool batch_active() const { return cells_ != nullptr; }
+
+  /// One event-loop iteration: poll (≤ timeout_ms), accept, read frames,
+  /// detect dead workers, grant parked leases, fire completion.
+  void step(int timeout_ms);
+
+  /// BYE every connection and close it. Idempotent.
+  void shutdown(const std::string& reason);
+
+  [[nodiscard]] int worker_count() const;
+
+  /// Send raw frame bytes to a client connection (daemon replies). False
+  /// if the fd is gone or the write failed (the conn is then dropped).
+  bool send_to_client(int fd, const std::string& frame_bytes);
+
+  FabricStats stats;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameReader reader;
+    enum class Role { kUnknown, kWorker, kClient } role = Role::kUnknown;
+    std::string name;
+    int pending_want = 0;          // parked LEASE request
+    std::set<int> outstanding;     // leased slots awaiting results
+    std::chrono::steady_clock::time_point last_seen;
+  };
+
+  [[nodiscard]] std::size_t find_conn(int fd) const;
+  void accept_pending();
+  void service_conn(int fd);       // read + dispatch; drops dead conns
+  bool handle_frame(std::size_t i, const Frame& f);
+  void drop_conn(std::size_t i, bool requeue);
+  void requeue_outstanding(Conn* c);
+  void grant_leases();
+  void reap_dead();
+
+  Listener* listener_;
+  Options opts_;
+  std::vector<Conn> conns_;
+
+  const std::vector<campaign::RunCell>* cells_ = nullptr;
+  std::deque<int> queue_;          // slots awaiting lease
+  std::vector<char> filled_;
+  std::size_t remaining_ = 0;
+  std::function<void(int, campaign::RunResult)> on_cell_;
+  std::function<void()> on_done_;
+};
+
+/// One-shot coordinator options (`pfi_campaign --workers N`).
+struct FabricOptions {
+  int lease_batch = 8;
+  int dead_after_ms = 5000;
+  /// Abort (returning the partial result vector) when no worker has been
+  /// connected for this long while work remains. 0 = wait forever.
+  int no_worker_timeout_ms = 0;
+  /// Completion-order stream, same contract as ExecutorOptions::on_result.
+  std::function<void(const campaign::RunResult&)> on_result;
+  /// Slot-order stream, same contract as ExecutorOptions::on_result_ordered.
+  std::function<void(const campaign::RunResult&)> on_result_ordered;
+  std::function<bool()> should_stop;
+  std::function<void(const std::string&)> on_log;
+};
+
+/// Run `cells` over whatever workers connect to `listener` until every cell
+/// has a result (or should_stop / the no-worker timeout fires). Returns the
+/// slot-ordered result vector — byte-for-byte what run_cells() returns for
+/// the same cells; unfinished slots keep index == -1.
+std::vector<campaign::RunResult> run_fabric(Listener* listener,
+                                            const std::vector<campaign::RunCell>& cells,
+                                            const FabricOptions& opts,
+                                            FabricStats* stats = nullptr);
+
+}  // namespace pfi::fabric

@@ -1,0 +1,82 @@
+// Length-prefixed key/value entries — the fabric's payload idiom.
+//
+// Every frame payload is a flat sequence of `key len\nbytes\n` entries, the
+// same self-delimiting format the fork sandbox streams RunResults through
+// (campaign/sandbox.hpp): trivially lossless (values may contain any byte,
+// including newlines), trivially skippable (unknown keys are forward
+// compatibility, not errors), and with doubles travelling as C99 hex floats
+// there is no precision policy to keep in sync across machines.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace pfi::fabric::kv {
+
+inline void put(std::string* out, const char* key, std::string_view v) {
+  *out += key;
+  *out += ' ';
+  *out += std::to_string(v.size());
+  *out += '\n';
+  out->append(v.data(), v.size());
+  *out += '\n';
+}
+
+inline void put_u64(std::string* out, const char* key, std::uint64_t v) {
+  put(out, key, std::to_string(v));
+}
+
+inline void put_i64(std::string* out, const char* key, std::int64_t v) {
+  put(out, key, std::to_string(v));
+}
+
+/// Doubles travel as C99 hex floats: exact round-trip, no locale.
+inline void put_double(std::string* out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  put(out, key, buf);
+}
+
+/// Cursor over `key len\nbytes\n` entries. Unknown keys are skipped by the
+/// caller; a malformed entry ends the scan (next() returns false).
+struct Scan {
+  std::string_view bytes;
+  std::size_t pos = 0;
+
+  bool next(std::string* key, std::string* value) {
+    if (pos >= bytes.size()) return false;
+    const std::size_t sp = bytes.find(' ', pos);
+    if (sp == std::string_view::npos) return false;
+    const std::size_t nl = bytes.find('\n', sp + 1);
+    if (nl == std::string_view::npos) return false;
+    char* end = nullptr;
+    // The length token is NUL-free inside a string_view; copy it out.
+    const std::string len_tok(bytes.substr(sp + 1, nl - sp - 1));
+    const unsigned long long len = std::strtoull(len_tok.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || len_tok.empty()) return false;
+    if (nl + 1 + len + 1 > bytes.size()) return false;
+    if (bytes[nl + 1 + len] != '\n') return false;
+    key->assign(bytes.substr(pos, sp - pos));
+    value->assign(bytes.substr(nl + 1, len));
+    pos = nl + 1 + len + 1;
+    return true;
+  }
+};
+
+inline std::int64_t to_i64(const std::string& v) {
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+inline std::uint64_t to_u64(const std::string& v) {
+  return std::strtoull(v.c_str(), nullptr, 10);
+}
+
+inline double to_double(const std::string& v) {
+  return std::strtod(v.c_str(), nullptr);
+}
+
+}  // namespace pfi::fabric::kv

@@ -1,0 +1,474 @@
+#include "fabric/service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/executor.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/json.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "fabric/wire.hpp"
+#include "obs/metrics.hpp"
+#include "search/search.hpp"
+
+namespace pfi::fabric {
+
+namespace {
+
+/// Handoff between a job thread (which wants batches executed) and the
+/// daemon's event loop (which owns the Engine). The job thread blocks in
+/// run(); the event loop picks the batch up, dispatches it through the
+/// Engine, and posts the slot-ordered results back.
+struct Bridge {
+  std::mutex mu;
+  std::condition_variable cv;
+  const std::vector<campaign::RunCell>* batch = nullptr;  // posted, not taken
+  bool batch_done = false;
+  std::vector<campaign::RunResult> batch_results;
+  std::vector<std::string> progress;  // job thread -> client, JSON lines
+  bool stop = false;                  // daemon shutting down: drain
+
+  std::vector<campaign::RunResult> run(
+      const std::vector<campaign::RunCell>& cells) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (stop || cells.empty()) {
+      // Executor contract for "nothing ran": default results, index == -1.
+      return std::vector<campaign::RunResult>(cells.size());
+    }
+    batch = &cells;
+    batch_done = false;
+    cv.wait(lock, [&] { return batch_done; });
+    batch = nullptr;
+    return std::move(batch_results);
+  }
+
+  void push_progress(const std::string& json) {
+    std::lock_guard<std::mutex> lock(mu);
+    progress.push_back(json);
+  }
+};
+
+struct Job {
+  std::string id;
+  int client_fd = -1;  // -1 once the client went away
+  Submit submit;
+  campaign::CampaignSpec spec;
+
+  Bridge bridge;
+  std::thread thread;
+  // Written by the job thread, read by the event loop strictly after
+  // `finished` turns true under the bridge mutex.
+  std::vector<std::pair<std::string, std::string>> artifacts;
+  std::string done_json;
+  bool finished = false;
+
+  // Event-loop-side dispatch state for the batch in flight.
+  bool dispatching = false;
+  std::vector<campaign::RunResult> staged;
+  int done_cells = 0, total_cells = 0;
+  int pass = 0, fail = 0, error = 0;
+};
+
+std::string progress_json(const Job& job, const campaign::RunResult& r) {
+  campaign::json::Writer w;
+  w.begin_object();
+  w.kv("job", job.id);
+  w.kv("id", r.id);
+  w.kv("verdict", r.errored() ? "error" : (r.pass ? "pass" : "fail"));
+  w.kv("done", job.done_cells);
+  w.kv("total", job.total_cells);
+  w.kv("pass", job.pass);
+  w.kv("fail", job.fail);
+  w.kv("error", job.error);
+  w.end_object();
+  return w.str();
+}
+
+std::string done_error_json(const std::string& job_id,
+                            const std::string& message) {
+  campaign::json::Writer w;
+  w.begin_object();
+  w.kv("job", job_id);
+  w.kv("status", "error");
+  w.kv("error", message);
+  w.end_object();
+  return w.str();
+}
+
+/// The campaign job body (runs on the job thread). One bridge.run() call
+/// executes the whole plan over the fabric; everything before and after is
+/// the same deterministic assembly pfi_campaign does.
+void run_campaign_job(Job* job) {
+  const auto cells =
+      campaign::filter_cells(campaign::plan(job->spec), job->submit.filter);
+  std::vector<std::string> keys;
+  keys.reserve(cells.size());
+  for (const auto& c : cells) keys.push_back(campaign::cell_key(c));
+
+  const auto results = job->bridge.run(cells);
+
+  std::vector<std::string> records(cells.size());
+  std::map<std::string, std::string> journal;
+  std::map<std::string, pfi::obs::MetricSample> metrics;
+  int measured = 0;
+  std::map<int, std::size_t> slot_of_index;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    slot_of_index[cells[i].index] = i;
+  }
+  for (const auto& r : results) {
+    if (r.index < 0) continue;  // drained on shutdown before it ran
+    const std::size_t slot = slot_of_index[r.index];
+    records[slot] = campaign::record_json(r);
+    journal[keys[slot]] = records[slot];
+    if (!r.metrics.empty()) {
+      ++measured;
+      pfi::obs::merge_samples(&metrics, r.metrics);
+    }
+  }
+
+  int pass = 0, fail = 0, error = 0, skipped = 0;
+  std::vector<std::string> failing_ids;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].empty()) {
+      ++skipped;
+      continue;
+    }
+    if (results[i].errored()) {
+      ++error;
+    } else if (results[i].pass) {
+      ++pass;
+    } else {
+      ++fail;
+    }
+    if (results[i].errored() || !results[i].pass) {
+      failing_ids.push_back(results[i].id);
+    }
+  }
+
+  // The report: same shape as pfi_campaign's, minus the wall-clock and
+  // host-execution fields (jobs, wall_ms) that a service must not leak
+  // into a deterministic document.
+  campaign::json::Writer w;
+  w.begin_object();
+  w.kv("campaign", job->spec.name);
+  w.kv("protocol", job->spec.protocol);
+  w.kv("oracle", job->spec.oracle);
+  w.kv("cells", static_cast<int>(cells.size()));
+  w.key("runs").begin_array();
+  for (const std::string& rec : records) {
+    if (!rec.empty()) w.value_raw(rec);
+  }
+  w.end_array();
+  w.key("summary").begin_object();
+  w.kv("pass", pass);
+  w.kv("fail", fail);
+  w.kv("error", error);
+  if (skipped > 0) w.kv("skipped", skipped);
+  w.end_object();
+  w.key("failing_ids").begin_array();
+  for (const std::string& id : failing_ids) w.value(id);
+  w.end_array();
+  w.end_object();
+
+  campaign::json::Writer mw;
+  mw.begin_object();
+  mw.kv("campaign", job->spec.name);
+  mw.kv("cells", static_cast<int>(cells.size()));
+  mw.kv("cells_measured", measured);
+  mw.key("metrics").begin_object();
+  for (const auto& [name, m] : metrics) mw.kv(name, m.value);
+  mw.end_object();
+  mw.end_object();
+
+  campaign::json::Writer dw;
+  dw.begin_object();
+  dw.kv("job", job->id);
+  dw.kv("status", skipped > 0 ? "interrupted" : "ok");
+  dw.kv("cells", static_cast<int>(cells.size()));
+  dw.kv("pass", pass);
+  dw.kv("fail", fail);
+  dw.kv("error", error);
+  if (skipped > 0) dw.kv("skipped", skipped);
+  dw.end_object();
+
+  std::lock_guard<std::mutex> lock(job->bridge.mu);
+  job->artifacts.emplace_back("report", w.str() + "\n");
+  job->artifacts.emplace_back("journal", campaign::journal_jsonl(journal));
+  job->artifacts.emplace_back("metrics", mw.str() + "\n");
+  job->done_json = dw.str();
+  job->finished = true;
+}
+
+/// The search job body: search::explore with its batch execution rerouted
+/// over the fabric. Minimizer probes stay in-process inside the daemon (see
+/// SearchOptions::run_batch) — they are sequential single cells.
+void run_search_job(Job* job) {
+  pfi::search::SearchOptions sopts;
+  sopts.budget = job->submit.explore;
+  if (job->submit.retries >= 0) sopts.retries = job->submit.retries;
+  sopts.run_batch = [job](const std::vector<campaign::RunCell>& cells,
+                          const campaign::ExecutorOptions&) {
+    return job->bridge.run(cells);
+  };
+  sopts.should_stop = [job] {
+    std::lock_guard<std::mutex> lock(job->bridge.mu);
+    return job->bridge.stop;
+  };
+  sopts.on_progress = [job](const std::string& line) {
+    campaign::json::Writer w;
+    w.begin_object();
+    w.kv("job", job->id);
+    w.kv("note", line);
+    w.end_object();
+    job->bridge.push_progress(w.str());
+  };
+
+  const pfi::search::SearchResult res =
+      pfi::search::explore(job->spec, sopts);
+
+  campaign::json::Writer dw;
+  dw.begin_object();
+  dw.kv("job", job->id);
+  if (!res.error.empty()) {
+    dw.kv("status", "error");
+    dw.kv("error", res.error);
+  } else {
+    dw.kv("status", res.interrupted ? "interrupted" : "ok");
+  }
+  dw.kv("executed", res.executed);
+  dw.kv("digests", static_cast<int>(res.corpus.size()));
+  dw.kv("violations", static_cast<int>(res.violations.size()));
+  dw.end_object();
+
+  std::lock_guard<std::mutex> lock(job->bridge.mu);
+  job->artifacts.emplace_back(
+      "report", pfi::search::report_json(job->spec, sopts, res) + "\n");
+  job->artifacts.emplace_back("corpus", res.corpus.to_jsonl());
+  job->done_json = dw.str();
+  job->finished = true;
+}
+
+class Service {
+ public:
+  Service(Listener* listener, const ServiceOptions& opts, ServiceStats* stats)
+      : opts_(opts), stats_(stats) {
+    Engine::Options eopts;
+    eopts.lease_batch = opts.lease_batch;
+    eopts.dead_after_ms = opts.dead_after_ms;
+    eopts.accept_clients = true;
+    eopts.on_log = opts.on_log;
+    eopts.on_client_frame = [this](int fd, const Frame& f) {
+      on_client_frame(fd, f);
+    };
+    eopts.on_client_closed = [this](int fd) { on_client_closed(fd); };
+    engine_ = std::make_unique<Engine>(listener, std::move(eopts));
+  }
+
+  int run() {
+    while (!(opts_.should_stop && opts_.should_stop())) {
+      engine_->step(200);
+      pump();
+    }
+    drain_active("daemon shutting down");
+    engine_->shutdown("daemon shutting down");
+    if (stats_ != nullptr) stats_->fabric = engine_->stats;
+    return 0;
+  }
+
+ private:
+  void log(const std::string& msg) {
+    if (opts_.on_log) opts_.on_log(msg);
+  }
+
+  void send_json(int fd, FrameType type, const std::string& json) {
+    if (fd < 0) return;
+    engine_->send_to_client(fd, encode_json_line(type, json));
+  }
+
+  void on_client_frame(int fd, const Frame& f) {
+    if (f.type != FrameType::kSubmit) return;  // PROGRESS etc. are ours
+    Submit s;
+    std::string err;
+    if (!decode_submit(f.payload, &s)) {
+      err = "malformed SUBMIT payload";
+    }
+    const std::string id = "job-" + std::to_string(++job_seq_);
+    std::optional<campaign::CampaignSpec> spec;
+    if (err.empty()) {
+      spec = campaign::parse_spec(s.spec_text, &err);
+    }
+    if (!spec) {
+      if (stats_ != nullptr) ++stats_->jobs_rejected;
+      log(id + " rejected: " + err);
+      send_json(fd, FrameType::kDone, done_error_json(id, err));
+      return;
+    }
+    if (s.timeout_ms >= 0) spec->timeout_ms = s.timeout_ms;
+    if (s.max_events >= 0) {
+      spec->max_sim_events = static_cast<std::uint64_t>(s.max_events);
+    }
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->client_fd = fd;
+    job->submit = std::move(s);
+    job->spec = std::move(*spec);
+    if (stats_ != nullptr) ++stats_->jobs_accepted;
+    log(id + " queued: " + job->spec.name +
+        (job->submit.explore > 0 ? " (explore)" : " (campaign)"));
+    queue_.push_back(std::move(job));
+    maybe_start();
+  }
+
+  void on_client_closed(int fd) {
+    // The job outlives its client: execution continues, artifact delivery
+    // is dropped. Queued jobs from that client run too — they were accepted.
+    if (active_ && active_->client_fd == fd) active_->client_fd = -1;
+    for (auto& j : queue_) {
+      if (j->client_fd == fd) j->client_fd = -1;
+    }
+  }
+
+  void maybe_start() {
+    if (active_ || queue_.empty()) return;
+    active_ = std::move(queue_.front());
+    queue_.pop_front();
+    Job* job = active_.get();
+    log(job->id + " started");
+    job->thread = std::thread(job->submit.explore > 0 ? run_search_job
+                                                      : run_campaign_job,
+                              job);
+  }
+
+  /// One scheduling pass: relay progress, pick up posted batches, finish
+  /// completed jobs, start the next one.
+  void pump() {
+    if (!active_) return;
+    Job* job = active_.get();
+
+    std::vector<std::string> progress;
+    const std::vector<campaign::RunCell>* batch = nullptr;
+    bool finished = false;
+    {
+      std::lock_guard<std::mutex> lock(job->bridge.mu);
+      progress.swap(job->bridge.progress);
+      if (job->bridge.batch != nullptr && !job->bridge.batch_done &&
+          !job->dispatching) {
+        batch = job->bridge.batch;
+      }
+      finished = job->finished;
+    }
+    for (const std::string& line : progress) {
+      send_json(job->client_fd, FrameType::kProgress, line);
+    }
+
+    if (batch != nullptr) {
+      job->dispatching = true;
+      job->staged.assign(batch->size(), campaign::RunResult{});
+      job->done_cells = 0;
+      job->total_cells = static_cast<int>(batch->size());
+      engine_->set_batch(
+          batch,
+          [this, job](int slot, campaign::RunResult r) {
+            ++job->done_cells;
+            if (r.errored()) {
+              ++job->error;
+            } else if (r.pass) {
+              ++job->pass;
+            } else {
+              ++job->fail;
+            }
+            job->staged[static_cast<std::size_t>(slot)] = std::move(r);
+            send_json(job->client_fd, FrameType::kProgress,
+                      progress_json(*job,
+                                    job->staged[static_cast<std::size_t>(
+                                        slot)]));
+          },
+          [job] {
+            std::lock_guard<std::mutex> lock(job->bridge.mu);
+            job->bridge.batch_results = std::move(job->staged);
+            job->bridge.batch_done = true;
+            job->dispatching = false;
+            job->bridge.cv.notify_all();
+          });
+    }
+
+    if (finished) finish_active();
+  }
+
+  void finish_active() {
+    Job* job = active_.get();
+    job->thread.join();
+    for (const auto& [name, bytes] : job->artifacts) {
+      if (job->client_fd >= 0) {
+        engine_->send_to_client(
+            job->client_fd,
+            encode_frame(FrameType::kArtifact, encode_artifact(name, bytes)));
+      }
+    }
+    send_json(job->client_fd, FrameType::kDone, job->done_json);
+    log(job->id + " finished");
+    if (stats_ != nullptr) ++stats_->jobs_completed;
+    active_.reset();
+    maybe_start();
+  }
+
+  /// Shutdown with a job in flight: release the job thread with whatever
+  /// results exist (unfinished slots keep index == -1), then finish it so
+  /// the client at least gets a DONE.
+  void drain_active(const std::string& reason) {
+    if (!active_) return;
+    Job* job = active_.get();
+    for (;;) {
+      bool finished = false;
+      {
+        std::lock_guard<std::mutex> lock(job->bridge.mu);
+        job->bridge.stop = true;
+        if (job->bridge.batch != nullptr && !job->bridge.batch_done) {
+          job->bridge.batch_results = std::move(job->staged);
+          job->bridge.batch_results.resize(job->bridge.batch->size());
+          job->bridge.batch_done = true;
+          job->dispatching = false;
+        }
+        job->bridge.cv.notify_all();
+        finished = job->finished;
+      }
+      if (finished) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    log(job->id + " drained: " + reason);
+    finish_active();
+    // Queued jobs never started; tell their clients.
+    while (!queue_.empty()) {
+      auto j = std::move(queue_.front());
+      queue_.pop_front();
+      send_json(j->client_fd, FrameType::kDone,
+                done_error_json(j->id, reason));
+    }
+  }
+
+  ServiceOptions opts_;
+  ServiceStats* stats_;
+  std::unique_ptr<Engine> engine_;
+  std::deque<std::unique_ptr<Job>> queue_;
+  std::unique_ptr<Job> active_;
+  int job_seq_ = 0;
+};
+
+}  // namespace
+
+int run_service(Listener* listener, const ServiceOptions& opts,
+                ServiceStats* stats) {
+  Service service(listener, opts, stats);
+  return service.run();
+}
+
+}  // namespace pfi::fabric

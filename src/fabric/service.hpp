@@ -1,0 +1,54 @@
+// Campaign-as-a-service daemon (`pfi_fabricd`).
+//
+// One long-lived Engine accepts *both* kinds of connection on one socket:
+// workers (HELLO role=worker) join the lease pool exactly as they would for
+// a one-shot coordinator, and clients (HELLO role=client) SUBMIT campaign
+// or search specs as jobs. Jobs queue FIFO and run one at a time — the
+// worker pool is a shared resource; interleaving two campaigns' cells would
+// gain nothing and cost both their progress ordering.
+//
+// Each job runs on its own thread (campaign assembly, or search::explore's
+// mutation loop) and posts cell batches to the daemon's event loop through
+// a Bridge; the event loop dispatches them through the Engine and posts the
+// slot-ordered results back. So the execution path — and therefore every
+// record — is byte-identical to `pfi_campaign --workers N`, which is
+// byte-identical to `--jobs 1`.
+//
+// While a job runs, its client receives PROGRESS frames (one JSON line per
+// finished cell, plus the search engine's generation lines); when it ends,
+// ARTIFACT frames (campaign: report + journal + metrics; search: report +
+// corpus) and one DONE frame with the summary. A client that disconnects
+// mid-job doesn't kill the job — results still exist in the workers'
+// journals; only the artifact delivery is lost.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "fabric/coordinator.hpp"
+#include "fabric/socket.hpp"
+
+namespace pfi::fabric {
+
+struct ServiceStats {
+  int jobs_accepted = 0;
+  int jobs_completed = 0;
+  int jobs_rejected = 0;   // SUBMITs that failed to parse/plan
+  FabricStats fabric;      // copied from the engine at shutdown
+};
+
+struct ServiceOptions {
+  int lease_batch = 8;
+  int dead_after_ms = 5000;
+  /// Sampled every loop iteration; true drains the active job (its
+  /// unfinished cells come back index == -1) and BYEs everyone.
+  std::function<bool()> should_stop;
+  std::function<void(const std::string&)> on_log;
+};
+
+/// Run the daemon event loop until should_stop. Returns 0 on a clean
+/// shutdown. The listener stays owned by the caller.
+int run_service(Listener* listener, const ServiceOptions& opts,
+                ServiceStats* stats = nullptr);
+
+}  // namespace pfi::fabric

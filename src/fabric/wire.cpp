@@ -1,0 +1,401 @@
+#include "fabric/wire.hpp"
+
+#include <cstring>
+
+#include "campaign/sandbox.hpp"
+#include "fabric/kv.hpp"
+
+namespace pfi::fabric {
+
+namespace {
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kDone);
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size()) + 1;
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.push_back(static_cast<char>(type));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+bool FrameReader::next(Frame* out) {
+  if (corrupt_) return false;
+  // Compact once the consumed prefix dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < 4) return false;
+  const auto* b = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  const std::uint32_t len = (static_cast<std::uint32_t>(b[0]) << 24) |
+                            (static_cast<std::uint32_t>(b[1]) << 16) |
+                            (static_cast<std::uint32_t>(b[2]) << 8) |
+                            static_cast<std::uint32_t>(b[3]);
+  if (len == 0 || len > kMaxFramePayload + 1) {
+    corrupt_ = true;
+    return false;
+  }
+  if (buf_.size() - pos_ < 4 + len) return false;
+  const std::uint8_t type = static_cast<std::uint8_t>(buf_[pos_ + 4]);
+  if (!known_type(type)) {
+    corrupt_ = true;
+    return false;
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(buf_, pos_ + 5, len - 1);
+  pos_ += 4 + len;
+  return true;
+}
+
+// --- handshake -------------------------------------------------------------
+
+std::string encode_hello(const Hello& h) {
+  std::string out;
+  kv::put_u64(&out, "v", h.version);
+  kv::put(&out, "role", h.role);
+  kv::put(&out, "name", h.name);
+  return out;
+}
+
+bool decode_hello(std::string_view payload, Hello* out) {
+  kv::Scan scan{payload};
+  std::string key, value;
+  bool has_version = false;
+  Hello h;
+  while (scan.next(&key, &value)) {
+    if (key == "v") {
+      h.version = static_cast<std::uint32_t>(kv::to_u64(value));
+      has_version = true;
+    } else if (key == "role") {
+      h.role = value;
+    } else if (key == "name") {
+      h.name = value;
+    }
+  }
+  if (!has_version || h.role.empty()) return false;
+  *out = h;
+  return true;
+}
+
+// --- leases ----------------------------------------------------------------
+
+std::string encode_lease_request(int want) {
+  std::string out;
+  kv::put_i64(&out, "want", want);
+  return out;
+}
+
+bool decode_lease_request(std::string_view payload, int* want) {
+  kv::Scan scan{payload};
+  std::string key, value;
+  while (scan.next(&key, &value)) {
+    if (key == "want") {
+      *want = static_cast<int>(kv::to_i64(value));
+      return *want > 0;
+    }
+  }
+  return false;
+}
+
+std::string encode_lease_grant(const std::vector<int>& slots,
+                               const std::vector<campaign::RunCell>& cells) {
+  std::string out;
+  kv::put_u64(&out, "n", slots.size());
+  for (std::size_t i = 0; i < slots.size() && i < cells.size(); ++i) {
+    kv::put_i64(&out, "slot", slots[i]);
+    kv::put(&out, "cell", encode_cell(cells[i]));
+  }
+  return out;
+}
+
+bool decode_lease_grant(std::string_view payload, std::vector<int>* slots,
+                        std::vector<campaign::RunCell>* cells) {
+  slots->clear();
+  cells->clear();
+  kv::Scan scan{payload};
+  std::string key, value;
+  std::uint64_t n = 0;
+  int pending_slot = -1;
+  bool have_slot = false;
+  while (scan.next(&key, &value)) {
+    if (key == "n") {
+      n = kv::to_u64(value);
+    } else if (key == "slot") {
+      pending_slot = static_cast<int>(kv::to_i64(value));
+      have_slot = true;
+    } else if (key == "cell") {
+      campaign::RunCell cell;
+      if (!have_slot || !decode_cell(value, &cell)) return false;
+      slots->push_back(pending_slot);
+      cells->push_back(std::move(cell));
+      have_slot = false;
+    }
+  }
+  return slots->size() == n;
+}
+
+// --- cells -----------------------------------------------------------------
+
+std::string encode_cell(const campaign::RunCell& cell) {
+  std::string out;
+  kv::put_i64(&out, "index", cell.index);
+  kv::put(&out, "id", cell.id);
+  kv::put(&out, "protocol", cell.protocol);
+  kv::put(&out, "oracle", cell.oracle);
+  kv::put(&out, "vendor", cell.vendor);
+  kv::put(&out, "script_file", cell.script_file);
+  kv::put_u64(&out, "seed", cell.seed);
+  kv::put_i64(&out, "nodes", cell.nodes);
+  kv::put_i64(&out, "target", cell.target_node);
+  kv::put_i64(&out, "warmup", cell.warmup);
+  kv::put_i64(&out, "duration", cell.duration);
+  kv::put_i64(&out, "jitter", cell.jitter);
+  kv::put(&out, "buggy", cell.buggy ? "1" : "0");
+  kv::put_i64(&out, "timeout_ms", cell.timeout_ms);
+  kv::put_u64(&out, "max_events", cell.max_sim_events);
+  kv::put(&out, "timeline", cell.capture_timeline ? "1" : "0");
+  kv::put_u64(&out, "nev", cell.schedule.events.size());
+  for (const campaign::FaultEvent& e : cell.schedule.events) {
+    std::string ev;
+    kv::put(&ev, "type", e.type);
+    kv::put(&ev, "kind", core::scriptgen::to_string(e.kind));
+    kv::put_i64(&ev, "occ", e.occurrence);
+    kv::put(&ev, "send", e.on_send ? "1" : "0");
+    kv::put_i64(&ev, "delay", e.delay);
+    kv::put_i64(&ev, "copies", e.copies);
+    kv::put_u64(&ev, "corrupt_off", e.corrupt_offset);
+    kv::put_i64(&ev, "batch", e.batch);
+    kv::put(&out, "ev", ev);
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_kind(const std::string& s, core::scriptgen::FaultKind* out) {
+  using core::scriptgen::FaultKind;
+  for (FaultKind k : {FaultKind::kDrop, FaultKind::kDelay,
+                      FaultKind::kDuplicate, FaultKind::kCorrupt,
+                      FaultKind::kReorder}) {
+    if (core::scriptgen::to_string(k) == s) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool decode_event(std::string_view payload, campaign::FaultEvent* out) {
+  kv::Scan scan{payload};
+  std::string key, value;
+  campaign::FaultEvent e;
+  while (scan.next(&key, &value)) {
+    if (key == "type") {
+      e.type = value;
+    } else if (key == "kind") {
+      if (!parse_kind(value, &e.kind)) return false;
+    } else if (key == "occ") {
+      e.occurrence = static_cast<int>(kv::to_i64(value));
+    } else if (key == "send") {
+      e.on_send = value == "1";
+    } else if (key == "delay") {
+      e.delay = kv::to_i64(value);
+    } else if (key == "copies") {
+      e.copies = static_cast<int>(kv::to_i64(value));
+    } else if (key == "corrupt_off") {
+      e.corrupt_offset = static_cast<std::size_t>(kv::to_u64(value));
+    } else if (key == "batch") {
+      e.batch = static_cast<int>(kv::to_i64(value));
+    }
+  }
+  *out = std::move(e);
+  return true;
+}
+
+}  // namespace
+
+bool decode_cell(std::string_view payload, campaign::RunCell* out) {
+  kv::Scan scan{payload};
+  std::string key, value;
+  campaign::RunCell cell;
+  std::uint64_t nev = 0;
+  while (scan.next(&key, &value)) {
+    if (key == "index") {
+      cell.index = static_cast<int>(kv::to_i64(value));
+    } else if (key == "id") {
+      cell.id = value;
+    } else if (key == "protocol") {
+      cell.protocol = value;
+    } else if (key == "oracle") {
+      cell.oracle = value;
+    } else if (key == "vendor") {
+      cell.vendor = value;
+    } else if (key == "script_file") {
+      cell.script_file = value;
+    } else if (key == "seed") {
+      cell.seed = kv::to_u64(value);
+    } else if (key == "nodes") {
+      cell.nodes = static_cast<int>(kv::to_i64(value));
+    } else if (key == "target") {
+      cell.target_node = static_cast<int>(kv::to_i64(value));
+    } else if (key == "warmup") {
+      cell.warmup = kv::to_i64(value);
+    } else if (key == "duration") {
+      cell.duration = kv::to_i64(value);
+    } else if (key == "jitter") {
+      cell.jitter = kv::to_i64(value);
+    } else if (key == "buggy") {
+      cell.buggy = value == "1";
+    } else if (key == "timeout_ms") {
+      cell.timeout_ms = static_cast<int>(kv::to_i64(value));
+    } else if (key == "max_events") {
+      cell.max_sim_events = kv::to_u64(value);
+    } else if (key == "timeline") {
+      cell.capture_timeline = value == "1";
+    } else if (key == "nev") {
+      nev = kv::to_u64(value);
+    } else if (key == "ev") {
+      campaign::FaultEvent e;
+      if (!decode_event(value, &e)) return false;
+      cell.schedule.events.push_back(std::move(e));
+    }
+  }
+  if (cell.schedule.events.size() != nev) return false;
+  if (cell.id.empty() || cell.protocol.empty()) return false;
+  *out = std::move(cell);
+  return true;
+}
+
+// --- results ---------------------------------------------------------------
+
+std::string encode_result(int slot, const campaign::RunResult& r) {
+  std::string out;
+  kv::put_i64(&out, "slot", slot);
+  kv::put(&out, "res", campaign::wire_encode(r));
+  return out;
+}
+
+bool decode_result(std::string_view payload, int* slot,
+                   campaign::RunResult* out) {
+  kv::Scan scan{payload};
+  std::string key, value;
+  bool have_slot = false, have_res = false;
+  while (scan.next(&key, &value)) {
+    if (key == "slot") {
+      *slot = static_cast<int>(kv::to_i64(value));
+      have_slot = true;
+    } else if (key == "res") {
+      if (!campaign::wire_decode(value, out)) return false;
+      have_res = true;
+    }
+  }
+  return have_slot && have_res;
+}
+
+// --- bye -------------------------------------------------------------------
+
+std::string encode_bye(std::string_view reason) {
+  std::string out;
+  kv::put(&out, "reason", reason);
+  return out;
+}
+
+std::string decode_bye(std::string_view payload) {
+  kv::Scan scan{payload};
+  std::string key, value;
+  while (scan.next(&key, &value)) {
+    if (key == "reason") return value;
+  }
+  return "";
+}
+
+// --- daemon ----------------------------------------------------------------
+
+std::string encode_submit(const Submit& s) {
+  std::string out;
+  kv::put(&out, "spec", s.spec_text);
+  kv::put(&out, "filter", s.filter);
+  kv::put_i64(&out, "timeout_ms", s.timeout_ms);
+  kv::put_i64(&out, "max_events", s.max_events);
+  kv::put_i64(&out, "retries", s.retries);
+  kv::put_i64(&out, "explore", s.explore);
+  return out;
+}
+
+bool decode_submit(std::string_view payload, Submit* out) {
+  kv::Scan scan{payload};
+  std::string key, value;
+  Submit s;
+  bool have_spec = false;
+  while (scan.next(&key, &value)) {
+    if (key == "spec") {
+      s.spec_text = value;
+      have_spec = true;
+    } else if (key == "filter") {
+      s.filter = value;
+    } else if (key == "timeout_ms") {
+      s.timeout_ms = static_cast<int>(kv::to_i64(value));
+    } else if (key == "max_events") {
+      s.max_events = kv::to_i64(value);
+    } else if (key == "retries") {
+      s.retries = static_cast<int>(kv::to_i64(value));
+    } else if (key == "explore") {
+      s.explore = static_cast<int>(kv::to_i64(value));
+    }
+  }
+  if (!have_spec) return false;
+  *out = std::move(s);
+  return true;
+}
+
+std::string encode_json_line(FrameType type, std::string_view json) {
+  std::string out;
+  kv::put(&out, "json", json);
+  return encode_frame(type, out);
+}
+
+std::string decode_json_line(std::string_view payload) {
+  kv::Scan scan{payload};
+  std::string key, value;
+  while (scan.next(&key, &value)) {
+    if (key == "json") return value;
+  }
+  return "";
+}
+
+std::string encode_artifact(std::string_view name, std::string_view bytes) {
+  std::string out;
+  kv::put(&out, "name", name);
+  kv::put(&out, "bytes", bytes);
+  return out;
+}
+
+bool decode_artifact(std::string_view payload, std::string* name,
+                     std::string* bytes) {
+  kv::Scan scan{payload};
+  std::string key, value;
+  bool have_name = false, have_bytes = false;
+  while (scan.next(&key, &value)) {
+    if (key == "name") {
+      *name = value;
+      have_name = true;
+    } else if (key == "bytes") {
+      *bytes = value;
+      have_bytes = true;
+    }
+  }
+  return have_name && have_bytes;
+}
+
+}  // namespace pfi::fabric

@@ -1,0 +1,162 @@
+// The fabric wire format: length-prefixed frames over a stream socket.
+//
+// Every message is one frame:
+//
+//   uint32 length   (big endian; length = 1 + payload size)
+//   uint8  type     (FrameType)
+//   bytes  payload  (kv entries, see kv.hpp)
+//
+// The conversation (docs/FABRIC.md has the full state machine):
+//
+//   worker -> coordinator   HELLO {v, role=worker, name}
+//   coordinator -> worker   HELLO {v, role=coordinator}   (or BYE on
+//                           version mismatch — negotiation is "exact match
+//                           or go away", carried in the BYE reason)
+//   worker -> coordinator   LEASE {want=N}        pull-based work stealing:
+//                           an idle worker asks; the coordinator parks the
+//                           request until cells exist, so a fast worker
+//                           drains the queue and a late joiner still gets
+//                           the next requeued batch
+//   coordinator -> worker   LEASE {n, slot+cell ...}
+//   worker -> coordinator   RESULT {slot, res}    one per finished cell,
+//                           streamed as the executor completes them
+//   worker -> coordinator   HEARTBEAT {}          liveness while computing
+//   either direction        BYE {reason}          graceful close; from the
+//                           coordinator it means "campaign finished" (or
+//                           on a client/daemon socket, "job rejected")
+//
+// The daemon speaks the same framing with four more types on client
+// connections: SUBMIT (a campaign/search spec + overrides), PROGRESS
+// (JSON lines), ARTIFACT (named output documents) and DONE (job summary).
+//
+// Cells and results travel as kv payloads; RunResult reuses the fork
+// sandbox's exact serialisation (campaign/sandbox.hpp wire_encode), so a
+// record that crossed the fabric is byte-identical to one computed
+// in-process — the whole "merging distributed results is a dedupe and a
+// sort" story rests on that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace pfi::fabric {
+
+/// Bumped on any incompatible change to frames or payloads. Negotiation is
+/// deliberately exact-match: both sides are built from this repo.
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frames above this are garbage (or an attack), not campaigns.
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kLease = 2,
+  kResult = 3,
+  kHeartbeat = 4,
+  kBye = 5,
+  // Daemon (client connections) only:
+  kSubmit = 6,
+  kProgress = 7,
+  kArtifact = 8,
+  kDone = 9,
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Serialise one frame (header + payload).
+std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Incremental frame parser: feed() whatever recv() produced — any split,
+/// down to one byte at a time — and pop complete frames with next().
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  /// Extract the next complete frame. False = need more bytes (or the
+  /// stream is corrupt; check corrupt()).
+  bool next(Frame* out);
+
+  /// An impossible length or unknown type was seen; the connection is
+  /// unusable and should be closed.
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  bool corrupt_ = false;
+};
+
+// --- handshake -------------------------------------------------------------
+
+struct Hello {
+  std::uint32_t version = kProtocolVersion;
+  std::string role;  // "worker" | "client" | "coordinator"
+  std::string name;  // diagnostic label (worker pid, client id)
+};
+
+std::string encode_hello(const Hello& h);
+bool decode_hello(std::string_view payload, Hello* out);
+
+// --- leases ----------------------------------------------------------------
+
+/// Worker -> coordinator: "I can take up to `want` cells."
+std::string encode_lease_request(int want);
+bool decode_lease_request(std::string_view payload, int* want);
+
+/// Coordinator -> worker: a batch of (slot, cell). Slots are coordinator
+/// bookkeeping (position in the dispatch queue) and are echoed back in
+/// RESULT frames; cell.index keeps its campaign-plan meaning untouched.
+std::string encode_lease_grant(const std::vector<int>& slots,
+                               const std::vector<campaign::RunCell>& cells);
+bool decode_lease_grant(std::string_view payload, std::vector<int>* slots,
+                        std::vector<campaign::RunCell>* cells);
+
+// --- cells and results -----------------------------------------------------
+
+/// Exact kv serialisation of a RunCell, schedule events included.
+std::string encode_cell(const campaign::RunCell& cell);
+bool decode_cell(std::string_view payload, campaign::RunCell* out);
+
+/// RESULT payload: the dispatch slot + the sandbox wire bytes of the result.
+std::string encode_result(int slot, const campaign::RunResult& r);
+bool decode_result(std::string_view payload, int* slot,
+                   campaign::RunResult* out);
+
+// --- bye -------------------------------------------------------------------
+
+std::string encode_bye(std::string_view reason);
+std::string decode_bye(std::string_view payload);  // reason ("" = graceful)
+
+// --- daemon: submit / progress / artifact / done ---------------------------
+
+/// A job submission: the spec *text* (the daemon parses and plans; the
+/// client stays dumb) plus the CLI's override knobs.
+struct Submit {
+  std::string spec_text;
+  std::string filter;
+  int timeout_ms = -1;       // -1 = keep the spec's value
+  std::int64_t max_events = -1;
+  int retries = -1;
+  int explore = 0;           // > 0: coverage-guided search with this budget
+};
+
+std::string encode_submit(const Submit& s);
+bool decode_submit(std::string_view payload, Submit* out);
+
+/// PROGRESS and DONE carry one JSON document; ARTIFACT carries a named one.
+std::string encode_json_line(FrameType type, std::string_view json);
+std::string decode_json_line(std::string_view payload);
+
+std::string encode_artifact(std::string_view name, std::string_view bytes);
+bool decode_artifact(std::string_view payload, std::string* name,
+                     std::string* bytes);
+
+}  // namespace pfi::fabric

@@ -1,0 +1,231 @@
+#include "fabric/worker.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/executor.hpp"
+#include "fabric/socket.hpp"
+#include "fabric/wire.hpp"
+
+namespace pfi::fabric {
+
+namespace {
+
+/// Blocking read of the next complete frame. False on EOF/error/corruption.
+bool read_frame(int fd, FrameReader* reader, Frame* out) {
+  for (;;) {
+    if (reader->next(out)) return true;
+    if (reader->corrupt()) return false;
+    char buf[65536];
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    reader->feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// Heartbeats while the executor computes. The frame is pre-encoded and the
+/// loop never allocates: the executor's --isolate path forks while this
+/// thread runs, and a child must not inherit a held malloc lock.
+class Heartbeat {
+ public:
+  Heartbeat(int fd, std::mutex* write_mu, int interval_ms)
+      : fd_(fd),
+        write_mu_(write_mu),
+        interval_ms_(interval_ms < 50 ? 50 : interval_ms),
+        frame_(encode_frame(FrameType::kHeartbeat, "")) {
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~Heartbeat() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    int slept = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      // Sleep in short slices so shutdown never waits a full interval.
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      slept += 25;
+      if (slept < interval_ms_) continue;
+      slept = 0;
+      std::lock_guard<std::mutex> lock(*write_mu_);
+      if (!send_all(fd_, frame_.data(), frame_.size())) return;
+    }
+  }
+
+  int fd_;
+  std::mutex* write_mu_;
+  int interval_ms_;
+  std::string frame_;  // pre-encoded: the loop must not allocate
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace
+
+int run_worker(const WorkerOptions& opts) {
+  std::string err;
+  const int fd = dial(opts.connect, &err);
+  if (fd < 0) {
+    if (opts.on_log) opts.on_log(err);
+    return 1;
+  }
+
+  FrameReader reader;
+  Hello hello;
+  hello.role = "worker";
+  hello.name = opts.name.empty() ? "pid-" + std::to_string(getpid())
+                                 : opts.name;
+  const std::string hello_bytes =
+      encode_frame(FrameType::kHello, encode_hello(hello));
+  if (!send_all(fd, hello_bytes.data(), hello_bytes.size())) {
+    close(fd);
+    return 1;
+  }
+  Frame f;
+  if (!read_frame(fd, &reader, &f)) {
+    close(fd);
+    return 1;
+  }
+  if (f.type == FrameType::kBye) {
+    const std::string reason = decode_bye(f.payload);
+    if (opts.on_log) opts.on_log("rejected: " + reason);
+    close(fd);
+    return reason.find("version mismatch") != std::string::npos ? 2 : 1;
+  }
+  Hello reply;
+  if (f.type != FrameType::kHello || !decode_hello(f.payload, &reply)) {
+    close(fd);
+    return 1;
+  }
+
+  const int want =
+      opts.lease_want > 0 ? opts.lease_want : std::max(2, 2 * opts.jobs);
+  std::mutex write_mu;
+  int rc = 1;  // pessimistic: overwritten by a graceful BYE
+  {
+    Heartbeat heartbeat(fd, &write_mu, opts.heartbeat_ms);
+    auto send_frame = [&](const std::string& bytes) {
+      std::lock_guard<std::mutex> lock(write_mu);
+      return send_all(fd, bytes.data(), bytes.size());
+    };
+
+    if (!send_frame(encode_frame(FrameType::kLease,
+                                 encode_lease_request(want)))) {
+      close(fd);
+      return 1;
+    }
+
+    for (;;) {
+      if (!read_frame(fd, &reader, &f)) break;
+      if (f.type == FrameType::kBye) {
+        rc = 0;
+        break;
+      }
+      if (f.type == FrameType::kHeartbeat) continue;
+      if (f.type != FrameType::kLease) break;  // protocol violation
+
+      std::vector<int> slots;
+      std::vector<campaign::RunCell> cells;
+      if (!decode_lease_grant(f.payload, &slots, &cells)) break;
+      if (opts.on_log) {
+        opts.on_log("lease: " + std::to_string(cells.size()) + " cell(s)");
+      }
+
+      // The executor returns results[i] == cells[i] and r.index keeps the
+      // campaign-plan index; map it back to the coordinator's slot.
+      std::map<int, int> slot_of_index;
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        slot_of_index[cells[i].index] = slots[i];
+      }
+      bool write_failed = false;
+      campaign::ExecutorOptions eopts;
+      eopts.jobs = opts.jobs;
+      eopts.isolate = opts.isolate;
+      eopts.retries = opts.retries;
+      eopts.on_result = [&](const campaign::RunResult& r) {
+        const auto it = slot_of_index.find(r.index);
+        if (it == slot_of_index.end()) return;
+        if (!send_frame(encode_frame(FrameType::kResult,
+                                     encode_result(it->second, r)))) {
+          write_failed = true;
+        }
+      };
+      eopts.should_stop = [&] { return write_failed; };
+      campaign::run_cells(cells, eopts);
+      if (write_failed) break;
+
+      if (!send_frame(encode_frame(FrameType::kLease,
+                                   encode_lease_request(want)))) {
+        break;
+      }
+    }
+  }  // heartbeat joins before the fd closes
+  close(fd);
+  return rc;
+}
+
+bool spawn_local_workers(const WorkerOptions& base, int n, int close_fd,
+                         LocalWorkerPool* pool, std::string* err) {
+  for (int i = 0; i < n; ++i) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      *err = std::string("fabric: fork failed: ") + std::strerror(errno);
+      return false;
+    }
+    if (pid == 0) {
+      if (close_fd >= 0) close(close_fd);
+      WorkerOptions o = base;
+      o.name = "local-" + std::to_string(i) + "-" + std::to_string(getpid());
+      _exit(run_worker(o));
+    }
+    pool->pids.push_back(pid);
+  }
+  return true;
+}
+
+int reap_local_workers(LocalWorkerPool* pool, int grace_ms) {
+  int killed = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms);
+  std::vector<pid_t> left = pool->pids;
+  pool->pids.clear();
+  while (!left.empty()) {
+    for (std::size_t i = left.size(); i-- > 0;) {
+      int status = 0;
+      const pid_t r = waitpid(left[i], &status, WNOHANG);
+      if (r == left[i] || (r < 0 && errno == ECHILD)) {
+        left.erase(left.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    if (left.empty()) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      for (const pid_t pid : left) {
+        kill(pid, SIGKILL);
+        ++killed;
+        while (waitpid(pid, nullptr, 0) < 0 && errno == EINTR) {
+        }
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return killed;
+}
+
+}  // namespace pfi::fabric

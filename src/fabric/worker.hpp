@@ -1,0 +1,56 @@
+// Worker process: pulls cell leases from a coordinator, executes them
+// through the campaign executor (so --jobs, --isolate, retries and the
+// per-cell watchdog all still apply *inside* the worker), and streams each
+// result back the moment it finishes. A heartbeat thread keeps the
+// coordinator's dead-worker detector quiet while a long cell computes.
+//
+// Fork-safety: the heartbeat thread sends a pre-encoded frame and never
+// allocates, so the executor's --isolate path (which forks children while
+// the heartbeat thread runs) cannot inherit a held malloc lock.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace pfi::fabric {
+
+struct WorkerOptions {
+  std::string connect;   // "HOST:PORT" or "unix:PATH"
+  int jobs = 1;          // executor threads / child processes per lease
+  bool isolate = false;  // fork-sandbox each cell inside the worker
+  int retries = 0;       // executor retry policy for errored cells
+  /// Cells requested per lease; 0 = auto (2 * jobs, min 2), enough to
+  /// overlap computing with the next round trip.
+  int lease_want = 0;
+  int heartbeat_ms = 500;
+  std::string name;      // diagnostic label sent in HELLO
+  std::function<void(const std::string&)> on_log;
+};
+
+/// Connect, handshake, and serve leases until the coordinator says BYE.
+/// Returns 0 on a graceful BYE, 1 on a connect/protocol/socket failure,
+/// 2 when the coordinator rejected our protocol version.
+int run_worker(const WorkerOptions& opts);
+
+/// Auto-spawned local workers (`pfi_campaign --workers N`): each is a
+/// fork()ed child running run_worker() and _exit()ing. Must be called
+/// while the parent is still single-threaded.
+struct LocalWorkerPool {
+  std::vector<pid_t> pids;
+};
+
+/// Fork `n` workers dialing `base.connect`. `close_fd` (the parent's
+/// listening socket, usually) is closed in each child so a dead parent
+/// can't leak the bound address. False + *err on fork failure.
+bool spawn_local_workers(const WorkerOptions& base, int n, int close_fd,
+                         LocalWorkerPool* pool, std::string* err);
+
+/// Reap every spawned worker: up to `grace_ms` of WNOHANG polling for a
+/// voluntary exit (they exit on BYE), then SIGKILL + blocking reap.
+/// Returns the number that had to be killed.
+int reap_local_workers(LocalWorkerPool* pool, int grace_ms = 5000);
+
+}  // namespace pfi::fabric

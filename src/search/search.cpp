@@ -248,7 +248,8 @@ SearchResult explore(const campaign::CampaignSpec& spec,
       eopts.isolate = opts.isolate;
       eopts.retries = opts.retries;
       eopts.should_stop = opts.should_stop;
-      results = campaign::run_cells(cells, eopts);
+      results = opts.run_batch ? opts.run_batch(cells, eopts)
+                               : campaign::run_cells(cells, eopts);
     }
     // Fresh records land in the cache (and journal) before processing, so
     // the minimizer later probes through them too.

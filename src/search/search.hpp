@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/executor.hpp"
 #include "campaign/minimize.hpp"
 #include "campaign/spec.hpp"
 #include "search/corpus.hpp"
@@ -59,6 +60,17 @@ struct SearchOptions {
 
   std::function<void(const std::string&)> on_progress;  // stderr lines
   std::function<bool()> should_stop;
+
+  /// Batch-execution override. When set, each generation's surviving cells
+  /// go through this instead of campaign::run_cells — the fabric daemon
+  /// plugs distributed execution in here. Must keep the executor contract:
+  /// results[i] corresponds to cells[i], index == -1 for unexecuted slots.
+  /// Minimizer probes (single cells) stay in-process either way: they are
+  /// sequential by nature and usually journal-cached.
+  std::function<std::vector<campaign::RunResult>(
+      const std::vector<campaign::RunCell>&,
+      const campaign::ExecutorOptions&)>
+      run_batch;
 };
 
 struct SearchViolation {

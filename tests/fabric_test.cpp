@@ -1,0 +1,467 @@
+// Fabric tests: wire-format framing (any byte split, hex-float payload
+// fidelity, corruption and version rejection), coordinator/worker
+// distribution (byte-identical records at any worker count), lease
+// requeueing when a worker dies mid-lease, journal merging, the executor's
+// slot-ordered streaming callback, and the campaign-as-a-service daemon
+// end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "campaign/executor.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/schedule.hpp"
+#include "campaign/spec.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/service.hpp"
+#include "fabric/socket.hpp"
+#include "fabric/wire.hpp"
+#include "fabric/worker.hpp"
+
+namespace pfi::fabric {
+namespace {
+
+using campaign::CampaignSpec;
+using campaign::RunCell;
+using campaign::RunResult;
+using core::scriptgen::FaultKind;
+
+CampaignSpec small_gmp_spec() {
+  CampaignSpec spec;
+  spec.name = "fabric-unit";
+  spec.protocol = "gmp";
+  spec.oracle = "quiet";
+  spec.types = {"gmp-heartbeat", "gmp-commit"};
+  spec.faults = {FaultKind::kDrop};
+  spec.seeds = {1000, 1001, 1002};
+  spec.burst = 2;
+  spec.on_send_side = false;
+  spec.warmup = 0;
+  spec.duration = sim::sec(40);
+  return spec;
+}
+
+std::vector<std::string> record_strings(const std::vector<RunResult>& rs) {
+  std::vector<std::string> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) out.push_back(campaign::record_json(r));
+  return out;
+}
+
+// --- framing ---------------------------------------------------------------
+
+TEST(FabricWire, FramesSurviveByteAtATimeDelivery) {
+  const std::string stream =
+      encode_frame(FrameType::kHello, encode_hello(Hello{7, "worker", "w0"})) +
+      encode_frame(FrameType::kHeartbeat, "") +
+      encode_frame(FrameType::kBye, encode_bye("so long"));
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  Frame f;
+  for (char c : stream) {
+    reader.feed(&c, 1);  // worst-case recv() fragmentation
+    while (reader.next(&f)) frames.push_back(f);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  Hello h;
+  ASSERT_TRUE(decode_hello(frames[0].payload, &h));
+  EXPECT_EQ(h.version, 7u);
+  EXPECT_EQ(h.role, "worker");
+  EXPECT_EQ(h.name, "w0");
+  EXPECT_EQ(frames[1].type, FrameType::kHeartbeat);
+  EXPECT_TRUE(frames[1].payload.empty());
+  EXPECT_EQ(decode_bye(frames[2].payload), "so long");
+  EXPECT_FALSE(reader.corrupt());
+}
+
+TEST(FabricWire, RejectsCorruptStreams) {
+  {
+    FrameReader reader;  // impossible length
+    const char huge[] = {'\x7f', '\x7f', '\x7f', '\x7f', '\x01'};
+    reader.feed(huge, sizeof huge);
+    Frame f;
+    EXPECT_FALSE(reader.next(&f));
+    EXPECT_TRUE(reader.corrupt());
+  }
+  {
+    FrameReader reader;  // unknown frame type 0x63
+    const char unknown[] = {'\x00', '\x00', '\x00', '\x01', '\x63'};
+    reader.feed(unknown, sizeof unknown);
+    Frame f;
+    EXPECT_FALSE(reader.next(&f));
+    EXPECT_TRUE(reader.corrupt());
+  }
+}
+
+TEST(FabricWire, CellRoundTripsAllScheduleEventKinds) {
+  const auto spec = small_gmp_spec();
+  RunCell cell = campaign::plan(spec)[0];
+  cell.schedule.events.clear();
+  campaign::FaultEvent e;
+  e.type = "*";
+  for (const FaultKind kind :
+       {FaultKind::kDrop, FaultKind::kDelay, FaultKind::kDuplicate,
+        FaultKind::kCorrupt, FaultKind::kReorder}) {
+    e.kind = kind;
+    e.occurrence += 2;
+    e.delay = sim::msec(35);
+    e.copies = 3;
+    e.corrupt_offset = 11;
+    cell.schedule.events.push_back(e);
+  }
+  cell.timeout_ms = 1234;
+  cell.max_sim_events = 99999;
+  cell.capture_timeline = true;
+
+  RunCell back;
+  ASSERT_TRUE(decode_cell(encode_cell(cell), &back));
+  EXPECT_EQ(back.index, cell.index);
+  EXPECT_EQ(back.id, cell.id);
+  EXPECT_EQ(back.protocol, cell.protocol);
+  EXPECT_EQ(back.oracle, cell.oracle);
+  EXPECT_EQ(back.seed, cell.seed);
+  EXPECT_EQ(back.timeout_ms, cell.timeout_ms);
+  EXPECT_EQ(back.max_sim_events, cell.max_sim_events);
+  EXPECT_EQ(back.capture_timeline, cell.capture_timeline);
+  ASSERT_EQ(back.schedule.size(), cell.schedule.size());
+  for (std::size_t i = 0; i < cell.schedule.events.size(); ++i) {
+    EXPECT_EQ(back.schedule.events[i].kind, cell.schedule.events[i].kind);
+    EXPECT_EQ(back.schedule.events[i].occurrence,
+              cell.schedule.events[i].occurrence);
+    EXPECT_EQ(back.schedule.events[i].delay, cell.schedule.events[i].delay);
+    EXPECT_EQ(back.schedule.events[i].copies, cell.schedule.events[i].copies);
+  }
+  // The compiled scripts — what actually executes — must match exactly.
+  EXPECT_EQ(back.schedule.compile().receive, cell.schedule.compile().receive);
+}
+
+TEST(FabricWire, ResultRoundTripsExactDoubles) {
+  // A fresh execution's record must be byte-identical after crossing the
+  // wire: doubles travel as C99 %a hex floats, not decimal approximations.
+  const auto cells = campaign::plan(small_gmp_spec());
+  const RunResult r = campaign::run_cell(cells[0]);
+  std::string payload = encode_result(42, r);
+  int slot = -1;
+  RunResult back;
+  ASSERT_TRUE(decode_result(payload, &slot, &back));
+  EXPECT_EQ(slot, 42);
+  EXPECT_EQ(campaign::record_json(back), campaign::record_json(r));
+  EXPECT_EQ(back.metrics.size(), r.metrics.size());
+}
+
+// --- coordinator + workers -------------------------------------------------
+
+TEST(Fabric, VersionMismatchIsRejectedWithByeReason) {
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+
+  const auto cells = campaign::plan(small_gmp_spec());
+  std::atomic<bool> stop{false};
+  FabricStats stats;
+  std::thread coordinator([&] {
+    FabricOptions opts;
+    opts.should_stop = [&] { return stop.load(); };
+    run_fabric(&listener, cells, opts, &stats);
+  });
+
+  const int fd = dial(listener.address(), &err);
+  ASSERT_GE(fd, 0) << err;
+  Hello hello;
+  hello.version = 999;
+  hello.role = "worker";
+  const std::string bytes =
+      encode_frame(FrameType::kHello, encode_hello(hello));
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+
+  FrameReader reader;
+  Frame f;
+  bool got = false;
+  char buf[4096];
+  for (int i = 0; i < 200 && !got; ++i) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    reader.feed(buf, static_cast<std::size_t>(n));
+    got = reader.next(&f);
+  }
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.type, FrameType::kBye);
+  EXPECT_NE(decode_bye(f.payload).find("version mismatch"),
+            std::string::npos);
+  close(fd);
+
+  stop.store(true);
+  coordinator.join();
+  EXPECT_EQ(stats.version_rejected, 1);
+}
+
+TEST(Fabric, MatchesInProcessRecordsAtAnyWorkerCount) {
+  const auto cells = campaign::plan(small_gmp_spec());
+  const auto baseline = record_strings(campaign::run_cells(cells, {}));
+
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+  // Fork before anything threads: worker children must come from a
+  // single-threaded parent.
+  WorkerOptions wopts;
+  wopts.connect = listener.address();
+  LocalWorkerPool pool;
+  ASSERT_TRUE(spawn_local_workers(wopts, 3, listener.fd(), &pool, &err))
+      << err;
+
+  FabricOptions fopts;
+  fopts.no_worker_timeout_ms = 30000;
+  std::vector<int> ordered_indices;
+  fopts.on_result_ordered = [&](const RunResult& r) {
+    ordered_indices.push_back(r.index);
+  };
+  FabricStats stats;
+  const auto results = run_fabric(&listener, cells, fopts, &stats);
+  reap_local_workers(&pool);
+
+  EXPECT_EQ(record_strings(results), baseline);
+  EXPECT_GE(stats.workers_joined, 1);
+  // The ordered stream saw every slot, in slot order.
+  ASSERT_EQ(ordered_indices.size(), cells.size());
+  for (std::size_t i = 0; i < ordered_indices.size(); ++i) {
+    EXPECT_EQ(ordered_indices[i], static_cast<int>(i));
+  }
+}
+
+TEST(Fabric, DeadWorkerLeasesRequeueToSurvivors) {
+  // Deterministic worker-death: a scripted "vampire" connection leases
+  // cells and vanishes without producing results; the engine must requeue
+  // its slots and a real worker must finish the campaign byte-identically.
+  const auto cells = campaign::plan(small_gmp_spec());
+  const auto baseline = record_strings(campaign::run_cells(cells, {}));
+
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+
+  Engine::Options eopts;
+  Engine engine(&listener, eopts);
+  std::vector<RunResult> results(cells.size());
+  bool done = false;
+  engine.set_batch(
+      &cells,
+      [&](int slot, RunResult r) {
+        results[static_cast<std::size_t>(slot)] = std::move(r);
+      },
+      [&] { done = true; });
+
+  // Vampire: handshake, lease, disappear.
+  const int fd = dial(listener.address(), &err);
+  ASSERT_GE(fd, 0) << err;
+  fcntl(fd, F_SETFL, O_NONBLOCK);
+  Hello hello;
+  hello.role = "worker";
+  hello.name = "vampire";
+  std::string bytes = encode_frame(FrameType::kHello, encode_hello(hello));
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+  bytes = encode_frame(FrameType::kLease, encode_lease_request(4));
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+
+  FrameReader reader;
+  Frame f;
+  bool leased = false;
+  for (int i = 0; i < 400 && !leased; ++i) {
+    engine.step(10);
+    char buf[65536];
+    for (;;) {
+      const ssize_t n = recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      reader.feed(buf, static_cast<std::size_t>(n));
+    }
+    while (reader.next(&f)) {
+      if (f.type != FrameType::kLease) continue;
+      std::vector<int> slots;
+      std::vector<RunCell> granted;
+      ASSERT_TRUE(decode_lease_grant(f.payload, &slots, &granted));
+      EXPECT_FALSE(slots.empty());
+      leased = true;
+    }
+  }
+  ASSERT_TRUE(leased) << "vampire never got a lease";
+  close(fd);  // dies holding its lease
+
+  // Now a real worker (forked; the Engine itself spawns no threads).
+  WorkerOptions wopts;
+  wopts.connect = listener.address();
+  LocalWorkerPool pool;
+  ASSERT_TRUE(spawn_local_workers(wopts, 1, listener.fd(), &pool, &err))
+      << err;
+  for (int i = 0; i < 3000 && !done; ++i) engine.step(20);
+  ASSERT_TRUE(done);
+  engine.shutdown("test complete");
+  reap_local_workers(&pool);
+
+  EXPECT_EQ(record_strings(results), baseline);
+  EXPECT_GE(engine.stats.cells_requeued, 1);
+  EXPECT_GE(engine.stats.workers_lost, 1);
+}
+
+// --- journal merging -------------------------------------------------------
+
+TEST(FabricJournal, MergeDedupesSortsAndIgnoresInputOrder) {
+  const std::string a = "/tmp/pfi_fabric_test_a.jsonl";
+  const std::string b = "/tmp/pfi_fabric_test_b.jsonl";
+  {
+    campaign::Journal ja;
+    ASSERT_TRUE(ja.open(a));
+    ja.append("00000000000000ff", "{\"index\":2,\"id\":\"z\"}");
+    ja.append("0000000000000001", "{\"index\":0,\"id\":\"x\"}");
+    campaign::Journal jb;
+    ASSERT_TRUE(jb.open(b));
+    jb.append("0000000000000001", "{\"index\":0,\"id\":\"x\"}");  // dup
+    jb.append("00000000000000aa", "{\"index\":1,\"id\":\"y\"}");
+  }
+  int conflicts = -1;
+  const auto ab = campaign::merge_journals({a, b}, &conflicts);
+  EXPECT_EQ(conflicts, 0);  // identical duplicate is not a conflict
+  ASSERT_EQ(ab.size(), 3u);
+  const auto ba = campaign::merge_journals({b, a});
+  EXPECT_EQ(campaign::journal_jsonl(ab), campaign::journal_jsonl(ba));
+  // Sorted normal form: keys ascending, one line each.
+  const std::string jsonl = campaign::journal_jsonl(ab);
+  EXPECT_LT(jsonl.find("0000000000000001"), jsonl.find("00000000000000aa"));
+  EXPECT_LT(jsonl.find("00000000000000aa"), jsonl.find("00000000000000ff"));
+
+  // A same-key, different-bytes collision is corruption and is counted.
+  {
+    campaign::Journal jb;
+    ASSERT_TRUE(jb.open(b));  // append mode
+    jb.append("00000000000000ff", "{\"index\":2,\"id\":\"DIFFERENT\"}");
+  }
+  conflicts = 0;
+  const auto clash = campaign::merge_journals({a, b}, &conflicts);
+  EXPECT_EQ(conflicts, 1);
+  EXPECT_EQ(clash.at("00000000000000ff"), "{\"index\":2,\"id\":\"z\"}");
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+// --- executor ordered streaming --------------------------------------------
+
+TEST(Executor, OrderedCallbackStreamsSlotOrderUnderParallelism) {
+  const auto cells = campaign::plan(small_gmp_spec());
+  campaign::ExecutorOptions opts;
+  opts.jobs = 4;
+  std::vector<int> completion, ordered;
+  opts.on_result = [&](const RunResult& r) { completion.push_back(r.index); };
+  opts.on_result_ordered = [&](const RunResult& r) {
+    ordered.push_back(r.index);
+  };
+  const auto results = campaign::run_cells(cells, opts);
+  ASSERT_EQ(results.size(), cells.size());
+  EXPECT_EQ(completion.size(), cells.size());
+  ASSERT_EQ(ordered.size(), cells.size());
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_EQ(ordered[i], static_cast<int>(i));
+  }
+}
+
+// --- the daemon ------------------------------------------------------------
+
+TEST(FabricService, RunsSubmittedJobAndReturnsByteIdenticalArtifacts) {
+  const std::string spec_text =
+      "name fabric-unit\n"
+      "protocol gmp\n"
+      "oracle quiet\n"
+      "types gmp-heartbeat gmp-commit\n"
+      "faults drop\n"
+      "seeds 1000..1002\n"
+      "burst 2\n"
+      "side receive\n"
+      "duration_s 40\n";
+  std::string err;
+  const auto spec = campaign::parse_spec(spec_text, &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  const auto cells = campaign::plan(*spec);
+  const auto baseline = campaign::run_cells(cells, {});
+
+  Listener listener;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+  // Worker first (fork needs a single-threaded parent), then the service.
+  WorkerOptions wopts;
+  wopts.connect = listener.address();
+  LocalWorkerPool pool;
+  ASSERT_TRUE(spawn_local_workers(wopts, 1, listener.fd(), &pool, &err))
+      << err;
+  std::atomic<bool> stop{false};
+  ServiceStats stats;
+  std::thread daemon([&] {
+    ServiceOptions sopts;
+    sopts.should_stop = [&] { return stop.load(); };
+    run_service(&listener, sopts, &stats);
+  });
+
+  const int fd = dial(listener.address(), &err);
+  ASSERT_GE(fd, 0) << err;
+  Hello hello;
+  hello.role = "client";
+  std::string bytes = encode_frame(FrameType::kHello, encode_hello(hello));
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+  Submit submit;
+  submit.spec_text = spec_text;
+  bytes = encode_frame(FrameType::kSubmit, encode_submit(submit));
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+
+  FrameReader reader;
+  Frame f;
+  int progress_frames = 0;
+  std::string report, journal, done;
+  while (done.empty()) {
+    char buf[65536];
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0) << "daemon closed before DONE";
+    reader.feed(buf, static_cast<std::size_t>(n));
+    while (reader.next(&f)) {
+      if (f.type == FrameType::kProgress) {
+        ++progress_frames;
+      } else if (f.type == FrameType::kArtifact) {
+        std::string name, content;
+        ASSERT_TRUE(decode_artifact(f.payload, &name, &content));
+        if (name == "report") report = content;
+        if (name == "journal") journal = content;
+      } else if (f.type == FrameType::kDone) {
+        done = decode_json_line(f.payload);
+      }
+    }
+  }
+  close(fd);
+  stop.store(true);
+  daemon.join();
+  reap_local_workers(&pool);
+
+  EXPECT_GE(progress_frames, static_cast<int>(cells.size()));
+  EXPECT_NE(done.find("\"status\":\"ok\""), std::string::npos) << done;
+  // Every baseline record appears, byte-identical, in the daemon's report.
+  ASSERT_FALSE(report.empty());
+  for (const RunResult& r : baseline) {
+    EXPECT_NE(report.find(campaign::record_json(r)), std::string::npos)
+        << r.id;
+  }
+  // The journal artifact is the sorted normal form keyed by content hash.
+  ASSERT_FALSE(journal.empty());
+  std::size_t lines = 0;
+  for (char c : journal) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, cells.size());
+  EXPECT_EQ(stats.jobs_completed, 1);
+}
+
+}  // namespace
+}  // namespace pfi::fabric
