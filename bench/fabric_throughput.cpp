@@ -129,6 +129,55 @@ int main() {
                      {"records_identical", identical ? "true" : "false"}});
   }
 
+  // Reconnect tax: same one-worker fabric run, but the coordinator severs
+  // the worker's link after every 8th result (simulated partition). The
+  // worker notices, backs off, reconnects under its stable id and re-sends
+  // unacked results — the difference to the unflapped one-worker run
+  // prices the whole reconnect-and-resume machinery.
+  {
+    fabric::Listener listener;
+    std::string err;
+    if (!listener.open("127.0.0.1:0", &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+    fabric::WorkerOptions wopts;
+    wopts.connect = listener.address();
+    fabric::LocalWorkerPool pool;
+    if (!fabric::spawn_local_workers(wopts, 1, listener.fd(), &pool, &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+    fabric::FabricOptions fopts;
+    fopts.no_worker_timeout_ms = 60000;
+    fopts.flap_every = 8;
+    fabric::FabricStats fstats;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = fabric::run_fabric(&listener, cells, fopts, &fstats);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    fabric::reap_local_workers(&pool);
+    const bool identical = records_of(results) == baseline;
+    std::printf("%20s %12.1f %12.0f %9.2fx %12s\n", "fabric flap-every-8", ms,
+                1000.0 * static_cast<double>(cells.size()) / ms,
+                inproc_1_ms / ms, identical ? "identical" : "DIVERGED");
+    const double per_flap =
+        fstats.links_dropped > 0
+            ? (ms - fabric_1_ms) / fstats.links_dropped
+            : 0.0;
+    std::printf(
+        "reconnect overhead: %d flap(s), %d reattach(es), %.1f ms/flap\n",
+        fstats.links_dropped, fstats.workers_reattached, per_flap);
+    bench::json_row("fabric_reconnect",
+                    {{"flap_every", "8"},
+                     {"wall_ms", std::to_string(ms)},
+                     {"links_dropped", std::to_string(fstats.links_dropped)},
+                     {"reattached", std::to_string(fstats.workers_reattached)},
+                     {"overhead_ms_per_flap", std::to_string(per_flap)},
+                     {"records_identical", identical ? "true" : "false"}});
+  }
+
   // Coordinator tax: what the socket hop + framing + lease protocol adds
   // per cell over running the same work inline in one process.
   const double overhead_us_per_cell =

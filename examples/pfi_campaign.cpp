@@ -81,9 +81,16 @@ struct Args {
   std::string corpus_out;   // --explore: write the corpus JSONL here
   std::string corpus_in;    // --explore: resume from this corpus JSONL
   int workers = 0;          // > 0: distribute over auto-spawned workers
+  std::string listen;       // fabric listen address for external pfi_workers
+  std::string token;        // fabric shared secret (HELLO auth)
+  int heartbeat_ms = 500;   // auto-spawned workers' beat interval
+  int dead_after_ms = 5000;      // coordinator's worker-silence threshold
+  int reconnect_grace_ms = -1;   // detached-worker grace; -1 = dead-after-ms
+  int max_workers = 0;      // --submit: per-job distinct-worker quota
   std::string submit;       // daemon address: run the spec as a fabric job
   bool merge_journals = false;  // positional args are journal files to merge
   bool workers_kill_one = false;  // test hook: SIGKILL one worker mid-run
+  int workers_flap = 0;     // test hook: sever a worker link every N results
   bool isolate = false;
   bool resume = false;
   bool minimize = false;
@@ -127,10 +134,25 @@ int usage(int code) {
       "  --workers N       distribute cells over N auto-spawned local worker\n"
       "                    processes (docs/FABRIC.md); the report is\n"
       "                    byte-identical to --jobs 1\n"
+      "  --listen ADDR     coordinate over ADDR (HOST:PORT or unix:PATH) so\n"
+      "                    external pfi_worker processes can join; combines\n"
+      "                    with --workers N local ones\n"
+      "  --token SECRET    fabric shared secret: required of every worker\n"
+      "                    (--workers/--listen) and presented to the daemon\n"
+      "                    (--submit); or set PFI_FABRIC_TOKEN\n"
+      "  --heartbeat-ms N  auto-spawned workers' beat interval (default 500)\n"
+      "  --dead-after-ms N worker silence threshold (default 5000)\n"
+      "  --reconnect-grace-ms N  how long a disconnected worker may stay\n"
+      "                    away before its leases requeue (default:\n"
+      "                    dead-after-ms)\n"
       "  --submit ADDR     send the spec to a pfi_fabricd daemon at ADDR\n"
       "                    (HOST:PORT or unix:PATH) instead of executing\n"
-      "                    locally; streams progress, writes the returned\n"
-      "                    artifacts to --out/--journal/--metrics-out\n"
+      "                    locally; streams progress and live journal\n"
+      "                    chunks, writes the returned artifacts to\n"
+      "                    --out/--journal/--metrics-out; with --resume,\n"
+      "                    sends journaled keys so only the rest execute\n"
+      "  --max-workers N   (--submit) cap the distinct workers serving this\n"
+      "                    job so concurrent jobs share the pool\n"
       "  --merge-journals  treat the positional arguments as journal JSONL\n"
       "                    files: dedupe by content key, sort, write one\n"
       "                    byte-deterministic journal to --out (or stdout)\n"
@@ -219,10 +241,26 @@ int main(int argc, char** argv) {
       args.timeline = next();
     } else if (a == "--workers") {
       args.workers = std::atoi(next());
+    } else if (a == "--listen") {
+      args.listen = next();
+    } else if (a == "--token") {
+      args.token = next();
+    } else if (a == "--heartbeat-ms") {
+      args.heartbeat_ms = std::atoi(next());
+    } else if (a == "--dead-after-ms") {
+      args.dead_after_ms = std::atoi(next());
+    } else if (a == "--reconnect-grace-ms") {
+      args.reconnect_grace_ms = std::atoi(next());
+    } else if (a == "--max-workers") {
+      args.max_workers = std::atoi(next());
     } else if (a == "--workers-kill-one") {
       // Test hook (CI worker-death smoke): SIGKILL one auto-spawned worker
       // after the first result arrives; the survivors absorb its leases.
       args.workers_kill_one = true;
+    } else if (a == "--workers-flap") {
+      // Test hook (CI/bench link-flap smoke): sever one worker's link every
+      // N results; the workers reconnect and the report must not change.
+      args.workers_flap = std::atoi(next());
     } else if (a == "--submit") {
       args.submit = next();
     } else if (a == "--merge-journals") {
@@ -238,6 +276,10 @@ int main(int argc, char** argv) {
     } else {
       positionals.push_back(a);
     }
+  }
+  if (args.token.empty()) {
+    const char* env = std::getenv("PFI_FABRIC_TOKEN");
+    if (env != nullptr) args.token = env;
   }
 
   if (args.merge_journals) {
@@ -308,6 +350,7 @@ int main(int argc, char** argv) {
     pfi::fabric::Hello hello;
     hello.role = "client";
     hello.name = "pfi_campaign-" + std::to_string(getpid());
+    hello.token = args.token;
     pfi::fabric::Frame f;
     if (!send_frame(pfi::fabric::encode_frame(
             pfi::fabric::FrameType::kHello,
@@ -324,6 +367,10 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    const bool journaling = args.resume || !args.journal.empty();
+    const std::string journal_path =
+        args.journal.empty() ? args.spec_path + ".journal" : args.journal;
+
     pfi::fabric::Submit s;
     s.spec_text = text.str();
     s.filter = args.filter;
@@ -331,6 +378,16 @@ int main(int argc, char** argv) {
     s.max_events = args.max_events;
     s.retries = args.retries;
     s.explore = args.explore;
+    s.max_workers = args.max_workers;
+    if (args.resume) {
+      // Hand the daemon what we already hold: it executes only the rest.
+      // (A previous submit killed mid-stream left its delivered records in
+      // the journal — exactly the chunks the daemon streamed to us.)
+      for (const auto& [key, record] : load_journal(journal_path)) {
+        (void)record;
+        s.have.push_back(key);
+      }
+    }
     if (!send_frame(pfi::fabric::encode_frame(
             pfi::fabric::FrameType::kSubmit, pfi::fabric::encode_submit(s)))) {
       std::fprintf(stderr, "error: submit failed\n");
@@ -338,9 +395,26 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    const bool journaling = args.resume || !args.journal.empty();
-    const std::string journal_path =
-        args.journal.empty() ? args.spec_path + ".journal" : args.journal;
+    // Live journal stream: each chunk is one flushed record line, so a
+    // client killed mid-run already holds every record that reached it and
+    // the next --resume submit skips those cells. Opened lazily (first
+    // chunk or the final artifact); --resume appends to the prior journal,
+    // a fresh run truncates it.
+    FILE* jf = nullptr;
+    auto journal_write = [&](const std::string& bytes) {
+      if (!journaling) return;
+      if (jf == nullptr) {
+        jf = std::fopen(journal_path.c_str(), args.resume ? "a" : "w");
+        if (jf == nullptr) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       journal_path.c_str());
+          return;
+        }
+      }
+      std::fwrite(bytes.data(), 1, bytes.size(), jf);
+      std::fflush(jf);
+    };
+
     int rc = 2;  // no DONE = daemon died on us
     while (read_frame(&f)) {
       if (f.type == pfi::fabric::FrameType::kProgress) {
@@ -349,12 +423,17 @@ int main(int argc, char** argv) {
                        pfi::fabric::decode_json_line(f.payload).c_str());
         }
       } else if (f.type == pfi::fabric::FrameType::kArtifact) {
-        std::string name, bytes;
-        if (!pfi::fabric::decode_artifact(f.payload, &name, &bytes)) continue;
+        std::string name, bytes, chunk;
+        if (!pfi::fabric::decode_artifact(f.payload, &name, &bytes, &chunk)) {
+          continue;
+        }
         if (name == "report") {
           if (!write_file_or_stdout(args.out, bytes)) rc = 2;
-        } else if (name == "journal" && journaling) {
-          write_file_or_stdout(journal_path, bytes);
+        } else if (name == "journal") {
+          // Chunk or final document alike: append, dedupe on close. The
+          // final artifact re-sends this job's records, so a run whose
+          // chunks were lost still ends up with a complete journal.
+          journal_write(bytes);
         } else if (name == "metrics" && !args.metrics_out.empty()) {
           write_file_or_stdout(args.metrics_out, bytes);
         } else if (name == "corpus" && !args.corpus_out.empty()) {
@@ -387,11 +466,19 @@ int main(int argc, char** argv) {
         break;
       }
     }
+    if (jf != nullptr) {
+      std::fclose(jf);
+      // The file now holds overlapping sets (prior records on --resume,
+      // streamed chunks, the final artifact). Rewrite as the sorted,
+      // deduped normal form every other journal consumer emits.
+      write_file_or_stdout(journal_path,
+                           journal_jsonl(load_journal(journal_path)));
+    }
     close(fd);
     return rc;
   }
 
-  if (args.workers > 0 && args.explore > 0) {
+  if ((args.workers > 0 || !args.listen.empty()) && args.explore > 0) {
     std::fprintf(stderr,
                  "error: --workers applies to the static matrix; distribute "
                  "--explore through pfi_fabricd + --submit instead\n");
@@ -617,31 +704,47 @@ int main(int argc, char** argv) {
   // (records, journal, metrics, summary) is byte-identical.
   pfi::fabric::Listener listener;
   pfi::fabric::LocalWorkerPool pool;
-  if (args.workers > 0) {
+  const bool use_fabric = args.workers > 0 || !args.listen.empty();
+  if (use_fabric) {
     std::string ferr;
-    if (!listener.open("127.0.0.1:0", &ferr)) {
+    // --listen publishes a real address for external pfi_worker processes;
+    // plain --workers keeps the fabric on an ephemeral loopback port.
+    if (!listener.open(args.listen.empty() ? "127.0.0.1:0" : args.listen,
+                       &ferr)) {
       std::fprintf(stderr, "error: %s\n", ferr.c_str());
       return 2;
     }
-    pfi::fabric::WorkerOptions wopts;
-    wopts.connect = listener.address();
-    wopts.isolate = args.isolate;
-    wopts.retries = retries;
-    // Spawned before any threads exist (the poll-loop coordinator never
-    // spawns its own): fork() from a single-threaded parent only.
-    if (!pfi::fabric::spawn_local_workers(wopts, args.workers, listener.fd(),
-                                          &pool, &ferr)) {
-      std::fprintf(stderr, "error: %s\n", ferr.c_str());
-      return 2;
+    if (!args.quiet && !args.listen.empty()) {
+      std::fprintf(stderr, "fabric: listening on %s\n",
+                   listener.address().c_str());
+    }
+    if (args.workers > 0) {
+      pfi::fabric::WorkerOptions wopts;
+      wopts.connect = listener.address();
+      wopts.isolate = args.isolate;
+      wopts.retries = retries;
+      wopts.heartbeat_ms = args.heartbeat_ms;
+      wopts.token = args.token;  // the local fleet authenticates like anyone
+      // Spawned before any threads exist (the poll-loop coordinator never
+      // spawns its own): fork() from a single-threaded parent only.
+      if (!pfi::fabric::spawn_local_workers(wopts, args.workers,
+                                            listener.fd(), &pool, &ferr)) {
+        std::fprintf(stderr, "error: %s\n", ferr.c_str());
+        return 2;
+      }
     }
   }
 
   std::signal(SIGINT, handle_sigint);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<RunResult> results;
-  if (args.workers > 0) {
+  if (use_fabric) {
     pfi::fabric::FabricOptions fopts;
     fopts.no_worker_timeout_ms = 60000;
+    fopts.dead_after_ms = args.dead_after_ms;
+    fopts.reconnect_grace_ms = args.reconnect_grace_ms;
+    fopts.token = args.token;
+    fopts.flap_every = args.workers_flap;
     fopts.should_stop = opts.should_stop;
     fopts.on_result = opts.on_result;
     if (args.workers_kill_one) {
@@ -669,6 +772,13 @@ int main(int argc, char** argv) {
                    "%d cell(s) requeued\n",
                    fstats.workers_joined, fstats.workers_lost,
                    fstats.leases_granted, fstats.cells_requeued);
+      if (fstats.links_dropped > 0) {
+        std::fprintf(stderr,
+                     "fabric: %d link(s) dropped, %d reattach(es), "
+                     "%d stale result(s)\n",
+                     fstats.links_dropped, fstats.workers_reattached,
+                     fstats.stale_results);
+      }
     }
   } else {
     results = run_cells(todo, opts);

@@ -6,10 +6,13 @@
 // One socket, two populations: workers (pfi_worker, or --workers N
 // auto-spawned local ones) join the lease pool; clients
 // (`pfi_campaign spec --submit ADDR`) submit campaign or search specs as
-// jobs. Jobs queue FIFO and run one at a time over the shared pool; each
-// client streams PROGRESS lines while its job runs and receives the
-// merged artifacts (report, journal, metrics / corpus) when it finishes.
-// SIGINT/SIGTERM drains the active job and BYEs every connection.
+// jobs. Up to --max-active jobs run concurrently over the shared pool
+// (leases round-robin across them, per-job --max-workers quotas honoured);
+// more queue FIFO. Each client streams PROGRESS lines and live journal
+// chunks while its job runs and receives the final artifacts (report,
+// journal, metrics / corpus) when it finishes. --token gates every HELLO;
+// --allow restricts TCP peers. SIGINT/SIGTERM drains the active jobs and
+// BYEs every connection.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +37,14 @@ int usage(int code) {
       "  --retries N       auto-spawned workers' retry policy\n"
       "  --lease-batch N   max cells per lease grant (default 8)\n"
       "  --dead-after-ms N worker silence threshold (default 5000)\n"
+      "  --reconnect-grace-ms N  how long a disconnected worker may stay\n"
+      "                    away before its leases requeue (default:\n"
+      "                    dead-after-ms)\n"
+      "  --heartbeat-ms N  auto-spawned workers' beat interval (default 500)\n"
+      "  --token SECRET    require this shared secret in every HELLO (or\n"
+      "                    set PFI_FABRIC_TOKEN)\n"
+      "  --allow ADDR      allowlist a TCP peer address (repeatable)\n"
+      "  --max-active N    jobs running concurrently (default 4)\n"
       "  --quiet           no job/worker log lines on stderr\n");
   return code;
 }
@@ -65,6 +76,16 @@ int main(int argc, char** argv) {
       sopts.lease_batch = std::atoi(next());
     } else if (a == "--dead-after-ms") {
       sopts.dead_after_ms = std::atoi(next());
+    } else if (a == "--reconnect-grace-ms") {
+      sopts.reconnect_grace_ms = std::atoi(next());
+    } else if (a == "--heartbeat-ms") {
+      wopts.heartbeat_ms = std::atoi(next());
+    } else if (a == "--token") {
+      sopts.token = next();
+    } else if (a == "--allow") {
+      sopts.allow.emplace_back(next());
+    } else if (a == "--max-active") {
+      sopts.max_active = std::atoi(next());
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--help" || a == "-h") {
@@ -74,6 +95,11 @@ int main(int argc, char** argv) {
     }
   }
   if (listen.empty()) return usage(2);
+  if (sopts.token.empty()) {
+    const char* env = std::getenv("PFI_FABRIC_TOKEN");
+    if (env != nullptr) sopts.token = env;
+  }
+  wopts.token = sopts.token;  // the local fleet authenticates like anyone
 
   std::string err;
   pfi::fabric::Listener listener;

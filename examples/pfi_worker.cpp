@@ -7,8 +7,11 @@
 // locally; this binary is the remote/manual form), pulls cell leases, runs
 // them through the ordinary campaign executor — so --jobs, --isolate,
 // --retries and the per-cell watchdog all apply *inside* the worker — and
-// streams each result back as it finishes. Exits 0 when the coordinator
-// says BYE, 2 if the protocol versions disagree.
+// streams each result back as it finishes. The initial connect and any
+// mid-campaign link loss retry with capped exponential backoff; finished
+// results survive the flap and are re-submitted after the reconnect.
+// Exits 0 when the coordinator says BYE, 2 if the protocol versions
+// disagree, 3 if the coordinator rejected our --token.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,12 +24,19 @@ namespace {
 int usage(int code) {
   std::printf(
       "usage: pfi_worker --connect HOST:PORT|unix:PATH [options]\n"
-      "  --jobs N       executor threads / child processes (default 1)\n"
-      "  --isolate      fork-sandbox each cell inside this worker\n"
-      "  --retries N    re-run errored cells up to N extra times\n"
-      "  --lease N      cells requested per lease (default 2*jobs, min 2)\n"
-      "  --name LABEL   diagnostic name sent in HELLO (default pid-<pid>)\n"
-      "  --quiet        no per-lease log lines on stderr\n");
+      "  --jobs N            executor threads / child processes (default 1)\n"
+      "  --isolate           fork-sandbox each cell inside this worker\n"
+      "  --retries N         re-run errored cells up to N extra times\n"
+      "  --lease N           cells requested per lease (default 2*jobs, min 2)\n"
+      "  --token SECRET      shared secret for HELLO auth (or set\n"
+      "                      PFI_FABRIC_TOKEN)\n"
+      "  --connect-retries N extra connect attempts, capped exponential\n"
+      "                      backoff (default 5; applies to reconnects too)\n"
+      "  --heartbeat-ms N    liveness beat interval while computing\n"
+      "                      (default 500)\n"
+      "  --name LABEL        diagnostic name sent in HELLO (default\n"
+      "                      pid-<pid>)\n"
+      "  --quiet             no per-lease log lines on stderr\n");
   return code;
 }
 
@@ -50,6 +60,12 @@ int main(int argc, char** argv) {
       opts.retries = std::atoi(next());
     } else if (a == "--lease") {
       opts.lease_want = std::atoi(next());
+    } else if (a == "--token") {
+      opts.token = next();
+    } else if (a == "--connect-retries") {
+      opts.connect_retries = std::atoi(next());
+    } else if (a == "--heartbeat-ms") {
+      opts.heartbeat_ms = std::atoi(next());
     } else if (a == "--name") {
       opts.name = next();
     } else if (a == "--quiet") {
@@ -61,6 +77,10 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.connect.empty()) return usage(2);
+  if (opts.token.empty()) {
+    const char* env = std::getenv("PFI_FABRIC_TOKEN");
+    if (env != nullptr) opts.token = env;
+  }
   if (!quiet) {
     opts.on_log = [](const std::string& msg) {
       std::fprintf(stderr, "pfi_worker: %s\n", msg.c_str());

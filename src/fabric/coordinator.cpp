@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -15,6 +16,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+constexpr int kSlotMin = std::numeric_limits<int>::min();
 
 int ms_since(Clock::time_point then) {
   return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -27,23 +29,46 @@ int ms_since(Clock::time_point then) {
 Engine::Engine(Listener* listener, Options opts)
     : listener_(listener), opts_(std::move(opts)) {
   if (opts_.lease_batch < 1) opts_.lease_batch = 1;
+  if (opts_.reconnect_grace_ms < 0) {
+    opts_.reconnect_grace_ms = opts_.dead_after_ms;
+  }
 }
 
 Engine::~Engine() { shutdown(""); }
 
-void Engine::set_batch(
+int Engine::add_batch(
     const std::vector<campaign::RunCell>* cells,
     std::function<void(int slot, campaign::RunResult)> on_cell,
-    std::function<void()> on_done) {
-  cells_ = cells;
-  on_cell_ = std::move(on_cell);
-  on_done_ = std::move(on_done);
-  queue_.clear();
-  filled_.assign(cells->size(), 0);
-  remaining_ = cells->size();
+    std::function<void()> on_done, int max_workers) {
+  const int job = ++job_seq_;
+  Batch b;
+  b.cells = cells;
+  b.filled.assign(cells->size(), 0);
+  b.epoch.assign(cells->size(), 0);
+  b.remaining = cells->size();
+  b.max_workers = max_workers;
+  b.on_cell = std::move(on_cell);
+  b.on_done = std::move(on_done);
   for (std::size_t i = 0; i < cells->size(); ++i) {
-    queue_.push_back(static_cast<int>(i));
+    b.queue.push_back(static_cast<int>(i));
   }
+  batches_.emplace(job, std::move(b));
+  rr_jobs_.push_back(job);
+  return job;
+}
+
+void Engine::cancel_queued(int job) {
+  auto it = batches_.find(job);
+  if (it == batches_.end()) return;
+  Batch& b = it->second;
+  for (const int slot : b.queue) {
+    const auto s = static_cast<std::size_t>(slot);
+    if (b.filled[s] == 0) {
+      b.filled[s] = 1;
+      --b.remaining;
+    }
+  }
+  b.queue.clear();
 }
 
 int Engine::worker_count() const {
@@ -62,38 +87,138 @@ std::size_t Engine::find_conn(int fd) const {
 }
 
 void Engine::accept_pending() {
-  const int fd = listener_->accept_one();
+  std::string peer;
+  const int fd = listener_->accept_one(&peer);
   if (fd < 0) return;
+  if (!opts_.allow.empty() && peer != "unix" &&
+      std::find(opts_.allow.begin(), opts_.allow.end(), peer) ==
+          opts_.allow.end()) {
+    ++stats.addr_rejected;
+    if (opts_.on_log) opts_.on_log("peer refused by allowlist: " + peer);
+    close(fd);
+    return;
+  }
   Conn c;
   c.fd = fd;
   c.last_seen = Clock::now();
   conns_.push_back(std::move(c));
 }
 
-void Engine::requeue_outstanding(Conn* c) {
+void Engine::forget_worker(const std::string& id) {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) return;
+  WorkerState& w = it->second;
   // Front of the queue: a lost lease should complete before untouched work
   // so the campaign's tail latency doesn't double on every worker death.
-  for (auto it = c->outstanding.rbegin(); it != c->outstanding.rend(); ++it) {
-    if (filled_.empty() || filled_[static_cast<std::size_t>(*it)] != 0) {
+  // Reverse iteration keeps the requeued slots in slot order at the front.
+  for (auto ot = w.outstanding.rbegin(); ot != w.outstanding.rend(); ++ot) {
+    const int job = ot->first.first;
+    const int slot = ot->first.second;
+    auto bt = batches_.find(job);
+    if (bt == batches_.end()) continue;
+    Batch& b = bt->second;
+    if (b.filled[static_cast<std::size_t>(slot)] != 0) {
       continue;  // raced: the result arrived before the death verdict
     }
-    queue_.push_front(*it);
+    b.queue.push_front(slot);
     ++stats.cells_requeued;
   }
-  c->outstanding.clear();
+  ++stats.workers_lost;
+  workers_.erase(it);
 }
 
-void Engine::drop_conn(std::size_t i, bool requeue) {
+void Engine::drop_conn(std::size_t i, bool may_reattach) {
   Conn& c = conns_[i];
-  if (c.role == Conn::Role::kWorker) {
-    ++stats.workers_lost;
-    if (requeue) requeue_outstanding(&c);
-  }
   const bool was_client = c.role == Conn::Role::kClient;
   const int fd = c.fd;
-  close(c.fd);
+  if (c.role == Conn::Role::kWorker && !c.worker_id.empty()) {
+    auto it = workers_.find(c.worker_id);
+    if (it != workers_.end() && it->second.fd == fd) {
+      if (may_reattach) {
+        // Detach, don't forget: the worker keeps computing and may
+        // reconnect within the grace window with its results in hand.
+        ++stats.links_dropped;
+        it->second.fd = -1;
+        it->second.detached_at = Clock::now();
+        if (opts_.on_log) {
+          opts_.on_log("link lost: " + c.worker_id + " (reconnect grace " +
+                       std::to_string(opts_.reconnect_grace_ms) + " ms)");
+        }
+      } else {
+        forget_worker(c.worker_id);
+      }
+    }
+  }
+  close(fd);
   conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
   if (was_client && opts_.on_client_closed) opts_.on_client_closed(fd);
+}
+
+bool Engine::handle_hello(std::size_t i, const Hello& h) {
+  Conn& c = conns_[i];
+  const auto bye = [&](const std::string& reason) {
+    const std::string out = encode_frame(FrameType::kBye, encode_bye(reason));
+    send_all(c.fd, out.data(), out.size());
+  };
+  if (h.version != kProtocolVersion) {
+    ++stats.version_rejected;
+    bye("version mismatch: peer v" + std::to_string(h.version) +
+        ", expected v" + std::to_string(kProtocolVersion));
+    return false;
+  }
+  if (!opts_.token.empty() && !tokens_equal(h.token, opts_.token)) {
+    ++stats.auth_rejected;
+    if (opts_.on_log) {
+      opts_.on_log("auth failed: " + (h.name.empty() ? "?" : h.name));
+    }
+    bye("auth failed");
+    return false;
+  }
+  if (h.role == "worker") {
+    std::string id = h.id;
+    auto it = id.empty() ? workers_.end() : workers_.find(id);
+    if (it != workers_.end()) {
+      if (it->second.fd >= 0) {
+        bye("worker id already connected: " + id);
+        return false;
+      }
+      it->second.fd = c.fd;
+      ++stats.workers_reattached;
+      if (opts_.on_log) opts_.on_log("worker reattached: " + id);
+    } else {
+      // Fresh worker — or one reconnecting after its grace expired, whose
+      // id we no longer know; either way it joins clean and any re-sent
+      // results it carries simply dedupe.
+      if (id.empty()) {
+        do {
+          id = "w" + std::to_string(++worker_seq_);
+        } while (workers_.count(id) != 0);
+      }
+      WorkerState w;
+      w.name = h.name;
+      w.fd = c.fd;
+      workers_.emplace(id, std::move(w));
+      ++stats.workers_joined;
+      if (opts_.on_log) {
+        opts_.on_log("worker joined: " + id +
+                     (h.name.empty() ? "" : " (" + h.name + ")"));
+      }
+    }
+    c.role = Conn::Role::kWorker;
+    c.name = h.name;
+    c.worker_id = id;
+  } else if (h.role == "client" && opts_.accept_clients) {
+    c.role = Conn::Role::kClient;
+    c.name = h.name;
+  } else {
+    bye("role not accepted here: " + h.role);
+    return false;
+  }
+  Hello reply;
+  reply.role = "coordinator";
+  reply.id = c.worker_id;
+  const std::string out = encode_frame(FrameType::kHello, encode_hello(reply));
+  return send_all(c.fd, out.data(), out.size());
 }
 
 bool Engine::handle_frame(std::size_t i, const Frame& f) {
@@ -103,36 +228,7 @@ bool Engine::handle_frame(std::size_t i, const Frame& f) {
     if (f.type != FrameType::kHello || !decode_hello(f.payload, &h)) {
       return false;  // protocol violation: drop
     }
-    if (h.version != kProtocolVersion) {
-      ++stats.version_rejected;
-      const std::string bye = encode_frame(
-          FrameType::kBye,
-          encode_bye("version mismatch: peer v" + std::to_string(h.version) +
-                     ", coordinator v" + std::to_string(kProtocolVersion)));
-      send_all(c.fd, bye.data(), bye.size());
-      return false;
-    }
-    if (h.role == "worker") {
-      c.role = Conn::Role::kWorker;
-      c.name = h.name;
-      ++stats.workers_joined;
-      if (opts_.on_log) {
-        opts_.on_log("worker joined: " + (h.name.empty() ? "?" : h.name));
-      }
-    } else if (h.role == "client" && opts_.accept_clients) {
-      c.role = Conn::Role::kClient;
-      c.name = h.name;
-    } else {
-      const std::string bye = encode_frame(
-          FrameType::kBye, encode_bye("role not accepted here: " + h.role));
-      send_all(c.fd, bye.data(), bye.size());
-      return false;
-    }
-    Hello reply;
-    reply.role = "coordinator";
-    const std::string out =
-        encode_frame(FrameType::kHello, encode_hello(reply));
-    return send_all(c.fd, out.data(), out.size());
+    return handle_hello(i, h);
   }
 
   if (c.role == Conn::Role::kClient) {
@@ -150,25 +246,35 @@ bool Engine::handle_frame(std::size_t i, const Frame& f) {
       return true;
     }
     case FrameType::kResult: {
+      int job = 0;
       int slot = -1;
+      std::int64_t epoch = 0;
       campaign::RunResult r;
-      if (!decode_result(f.payload, &slot, &r)) return false;
-      c.outstanding.erase(slot);
-      if (cells_ == nullptr || slot < 0 ||
-          static_cast<std::size_t>(slot) >= filled_.size() ||
-          filled_[static_cast<std::size_t>(slot)] != 0) {
-        ++stats.duplicate_results;  // raced or stale: first result won
+      if (!decode_result(f.payload, &job, &slot, &epoch, &r)) return false;
+      auto wt = workers_.find(c.worker_id);
+      if (wt != workers_.end()) wt->second.outstanding.erase({job, slot});
+      auto bt = batches_.find(job);
+      if (bt == batches_.end() || slot < 0 ||
+          static_cast<std::size_t>(slot) >= bt->second.filled.size() ||
+          bt->second.filled[static_cast<std::size_t>(slot)] != 0) {
+        ++stats.duplicate_results;  // raced, re-sent, or stale: first won
         return true;
       }
-      filled_[static_cast<std::size_t>(slot)] = 1;
-      --remaining_;
-      if (on_cell_) on_cell_(slot, std::move(r));
+      Batch& b = bt->second;
+      if (b.epoch[static_cast<std::size_t>(slot)] != epoch) {
+        // A superseded grant's result — still byte-identical (records are
+        // pure functions of the cell), so accept it and just count.
+        ++stats.stale_results;
+      }
+      b.filled[static_cast<std::size_t>(slot)] = 1;
+      --b.remaining;
+      if (b.on_cell) b.on_cell(slot, std::move(r));
       return true;
     }
     case FrameType::kHeartbeat:
       return true;  // last_seen already refreshed by the read itself
     case FrameType::kBye:
-      return false;  // graceful leave: drop (outstanding requeues)
+      return false;  // graceful leave: forget, outstanding requeues now
     default:
       return false;  // a worker has no business sending anything else
   }
@@ -180,11 +286,11 @@ void Engine::service_conn(int fd) {
   char buf[65536];
   const ssize_t n = recv(fd, buf, sizeof buf, 0);
   if (n < 0) {
-    if (errno != EINTR && errno != EAGAIN) drop_conn(i, /*requeue=*/true);
+    if (errno != EINTR && errno != EAGAIN) drop_conn(i, /*may_reattach=*/true);
     return;
   }
-  if (n == 0) {  // EOF: the peer is gone
-    drop_conn(i, /*requeue=*/true);
+  if (n == 0) {  // EOF: the link is gone (the worker may reconnect)
+    drop_conn(i, /*may_reattach=*/true);
     return;
   }
   conns_[i].last_seen = Clock::now();
@@ -196,12 +302,15 @@ void Engine::service_conn(int fd) {
     i = find_conn(fd);
     if (i == kNone) return;  // dropped by a handler side effect
     if (!conns_[i].reader.next(&f)) {
-      if (conns_[i].reader.corrupt()) drop_conn(i, /*requeue=*/true);
+      if (conns_[i].reader.corrupt()) drop_conn(i, /*may_reattach=*/true);
       return;
     }
     if (!handle_frame(i, f)) {
       i = find_conn(fd);
-      if (i != kNone) drop_conn(i, /*requeue=*/true);
+      // A BYE (or any in-protocol rejection) is deliberate: forget the
+      // worker now so its leases requeue immediately instead of riding
+      // out the reconnect grace.
+      if (i != kNone) drop_conn(i, /*may_reattach=*/false);
       return;
     }
   }
@@ -213,44 +322,105 @@ void Engine::reap_dead() {
     if (c.role != Conn::Role::kWorker) continue;
     if (ms_since(c.last_seen) > opts_.dead_after_ms) {
       if (opts_.on_log) {
-        opts_.on_log("worker lost (silent " +
-                     std::to_string(opts_.dead_after_ms) + " ms): " +
-                     (c.name.empty() ? "?" : c.name));
+        opts_.on_log("worker silent " + std::to_string(opts_.dead_after_ms) +
+                     " ms, dropping link: " +
+                     (c.worker_id.empty() ? "?" : c.worker_id));
       }
-      drop_conn(i, /*requeue=*/true);
+      drop_conn(i, /*may_reattach=*/true);
     }
+  }
+  std::vector<std::string> expired;
+  for (const auto& [id, w] : workers_) {
+    if (w.fd < 0 && ms_since(w.detached_at) > opts_.reconnect_grace_ms) {
+      expired.push_back(id);
+    }
+  }
+  for (const std::string& id : expired) {
+    if (opts_.on_log) {
+      opts_.on_log("reconnect grace expired, requeueing leases: " + id);
+    }
+    forget_worker(id);
   }
 }
 
-void Engine::grant_leases() {
-  if (cells_ == nullptr) return;
-  for (std::size_t i = conns_.size(); i-- > 0;) {
-    if (queue_.empty()) break;
-    Conn& c = conns_[i];
-    if (c.role != Conn::Role::kWorker || c.pending_want <= 0) continue;
-    const int take = std::min<int>(
-        {c.pending_want, opts_.lease_batch, static_cast<int>(queue_.size())});
-    std::vector<int> slots;
-    std::vector<campaign::RunCell> cells;
-    slots.reserve(static_cast<std::size_t>(take));
-    cells.reserve(static_cast<std::size_t>(take));
-    for (int k = 0; k < take; ++k) {
-      const int slot = queue_.front();
-      queue_.pop_front();
-      slots.push_back(slot);
-      cells.push_back((*cells_)[static_cast<std::size_t>(slot)]);
-    }
-    const std::string out =
-        encode_frame(FrameType::kLease, encode_lease_grant(slots, cells));
-    if (!send_all(c.fd, out.data(), out.size())) {
-      // Write failed: the worker is gone; its would-be lease goes back.
-      for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
-        queue_.push_front(*it);
-      }
-      drop_conn(i, /*requeue=*/true);
+int Engine::lease_holders(int job) const {
+  int n = 0;
+  for (const auto& [id, w] : workers_) {
+    const auto it = w.outstanding.lower_bound({job, kSlotMin});
+    if (it != w.outstanding.end() && it->first.first == job) ++n;
+  }
+  return n;
+}
+
+int Engine::pick_job_for(const std::string& worker_id) {
+  if (rr_jobs_.empty()) return -1;
+  const auto holds = [&](int job) {
+    const auto wt = workers_.find(worker_id);
+    if (wt == workers_.end()) return false;
+    const auto it = wt->second.outstanding.lower_bound({job, kSlotMin});
+    return it != wt->second.outstanding.end() && it->first.first == job;
+  };
+  for (std::size_t k = 0; k < rr_jobs_.size(); ++k) {
+    const std::size_t at = (rr_pos_ + k) % rr_jobs_.size();
+    const int job = rr_jobs_[at];
+    const auto bt = batches_.find(job);
+    if (bt == batches_.end() || bt->second.queue.empty()) continue;
+    const Batch& b = bt->second;
+    // The quota counts distinct workers holding this job's leases; a
+    // worker already on the job can always take more of it.
+    if (b.max_workers > 0 && !holds(job) &&
+        lease_holders(job) >= b.max_workers) {
       continue;
     }
-    c.outstanding.insert(slots.begin(), slots.end());
+    rr_pos_ = (at + 1) % rr_jobs_.size();
+    return job;
+  }
+  return -1;
+}
+
+void Engine::grant_leases() {
+  if (batches_.empty()) return;
+  for (std::size_t i = conns_.size(); i-- > 0;) {
+    Conn& c = conns_[i];
+    if (c.role != Conn::Role::kWorker || c.pending_want <= 0) continue;
+    // One job per grant: a worker's slot bookkeeping is per-grant, and
+    // cells of different jobs may reuse campaign-plan indices.
+    const int job = pick_job_for(c.worker_id);
+    if (job < 0) continue;
+    Batch& b = batches_[job];
+    const int take = std::min<int>(
+        {c.pending_want, opts_.lease_batch, static_cast<int>(b.queue.size())});
+    std::vector<int> slots;
+    std::vector<std::int64_t> epochs;
+    std::vector<campaign::RunCell> cells;
+    slots.reserve(static_cast<std::size_t>(take));
+    epochs.reserve(static_cast<std::size_t>(take));
+    cells.reserve(static_cast<std::size_t>(take));
+    for (int k = 0; k < take; ++k) {
+      const int slot = b.queue.front();
+      b.queue.pop_front();
+      const std::int64_t e = ++epoch_seq_;
+      b.epoch[static_cast<std::size_t>(slot)] = e;
+      slots.push_back(slot);
+      epochs.push_back(e);
+      cells.push_back((*b.cells)[static_cast<std::size_t>(slot)]);
+    }
+    const std::string out = encode_frame(
+        FrameType::kLease, encode_lease_grant(job, slots, epochs, cells));
+    if (!send_all(c.fd, out.data(), out.size())) {
+      // Write failed: the link is gone; the would-be lease goes back.
+      for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
+        b.queue.push_front(*it);
+      }
+      drop_conn(i, /*may_reattach=*/true);
+      continue;
+    }
+    auto wt = workers_.find(c.worker_id);
+    if (wt != workers_.end()) {
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        wt->second.outstanding[{job, slots[k]}] = epochs[k];
+      }
+    }
     c.pending_want = 0;
     ++stats.leases_granted;
   }
@@ -274,13 +444,26 @@ void Engine::step(int timeout_ms) {
   }
   reap_dead();
   grant_leases();
-  if (cells_ != nullptr && remaining_ == 0) {
-    // Clear the batch *before* the callback: on_done may set a new one.
-    cells_ = nullptr;
-    on_cell_ = nullptr;
-    auto done = std::move(on_done_);
-    on_done_ = nullptr;
-    if (done) done();
+  // Completion: collect finished jobs first — an on_done may add batches.
+  std::vector<std::pair<int, std::function<void()>>> done;
+  for (auto it = batches_.begin(); it != batches_.end();) {
+    if (it->second.remaining == 0) {
+      done.emplace_back(it->first, std::move(it->second.on_done));
+      it = batches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [job, cb] : done) {
+    rr_jobs_.erase(std::remove(rr_jobs_.begin(), rr_jobs_.end(), job),
+                   rr_jobs_.end());
+    if (rr_pos_ >= rr_jobs_.size()) rr_pos_ = 0;
+    for (auto& [id, w] : workers_) {
+      const auto lo = w.outstanding.lower_bound({job, kSlotMin});
+      const auto hi = w.outstanding.lower_bound({job + 1, kSlotMin});
+      w.outstanding.erase(lo, hi);
+    }
+    if (cb) cb();
   }
 }
 
@@ -291,16 +474,29 @@ void Engine::shutdown(const std::string& reason) {
     close(c.fd);
   }
   conns_.clear();
-  cells_ = nullptr;
-  on_cell_ = nullptr;
-  on_done_ = nullptr;
+  workers_.clear();
+  batches_.clear();
+  rr_jobs_.clear();
+  rr_pos_ = 0;
+}
+
+bool Engine::sever_worker_link() {
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].role != Conn::Role::kWorker) continue;
+    if (opts_.on_log) {
+      opts_.on_log("chaos: severing link of " + conns_[i].worker_id);
+    }
+    drop_conn(i, /*may_reattach=*/true);
+    return true;
+  }
+  return false;
 }
 
 bool Engine::send_to_client(int fd, const std::string& frame_bytes) {
   const std::size_t i = find_conn(fd);
   if (i == kNone || conns_[i].role != Conn::Role::kClient) return false;
   if (send_all(fd, frame_bytes.data(), frame_bytes.size())) return true;
-  drop_conn(i, /*requeue=*/false);
+  drop_conn(i, /*may_reattach=*/false);
   return false;
 }
 
@@ -311,12 +507,15 @@ std::vector<campaign::RunResult> run_fabric(
   Engine::Options eopts;
   eopts.lease_batch = opts.lease_batch;
   eopts.dead_after_ms = opts.dead_after_ms;
+  eopts.reconnect_grace_ms = opts.reconnect_grace_ms;
+  eopts.token = opts.token;
   eopts.on_log = opts.on_log;
   Engine eng(listener, eopts);
 
   bool done = cells.empty();
   std::vector<char> have(cells.size(), 0);
   std::size_t next_ordered = 0;
+  std::size_t results_seen = 0;
   if (!done) {
     eng.set_batch(
         &cells,
@@ -324,6 +523,7 @@ std::vector<campaign::RunResult> run_fabric(
           const auto s = static_cast<std::size_t>(slot);
           results[s] = std::move(r);
           have[s] = 1;
+          ++results_seen;
           if (opts.on_result) opts.on_result(results[s]);
           if (opts.on_result_ordered) {
             while (next_ordered < have.size() && have[next_ordered] != 0) {
@@ -336,6 +536,7 @@ std::vector<campaign::RunResult> run_fabric(
   }
 
   auto worker_seen = Clock::now();
+  std::size_t last_flap = 0;
   bool interrupted = false;
   while (!done) {
     if (opts.should_stop && opts.should_stop()) {
@@ -343,6 +544,10 @@ std::vector<campaign::RunResult> run_fabric(
       break;
     }
     eng.step(200);
+    if (opts.flap_every > 0 &&
+        results_seen - last_flap >= static_cast<std::size_t>(opts.flap_every)) {
+      if (eng.sever_worker_link()) last_flap = results_seen;
+    }
     if (eng.worker_count() > 0) {
       worker_seen = Clock::now();
     } else if (opts.no_worker_timeout_ms > 0 &&

@@ -4,14 +4,23 @@
 // coordinator (`pfi_campaign --workers N`) and the campaign-as-a-service
 // daemon (service.hpp). It owns the listening socket and every connection,
 // speaks the worker side of the wire protocol (wire.hpp), and dispatches
-// one *batch* of cells at a time:
+// any number of concurrent *batches* (jobs) over one worker pool:
 //
 //   * pull-based work stealing — an idle worker sends LEASE {want}; the
 //     request parks until cells exist, so fast workers drain the queue and
 //     a late joiner is handed the next available (or requeued) cells.
-//   * lost leases are requeued — a worker that disconnects, says BYE, or
-//     goes silent past dead_after_ms has its outstanding slots pushed back
-//     to the front of the queue for the survivors.
+//   * fair multi-job scheduling — each grant serves exactly one job,
+//     chosen round-robin across jobs with queued cells, subject to the
+//     job's max_workers quota (distinct workers holding its leases).
+//   * authentication — when a token is configured, a HELLO whose token
+//     fails the constant-time compare gets a BYE and no state of any
+//     kind; TCP listeners can additionally allowlist peer addresses.
+//   * reconnect-and-resume — a worker presents a stable id on HELLO;
+//     losing the link *detaches* it (leases stay put, the worker keeps
+//     computing) and a reconnect within reconnect_grace_ms reattaches it,
+//     finished results re-sent by the worker deduped by (job, slot,
+//     epoch). Only grace expiry requeues, and only that counts as a lost
+//     worker.
 //   * results are deduped by slot — if a "dead" worker's results race its
 //     replacement's, the first to arrive wins; since records are pure
 //     functions of the cell, both copies are byte-identical anyway.
@@ -20,15 +29,18 @@
 // report. Results land in their dispatch slot; run_fabric() returns the
 // same slot-ordered vector run_cells() would have, so everything
 // downstream (records, journal, metrics, summary) is byte-identical to a
-// single-process run at any worker count (test-asserted).
+// single-process run at any worker count — link flaps included
+// (test-asserted).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "campaign/runner.hpp"
@@ -39,12 +51,17 @@
 namespace pfi::fabric {
 
 struct FabricStats {
-  int workers_joined = 0;      // completed HELLO handshakes
-  int workers_lost = 0;        // disconnected / timed out with work or not
+  int workers_joined = 0;      // completed HELLO handshakes (fresh ids only)
+  int workers_lost = 0;        // reconnect grace expired; leases requeued
+  int links_dropped = 0;       // connections lost (worker may reattach)
+  int workers_reattached = 0;  // reconnects resumed by stable worker id
   int leases_granted = 0;
   int cells_requeued = 0;      // slots re-queued from lost workers
-  int duplicate_results = 0;   // raced results dropped by slot dedupe
+  int duplicate_results = 0;   // raced/re-sent results dropped by dedupe
+  int stale_results = 0;       // accepted results from a superseded epoch
   int version_rejected = 0;    // HELLOs refused by version negotiation
+  int auth_rejected = 0;       // HELLOs refused by token mismatch
+  int addr_rejected = 0;       // TCP peers refused by the allowlist
 };
 
 class Engine {
@@ -52,9 +69,19 @@ class Engine {
   struct Options {
     /// Max cells per LEASE grant (a worker's `want` caps it further).
     int lease_batch = 8;
-    /// A worker silent this long is dead; its leases requeue. Workers
-    /// heartbeat every ~500 ms even while computing.
+    /// A worker silent this long is dead; the link drops and the grace
+    /// clock starts. Workers heartbeat every ~500 ms even while computing.
     int dead_after_ms = 5000;
+    /// How long a detached worker (link lost) may stay away before its
+    /// leases requeue and its id is forgotten. -1 = use dead_after_ms.
+    int reconnect_grace_ms = -1;
+    /// Shared secret; "" = no authentication. A HELLO that fails the
+    /// constant-time compare is BYEd before any state exists.
+    std::string token;
+    /// Peer addresses (dotted quads) allowed to connect over TCP; empty =
+    /// all. AF_UNIX peers ("unix") always pass — filesystem permissions
+    /// gate those.
+    std::vector<std::string> allow;
     /// Accept HELLO {role=client} connections (the daemon). When false,
     /// clients are turned away with BYE.
     bool accept_clients = false;
@@ -70,14 +97,32 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Dispatch `cells` (kept alive by the caller until the batch finishes).
-  /// on_cell fires once per slot as results arrive (arrival order);
-  /// on_done fires from within step() once every slot has a result.
-  /// Only one batch may be active at a time.
+  /// Dispatch `cells` as a new job (kept alive by the caller until the
+  /// batch finishes). on_cell fires once per slot as results arrive
+  /// (arrival order); on_done fires from within step() once every slot has
+  /// a result. max_workers > 0 caps how many distinct workers may hold
+  /// this job's leases at once. Returns the job id carried by its leases.
+  int add_batch(const std::vector<campaign::RunCell>* cells,
+                std::function<void(int slot, campaign::RunResult)> on_cell,
+                std::function<void()> on_done, int max_workers = 0);
+
+  /// Single-batch compatibility shim over add_batch().
   void set_batch(const std::vector<campaign::RunCell>* cells,
                  std::function<void(int slot, campaign::RunResult)> on_cell,
-                 std::function<void()> on_done);
-  [[nodiscard]] bool batch_active() const { return cells_ != nullptr; }
+                 std::function<void()> on_done) {
+    add_batch(cells, std::move(on_cell), std::move(on_done));
+  }
+
+  [[nodiscard]] bool batch_active() const { return !batches_.empty(); }
+  [[nodiscard]] int active_batches() const {
+    return static_cast<int>(batches_.size());
+  }
+
+  /// Drop every still-queued (never leased, not requeue-pending) slot of
+  /// `job`: the slots are marked filled with no on_cell call, so the job
+  /// completes with those results absent (index == -1 downstream). Cells
+  /// a worker is already computing are left to finish.
+  void cancel_queued(int job);
 
   /// One event-loop iteration: poll (≤ timeout_ms), accept, read frames,
   /// detect dead workers, grant parked leases, fire completion.
@@ -87,6 +132,11 @@ class Engine {
   void shutdown(const std::string& reason);
 
   [[nodiscard]] int worker_count() const;
+
+  /// Chaos hook: close the link of one connected worker without telling
+  /// it (simulates a network partition — the worker must notice, back
+  /// off, and reconnect). Returns true if a link was severed.
+  bool sever_worker_link();
 
   /// Send raw frame bytes to a client connection (daemon replies). False
   /// if the fd is gone or the write failed (the conn is then dropped).
@@ -100,39 +150,72 @@ class Engine {
     FrameReader reader;
     enum class Role { kUnknown, kWorker, kClient } role = Role::kUnknown;
     std::string name;
+    std::string worker_id;         // key into workers_ once handshaken
     int pending_want = 0;          // parked LEASE request
-    std::set<int> outstanding;     // leased slots awaiting results
     std::chrono::steady_clock::time_point last_seen;
+  };
+
+  /// A job's dispatch state. `cells` stays owned by the caller.
+  struct Batch {
+    const std::vector<campaign::RunCell>* cells = nullptr;
+    std::deque<int> queue;         // slots awaiting lease
+    std::vector<char> filled;
+    std::vector<std::int64_t> epoch;  // latest grant epoch per slot
+    std::size_t remaining = 0;
+    int max_workers = 0;           // 0 = no quota
+    std::function<void(int, campaign::RunResult)> on_cell;
+    std::function<void()> on_done;
+  };
+
+  /// A worker's durable identity: survives link loss until the reconnect
+  /// grace expires. fd == -1 means detached (no live connection).
+  struct WorkerState {
+    std::string name;
+    int fd = -1;
+    /// (job, slot) -> epoch of the grant this worker holds.
+    std::map<std::pair<int, int>, std::int64_t> outstanding;
+    std::chrono::steady_clock::time_point detached_at;
   };
 
   [[nodiscard]] std::size_t find_conn(int fd) const;
   void accept_pending();
   void service_conn(int fd);       // read + dispatch; drops dead conns
   bool handle_frame(std::size_t i, const Frame& f);
+  bool handle_hello(std::size_t i, const Hello& h);
   void drop_conn(std::size_t i, bool requeue);
-  void requeue_outstanding(Conn* c);
+  void forget_worker(const std::string& id);  // grace expired: requeue
   void grant_leases();
   void reap_dead();
+  [[nodiscard]] int pick_job_for(const std::string& worker_id);
+  [[nodiscard]] int lease_holders(int job) const;
 
   Listener* listener_;
   Options opts_;
   std::vector<Conn> conns_;
 
-  const std::vector<campaign::RunCell>* cells_ = nullptr;
-  std::deque<int> queue_;          // slots awaiting lease
-  std::vector<char> filled_;
-  std::size_t remaining_ = 0;
-  std::function<void(int, campaign::RunResult)> on_cell_;
-  std::function<void()> on_done_;
+  std::map<int, Batch> batches_;             // job id -> dispatch state
+  std::map<std::string, WorkerState> workers_;
+  std::vector<int> rr_jobs_;                 // round-robin ring of job ids
+  std::size_t rr_pos_ = 0;
+  int job_seq_ = 0;
+  int worker_seq_ = 0;
+  std::int64_t epoch_seq_ = 0;
 };
 
 /// One-shot coordinator options (`pfi_campaign --workers N`).
 struct FabricOptions {
   int lease_batch = 8;
   int dead_after_ms = 5000;
+  /// Detached-worker grace before requeue; -1 = dead_after_ms.
+  int reconnect_grace_ms = -1;
+  /// Shared secret workers must present ("" = no auth).
+  std::string token;
   /// Abort (returning the partial result vector) when no worker has been
   /// connected for this long while work remains. 0 = wait forever.
   int no_worker_timeout_ms = 0;
+  /// Chaos: sever one worker's link after every N accepted results
+  /// (0 = never). Proves reconnect-and-resume keeps reports byte-identical.
+  int flap_every = 0;
   /// Completion-order stream, same contract as ExecutorOptions::on_result.
   std::function<void(const campaign::RunResult&)> on_result;
   /// Slot-order stream, same contract as ExecutorOptions::on_result_ordered.

@@ -1,5 +1,6 @@
 #include "fabric/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -7,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -32,22 +34,28 @@ struct Bridge {
   std::mutex mu;
   std::condition_variable cv;
   const std::vector<campaign::RunCell>* batch = nullptr;  // posted, not taken
+  /// Parallel content keys (campaign jobs only): lets the event loop
+  /// stream each finished record to the client as a journal chunk.
+  const std::vector<std::string>* batch_keys = nullptr;
   bool batch_done = false;
   std::vector<campaign::RunResult> batch_results;
   std::vector<std::string> progress;  // job thread -> client, JSON lines
   bool stop = false;                  // daemon shutting down: drain
 
   std::vector<campaign::RunResult> run(
-      const std::vector<campaign::RunCell>& cells) {
+      const std::vector<campaign::RunCell>& cells,
+      const std::vector<std::string>* keys = nullptr) {
     std::unique_lock<std::mutex> lock(mu);
     if (stop || cells.empty()) {
       // Executor contract for "nothing ran": default results, index == -1.
       return std::vector<campaign::RunResult>(cells.size());
     }
     batch = &cells;
+    batch_keys = keys;
     batch_done = false;
     cv.wait(lock, [&] { return batch_done; });
     batch = nullptr;
+    batch_keys = nullptr;
     return std::move(batch_results);
   }
 
@@ -73,6 +81,8 @@ struct Job {
 
   // Event-loop-side dispatch state for the batch in flight.
   bool dispatching = false;
+  int engine_job = -1;  // Engine batch id while dispatching
+  const std::vector<std::string>* keys = nullptr;  // journal chunk keys
   std::vector<campaign::RunResult> staged;
   int done_cells = 0, total_cells = 0;
   int pass = 0, fail = 0, error = 0;
@@ -106,15 +116,28 @@ std::string done_error_json(const std::string& job_id,
 
 /// The campaign job body (runs on the job thread). One bridge.run() call
 /// executes the whole plan over the fabric; everything before and after is
-/// the same deterministic assembly pfi_campaign does.
+/// the same deterministic assembly pfi_campaign does. Cells whose content
+/// key appears in Submit.have are the client's resume set: they are never
+/// executed, never re-transferred, and counted as "resumed".
 void run_campaign_job(Job* job) {
-  const auto cells =
+  const auto planned =
       campaign::filter_cells(campaign::plan(job->spec), job->submit.filter);
+  const std::set<std::string> have(job->submit.have.begin(),
+                                   job->submit.have.end());
+  std::vector<campaign::RunCell> cells;
   std::vector<std::string> keys;
-  keys.reserve(cells.size());
-  for (const auto& c : cells) keys.push_back(campaign::cell_key(c));
+  int resumed = 0;
+  for (const auto& c : planned) {
+    std::string key = campaign::cell_key(c);
+    if (have.count(key) != 0) {
+      ++resumed;
+      continue;
+    }
+    cells.push_back(c);
+    keys.push_back(std::move(key));
+  }
 
-  const auto results = job->bridge.run(cells);
+  const auto results = job->bridge.run(cells, &keys);
 
   std::vector<std::string> records(cells.size());
   std::map<std::string, std::string> journal;
@@ -173,6 +196,7 @@ void run_campaign_job(Job* job) {
   w.kv("fail", fail);
   w.kv("error", error);
   if (skipped > 0) w.kv("skipped", skipped);
+  if (resumed > 0) w.kv("resumed", resumed);
   w.end_object();
   w.key("failing_ids").begin_array();
   for (const std::string& id : failing_ids) w.value(id);
@@ -198,6 +222,7 @@ void run_campaign_job(Job* job) {
   dw.kv("fail", fail);
   dw.kv("error", error);
   if (skipped > 0) dw.kv("skipped", skipped);
+  if (resumed > 0) dw.kv("resumed", resumed);
   dw.end_object();
 
   std::lock_guard<std::mutex> lock(job->bridge.mu);
@@ -261,9 +286,13 @@ class Service {
  public:
   Service(Listener* listener, const ServiceOptions& opts, ServiceStats* stats)
       : opts_(opts), stats_(stats) {
+    if (opts_.max_active < 1) opts_.max_active = 1;
     Engine::Options eopts;
     eopts.lease_batch = opts.lease_batch;
     eopts.dead_after_ms = opts.dead_after_ms;
+    eopts.reconnect_grace_ms = opts.reconnect_grace_ms;
+    eopts.token = opts.token;
+    eopts.allow = opts.allow;
     eopts.accept_clients = true;
     eopts.on_log = opts.on_log;
     eopts.on_client_frame = [this](int fd, const Frame& f) {
@@ -278,7 +307,7 @@ class Service {
       engine_->step(200);
       pump();
     }
-    drain_active("daemon shutting down");
+    drain_all("daemon shutting down");
     engine_->shutdown("daemon shutting down");
     if (stats_ != nullptr) stats_->fabric = engine_->stats;
     return 0;
@@ -323,89 +352,146 @@ class Service {
     job->spec = std::move(*spec);
     if (stats_ != nullptr) ++stats_->jobs_accepted;
     log(id + " queued: " + job->spec.name +
-        (job->submit.explore > 0 ? " (explore)" : " (campaign)"));
+        (job->submit.explore > 0 ? " (explore)" : " (campaign)") +
+        (job->submit.max_workers > 0
+             ? ", max_workers " + std::to_string(job->submit.max_workers)
+             : ""));
     queue_.push_back(std::move(job));
     maybe_start();
   }
 
   void on_client_closed(int fd) {
-    // The job outlives its client: execution continues, artifact delivery
-    // is dropped. Queued jobs from that client run too — they were accepted.
-    if (active_ && active_->client_fd == fd) active_->client_fd = -1;
-    for (auto& j : queue_) {
-      if (j->client_fd == fd) j->client_fd = -1;
+    // The job's in-flight cells outlive the client, but nobody is waiting
+    // for the rest: cancel the still-queued cells (they come back
+    // index == -1) and stop a search job at its next generation.
+    for (auto& jp : active_) {
+      Job* job = jp.get();
+      if (job->client_fd != fd) continue;
+      job->client_fd = -1;
+      {
+        std::lock_guard<std::mutex> lock(job->bridge.mu);
+        job->bridge.stop = true;
+      }
+      if (job->dispatching && job->engine_job >= 0) {
+        engine_->cancel_queued(job->engine_job);
+      }
+      log(job->id + " client gone: cancelling queued cells");
+    }
+    // Queued never-started jobs from that client are dropped outright.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if ((*it)->client_fd == fd) {
+        log((*it)->id + " dropped: client gone before start");
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 
   void maybe_start() {
-    if (active_ || queue_.empty()) return;
-    active_ = std::move(queue_.front());
-    queue_.pop_front();
-    Job* job = active_.get();
-    log(job->id + " started");
-    job->thread = std::thread(job->submit.explore > 0 ? run_search_job
-                                                      : run_campaign_job,
-                              job);
-  }
-
-  /// One scheduling pass: relay progress, pick up posted batches, finish
-  /// completed jobs, start the next one.
-  void pump() {
-    if (!active_) return;
-    Job* job = active_.get();
-
-    std::vector<std::string> progress;
-    const std::vector<campaign::RunCell>* batch = nullptr;
-    bool finished = false;
-    {
-      std::lock_guard<std::mutex> lock(job->bridge.mu);
-      progress.swap(job->bridge.progress);
-      if (job->bridge.batch != nullptr && !job->bridge.batch_done &&
-          !job->dispatching) {
-        batch = job->bridge.batch;
+    while (!draining_ &&
+           static_cast<int>(active_.size()) < opts_.max_active &&
+           !queue_.empty()) {
+      active_.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      Job* job = active_.back().get();
+      if (stats_ != nullptr) {
+        stats_->peak_active =
+            std::max(stats_->peak_active, static_cast<int>(active_.size()));
       }
-      finished = job->finished;
+      log(job->id + " started (" + std::to_string(active_.size()) +
+          " active)");
+      job->thread = std::thread(job->submit.explore > 0 ? run_search_job
+                                                        : run_campaign_job,
+                                job);
     }
-    for (const std::string& line : progress) {
-      send_json(job->client_fd, FrameType::kProgress, line);
-    }
-
-    if (batch != nullptr) {
-      job->dispatching = true;
-      job->staged.assign(batch->size(), campaign::RunResult{});
-      job->done_cells = 0;
-      job->total_cells = static_cast<int>(batch->size());
-      engine_->set_batch(
-          batch,
-          [this, job](int slot, campaign::RunResult r) {
-            ++job->done_cells;
-            if (r.errored()) {
-              ++job->error;
-            } else if (r.pass) {
-              ++job->pass;
-            } else {
-              ++job->fail;
-            }
-            job->staged[static_cast<std::size_t>(slot)] = std::move(r);
-            send_json(job->client_fd, FrameType::kProgress,
-                      progress_json(*job,
-                                    job->staged[static_cast<std::size_t>(
-                                        slot)]));
-          },
-          [job] {
-            std::lock_guard<std::mutex> lock(job->bridge.mu);
-            job->bridge.batch_results = std::move(job->staged);
-            job->bridge.batch_done = true;
-            job->dispatching = false;
-            job->bridge.cv.notify_all();
-          });
-    }
-
-    if (finished) finish_active();
   }
 
-  void finish_active() {
-    Job* job = active_.get();
+  /// One scheduling pass over every active job: relay progress, pick up
+  /// posted batches, finish completed jobs, start queued ones.
+  void pump() {
+    for (auto& jp : active_) {
+      Job* job = jp.get();
+      std::vector<std::string> progress;
+      const std::vector<campaign::RunCell>* batch = nullptr;
+      const std::vector<std::string>* keys = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(job->bridge.mu);
+        progress.swap(job->bridge.progress);
+        if (job->bridge.batch != nullptr && !job->bridge.batch_done &&
+            !job->dispatching) {
+          batch = job->bridge.batch;
+          keys = job->bridge.batch_keys;
+        }
+      }
+      for (const std::string& line : progress) {
+        send_json(job->client_fd, FrameType::kProgress, line);
+      }
+      if (batch != nullptr) dispatch(job, batch, keys);
+    }
+
+    // Finish pass (separate loop: finishing erases from active_).
+    for (std::size_t i = active_.size(); i-- > 0;) {
+      bool finished = false;
+      {
+        std::lock_guard<std::mutex> lock(active_[i]->bridge.mu);
+        finished = active_[i]->finished;
+      }
+      if (finished) finish_job(i);
+    }
+    maybe_start();
+  }
+
+  void dispatch(Job* job, const std::vector<campaign::RunCell>* batch,
+                const std::vector<std::string>* keys) {
+    job->dispatching = true;
+    job->keys = keys;
+    job->staged.assign(batch->size(), campaign::RunResult{});
+    job->done_cells = 0;
+    job->total_cells = static_cast<int>(batch->size());
+    job->engine_job = engine_->add_batch(
+        batch,
+        [this, job](int slot, campaign::RunResult r) {
+          ++job->done_cells;
+          if (r.errored()) {
+            ++job->error;
+          } else if (r.pass) {
+            ++job->pass;
+          } else {
+            ++job->fail;
+          }
+          const auto s = static_cast<std::size_t>(slot);
+          job->staged[s] = std::move(r);
+          send_json(job->client_fd, FrameType::kProgress,
+                    progress_json(*job, job->staged[s]));
+          // Stream the finished record to the client as one incremental
+          // journal chunk, keyed by content hash: a client killed now
+          // already holds this record and can resume past it.
+          if (job->keys != nullptr && job->client_fd >= 0) {
+            const std::string& key = (*job->keys)[s];
+            const std::string line = "{\"key\":\"" + key + "\",\"record\":" +
+                                     campaign::record_json(job->staged[s]) +
+                                     "}\n";
+            engine_->send_to_client(
+                job->client_fd,
+                encode_frame(FrameType::kArtifact,
+                             encode_artifact("journal", line, key)));
+          }
+        },
+        [job] {
+          std::lock_guard<std::mutex> lock(job->bridge.mu);
+          job->bridge.batch_results = std::move(job->staged);
+          job->bridge.batch_done = true;
+          job->dispatching = false;
+          job->engine_job = -1;
+          job->keys = nullptr;
+          job->bridge.cv.notify_all();
+        },
+        job->submit.max_workers);
+  }
+
+  void finish_job(std::size_t i) {
+    Job* job = active_[i].get();
     job->thread.join();
     for (const auto& [name, bytes] : job->artifacts) {
       if (job->client_fd >= 0) {
@@ -417,19 +503,18 @@ class Service {
     send_json(job->client_fd, FrameType::kDone, job->done_json);
     log(job->id + " finished");
     if (stats_ != nullptr) ++stats_->jobs_completed;
-    active_.reset();
-    maybe_start();
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
   }
 
-  /// Shutdown with a job in flight: release the job thread with whatever
-  /// results exist (unfinished slots keep index == -1), then finish it so
-  /// the client at least gets a DONE.
-  void drain_active(const std::string& reason) {
-    if (!active_) return;
-    Job* job = active_.get();
-    for (;;) {
-      bool finished = false;
-      {
+  /// Shutdown with jobs in flight: release every job thread with whatever
+  /// results exist (unfinished slots keep index == -1), then finish them
+  /// so each client at least gets a DONE.
+  void drain_all(const std::string& reason) {
+    draining_ = true;
+    while (!active_.empty()) {
+      bool all_finished = true;
+      for (auto& jp : active_) {
+        Job* job = jp.get();
         std::lock_guard<std::mutex> lock(job->bridge.mu);
         job->bridge.stop = true;
         if (job->bridge.batch != nullptr && !job->bridge.batch_done) {
@@ -437,15 +522,19 @@ class Service {
           job->bridge.batch_results.resize(job->bridge.batch->size());
           job->bridge.batch_done = true;
           job->dispatching = false;
+          job->engine_job = -1;
+          job->keys = nullptr;
         }
         job->bridge.cv.notify_all();
-        finished = job->finished;
+        if (!job->finished) all_finished = false;
       }
-      if (finished) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (!all_finished) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      log("drained " + std::to_string(active_.size()) + " job(s): " + reason);
+      while (!active_.empty()) finish_job(active_.size() - 1);
     }
-    log(job->id + " drained: " + reason);
-    finish_active();
     // Queued jobs never started; tell their clients.
     while (!queue_.empty()) {
       auto j = std::move(queue_.front());
@@ -459,7 +548,8 @@ class Service {
   ServiceStats* stats_;
   std::unique_ptr<Engine> engine_;
   std::deque<std::unique_ptr<Job>> queue_;
-  std::unique_ptr<Job> active_;
+  std::vector<std::unique_ptr<Job>> active_;
+  bool draining_ = false;
   int job_seq_ = 0;
 };
 

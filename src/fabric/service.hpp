@@ -3,9 +3,11 @@
 // One long-lived Engine accepts *both* kinds of connection on one socket:
 // workers (HELLO role=worker) join the lease pool exactly as they would for
 // a one-shot coordinator, and clients (HELLO role=client) SUBMIT campaign
-// or search specs as jobs. Jobs queue FIFO and run one at a time — the
-// worker pool is a shared resource; interleaving two campaigns' cells would
-// gain nothing and cost both their progress ordering.
+// or search specs as jobs. Up to max_active jobs run **concurrently** over
+// the shared worker pool — each job's cells are a separate Engine batch,
+// leases are granted round-robin across jobs, and a job's `--max-workers`
+// quota caps how many distinct workers serve it at once. Further
+// submissions queue FIFO behind the active set.
 //
 // Each job runs on its own thread (campaign assembly, or search::explore's
 // mutation loop) and posts cell batches to the daemon's event loop through
@@ -14,16 +16,21 @@
 // record — is byte-identical to `pfi_campaign --workers N`, which is
 // byte-identical to `--jobs 1`.
 //
-// While a job runs, its client receives PROGRESS frames (one JSON line per
-// finished cell, plus the search engine's generation lines); when it ends,
-// ARTIFACT frames (campaign: report + journal + metrics; search: report +
-// corpus) and one DONE frame with the summary. A client that disconnects
-// mid-job doesn't kill the job — results still exist in the workers'
-// journals; only the artifact delivery is lost.
+// While a campaign job runs, its client receives PROGRESS frames (one JSON
+// line per finished cell) *and* incremental journal ARTIFACT chunks — each
+// finished record streamed as one journal line keyed by its content hash —
+// so a client killed mid-run already holds every delivered record and can
+// resubmit with Submit.have to execute only the remainder. When a job
+// ends: final ARTIFACT frames (campaign: report + journal + metrics;
+// search: report + corpus) and one DONE frame with the summary. A client
+// that disconnects mid-job doesn't kill the job's in-flight cells, but its
+// still-queued cells are cancelled (nobody is listening) and queued
+// never-started jobs from that client are dropped.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "fabric/coordinator.hpp"
 #include "fabric/socket.hpp"
@@ -34,13 +41,22 @@ struct ServiceStats {
   int jobs_accepted = 0;
   int jobs_completed = 0;
   int jobs_rejected = 0;   // SUBMITs that failed to parse/plan
+  int peak_active = 0;     // most jobs ever running concurrently
   FabricStats fabric;      // copied from the engine at shutdown
 };
 
 struct ServiceOptions {
   int lease_batch = 8;
   int dead_after_ms = 5000;
-  /// Sampled every loop iteration; true drains the active job (its
+  /// Detached-worker grace before requeue; -1 = dead_after_ms.
+  int reconnect_grace_ms = -1;
+  /// Shared secret every HELLO (worker *and* client) must present.
+  std::string token;
+  /// TCP peer-address allowlist (dotted quads); empty = all.
+  std::vector<std::string> allow;
+  /// Jobs running concurrently over the shared pool; more queue FIFO.
+  int max_active = 4;
+  /// Sampled every loop iteration; true drains the active jobs (their
   /// unfinished cells come back index == -1) and BYEs everyone.
   std::function<bool()> should_stop;
   std::function<void(const std::string&)> on_log;

@@ -121,12 +121,24 @@ bool Listener::open(const std::string& address, std::string* err) {
   return true;
 }
 
-int Listener::accept_one() const {
+int Listener::accept_one(std::string* peer) const {
   if (fd_ < 0) return -1;
   for (;;) {
-    const int c = accept(fd_, nullptr, nullptr);
+    sockaddr_storage ss;
+    socklen_t len = sizeof ss;
+    const int c = accept(fd_, reinterpret_cast<sockaddr*>(&ss), &len);
     if (c >= 0) {
       set_nodelay(c);
+      if (peer != nullptr) {
+        if (ss.ss_family == AF_INET) {
+          char buf[INET_ADDRSTRLEN] = {0};
+          const auto* sin = reinterpret_cast<const sockaddr_in*>(&ss);
+          inet_ntop(AF_INET, &sin->sin_addr, buf, sizeof buf);
+          *peer = buf;
+        } else {
+          *peer = "unix";
+        }
+      }
       return c;
     }
     if (errno == EINTR) continue;

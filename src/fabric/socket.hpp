@@ -38,7 +38,10 @@ class Listener {
   bool open(const std::string& address, std::string* err);
 
   /// Accept one pending connection (the caller polled readability), or -1.
-  [[nodiscard]] int accept_one() const;
+  /// When `peer` is non-null it receives the peer's address: the dotted
+  /// quad for TCP ("10.0.0.7") or "unix" for AF_UNIX — the Engine's
+  /// allowlist matches against exactly this string.
+  [[nodiscard]] int accept_one(std::string* peer = nullptr) const;
 
   [[nodiscard]] int fd() const { return fd_; }
   /// The concrete bound address ("127.0.0.1:41523" once the kernel picked

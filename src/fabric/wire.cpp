@@ -65,6 +65,8 @@ std::string encode_hello(const Hello& h) {
   kv::put_u64(&out, "v", h.version);
   kv::put(&out, "role", h.role);
   kv::put(&out, "name", h.name);
+  if (!h.token.empty()) kv::put(&out, "token", h.token);
+  if (!h.id.empty()) kv::put(&out, "id", h.id);
   return out;
 }
 
@@ -81,11 +83,29 @@ bool decode_hello(std::string_view payload, Hello* out) {
       h.role = value;
     } else if (key == "name") {
       h.name = value;
+    } else if (key == "token") {
+      h.token = value;
+    } else if (key == "id") {
+      h.id = value;
     }
   }
   if (!has_version || h.role.empty()) return false;
   *out = h;
   return true;
+}
+
+bool tokens_equal(std::string_view a, std::string_view b) {
+  // Accumulate every byte difference so the comparison touches all of both
+  // strings regardless of where the first mismatch sits. Length differences
+  // short-circuit — the secret's length is not treated as secret.
+  if (a.size() != b.size()) return false;
+  unsigned char diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff = static_cast<unsigned char>(
+        diff | (static_cast<unsigned char>(a[i]) ^
+                static_cast<unsigned char>(b[i])));
+  }
+  return diff == 0;
 }
 
 // --- leases ----------------------------------------------------------------
@@ -108,38 +128,55 @@ bool decode_lease_request(std::string_view payload, int* want) {
   return false;
 }
 
-std::string encode_lease_grant(const std::vector<int>& slots,
+std::string encode_lease_grant(int job, const std::vector<int>& slots,
+                               const std::vector<std::int64_t>& epochs,
                                const std::vector<campaign::RunCell>& cells) {
   std::string out;
+  kv::put_i64(&out, "job", job);
   kv::put_u64(&out, "n", slots.size());
-  for (std::size_t i = 0; i < slots.size() && i < cells.size(); ++i) {
+  for (std::size_t i = 0;
+       i < slots.size() && i < epochs.size() && i < cells.size(); ++i) {
     kv::put_i64(&out, "slot", slots[i]);
+    kv::put_i64(&out, "epoch", epochs[i]);
     kv::put(&out, "cell", encode_cell(cells[i]));
   }
   return out;
 }
 
-bool decode_lease_grant(std::string_view payload, std::vector<int>* slots,
+bool decode_lease_grant(std::string_view payload, int* job,
+                        std::vector<int>* slots,
+                        std::vector<std::int64_t>* epochs,
                         std::vector<campaign::RunCell>* cells) {
   slots->clear();
+  epochs->clear();
   cells->clear();
+  *job = 0;
   kv::Scan scan{payload};
   std::string key, value;
   std::uint64_t n = 0;
   int pending_slot = -1;
-  bool have_slot = false;
+  std::int64_t pending_epoch = 0;
+  bool have_slot = false, have_epoch = false;
   while (scan.next(&key, &value)) {
-    if (key == "n") {
+    if (key == "job") {
+      *job = static_cast<int>(kv::to_i64(value));
+    } else if (key == "n") {
       n = kv::to_u64(value);
     } else if (key == "slot") {
       pending_slot = static_cast<int>(kv::to_i64(value));
       have_slot = true;
+    } else if (key == "epoch") {
+      pending_epoch = kv::to_i64(value);
+      have_epoch = true;
     } else if (key == "cell") {
       campaign::RunCell cell;
-      if (!have_slot || !decode_cell(value, &cell)) return false;
+      if (!have_slot || !have_epoch || !decode_cell(value, &cell)) {
+        return false;
+      }
       slots->push_back(pending_slot);
+      epochs->push_back(pending_epoch);
       cells->push_back(std::move(cell));
-      have_slot = false;
+      have_slot = have_epoch = false;
     }
   }
   return slots->size() == n;
@@ -279,22 +316,31 @@ bool decode_cell(std::string_view payload, campaign::RunCell* out) {
 
 // --- results ---------------------------------------------------------------
 
-std::string encode_result(int slot, const campaign::RunResult& r) {
+std::string encode_result(int job, int slot, std::int64_t epoch,
+                          const campaign::RunResult& r) {
   std::string out;
+  kv::put_i64(&out, "job", job);
   kv::put_i64(&out, "slot", slot);
+  kv::put_i64(&out, "epoch", epoch);
   kv::put(&out, "res", campaign::wire_encode(r));
   return out;
 }
 
-bool decode_result(std::string_view payload, int* slot,
-                   campaign::RunResult* out) {
+bool decode_result(std::string_view payload, int* job, int* slot,
+                   std::int64_t* epoch, campaign::RunResult* out) {
   kv::Scan scan{payload};
   std::string key, value;
   bool have_slot = false, have_res = false;
+  *job = 0;
+  *epoch = 0;
   while (scan.next(&key, &value)) {
-    if (key == "slot") {
+    if (key == "job") {
+      *job = static_cast<int>(kv::to_i64(value));
+    } else if (key == "slot") {
       *slot = static_cast<int>(kv::to_i64(value));
       have_slot = true;
+    } else if (key == "epoch") {
+      *epoch = kv::to_i64(value);
     } else if (key == "res") {
       if (!campaign::wire_decode(value, out)) return false;
       have_res = true;
@@ -330,6 +376,8 @@ std::string encode_submit(const Submit& s) {
   kv::put_i64(&out, "max_events", s.max_events);
   kv::put_i64(&out, "retries", s.retries);
   kv::put_i64(&out, "explore", s.explore);
+  if (s.max_workers > 0) kv::put_i64(&out, "max_workers", s.max_workers);
+  for (const std::string& k : s.have) kv::put(&out, "have", k);
   return out;
 }
 
@@ -352,6 +400,10 @@ bool decode_submit(std::string_view payload, Submit* out) {
       s.retries = static_cast<int>(kv::to_i64(value));
     } else if (key == "explore") {
       s.explore = static_cast<int>(kv::to_i64(value));
+    } else if (key == "max_workers") {
+      s.max_workers = static_cast<int>(kv::to_i64(value));
+    } else if (key == "have") {
+      s.have.push_back(value);
     }
   }
   if (!have_spec) return false;
@@ -374,18 +426,21 @@ std::string decode_json_line(std::string_view payload) {
   return "";
 }
 
-std::string encode_artifact(std::string_view name, std::string_view bytes) {
+std::string encode_artifact(std::string_view name, std::string_view bytes,
+                            std::string_view chunk) {
   std::string out;
   kv::put(&out, "name", name);
+  if (!chunk.empty()) kv::put(&out, "chunk", chunk);
   kv::put(&out, "bytes", bytes);
   return out;
 }
 
 bool decode_artifact(std::string_view payload, std::string* name,
-                     std::string* bytes) {
+                     std::string* bytes, std::string* chunk) {
   kv::Scan scan{payload};
   std::string key, value;
   bool have_name = false, have_bytes = false;
+  if (chunk != nullptr) chunk->clear();
   while (scan.next(&key, &value)) {
     if (key == "name") {
       *name = value;
@@ -393,6 +448,8 @@ bool decode_artifact(std::string_view payload, std::string* name,
     } else if (key == "bytes") {
       *bytes = value;
       have_bytes = true;
+    } else if (key == "chunk") {
+      if (chunk != nullptr) *chunk = value;
     }
   }
   return have_name && have_bytes;

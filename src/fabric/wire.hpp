@@ -8,26 +8,39 @@
 //
 // The conversation (docs/FABRIC.md has the full state machine):
 //
-//   worker -> coordinator   HELLO {v, role=worker, name}
-//   coordinator -> worker   HELLO {v, role=coordinator}   (or BYE on
-//                           version mismatch — negotiation is "exact match
-//                           or go away", carried in the BYE reason)
+//   worker -> coordinator   HELLO {v, role=worker, name, token?, id?}
+//                           `token` authenticates (shared secret, checked
+//                           in constant time); `id` is the stable worker id
+//                           a reconnecting worker presents to resume its
+//                           leases
+//   coordinator -> worker   HELLO {v, role=coordinator, id}  (or BYE on a
+//                           version/auth mismatch — negotiation is "exact
+//                           match or go away"; the BYE reason names the
+//                           version the coordinator expected)
 //   worker -> coordinator   LEASE {want=N}        pull-based work stealing:
 //                           an idle worker asks; the coordinator parks the
 //                           request until cells exist, so a fast worker
 //                           drains the queue and a late joiner still gets
 //                           the next requeued batch
-//   coordinator -> worker   LEASE {n, slot+cell ...}
-//   worker -> coordinator   RESULT {slot, res}    one per finished cell,
-//                           streamed as the executor completes them
+//   coordinator -> worker   LEASE {job, n, slot+epoch+cell ...}  all cells
+//                           of one grant belong to one job; every slot is
+//                           stamped with a fresh lease epoch
+//   worker -> coordinator   RESULT {job, slot, epoch, res}  one per cell,
+//                           streamed as the executor completes them; after
+//                           a reconnect the whole batch is re-sent and the
+//                           coordinator dedupes by (job, slot, epoch)
 //   worker -> coordinator   HEARTBEAT {}          liveness while computing
 //   either direction        BYE {reason}          graceful close; from the
 //                           coordinator it means "campaign finished" (or
 //                           on a client/daemon socket, "job rejected")
 //
 // The daemon speaks the same framing with four more types on client
-// connections: SUBMIT (a campaign/search spec + overrides), PROGRESS
-// (JSON lines), ARTIFACT (named output documents) and DONE (job summary).
+// connections: SUBMIT (a campaign/search spec + overrides, including a
+// per-job worker quota and the content keys the client already holds),
+// PROGRESS (JSON lines), ARTIFACT (named output documents — either a
+// complete final document, or an incremental chunk keyed by content hash
+// so journal lines stream to the client *during* the run) and DONE (job
+// summary).
 //
 // Cells and results travel as kv payloads; RunResult reuses the fork
 // sandbox's exact serialisation (campaign/sandbox.hpp wire_encode), so a
@@ -47,8 +60,10 @@
 namespace pfi::fabric {
 
 /// Bumped on any incompatible change to frames or payloads. Negotiation is
-/// deliberately exact-match: both sides are built from this repo.
-constexpr std::uint32_t kProtocolVersion = 1;
+/// deliberately exact-match: both sides are built from this repo, so a
+/// mismatch earns a BYE that names the expected version (v2 added auth
+/// tokens, worker ids, lease epochs, job-scoped leases, artifact chunks).
+constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Frames above this are garbage (or an attack), not campaigns.
 constexpr std::uint32_t kMaxFramePayload = 64u << 20;
@@ -98,12 +113,18 @@ class FrameReader {
 
 struct Hello {
   std::uint32_t version = kProtocolVersion;
-  std::string role;  // "worker" | "client" | "coordinator"
-  std::string name;  // diagnostic label (worker pid, client id)
+  std::string role;   // "worker" | "client" | "coordinator"
+  std::string name;   // diagnostic label (worker pid, client id)
+  std::string token;  // shared secret; compared in constant time
+  std::string id;     // worker: stable id when reconnecting ("" = new);
+                      // coordinator reply: the id the worker must keep
 };
 
 std::string encode_hello(const Hello& h);
 bool decode_hello(std::string_view payload, Hello* out);
+
+/// Constant-time token equality (length still leaks; contents do not).
+bool tokens_equal(std::string_view a, std::string_view b);
 
 // --- leases ----------------------------------------------------------------
 
@@ -111,12 +132,17 @@ bool decode_hello(std::string_view payload, Hello* out);
 std::string encode_lease_request(int want);
 bool decode_lease_request(std::string_view payload, int* want);
 
-/// Coordinator -> worker: a batch of (slot, cell). Slots are coordinator
-/// bookkeeping (position in the dispatch queue) and are echoed back in
-/// RESULT frames; cell.index keeps its campaign-plan meaning untouched.
-std::string encode_lease_grant(const std::vector<int>& slots,
+/// Coordinator -> worker: a batch of (slot, epoch, cell), all belonging to
+/// one `job`. Slots are coordinator bookkeeping (position in the job's
+/// dispatch queue); the epoch stamps this particular grant of the slot so
+/// re-sent results after a reconnect dedupe exactly. Both are echoed back
+/// in RESULT frames; cell.index keeps its campaign-plan meaning untouched.
+std::string encode_lease_grant(int job, const std::vector<int>& slots,
+                               const std::vector<std::int64_t>& epochs,
                                const std::vector<campaign::RunCell>& cells);
-bool decode_lease_grant(std::string_view payload, std::vector<int>* slots,
+bool decode_lease_grant(std::string_view payload, int* job,
+                        std::vector<int>* slots,
+                        std::vector<std::int64_t>* epochs,
                         std::vector<campaign::RunCell>* cells);
 
 // --- cells and results -----------------------------------------------------
@@ -125,10 +151,12 @@ bool decode_lease_grant(std::string_view payload, std::vector<int>* slots,
 std::string encode_cell(const campaign::RunCell& cell);
 bool decode_cell(std::string_view payload, campaign::RunCell* out);
 
-/// RESULT payload: the dispatch slot + the sandbox wire bytes of the result.
-std::string encode_result(int slot, const campaign::RunResult& r);
-bool decode_result(std::string_view payload, int* slot,
-                   campaign::RunResult* out);
+/// RESULT payload: the job, dispatch slot and lease epoch the cell was
+/// granted under, plus the sandbox wire bytes of the result.
+std::string encode_result(int job, int slot, std::int64_t epoch,
+                          const campaign::RunResult& r);
+bool decode_result(std::string_view payload, int* job, int* slot,
+                   std::int64_t* epoch, campaign::RunResult* out);
 
 // --- bye -------------------------------------------------------------------
 
@@ -146,6 +174,11 @@ struct Submit {
   std::int64_t max_events = -1;
   int retries = -1;
   int explore = 0;           // > 0: coverage-guided search with this budget
+  int max_workers = 0;       // > 0: cap on workers leasing this job at once
+  /// Content keys (campaign/journal.hpp cell_key) the client already holds
+  /// a record for — a resubmitting client's resume set. The daemon skips
+  /// matching cells; their records never re-execute or re-transfer.
+  std::vector<std::string> have;
 };
 
 std::string encode_submit(const Submit& s);
@@ -155,8 +188,13 @@ bool decode_submit(std::string_view payload, Submit* out);
 std::string encode_json_line(FrameType type, std::string_view json);
 std::string decode_json_line(std::string_view payload);
 
-std::string encode_artifact(std::string_view name, std::string_view bytes);
+/// A complete artifact (`chunk` empty) or one incremental chunk of a
+/// streaming artifact, keyed by the content hash of the record it carries —
+/// journal lines flow to the client as they are produced, and a client that
+/// died mid-stream resubmits with Submit.have to resume from what it kept.
+std::string encode_artifact(std::string_view name, std::string_view bytes,
+                            std::string_view chunk = {});
 bool decode_artifact(std::string_view payload, std::string* name,
-                     std::string* bytes);
+                     std::string* bytes, std::string* chunk = nullptr);
 
 }  // namespace pfi::fabric

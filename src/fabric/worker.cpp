@@ -37,12 +37,22 @@ bool read_frame(int fd, FrameReader* reader, Frame* out) {
   }
 }
 
+/// Capped exponential backoff: 100 ms doubling to a 2 s ceiling.
+int backoff_ms(int attempt) {
+  int ms = 100;
+  for (int i = 1; i < attempt && ms < 2000; ++i) ms *= 2;
+  return ms < 2000 ? ms : 2000;
+}
+
 /// Heartbeats while the executor computes. The frame is pre-encoded and the
 /// loop never allocates: the executor's --isolate path forks while this
-/// thread runs, and a child must not inherit a held malloc lock.
+/// thread runs, and a child must not inherit a held malloc lock. The fd is
+/// read through an atomic under the write lock — during a reconnect the
+/// main thread parks it at -1 and the loop just skips beats; send failures
+/// are ignored (the main thread notices the dead link through its own IO).
 class Heartbeat {
  public:
-  Heartbeat(int fd, std::mutex* write_mu, int interval_ms)
+  Heartbeat(std::atomic<int>* fd, std::mutex* write_mu, int interval_ms)
       : fd_(fd),
         write_mu_(write_mu),
         interval_ms_(interval_ms < 50 ? 50 : interval_ms),
@@ -64,11 +74,13 @@ class Heartbeat {
       if (slept < interval_ms_) continue;
       slept = 0;
       std::lock_guard<std::mutex> lock(*write_mu_);
-      if (!send_all(fd_, frame_.data(), frame_.size())) return;
+      const int fd = fd_->load(std::memory_order_relaxed);
+      if (fd < 0) continue;  // detached: a reconnect is in progress
+      send_all(fd, frame_.data(), frame_.size());
     }
   }
 
-  int fd_;
+  std::atomic<int>* fd_;
   std::mutex* write_mu_;
   int interval_ms_;
   std::string frame_;  // pre-encoded: the loop must not allocate
@@ -76,63 +88,168 @@ class Heartbeat {
   std::thread thread_;
 };
 
-}  // namespace
-
-int run_worker(const WorkerOptions& opts) {
-  std::string err;
-  const int fd = dial(opts.connect, &err);
-  if (fd < 0) {
-    if (opts.on_log) opts.on_log(err);
-    return 1;
-  }
-
-  FrameReader reader;
+/// Send HELLO, read the reply. 0 = handshaken (and *worker_id holds the
+/// coordinator-assigned id), 1 = IO/protocol failure, 2 = version
+/// rejected, 3 = auth rejected.
+int handshake(int fd, const WorkerOptions& opts, FrameReader* reader,
+              std::string* worker_id) {
   Hello hello;
   hello.role = "worker";
-  hello.name = opts.name.empty() ? "pid-" + std::to_string(getpid())
-                                 : opts.name;
-  const std::string hello_bytes =
+  hello.name =
+      opts.name.empty() ? "pid-" + std::to_string(getpid()) : opts.name;
+  hello.token = opts.token;
+  hello.id = *worker_id;
+  const std::string bytes =
       encode_frame(FrameType::kHello, encode_hello(hello));
-  if (!send_all(fd, hello_bytes.data(), hello_bytes.size())) {
-    close(fd);
-    return 1;
-  }
+  if (!send_all(fd, bytes.data(), bytes.size())) return 1;
   Frame f;
-  if (!read_frame(fd, &reader, &f)) {
-    close(fd);
-    return 1;
-  }
+  if (!read_frame(fd, reader, &f)) return 1;
   if (f.type == FrameType::kBye) {
     const std::string reason = decode_bye(f.payload);
     if (opts.on_log) opts.on_log("rejected: " + reason);
-    close(fd);
-    return reason.find("version mismatch") != std::string::npos ? 2 : 1;
+    if (reason.find("version mismatch") != std::string::npos) return 2;
+    if (reason.find("auth failed") != std::string::npos) return 3;
+    return 1;
   }
   Hello reply;
   if (f.type != FrameType::kHello || !decode_hello(f.payload, &reply)) {
-    close(fd);
     return 1;
+  }
+  if (!reply.id.empty()) *worker_id = reply.id;
+  return 0;
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& opts) {
+  const int retries = opts.connect_retries < 0 ? 0 : opts.connect_retries;
+
+  // Initial connect, with backoff: a worker started before its coordinator
+  // should wait for it, not die.
+  int fd = -1;
+  for (int attempt = 1;; ++attempt) {
+    std::string err;
+    fd = dial(opts.connect, &err);
+    if (fd >= 0) break;
+    if (attempt > retries) {
+      if (opts.on_log) opts.on_log(err);
+      return 1;
+    }
+    const int wait = backoff_ms(attempt);
+    if (opts.on_log) {
+      opts.on_log(err + " (attempt " + std::to_string(attempt) + "/" +
+                  std::to_string(retries + 1) + ", retrying in " +
+                  std::to_string(wait) + " ms)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+  }
+
+  FrameReader reader;
+  std::string worker_id;
+  {
+    const int hs = handshake(fd, opts, &reader, &worker_id);
+    if (hs != 0) {
+      close(fd);
+      return hs;
+    }
   }
 
   const int want =
       opts.lease_want > 0 ? opts.lease_want : std::max(2, 2 * opts.jobs);
+  const std::string lease_req =
+      encode_frame(FrameType::kLease, encode_lease_request(want));
   std::mutex write_mu;
+  std::atomic<int> live_fd{fd};
+  /// Encoded RESULT frames sent since the last grant on this connection.
+  /// A new grant implies the coordinator read everything before our LEASE
+  /// request (TCP ordering), so these are cleared then; on a reconnect the
+  /// whole set is re-sent and the coordinator dedupes.
+  std::vector<std::string> unacked;
   int rc = 1;  // pessimistic: overwritten by a graceful BYE
   {
-    Heartbeat heartbeat(fd, &write_mu, opts.heartbeat_ms);
-    auto send_frame = [&](const std::string& bytes) {
+    Heartbeat heartbeat(&live_fd, &write_mu, opts.heartbeat_ms);
+    auto send_locked = [&](const std::string& bytes) {
       std::lock_guard<std::mutex> lock(write_mu);
       return send_all(fd, bytes.data(), bytes.size());
     };
 
-    if (!send_frame(encode_frame(FrameType::kLease,
-                                 encode_lease_request(want)))) {
-      close(fd);
+    /// Dial + handshake (presenting our stable id) + re-send unacked +
+    /// park a fresh lease request. 0 = back in business, else exit code.
+    auto reconnect = [&]() -> int {
+      {
+        std::lock_guard<std::mutex> lock(write_mu);
+        live_fd.store(-1, std::memory_order_relaxed);
+        if (fd >= 0) close(fd);
+        fd = -1;
+      }
+      for (int attempt = 1; attempt <= retries + 1; ++attempt) {
+        const int wait = backoff_ms(attempt);
+        if (opts.on_log) {
+          opts.on_log("link lost; reconnect attempt " +
+                      std::to_string(attempt) + "/" +
+                      std::to_string(retries + 1) + " in " +
+                      std::to_string(wait) + " ms");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+        std::string err;
+        const int nfd = dial(opts.connect, &err);
+        if (nfd < 0) continue;
+        FrameReader fresh;
+        std::string id = worker_id;
+        const int hs = handshake(nfd, opts, &fresh, &id);
+        if (hs == 2 || hs == 3) {
+          close(nfd);
+          return hs;  // deliberate rejection: no point retrying
+        }
+        if (hs != 0) {
+          close(nfd);
+          continue;
+        }
+        bool ok = true;
+        for (const std::string& b : unacked) {
+          if (!send_all(nfd, b.data(), b.size())) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) ok = send_all(nfd, lease_req.data(), lease_req.size());
+        if (!ok) {
+          close(nfd);
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(write_mu);
+        fd = nfd;
+        reader = std::move(fresh);
+        worker_id = id;
+        live_fd.store(fd, std::memory_order_relaxed);
+        if (opts.on_log) {
+          opts.on_log("reconnected as " + worker_id + " (" +
+                      std::to_string(unacked.size()) +
+                      " result(s) re-sent)");
+        }
+        return 0;
+      }
       return 1;
+    };
+
+    if (!send_locked(lease_req)) {
+      const int r = reconnect();
+      if (r != 0) {
+        if (fd >= 0) close(fd);
+        return r;
+      }
     }
 
     for (;;) {
-      if (!read_frame(fd, &reader, &f)) break;
+      Frame f;
+      if (!read_frame(fd, &reader, &f)) {
+        const int r = reconnect();
+        if (r != 0) {
+          rc = r;
+          break;
+        }
+        continue;
+      }
       if (f.type == FrameType::kBye) {
         rc = 0;
         break;
@@ -140,43 +257,65 @@ int run_worker(const WorkerOptions& opts) {
       if (f.type == FrameType::kHeartbeat) continue;
       if (f.type != FrameType::kLease) break;  // protocol violation
 
+      int job = 0;
       std::vector<int> slots;
+      std::vector<std::int64_t> epochs;
       std::vector<campaign::RunCell> cells;
-      if (!decode_lease_grant(f.payload, &slots, &cells)) break;
+      if (!decode_lease_grant(f.payload, &job, &slots, &epochs, &cells)) {
+        break;
+      }
+      {
+        // The grant arrived after our RESULT + LEASE sends on this
+        // connection, so everything previously sent was delivered.
+        std::lock_guard<std::mutex> lock(write_mu);
+        unacked.clear();
+      }
       if (opts.on_log) {
-        opts.on_log("lease: " + std::to_string(cells.size()) + " cell(s)");
+        opts.on_log("lease: job " + std::to_string(job) + ", " +
+                    std::to_string(cells.size()) + " cell(s)");
       }
 
       // The executor returns results[i] == cells[i] and r.index keeps the
-      // campaign-plan index; map it back to the coordinator's slot.
-      std::map<int, int> slot_of_index;
+      // campaign-plan index; map it back to this grant's slot + epoch.
+      std::map<int, std::size_t> pos_of_index;
       for (std::size_t i = 0; i < cells.size(); ++i) {
-        slot_of_index[cells[i].index] = slots[i];
+        pos_of_index[cells[i].index] = i;
       }
-      bool write_failed = false;
+      std::atomic<bool> link_ok{true};
       campaign::ExecutorOptions eopts;
       eopts.jobs = opts.jobs;
       eopts.isolate = opts.isolate;
       eopts.retries = opts.retries;
       eopts.on_result = [&](const campaign::RunResult& r) {
-        const auto it = slot_of_index.find(r.index);
-        if (it == slot_of_index.end()) return;
-        if (!send_frame(encode_frame(FrameType::kResult,
-                                     encode_result(it->second, r)))) {
-          write_failed = true;
+        const auto it = pos_of_index.find(r.index);
+        if (it == pos_of_index.end()) return;
+        const std::size_t k = it->second;
+        std::string bytes = encode_frame(
+            FrameType::kResult, encode_result(job, slots[k], epochs[k], r));
+        std::lock_guard<std::mutex> lock(write_mu);
+        unacked.push_back(std::move(bytes));
+        // A failed send is a dropped link, not a reason to stop computing:
+        // the batch finishes and re-submits after the reconnect.
+        if (link_ok.load(std::memory_order_relaxed) &&
+            !send_all(fd, unacked.back().data(), unacked.back().size())) {
+          link_ok.store(false, std::memory_order_relaxed);
         }
       };
-      eopts.should_stop = [&] { return write_failed; };
       campaign::run_cells(cells, eopts);
-      if (write_failed) break;
 
-      if (!send_frame(encode_frame(FrameType::kLease,
-                                   encode_lease_request(want)))) {
-        break;
+      const bool need_reconnect =
+          !link_ok.load(std::memory_order_relaxed) ||
+          !send_locked(lease_req);
+      if (need_reconnect) {
+        const int r = reconnect();
+        if (r != 0) {
+          rc = r;
+          break;
+        }
       }
     }
   }  // heartbeat joins before the fd closes
-  close(fd);
+  if (fd >= 0) close(fd);
   return rc;
 }
 

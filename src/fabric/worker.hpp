@@ -4,6 +4,14 @@
 // result back the moment it finishes. A heartbeat thread keeps the
 // coordinator's dead-worker detector quiet while a long cell computes.
 //
+// Losing the link is not fatal: the worker keeps computing its lease,
+// remembers every encoded RESULT it has sent since the last grant (a new
+// grant on the same connection proves delivery — TCP ordering), and
+// reconnects with capped exponential backoff presenting the stable worker
+// id the coordinator assigned in HELLO. After the handshake it re-sends
+// the unacknowledged results (the coordinator dedupes by job/slot/epoch)
+// and parks a fresh lease request — the campaign's bytes never notice.
+//
 // Fork-safety: the heartbeat thread sends a pre-encoded frame and never
 // allocates, so the executor's --isolate path (which forks children while
 // the heartbeat thread runs) cannot inherit a held malloc lock.
@@ -26,13 +34,19 @@ struct WorkerOptions {
   /// overlap computing with the next round trip.
   int lease_want = 0;
   int heartbeat_ms = 500;
+  /// Connect attempts (initial and per reconnect) beyond the first, with
+  /// capped exponential backoff (100 ms doubling to 2 s) between them.
+  int connect_retries = 5;
+  /// Shared secret presented in HELLO ("" = none).
+  std::string token;
   std::string name;      // diagnostic label sent in HELLO
   std::function<void(const std::string&)> on_log;
 };
 
 /// Connect, handshake, and serve leases until the coordinator says BYE.
 /// Returns 0 on a graceful BYE, 1 on a connect/protocol/socket failure,
-/// 2 when the coordinator rejected our protocol version.
+/// 2 when the coordinator rejected our protocol version, 3 when it
+/// rejected our token.
 int run_worker(const WorkerOptions& opts);
 
 /// Auto-spawned local workers (`pfi_campaign --workers N`): each is a

@@ -1,9 +1,11 @@
 // Fabric tests: wire-format framing (any byte split, hex-float payload
-// fidelity, corruption and version rejection), coordinator/worker
-// distribution (byte-identical records at any worker count), lease
-// requeueing when a worker dies mid-lease, journal merging, the executor's
-// slot-ordered streaming callback, and the campaign-as-a-service daemon
-// end to end.
+// fidelity, corruption/version/auth rejection), coordinator/worker
+// distribution (byte-identical records at any worker count, link flaps
+// included), lease requeueing when a worker dies mid-lease, reconnect and
+// result re-send dedupe, journal merging, the executor's slot-ordered
+// streaming callback, and the campaign-as-a-service daemon end to end —
+// including two jobs running concurrently over one worker pool and the
+// live journal chunk stream.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -61,8 +63,12 @@ std::vector<std::string> record_strings(const std::vector<RunResult>& rs) {
 // --- framing ---------------------------------------------------------------
 
 TEST(FabricWire, FramesSurviveByteAtATimeDelivery) {
+  Hello hello;
+  hello.version = 7;
+  hello.role = "worker";
+  hello.name = "w0";
   const std::string stream =
-      encode_frame(FrameType::kHello, encode_hello(Hello{7, "worker", "w0"})) +
+      encode_frame(FrameType::kHello, encode_hello(hello)) +
       encode_frame(FrameType::kHeartbeat, "") +
       encode_frame(FrameType::kBye, encode_bye("so long"));
 
@@ -152,13 +158,90 @@ TEST(FabricWire, ResultRoundTripsExactDoubles) {
   // wire: doubles travel as C99 %a hex floats, not decimal approximations.
   const auto cells = campaign::plan(small_gmp_spec());
   const RunResult r = campaign::run_cell(cells[0]);
-  std::string payload = encode_result(42, r);
-  int slot = -1;
+  std::string payload = encode_result(5, 42, 77, r);
+  int job = -1, slot = -1;
+  std::int64_t epoch = -1;
   RunResult back;
-  ASSERT_TRUE(decode_result(payload, &slot, &back));
+  ASSERT_TRUE(decode_result(payload, &job, &slot, &epoch, &back));
+  EXPECT_EQ(job, 5);
   EXPECT_EQ(slot, 42);
+  EXPECT_EQ(epoch, 77);
   EXPECT_EQ(campaign::record_json(back), campaign::record_json(r));
   EXPECT_EQ(back.metrics.size(), r.metrics.size());
+}
+
+TEST(FabricWire, HelloCarriesTokenAndWorkerId) {
+  Hello h;
+  h.role = "worker";
+  h.name = "w-lab";
+  h.token = "open sesame";
+  h.id = "w17";
+  Hello back;
+  ASSERT_TRUE(decode_hello(encode_hello(h), &back));
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.token, "open sesame");
+  EXPECT_EQ(back.id, "w17");
+  // A bare HELLO (no token, no id — a fresh unauthenticated worker) leaves
+  // both fields empty after the round trip.
+  Hello plain;
+  plain.role = "worker";
+  plain.name = "w0";
+  Hello bare;
+  ASSERT_TRUE(decode_hello(encode_hello(plain), &bare));
+  EXPECT_TRUE(bare.token.empty());
+  EXPECT_TRUE(bare.id.empty());
+}
+
+TEST(FabricWire, TokenCompareMatchesExactBytesOnly) {
+  EXPECT_TRUE(tokens_equal("open sesame", "open sesame"));
+  EXPECT_TRUE(tokens_equal("", ""));
+  EXPECT_FALSE(tokens_equal("open sesame", "open sesamE"));
+  EXPECT_FALSE(tokens_equal("open sesame", "open sesame "));
+  EXPECT_FALSE(tokens_equal("open sesame", ""));
+}
+
+TEST(FabricWire, LeaseGrantCarriesJobAndEpochs) {
+  const auto cells = campaign::plan(small_gmp_spec());
+  const std::vector<RunCell> grant(cells.begin(), cells.begin() + 2);
+  const std::string payload = encode_lease_grant(3, {4, 9}, {101, 102}, grant);
+  int job = -1;
+  std::vector<int> slots;
+  std::vector<std::int64_t> epochs;
+  std::vector<RunCell> back;
+  ASSERT_TRUE(decode_lease_grant(payload, &job, &slots, &epochs, &back));
+  EXPECT_EQ(job, 3);
+  EXPECT_EQ(slots, (std::vector<int>{4, 9}));
+  EXPECT_EQ(epochs, (std::vector<std::int64_t>{101, 102}));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, grant[0].id);
+  EXPECT_EQ(back[1].id, grant[1].id);
+}
+
+TEST(FabricWire, SubmitCarriesResumeKeysAndWorkerQuota) {
+  Submit s;
+  s.spec_text = "name x\n";
+  s.max_workers = 3;
+  s.have = {"00000000000000aa", "00000000000000ff"};
+  Submit back;
+  ASSERT_TRUE(decode_submit(encode_submit(s), &back));
+  EXPECT_EQ(back.spec_text, s.spec_text);
+  EXPECT_EQ(back.max_workers, 3);
+  EXPECT_EQ(back.have, s.have);
+}
+
+TEST(FabricWire, ArtifactChunksCarryTheirContentKey) {
+  std::string name, bytes, chunk;
+  ASSERT_TRUE(decode_artifact(
+      encode_artifact("journal", "{\"key\":\"00aa\",\"record\":{}}\n", "00aa"),
+      &name, &bytes, &chunk));
+  EXPECT_EQ(name, "journal");
+  EXPECT_EQ(chunk, "00aa");
+  EXPECT_EQ(bytes, "{\"key\":\"00aa\",\"record\":{}}\n");
+  // Final (complete) artifacts leave the chunk key empty.
+  ASSERT_TRUE(
+      decode_artifact(encode_artifact("report", "{}"), &name, &bytes, &chunk));
+  EXPECT_EQ(name, "report");
+  EXPECT_TRUE(chunk.empty());
 }
 
 // --- coordinator + workers -------------------------------------------------
@@ -198,13 +281,84 @@ TEST(Fabric, VersionMismatchIsRejectedWithByeReason) {
   }
   ASSERT_TRUE(got);
   EXPECT_EQ(f.type, FrameType::kBye);
-  EXPECT_NE(decode_bye(f.payload).find("version mismatch"),
-            std::string::npos);
+  const std::string reason = decode_bye(f.payload);
+  EXPECT_NE(reason.find("version mismatch"), std::string::npos) << reason;
+  // The BYE names the version the coordinator wanted, so a stale binary's
+  // operator knows what to rebuild.
+  EXPECT_NE(reason.find("expected v2"), std::string::npos) << reason;
   close(fd);
 
   stop.store(true);
   coordinator.join();
   EXPECT_EQ(stats.version_rejected, 1);
+}
+
+TEST(Fabric, WrongTokenIsRejectedBeforeAnyState) {
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+
+  const auto cells = campaign::plan(small_gmp_spec());
+  std::atomic<bool> stop{false};
+  FabricStats stats;
+  std::thread coordinator([&] {
+    FabricOptions opts;
+    opts.token = "open sesame";
+    opts.should_stop = [&] { return stop.load(); };
+    run_fabric(&listener, cells, opts, &stats);
+  });
+
+  const int fd = dial(listener.address(), &err);
+  ASSERT_GE(fd, 0) << err;
+  Hello hello;
+  hello.role = "worker";
+  hello.name = "intruder";
+  hello.token = "guessed wrong";
+  const std::string bytes =
+      encode_frame(FrameType::kHello, encode_hello(hello));
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+
+  FrameReader reader;
+  Frame f;
+  bool got = false;
+  char buf[4096];
+  for (int i = 0; i < 200 && !got; ++i) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    reader.feed(buf, static_cast<std::size_t>(n));
+    got = reader.next(&f);
+  }
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.type, FrameType::kBye);
+  EXPECT_NE(decode_bye(f.payload).find("auth failed"), std::string::npos);
+  close(fd);
+
+  stop.store(true);
+  coordinator.join();
+  EXPECT_EQ(stats.auth_rejected, 1);
+  EXPECT_EQ(stats.workers_joined, 0);  // rejection created no state at all
+}
+
+TEST(Fabric, AllowlistClosesUnlistedTcpPeers) {
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+
+  Engine::Options eopts;
+  eopts.allow = {"10.0.0.1"};  // loopback is not on the list
+  Engine engine(&listener, eopts);
+
+  const int fd = dial(listener.address(), &err);
+  ASSERT_GE(fd, 0) << err;
+  for (int i = 0; i < 50 && engine.stats.addr_rejected == 0; ++i) {
+    engine.step(10);
+  }
+  EXPECT_EQ(engine.stats.addr_rejected, 1);
+  // The peer sees a plain close: no BYE, no HELLO, nothing to probe.
+  char buf[16];
+  EXPECT_EQ(recv(fd, buf, sizeof buf, 0), 0);
+  close(fd);
+  engine.shutdown("test complete");
 }
 
 TEST(Fabric, MatchesInProcessRecordsAtAnyWorkerCount) {
@@ -253,6 +407,9 @@ TEST(Fabric, DeadWorkerLeasesRequeueToSurvivors) {
   ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
 
   Engine::Options eopts;
+  // Keep the test fast: a vanished worker gets 300 ms to reconnect before
+  // its leases requeue (production default rides dead_after_ms).
+  eopts.reconnect_grace_ms = 300;
   Engine engine(&listener, eopts);
   std::vector<RunResult> results(cells.size());
   bool done = false;
@@ -288,10 +445,14 @@ TEST(Fabric, DeadWorkerLeasesRequeueToSurvivors) {
     }
     while (reader.next(&f)) {
       if (f.type != FrameType::kLease) continue;
+      int job = -1;
       std::vector<int> slots;
+      std::vector<std::int64_t> epochs;
       std::vector<RunCell> granted;
-      ASSERT_TRUE(decode_lease_grant(f.payload, &slots, &granted));
+      ASSERT_TRUE(decode_lease_grant(f.payload, &job, &slots, &epochs,
+                                     &granted));
       EXPECT_FALSE(slots.empty());
+      EXPECT_EQ(epochs.size(), slots.size());
       leased = true;
     }
   }
@@ -312,6 +473,40 @@ TEST(Fabric, DeadWorkerLeasesRequeueToSurvivors) {
   EXPECT_EQ(record_strings(results), baseline);
   EXPECT_GE(engine.stats.cells_requeued, 1);
   EXPECT_GE(engine.stats.workers_lost, 1);
+}
+
+TEST(Fabric, LinkFlapsKeepRecordsByteIdentical) {
+  // Chaos determinism: the coordinator severs a worker's link after every
+  // 2nd result (simulated network partition, no BYE). Workers must notice,
+  // reconnect under the same stable id, re-send finished results, and the
+  // final report must be byte-for-byte what a single process produces —
+  // with zero requeues, because reattachment beats the reconnect grace.
+  const auto cells = campaign::plan(small_gmp_spec());
+  const auto baseline = record_strings(campaign::run_cells(cells, {}));
+
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+  WorkerOptions wopts;
+  wopts.connect = listener.address();
+  wopts.token = "open sesame";
+  LocalWorkerPool pool;
+  ASSERT_TRUE(spawn_local_workers(wopts, 2, listener.fd(), &pool, &err))
+      << err;
+
+  FabricOptions fopts;
+  fopts.no_worker_timeout_ms = 30000;
+  fopts.token = "open sesame";
+  fopts.flap_every = 2;
+  FabricStats stats;
+  const auto results = run_fabric(&listener, cells, fopts, &stats);
+  reap_local_workers(&pool);
+
+  EXPECT_EQ(record_strings(results), baseline);
+  EXPECT_GE(stats.links_dropped, 1);
+  EXPECT_GE(stats.workers_reattached, 1);
+  EXPECT_EQ(stats.cells_requeued, 0);  // every flap reattached in time
+  EXPECT_EQ(stats.workers_lost, 0);
 }
 
 // --- journal merging -------------------------------------------------------
@@ -423,7 +618,8 @@ TEST(FabricService, RunsSubmittedJobAndReturnsByteIdenticalArtifacts) {
   FrameReader reader;
   Frame f;
   int progress_frames = 0;
-  std::string report, journal, done;
+  std::string report, journal, done, streamed;
+  int journal_chunks = 0;
   while (done.empty()) {
     char buf[65536];
     const ssize_t n = recv(fd, buf, sizeof buf, 0);
@@ -433,10 +629,17 @@ TEST(FabricService, RunsSubmittedJobAndReturnsByteIdenticalArtifacts) {
       if (f.type == FrameType::kProgress) {
         ++progress_frames;
       } else if (f.type == FrameType::kArtifact) {
-        std::string name, content;
-        ASSERT_TRUE(decode_artifact(f.payload, &name, &content));
+        std::string name, content, chunk;
+        ASSERT_TRUE(decode_artifact(f.payload, &name, &content, &chunk));
         if (name == "report") report = content;
-        if (name == "journal") journal = content;
+        if (name == "journal") {
+          if (chunk.empty()) {
+            journal = content;  // the complete final document
+          } else {
+            ++journal_chunks;   // one live record line, streamed mid-run
+            streamed += content;
+          }
+        }
       } else if (f.type == FrameType::kDone) {
         done = decode_json_line(f.payload);
       }
@@ -460,7 +663,100 @@ TEST(FabricService, RunsSubmittedJobAndReturnsByteIdenticalArtifacts) {
   std::size_t lines = 0;
   for (char c : journal) lines += c == '\n' ? 1 : 0;
   EXPECT_EQ(lines, cells.size());
+  // Every record also streamed live, one chunk each; sorting the chunk
+  // lines reproduces the final artifact exactly — so a client killed
+  // mid-run already held everything delivered up to that point.
+  EXPECT_EQ(journal_chunks, static_cast<int>(cells.size()));
+  const std::string tmp = "/tmp/pfi_fabric_test_stream.jsonl";
+  {
+    std::ofstream out(tmp);
+    out << streamed;
+  }
+  EXPECT_EQ(campaign::journal_jsonl(campaign::load_journal(tmp)), journal);
+  std::remove(tmp.c_str());
   EXPECT_EQ(stats.jobs_completed, 1);
+}
+
+TEST(FabricService, RunsTwoJobsConcurrentlyOverOnePool) {
+  const std::string spec_text =
+      "name fabric-unit\n"
+      "protocol gmp\n"
+      "oracle quiet\n"
+      "types gmp-heartbeat gmp-commit\n"
+      "faults drop\n"
+      "seeds 1000..1002\n"
+      "burst 2\n"
+      "side receive\n"
+      "duration_s 40\n";
+  std::string err;
+  const auto spec = campaign::parse_spec(spec_text, &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  const std::size_t cell_count = campaign::plan(*spec).size();
+
+  Listener listener;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+  WorkerOptions wopts;
+  wopts.connect = listener.address();
+  LocalWorkerPool pool;
+  ASSERT_TRUE(spawn_local_workers(wopts, 2, listener.fd(), &pool, &err))
+      << err;
+  std::atomic<bool> stop{false};
+  ServiceStats stats;
+  std::thread daemon([&] {
+    ServiceOptions sopts;
+    sopts.should_stop = [&] { return stop.load(); };
+    run_service(&listener, sopts, &stats);
+  });
+
+  // Two clients submit before either job can finish; the scheduler must
+  // run both at once (leases round-robin over the shared pool) rather
+  // than serialising them.
+  int fds[2];
+  for (int c = 0; c < 2; ++c) {
+    fds[c] = dial(listener.address(), &err);
+    ASSERT_GE(fds[c], 0) << err;
+    Hello hello;
+    hello.role = "client";
+    hello.name = "client-" + std::to_string(c);
+    std::string bytes = encode_frame(FrameType::kHello, encode_hello(hello));
+    ASSERT_TRUE(send_all(fds[c], bytes.data(), bytes.size()));
+    Submit submit;
+    submit.spec_text = spec_text;
+    // Per-job quota: with 2 workers and 2 jobs capped at 1 worker each,
+    // concurrency is forced rather than merely possible.
+    submit.max_workers = 1;
+    bytes = encode_frame(FrameType::kSubmit, encode_submit(submit));
+    ASSERT_TRUE(send_all(fds[c], bytes.data(), bytes.size()));
+  }
+
+  int progress[2] = {0, 0};
+  std::string done[2];
+  for (int c = 0; c < 2; ++c) {
+    FrameReader reader;
+    Frame f;
+    while (done[c].empty()) {
+      char buf[65536];
+      const ssize_t n = recv(fds[c], buf, sizeof buf, 0);
+      ASSERT_GT(n, 0) << "daemon closed client " << c << " before DONE";
+      reader.feed(buf, static_cast<std::size_t>(n));
+      while (reader.next(&f)) {
+        if (f.type == FrameType::kProgress) ++progress[c];
+        if (f.type == FrameType::kDone) done[c] = decode_json_line(f.payload);
+      }
+    }
+    close(fds[c]);
+  }
+  stop.store(true);
+  daemon.join();
+  reap_local_workers(&pool);
+
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NE(done[c].find("\"status\":\"ok\""), std::string::npos)
+        << done[c];
+    EXPECT_GE(progress[c], static_cast<int>(cell_count));
+  }
+  EXPECT_EQ(stats.jobs_completed, 2);
+  EXPECT_EQ(stats.peak_active, 2);  // they really ran at the same time
 }
 
 }  // namespace
