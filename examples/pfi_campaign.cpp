@@ -743,6 +743,7 @@ int main(int argc, char** argv) {
     fopts.no_worker_timeout_ms = 60000;
     fopts.dead_after_ms = args.dead_after_ms;
     fopts.reconnect_grace_ms = args.reconnect_grace_ms;
+    fopts.heartbeat_ms = args.heartbeat_ms;
     fopts.token = args.token;
     fopts.flap_every = args.workers_flap;
     fopts.should_stop = opts.should_stop;

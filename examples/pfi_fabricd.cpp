@@ -40,7 +40,9 @@ int usage(int code) {
       "  --reconnect-grace-ms N  how long a disconnected worker may stay\n"
       "                    away before its leases requeue (default:\n"
       "                    dead-after-ms)\n"
-      "  --heartbeat-ms N  auto-spawned workers' beat interval (default 500)\n"
+      "  --heartbeat-ms N  liveness beat interval, both directions (default\n"
+      "                    500): auto-spawned workers beat the daemon and the\n"
+      "                    daemon beats parked workers\n"
       "  --token SECRET    require this shared secret in every HELLO (or\n"
       "                    set PFI_FABRIC_TOKEN)\n"
       "  --allow ADDR      allowlist a TCP peer address (repeatable)\n"
@@ -80,6 +82,7 @@ int main(int argc, char** argv) {
       sopts.reconnect_grace_ms = std::atoi(next());
     } else if (a == "--heartbeat-ms") {
       wopts.heartbeat_ms = std::atoi(next());
+      sopts.heartbeat_ms = wopts.heartbeat_ms;
     } else if (a == "--token") {
       sopts.token = next();
     } else if (a == "--allow") {

@@ -34,6 +34,8 @@ int usage(int code) {
       "                      backoff (default 5; applies to reconnects too)\n"
       "  --heartbeat-ms N    liveness beat interval while computing\n"
       "                      (default 500)\n"
+      "  --idle-timeout-ms N reconnect when the link is silent this long\n"
+      "                      (default: max(5000, 10*heartbeat))\n"
       "  --name LABEL        diagnostic name sent in HELLO (default\n"
       "                      pid-<pid>)\n"
       "  --quiet             no per-lease log lines on stderr\n");
@@ -66,6 +68,8 @@ int main(int argc, char** argv) {
       opts.connect_retries = std::atoi(next());
     } else if (a == "--heartbeat-ms") {
       opts.heartbeat_ms = std::atoi(next());
+    } else if (a == "--idle-timeout-ms") {
+      opts.idle_timeout_ms = std::atoi(next());
     } else if (a == "--name") {
       opts.name = next();
     } else if (a == "--quiet") {

@@ -32,6 +32,8 @@ Engine::Engine(Listener* listener, Options opts)
   if (opts_.reconnect_grace_ms < 0) {
     opts_.reconnect_grace_ms = opts_.dead_after_ms;
   }
+  beat_frame_ = encode_frame(FrameType::kHeartbeat, "");
+  last_beat_ = Clock::now();
 }
 
 Engine::~Engine() { shutdown(""); }
@@ -101,6 +103,10 @@ void Engine::accept_pending() {
   Conn c;
   c.fd = fd;
   c.last_seen = Clock::now();
+  c.accepted_at = c.last_seen;
+  // Until HELLO succeeds this peer is nobody: it gets a few KB per frame,
+  // not the 64 MB a worker's RESULT may legitimately claim.
+  c.reader.set_max_payload(kMaxHelloPayload);
   conns_.push_back(std::move(c));
 }
 
@@ -214,6 +220,8 @@ bool Engine::handle_hello(std::size_t i, const Hello& h) {
     bye("role not accepted here: " + h.role);
     return false;
   }
+  // Handshaken: lift the pre-auth frame cap to the real protocol limit.
+  c.reader.set_max_payload(kMaxFramePayload);
   Hello reply;
   reply.role = "coordinator";
   reply.id = c.worker_id;
@@ -319,6 +327,21 @@ void Engine::service_conn(int fd) {
 void Engine::reap_dead() {
   for (std::size_t i = conns_.size(); i-- > 0;) {
     Conn& c = conns_[i];
+    if (c.role == Conn::Role::kUnknown) {
+      // The deadline anchors at accept, not last_seen: a hostile peer
+      // trickling one byte a second must not hold an fd (and a frame
+      // buffer) forever. Authenticated clients are exempt — they idle
+      // legitimately while their jobs run.
+      if (opts_.handshake_timeout_ms > 0 &&
+          ms_since(c.accepted_at) > opts_.handshake_timeout_ms) {
+        ++stats.handshake_timeouts;
+        if (opts_.on_log) {
+          opts_.on_log("handshake timeout, dropping pre-auth connection");
+        }
+        drop_conn(i, /*may_reattach=*/false);
+      }
+      continue;
+    }
     if (c.role != Conn::Role::kWorker) continue;
     if (ms_since(c.last_seen) > opts_.dead_after_ms) {
       if (opts_.on_log) {
@@ -340,6 +363,30 @@ void Engine::reap_dead() {
       opts_.on_log("reconnect grace expired, requeueing leases: " + id);
     }
     forget_worker(id);
+  }
+}
+
+void Engine::beat_workers() {
+  for (std::size_t i = conns_.size(); i-- > 0;) {
+    Conn& c = conns_[i];
+    if (c.role != Conn::Role::kWorker) continue;
+    // Nonblocking: a worker deep in a long batch isn't reading, and its
+    // full socket buffer must not stall the whole event loop. A skipped
+    // beat is fine — the bytes already in flight keep the worker's idle
+    // detector quiet.
+    const ssize_t w = send(c.fd, beat_frame_.data(), beat_frame_.size(),
+                           MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      drop_conn(i, /*may_reattach=*/true);
+    } else if (w > 0 && static_cast<std::size_t>(w) < beat_frame_.size()) {
+      // A torn frame would desync the stream; finish it (the tail is a
+      // handful of bytes, and the buffer just proved it has some room).
+      if (!send_all(c.fd, beat_frame_.data() + w, beat_frame_.size() -
+                                                      static_cast<std::size_t>(w))) {
+        drop_conn(i, /*may_reattach=*/true);
+      }
+    }
   }
 }
 
@@ -444,6 +491,10 @@ void Engine::step(int timeout_ms) {
   }
   reap_dead();
   grant_leases();
+  if (opts_.heartbeat_ms > 0 && ms_since(last_beat_) >= opts_.heartbeat_ms) {
+    last_beat_ = Clock::now();
+    beat_workers();
+  }
   // Completion: collect finished jobs first — an on_done may add batches.
   std::vector<std::pair<int, std::function<void()>>> done;
   for (auto it = batches_.begin(); it != batches_.end();) {
@@ -508,6 +559,7 @@ std::vector<campaign::RunResult> run_fabric(
   eopts.lease_batch = opts.lease_batch;
   eopts.dead_after_ms = opts.dead_after_ms;
   eopts.reconnect_grace_ms = opts.reconnect_grace_ms;
+  eopts.heartbeat_ms = opts.heartbeat_ms;
   eopts.token = opts.token;
   eopts.on_log = opts.on_log;
   Engine eng(listener, eopts);

@@ -62,6 +62,7 @@ struct FabricStats {
   int version_rejected = 0;    // HELLOs refused by version negotiation
   int auth_rejected = 0;       // HELLOs refused by token mismatch
   int addr_rejected = 0;       // TCP peers refused by the allowlist
+  int handshake_timeouts = 0;  // pre-HELLO connections dropped as stalled
 };
 
 class Engine {
@@ -75,6 +76,15 @@ class Engine {
     /// How long a detached worker (link lost) may stay away before its
     /// leases requeue and its id is forgotten. -1 = use dead_after_ms.
     int reconnect_grace_ms = -1;
+    /// Coordinator -> worker liveness beats. A parked worker otherwise
+    /// reads nothing and cannot tell "no work yet" from a silently dead
+    /// link; regular beats let its idle detector fire in seconds instead
+    /// of TCP's many-minute retransmission timeout. 0 = off.
+    int heartbeat_ms = 500;
+    /// A connection that has not completed HELLO within this window of
+    /// being accepted is dropped, so unauthenticated peers cannot park
+    /// fds (or trickle bytes) indefinitely. <= 0 = never.
+    int handshake_timeout_ms = 2000;
     /// Shared secret; "" = no authentication. A HELLO that fails the
     /// constant-time compare is BYEd before any state exists.
     std::string token;
@@ -153,6 +163,9 @@ class Engine {
     std::string worker_id;         // key into workers_ once handshaken
     int pending_want = 0;          // parked LEASE request
     std::chrono::steady_clock::time_point last_seen;
+    /// Accept time: the handshake deadline anchors here, so a pre-auth
+    /// peer trickling bytes cannot keep resetting its clock.
+    std::chrono::steady_clock::time_point accepted_at;
   };
 
   /// A job's dispatch state. `cells` stays owned by the caller.
@@ -186,6 +199,7 @@ class Engine {
   void forget_worker(const std::string& id);  // grace expired: requeue
   void grant_leases();
   void reap_dead();
+  void beat_workers();
   [[nodiscard]] int pick_job_for(const std::string& worker_id);
   [[nodiscard]] int lease_holders(int job) const;
 
@@ -200,6 +214,8 @@ class Engine {
   int job_seq_ = 0;
   int worker_seq_ = 0;
   std::int64_t epoch_seq_ = 0;
+  std::string beat_frame_;  // pre-encoded coordinator -> worker heartbeat
+  std::chrono::steady_clock::time_point last_beat_;
 };
 
 /// One-shot coordinator options (`pfi_campaign --workers N`).
@@ -208,6 +224,8 @@ struct FabricOptions {
   int dead_after_ms = 5000;
   /// Detached-worker grace before requeue; -1 = dead_after_ms.
   int reconnect_grace_ms = -1;
+  /// Coordinator -> worker liveness beat interval (0 = off).
+  int heartbeat_ms = 500;
   /// Shared secret workers must present ("" = no auth).
   std::string token;
   /// Abort (returning the partial result vector) when no worker has been

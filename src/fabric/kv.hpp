@@ -8,6 +8,7 @@
 // there is no precision policy to keep in sync across machines.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -56,9 +57,18 @@ struct Scan {
     char* end = nullptr;
     // The length token is NUL-free inside a string_view; copy it out.
     const std::string len_tok(bytes.substr(sp + 1, nl - sp - 1));
+    // Digits only (strtoull would happily wrap "-1") and no ERANGE
+    // saturation: the payload is parsed pre-auth, so a hostile length
+    // token must die here, not in the bounds arithmetic below.
+    if (len_tok.empty() || len_tok[0] < '0' || len_tok[0] > '9') return false;
+    errno = 0;
     const unsigned long long len = std::strtoull(len_tok.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || len_tok.empty()) return false;
-    if (nl + 1 + len + 1 > bytes.size()) return false;
+    if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+    // Overflow-proof bounds: the value plus its trailing '\n' must fit in
+    // what remains after the header newline. The naive `nl + 1 + len + 1`
+    // wraps for a crafted len, passing the check into an OOB read — or
+    // sends `pos` backwards so the scan re-parses the same entry forever.
+    if (nl + 2 > bytes.size() || len > bytes.size() - (nl + 2)) return false;
     if (bytes[nl + 1 + len] != '\n') return false;
     key->assign(bytes.substr(pos, sp - pos));
     value->assign(bytes.substr(nl + 1, len));
@@ -67,12 +77,29 @@ struct Scan {
   }
 };
 
-inline std::int64_t to_i64(const std::string& v) {
-  return std::strtoll(v.c_str(), nullptr, 10);
+/// Strict numeric parses: the whole string must be one in-range number.
+/// A failed parse (empty, trailing bytes, ERANGE over/underflow, a minus
+/// sign where only unsigned makes sense) yields 0 and reports through *ok
+/// when given — frame decoders reject such entries instead of letting a
+/// silently saturated value masquerade as a real count, slot or epoch.
+inline std::int64_t to_i64(const std::string& v, bool* ok = nullptr) {
+  char* end = nullptr;
+  errno = 0;
+  const long long r = std::strtoll(v.c_str(), &end, 10);
+  const bool good =
+      !v.empty() && end != nullptr && *end == '\0' && errno != ERANGE;
+  if (ok != nullptr) *ok = good;
+  return good ? static_cast<std::int64_t>(r) : 0;
 }
 
-inline std::uint64_t to_u64(const std::string& v) {
-  return std::strtoull(v.c_str(), nullptr, 10);
+inline std::uint64_t to_u64(const std::string& v, bool* ok = nullptr) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long r = std::strtoull(v.c_str(), &end, 10);
+  const bool good = !v.empty() && v[0] != '-' && end != nullptr &&
+                    *end == '\0' && errno != ERANGE;
+  if (ok != nullptr) *ok = good;
+  return good ? static_cast<std::uint64_t>(r) : 0;
 }
 
 inline double to_double(const std::string& v) {

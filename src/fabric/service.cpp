@@ -149,7 +149,12 @@ void run_campaign_job(Job* job) {
   }
   for (const auto& r : results) {
     if (r.index < 0) continue;  // drained on shutdown before it ran
-    const std::size_t slot = slot_of_index[r.index];
+    // find(), never operator[]: a result whose index matches no dispatched
+    // cell (a buggy or malicious worker echoing the wrong one) must be
+    // dropped, not default-inserted into slot 0 over a real record.
+    const auto st = slot_of_index.find(r.index);
+    if (st == slot_of_index.end()) continue;
+    const std::size_t slot = st->second;
     records[slot] = campaign::record_json(r);
     journal[keys[slot]] = records[slot];
     if (!r.metrics.empty()) {
@@ -291,6 +296,7 @@ class Service {
     eopts.lease_batch = opts.lease_batch;
     eopts.dead_after_ms = opts.dead_after_ms;
     eopts.reconnect_grace_ms = opts.reconnect_grace_ms;
+    eopts.heartbeat_ms = opts.heartbeat_ms;
     eopts.token = opts.token;
     eopts.allow = opts.allow;
     eopts.accept_clients = true;

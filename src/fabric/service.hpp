@@ -50,6 +50,8 @@ struct ServiceOptions {
   int dead_after_ms = 5000;
   /// Detached-worker grace before requeue; -1 = dead_after_ms.
   int reconnect_grace_ms = -1;
+  /// Coordinator -> worker liveness beat interval (0 = off).
+  int heartbeat_ms = 500;
   /// Shared secret every HELLO (worker *and* client) must present.
   std::string token;
   /// TCP peer-address allowlist (dotted quads); empty = all.

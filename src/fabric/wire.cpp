@@ -14,6 +14,27 @@ bool known_type(std::uint8_t t) {
          t <= static_cast<std::uint8_t>(FrameType::kDone);
 }
 
+/// Accumulates numeric-parse health across one decoder: any token that
+/// over/underflows or carries trailing bytes poisons `ok`, and the decoder
+/// rejects the whole frame instead of acting on a misparsed value.
+struct Num {
+  bool ok = true;
+
+  std::int64_t i64(const std::string& v) {
+    bool good = true;
+    const std::int64_t r = kv::to_i64(v, &good);
+    ok = ok && good;
+    return r;
+  }
+
+  std::uint64_t u64(const std::string& v) {
+    bool good = true;
+    const std::uint64_t r = kv::to_u64(v, &good);
+    ok = ok && good;
+    return r;
+  }
+};
+
 }  // namespace
 
 std::string encode_frame(FrameType type, std::string_view payload) {
@@ -42,7 +63,7 @@ bool FrameReader::next(Frame* out) {
                             (static_cast<std::uint32_t>(b[1]) << 16) |
                             (static_cast<std::uint32_t>(b[2]) << 8) |
                             static_cast<std::uint32_t>(b[3]);
-  if (len == 0 || len > kMaxFramePayload + 1) {
+  if (len == 0 || len > max_payload_ + 1) {
     corrupt_ = true;
     return false;
   }
@@ -74,10 +95,11 @@ bool decode_hello(std::string_view payload, Hello* out) {
   kv::Scan scan{payload};
   std::string key, value;
   bool has_version = false;
+  Num num;
   Hello h;
   while (scan.next(&key, &value)) {
     if (key == "v") {
-      h.version = static_cast<std::uint32_t>(kv::to_u64(value));
+      h.version = static_cast<std::uint32_t>(num.u64(value));
       has_version = true;
     } else if (key == "role") {
       h.role = value;
@@ -89,7 +111,7 @@ bool decode_hello(std::string_view payload, Hello* out) {
       h.id = value;
     }
   }
-  if (!has_version || h.role.empty()) return false;
+  if (!num.ok || !has_version || h.role.empty()) return false;
   *out = h;
   return true;
 }
@@ -121,8 +143,9 @@ bool decode_lease_request(std::string_view payload, int* want) {
   std::string key, value;
   while (scan.next(&key, &value)) {
     if (key == "want") {
-      *want = static_cast<int>(kv::to_i64(value));
-      return *want > 0;
+      Num num;
+      *want = static_cast<int>(num.i64(value));
+      return num.ok && *want > 0;
     }
   }
   return false;
@@ -157,16 +180,17 @@ bool decode_lease_grant(std::string_view payload, int* job,
   int pending_slot = -1;
   std::int64_t pending_epoch = 0;
   bool have_slot = false, have_epoch = false;
+  Num num;
   while (scan.next(&key, &value)) {
     if (key == "job") {
-      *job = static_cast<int>(kv::to_i64(value));
+      *job = static_cast<int>(num.i64(value));
     } else if (key == "n") {
-      n = kv::to_u64(value);
+      n = num.u64(value);
     } else if (key == "slot") {
-      pending_slot = static_cast<int>(kv::to_i64(value));
+      pending_slot = static_cast<int>(num.i64(value));
       have_slot = true;
     } else if (key == "epoch") {
-      pending_epoch = kv::to_i64(value);
+      pending_epoch = num.i64(value);
       have_epoch = true;
     } else if (key == "cell") {
       campaign::RunCell cell;
@@ -179,7 +203,7 @@ bool decode_lease_grant(std::string_view payload, int* job,
       have_slot = have_epoch = false;
     }
   }
-  return slots->size() == n;
+  return num.ok && slots->size() == n;
 }
 
 // --- cells -----------------------------------------------------------------
@@ -237,25 +261,27 @@ bool decode_event(std::string_view payload, campaign::FaultEvent* out) {
   kv::Scan scan{payload};
   std::string key, value;
   campaign::FaultEvent e;
+  Num num;
   while (scan.next(&key, &value)) {
     if (key == "type") {
       e.type = value;
     } else if (key == "kind") {
       if (!parse_kind(value, &e.kind)) return false;
     } else if (key == "occ") {
-      e.occurrence = static_cast<int>(kv::to_i64(value));
+      e.occurrence = static_cast<int>(num.i64(value));
     } else if (key == "send") {
       e.on_send = value == "1";
     } else if (key == "delay") {
-      e.delay = kv::to_i64(value);
+      e.delay = num.i64(value);
     } else if (key == "copies") {
-      e.copies = static_cast<int>(kv::to_i64(value));
+      e.copies = static_cast<int>(num.i64(value));
     } else if (key == "corrupt_off") {
-      e.corrupt_offset = static_cast<std::size_t>(kv::to_u64(value));
+      e.corrupt_offset = static_cast<std::size_t>(num.u64(value));
     } else if (key == "batch") {
-      e.batch = static_cast<int>(kv::to_i64(value));
+      e.batch = static_cast<int>(num.i64(value));
     }
   }
+  if (!num.ok) return false;
   *out = std::move(e);
   return true;
 }
@@ -267,9 +293,10 @@ bool decode_cell(std::string_view payload, campaign::RunCell* out) {
   std::string key, value;
   campaign::RunCell cell;
   std::uint64_t nev = 0;
+  Num num;
   while (scan.next(&key, &value)) {
     if (key == "index") {
-      cell.index = static_cast<int>(kv::to_i64(value));
+      cell.index = static_cast<int>(num.i64(value));
     } else if (key == "id") {
       cell.id = value;
     } else if (key == "protocol") {
@@ -281,34 +308,34 @@ bool decode_cell(std::string_view payload, campaign::RunCell* out) {
     } else if (key == "script_file") {
       cell.script_file = value;
     } else if (key == "seed") {
-      cell.seed = kv::to_u64(value);
+      cell.seed = num.u64(value);
     } else if (key == "nodes") {
-      cell.nodes = static_cast<int>(kv::to_i64(value));
+      cell.nodes = static_cast<int>(num.i64(value));
     } else if (key == "target") {
-      cell.target_node = static_cast<int>(kv::to_i64(value));
+      cell.target_node = static_cast<int>(num.i64(value));
     } else if (key == "warmup") {
-      cell.warmup = kv::to_i64(value);
+      cell.warmup = num.i64(value);
     } else if (key == "duration") {
-      cell.duration = kv::to_i64(value);
+      cell.duration = num.i64(value);
     } else if (key == "jitter") {
-      cell.jitter = kv::to_i64(value);
+      cell.jitter = num.i64(value);
     } else if (key == "buggy") {
       cell.buggy = value == "1";
     } else if (key == "timeout_ms") {
-      cell.timeout_ms = static_cast<int>(kv::to_i64(value));
+      cell.timeout_ms = static_cast<int>(num.i64(value));
     } else if (key == "max_events") {
-      cell.max_sim_events = kv::to_u64(value);
+      cell.max_sim_events = num.u64(value);
     } else if (key == "timeline") {
       cell.capture_timeline = value == "1";
     } else if (key == "nev") {
-      nev = kv::to_u64(value);
+      nev = num.u64(value);
     } else if (key == "ev") {
       campaign::FaultEvent e;
       if (!decode_event(value, &e)) return false;
       cell.schedule.events.push_back(std::move(e));
     }
   }
-  if (cell.schedule.events.size() != nev) return false;
+  if (!num.ok || cell.schedule.events.size() != nev) return false;
   if (cell.id.empty() || cell.protocol.empty()) return false;
   *out = std::move(cell);
   return true;
@@ -333,20 +360,21 @@ bool decode_result(std::string_view payload, int* job, int* slot,
   bool have_slot = false, have_res = false;
   *job = 0;
   *epoch = 0;
+  Num num;
   while (scan.next(&key, &value)) {
     if (key == "job") {
-      *job = static_cast<int>(kv::to_i64(value));
+      *job = static_cast<int>(num.i64(value));
     } else if (key == "slot") {
-      *slot = static_cast<int>(kv::to_i64(value));
+      *slot = static_cast<int>(num.i64(value));
       have_slot = true;
     } else if (key == "epoch") {
-      *epoch = kv::to_i64(value);
+      *epoch = num.i64(value);
     } else if (key == "res") {
       if (!campaign::wire_decode(value, out)) return false;
       have_res = true;
     }
   }
-  return have_slot && have_res;
+  return num.ok && have_slot && have_res;
 }
 
 // --- bye -------------------------------------------------------------------
@@ -386,6 +414,7 @@ bool decode_submit(std::string_view payload, Submit* out) {
   std::string key, value;
   Submit s;
   bool have_spec = false;
+  Num num;
   while (scan.next(&key, &value)) {
     if (key == "spec") {
       s.spec_text = value;
@@ -393,20 +422,20 @@ bool decode_submit(std::string_view payload, Submit* out) {
     } else if (key == "filter") {
       s.filter = value;
     } else if (key == "timeout_ms") {
-      s.timeout_ms = static_cast<int>(kv::to_i64(value));
+      s.timeout_ms = static_cast<int>(num.i64(value));
     } else if (key == "max_events") {
-      s.max_events = kv::to_i64(value);
+      s.max_events = num.i64(value);
     } else if (key == "retries") {
-      s.retries = static_cast<int>(kv::to_i64(value));
+      s.retries = static_cast<int>(num.i64(value));
     } else if (key == "explore") {
-      s.explore = static_cast<int>(kv::to_i64(value));
+      s.explore = static_cast<int>(num.i64(value));
     } else if (key == "max_workers") {
-      s.max_workers = static_cast<int>(kv::to_i64(value));
+      s.max_workers = static_cast<int>(num.i64(value));
     } else if (key == "have") {
       s.have.push_back(value);
     }
   }
-  if (!have_spec) return false;
+  if (!num.ok || !have_spec) return false;
   *out = std::move(s);
   return true;
 }

@@ -68,6 +68,11 @@ constexpr std::uint32_t kProtocolVersion = 2;
 /// Frames above this are garbage (or an attack), not campaigns.
 constexpr std::uint32_t kMaxFramePayload = 64u << 20;
 
+/// Until a connection completes HELLO, this is all a frame may claim: a
+/// handshake is a few short kv entries, and an unauthenticated peer must
+/// not be able to park a 64 MB buffer allocation per connection.
+constexpr std::uint32_t kMaxHelloPayload = 4096;
+
 enum class FrameType : std::uint8_t {
   kHello = 1,
   kLease = 2,
@@ -103,9 +108,16 @@ class FrameReader {
   /// unusable and should be closed.
   [[nodiscard]] bool corrupt() const { return corrupt_; }
 
+  /// Tighten (or restore) the per-frame payload ceiling. The coordinator
+  /// caps pre-handshake connections at kMaxHelloPayload and lifts the cap
+  /// to kMaxFramePayload once HELLO succeeds; the check fires on the 4
+  /// header bytes, before any payload accumulates.
+  void set_max_payload(std::uint32_t n) { max_payload_ = n; }
+
  private:
   std::string buf_;
   std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  std::uint32_t max_payload_ = kMaxFramePayload;
   bool corrupt_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "fabric/worker.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -8,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
@@ -21,18 +23,41 @@ namespace pfi::fabric {
 
 namespace {
 
-/// Blocking read of the next complete frame. False on EOF/error/corruption.
-bool read_frame(int fd, FrameReader* reader, Frame* out) {
+/// Blocking read of the next complete frame, with a liveness bound: polls
+/// in short slices so a silent partition (coordinator host gone without an
+/// RST) surfaces after idle_timeout_ms — or the moment the heartbeat
+/// thread reports a failed send — instead of blocking in recv() for TCP's
+/// many-minute retransmission timeout. False on EOF/error/corruption/
+/// timeout; the caller treats every false the same way (reconnect or die).
+bool read_frame(int fd, FrameReader* reader, Frame* out, int idle_timeout_ms,
+                const std::atomic<bool>* hb_failed = nullptr) {
+  int idle_ms = 0;
   for (;;) {
     if (reader->next(out)) return true;
     if (reader->corrupt()) return false;
+    struct pollfd p = {fd, POLLIN, 0};
+    const int pr = poll(&p, 1, 250);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (pr == 0) {
+      if (hb_failed != nullptr &&
+          hb_failed->load(std::memory_order_relaxed)) {
+        return false;  // our own beats bounce: the link is gone
+      }
+      idle_ms += 250;
+      if (idle_timeout_ms > 0 && idle_ms >= idle_timeout_ms) return false;
+      continue;
+    }
     char buf[65536];
     const ssize_t n = recv(fd, buf, sizeof buf, 0);
     if (n == 0) return false;
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN) continue;
       return false;
     }
+    idle_ms = 0;
     reader->feed(buf, static_cast<std::size_t>(n));
   }
 }
@@ -48,14 +73,17 @@ int backoff_ms(int attempt) {
 /// loop never allocates: the executor's --isolate path forks while this
 /// thread runs, and a child must not inherit a held malloc lock. The fd is
 /// read through an atomic under the write lock — during a reconnect the
-/// main thread parks it at -1 and the loop just skips beats; send failures
-/// are ignored (the main thread notices the dead link through its own IO).
+/// main thread parks it at -1 and the loop just skips beats. A failed send
+/// raises *failed so the main thread's read loop (which may otherwise sit
+/// in poll() with nothing arriving) starts its reconnect immediately.
 class Heartbeat {
  public:
-  Heartbeat(std::atomic<int>* fd, std::mutex* write_mu, int interval_ms)
+  Heartbeat(std::atomic<int>* fd, std::mutex* write_mu, int interval_ms,
+            std::atomic<bool>* failed)
       : fd_(fd),
         write_mu_(write_mu),
         interval_ms_(interval_ms < 50 ? 50 : interval_ms),
+        failed_(failed),
         frame_(encode_frame(FrameType::kHeartbeat, "")) {
     thread_ = std::thread([this] { loop(); });
   }
@@ -76,13 +104,16 @@ class Heartbeat {
       std::lock_guard<std::mutex> lock(*write_mu_);
       const int fd = fd_->load(std::memory_order_relaxed);
       if (fd < 0) continue;  // detached: a reconnect is in progress
-      send_all(fd, frame_.data(), frame_.size());
+      if (!send_all(fd, frame_.data(), frame_.size())) {
+        failed_->store(true, std::memory_order_relaxed);
+      }
     }
   }
 
   std::atomic<int>* fd_;
   std::mutex* write_mu_;
   int interval_ms_;
+  std::atomic<bool>* failed_;
   std::string frame_;  // pre-encoded: the loop must not allocate
   std::atomic<bool> stop_{false};
   std::thread thread_;
@@ -92,7 +123,7 @@ class Heartbeat {
 /// coordinator-assigned id), 1 = IO/protocol failure, 2 = version
 /// rejected, 3 = auth rejected.
 int handshake(int fd, const WorkerOptions& opts, FrameReader* reader,
-              std::string* worker_id) {
+              std::string* worker_id, int idle_timeout_ms) {
   Hello hello;
   hello.role = "worker";
   hello.name =
@@ -103,7 +134,7 @@ int handshake(int fd, const WorkerOptions& opts, FrameReader* reader,
       encode_frame(FrameType::kHello, encode_hello(hello));
   if (!send_all(fd, bytes.data(), bytes.size())) return 1;
   Frame f;
-  if (!read_frame(fd, reader, &f)) return 1;
+  if (!read_frame(fd, reader, &f, idle_timeout_ms)) return 1;
   if (f.type == FrameType::kBye) {
     const std::string reason = decode_bye(f.payload);
     if (opts.on_log) opts.on_log("rejected: " + reason);
@@ -123,6 +154,11 @@ int handshake(int fd, const WorkerOptions& opts, FrameReader* reader,
 
 int run_worker(const WorkerOptions& opts) {
   const int retries = opts.connect_retries < 0 ? 0 : opts.connect_retries;
+  const int idle_timeout =
+      opts.idle_timeout_ms > 0
+          ? opts.idle_timeout_ms
+          : std::max(5000, 10 * (opts.heartbeat_ms > 0 ? opts.heartbeat_ms
+                                                       : 500));
 
   // Initial connect, with backoff: a worker started before its coordinator
   // should wait for it, not die.
@@ -147,7 +183,7 @@ int run_worker(const WorkerOptions& opts) {
   FrameReader reader;
   std::string worker_id;
   {
-    const int hs = handshake(fd, opts, &reader, &worker_id);
+    const int hs = handshake(fd, opts, &reader, &worker_id, idle_timeout);
     if (hs != 0) {
       close(fd);
       return hs;
@@ -165,9 +201,10 @@ int run_worker(const WorkerOptions& opts) {
   /// request (TCP ordering), so these are cleared then; on a reconnect the
   /// whole set is re-sent and the coordinator dedupes.
   std::vector<std::string> unacked;
+  std::atomic<bool> hb_failed{false};
   int rc = 1;  // pessimistic: overwritten by a graceful BYE
   {
-    Heartbeat heartbeat(&live_fd, &write_mu, opts.heartbeat_ms);
+    Heartbeat heartbeat(&live_fd, &write_mu, opts.heartbeat_ms, &hb_failed);
     auto send_locked = [&](const std::string& bytes) {
       std::lock_guard<std::mutex> lock(write_mu);
       return send_all(fd, bytes.data(), bytes.size());
@@ -196,7 +233,7 @@ int run_worker(const WorkerOptions& opts) {
         if (nfd < 0) continue;
         FrameReader fresh;
         std::string id = worker_id;
-        const int hs = handshake(nfd, opts, &fresh, &id);
+        const int hs = handshake(nfd, opts, &fresh, &id, idle_timeout);
         if (hs == 2 || hs == 3) {
           close(nfd);
           return hs;  // deliberate rejection: no point retrying
@@ -221,6 +258,7 @@ int run_worker(const WorkerOptions& opts) {
         fd = nfd;
         reader = std::move(fresh);
         worker_id = id;
+        hb_failed.store(false, std::memory_order_relaxed);
         live_fd.store(fd, std::memory_order_relaxed);
         if (opts.on_log) {
           opts.on_log("reconnected as " + worker_id + " (" +
@@ -242,7 +280,7 @@ int run_worker(const WorkerOptions& opts) {
 
     for (;;) {
       Frame f;
-      if (!read_frame(fd, &reader, &f)) {
+      if (!read_frame(fd, &reader, &f, idle_timeout, &hb_failed)) {
         const int r = reconnect();
         if (r != 0) {
           rc = r;

@@ -34,6 +34,13 @@ struct WorkerOptions {
   /// overlap computing with the next round trip.
   int lease_want = 0;
   int heartbeat_ms = 500;
+  /// Declare the link dead and reconnect when nothing arrives for this
+  /// long (the coordinator beats parked workers every ~500 ms, so a
+  /// healthy link is never silent). Bounds the hang a silent partition —
+  /// coordinator host gone without an RST — would otherwise stretch to
+  /// TCP's many-minute retransmission timeout while finished results sit
+  /// undelivered. <= 0 = auto: max(5000, 10 * heartbeat_ms).
+  int idle_timeout_ms = 0;
   /// Connect attempts (initial and per reconnect) beyond the first, with
   /// capped exponential backoff (100 ms doubling to 2 s) between them.
   int connect_retries = 5;

@@ -25,6 +25,7 @@
 #include "campaign/schedule.hpp"
 #include "campaign/spec.hpp"
 #include "fabric/coordinator.hpp"
+#include "fabric/kv.hpp"
 #include "fabric/service.hpp"
 #include "fabric/socket.hpp"
 #include "fabric/wire.hpp"
@@ -507,6 +508,152 @@ TEST(Fabric, LinkFlapsKeepRecordsByteIdentical) {
   EXPECT_GE(stats.workers_reattached, 1);
   EXPECT_EQ(stats.cells_requeued, 0);  // every flap reattached in time
   EXPECT_EQ(stats.workers_lost, 0);
+}
+
+// --- hostile input ----------------------------------------------------------
+
+TEST(FabricKv, ScanRejectsHostileLengthTokens) {
+  // Payloads are parsed before authentication, so a crafted length token
+  // must end the scan instead of wrapping the bounds arithmetic into an
+  // out-of-bounds read (or sending the cursor backwards forever).
+  const char* hostile[] = {
+      "key 18446744073709551615\nx\n",  // ULLONG_MAX: naive bounds wrap
+      "key 18446744073709551614\nx\n",  // ULLONG_MAX-1: pos would go back
+      "key 99999999999999999999\nx\n",  // > 64 bits: ERANGE saturation
+      "key -1\nx\n",                    // strtoull happily wraps "-1"
+      "key 12a\nxxxxxxxxxxxx\n",        // trailing garbage in the token
+      "key \nx\n",                      // empty token
+      "key 4\nab\n",                    // claims more than is present
+  };
+  for (const char* payload : hostile) {
+    kv::Scan scan{payload};
+    std::string key, value;
+    int entries = 0;
+    while (scan.next(&key, &value) && entries < 4) ++entries;
+    EXPECT_EQ(entries, 0) << payload;
+  }
+  // And the well-formed shape still parses, including an embedded newline.
+  kv::Scan ok{std::string_view("key 3\na\nb\n", 10)};
+  std::string key, value;
+  ASSERT_TRUE(ok.next(&key, &value));
+  EXPECT_EQ(key, "key");
+  EXPECT_EQ(value, std::string("a\nb", 3));
+  EXPECT_FALSE(ok.next(&key, &value));
+}
+
+TEST(FabricWire, DecodersRejectOverflowedNumericFields) {
+  // A numeric field that strtoll/strtoull would silently saturate must
+  // fail the whole decode — a clamped count or version is not a value
+  // anyone sent.
+  {
+    std::string p;
+    kv::put(&p, "want", "99999999999999999999999999");
+    int want = 0;
+    EXPECT_FALSE(decode_lease_request(p, &want));
+  }
+  {
+    std::string p;
+    kv::put(&p, "want", "-3");
+    int want = 0;
+    EXPECT_FALSE(decode_lease_request(p, &want));
+  }
+  {
+    std::string p;
+    kv::put(&p, "v", "99999999999999999999999999");
+    kv::put(&p, "role", "worker");
+    Hello h;
+    EXPECT_FALSE(decode_hello(p, &h));
+  }
+  {
+    std::string p;  // unsigned field, negative value
+    kv::put(&p, "v", "-2");
+    kv::put(&p, "role", "worker");
+    Hello h;
+    EXPECT_FALSE(decode_hello(p, &h));
+  }
+}
+
+TEST(Fabric, SilentPreAuthConnectionIsDropped) {
+  // A peer that connects and never completes HELLO must not hold an fd
+  // (and a frame buffer) forever: the handshake deadline fires and the
+  // connection is closed without a BYE.
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+
+  Engine::Options eopts;
+  eopts.handshake_timeout_ms = 100;
+  Engine engine(&listener, eopts);
+
+  const int fd = dial(listener.address(), &err);
+  ASSERT_GE(fd, 0) << err;
+  for (int i = 0; i < 200 && engine.stats.handshake_timeouts == 0; ++i) {
+    engine.step(10);
+  }
+  EXPECT_EQ(engine.stats.handshake_timeouts, 1);
+  char buf[16];
+  EXPECT_EQ(recv(fd, buf, sizeof buf, 0), 0);  // plain close, no BYE
+  close(fd);
+  engine.shutdown("test complete");
+}
+
+TEST(Fabric, OversizedPreAuthFrameIsDropped) {
+  // Before HELLO a peer gets kMaxHelloPayload per frame, not the 64 MB a
+  // handshaken worker's RESULT may claim; a bigger header is corruption
+  // and the connection drops before any payload accumulates.
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+
+  Engine engine(&listener, {});
+
+  const int fd = dial(listener.address(), &err);
+  ASSERT_GE(fd, 0) << err;
+  const std::uint32_t claim = 1u << 20;  // 1 MB, > kMaxHelloPayload
+  const char header[4] = {static_cast<char>(claim >> 24),
+                          static_cast<char>((claim >> 16) & 0xff),
+                          static_cast<char>((claim >> 8) & 0xff),
+                          static_cast<char>(claim & 0xff)};
+  ASSERT_TRUE(send_all(fd, header, sizeof header));
+  char buf[16];
+  ssize_t n = -1;
+  for (int i = 0; i < 200; ++i) {
+    engine.step(10);
+    n = recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (n >= 0) break;
+  }
+  EXPECT_EQ(n, 0);  // dropped, nothing echoed back
+  close(fd);
+  engine.shutdown("test complete");
+}
+
+TEST(Fabric, WorkerIdleTimeoutReconnectsThroughSilentLink) {
+  // A coordinator that goes mute (heartbeats off stands in for a silent
+  // partition) must not strand a parked worker in recv() for TCP's
+  // many-minute retransmission timeout: the worker's idle detector fires
+  // and it reconnects under its stable id.
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+
+  WorkerOptions wopts;
+  wopts.connect = listener.address();
+  wopts.heartbeat_ms = 100;
+  wopts.idle_timeout_ms = 300;
+  LocalWorkerPool pool;
+  ASSERT_TRUE(spawn_local_workers(wopts, 1, listener.fd(), &pool, &err))
+      << err;
+
+  Engine::Options eopts;
+  eopts.heartbeat_ms = 0;  // mute: never beat the parked worker
+  Engine engine(&listener, eopts);
+  for (int i = 0; i < 800 && engine.stats.workers_reattached == 0; ++i) {
+    engine.step(10);
+  }
+  EXPECT_GE(engine.stats.workers_reattached, 1);
+  EXPECT_EQ(engine.stats.workers_lost, 0);  // reattach beat the grace clock
+  engine.shutdown("test complete");
+  reap_local_workers(&pool);
 }
 
 // --- journal merging -------------------------------------------------------
