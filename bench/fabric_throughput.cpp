@@ -6,6 +6,7 @@
 // run prices the coordinator: framing, socket hops, lease round trips.
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -14,8 +15,10 @@
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
 #include "fabric/coordinator.hpp"
+#include "fabric/flight.hpp"
 #include "fabric/socket.hpp"
 #include "fabric/worker.hpp"
+#include "obs/metrics.hpp"
 
 using namespace pfi;
 using namespace pfi::campaign;
@@ -176,6 +179,67 @@ int main() {
                      {"reattached", std::to_string(fstats.workers_reattached)},
                      {"overhead_ms_per_flap", std::to_string(per_flap)},
                      {"records_identical", identical ? "true" : "false"}});
+  }
+
+  // Observability tax: the same two-worker fabric run with the whole
+  // observability plane on (flight recorder, coordinator stage histograms,
+  // workers shipping STATS snapshots) vs off. The plane is designed to be
+  // allocation-light and off the hot path, so the delta should be noise.
+  {
+    double obs_ms[2] = {0, 0};  // [0] = plane off, [1] = plane on
+    bool obs_identical = true;
+    for (int on = 0; on < 2; ++on) {
+      fabric::Listener listener;
+      std::string err;
+      if (!listener.open("127.0.0.1:0", &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+      }
+      fabric::WorkerOptions wopts;
+      wopts.connect = listener.address();
+      wopts.ship_stats = on == 1;
+      fabric::LocalWorkerPool pool;
+      if (!fabric::spawn_local_workers(wopts, 2, listener.fd(), &pool,
+                                       &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+      }
+      fabric::FabricOptions fopts;
+      fopts.no_worker_timeout_ms = 60000;
+      fabric::FlightRecorder flight;
+      obs::Registry reg;
+      std::map<std::string, std::vector<obs::MetricSample>> wstats;
+      if (on == 1) {
+        fopts.flight = &flight;
+        fopts.obs = &reg;
+        fopts.worker_stats_out = &wstats;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto results = fabric::run_fabric(&listener, cells, fopts);
+      obs_ms[on] = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+      fabric::reap_local_workers(&pool);
+      obs_identical = obs_identical && records_of(results) == baseline;
+      char mode[32];
+      std::snprintf(mode, sizeof mode, "fabric obs %s", on ? "on" : "off");
+      std::printf("%20s %12.1f %12.0f %9.2fx %12s\n", mode, obs_ms[on],
+                  1000.0 * static_cast<double>(cells.size()) / obs_ms[on],
+                  inproc_1_ms / obs_ms[on],
+                  obs_identical ? "identical" : "DIVERGED");
+    }
+    const double obs_us_per_cell = 1000.0 * (obs_ms[1] - obs_ms[0]) /
+                                   static_cast<double>(cells.size());
+    std::printf(
+        "observability overhead: %.1f us/cell (flight + stage histograms + "
+        "STATS shipping)\n",
+        obs_us_per_cell);
+    bench::json_row(
+        "fabric_obs_overhead",
+        {{"wall_ms_off", std::to_string(obs_ms[0])},
+         {"wall_ms_on", std::to_string(obs_ms[1])},
+         {"overhead_us_per_cell", std::to_string(obs_us_per_cell)},
+         {"records_identical", obs_identical ? "true" : "false"}});
   }
 
   // Coordinator tax: what the socket hop + framing + lease protocol adds

@@ -71,6 +71,8 @@ struct Args {
   std::string journal;      // empty = <spec>.journal when journaling
   std::string metrics_out;  // merged metrics JSON (empty = off)
   std::string timeline;     // Chrome trace-event JSON (empty = off)
+  std::string flight_out;   // fabric flight-recorder JSONL (empty = off)
+  std::string status;       // daemon address: print its STATUS JSON, exit
   int jobs = 1;
   int max_minimize = 8;     // cap on cells minimised per campaign
   int timeout_ms = -1;      // -1 = keep the spec's value
@@ -130,7 +132,12 @@ int usage(int code) {
       "  --metrics-out FILE  write campaign-merged metrics (counters sum,\n"
       "                    gauges max across cells) as one JSON document\n"
       "  --timeline FILE   write a Chrome trace-event timeline of the\n"
-      "                    executed cells (open in about:tracing / Perfetto)\n"
+      "                    executed cells (open in about:tracing / Perfetto);\n"
+      "                    with --workers, fabric flight events splice in as\n"
+      "                    their own process lane\n"
+      "  --flight-out FILE write the fabric flight recorder (control-plane\n"
+      "                    events: connects, grants, results, requeues...) as\n"
+      "                    JSONL; side channel only, never affects the report\n"
       "  --workers N       distribute cells over N auto-spawned local worker\n"
       "                    processes (docs/FABRIC.md); the report is\n"
       "                    byte-identical to --jobs 1\n"
@@ -153,6 +160,9 @@ int usage(int code) {
       "                    sends journaled keys so only the rest execute\n"
       "  --max-workers N   (--submit) cap the distinct workers serving this\n"
       "                    job so concurrent jobs share the pool\n"
+      "  --status ADDR     query a pfi_fabricd daemon's STATUS API and print\n"
+      "                    the JSON reply (queue depth, jobs, workers, fleet\n"
+      "                    metrics) to --out or stdout; no spec needed\n"
       "  --merge-journals  treat the positional arguments as journal JSONL\n"
       "                    files: dedupe by content key, sort, write one\n"
       "                    byte-deterministic journal to --out (or stdout)\n"
@@ -239,6 +249,10 @@ int main(int argc, char** argv) {
       args.metrics_out = next();
     } else if (a == "--timeline") {
       args.timeline = next();
+    } else if (a == "--flight-out") {
+      args.flight_out = next();
+    } else if (a == "--status") {
+      args.status = next();
     } else if (a == "--workers") {
       args.workers = std::atoi(next());
     } else if (a == "--listen") {
@@ -280,6 +294,68 @@ int main(int argc, char** argv) {
   if (args.token.empty()) {
     const char* env = std::getenv("PFI_FABRIC_TOKEN");
     if (env != nullptr) args.token = env;
+  }
+
+  if (!args.status.empty()) {
+    // STATUS mode: one round trip to a pfi_fabricd daemon — HELLO as a
+    // client, send an empty STATUS frame, print the JSON reply. No spec.
+    std::string serr;
+    const int fd = pfi::fabric::dial(args.status, &serr);
+    if (fd < 0) {
+      std::fprintf(stderr, "error: %s\n", serr.c_str());
+      return 2;
+    }
+    pfi::fabric::FrameReader reader;
+    auto read_frame = [&](pfi::fabric::Frame* out) {
+      for (;;) {
+        if (reader.next(out)) return true;
+        if (reader.corrupt()) return false;
+        char buf[65536];
+        const ssize_t n = recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          return false;
+        }
+        reader.feed(buf, static_cast<std::size_t>(n));
+      }
+    };
+    pfi::fabric::Hello hello;
+    hello.role = "client";
+    hello.name = "pfi_campaign-status-" + std::to_string(getpid());
+    hello.token = args.token;
+    const std::string hf = pfi::fabric::encode_frame(
+        pfi::fabric::FrameType::kHello, pfi::fabric::encode_hello(hello));
+    pfi::fabric::Frame f;
+    if (!pfi::fabric::send_all(fd, hf.data(), hf.size()) || !read_frame(&f)) {
+      std::fprintf(stderr, "error: daemon handshake failed\n");
+      close(fd);
+      return 2;
+    }
+    if (f.type == pfi::fabric::FrameType::kBye) {
+      std::fprintf(stderr, "error: daemon refused: %s\n",
+                   pfi::fabric::decode_bye(f.payload).c_str());
+      close(fd);
+      return 2;
+    }
+    const std::string sf =
+        pfi::fabric::encode_frame(pfi::fabric::FrameType::kStatus, "");
+    if (!pfi::fabric::send_all(fd, sf.data(), sf.size())) {
+      std::fprintf(stderr, "error: status request failed\n");
+      close(fd);
+      return 2;
+    }
+    while (read_frame(&f)) {
+      if (f.type == pfi::fabric::FrameType::kStatus) {
+        write_file_or_stdout(args.out,
+                             pfi::fabric::decode_json_line(f.payload) + "\n");
+        close(fd);
+        return 0;
+      }
+      if (f.type == pfi::fabric::FrameType::kBye) break;
+    }
+    std::fprintf(stderr, "error: no STATUS reply (daemon too old?)\n");
+    close(fd);
+    return 2;
   }
 
   if (args.merge_journals) {
@@ -633,10 +709,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool use_fabric = args.workers > 0 || !args.listen.empty();
   int done = 0;
   // Live telemetry (stderr only — wall-clock never reaches a record). On a
   // tty the line redraws in place; otherwise a full line every 50 cells.
+  // Under --workers the line grows per-worker cells/s cells (a worker at
+  // less than half the fleet's best rate is flagged `!` as a straggler).
   int live_pass = 0, live_fail = 0, live_err = 0;
+  std::map<std::string, int> fleet_done;  // worker id -> results delivered
   const bool tty = isatty(2) != 0;
   const auto progress_t0 = std::chrono::steady_clock::now();
   auto progress_line = [&]() -> std::string {
@@ -654,7 +734,26 @@ int main(int argc, char** argv) {
                   "ETA %lds",
                   done, todo.size(), live_pass, live_fail, live_err, rate,
                   eta);
-    return buf;
+    std::string line = buf;
+    if (use_fabric && !fleet_done.empty() && el > 0) {
+      double best = 0.0;
+      for (const auto& [id, n] : fleet_done) {
+        best = std::max(best, n / el);
+      }
+      line += " |";
+      int shown = 0;
+      for (const auto& [id, n] : fleet_done) {
+        if (++shown > 4) {
+          line += " +" + std::to_string(fleet_done.size() - 4) + " more";
+          break;
+        }
+        const double wr = n / el;
+        std::snprintf(buf, sizeof buf, " %s%s %.1f/s", id.c_str(),
+                      wr < 0.5 * best ? "!" : "", wr);
+        line += buf;
+      }
+    }
+    return line;
   };
   ExecutorOptions opts;
   opts.jobs = args.jobs;
@@ -704,7 +803,6 @@ int main(int argc, char** argv) {
   // (records, journal, metrics, summary) is byte-identical.
   pfi::fabric::Listener listener;
   pfi::fabric::LocalWorkerPool pool;
-  const bool use_fabric = args.workers > 0 || !args.listen.empty();
   if (use_fabric) {
     std::string ferr;
     // --listen publishes a real address for external pfi_worker processes;
@@ -738,6 +836,13 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_sigint);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<RunResult> results;
+  // Fleet observability state (side channel only — feeds --flight-out,
+  // --metrics-out's fabric/fleet sections and the --timeline flight lane,
+  // never the report or journal).
+  pfi::fabric::FlightRecorder flight;
+  pfi::obs::Registry fabric_obs;
+  std::map<std::string, std::vector<pfi::obs::MetricSample>> worker_stats;
+  pfi::fabric::FabricStats fstats;
   if (use_fabric) {
     pfi::fabric::FabricOptions fopts;
     fopts.no_worker_timeout_ms = 60000;
@@ -748,6 +853,12 @@ int main(int argc, char** argv) {
     fopts.flap_every = args.workers_flap;
     fopts.should_stop = opts.should_stop;
     fopts.on_result = opts.on_result;
+    fopts.flight = &flight;
+    fopts.obs = &fabric_obs;
+    if (!args.metrics_out.empty()) fopts.worker_stats_out = &worker_stats;
+    fopts.on_result_worker = [&](const std::string& id) {
+      ++fleet_done[id];
+    };
     if (args.workers_kill_one) {
       bool killed = false;
       fopts.on_result = [&, inner = opts.on_result](const RunResult& r) {
@@ -764,7 +875,6 @@ int main(int argc, char** argv) {
                      msg.c_str());
       };
     }
-    pfi::fabric::FabricStats fstats;
     results = pfi::fabric::run_fabric(&listener, todo, fopts, &fstats);
     pfi::fabric::reap_local_workers(&pool);
     if (!args.quiet) {
@@ -779,6 +889,10 @@ int main(int argc, char** argv) {
                      "%d stale result(s)\n",
                      fstats.links_dropped, fstats.workers_reattached,
                      fstats.stale_results);
+      }
+      if (fstats.unknown_frames > 0) {
+        std::fprintf(stderr, "fabric: %d unknown frame(s) ignored\n",
+                     fstats.unknown_frames);
       }
     }
   } else {
@@ -810,9 +924,32 @@ int main(int argc, char** argv) {
     mw.kv("campaign", spec->name);
     mw.kv("cells", static_cast<int>(cells.size()));
     mw.kv("cells_measured", measured);
+    // The "metrics" object is built solely from per-result records, so its
+    // bytes match a --jobs 1 run whatever the worker count. The fabric and
+    // fleet sections below are the wall-clock side channel.
     mw.key("metrics").begin_object();
     for (const auto& [name, m] : merged) mw.kv(name, m.value);
     mw.end_object();
+    if (use_fabric) {
+      mw.key("fabric").value_raw(fstats.to_json());
+      std::map<std::string, pfi::obs::MetricSample> fleet;
+      for (const auto& [id, samples] : worker_stats) {
+        pfi::obs::merge_samples(&fleet, samples);
+      }
+      pfi::obs::merge_samples(&fleet, fabric_obs.snapshot());
+      mw.key("fleet").begin_object();
+      mw.key("merged").begin_object();
+      for (const auto& [name, m] : fleet) mw.kv(name, m.value);
+      mw.end_object();
+      mw.key("workers").begin_object();
+      for (const auto& [id, samples] : worker_stats) {
+        mw.key(id).begin_object();
+        for (const auto& m : samples) mw.kv(m.name, m.value);
+        mw.end_object();
+      }
+      mw.end_object();
+      mw.end_object();
+    }
     mw.end_object();
     FILE* f = std::fopen(args.metrics_out.c_str(), "w");
     if (f == nullptr) {
@@ -823,10 +960,22 @@ int main(int argc, char** argv) {
     std::fprintf(f, "%s\n", mw.str().c_str());
     std::fclose(f);
   }
+  if (!args.flight_out.empty()) {
+    // Always written (empty ring = just the flight-meta line) so consumers
+    // can treat the file's existence as unconditional.
+    if (!write_file_or_stdout(args.flight_out, flight.to_jsonl())) return 2;
+  }
   if (!args.timeline.empty()) {
     std::vector<std::string> fragments;
     for (const RunResult& r : results) {
       if (r.index >= 0 && !r.timeline.empty()) fragments.push_back(r.timeline);
+    }
+    if (use_fabric) {
+      // The flight lane rides above the per-cell lanes: pid = cells.size()
+      // can't collide with any cell's pid (those are plan indices).
+      const std::string ft = flight.to_trace_events(
+          "fabric", static_cast<int>(cells.size()));
+      if (!ft.empty()) fragments.push_back(ft);
     }
     FILE* f = std::fopen(args.timeline.c_str(), "w");
     if (f == nullptr) {

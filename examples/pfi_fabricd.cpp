@@ -21,6 +21,7 @@
 #include "fabric/service.hpp"
 #include "fabric/socket.hpp"
 #include "fabric/worker.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -47,6 +48,9 @@ int usage(int code) {
       "                    set PFI_FABRIC_TOKEN)\n"
       "  --allow ADDR      allowlist a TCP peer address (repeatable)\n"
       "  --max-active N    jobs running concurrently (default 4)\n"
+      "  --flight-out FILE dump the daemon's flight recorder (connects,\n"
+      "                    grants, requeues, reattaches...) as JSONL at\n"
+      "                    shutdown; query it live via pfi_campaign --status\n"
       "  --quiet           no job/worker log lines on stderr\n");
   return code;
 }
@@ -55,6 +59,7 @@ int usage(int code) {
 
 int main(int argc, char** argv) {
   std::string listen;
+  std::string flight_out;
   int workers = 0;
   pfi::fabric::WorkerOptions wopts;
   pfi::fabric::ServiceOptions sopts;
@@ -89,6 +94,8 @@ int main(int argc, char** argv) {
       sopts.allow.emplace_back(next());
     } else if (a == "--max-active") {
       sopts.max_active = std::atoi(next());
+    } else if (a == "--flight-out") {
+      flight_out = next();
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--help" || a == "-h") {
@@ -133,9 +140,25 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_stop);
   std::signal(SIGTERM, handle_stop);
   sopts.should_stop = [] { return g_stop != 0; };
+  // Observability plane: flight events and coordinator stage timings feed
+  // the STATUS API and every campaign job's fleet metrics artifact.
+  pfi::fabric::FlightRecorder flight;
+  pfi::obs::Registry obs;
+  sopts.flight = &flight;
+  sopts.obs = &obs;
   pfi::fabric::ServiceStats stats;
   const int rc = pfi::fabric::run_service(&listener, sopts, &stats);
   pfi::fabric::reap_local_workers(&pool);
+  if (!flight_out.empty()) {
+    FILE* f = std::fopen(flight_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", flight_out.c_str());
+    } else {
+      const std::string jsonl = flight.to_jsonl();
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+    }
+  }
   if (!quiet) {
     std::fprintf(stderr,
                  "pfi_fabricd: %d job(s) accepted, %d completed, %d "

@@ -38,6 +38,10 @@ int usage(int code) {
       "                      (default: max(5000, 10*heartbeat))\n"
       "  --name LABEL        diagnostic name sent in HELLO (default\n"
       "                      pid-<pid>)\n"
+      "  --flight-out FILE   dump this worker's flight recorder (dials,\n"
+      "                      grants, results, reconnects) as JSONL at exit\n"
+      "  --no-stats          don't ship obs metrics snapshots (STATS frames)\n"
+      "                      to the coordinator\n"
       "  --quiet             no per-lease log lines on stderr\n");
   return code;
 }
@@ -46,6 +50,7 @@ int usage(int code) {
 
 int main(int argc, char** argv) {
   pfi::fabric::WorkerOptions opts;
+  std::string flight_out;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -72,6 +77,10 @@ int main(int argc, char** argv) {
       opts.idle_timeout_ms = std::atoi(next());
     } else if (a == "--name") {
       opts.name = next();
+    } else if (a == "--flight-out") {
+      flight_out = next();
+    } else if (a == "--no-stats") {
+      opts.ship_stats = false;
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--help" || a == "-h") {
@@ -90,5 +99,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "pfi_worker: %s\n", msg.c_str());
     };
   }
-  return pfi::fabric::run_worker(opts);
+  pfi::fabric::FlightRecorder flight;
+  if (!flight_out.empty()) opts.flight = &flight;
+  const int rc = pfi::fabric::run_worker(opts);
+  if (!flight_out.empty()) {
+    FILE* f = std::fopen(flight_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", flight_out.c_str());
+      return rc != 0 ? rc : 2;
+    }
+    const std::string jsonl = flight.to_jsonl();
+    std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+    std::fclose(f);
+  }
+  return rc;
 }

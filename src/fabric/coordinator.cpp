@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "campaign/json.hpp"
+
 namespace pfi::fabric {
 
 namespace {
@@ -25,6 +27,28 @@ int ms_since(Clock::time_point then) {
 }
 
 }  // namespace
+
+std::string FabricStats::to_json() const {
+  campaign::json::Writer w;
+  w.begin_object();
+  // Keys sorted by name: the object must be byte-stable for a given set of
+  // counter values wherever it is embedded.
+  w.kv("addr_rejected", addr_rejected);
+  w.kv("auth_rejected", auth_rejected);
+  w.kv("cells_requeued", cells_requeued);
+  w.kv("duplicate_results", duplicate_results);
+  w.kv("handshake_timeouts", handshake_timeouts);
+  w.kv("leases_granted", leases_granted);
+  w.kv("links_dropped", links_dropped);
+  w.kv("stale_results", stale_results);
+  w.kv("unknown_frames", unknown_frames);
+  w.kv("version_rejected", version_rejected);
+  w.kv("workers_joined", workers_joined);
+  w.kv("workers_lost", workers_lost);
+  w.kv("workers_reattached", workers_reattached);
+  w.end_object();
+  return w.str();
+}
 
 Engine::Engine(Listener* listener, Options opts)
     : listener_(listener), opts_(std::move(opts)) {
@@ -47,6 +71,7 @@ int Engine::add_batch(
   b.cells = cells;
   b.filled.assign(cells->size(), 0);
   b.epoch.assign(cells->size(), 0);
+  b.enqueued_at.assign(cells->size(), Clock::now());
   b.remaining = cells->size();
   b.max_workers = max_workers;
   b.on_cell = std::move(on_cell);
@@ -96,10 +121,12 @@ void Engine::accept_pending() {
       std::find(opts_.allow.begin(), opts_.allow.end(), peer) ==
           opts_.allow.end()) {
     ++stats.addr_rejected;
+    if (opts_.flight) opts_.flight->record(FlightEvent::kAddrReject);
     if (opts_.on_log) opts_.on_log("peer refused by allowlist: " + peer);
     close(fd);
     return;
   }
+  if (opts_.flight) opts_.flight->record(FlightEvent::kConnect);
   Conn c;
   c.fd = fd;
   c.last_seen = Clock::now();
@@ -127,7 +154,11 @@ void Engine::forget_worker(const std::string& id) {
       continue;  // raced: the result arrived before the death verdict
     }
     b.queue.push_front(slot);
+    b.enqueued_at[static_cast<std::size_t>(slot)] = Clock::now();
     ++stats.cells_requeued;
+    if (opts_.flight) {
+      opts_.flight->record(FlightEvent::kRequeue, id, job, slot, ot->second);
+    }
   }
   ++stats.workers_lost;
   workers_.erase(it);
@@ -144,6 +175,9 @@ void Engine::drop_conn(std::size_t i, bool may_reattach) {
         // Detach, don't forget: the worker keeps computing and may
         // reconnect within the grace window with its results in hand.
         ++stats.links_dropped;
+        if (opts_.flight) {
+          opts_.flight->record(FlightEvent::kDetach, c.worker_id);
+        }
         it->second.fd = -1;
         it->second.detached_at = Clock::now();
         if (opts_.on_log) {
@@ -166,20 +200,26 @@ bool Engine::handle_hello(std::size_t i, const Hello& h) {
     const std::string out = encode_frame(FrameType::kBye, encode_bye(reason));
     send_all(c.fd, out.data(), out.size());
   };
-  if (h.version != kProtocolVersion) {
+  if (h.version < kMinProtocolVersion || h.version > kProtocolVersion) {
     ++stats.version_rejected;
+    if (opts_.flight) opts_.flight->record(FlightEvent::kVersionReject);
     bye("version mismatch: peer v" + std::to_string(h.version) +
-        ", expected v" + std::to_string(kProtocolVersion));
+        ", expected v" + std::to_string(kMinProtocolVersion) + "-v" +
+        std::to_string(kProtocolVersion));
     return false;
   }
   if (!opts_.token.empty() && !tokens_equal(h.token, opts_.token)) {
     ++stats.auth_rejected;
+    if (opts_.flight) opts_.flight->record(FlightEvent::kAuthReject);
     if (opts_.on_log) {
       opts_.on_log("auth failed: " + (h.name.empty() ? "?" : h.name));
     }
     bye("auth failed");
     return false;
   }
+  // The connection speaks the lower of the two versions; v3-only frames
+  // (STATS) simply never flow on a v2 link.
+  c.version = h.version;
   if (h.role == "worker") {
     std::string id = h.id;
     auto it = id.empty() ? workers_.end() : workers_.find(id);
@@ -189,7 +229,9 @@ bool Engine::handle_hello(std::size_t i, const Hello& h) {
         return false;
       }
       it->second.fd = c.fd;
+      ++it->second.reattaches;
       ++stats.workers_reattached;
+      if (opts_.flight) opts_.flight->record(FlightEvent::kReattach, id);
       if (opts_.on_log) opts_.on_log("worker reattached: " + id);
     } else {
       // Fresh worker — or one reconnecting after its grace expired, whose
@@ -205,6 +247,7 @@ bool Engine::handle_hello(std::size_t i, const Hello& h) {
       w.fd = c.fd;
       workers_.emplace(id, std::move(w));
       ++stats.workers_joined;
+      if (opts_.flight) opts_.flight->record(FlightEvent::kJoin, id);
       if (opts_.on_log) {
         opts_.on_log("worker joined: " + id +
                      (h.name.empty() ? "" : " (" + h.name + ")"));
@@ -251,6 +294,9 @@ bool Engine::handle_frame(std::size_t i, const Frame& f) {
       int want = 0;
       if (!decode_lease_request(f.payload, &want)) return false;
       c.pending_want = want;
+      if (opts_.flight) {
+        opts_.flight->record(FlightEvent::kLeaseRequest, c.worker_id);
+      }
       return true;
     }
     case FrameType::kResult: {
@@ -259,6 +305,10 @@ bool Engine::handle_frame(std::size_t i, const Frame& f) {
       std::int64_t epoch = 0;
       campaign::RunResult r;
       if (!decode_result(f.payload, &job, &slot, &epoch, &r)) return false;
+      if (opts_.flight) {
+        opts_.flight->record(FlightEvent::kResult, c.worker_id, job, slot,
+                             epoch);
+      }
       auto wt = workers_.find(c.worker_id);
       if (wt != workers_.end()) wt->second.outstanding.erase({job, slot});
       auto bt = batches_.find(job);
@@ -276,15 +326,36 @@ bool Engine::handle_frame(std::size_t i, const Frame& f) {
       }
       b.filled[static_cast<std::size_t>(slot)] = 1;
       --b.remaining;
+      if (opts_.on_worker_result) opts_.on_worker_result(c.worker_id);
       if (b.on_cell) b.on_cell(slot, std::move(r));
+      return true;
+    }
+    case FrameType::kStats: {
+      // Cumulative snapshot: replace, never add. A malformed one is
+      // ignored like an unknown frame — metrics are a side channel and
+      // must never cost a link.
+      std::vector<obs::MetricSample> samples;
+      if (!decode_stats(f.payload, &samples)) {
+        ++stats.unknown_frames;
+        return true;
+      }
+      worker_stats_[c.worker_id] = std::move(samples);
+      ++stats_frames_;
+      if (opts_.flight) {
+        opts_.flight->record(FlightEvent::kStats, c.worker_id);
+      }
       return true;
     }
     case FrameType::kHeartbeat:
       return true;  // last_seen already refreshed by the read itself
     case FrameType::kBye:
+      if (opts_.flight) opts_.flight->record(FlightEvent::kBye, c.worker_id);
       return false;  // graceful leave: forget, outstanding requeues now
     default:
-      return false;  // a worker has no business sending anything else
+      // Well-framed but not ours to handle (a newer peer's frame in the
+      // reserved window): count and carry on. The link stays up.
+      ++stats.unknown_frames;
+      return true;
   }
 }
 
@@ -335,6 +406,9 @@ void Engine::reap_dead() {
       if (opts_.handshake_timeout_ms > 0 &&
           ms_since(c.accepted_at) > opts_.handshake_timeout_ms) {
         ++stats.handshake_timeouts;
+        if (opts_.flight) {
+          opts_.flight->record(FlightEvent::kHandshakeTimeout);
+        }
         if (opts_.on_log) {
           opts_.on_log("handshake timeout, dropping pre-auth connection");
         }
@@ -344,6 +418,9 @@ void Engine::reap_dead() {
     }
     if (c.role != Conn::Role::kWorker) continue;
     if (ms_since(c.last_seen) > opts_.dead_after_ms) {
+      if (opts_.flight) {
+        opts_.flight->record(FlightEvent::kHeartbeatMiss, c.worker_id);
+      }
       if (opts_.on_log) {
         opts_.on_log("worker silent " + std::to_string(opts_.dead_after_ms) +
                      " ms, dropping link: " +
@@ -427,6 +504,10 @@ int Engine::pick_job_for(const std::string& worker_id) {
 
 void Engine::grant_leases() {
   if (batches_.empty()) return;
+  obs::Histogram* queue_wait =
+      opts_.obs != nullptr
+          ? &opts_.obs->histogram("fabric.coord.queue_wait_us")
+          : nullptr;
   for (std::size_t i = conns_.size(); i-- > 0;) {
     Conn& c = conns_[i];
     if (c.role != Conn::Role::kWorker || c.pending_want <= 0) continue;
@@ -443,11 +524,18 @@ void Engine::grant_leases() {
     slots.reserve(static_cast<std::size_t>(take));
     epochs.reserve(static_cast<std::size_t>(take));
     cells.reserve(static_cast<std::size_t>(take));
+    const auto now = Clock::now();
     for (int k = 0; k < take; ++k) {
       const int slot = b.queue.front();
       b.queue.pop_front();
       const std::int64_t e = ++epoch_seq_;
       b.epoch[static_cast<std::size_t>(slot)] = e;
+      if (queue_wait != nullptr) {
+        queue_wait->observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - b.enqueued_at[static_cast<std::size_t>(slot)])
+                .count()));
+      }
       slots.push_back(slot);
       epochs.push_back(e);
       cells.push_back((*b.cells)[static_cast<std::size_t>(slot)]);
@@ -458,6 +546,7 @@ void Engine::grant_leases() {
       // Write failed: the link is gone; the would-be lease goes back.
       for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
         b.queue.push_front(*it);
+        b.enqueued_at[static_cast<std::size_t>(*it)] = now;
       }
       drop_conn(i, /*may_reattach=*/true);
       continue;
@@ -467,9 +556,14 @@ void Engine::grant_leases() {
       for (std::size_t k = 0; k < slots.size(); ++k) {
         wt->second.outstanding[{job, slots[k]}] = epochs[k];
       }
+      ++wt->second.leases;
     }
     c.pending_want = 0;
     ++stats.leases_granted;
+    if (opts_.flight && !slots.empty()) {
+      opts_.flight->record(FlightEvent::kLeaseGrant, c.worker_id, job,
+                           slots.front(), epochs.front());
+    }
   }
 }
 
@@ -543,6 +637,42 @@ bool Engine::sever_worker_link() {
   return false;
 }
 
+std::vector<WorkerSnapshot> Engine::worker_snapshots() const {
+  std::vector<WorkerSnapshot> out;
+  out.reserve(workers_.size());
+  for (const auto& [id, w] : workers_) {  // map: already sorted by id
+    WorkerSnapshot s;
+    s.id = id;
+    s.name = w.name;
+    s.connected = w.fd >= 0;
+    s.outstanding = static_cast<int>(w.outstanding.size());
+    s.leases = w.leases;
+    s.reattaches = w.reattaches;
+    if (s.connected) {
+      const std::size_t i = find_conn(w.fd);
+      s.last_seen_ms = i == kNone ? 0 : ms_since(conns_[i].last_seen);
+    } else {
+      s.last_seen_ms = ms_since(w.detached_at);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<obs::MetricSample> Engine::fleet_samples() const {
+  std::map<std::string, obs::MetricSample> merged;
+  for (const auto& [id, samples] : worker_stats_) {
+    obs::merge_samples(&merged, samples);
+  }
+  if (opts_.obs != nullptr) {
+    obs::merge_samples(&merged, opts_.obs->snapshot());
+  }
+  std::vector<obs::MetricSample> out;
+  out.reserve(merged.size());
+  for (auto& [name, sample] : merged) out.push_back(std::move(sample));
+  return out;
+}
+
 bool Engine::send_to_client(int fd, const std::string& frame_bytes) {
   const std::size_t i = find_conn(fd);
   if (i == kNone || conns_[i].role != Conn::Role::kClient) return false;
@@ -562,6 +692,9 @@ std::vector<campaign::RunResult> run_fabric(
   eopts.heartbeat_ms = opts.heartbeat_ms;
   eopts.token = opts.token;
   eopts.on_log = opts.on_log;
+  eopts.flight = opts.flight;
+  eopts.obs = opts.obs;
+  eopts.on_worker_result = opts.on_result_worker;
   Engine eng(listener, eopts);
 
   bool done = cells.empty();
@@ -612,6 +745,23 @@ std::vector<campaign::RunResult> run_fabric(
       interrupted = true;
       break;
     }
+  }
+  if (!interrupted && opts.worker_stats_out != nullptr) {
+    // Each worker ships one last STATS right after its final batch; those
+    // frames may still be in flight when the last result lands. Drain
+    // until the fleet goes quiet (two steps with no new STATS), bounded —
+    // best-effort freshness for a side channel, so a capped wait is the
+    // right trade.
+    int quiet = 0;
+    std::uint64_t seen = eng.stats_frames();
+    for (int i = 0; i < 10 && quiet < 2; ++i) {
+      eng.step(20);
+      quiet = eng.stats_frames() == seen ? quiet + 1 : 0;
+      seen = eng.stats_frames();
+    }
+  }
+  if (opts.worker_stats_out != nullptr) {
+    *opts.worker_stats_out = eng.worker_stats();
   }
   eng.shutdown(interrupted ? "coordinator interrupted" : "campaign complete");
   if (stats != nullptr) *stats = eng.stats;

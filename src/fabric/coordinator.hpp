@@ -45,8 +45,10 @@
 
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "fabric/flight.hpp"
 #include "fabric/socket.hpp"
 #include "fabric/wire.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfi::fabric {
 
@@ -63,6 +65,24 @@ struct FabricStats {
   int auth_rejected = 0;       // HELLOs refused by token mismatch
   int addr_rejected = 0;       // TCP peers refused by the allowlist
   int handshake_timeouts = 0;  // pre-HELLO connections dropped as stalled
+  int unknown_frames = 0;      // well-framed types we ignored (v2/v4 peers)
+
+  /// One flat JSON object, keys sorted by name — the form `--metrics-out`
+  /// and the daemon's metrics artifact embed under "fabric".
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// A point-in-time view of one worker's durable state, for STATUS replies
+/// and the fleet progress line. Wall-clock field (`last_seen_ms`) included:
+/// this is side-channel output by construction.
+struct WorkerSnapshot {
+  std::string id;
+  std::string name;
+  bool connected = false;  // live link right now (vs detached-in-grace)
+  int outstanding = 0;     // leased cells without a result yet
+  int leases = 0;          // grants ever sent to this id
+  int reattaches = 0;      // reconnects resumed under this id
+  long long last_seen_ms = 0;  // ms since last byte (or since detach)
 };
 
 class Engine {
@@ -100,6 +120,14 @@ class Engine {
     /// connection that went away.
     std::function<void(int fd, const Frame&)> on_client_frame;
     std::function<void(int fd)> on_client_closed;
+    /// Observability plane (both optional, both side-channel only):
+    /// control-plane events land in `flight`, stage timings (per-slot
+    /// queue wait) in `obs`. Neither influences dispatch or results.
+    FlightRecorder* flight = nullptr;
+    obs::Registry* obs = nullptr;
+    /// Fires per accepted result with the worker that computed it — the
+    /// fleet progress line's per-worker throughput feed.
+    std::function<void(const std::string& worker_id)> on_worker_result;
   };
 
   Engine(Listener* listener, Options opts);
@@ -152,6 +180,27 @@ class Engine {
   /// if the fd is gone or the write failed (the conn is then dropped).
   bool send_to_client(int fd, const std::string& frame_bytes);
 
+  /// Every worker id the engine currently remembers (connected or within
+  /// its reconnect grace), sorted by id — STATUS replies iterate this.
+  [[nodiscard]] std::vector<WorkerSnapshot> worker_snapshots() const;
+
+  /// Latest STATS snapshot per worker id. Snapshots are cumulative, so
+  /// each entry *replaces* its predecessor; a worker that never shipped
+  /// one (v2 peer, or died early) is simply absent.
+  [[nodiscard]] const std::map<std::string, std::vector<obs::MetricSample>>&
+  worker_stats() const {
+    return worker_stats_;
+  }
+
+  /// Valid STATS frames accepted, ever. run_fabric's end-of-run drain
+  /// steps until this stops advancing (the fleet's last snapshots landed).
+  [[nodiscard]] std::uint64_t stats_frames() const { return stats_frames_; }
+
+  /// Fleet-wide merge: every worker's latest STATS folded together with
+  /// the coordinator's own registry (when Options.obs is set) via
+  /// merge_samples, sorted by name.
+  [[nodiscard]] std::vector<obs::MetricSample> fleet_samples() const;
+
   FabricStats stats;
 
  private:
@@ -161,6 +210,7 @@ class Engine {
     enum class Role { kUnknown, kWorker, kClient } role = Role::kUnknown;
     std::string name;
     std::string worker_id;         // key into workers_ once handshaken
+    std::uint32_t version = kProtocolVersion;  // negotiated on HELLO
     int pending_want = 0;          // parked LEASE request
     std::chrono::steady_clock::time_point last_seen;
     /// Accept time: the handshake deadline anchors here, so a pre-auth
@@ -174,6 +224,10 @@ class Engine {
     std::deque<int> queue;         // slots awaiting lease
     std::vector<char> filled;
     std::vector<std::int64_t> epoch;  // latest grant epoch per slot
+    /// When each slot last entered the queue — feeds the
+    /// fabric.coord.queue_wait_us histogram at grant time. Side channel:
+    /// never read for dispatch decisions.
+    std::vector<std::chrono::steady_clock::time_point> enqueued_at;
     std::size_t remaining = 0;
     int max_workers = 0;           // 0 = no quota
     std::function<void(int, campaign::RunResult)> on_cell;
@@ -188,6 +242,8 @@ class Engine {
     /// (job, slot) -> epoch of the grant this worker holds.
     std::map<std::pair<int, int>, std::int64_t> outstanding;
     std::chrono::steady_clock::time_point detached_at;
+    int leases = 0;      // grants ever sent to this id
+    int reattaches = 0;  // reconnects resumed under this id
   };
 
   [[nodiscard]] std::size_t find_conn(int fd) const;
@@ -209,6 +265,9 @@ class Engine {
 
   std::map<int, Batch> batches_;             // job id -> dispatch state
   std::map<std::string, WorkerState> workers_;
+  /// worker id -> latest cumulative STATS snapshot (v3 workers only).
+  std::map<std::string, std::vector<obs::MetricSample>> worker_stats_;
+  std::uint64_t stats_frames_ = 0;
   std::vector<int> rr_jobs_;                 // round-robin ring of job ids
   std::size_t rr_pos_ = 0;
   int job_seq_ = 0;
@@ -240,6 +299,14 @@ struct FabricOptions {
   std::function<void(const campaign::RunResult&)> on_result_ordered;
   std::function<bool()> should_stop;
   std::function<void(const std::string&)> on_log;
+  /// Observability plane (all optional, all side-channel): control-plane
+  /// events, coordinator stage timings, per-worker STATS snapshots after
+  /// the run, and a per-result worker-id feed for the fleet progress line.
+  FlightRecorder* flight = nullptr;
+  obs::Registry* obs = nullptr;
+  std::map<std::string, std::vector<obs::MetricSample>>* worker_stats_out =
+      nullptr;
+  std::function<void(const std::string& worker_id)> on_result_worker;
 };
 
 /// Run `cells` over whatever workers connect to `listener` until every cell

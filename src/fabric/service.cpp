@@ -78,6 +78,13 @@ struct Job {
   std::vector<std::pair<std::string, std::string>> artifacts;
   std::string done_json;
   bool finished = false;
+  /// Campaign jobs only: the deterministic per-cell metrics merge, handed
+  /// to the event loop so finish_job can assemble the metrics artifact
+  /// *with* the engine's fleet sections (the job thread has no engine).
+  std::map<std::string, pfi::obs::MetricSample> cell_metrics;
+  int cells_measured = 0;
+  int cells_planned = 0;
+  bool wants_metrics = false;  // campaign jobs emit a metrics artifact
 
   // Event-loop-side dispatch state for the batch in flight.
   bool dispatching = false;
@@ -208,16 +215,6 @@ void run_campaign_job(Job* job) {
   w.end_array();
   w.end_object();
 
-  campaign::json::Writer mw;
-  mw.begin_object();
-  mw.kv("campaign", job->spec.name);
-  mw.kv("cells", static_cast<int>(cells.size()));
-  mw.kv("cells_measured", measured);
-  mw.key("metrics").begin_object();
-  for (const auto& [name, m] : metrics) mw.kv(name, m.value);
-  mw.end_object();
-  mw.end_object();
-
   campaign::json::Writer dw;
   dw.begin_object();
   dw.kv("job", job->id);
@@ -233,7 +230,12 @@ void run_campaign_job(Job* job) {
   std::lock_guard<std::mutex> lock(job->bridge.mu);
   job->artifacts.emplace_back("report", w.str() + "\n");
   job->artifacts.emplace_back("journal", campaign::journal_jsonl(journal));
-  job->artifacts.emplace_back("metrics", mw.str() + "\n");
+  // The metrics artifact is assembled by the event loop (finish_job): its
+  // fleet sections come from the Engine, which this thread must not touch.
+  job->cell_metrics = std::move(metrics);
+  job->cells_measured = measured;
+  job->cells_planned = static_cast<int>(cells.size());
+  job->wants_metrics = true;
   job->done_json = dw.str();
   job->finished = true;
 }
@@ -291,6 +293,7 @@ class Service {
  public:
   Service(Listener* listener, const ServiceOptions& opts, ServiceStats* stats)
       : opts_(opts), stats_(stats) {
+    if (stats_ == nullptr) stats_ = &own_stats_;  // STATUS reads these
     if (opts_.max_active < 1) opts_.max_active = 1;
     Engine::Options eopts;
     eopts.lease_batch = opts.lease_batch;
@@ -305,6 +308,8 @@ class Service {
       on_client_frame(fd, f);
     };
     eopts.on_client_closed = [this](int fd) { on_client_closed(fd); };
+    eopts.flight = opts.flight;
+    eopts.obs = opts.obs;
     engine_ = std::make_unique<Engine>(listener, std::move(eopts));
   }
 
@@ -329,7 +334,64 @@ class Service {
     engine_->send_to_client(fd, encode_json_line(type, json));
   }
 
+  /// STATUS reply: one JSON document with a fixed key set in a fixed
+  /// order, so consumers can parse it without schema negotiation. The
+  /// wall-clock field (workers[].last_seen_ms) is inherent to the question
+  /// being asked; everything else is counters and queue state.
+  [[nodiscard]] std::string status_json() const {
+    campaign::json::Writer w;
+    w.begin_object();
+    w.key("daemon").begin_object();
+    w.kv("active", static_cast<int>(active_.size()));
+    w.kv("queued", static_cast<int>(queue_.size()));
+    w.kv("max_active", opts_.max_active);
+    w.kv("jobs_accepted", stats_->jobs_accepted);
+    w.kv("jobs_completed", stats_->jobs_completed);
+    w.kv("jobs_rejected", stats_->jobs_rejected);
+    w.end_object();
+    w.key("jobs").begin_array();
+    const auto job_obj = [&w](const Job& job, const char* phase) {
+      w.begin_object();
+      w.kv("job", job.id);
+      w.kv("spec", job.spec.name);
+      w.kv("kind", job.submit.explore > 0 ? "search" : "campaign");
+      w.kv("phase", phase);
+      w.kv("done", job.done_cells);
+      w.kv("total", job.total_cells);
+      w.kv("pass", job.pass);
+      w.kv("fail", job.fail);
+      w.kv("error", job.error);
+      w.end_object();
+    };
+    for (const auto& jp : active_) job_obj(*jp, "running");
+    for (const auto& jp : queue_) job_obj(*jp, "queued");
+    w.end_array();
+    w.key("workers").begin_array();
+    for (const WorkerSnapshot& s : engine_->worker_snapshots()) {
+      w.begin_object();
+      w.kv("id", s.id);
+      w.kv("name", s.name);
+      w.kv("connected", s.connected);
+      w.kv("outstanding", s.outstanding);
+      w.kv("leases", s.leases);
+      w.kv("reattaches", s.reattaches);
+      w.kv("last_seen_ms", static_cast<std::int64_t>(s.last_seen_ms));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("fabric").value_raw(engine_->stats.to_json());
+    w.key("fleet_metrics").begin_object();
+    for (const auto& m : engine_->fleet_samples()) w.kv(m.name, m.value);
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+
   void on_client_frame(int fd, const Frame& f) {
+    if (f.type == FrameType::kStatus) {
+      send_json(fd, FrameType::kStatus, status_json());
+      return;
+    }
     if (f.type != FrameType::kSubmit) return;  // PROGRESS etc. are ours
     Submit s;
     std::string err;
@@ -496,9 +558,42 @@ class Service {
         job->submit.max_workers);
   }
 
+  /// The metrics artifact, fleet edition: the job's deterministic per-cell
+  /// merge (byte-identical to any single-process run of the same cells)
+  /// plus side-channel sections only the engine knows — FabricStats, the
+  /// fleet-merged worker registries, and a per-worker breakdown.
+  [[nodiscard]] std::string metrics_artifact(const Job& job) const {
+    campaign::json::Writer mw;
+    mw.begin_object();
+    mw.kv("campaign", job.spec.name);
+    mw.kv("cells", job.cells_planned);
+    mw.kv("cells_measured", job.cells_measured);
+    mw.key("metrics").begin_object();
+    for (const auto& [name, m] : job.cell_metrics) mw.kv(name, m.value);
+    mw.end_object();
+    mw.key("fabric").value_raw(engine_->stats.to_json());
+    mw.key("fleet").begin_object();
+    mw.key("merged").begin_object();
+    for (const auto& m : engine_->fleet_samples()) mw.kv(m.name, m.value);
+    mw.end_object();
+    mw.key("workers").begin_object();
+    for (const auto& [id, samples] : engine_->worker_stats()) {
+      mw.key(id).begin_object();
+      for (const auto& m : samples) mw.kv(m.name, m.value);
+      mw.end_object();
+    }
+    mw.end_object();
+    mw.end_object();
+    mw.end_object();
+    return mw.str() + "\n";
+  }
+
   void finish_job(std::size_t i) {
     Job* job = active_[i].get();
     job->thread.join();
+    if (job->wants_metrics) {
+      job->artifacts.emplace_back("metrics", metrics_artifact(*job));
+    }
     for (const auto& [name, bytes] : job->artifacts) {
       if (job->client_fd >= 0) {
         engine_->send_to_client(
@@ -552,6 +647,7 @@ class Service {
 
   ServiceOptions opts_;
   ServiceStats* stats_;
+  ServiceStats own_stats_;  // backing store when the caller passed none
   std::unique_ptr<Engine> engine_;
   std::deque<std::unique_ptr<Job>> queue_;
   std::vector<std::unique_ptr<Job>> active_;

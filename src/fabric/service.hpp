@@ -26,6 +26,13 @@
 // that disconnects mid-job doesn't kill the job's in-flight cells, but its
 // still-queued cells are cancelled (nobody is listening) and queued
 // never-started jobs from that client are dropped.
+//
+// Any client may also send an empty STATUS frame at any time (wire v3) and
+// gets back one STATUS frame carrying a deterministic-schema JSON document:
+// daemon counters, every active/queued job with its progress tallies, every
+// known worker's lease/reattach/last-seen state, the FabricStats counters,
+// and the fleet-merged metrics. `pfi_campaign --status ADDR` is the CLI for
+// it; docs/FABRIC.md "Fleet observability" pins the schema.
 #pragma once
 
 #include <functional>
@@ -62,6 +69,12 @@ struct ServiceOptions {
   /// unfinished cells come back index == -1) and BYEs everyone.
   std::function<bool()> should_stop;
   std::function<void(const std::string&)> on_log;
+  /// Observability plane (optional, side-channel): the daemon's Engine
+  /// records control-plane events into `flight` and coordinator stage
+  /// timings into `obs`; both feed the STATUS reply and the fleet section
+  /// of every campaign job's metrics artifact.
+  FlightRecorder* flight = nullptr;
+  obs::Registry* obs = nullptr;
 };
 
 /// Run the daemon event loop until should_stop. Returns 0 on a clean

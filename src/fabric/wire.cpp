@@ -10,8 +10,11 @@ namespace pfi::fabric {
 namespace {
 
 bool known_type(std::uint8_t t) {
+  // The whole reserved window frames cleanly; handlers ignore (and count)
+  // types they do not implement, so a newer peer's frames degrade instead
+  // of corrupting the stream. Above the window is garbage.
   return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint8_t>(FrameType::kDone);
+         t <= kMaxReservedFrameType;
 }
 
 /// Accumulates numeric-parse health across one decoder: any token that
@@ -375,6 +378,65 @@ bool decode_result(std::string_view payload, int* job, int* slot,
     }
   }
   return num.ok && have_slot && have_res;
+}
+
+// --- stats (v3) ------------------------------------------------------------
+
+std::string encode_stats(const std::vector<obs::MetricSample>& samples) {
+  std::string out;
+  kv::put_u64(&out, "n", samples.size());
+  for (const obs::MetricSample& m : samples) {
+    std::string entry;
+    kv::put(&entry, "name", m.name);
+    const char kind[2] = {m.kind, '\0'};
+    kv::put(&entry, "k", kind);
+    kv::put_u64(&entry, "v", m.value);
+    kv::put(&out, "s", entry);
+  }
+  return out;
+}
+
+bool decode_stats(std::string_view payload,
+                  std::vector<obs::MetricSample>* out) {
+  out->clear();
+  kv::Scan scan{payload};
+  std::string key, value;
+  std::uint64_t n = 0;
+  bool have_n = false;
+  Num num;
+  while (scan.next(&key, &value)) {
+    if (key == "n") {
+      n = num.u64(value);
+      have_n = true;
+      if (n > kMaxStatsSamples) return false;
+    } else if (key == "s") {
+      if (out->size() >= kMaxStatsSamples) return false;
+      kv::Scan inner{value};
+      std::string ik, iv;
+      obs::MetricSample m;
+      bool have_name = false, have_kind = false, have_value = false;
+      while (inner.next(&ik, &iv)) {
+        if (ik == "name") {
+          m.name = iv;
+          have_name = true;
+        } else if (ik == "k") {
+          if (iv.size() != 1) return false;
+          m.kind = iv[0];
+          have_kind = true;
+        } else if (ik == "v") {
+          m.value = num.u64(iv);
+          have_value = true;
+        }
+      }
+      if (!have_name || !have_kind || !have_value || m.name.empty()) {
+        return false;
+      }
+      out->push_back(std::move(m));
+    }
+  }
+  // have_n distinguishes a genuinely empty snapshot from a payload the
+  // scanner silently produced nothing for (garbage bytes).
+  return num.ok && have_n && out->size() == n;
 }
 
 // --- bye -------------------------------------------------------------------

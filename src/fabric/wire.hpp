@@ -42,6 +42,25 @@
 // so journal lines stream to the client *during* the run) and DONE (job
 // summary).
 //
+// v3 adds the fleet observability plane (docs/OBSERVABILITY.md):
+//
+//   worker -> coordinator   STATS {n, s...}  a cumulative obs::Registry
+//                           snapshot of the worker process, shipped from
+//                           the worker's main thread (never the
+//                           pre-encoded heartbeat thread) so the
+//                           coordinator can fold fleet-wide metrics
+//   client -> daemon        STATUS {}        status request; the daemon
+//                           replies with a STATUS frame carrying one JSON
+//                           document (queue depth, jobs, per-worker state)
+//
+// and relaxes two v2 rules so mixed fleets degrade instead of dying:
+// HELLO version negotiation accepts [kMinProtocolVersion,
+// kProtocolVersion] (the connection speaks the lower of the two), and a
+// well-framed but unknown frame type in the reserved window is ignored
+// with a counter bump instead of corrupting the stream — a v2 peer that
+// never sends STATS, or a v4 peer that sends something newer, keeps its
+// link either way.
+//
 // Cells and results travel as kv payloads; RunResult reuses the fork
 // sandbox's exact serialisation (campaign/sandbox.hpp wire_encode), so a
 // record that crossed the fabric is byte-identical to one computed
@@ -56,14 +75,18 @@
 
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfi::fabric {
 
-/// Bumped on any incompatible change to frames or payloads. Negotiation is
-/// deliberately exact-match: both sides are built from this repo, so a
-/// mismatch earns a BYE that names the expected version (v2 added auth
-/// tokens, worker ids, lease epochs, job-scoped leases, artifact chunks).
-constexpr std::uint32_t kProtocolVersion = 2;
+/// Bumped on any incompatible change to frames or payloads (v2 added auth
+/// tokens, worker ids, lease epochs, job-scoped leases, artifact chunks;
+/// v3 added STATS/STATUS and ranged negotiation). A listener accepts any
+/// HELLO version in [kMinProtocolVersion, kProtocolVersion] and the
+/// connection speaks the lower of the two — v3-only frames simply never
+/// flow on a v2 link. Anything older earns a BYE naming both versions.
+constexpr std::uint32_t kProtocolVersion = 3;
+constexpr std::uint32_t kMinProtocolVersion = 2;
 
 /// Frames above this are garbage (or an attack), not campaigns.
 constexpr std::uint32_t kMaxFramePayload = 64u << 20;
@@ -84,7 +107,17 @@ enum class FrameType : std::uint8_t {
   kProgress = 7,
   kArtifact = 8,
   kDone = 9,
+  // v3 observability plane:
+  kStats = 10,   // worker -> coordinator: cumulative metrics snapshot
+  kStatus = 11,  // client -> daemon: empty request; reply carries JSON
 };
+
+/// Frame types in (kStatus, kMaxReservedFrameType] parse as well-formed
+/// frames that the current code ignores (with a FabricStats counter) — the
+/// forward-compatibility window for future protocol versions. Types above
+/// it are garbage and mark the stream corrupt, as an impossible length
+/// does.
+constexpr std::uint8_t kMaxReservedFrameType = 31;
 
 struct Frame {
   FrameType type = FrameType::kHeartbeat;
@@ -169,6 +202,28 @@ std::string encode_result(int job, int slot, std::int64_t epoch,
                           const campaign::RunResult& r);
 bool decode_result(std::string_view payload, int* job, int* slot,
                    std::int64_t* epoch, campaign::RunResult* out);
+
+// --- stats (v3) ------------------------------------------------------------
+
+/// A STATS payload refuses more samples than this: a metrics snapshot is a
+/// few hundred entries, not a data channel. Decoders reject anything
+/// larger; the sender never produces it (the registry is bounded by the
+/// instruments the code declares).
+constexpr std::size_t kMaxStatsSamples = 4096;
+
+/// Worker -> coordinator: a *cumulative* obs::Registry snapshot of the
+/// worker process. Cumulative so the frame is idempotent — the coordinator
+/// replaces (never adds) the sender's previous snapshot, and a lost or
+/// duplicated STATS costs freshness, not correctness. Encoded and sent from
+/// the worker's main thread only; the heartbeat thread stays pre-encoded
+/// and allocation-free.
+std::string encode_stats(const std::vector<obs::MetricSample>& samples);
+bool decode_stats(std::string_view payload,
+                  std::vector<obs::MetricSample>* out);
+
+// STATUS needs no codec of its own: the request is an empty-payload kStatus
+// frame, and the reply is a kStatus frame carrying one JSON document via
+// encode_json_line/decode_json_line below.
 
 // --- bye -------------------------------------------------------------------
 

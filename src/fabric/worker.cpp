@@ -18,10 +18,15 @@
 #include "campaign/executor.hpp"
 #include "fabric/socket.hpp"
 #include "fabric/wire.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfi::fabric {
 
 namespace {
+
+/// Why read_frame gave up — so the flight recorder can tell an idle
+/// timeout from a bounced heartbeat from a plain dead socket.
+enum class ReadFail { kNone, kIo, kIdle, kHeartbeat };
 
 /// Blocking read of the next complete frame, with a liveness bound: polls
 /// in short slices so a silent partition (coordinator host gone without an
@@ -30,10 +35,13 @@ namespace {
 /// many-minute retransmission timeout. False on EOF/error/corruption/
 /// timeout; the caller treats every false the same way (reconnect or die).
 bool read_frame(int fd, FrameReader* reader, Frame* out, int idle_timeout_ms,
-                const std::atomic<bool>* hb_failed = nullptr) {
+                const std::atomic<bool>* hb_failed = nullptr,
+                ReadFail* why = nullptr) {
+  if (why != nullptr) *why = ReadFail::kNone;
   int idle_ms = 0;
   for (;;) {
     if (reader->next(out)) return true;
+    if (why != nullptr) *why = ReadFail::kIo;
     if (reader->corrupt()) return false;
     struct pollfd p = {fd, POLLIN, 0};
     const int pr = poll(&p, 1, 250);
@@ -44,10 +52,14 @@ bool read_frame(int fd, FrameReader* reader, Frame* out, int idle_timeout_ms,
     if (pr == 0) {
       if (hb_failed != nullptr &&
           hb_failed->load(std::memory_order_relaxed)) {
+        if (why != nullptr) *why = ReadFail::kHeartbeat;
         return false;  // our own beats bounce: the link is gone
       }
       idle_ms += 250;
-      if (idle_timeout_ms > 0 && idle_ms >= idle_timeout_ms) return false;
+      if (idle_timeout_ms > 0 && idle_ms >= idle_timeout_ms) {
+        if (why != nullptr) *why = ReadFail::kIdle;
+        return false;
+      }
       continue;
     }
     char buf[65536];
@@ -120,10 +132,12 @@ class Heartbeat {
 };
 
 /// Send HELLO, read the reply. 0 = handshaken (and *worker_id holds the
-/// coordinator-assigned id), 1 = IO/protocol failure, 2 = version
-/// rejected, 3 = auth rejected.
+/// coordinator-assigned id, *coord_version the coordinator's protocol
+/// version — the link speaks the lower of the two), 1 = IO/protocol
+/// failure, 2 = version rejected, 3 = auth rejected.
 int handshake(int fd, const WorkerOptions& opts, FrameReader* reader,
-              std::string* worker_id, int idle_timeout_ms) {
+              std::string* worker_id, int idle_timeout_ms,
+              std::uint32_t* coord_version = nullptr) {
   Hello hello;
   hello.role = "worker";
   hello.name =
@@ -147,6 +161,7 @@ int handshake(int fd, const WorkerOptions& opts, FrameReader* reader,
     return 1;
   }
   if (!reply.id.empty()) *worker_id = reply.id;
+  if (coord_version != nullptr) *coord_version = reply.version;
   return 0;
 }
 
@@ -180,15 +195,39 @@ int run_worker(const WorkerOptions& opts) {
     std::this_thread::sleep_for(std::chrono::milliseconds(wait));
   }
 
+  if (opts.flight) opts.flight->record(FlightEvent::kConnect);
   FrameReader reader;
   std::string worker_id;
+  std::uint32_t coord_version = 0;
   {
-    const int hs = handshake(fd, opts, &reader, &worker_id, idle_timeout);
+    const int hs = handshake(fd, opts, &reader, &worker_id, idle_timeout,
+                             &coord_version);
     if (hs != 0) {
       close(fd);
       return hs;
     }
   }
+  if (opts.flight) opts.flight->record(FlightEvent::kJoin, worker_id);
+
+  // Stage-level profiling: one private registry for this worker process,
+  // shipped to the coordinator as cumulative STATS snapshots. Instruments
+  // are created here, before any other thread exists; afterwards every
+  // update goes through these stable pointers (executor callbacks update
+  // under write_mu, the main thread only touches the registry between
+  // batches), so the not-thread-safe Registry is never raced.
+  obs::Registry reg;
+  obs::Histogram* lease_rtt = &reg.histogram("fabric.worker.lease_rtt_us");
+  obs::Histogram* execute_us = &reg.histogram("fabric.worker.execute_us");
+  obs::Histogram* serialize_us = &reg.histogram("fabric.worker.serialize_us");
+  obs::Counter* leases_taken = &reg.counter("fabric.worker.leases");
+  obs::Counter* cells_executed = &reg.counter("fabric.worker.cells_executed");
+  obs::Counter* reconnects = &reg.counter("fabric.worker.reconnects");
+  obs::Counter* results_resent = &reg.counter("fabric.worker.results_resent");
+  using SClock = std::chrono::steady_clock;
+  const auto us_between = [](SClock::time_point a, SClock::time_point b) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+  };
 
   const int want =
       opts.lease_want > 0 ? opts.lease_want : std::max(2, 2 * opts.jobs);
@@ -210,9 +249,24 @@ int run_worker(const WorkerOptions& opts) {
       return send_all(fd, bytes.data(), bytes.size());
     };
 
+    /// Ship a cumulative registry snapshot. Main thread only — the encode
+    /// allocates, which the (forking) executor and the heartbeat thread
+    /// must never do. Only flows on a v3+ link; a failed send is left for
+    /// the next read to notice (STATS is a side channel, never worth a
+    /// reconnect of its own).
+    auto send_stats = [&] {
+      if (!opts.ship_stats || coord_version < 3) return;
+      const std::string bytes =
+          encode_frame(FrameType::kStats, encode_stats(reg.snapshot()));
+      if (send_locked(bytes) && opts.flight) {
+        opts.flight->record(FlightEvent::kStats, worker_id);
+      }
+    };
+
     /// Dial + handshake (presenting our stable id) + re-send unacked +
     /// park a fresh lease request. 0 = back in business, else exit code.
     auto reconnect = [&]() -> int {
+      if (opts.flight) opts.flight->record(FlightEvent::kDetach, worker_id);
       {
         std::lock_guard<std::mutex> lock(write_mu);
         live_fd.store(-1, std::memory_order_relaxed);
@@ -233,7 +287,8 @@ int run_worker(const WorkerOptions& opts) {
         if (nfd < 0) continue;
         FrameReader fresh;
         std::string id = worker_id;
-        const int hs = handshake(nfd, opts, &fresh, &id, idle_timeout);
+        std::uint32_t cv = coord_version;
+        const int hs = handshake(nfd, opts, &fresh, &id, idle_timeout, &cv);
         if (hs == 2 || hs == 3) {
           close(nfd);
           return hs;  // deliberate rejection: no point retrying
@@ -258,8 +313,14 @@ int run_worker(const WorkerOptions& opts) {
         fd = nfd;
         reader = std::move(fresh);
         worker_id = id;
+        coord_version = cv;
+        reconnects->inc();
+        results_resent->inc(unacked.size());
         hb_failed.store(false, std::memory_order_relaxed);
         live_fd.store(fd, std::memory_order_relaxed);
+        if (opts.flight) {
+          opts.flight->record(FlightEvent::kReattach, worker_id);
+        }
         if (opts.on_log) {
           opts.on_log("reconnected as " + worker_id + " (" +
                       std::to_string(unacked.size()) +
@@ -270,30 +331,45 @@ int run_worker(const WorkerOptions& opts) {
       return 1;
     };
 
+    auto lease_req_at = SClock::now();
     if (!send_locked(lease_req)) {
       const int r = reconnect();
       if (r != 0) {
         if (fd >= 0) close(fd);
         return r;
       }
+      lease_req_at = SClock::now();
     }
 
     for (;;) {
       Frame f;
-      if (!read_frame(fd, &reader, &f, idle_timeout, &hb_failed)) {
+      ReadFail why = ReadFail::kNone;
+      if (!read_frame(fd, &reader, &f, idle_timeout, &hb_failed, &why)) {
+        if (opts.flight && why == ReadFail::kIdle) {
+          opts.flight->record(FlightEvent::kIdleTimeout, worker_id);
+        } else if (opts.flight && why == ReadFail::kHeartbeat) {
+          opts.flight->record(FlightEvent::kHeartbeatMiss, worker_id);
+        }
         const int r = reconnect();
         if (r != 0) {
           rc = r;
           break;
         }
+        lease_req_at = SClock::now();
         continue;
       }
       if (f.type == FrameType::kBye) {
+        if (opts.flight) opts.flight->record(FlightEvent::kBye, worker_id);
         rc = 0;
         break;
       }
       if (f.type == FrameType::kHeartbeat) continue;
-      if (f.type != FrameType::kLease) break;  // protocol violation
+      if (f.type != FrameType::kLease) {
+        if (static_cast<std::uint8_t>(f.type) <= kMaxReservedFrameType) {
+          continue;  // a newer coordinator's frame: ignore, keep the link
+        }
+        break;  // protocol violation
+      }
 
       int job = 0;
       std::vector<int> slots;
@@ -302,12 +378,23 @@ int run_worker(const WorkerOptions& opts) {
       if (!decode_lease_grant(f.payload, &job, &slots, &epochs, &cells)) {
         break;
       }
+      lease_rtt->observe(us_between(lease_req_at, SClock::now()));
+      leases_taken->inc();
+      if (opts.flight) {
+        opts.flight->record(FlightEvent::kLeaseGrant, worker_id, job,
+                            slots.empty() ? -1 : slots.front(),
+                            epochs.empty() ? 0 : epochs.front());
+      }
       {
         // The grant arrived after our RESULT + LEASE sends on this
         // connection, so everything previously sent was delivered.
         std::lock_guard<std::mutex> lock(write_mu);
         unacked.clear();
       }
+      // Post-grant snapshot: the coordinator is provably alive and reading
+      // right now, so this is the reliable delivery point for cumulative
+      // stats (the post-batch one below can race campaign shutdown).
+      send_stats();
       if (opts.on_log) {
         opts.on_log("lease: job " + std::to_string(job) + ", " +
                     std::to_string(cells.size()) + " cell(s)");
@@ -320,6 +407,10 @@ int run_worker(const WorkerOptions& opts) {
         pos_of_index[cells[i].index] = i;
       }
       std::atomic<bool> link_ok{true};
+      // Completion-to-completion execute timing: exact when the executor
+      // runs one cell at a time (jobs=1), an arrival-spacing approximation
+      // above that. last_done is only touched under write_mu.
+      auto last_done = SClock::now();
       campaign::ExecutorOptions eopts;
       eopts.jobs = opts.jobs;
       eopts.isolate = opts.isolate;
@@ -328,9 +419,19 @@ int run_worker(const WorkerOptions& opts) {
         const auto it = pos_of_index.find(r.index);
         if (it == pos_of_index.end()) return;
         const std::size_t k = it->second;
+        const auto t0 = SClock::now();
         std::string bytes = encode_frame(
             FrameType::kResult, encode_result(job, slots[k], epochs[k], r));
+        const auto t1 = SClock::now();
         std::lock_guard<std::mutex> lock(write_mu);
+        serialize_us->observe(us_between(t0, t1));
+        execute_us->observe(us_between(last_done, t1));
+        last_done = t1;
+        cells_executed->inc();
+        if (opts.flight) {
+          opts.flight->record(FlightEvent::kResult, worker_id, job, slots[k],
+                              epochs[k]);
+        }
         unacked.push_back(std::move(bytes));
         // A failed send is a dropped link, not a reason to stop computing:
         // the batch finishes and re-submits after the reconnect.
@@ -341,6 +442,10 @@ int run_worker(const WorkerOptions& opts) {
       };
       campaign::run_cells(cells, eopts);
 
+      // Final snapshot for this batch, then the next lease request — the
+      // coordinator reads them in order, so by the time it grants (or
+      // finishes the campaign and drains), the stats are current.
+      if (link_ok.load(std::memory_order_relaxed)) send_stats();
       const bool need_reconnect =
           !link_ok.load(std::memory_order_relaxed) ||
           !send_locked(lease_req);
@@ -351,6 +456,7 @@ int run_worker(const WorkerOptions& opts) {
           break;
         }
       }
+      lease_req_at = SClock::now();
     }
   }  // heartbeat joins before the fd closes
   if (fd >= 0) close(fd);

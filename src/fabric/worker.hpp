@@ -23,6 +23,8 @@
 
 #include <sys/types.h>
 
+#include "fabric/flight.hpp"
+
 namespace pfi::fabric {
 
 struct WorkerOptions {
@@ -48,6 +50,16 @@ struct WorkerOptions {
   std::string token;
   std::string name;      // diagnostic label sent in HELLO
   std::function<void(const std::string&)> on_log;
+  /// Ship cumulative obs::Registry snapshots (stage histograms, lease/cell
+  /// counters) as STATS frames after each grant and each finished batch.
+  /// Only flows when the coordinator negotiated wire v3+; encoded on the
+  /// main thread (the heartbeat thread stays pre-encoded and
+  /// allocation-free).
+  bool ship_stats = true;
+  /// Optional flight recorder for this worker's own control-plane view
+  /// (connects, grants, results, detaches, reattaches, idle timeouts).
+  /// Side channel only; `pfi_worker --flight-out` dumps it at exit.
+  FlightRecorder* flight = nullptr;
 };
 
 /// Connect, handshake, and serve leases until the coordinator says BYE.

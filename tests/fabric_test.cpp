@@ -19,17 +19,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <map>
+
 #include "campaign/executor.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/schedule.hpp"
 #include "campaign/spec.hpp"
 #include "fabric/coordinator.hpp"
+#include "fabric/flight.hpp"
 #include "fabric/kv.hpp"
 #include "fabric/service.hpp"
 #include "fabric/socket.hpp"
 #include "fabric/wire.hpp"
 #include "fabric/worker.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfi::fabric {
 namespace {
@@ -904,6 +908,386 @@ TEST(FabricService, RunsTwoJobsConcurrentlyOverOnePool) {
   }
   EXPECT_EQ(stats.jobs_completed, 2);
   EXPECT_EQ(stats.peak_active, 2);  // they really ran at the same time
+}
+
+// --- fleet observability ----------------------------------------------------
+
+TEST(FlightRecorder, BoundedRingEvictsOldestAndCountsDropped) {
+  FlightRecorder fr(4);
+  for (int i = 0; i < 10; ++i) {
+    fr.record(FlightEvent::kResult, "w" + std::to_string(i), i, i, i);
+  }
+  // TraceLog::set_capacity semantics: total_added == size + dropped, always.
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_EQ(fr.dropped(), 6u);
+  EXPECT_EQ(fr.total_added(), 10u);
+  auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_STREQ(snap.front().worker, "w6");  // oldest survivor first
+  EXPECT_STREQ(snap.back().worker, "w9");
+  EXPECT_EQ(snap.back().job, 9);
+  EXPECT_EQ(snap.back().slot, 9);
+  EXPECT_EQ(snap.back().epoch, 9);
+
+  // Shrinking evicts the oldest survivors and counts them as dropped too.
+  fr.set_capacity(2);
+  EXPECT_EQ(fr.size(), 2u);
+  EXPECT_EQ(fr.dropped(), 8u);
+  EXPECT_EQ(fr.total_added(), 10u);
+  EXPECT_STREQ(fr.snapshot().front().worker, "w8");
+
+  // Capacity 0 clamps to 1: the ring stays bounded but never degenerate.
+  fr.set_capacity(0);
+  EXPECT_EQ(fr.capacity(), 1u);
+  EXPECT_EQ(fr.size(), 1u);
+  EXPECT_EQ(fr.dropped(), 9u);
+  EXPECT_STREQ(fr.snapshot().front().worker, "w9");
+
+  // JSONL carries the accounting trailer so a consumer can tell a quiet
+  // fabric from a truncated ring.
+  const std::string jsonl = fr.to_jsonl();
+  EXPECT_NE(jsonl.find("\"event\":\"flight-meta\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"recorded\":10"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"dropped\":9"), std::string::npos);
+}
+
+TEST(FlightRecorder, TraceLanesGroupEventsByWorker) {
+  FlightRecorder fr;
+  fr.record(FlightEvent::kConnect);  // no worker tag: lands on lane 0
+  fr.record(FlightEvent::kLeaseGrant, "w2", 0, 3, 1);
+  fr.record(FlightEvent::kResult, "w1", 0, 0, 1);
+  const std::string frag = fr.to_trace_events("fabric", 7);
+  // One process lane, one thread lane per worker id, instants on each.
+  EXPECT_NE(frag.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(frag.find("\"fabric\""), std::string::npos);
+  EXPECT_NE(frag.find("\"w1\""), std::string::npos);
+  EXPECT_NE(frag.find("\"w2\""), std::string::npos);
+  EXPECT_NE(frag.find("\"lease-grant\""), std::string::npos);
+  EXPECT_NE(frag.find("\"pid\":7"), std::string::npos);
+  // A fragment, not a document: the caller splices it into traceEvents.
+  EXPECT_NE(frag.front(), '[');
+  EXPECT_NE(frag.back(), ']');
+}
+
+TEST(FabricWire, StatsRoundTripAndOverflowRejection) {
+  std::vector<obs::MetricSample> in;
+  obs::MetricSample s;
+  s.name = "fabric.worker.cells_executed";
+  s.kind = 'c';
+  s.value = 42;
+  in.push_back(s);
+  s.name = "sim.max_queue_depth";
+  s.kind = 'g';
+  s.value = 7;
+  in.push_back(s);
+
+  std::vector<obs::MetricSample> out;
+  ASSERT_TRUE(decode_stats(encode_stats(in), &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].name, "fabric.worker.cells_executed");
+  EXPECT_EQ(out[0].kind, 'c');
+  EXPECT_EQ(out[0].value, 42u);
+  EXPECT_EQ(out[1].name, "sim.max_queue_depth");
+  EXPECT_EQ(out[1].kind, 'g');
+  EXPECT_EQ(out[1].value, 7u);
+
+  // A snapshot overflowing the sample cap is rejected whole — the handler
+  // counts it and keeps the link, but never holds unbounded state.
+  const std::vector<obs::MetricSample> big(kMaxStatsSamples + 1, s);
+  EXPECT_FALSE(decode_stats(encode_stats(big), &out));
+  // Garbage payloads fail cleanly too.
+  EXPECT_FALSE(decode_stats("definitely not kv", &out));
+}
+
+TEST(Fabric, StatsToJsonIsSortedAndComplete) {
+  FabricStats s;
+  s.workers_joined = 3;
+  s.leases_granted = 12;
+  s.unknown_frames = 1;
+  // Exact bytes: flat object, every counter, keys sorted — the fixed
+  // schema `--metrics-out` and the daemon's metrics artifact embed.
+  EXPECT_EQ(s.to_json(),
+            "{\"addr_rejected\":0,\"auth_rejected\":0,\"cells_requeued\":0,"
+            "\"duplicate_results\":0,\"handshake_timeouts\":0,"
+            "\"leases_granted\":12,\"links_dropped\":0,\"stale_results\":0,"
+            "\"unknown_frames\":1,\"version_rejected\":0,"
+            "\"workers_joined\":3,\"workers_lost\":0,"
+            "\"workers_reattached\":0}");
+}
+
+TEST(Fabric, MixedVersionPeersAndUnknownFramesDegradeGracefully) {
+  const auto cells = campaign::plan(small_gmp_spec());
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+  Engine::Options eopts;
+  Engine engine(&listener, eopts);
+  std::vector<RunResult> results(cells.size());
+  bool done = false;
+  engine.set_batch(
+      &cells,
+      [&](int slot, RunResult r) {
+        results[static_cast<std::size_t>(slot)] = std::move(r);
+      },
+      [&] { done = true; });
+
+  // A previous-revision (v2) worker joins fine: negotiation is a range,
+  // not an exact match.
+  const int fd = dial(listener.address(), &err);
+  ASSERT_GE(fd, 0) << err;
+  fcntl(fd, F_SETFL, O_NONBLOCK);
+  Hello hello;
+  hello.version = 2;
+  hello.role = "worker";
+  hello.name = "legacy";
+  std::string bytes = encode_frame(FrameType::kHello, encode_hello(hello));
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+
+  FrameReader reader;
+  Frame f;
+  auto pump_until = [&](int sock, FrameReader* r, FrameType want,
+                        int steps) {
+    for (int i = 0; i < steps; ++i) {
+      engine.step(10);
+      char buf[65536];
+      for (;;) {
+        const ssize_t n = recv(sock, buf, sizeof buf, 0);
+        if (n <= 0) break;
+        r->feed(buf, static_cast<std::size_t>(n));
+      }
+      while (r->next(&f)) {
+        if (f.type == want) return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(pump_until(fd, &reader, FrameType::kHello, 200));
+
+  // An unknown reserved frame type (a future wire revision's) is ignored
+  // and counted; a malformed STATS payload likewise. Neither kills the
+  // link: a lease request sent *after* both still gets a grant.
+  bytes = encode_frame(static_cast<FrameType>(29), "from the future");
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+  bytes = encode_frame(FrameType::kStats, "definitely not kv");
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+  bytes = encode_frame(FrameType::kLease, encode_lease_request(2));
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+  ASSERT_TRUE(pump_until(fd, &reader, FrameType::kLease, 400));
+  EXPECT_EQ(engine.stats.unknown_frames, 2);
+  EXPECT_EQ(engine.stats.links_dropped, 0);
+  EXPECT_EQ(engine.stats.workers_joined, 1);
+  close(fd);
+
+  // A v1 peer is below the negotiation floor: BYE names the whole range.
+  const int fd2 = dial(listener.address(), &err);
+  ASSERT_GE(fd2, 0) << err;
+  fcntl(fd2, F_SETFL, O_NONBLOCK);
+  hello.version = 1;
+  hello.name = "ancient";
+  bytes = encode_frame(FrameType::kHello, encode_hello(hello));
+  ASSERT_TRUE(send_all(fd2, bytes.data(), bytes.size()));
+  FrameReader reader2;
+  ASSERT_TRUE(pump_until(fd2, &reader2, FrameType::kBye, 200));
+  const std::string reason = decode_bye(f.payload);
+  EXPECT_NE(reason.find("expected v2-v3"), std::string::npos) << reason;
+  EXPECT_EQ(engine.stats.version_rejected, 1);
+  close(fd2);
+  engine.shutdown("test complete");
+}
+
+TEST(Fabric, FleetMetricsAndFlightRideAlongWithoutTouchingRecords) {
+  const auto cells = campaign::plan(small_gmp_spec());
+  const auto baseline = record_strings(campaign::run_cells(cells, {}));
+
+  Listener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+  WorkerOptions wopts;
+  wopts.connect = listener.address();
+  LocalWorkerPool pool;
+  ASSERT_TRUE(spawn_local_workers(wopts, 3, listener.fd(), &pool, &err))
+      << err;
+
+  FabricOptions fopts;
+  fopts.no_worker_timeout_ms = 30000;
+  FlightRecorder flight;
+  obs::Registry reg;
+  std::map<std::string, std::vector<obs::MetricSample>> worker_stats;
+  fopts.flight = &flight;
+  fopts.obs = &reg;
+  fopts.worker_stats_out = &worker_stats;
+  std::map<std::string, int> per_worker;
+  fopts.on_result_worker = [&](const std::string& id) { ++per_worker[id]; };
+  FabricStats stats;
+  const auto results = run_fabric(&listener, cells, fopts, &stats);
+  reap_local_workers(&pool);
+
+  // The whole observability plane is a side channel: record bytes match
+  // the in-process baseline exactly.
+  EXPECT_EQ(record_strings(results), baseline);
+
+  // Every result was attributed to some worker for the fleet line.
+  int attributed = 0;
+  for (const auto& [id, n] : per_worker) attributed += n;
+  EXPECT_EQ(attributed, static_cast<int>(cells.size()));
+
+  // Workers shipped cumulative STATS snapshots; folded together their
+  // cells_executed counters cover the whole campaign (clean run: every
+  // cell executed exactly once).
+  ASSERT_FALSE(worker_stats.empty());
+  std::map<std::string, obs::MetricSample> fleet;
+  for (const auto& [id, samples] : worker_stats) {
+    obs::merge_samples(&fleet, samples);
+  }
+  const auto cx = fleet.find("fabric.worker.cells_executed");
+  ASSERT_NE(cx, fleet.end());
+  EXPECT_EQ(cx->second.value, cells.size());
+  const auto leases = fleet.find("fabric.worker.leases");
+  ASSERT_NE(leases, fleet.end());
+  EXPECT_EQ(static_cast<int>(leases->second.value), stats.leases_granted);
+
+  // The coordinator's stage histogram saw one queue-wait per slot.
+  bool saw_wait = false;
+  for (const auto& m : reg.snapshot()) {
+    if (m.name == "fabric.coord.queue_wait_us.count") {
+      saw_wait = true;
+      EXPECT_EQ(m.value, cells.size());
+    }
+  }
+  EXPECT_TRUE(saw_wait);
+
+  // Flight ring: every worker that shipped stats also left lease-grant
+  // and result events, plus a join.
+  std::map<std::string, int> grants, res, joins;
+  for (const FlightRecord& r : flight.snapshot()) {
+    if (r.event == FlightEvent::kLeaseGrant) ++grants[r.worker];
+    if (r.event == FlightEvent::kResult) ++res[r.worker];
+    if (r.event == FlightEvent::kJoin) ++joins[r.worker];
+  }
+  for (const auto& [id, samples] : worker_stats) {
+    EXPECT_GE(grants[id], 1) << id;
+    EXPECT_GE(res[id], 1) << id;
+    EXPECT_EQ(joins[id], 1) << id;
+  }
+}
+
+TEST(FabricService, StatusAnswersLiveAndMetricsArtifactCoversTheFleet) {
+  const std::string spec_text =
+      "name fabric-unit\n"
+      "protocol gmp\n"
+      "oracle quiet\n"
+      "types gmp-heartbeat gmp-commit\n"
+      "faults drop\n"
+      "seeds 1000..1002\n"
+      "burst 2\n"
+      "side receive\n"
+      "duration_s 40\n";
+  std::string err;
+  Listener listener;
+  ASSERT_TRUE(listener.open("127.0.0.1:0", &err)) << err;
+  WorkerOptions wopts;
+  wopts.connect = listener.address();
+  LocalWorkerPool pool;
+  ASSERT_TRUE(spawn_local_workers(wopts, 1, listener.fd(), &pool, &err))
+      << err;
+  std::atomic<bool> stop{false};
+  ServiceStats stats;
+  FlightRecorder flight;
+  obs::Registry reg;
+  std::thread daemon([&] {
+    ServiceOptions sopts;
+    sopts.flight = &flight;
+    sopts.obs = &reg;
+    sopts.should_stop = [&] { return stop.load(); };
+    run_service(&listener, sopts, &stats);
+  });
+
+  const int fd = dial(listener.address(), &err);
+  ASSERT_GE(fd, 0) << err;
+  Hello hello;
+  hello.role = "client";
+  std::string bytes = encode_frame(FrameType::kHello, encode_hello(hello));
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+
+  FrameReader reader;
+  Frame f;
+  auto read_frame = [&]() {
+    for (;;) {
+      if (reader.next(&f)) return true;
+      char buf[65536];
+      const ssize_t n = recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) return false;
+      reader.feed(buf, static_cast<std::size_t>(n));
+    }
+  };
+
+  // STATUS before any job: deterministic schema, zero counters.
+  bytes = encode_frame(FrameType::kStatus, "");
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+  std::string status;
+  while (read_frame()) {
+    if (f.type == FrameType::kStatus) {
+      status = decode_json_line(f.payload);
+      break;
+    }
+  }
+  ASSERT_FALSE(status.empty());
+  for (const char* key :
+       {"\"daemon\":", "\"jobs\":", "\"workers\":", "\"fabric\":",
+        "\"fleet_metrics\":"}) {
+    EXPECT_NE(status.find(key), std::string::npos) << key << " in " << status;
+  }
+  EXPECT_NE(status.find("\"active\":0"), std::string::npos) << status;
+
+  // Run a job; the metrics artifact must carry the deterministic metrics
+  // object plus the fleet/fabric side channel.
+  Submit submit;
+  submit.spec_text = spec_text;
+  bytes = encode_frame(FrameType::kSubmit, encode_submit(submit));
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+  std::string metrics, done;
+  while (done.empty() && read_frame()) {
+    if (f.type == FrameType::kArtifact) {
+      std::string name, content, chunk;
+      ASSERT_TRUE(decode_artifact(f.payload, &name, &content, &chunk));
+      if (name == "metrics" && chunk.empty()) metrics = content;
+    } else if (f.type == FrameType::kDone) {
+      done = decode_json_line(f.payload);
+    }
+  }
+  EXPECT_NE(done.find("\"status\":\"ok\""), std::string::npos) << done;
+  ASSERT_FALSE(metrics.empty());
+  for (const char* key : {"\"campaign\":", "\"metrics\":", "\"fabric\":",
+                          "\"fleet\":", "\"merged\":", "\"workers\":"}) {
+    EXPECT_NE(metrics.find(key), std::string::npos) << key;
+  }
+
+  // STATUS again: the daemon's counters advanced.
+  bytes = encode_frame(FrameType::kStatus, "");
+  ASSERT_TRUE(send_all(fd, bytes.data(), bytes.size()));
+  status.clear();
+  while (read_frame()) {
+    if (f.type == FrameType::kStatus) {
+      status = decode_json_line(f.payload);
+      break;
+    }
+  }
+  ASSERT_FALSE(status.empty());
+  EXPECT_NE(status.find("\"jobs_accepted\":1"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"jobs_completed\":1"), std::string::npos) << status;
+
+  close(fd);
+  stop.store(true);
+  daemon.join();
+  reap_local_workers(&pool);
+  // The daemon's flight ring saw the worker join and the leases flow.
+  bool saw_join = false, saw_grant = false;
+  for (const FlightRecord& r : flight.snapshot()) {
+    saw_join |= r.event == FlightEvent::kJoin;
+    saw_grant |= r.event == FlightEvent::kLeaseGrant;
+  }
+  EXPECT_TRUE(saw_join);
+  EXPECT_TRUE(saw_grant);
 }
 
 }  // namespace
