@@ -110,5 +110,85 @@ int main() {
   std::printf("\nwarm-journal re-discovers journaled schedules from cached "
               "records: budget\nbuys only genuinely new mutants, so the "
               "digest count keeps growing.\n");
-  return 0;
+
+  // --- equivalence pruning: simulations avoided per generation ------------
+  // The golden GMP corpus (scripts/campaign_gmp_omission.spec, replicated
+  // here so the bench is self-contained): lint::canonical_key collapses
+  // mutants onto already-executed class representatives, so part of the
+  // budget is answered without a simulation. The violation set must come
+  // out byte-identical either way — pruning is pure throughput.
+  bench::title("Equivalence pruning (lint::canonical_key)");
+  campaign::CampaignSpec golden;
+  golden.name = "gmp-omission";
+  golden.protocol = "gmp";
+  golden.oracle = "quiet";
+  golden.types = {"gmp-heartbeat", "gmp-proclaim", "gmp-join",
+                  "gmp-mc", "gmp-ack", "gmp-commit"};
+  golden.faults = {core::scriptgen::FaultKind::kDrop};
+  for (std::uint64_t s = 1000; s <= 1033; ++s) golden.seeds.push_back(s);
+  golden.burst = 3;
+  golden.on_send_side = false;
+  golden.warmup = 0;
+  golden.duration = sim::sec(60);
+
+  const int prune_budget = 256;
+  std::printf("golden gmp-omission spec, budget %d, batch 16, seed 7\n\n",
+              prune_budget);
+  std::printf("%14s %10s %14s %10s %12s %10s\n", "pruning", "executed",
+              "equiv_skipped", "digests", "violations", "wall ms");
+  bench::rule(76);
+
+  Timed runs[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool prune = pass == 0;
+    search::SearchOptions opts;
+    opts.budget = prune_budget;
+    opts.batch = 16;
+    opts.seed = 7;
+    opts.jobs = static_cast<int>(hw);
+    opts.prune_equivalent = prune;
+    const auto t0 = std::chrono::steady_clock::now();
+    runs[pass].res = search::explore(golden, opts);
+    runs[pass].wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    const search::SearchResult& r = runs[pass].res;
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "error: %s\n", r.error.c_str());
+      return 1;
+    }
+    std::printf("%14s %10d %14d %10zu %12zu %10.1f\n", prune ? "on" : "off",
+                r.executed, r.equiv_skipped, r.corpus.size(),
+                r.violations.size(), runs[pass].wall_ms);
+  }
+  const search::SearchResult& on = runs[0].res;
+  const search::SearchResult& off = runs[1].res;
+  bool identical = on.violations.size() == off.violations.size();
+  for (std::size_t i = 0; identical && i < on.violations.size(); ++i) {
+    identical = on.violations[i].digest == off.violations[i].digest &&
+                on.violations[i].reason == off.violations[i].reason;
+  }
+  // Generations actually drawn: the seeds cost budget too, then each
+  // generation spends up to `batch` slots (executions + skips).
+  const int gen_budget = prune_budget - on.seeded;
+  const int generations = (gen_budget + 15) / 16;
+  const double avoided_per_gen =
+      generations > 0
+          ? static_cast<double>(on.equiv_skipped) / generations
+          : 0.0;
+  char apg[32];
+  std::snprintf(apg, sizeof apg, "%.3f", avoided_per_gen);
+  bench::json_row("search_pruning",
+                  {{"budget", std::to_string(prune_budget)},
+                   {"executed_prune_on", std::to_string(on.executed)},
+                   {"executed_prune_off", std::to_string(off.executed)},
+                   {"equiv_skipped", std::to_string(on.equiv_skipped)},
+                   {"generations", std::to_string(generations)},
+                   {"avoided_per_generation", apg},
+                   {"violations_identical", identical ? "true" : "false"}});
+  std::printf("\n%d generation(s): %d simulation(s) avoided (%.3f per "
+              "generation); violation sets %s\n", generations,
+              on.equiv_skipped, avoided_per_gen,
+              identical ? "byte-identical" : "DIVERGED (bug!)");
+  return identical ? 0 : 1;
 }

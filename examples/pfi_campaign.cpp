@@ -48,6 +48,7 @@
 #include "fabric/socket.hpp"
 #include "fabric/wire.hpp"
 #include "fabric/worker.hpp"
+#include "lint/canonical.hpp"
 #include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -117,7 +118,9 @@ int usage(int code) {
       "  --journal FILE    journal path (enables journaling)\n"
       "  --lint            statically check each cell's schedule/script\n"
       "                    before running; violations become deterministic\n"
-      "                    `lint` error records and the cell is skipped\n"
+      "                    `lint` error records and the cell is skipped.\n"
+      "                    Also reports groups of planned cells whose\n"
+      "                    canonical schedules are provably equivalent\n"
       "  --lint=strict     as --lint, but warnings also reject a cell\n"
       "  --explore=N       coverage-guided search instead of the static\n"
       "                    matrix: spend N cell executions mutating fault\n"
@@ -652,6 +655,31 @@ int main(int argc, char** argv) {
   std::vector<RunCell> todo;
   int resumed = 0;
   int lint_rejected = 0;
+  int equiv_cells = 0;
+  // Group key -> ids of planned schedule-mode cells in that class; groups
+  // of 2+ are provably equivalent *runs*: cell_key over the canonicalized
+  // schedule folds in every run parameter (seed, warmup, duration, jitter,
+  // oracle, ...), so two cells only collide when nothing observable
+  // distinguishes them. The simulation seed is dropped from the key only
+  // when it is provably inert: the sim PRNG feeds jitter draws and corrupt
+  // actions' byte draws, so with jitter 0 and no kCorrupt event the seed
+  // cannot reach behaviour (the same fact behind the planner matrix
+  // collapsing to a handful of digests — docs/SEARCH.md).
+  const auto equiv_group_key = [](const RunCell& cell) {
+    RunCell canon = cell;
+    canon.schedule =
+        pfi::lint::canonicalize(canon.schedule, canon.protocol);
+    const bool seed_inert =
+        canon.jitter == 0 &&
+        std::none_of(canon.schedule.events.begin(),
+                     canon.schedule.events.end(), [](const auto& e) {
+                       return e.kind ==
+                              pfi::core::scriptgen::FaultKind::kCorrupt;
+                     });
+    if (seed_inert) canon.seed = 0;
+    return cell_key(canon);
+  };
+  std::map<std::string, std::vector<std::string>> equiv_groups;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto hit = journaling ? prior.find(keys[i]) : prior.end();
     if (hit != prior.end()) {
@@ -676,8 +704,26 @@ int main(int argc, char** argv) {
         }
         continue;
       }
+      if (cells[i].script_file.empty()) {
+        equiv_groups[equiv_group_key(cells[i])].push_back(cells[i].id);
+      }
     }
     todo.push_back(cells[i]);  // keeps its plan index
+  }
+  if (args.lint > 0) {
+    for (const auto& [key, ids] : equiv_groups) {
+      if (ids.size() < 2) continue;
+      equiv_cells += static_cast<int>(ids.size()) - 1;
+      if (!args.quiet) {
+        std::string list = ids.front();
+        for (std::size_t i = 1; i < ids.size(); ++i) list += ", " + ids[i];
+        std::fprintf(stderr,
+                     "  lint %zu cells are provably equivalent "
+                     "(identical canonical schedule and run parameters): "
+                     "%s\n",
+                     ids.size(), list.c_str());
+      }
+    }
   }
   if (!args.timeline.empty()) {
     // Only freshly-executed cells can contribute timeline fragments —
@@ -1041,6 +1087,7 @@ int main(int argc, char** argv) {
   w.kv("error", sum.errored);
   if (sum.skipped > 0) w.kv("skipped", sum.skipped);
   if (lint_rejected > 0) w.kv("lint_rejected", lint_rejected);
+  if (equiv_cells > 0) w.kv("equiv_cells", equiv_cells);
   if (resumed > 0) w.kv("resumed", resumed);
   if (interrupted) w.kv("interrupted", true);
   w.kv("jobs", std::max(1, args.jobs));

@@ -1,6 +1,6 @@
 // pfi_lint — static analysis of fault scripts and campaign specs.
 //
-//   pfi_lint [--json] [--strict] [--no-filter] [--no-driver] file...
+//   pfi_lint [--json|--sarif] [--strict] [--no-filter] [--no-driver] file...
 //
 // Files ending in .spec are parsed and checked as campaign specs (their
 // referenced scripts are linted too); everything else is checked as a
@@ -14,13 +14,15 @@
 #include <vector>
 
 #include "lint/lint.hpp"
+#include "lint/sarif.hpp"
 
 namespace {
 
 void usage(std::ostream& os) {
-  os << "usage: pfi_lint [--json] [--strict] [--no-filter] [--no-driver] "
-        "file...\n"
+  os << "usage: pfi_lint [--json|--sarif] [--strict] [--no-filter] "
+        "[--no-driver] file...\n"
      << "  --json       emit one JSON document instead of text\n"
+     << "  --sarif      emit a SARIF 2.1.0 document instead of text\n"
      << "  --strict     warnings also fail the run\n"
      << "  --no-filter  do not accept PfiLayer host commands (msg_*, x*)\n"
      << "  --no-driver  do not accept ScriptedDriver commands (drv_*)\n";
@@ -35,6 +37,7 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool sarif = false;
   bool strict = false;
   pfi::lint::Options opts;
   std::vector<std::string> files;
@@ -43,6 +46,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--no-filter") {
@@ -88,7 +93,9 @@ int main(int argc, char** argv) {
     (d.severity == pfi::lint::Severity::kError ? errors : warnings) += 1;
   }
 
-  if (json) {
+  if (sarif) {
+    std::cout << pfi::lint::diagnostics_sarif(all) << "\n";
+  } else if (json) {
     std::cout << pfi::lint::diagnostics_json(all) << "\n";
   } else {
     for (const auto& d : all) {

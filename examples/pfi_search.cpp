@@ -54,6 +54,9 @@ int usage(int code) {
       "  --journal FILE    record cache: executed mutants append here and\n"
       "                    journaled schedules cost nothing to re-discover\n"
       "  --max-minimize N  minimise at most N violations (default 8)\n"
+      "  --no-prune        simulate mutants even when lint::canonical_key\n"
+      "                    proves them equivalent to an executed schedule\n"
+      "                    (default: answer them from that record)\n"
       "  --out FILE        write the JSON report to FILE (default stdout)\n"
       "  --quiet           no progress output on stderr\n");
   return code;
@@ -98,6 +101,8 @@ int main(int argc, char** argv) {
       opts.journal_path = next();
     } else if (a == "--max-minimize") {
       opts.max_minimize = std::atoi(next());
+    } else if (a == "--no-prune") {
+      opts.prune_equivalent = false;
     } else if (a == "--out") {
       out = next();
     } else if (a == "--quiet") {

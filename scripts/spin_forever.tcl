@@ -3,9 +3,9 @@
 # every entry of the inner loop gets a fresh budget, so the nesting below is
 # ~10^13 operations, i.e. a genuine hang. Only an external budget
 # (pfi_campaign --timeout-ms / --max-events, or a test watchdog) ends it.
-# pfi-lint: allow infinite-loop
 #%receive
 set spin 0
+# pfi-lint: allow infinite-loop
 while {$spin < 1000000000} {
   set j 0
   while {$j < 1000000} {

@@ -59,6 +59,16 @@ MinimizeResult minimize_schedule(const RunCell& cell,
         return json::probe_string_field(hit->second, "verdict")
                    .value_or("error") == "fail";
       }
+      if (opts.equivalent_key) {
+        const std::string alias = opts.equivalent_key(c);
+        const auto eq = alias.empty() ? opts.cache->end()
+                                      : opts.cache->find(alias);
+        if (eq != opts.cache->end()) {
+          ++res.cache_hits;
+          return json::probe_string_field(eq->second, "verdict")
+                     .value_or("error") == "fail";
+        }
+      }
     }
     ++res.runs;
     const RunResult r = run_cell(c);

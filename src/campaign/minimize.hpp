@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -39,6 +40,13 @@ struct MinimizeOptions {
   /// Optional journal to append fresh probe records to (persists the cache
   /// across campaign runs). Ignored when null.
   Journal* journal = nullptr;
+  /// Optional equivalence resolver, consulted on a cache miss: maps the
+  /// probe cell to the cache key of a behaviourally equivalent recorded
+  /// cell ("" = no equivalent known). A resolved record answers the probe
+  /// as a cache hit. pfi_search plugs lint::canonical_key's class
+  /// representatives in here so ddmin probes ride the same equivalence
+  /// pruning as the search loop. Ignored when cache is null.
+  std::function<std::string(const RunCell&)> equivalent_key;
 };
 
 struct MinimizeResult {

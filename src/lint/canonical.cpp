@@ -1,0 +1,249 @@
+#include "lint/canonical.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "campaign/json.hpp"
+#include "lint/registry.hpp"
+#include "sim/time.hpp"
+
+namespace pfi::lint {
+
+namespace {
+
+using campaign::FaultEvent;
+using campaign::FaultSchedule;
+using core::scriptgen::FaultKind;
+
+/// Occurrence window an event occupies on its (side, type) counter.
+/// Reorder holds [occurrence, occurrence + batch - 1]; everything else
+/// touches a single occurrence.
+std::pair<int, int> window(const FaultEvent& e) {
+  if (e.kind == FaultKind::kReorder) {
+    return {e.occurrence, e.occurrence + std::max(2, e.batch) - 1};
+  }
+  return {e.occurrence, e.occurrence};
+}
+
+/// Reset payload fields the kind never reads to their defaults so they
+/// cannot distinguish behaviourally identical events.
+void normalize_payload(FaultEvent* e) {
+  if (e->kind != FaultKind::kDelay) e->delay = sim::msec(1500);
+  if (e->kind != FaultKind::kDuplicate) e->copies = 1;
+  if (e->kind != FaultKind::kCorrupt) e->corrupt_offset = 0;
+  e->batch = e->kind == FaultKind::kReorder ? std::max(2, e->batch) : 3;
+}
+
+/// True when the event provably never changes the run: the stub never
+/// produces its (concrete) type, or its 1-based occurrence can never
+/// match. Reorder events keep their window even with a bad start (part of
+/// it may still be live), and no-op-looking payloads (delay <= 0,
+/// copies < 1) stay — the filter still intercepts and logs the message.
+bool provably_dead(const FaultEvent& e,
+                   const std::vector<std::string>& types) {
+  if (e.type != "*" && !types.empty() &&
+      std::find(types.begin(), types.end(), e.type) == types.end()) {
+    return true;
+  }
+  if (e.kind != FaultKind::kReorder && e.occurrence < 1) return true;
+  return false;
+}
+
+/// Remove events on one side whose effect is provably subsumed by another
+/// event on the same side. Grounded in the PfiLayer dispatch contract
+/// (src/pfi/pfi_layer.cpp): every matching if-block runs, then `held` is
+/// checked, then `dropped` — before the delay or copy count is ever read —
+/// and `xDelay`/`xDuplicate` overwrite their field, so the last matching
+/// block of a kind wins. Hence, on one (type, occurrence) counter slot:
+///
+///   * a second identical drop is a no-op (`dropped` is an idempotent flag);
+///   * a delay or duplicate is dead when any drop targets the same message
+///     (the dispatch returns before reading either field — and if a hold
+///     queue intercepts instead, released messages bypass the filter, so
+///     the field is equally unread);
+///   * of several delays (or several duplicates) on one message, only the
+///     last survives.
+///
+/// Corrupt events are never touched: their compiled action draws from
+/// `dst_uniform`, so even a fully masked corrupt block perturbs the
+/// simulation's random stream. Reorder events are never touched either —
+/// `xHold` preempts the drop flag, so nothing subsumes a hold.
+void strip_redundant(std::vector<FaultEvent>* side) {
+  const auto same_msg = [](const FaultEvent& a, const FaultEvent& b) {
+    // Same counter stream, same slot — including the "*" counter, which the
+    // compiler keys separately from every concrete type's.
+    return a.type == b.type && a.occurrence == b.occurrence;
+  };
+  std::vector<FaultEvent> out;
+  for (std::size_t i = 0; i < side->size(); ++i) {
+    const FaultEvent& e = (*side)[i];
+    bool dead = false;
+    if (e.kind == FaultKind::kDrop) {
+      for (std::size_t j = 0; j < i && !dead; ++j) {
+        const FaultEvent& o = (*side)[j];
+        dead = o.kind == FaultKind::kDrop && same_msg(e, o);
+      }
+    } else if (e.kind == FaultKind::kDelay || e.kind == FaultKind::kDuplicate) {
+      for (std::size_t j = 0; j < side->size() && !dead; ++j) {
+        if (j == i) continue;
+        const FaultEvent& o = (*side)[j];
+        if (!same_msg(e, o)) continue;
+        dead = o.kind == FaultKind::kDrop || (o.kind == e.kind && j > i);
+      }
+    }
+    if (!dead) out.push_back(e);
+  }
+  *side = std::move(out);
+}
+
+/// Sort one side's events into canonical order. Events on different type
+/// counters commute freely; same-counter events commute only when their
+/// windows are pairwise disjoint. A side mixing "*" with concrete types is
+/// returned untouched — the wildcard shares every counter's match set.
+void sort_side(std::vector<FaultEvent>* side) {
+  bool star = false;
+  bool concrete = false;
+  for (const FaultEvent& e : *side) {
+    (e.type == "*" ? star : concrete) = true;
+  }
+  if (star && concrete) return;
+
+  std::stable_sort(side->begin(), side->end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.type < b.type;
+                   });
+
+  // Within each run of one type: sort by window start iff the windows are
+  // pairwise disjoint. Overlapping windows do not commute; leave them in
+  // source order (the conflict diagnostics flag them separately).
+  std::size_t i = 0;
+  while (i < side->size()) {
+    std::size_t j = i;
+    while (j < side->size() && (*side)[j].type == (*side)[i].type) ++j;
+    bool disjoint = true;
+    for (std::size_t a = i; a < j && disjoint; ++a) {
+      for (std::size_t b = a + 1; b < j && disjoint; ++b) {
+        const auto [a0, a1] = window((*side)[a]);
+        const auto [b0, b1] = window((*side)[b]);
+        if (a0 <= b1 && b0 <= a1) disjoint = false;
+      }
+    }
+    if (disjoint) {
+      std::stable_sort(side->begin() + static_cast<std::ptrdiff_t>(i),
+                       side->begin() + static_cast<std::ptrdiff_t>(j),
+                       [](const FaultEvent& a, const FaultEvent& b) {
+                         return window(a).first < window(b).first;
+                       });
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+FaultSchedule canonicalize(const FaultSchedule& sched,
+                           const std::string& protocol) {
+  const auto& types = protocol_message_types(protocol);
+
+  std::vector<FaultEvent> send;
+  std::vector<FaultEvent> recv;
+  for (FaultEvent e : sched.events) {
+    if (provably_dead(e, types)) continue;
+    normalize_payload(&e);
+    // A wildcard target over a single-type stub matches exactly what the
+    // concrete name matches — same counter stream, same occurrences.
+    if (e.type == "*" && types.size() == 1) e.type = types.front();
+    (e.on_send ? send : recv).push_back(std::move(e));
+  }
+  // The two sides compile to separate filter scripts; their relative order
+  // in the event list is never observable.
+  strip_redundant(&send);
+  strip_redundant(&recv);
+  sort_side(&send);
+  sort_side(&recv);
+
+  FaultSchedule out;
+  out.events = std::move(send);
+  out.events.insert(out.events.end(), recv.begin(), recv.end());
+  return out;
+}
+
+std::string canonical_key(const FaultSchedule& sched,
+                          const std::string& protocol) {
+  campaign::json::Writer w;
+  canonicalize(sched, protocol).to_json(w);
+  return protocol + "|" + w.str();
+}
+
+std::vector<Diagnostic> shadowed_faults(const FaultSchedule& sched,
+                                        const std::string& context) {
+  using campaign::FaultEvent;
+  std::vector<Diagnostic> out;
+  const auto matches = [](const FaultEvent& a, const FaultEvent& b) {
+    return a.type == b.type || a.type == "*" || b.type == "*";
+  };
+  // Same-side domination: a drop on a counter slot makes a delay or
+  // duplicate on the identical slot dead — the dispatch discards the
+  // message before either field is read (see strip_redundant above).
+  for (const FaultEvent& d : sched.events) {
+    if (d.kind != FaultKind::kDrop) continue;
+    for (const FaultEvent& e : sched.events) {
+      if (e.on_send != d.on_send || &e == &d) continue;
+      if (e.kind != FaultKind::kDelay && e.kind != FaultKind::kDuplicate) {
+        continue;
+      }
+      if (e.type != d.type || e.occurrence != d.occurrence) continue;
+      out.push_back(
+          {Severity::kWarning, "shadowed-fault", context, 0, 0,
+           "`" + e.summary() + "` is dead: `" + d.summary() +
+               "` on the same side discards that message before the " +
+               (e.kind == FaultKind::kDelay ? std::string("delay")
+                                            : std::string("copy count")) +
+               " is read",
+           "remove one of the two faults or move them to different "
+           "occurrences"});
+    }
+  }
+  for (const FaultEvent& s : sched.events) {
+    if (!s.on_send) continue;
+    for (const FaultEvent& r : sched.events) {
+      if (r.on_send || !matches(s, r)) continue;
+      if (s.kind == FaultKind::kDrop && r.occurrence >= s.occurrence) {
+        out.push_back(
+            {Severity::kWarning, "shadowed-fault", context, 0, 0,
+             "receive-side `" + r.summary() + "` is shadowed by send-side `" +
+                 s.summary() + "`: the dropped message never arrives, so "
+                 "receive occurrences from " + std::to_string(s.occurrence) +
+                 " on count different messages than written",
+             "renumber the receive occurrence or keep both faults on one "
+             "side"});
+      } else if (s.kind == FaultKind::kDuplicate && s.copies > 1 &&
+                 r.occurrence > s.occurrence) {
+        out.push_back(
+            {Severity::kWarning, "shadowed-fault", context, 0, 0,
+             "receive-side `" + r.summary() + "` is shadowed by send-side `" +
+                 s.summary() + "`: the extra copies shift receive "
+                 "occurrences after " + std::to_string(s.occurrence) + " up",
+             "renumber the receive occurrence or keep both faults on one "
+             "side"});
+      } else if (s.kind == FaultKind::kReorder) {
+        const auto [w0, w1] = window(s);
+        if (r.occurrence >= w0 && r.occurrence <= w1) {
+          out.push_back(
+              {Severity::kWarning, "shadowed-fault", context, 0, 0,
+               "receive-side `" + r.summary() +
+                   "` targets an occurrence inside the send-side reorder "
+                   "window [" + std::to_string(w0) + "," +
+                   std::to_string(w1) + "]; arrival order there is "
+                   "scrambled, so the occurrence lands on a different "
+                   "message than written",
+               "target an occurrence outside the window or keep both "
+               "faults on one side"});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pfi::lint

@@ -1,0 +1,159 @@
+// Control-flow graph IR for filter scripts.
+//
+// The v1 linter walked parse trees with one flow-insensitive Scope per
+// section; everything it could say about a variable was "defined somewhere"
+// / "read somewhere". This module lowers a parsed section (or proc body)
+// into basic blocks so the passes in flow.cpp can reason per *path*:
+//
+//   * one Unit per #%setup/#%send/#%receive body and per proc body;
+//   * blocks hold Stmts — each the effect summary of one command (reads,
+//     definite assignments, unsets, a constant-propagation payload for
+//     `set x <literal>` / `incr x <literal>`);
+//   * if/elseif/else, while, for, foreach, switch, catch and `after` lower
+//     to real edges (including the zero-iteration edge around every loop
+//     body and the "body aborted early" edge around catch/after bodies);
+//   * break/continue/return/error/xCrashProcess terminate their block, so
+//     anything after them becomes an unreachable region with no
+//     predecessors — the CFG form of the v1 "already returned" warning;
+//   * loop headers keep their guard text plus the block range of their
+//     body, which is what the interval pass needs to bound trip counts.
+//
+// The builder mirrors src/lint/lint.cpp v1's per-command semantics exactly
+// (what counts as a def, what makes a scope dynamic, which braced words are
+// code); positions stay file-absolute through parse.hpp's line anchoring.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "script/parse.hpp"
+
+namespace pfi::lint::cfg {
+
+struct VarUse {
+  std::string name;  // normalized base name ("count" for count($i))
+  int line = 0;
+  int col = 0;
+  bool required = true;  // false: info exists / unset (a use, not a read)
+};
+
+struct VarDef {
+  std::string name;
+  int line = 0;
+  int col = 0;
+};
+
+struct CmdUse {
+  std::string name;
+  int nargs = 0;
+  int line = 0;
+  int col = 0;
+};
+
+/// Constant-propagation payload of one statement.
+enum class CpKind {
+  kOther,     // no const effect beyond killing its defs
+  kSetConst,  // set <var> <literal>   -> cp_value is the literal
+  kIncr,      // incr <var> ?<literal>? -> cp_value is the step
+};
+
+struct Stmt {
+  std::string head;  // literal command name; "" when computed
+  int line = 0;
+  int col = 0;
+  std::vector<VarUse> reads;
+  std::vector<VarDef> defs;
+  std::vector<std::string> kills;  // unset
+  CpKind cp = CpKind::kOther;
+  std::string cp_var;
+  std::string cp_value;
+  /// A braced word of this command contains break/return/error text that
+  /// was not lowered as code (data brace). The infinite-loop pass treats it
+  /// as a possible escape, exactly like the v1 over-approximation.
+  bool maybe_escape = false;
+};
+
+/// An if/while/for guard attached to the end of a block.
+struct Guard {
+  std::string text;
+  int line = 0;
+  int col = 0;
+  bool literal_word = false;  // the guard word itself was literal()
+  bool foldable = false;  // literal word, no [...]: candidate for folding
+  bool has_cmd = false;   // contains [...]: never foldable, never invariant
+  std::vector<std::string> vars;  // base names the expression reads
+};
+
+struct Block {
+  std::vector<Stmt> stmts;
+  /// Successor block ids. With a guard: succ[0] is the true edge, succ[1]
+  /// the false edge. Without: zero (terminated) or one (fallthrough).
+  std::vector<int> succ;
+  bool has_guard = false;
+  Guard guard;
+
+  // Loop-header metadata (while/for/foreach headers only).
+  bool loop_header = false;
+  std::string loop_kind;    // "while" | "for" | "foreach"
+  int body_begin = -1;      // [body_begin, body_end) = blocks of the body
+  int body_end = -1;        //   (includes nested structures' blocks)
+  bool implicit_guard = false;  // foreach: guard is "items remain"
+};
+
+/// A proc definition encountered while lowering; the orchestrator builds a
+/// separate Unit from `body` and registers the signature.
+struct ProcDef {
+  std::string name;
+  int line = 0;  // of the `proc` command
+  int col = 0;
+  int min_args = 0;
+  int max_args = -1;  // -1 = varargs
+  std::vector<VarDef> params;
+  std::string body;
+  int body_line = 0;
+  int body_col = 0;
+  bool body_braced = false;
+};
+
+struct Unit {
+  std::string name;  // section name or "proc <name>"
+  std::vector<Block> blocks;
+  int entry = 0;
+  int exit = 1;  // virtual (empty) exit block; return/error edges land here
+  bool dynamic = false;           // eval / computed names: stop judging vars
+  bool presence_checked = false;  // uses `info exists`: persistent-state
+                                  // idiom, definite-assignment opts out
+  std::set<std::string> globals;  // proc bodies: names imported via `global`
+  std::vector<CmdUse> uses;       // every literal command dispatch
+};
+
+using DiagFn =
+    std::function<void(Severity, const char* rule, int line, int col,
+                       std::string message, std::string hint)>;
+
+/// Lower one script body into a Unit. `diag` receives parse errors found in
+/// nested bodies; `procs` collects proc definitions (may be null inside
+/// proc bodies if nested procs should be ignored — they are not, so pass
+/// the same collector everywhere).
+Unit build_unit(const std::string& text, int first_line, int first_col,
+                const std::string& name, const DiagFn& diag,
+                std::vector<ProcDef>* procs);
+
+/// Normalize "count($seq)" -> "count".
+std::string normalize_var(const std::string& name);
+
+/// "count" for `count($seq)` / `count`; empty when the name is computed.
+std::string var_name_base(const std::string& raw);
+
+/// All reads / defs of a unit, flattened (for the cross-section passes).
+std::vector<VarUse> all_reads(const Unit& u);
+std::vector<VarDef> all_defs(const Unit& u);
+
+/// Block ids reachable from entry following every edge (ignoring guard
+/// folding); used for the unreachable-code pass.
+std::vector<bool> reachable(const Unit& u);
+
+}  // namespace pfi::lint::cfg

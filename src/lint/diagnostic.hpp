@@ -48,9 +48,11 @@ inline bool has_errors(const std::vector<Diagnostic>& diags) {
   });
 }
 
-/// Stable presentation order: file, then position, then rule, then message.
-/// Checkers emit in pass order; sorting here is what makes --json output a
-/// pure function of the input files.
+/// Stable presentation order: file, then position, then rule, then message
+/// (errors before warnings and hint as final tie-breaks, so the order is
+/// total over every field). Checkers emit in pass order; sorting here is
+/// what makes --json output a pure function of the input files, byte for
+/// byte, independent of pass scheduling.
 inline void sort_diagnostics(std::vector<Diagnostic>* diags) {
   std::stable_sort(diags->begin(), diags->end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
@@ -58,7 +60,11 @@ inline void sort_diagnostics(std::vector<Diagnostic>* diags) {
                      if (a.line != b.line) return a.line < b.line;
                      if (a.col != b.col) return a.col < b.col;
                      if (a.rule != b.rule) return a.rule < b.rule;
-                     return a.message < b.message;
+                     if (a.message != b.message) return a.message < b.message;
+                     if (a.severity != b.severity) {
+                       return a.severity == Severity::kError;
+                     }
+                     return a.hint < b.hint;
                    });
 }
 

@@ -1,0 +1,64 @@
+// Flow-sensitive passes over the CFG in cfg.hpp.
+//
+// Four analyses run per Unit, in order:
+//
+//   1. constant propagation — a flat lattice (literal string / not-const)
+//      pushed through set/incr, folded into if/while guards via the real
+//      expression engine; a guard constant on every reaching path reports
+//      constant-condition (or infinite-loop when a true loop guard has no
+//      escaping body) and prunes its dead edge;
+//   2. unreachable-code — blocks with no predecessors (code after
+//      return/break/continue/error), one report per region, on the full
+//      edge set so constant-guard pruning never double-reports;
+//   3. definite assignment — a forward must-analysis over the pruned
+//      graph; a read of a variable assigned on some paths but not the
+//      current one reports use-before-def with the witness path (the
+//      branch decisions that dodge every assignment) in the hint — the
+//      defect class the v1 flow-insensitive pass provably cannot see;
+//   4. loop intervals — trip counts for `while {$i < N}` counter loops
+//      (init from the preheader constant environment, step from the body's
+//      incrs) checked against the interpreter's iteration budget, plus
+//      invariant-loop for guards whose variables the body never assigns.
+//
+// Scopes that opt out: `eval`/computed names mark a Unit dynamic (only
+// variable-free guards are folded, no variable judgements), and any
+// `info exists` marks it presence-checked (persistent filter state managed
+// by hand; definite assignment stands down, everything else still runs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "lint/cfg.hpp"
+
+namespace pfi::script {
+class Interp;
+}  // namespace pfi::script
+
+namespace pfi::lint::flow {
+
+struct Env {
+  /// Interpreter iteration budget (lint::Options::loop_budget).
+  std::uint64_t loop_budget = 10'000'000;
+  /// Private expression engine for guard folding.
+  script::Interp* folder = nullptr;
+  /// Variables (may-)defined before this unit runs: setup's definitions
+  /// for send/receive filters, parameters for proc bodies.
+  std::set<std::string> entry_defs;
+  /// Proc name -> global variables it (transitively) may write; applied as
+  /// definitions at call sites.
+  const std::map<std::string, std::set<std::string>>* proc_writes = nullptr;
+  /// False when a visible scope is dynamic: definite assignment stands
+  /// down (constant folding and loop checks still run).
+  bool check_use_before_def = true;
+  /// Filter sections keep interpreter state across invocations, so a read
+  /// that misses an assignment is only a first-invocation hazard there:
+  /// use-before-def demotes from error to warning.
+  bool persistent = false;
+};
+
+void analyze(const cfg::Unit& u, const Env& env, const cfg::DiagFn& diag);
+
+}  // namespace pfi::lint::flow

@@ -9,6 +9,9 @@
 #include <sstream>
 
 #include "campaign/json.hpp"
+#include "lint/canonical.hpp"
+#include "lint/cfg.hpp"
+#include "lint/flow.hpp"
 #include "lint/registry.hpp"
 #include "pfi/script_file.hpp"
 #include "pfi/scriptgen.hpp"
@@ -21,28 +24,6 @@ namespace pfi::lint {
 namespace {
 
 namespace sp = script::parse;
-
-bool is_name_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// "count" for `count($seq)` / `count(x)` / `count`; nullopt when the
-/// variable name itself is computed ($name, [cmd], ...).
-std::optional<std::string> var_name_base(const std::string& raw) {
-  std::string base;
-  for (const char c : raw) {
-    if (c == '(') break;
-    if (!is_name_char(c)) return std::nullopt;
-    base += c;
-  }
-  if (base.empty()) return std::nullopt;
-  return base;
-}
-
-std::string normalize_read(const std::string& name) {
-  const auto paren = name.find('(');
-  return paren == std::string::npos ? name : name.substr(0, paren);
-}
 
 /// Edit distance capped at 3 (enough to decide "is it within 2?").
 int edit_distance(const std::string& a, const std::string& b) {
@@ -61,26 +42,123 @@ int edit_distance(const std::string& a, const std::string& b) {
   return std::min(prev[b.size()], 3);
 }
 
-/// `# pfi-lint: allow <rule> ...` comment lines, collected file-wide.
-std::set<std::string> collect_suppressions(const std::string& contents) {
-  std::set<std::string> allow;
-  std::istringstream is{contents};
-  std::string line;
-  while (std::getline(is, line)) {
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+/// `# pfi-lint: allow <rule...>` covers the directive's own line and the
+/// next non-blank, non-comment line. `# pfi-lint: allow-file <rule...>`
+/// covers the whole file. Directives that never match anything are
+/// themselves a diagnostic.
+struct Suppressions {
+  struct Directive {
+    int line = 0;
+    bool file_wide = false;
+    std::set<std::string> rules;
+    bool used = false;
+  };
+  std::vector<Directive> directives;
+  std::map<int, std::vector<std::size_t>> line_cover;
+  std::vector<std::size_t> file_wide_idx;
+
+  static bool matches(const Directive& d, const std::string& rule) {
+    return d.rules.contains(rule) || d.rules.contains("all");
+  }
+
+  /// True when some directive suppresses (rule, line); marks it used.
+  bool allow(const std::string& rule, int line) {
+    bool hit = false;
+    for (const std::size_t i : file_wide_idx) {
+      if (matches(directives[i], rule)) {
+        directives[i].used = true;
+        hit = true;
+      }
+    }
+    if (const auto it = line_cover.find(line); it != line_cover.end()) {
+      for (const std::size_t i : it->second) {
+        if (matches(directives[i], rule)) {
+          directives[i].used = true;
+          hit = true;
+        }
+      }
+    }
+    return hit;
+  }
+};
+
+Suppressions collect_suppressions(const std::string& contents) {
+  Suppressions supp;
+  std::vector<std::string> lines;
+  {
+    std::istringstream is{contents};
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+  }
+  const auto first_nonspace = [](const std::string& l) -> std::size_t {
     std::size_t i = 0;
-    while (i < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+    while (i < l.size() &&
+           std::isspace(static_cast<unsigned char>(l[i])) != 0) {
       ++i;
     }
+    return i;
+  };
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    const std::size_t i = first_nonspace(line);
     if (i >= line.size() || line[i] != '#') continue;
     const auto tag = line.find("pfi-lint:", i);
     if (tag == std::string::npos) continue;
     std::istringstream words{line.substr(tag + 9)};
     std::string w;
-    if (!(words >> w) || w != "allow") continue;
-    while (words >> w) allow.insert(w);
+    if (!(words >> w)) continue;
+    const bool file_wide = w == "allow-file";
+    if (!file_wide && w != "allow") continue;
+    Suppressions::Directive d;
+    d.line = static_cast<int>(n) + 1;
+    d.file_wide = file_wide;
+    while (words >> w) d.rules.insert(w);
+    const std::size_t idx = supp.directives.size();
+    if (file_wide) {
+      supp.file_wide_idx.push_back(idx);
+    } else {
+      supp.line_cover[d.line].push_back(idx);
+      // ...and the next line that holds code.
+      for (std::size_t m = n + 1; m < lines.size(); ++m) {
+        const std::size_t j = first_nonspace(lines[m]);
+        if (j >= lines[m].size()) continue;  // blank
+        if (lines[m][j] == '#') continue;    // comment (maybe a directive)
+        supp.line_cover[static_cast<int>(m) + 1].push_back(idx);
+        break;
+      }
+    }
+    supp.directives.push_back(std::move(d));
   }
-  return allow;
+  return supp;
+}
+
+/// Unused directives report unconditionally — a suppression cannot
+/// suppress the report of its own uselessness.
+void report_unused_suppressions(const Suppressions& supp,
+                                const std::string& file,
+                                std::vector<Diagnostic>* out) {
+  for (const auto& d : supp.directives) {
+    if (d.used) continue;
+    std::string rules;
+    for (const std::string& r : d.rules) {
+      if (!rules.empty()) rules += ", ";
+      rules += "\"" + r + "\"";
+    }
+    if (rules.empty()) rules = "no rules";
+    out->push_back({Severity::kWarning, "unused-suppression", file, d.line, 0,
+                    "suppression for " + rules + " matches no diagnostic" +
+                        (d.file_wide ? " anywhere in the file"
+                                     : " on the covered line"),
+                    d.file_wide
+                        ? "remove it, or narrow it to a `# pfi-lint: allow` "
+                          "next to the line it should cover"
+                        : "remove it, or move it directly above the line it "
+                          "should cover"});
+  }
 }
 
 struct ReadSite {
@@ -96,6 +174,8 @@ struct DefSite {
   std::string section;
 };
 
+/// Flow-insensitive summary of one interpreter scope, distilled from its
+/// Unit — what the cross-section resolution passes consume.
 struct Scope {
   std::map<std::string, DefSite> defs;
   std::vector<ReadSite> reads;
@@ -121,469 +201,243 @@ constexpr const char* kSetup = "setup";
 constexpr const char* kSend = "send";
 constexpr const char* kReceive = "receive";
 
+/// v2 analyzer: lowers each section and proc body to a CFG (cfg.hpp), runs
+/// the flow-sensitive passes (flow.hpp) per unit with cross-unit context
+/// (setup's definitions seed the filters, proc may-write summaries flow to
+/// call sites), then runs the v1 flow-insensitive resolution passes over
+/// the unit summaries: command/arity resolution, cross-interpreter read
+/// visibility, unused variables and procs.
 class Analyzer {
  public:
-  Analyzer(const Options& opts, std::string file, std::set<std::string> allow,
+  Analyzer(const Options& opts, std::string file, Suppressions* supp,
            std::vector<Diagnostic>* out)
-      : opts_(opts), file_(std::move(file)), allow_(std::move(allow)),
-        out_(out) {}
+      : opts_(opts), file_(std::move(file)), supp_(supp), out_(out) {}
 
   void analyze_section(const std::string& text, int first_line,
                        const char* section) {
-    Scope& scope = section_scope(section);
-    const sp::Script script = sp::parse_script(text, first_line, 1);
-    if (!script.ok()) {
-      diag(Severity::kError, "parse-error", script.error_line,
-           script.error_col, script.error);
-      return;
+    const std::size_t procs_before = proc_defs_.size();
+    SectionUnit su;
+    su.section = section;
+    su.unit = cfg::build_unit(text, first_line, 1, section, diag_fn(),
+                              &proc_defs_);
+    for (std::size_t p = procs_before; p < proc_defs_.size(); ++p) {
+      proc_sections_.push_back(section);
     }
-    walk(script, &scope, section, /*in_proc=*/false);
+    for (const cfg::CmdUse& u : su.unit.uses) {
+      uses_.push_back({u.name, u.nargs, u.line, u.col, section});
+    }
+    units_.push_back(std::move(su));
   }
 
   void finish() {
-    resolve_procs();
+    build_proc_units();
+    compute_proc_writes();
+    resolve_procs();  // also fills each section's proc-written globals
+    run_flow();
     resolve_commands();
     resolve_reads();
     resolve_unused();
+    resolve_unused_procs();
   }
 
  private:
+  struct SectionUnit {
+    std::string section;
+    cfg::Unit unit;
+  };
+
+  struct ProcInfo {
+    std::string name;
+    std::string section;
+    int line = 0;
+    int col = 0;
+    ProcSig sig;
+    cfg::Unit unit;       // empty (entry/exit only) when the body is not
+    bool has_unit = false;  // a brace — nothing static to say then
+    std::vector<cfg::VarDef> params;
+    Scope scope;  // summary: params + body defs, reads, globals, dynamic
+  };
+
   // -- emission -------------------------------------------------------------
 
   void diag(Severity sev, const char* rule, int line, int col,
             std::string message, std::string hint = {}) {
-    if (allow_.contains(rule) || allow_.contains("all")) return;
+    if (supp_ != nullptr && supp_->allow(rule, line)) return;
     out_->push_back(
         {sev, rule, file_, line, col, std::move(message), std::move(hint)});
   }
 
-  Scope& section_scope(const char* section) {
-    if (section == kSetup) return setup_;
-    if (section == kSend) return send_;
-    return receive_;
+  cfg::DiagFn diag_fn() {
+    return [this](Severity sev, const char* rule, int line, int col,
+                  std::string message, std::string hint) {
+      diag(sev, rule, line, col, std::move(message), std::move(hint));
+    };
   }
 
-  // -- the walk -------------------------------------------------------------
+  // -- units ----------------------------------------------------------------
 
-  void walk(const sp::Script& script, Scope* scope, const std::string& section,
-            bool in_proc) {
-    bool reported_unreachable = false;
-    bool terminated = false;
-    for (const sp::Command& cmd : script.commands) {
-      if (cmd.words.empty()) continue;
-      if (terminated && !reported_unreachable) {
-        diag(Severity::kWarning, "unreachable-code", cmd.line, cmd.col,
-             "command is unreachable (the block already returned)");
-        reported_unreachable = true;
-      }
-      walk_command(cmd, scope, section, in_proc);
-      if (cmd.words[0].literal()) {
-        const std::string name = sp::literal_value(cmd.words[0]);
-        if (name == "return" || name == "break" || name == "continue" ||
-            name == "error") {
-          terminated = true;
-        }
-      }
-    }
-  }
+  /// Build a Unit per braced proc body. Bodies can define further procs;
+  /// the worklist keeps going until every definition has been seen.
+  void build_proc_units() {
+    for (std::size_t i = 0; i < proc_defs_.size(); ++i) {
+      const cfg::ProcDef def = proc_defs_[i];  // copy: vector may grow
+      const std::string section = proc_sections_[i];
 
-  void walk_command(const sp::Command& cmd, Scope* scope,
-                    const std::string& section, bool in_proc) {
-    // Generic effects first: every $read in every bare/quoted word, every
-    // [nested] script. (Braced words carry neither — the command-specific
-    // handling below decides which braces are code.)
-    for (const sp::Word& w : cmd.words) {
-      record_word_reads(w, scope);
-      for (const sp::Script& nested : w.nested) {
-        walk(nested, scope, section, in_proc);
+      ProcInfo info;
+      info.name = def.name;
+      info.section = section;
+      info.line = def.line;
+      info.col = def.col;
+      info.sig = {def.min_args, def.max_args, section};
+      info.params = def.params;
+      for (const cfg::VarDef& p : def.params) {
+        info.scope.defs.try_emplace(p.name, DefSite{p.line, p.col, section});
       }
-    }
 
-    const sp::Word& head = cmd.words[0];
-    if (!head.literal()) {
-      scope->dynamic = true;  // computed command name: stop judging
-      return;
-    }
-    const std::string name = sp::literal_value(head);
-    const int nargs = static_cast<int>(cmd.words.size()) - 1;
-    uses_.push_back({name, nargs, cmd.line, cmd.col, section});
-
-    auto arg = [&cmd](int i) -> const sp::Word& { return cmd.words[i]; };
-
-    if (name == "set") {
-      if (nargs >= 1) {
-        if (auto base = var_name_base(arg(1).text)) {
-          if (nargs >= 2) {
-            note_def(scope, *base, arg(1), section);
-          } else {
-            scope->reads.push_back(
-                {*base, arg(1).line, arg(1).col, /*required=*/true});
-          }
-        } else if (nargs >= 2) {
-          scope->dynamic = true;  // set $name v / set [..] v
-        }
-      }
-    } else if (name == "incr" || name == "append" || name == "lappend") {
-      if (nargs >= 1) {
-        if (auto base = var_name_base(arg(1).text)) {
-          note_def(scope, *base, arg(1), section);
-        } else {
-          scope->dynamic = true;
-        }
-      }
-    } else if (name == "unset") {
-      for (int i = 1; i <= nargs; ++i) {
-        if (auto base = var_name_base(arg(i).text)) {
-          scope->reads.push_back(
-              {*base, arg(i).line, arg(i).col, /*required=*/false});
-        }
-      }
-    } else if (name == "global") {
-      for (int i = 1; i <= nargs; ++i) {
-        if (auto base = var_name_base(arg(i).text)) {
-          if (in_proc) {
-            scope->globals.insert(*base);
-          }
-        }
-      }
-    } else if (name == "info") {
-      if (nargs == 2 && sp::literal_value(arg(1)) == "exists") {
-        if (auto base = var_name_base(arg(2).text)) {
-          scope->reads.push_back(
-              {*base, arg(2).line, arg(2).col, /*required=*/false});
-        }
-      }
-    } else if (name == "foreach") {
-      if (nargs == 3) {
-        if (auto base = var_name_base(arg(1).text)) {
-          note_def(scope, *base, arg(1), section);
-        }
-        walk_body(arg(3), scope, section, in_proc);
-      }
-    } else if (name == "while") {
-      if (nargs == 2) {
-        handle_condition(arg(1), scope, section, in_proc, &arg(2));
-        walk_body(arg(2), scope, section, in_proc);
-      }
-    } else if (name == "if") {
-      walk_if(cmd, scope, section, in_proc);
-    } else if (name == "for") {
-      if (nargs == 4) {
-        walk_body(arg(1), scope, section, in_proc);
-        handle_condition(arg(2), scope, section, in_proc, nullptr);
-        walk_body(arg(3), scope, section, in_proc);
-        walk_body(arg(4), scope, section, in_proc);
-      }
-    } else if (name == "expr") {
-      for (int i = 1; i <= nargs; ++i) {
-        scan_expr_word(arg(i), scope, section, in_proc);
-      }
-    } else if (name == "catch") {
-      if (nargs >= 1) walk_body(arg(1), scope, section, in_proc);
-      if (nargs >= 2) {
-        if (auto base = var_name_base(arg(2).text)) {
-          note_def(scope, *base, arg(2), section);
-        }
-      }
-    } else if (name == "proc") {
-      if (nargs == 3) walk_proc(cmd, section);
-    } else if (name == "after") {
-      if (nargs >= 2 && arg(2).kind == sp::Word::Kind::kBraced) {
-        walk_body(arg(2), scope, section, in_proc);
-      }
-    } else if (name == "switch") {
-      walk_switch(cmd, scope, section, in_proc);
-    } else if (name == "eval") {
-      scope->dynamic = true;  // arbitrary computed script
-    }
-  }
-
-  void record_word_reads(const sp::Word& w, Scope* scope) {
-    for (const sp::VarRef& ref : w.vars) {
-      scope->reads.push_back(
-          {normalize_read(ref.name), ref.line, ref.col, /*required=*/true});
-    }
-  }
-
-  void note_def(Scope* scope, const std::string& base, const sp::Word& at,
-                const std::string& section) {
-    scope->defs.try_emplace(base, DefSite{at.line, at.col, section});
-  }
-
-  /// A braced (or literal) word used as a script body.
-  void walk_body(const sp::Word& w, Scope* scope, const std::string& section,
-                 bool in_proc) {
-    if (!w.literal()) return;  // computed body: nothing static to say
-    const std::string body =
-        w.kind == sp::Word::Kind::kBraced ? w.text : sp::literal_value(w);
-    const sp::Script script = sp::parse_script(body, w.line, w.col + 1);
-    if (!script.ok()) {
-      diag(Severity::kError, "parse-error", script.error_line,
-           script.error_col, script.error + " (in script body)");
-      return;
-    }
-    walk(script, scope, section, in_proc);
-  }
-
-  /// A braced word holding expression text: record its reads, walk its
-  /// command substitutions. (Bare/quoted expr words were already scanned
-  /// generically by the parser.)
-  void scan_expr_word(const sp::Word& w, Scope* scope,
-                      const std::string& section, bool in_proc) {
-    if (w.kind != sp::Word::Kind::kBraced) return;
-    const sp::ExprScan scan = sp::scan_expr(w.text, w.line, w.col + 1);
-    for (const sp::VarRef& ref : scan.vars) {
-      scope->reads.push_back(
-          {normalize_read(ref.name), ref.line, ref.col, /*required=*/true});
-    }
-    for (const sp::Script& nested : scan.nested) {
-      walk(nested, scope, section, in_proc);
-    }
-  }
-
-  /// An if/while guard: reads + nested commands, then the constant-
-  /// condition / infinite-loop passes. `loop_body` is non-null for while.
-  void handle_condition(const sp::Word& w, Scope* scope,
-                        const std::string& section, bool in_proc,
-                        const sp::Word* loop_body) {
-    scan_expr_word(w, scope, section, in_proc);
-    if (!w.literal()) return;
-    const std::string& text = w.text;
-    const bool has_subst = text.find('$') != std::string::npos ||
-                           text.find('[') != std::string::npos;
-    if (has_subst) {
-      if (loop_body != nullptr) check_loop_bound(w);
-      return;
-    }
-    // Constant guard: fold it with the real expression engine.
-    const script::Result r = folder_.eval_expr(text);
-    if (r.is_error()) {
-      diag(Severity::kError, "bad-expr", w.line, w.col,
-           "condition {" + text + "} fails to evaluate: " + r.value);
-      return;
-    }
-    const bool truthy = script::ExprValue::parse(r.value).truthy();
-    if (loop_body == nullptr) {
-      diag(Severity::kWarning, "constant-condition", w.line, w.col,
-           std::string{"condition is always "} +
-               (truthy ? "true" : "false"));
-      return;
-    }
-    if (!truthy) {
-      diag(Severity::kWarning, "constant-condition", w.line, w.col,
-           "loop condition is always false; the body never runs");
-      return;
-    }
-    if (!body_can_escape(*loop_body)) {
-      diag(Severity::kError, "infinite-loop", w.line, w.col,
-           "loop condition is always true and the body never breaks, "
-           "returns or errors",
-           "the interpreter will abort it at " +
-               std::to_string(opts_.loop_budget) +
-               " iterations; add a break/return or a real guard");
-    }
-  }
-
-  /// `while {$i < 1000000000}`: a literal bound beyond the interpreter's
-  /// iteration budget spins until the watchdog kills the cell.
-  void check_loop_bound(const sp::Word& w) {
-    const std::string& text = w.text;
-    if (text.find('[') != std::string::npos) return;  // bound is computed
-    if (text.find('<') == std::string::npos &&
-        text.find('>') == std::string::npos) {
-      return;
-    }
-    std::uint64_t worst = 0;
-    for (std::size_t i = 0; i < text.size(); ++i) {
-      if (std::isdigit(static_cast<unsigned char>(text[i])) == 0) continue;
-      std::uint64_t v = 0;
-      while (i < text.size() &&
-             std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
-        v = v * 10 + static_cast<std::uint64_t>(text[i] - '0');
-        ++i;
-      }
-      worst = std::max(worst, v);
-    }
-    if (worst > opts_.loop_budget) {
-      diag(Severity::kWarning, "infinite-loop", w.line, w.col,
-           "loop bound " + std::to_string(worst) +
-               " exceeds the interpreter's iteration budget (" +
-               std::to_string(opts_.loop_budget) + ")",
-           "the watchdog will cut this loop short at runtime");
-    }
-  }
-
-  /// True when any (over-approximated) reachable command in the body can
-  /// leave the loop: break, return, error, or crashing the process.
-  bool body_can_escape(const sp::Word& body) {
-    if (!body.literal()) return true;  // computed body: assume it can
-    const sp::Script script = sp::parse_script(
-        body.kind == sp::Word::Kind::kBraced ? body.text
-                                             : sp::literal_value(body));
-    return script.ok() ? script_escapes(script) : true;
-  }
-
-  static bool script_escapes(const sp::Script& script) {
-    for (const sp::Command& cmd : script.commands) {
-      if (!cmd.words.empty() && cmd.words[0].literal()) {
-        const std::string name = sp::literal_value(cmd.words[0]);
-        if (name == "break" || name == "return" || name == "error" ||
-            name == "xCrashProcess") {
-          return true;
-        }
-      }
-      for (const sp::Word& w : cmd.words) {
-        // Over-approximate: treat every brace as potential code (data
-        // braces can only create false "can escape", never a false alarm).
-        if (w.kind == sp::Word::Kind::kBraced) {
-          const sp::Script inner = sp::parse_script(w.text);
-          if (inner.ok() && script_escapes(inner)) return true;
-        }
-        for (const sp::Script& nested : w.nested) {
-          if (script_escapes(nested)) return true;
-        }
-      }
-    }
-    return false;
-  }
-
-  void walk_if(const sp::Command& cmd, Scope* scope,
-               const std::string& section, bool in_proc) {
-    std::size_t i = 1;
-    const std::size_t n = cmd.words.size();
-    while (i < n) {
-      handle_condition(cmd.words[i], scope, section, in_proc, nullptr);
-      ++i;
-      if (i < n && cmd.words[i].literal() &&
-          sp::literal_value(cmd.words[i]) == "then") {
-        ++i;
-      }
-      if (i < n) {
-        walk_body(cmd.words[i], scope, section, in_proc);
-        ++i;
-      }
-      if (i >= n) break;
-      if (!cmd.words[i].literal()) break;
-      const std::string kw = sp::literal_value(cmd.words[i]);
-      if (kw == "elseif") {
-        ++i;
-        continue;
-      }
-      if (kw == "else") {
-        ++i;
-        if (i < n) walk_body(cmd.words[i], scope, section, in_proc);
-      }
-      break;
-    }
-  }
-
-  void walk_switch(const sp::Command& cmd, Scope* scope,
-                   const std::string& section, bool in_proc) {
-    std::size_t i = 1;
-    const std::size_t n = cmd.words.size();
-    while (i < n && cmd.words[i].literal()) {
-      const std::string v = sp::literal_value(cmd.words[i]);
-      if (v == "-exact" || v == "-glob") {
-        ++i;
-      } else {
-        break;
-      }
-    }
-    ++i;  // the subject (generic effects already recorded)
-    if (i >= n) return;
-    if (n - i == 1 && cmd.words[i].kind == sp::Word::Kind::kBraced) {
-      // One braced {pattern body ...} list. Element positions are lost to
-      // parse_list, so bodies are anchored at the list word itself.
-      const auto elems = script::parse_list(cmd.words[i].text);
-      for (std::size_t e = 1; e < elems.size(); e += 2) {
-        if (elems[e] == "-") continue;
+      if (def.body_braced) {
+        // Pre-parse for the v1-shaped error message; build only when ok.
         const sp::Script body =
-            sp::parse_script(elems[e], cmd.words[i].line, cmd.words[i].col);
-        if (body.ok()) walk(body, scope, section, in_proc);
+            sp::parse_script(def.body, def.body_line, def.body_col);
+        if (!body.ok()) {
+          diag(Severity::kError, "parse-error", body.error_line,
+               body.error_col,
+               body.error + " (in proc \"" + def.name + "\")");
+        } else {
+          const std::size_t procs_before = proc_defs_.size();
+          info.unit = cfg::build_unit(def.body, def.body_line, def.body_col,
+                                      "proc " + def.name, diag_fn(),
+                                      &proc_defs_);
+          info.has_unit = true;
+          for (std::size_t p = procs_before; p < proc_defs_.size(); ++p) {
+            proc_sections_.push_back(section);
+          }
+          for (const cfg::CmdUse& u : info.unit.uses) {
+            uses_.push_back({u.name, u.nargs, u.line, u.col, section});
+          }
+          for (const cfg::VarDef& d : cfg::all_defs(info.unit)) {
+            info.scope.defs.try_emplace(d.name,
+                                        DefSite{d.line, d.col, section});
+          }
+          for (const cfg::VarUse& r : cfg::all_reads(info.unit)) {
+            info.scope.reads.push_back({r.name, r.line, r.col, r.required});
+          }
+          info.scope.globals = info.unit.globals;
+          info.scope.dynamic = info.unit.dynamic;
+        }
       }
-      return;
-    }
-    for (std::size_t e = i + 1; e < n; e += 2) {
-      if (cmd.words[e].literal() && sp::literal_value(cmd.words[e]) == "-") {
-        continue;
-      }
-      walk_body(cmd.words[e], scope, section, in_proc);
+      procs_.try_emplace(info.name, info.sig);
+      proc_infos_.push_back(std::move(info));
     }
   }
 
-  void walk_proc(const sp::Command& cmd, const std::string& section) {
-    const sp::Word& name_w = cmd.words[1];
-    const sp::Word& params_w = cmd.words[2];
-    const sp::Word& body_w = cmd.words[3];
-    if (!name_w.literal() || !params_w.literal()) return;
-    const std::string name = sp::literal_value(name_w);
-
-    ProcSig sig;
-    sig.section = section;
-    Scope proc_scope;
-    const auto params = script::parse_list(sp::literal_value(params_w));
-    int required = 0;
-    bool varargs = false;
-    for (std::size_t p = 0; p < params.size(); ++p) {
-      const auto parts = script::parse_list(params[p]);
-      const std::string pname = parts.empty() ? params[p] : parts[0];
-      if (pname == "args" && p + 1 == params.size()) {
-        varargs = true;
-      } else if (parts.size() < 2) {
-        ++required;
+  /// Globals each proc may write (through `global` aliases), closed over
+  /// the call graph. A dynamic proc body (eval / computed names) writes
+  /// the wildcard "*" — callers treat the whole environment as clobbered.
+  void compute_proc_writes() {
+    for (const ProcInfo& p : proc_infos_) {
+      std::set<std::string>& w = proc_writes_[p.name];
+      if (p.scope.dynamic) w.insert("*");
+      for (const auto& [name, site] : p.scope.defs) {
+        if (p.scope.globals.contains(name)) w.insert(name);
       }
-      proc_scope.defs.try_emplace(
-          pname, DefSite{params_w.line, params_w.col, section});
     }
-    // Defaulted params are optional; anything after the first default stays
-    // optional in our builtins too.
-    sig.min_args = required;
-    sig.max_args = varargs ? -1 : static_cast<int>(params.size());
-    procs_.emplace(name, sig);
-
-    if (body_w.kind == sp::Word::Kind::kBraced) {
-      const sp::Script body =
-          sp::parse_script(body_w.text, body_w.line, body_w.col + 1);
-      if (!body.ok()) {
-        diag(Severity::kError, "parse-error", body.error_line, body.error_col,
-             body.error + " (in proc \"" + name + "\")");
-        return;
-      }
-      walk(body, &proc_scope, section, /*in_proc=*/true);
-    }
-    proc_scopes_.push_back(std::move(proc_scope));
-  }
-
-  // -- resolution -----------------------------------------------------------
-
-  void resolve_procs() {
-    for (Scope& p : proc_scopes_) {
-      for (const auto& [name, site] : p.defs) {
-        if (p.globals.contains(name)) {
-          // Writes through a `global` alias define the interp's global.
-          section_scope_by_name(site.section)
-              .defs.try_emplace(name, site);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const ProcInfo& p : proc_infos_) {
+        if (!p.has_unit) continue;
+        std::set<std::string>& w = proc_writes_[p.name];
+        for (const cfg::CmdUse& u : p.unit.uses) {
+          const auto it = proc_writes_.find(u.name);
+          if (it == proc_writes_.end() || it->first == p.name) continue;
+          for (const std::string& n : it->second) {
+            changed = w.insert(n).second || changed;
+          }
         }
       }
-      for (const ReadSite& r : p.reads) {
-        if (p.defs.contains(r.name)) continue;
-        if (p.globals.contains(r.name)) {
-          global_reads_.push_back(r);
-          continue;
-        }
-        if (p.dynamic) continue;
-        if (!r.required) continue;
-        diag(Severity::kError, "undefined-var", r.line, r.col,
-             "\"" + r.name + "\" is read but never set in this proc",
-             "add `global " + r.name + "` or set it first");
-      }
     }
+    // Only keep entries for real procs — a builtin sharing a name with
+    // nothing should not perturb the flow passes.
   }
 
   Scope& section_scope_by_name(const std::string& s) {
     if (s == kSetup) return setup_;
     if (s == kSend) return send_;
     return receive_;
+  }
+
+  const cfg::Unit* section_unit(const char* section) const {
+    for (const SectionUnit& su : units_) {
+      if (su.section == section) return &su.unit;
+    }
+    return nullptr;
+  }
+
+  /// Run the flow-sensitive passes on every unit. Filters see setup's
+  /// definitions (and proc-written globals) as maybe-assigned entry state;
+  /// their own state persists across invocations, so a missed assignment
+  /// is only a first-invocation hazard there (warning, not error).
+  void run_flow() {
+    flow::Env base;
+    base.loop_budget = opts_.loop_budget;
+    base.folder = &folder_;
+    base.proc_writes = &proc_writes_;
+
+    std::set<std::string> setup_defs;
+    const cfg::Unit* setup_u = section_unit(kSetup);
+    bool setup_dynamic = false;
+    if (setup_u != nullptr) {
+      for (const cfg::VarDef& d : cfg::all_defs(*setup_u)) {
+        setup_defs.insert(d.name);
+      }
+      setup_dynamic = setup_u->dynamic;
+    }
+    for (const auto& [proc, writes] : proc_writes_) {
+      for (const std::string& n : writes) {
+        if (n != "*") setup_defs.insert(n);
+      }
+    }
+
+    for (const SectionUnit& su : units_) {
+      flow::Env env = base;
+      if (su.section != kSetup) {
+        env.entry_defs = setup_defs;
+        env.persistent = true;
+        env.check_use_before_def = !setup_dynamic;
+      }
+      flow::analyze(su.unit, env, diag_fn());
+    }
+    for (const ProcInfo& p : proc_infos_) {
+      if (!p.has_unit) continue;
+      flow::Env env = base;
+      for (const cfg::VarDef& d : p.params) env.entry_defs.insert(d.name);
+      flow::analyze(p.unit, env, diag_fn());
+    }
+  }
+
+  // -- resolution (v1 semantics, over unit summaries) ------------------------
+
+  void resolve_procs() {
+    for (const ProcInfo& p : proc_infos_) {
+      for (const auto& [name, site] : p.scope.defs) {
+        if (p.scope.globals.contains(name)) {
+          // Writes through a `global` alias define the interp's global.
+          section_scope_by_name(site.section).defs.try_emplace(name, site);
+        }
+      }
+      for (const ReadSite& r : p.scope.reads) {
+        if (p.scope.defs.contains(r.name)) continue;
+        if (p.scope.globals.contains(r.name)) {
+          global_reads_.push_back(r);
+          continue;
+        }
+        if (p.scope.dynamic) continue;
+        if (!r.required) continue;
+        diag(Severity::kError, "undefined-var", r.line, r.col,
+             "\"" + r.name + "\" is read but never set in this proc",
+             "add `global " + r.name + "` or set it first");
+      }
+    }
   }
 
   void resolve_commands() {
@@ -641,6 +495,20 @@ class Analyzer {
     return best.empty() ? std::string{} : "did you mean \"" + best + "\"?";
   }
 
+  Scope summarize(const char* section) {
+    Scope s;
+    const cfg::Unit* u = section_unit(section);
+    if (u == nullptr) return s;
+    for (const cfg::VarDef& d : cfg::all_defs(*u)) {
+      s.defs.try_emplace(d.name, DefSite{d.line, d.col, section});
+    }
+    for (const cfg::VarUse& r : cfg::all_reads(*u)) {
+      s.reads.push_back({r.name, r.line, r.col, r.required});
+    }
+    s.dynamic = u->dynamic;
+    return s;
+  }
+
   void resolve_reads() {
     // Interpreter visibility: setup is evaluated in both the send and the
     // receive interpreter, then each filter runs in its own. Reads are
@@ -693,9 +561,9 @@ class Analyzer {
     collect(setup_);
     collect(send_);
     collect(receive_);
-    for (const Scope& p : proc_scopes_) {
-      collect(p);
-      for (const std::string& g : p.globals) used.insert(g);
+    for (const ProcInfo& p : proc_infos_) {
+      collect(p.scope);
+      for (const std::string& g : p.scope.globals) used.insert(g);
     }
     for (const ReadSite& r : global_reads_) used.insert(r.name);
 
@@ -716,19 +584,52 @@ class Analyzer {
     }
   }
 
+  /// A proc nothing ever calls. A dynamic scope anywhere could call it
+  /// through a computed name, so the check stands down entirely then.
+  void resolve_unused_procs() {
+    if (setup_.dynamic || send_.dynamic || receive_.dynamic) return;
+    for (const ProcInfo& p : proc_infos_) {
+      if (p.scope.dynamic) return;
+    }
+    std::set<std::string> called;
+    for (const CmdUse& u : uses_) called.insert(u.name);
+    std::set<std::string> reported;
+    for (const ProcInfo& p : proc_infos_) {
+      if (called.contains(p.name)) continue;
+      if (!reported.insert(p.name).second) continue;
+      diag(Severity::kWarning, "unused-proc", p.line, p.col,
+           "proc \"" + p.name + "\" is defined but never called");
+    }
+  }
+
+  // NOTE: `uses_` includes the proc's own body, so a self-recursive proc
+  // counts as called; docs/LINT.md documents the limitation.
+
   const Options& opts_;
   std::string file_;
-  std::set<std::string> allow_;
+  Suppressions* supp_;
   std::vector<Diagnostic>* out_;
+
+  std::vector<SectionUnit> units_;
+  std::vector<cfg::ProcDef> proc_defs_;
+  std::vector<std::string> proc_sections_;  // parallel to proc_defs_
+  std::vector<ProcInfo> proc_infos_;
+  std::map<std::string, std::set<std::string>> proc_writes_;
 
   Scope setup_;
   Scope send_;
   Scope receive_;
-  std::vector<Scope> proc_scopes_;
   std::vector<ReadSite> global_reads_;
   std::map<std::string, ProcSig> procs_;
   std::vector<CmdUse> uses_;
   script::Interp folder_;  // private engine for constant-folding guards
+
+ public:
+  void summarize_sections() {
+    setup_ = summarize(kSetup);
+    send_ = summarize(kSend);
+    receive_ = summarize(kReceive);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -766,22 +667,21 @@ std::string dirname_of(const std::string& path) {
   return slash == std::string::npos ? std::string{} : path.substr(0, slash);
 }
 
-void emit(std::vector<Diagnostic>* out, const std::set<std::string>& allow,
-          Severity sev, const char* rule, const std::string& file, int line,
+void emit(std::vector<Diagnostic>* out, Suppressions* supp, Severity sev,
+          const char* rule, const std::string& file, int line,
           std::string message, std::string hint = {}) {
-  if (allow.contains(rule) || allow.contains("all")) return;
+  if (supp != nullptr && supp->allow(rule, line)) return;
   out->push_back(
       {sev, rule, file, line, 0, std::move(message), std::move(hint)});
 }
 
 void check_schedule_into(const campaign::FaultSchedule& sched,
                          const std::string& protocol,
-                         const std::string& context,
-                         const std::set<std::string>& allow,
+                         const std::string& context, Suppressions* supp,
                          std::vector<Diagnostic>* out) {
   using core::scriptgen::FaultKind;
   if (sched.empty()) {
-    emit(out, allow, Severity::kWarning, "empty-schedule", context, 0,
+    emit(out, supp, Severity::kWarning, "empty-schedule", context, 0,
          "fault schedule has no events; the cell is a plain baseline run");
     return;
   }
@@ -791,26 +691,26 @@ void check_schedule_into(const campaign::FaultSchedule& sched,
     const std::string what = e.summary();
     if (!types.empty() &&
         std::find(types.begin(), types.end(), e.type) == types.end()) {
-      emit(out, allow, Severity::kWarning, "unknown-message-type", context, 0,
+      emit(out, supp, Severity::kWarning, "unknown-message-type", context, 0,
            "message type \"" + e.type + "\" is not produced by the " +
                protocol + " stub; the fault can never fire");
     }
     if (e.occurrence < 1) {
-      emit(out, allow, Severity::kError, "bad-occurrence", context, 0,
+      emit(out, supp, Severity::kError, "bad-occurrence", context, 0,
            "occurrence " + std::to_string(e.occurrence) + " of \"" + e.type +
                "\" can never match (occurrences are 1-based)");
     }
     if (e.kind == FaultKind::kDelay && e.delay <= 0) {
-      emit(out, allow, Severity::kWarning, "no-op-fault", context, 0,
+      emit(out, supp, Severity::kWarning, "no-op-fault", context, 0,
            "delay fault on \"" + e.type + "\" has a non-positive delay");
     }
     if (e.kind == FaultKind::kDuplicate && e.copies < 1) {
-      emit(out, allow, Severity::kWarning, "no-op-fault", context, 0,
+      emit(out, supp, Severity::kWarning, "no-op-fault", context, 0,
            "duplicate fault on \"" + e.type + "\" makes " +
                std::to_string(e.copies) + " copies");
     }
     if (e.kind == FaultKind::kReorder && e.batch < 2) {
-      emit(out, allow, Severity::kWarning, "degenerate-reorder", context, 0,
+      emit(out, supp, Severity::kWarning, "degenerate-reorder", context, 0,
            "reorder window on \"" + e.type + "\" holds fewer than 2 "
            "messages; releasing it reversed is the identity");
     }
@@ -826,7 +726,7 @@ void check_schedule_into(const campaign::FaultSchedule& sched,
                             a.kind != FaultKind::kReorder &&
                             b.kind != FaultKind::kReorder;
       if (same_occ && a.kind == b.kind) {
-        emit(out, allow, Severity::kWarning, "duplicate-event", context, 0,
+        emit(out, supp, Severity::kWarning, "duplicate-event", context, 0,
              "events " + std::to_string(i) + " and " + std::to_string(j) +
                  " are identical (" + a.summary() + ")");
         continue;
@@ -834,7 +734,7 @@ void check_schedule_into(const campaign::FaultSchedule& sched,
       if (same_occ &&
           (a.kind == FaultKind::kDrop || b.kind == FaultKind::kDrop)) {
         const auto& other = a.kind == FaultKind::kDrop ? b : a;
-        emit(out, allow, Severity::kError, "conflicting-faults", context, 0,
+        emit(out, supp, Severity::kError, "conflicting-faults", context, 0,
              "occurrence " + std::to_string(a.occurrence) + " of \"" +
                  a.type + "\" is dropped and also targeted by `" +
                  other.summary() + "`; a dropped message cannot be faulted "
@@ -849,7 +749,7 @@ void check_schedule_into(const campaign::FaultSchedule& sched,
         const auto [a0, a1] = window(a);
         const auto [b0, b1] = window(b);
         if (a0 <= b1 && b0 <= a1) {
-          emit(out, allow, Severity::kError, "overlapping-windows", context, 0,
+          emit(out, supp, Severity::kError, "overlapping-windows", context, 0,
                "reorder windows [" + std::to_string(a0) + "," +
                    std::to_string(a1) + "] and [" + std::to_string(b0) + "," +
                    std::to_string(b1) + "] on \"" + a.type +
@@ -861,7 +761,7 @@ void check_schedule_into(const campaign::FaultSchedule& sched,
         const auto& other = a.kind == FaultKind::kReorder ? b : a;
         const auto [w0, w1] = window(re);
         if (other.occurrence >= w0 && other.occurrence <= w1) {
-          emit(out, allow, Severity::kError, "conflicting-faults", context, 0,
+          emit(out, supp, Severity::kError, "conflicting-faults", context, 0,
                "occurrence " + std::to_string(other.occurrence) + " of \"" +
                    other.type + "\" (" + other.summary() +
                    ") falls inside the reorder hold window [" +
@@ -869,6 +769,12 @@ void check_schedule_into(const campaign::FaultSchedule& sched,
         }
       }
     }
+  }
+
+  // Cross-side shadowing: the interval solver over the schedule's windows.
+  for (const Diagnostic& d : shadowed_faults(sched, context)) {
+    emit(out, supp, d.severity, d.rule.c_str(), d.file, d.line, d.message,
+         d.hint);
   }
 }
 
@@ -882,7 +788,8 @@ std::vector<Diagnostic> check_script(const std::string& contents,
                                      const std::string& file,
                                      const Options& opts) {
   std::vector<Diagnostic> out;
-  Analyzer an{opts, file, collect_suppressions(contents), &out};
+  Suppressions supp = collect_suppressions(contents);
+  Analyzer an{opts, file, &supp, &out};
   const core::ScriptFile sections = core::parse_script_sections(contents);
   if (!sections.setup.empty()) {
     an.analyze_section(sections.setup, sections.setup_line, kSetup);
@@ -893,7 +800,9 @@ std::vector<Diagnostic> check_script(const std::string& contents,
   if (!sections.receive.empty()) {
     an.analyze_section(sections.receive, sections.receive_line, kReceive);
   }
+  an.summarize_sections();
   an.finish();
+  report_unused_suppressions(supp, file, &out);
   sort_diagnostics(&out);
   return out;
 }
@@ -902,7 +811,7 @@ std::vector<Diagnostic> check_schedule(const campaign::FaultSchedule& sched,
                                        const std::string& protocol,
                                        const std::string& context) {
   std::vector<Diagnostic> out;
-  check_schedule_into(sched, protocol, context, {}, &out);
+  check_schedule_into(sched, protocol, context, nullptr, &out);
   sort_diagnostics(&out);
   return out;
 }
@@ -913,11 +822,11 @@ std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
                                    const Options& opts) {
   using core::scriptgen::FaultKind;
   std::vector<Diagnostic> out;
-  const std::set<std::string> allow = collect_suppressions(text);
+  Suppressions supp = collect_suppressions(text);
 
   const auto& oracles = protocol_oracles(spec.protocol);
   if (oracles.empty()) {
-    emit(&out, allow, Severity::kError, "bad-protocol", file,
+    emit(&out, &supp, Severity::kError, "bad-protocol", file,
          line_of_token(text, "protocol"),
          "unknown protocol \"" + spec.protocol + "\"");
   } else if (!spec.oracle.empty() &&
@@ -928,7 +837,7 @@ std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
       if (!known.empty()) known += " | ";
       known += o;
     }
-    emit(&out, allow, Severity::kError, "bad-oracle", file,
+    emit(&out, &supp, Severity::kError, "bad-oracle", file,
          line_of_token(text, "oracle"),
          "oracle \"" + spec.oracle + "\" is not valid for protocol " +
              spec.protocol,
@@ -939,7 +848,7 @@ std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
   for (const std::string& t : spec.types) {
     if (!types.empty() &&
         std::find(types.begin(), types.end(), t) == types.end()) {
-      emit(&out, allow, Severity::kWarning, "unknown-message-type", file,
+      emit(&out, &supp, Severity::kWarning, "unknown-message-type", file,
            line_of_token(text, t),
            "message type \"" + t + "\" is not produced by the " +
                spec.protocol + " stub; its cells can never inject");
@@ -947,7 +856,7 @@ std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
   }
 
   if (spec.duration > 0 && spec.warmup >= spec.duration) {
-    emit(&out, allow, Severity::kError, "empty-fault-window", file,
+    emit(&out, &supp, Severity::kError, "empty-fault-window", file,
          line_of_token(text, "warmup"),
          "faults install after warmup (" +
              std::to_string(sim::to_seconds(spec.warmup)) +
@@ -956,19 +865,19 @@ std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
              "s; no fault can ever fire");
   }
   if (spec.first_occurrence < 1) {
-    emit(&out, allow, Severity::kError, "bad-occurrence", file,
+    emit(&out, &supp, Severity::kError, "bad-occurrence", file,
          line_of_token(text, "first_occurrence"),
          "first_occurrence " + std::to_string(spec.first_occurrence) +
              " can never match (occurrences are 1-based)");
   }
   if (spec.burst < 1) {
-    emit(&out, allow, Severity::kError, "bad-occurrence", file,
+    emit(&out, &supp, Severity::kError, "bad-occurrence", file,
          line_of_token(text, "burst"),
          "burst " + std::to_string(spec.burst) + " plans zero fault events");
   }
   if (spec.nodes < 1 || spec.target_node < 0 ||
       spec.target_node >= spec.nodes) {
-    emit(&out, allow, Severity::kError, "bad-target", file,
+    emit(&out, &supp, Severity::kError, "bad-target", file,
          line_of_token(text, "target_node"),
          "target_node " + std::to_string(spec.target_node) +
              " is outside the cluster (nodes=" + std::to_string(spec.nodes) +
@@ -977,7 +886,7 @@ std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
   if (std::find(spec.faults.begin(), spec.faults.end(), FaultKind::kDelay) !=
           spec.faults.end() &&
       spec.delay <= 0) {
-    emit(&out, allow, Severity::kWarning, "no-op-fault", file,
+    emit(&out, &supp, Severity::kWarning, "no-op-fault", file,
          line_of_token(text, "delay"),
          "delay faults are planned with a non-positive delay");
   }
@@ -992,14 +901,14 @@ std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
       const std::string alt =
           spec_dir.empty() ? s : spec_dir + "/" + s;
       if (!spec_dir.empty() && file_readable(alt)) {
-        emit(&out, allow, Severity::kWarning, "script-path", file,
+        emit(&out, &supp, Severity::kWarning, "script-path", file,
              line_of_token(text, s),
              "script \"" + s + "\" resolves relative to the process working "
              "directory, not the spec file; found it next to the spec",
              "run the campaign from the directory the path expects");
         resolved = alt;
       } else {
-        emit(&out, allow, Severity::kError, "missing-script", file,
+        emit(&out, &supp, Severity::kError, "missing-script", file,
              line_of_token(text, s), "script \"" + s + "\" not found");
         continue;
       }
@@ -1010,6 +919,7 @@ std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
     }
   }
 
+  report_unused_suppressions(supp, file, &out);
   sort_diagnostics(&out);
   return out;
 }
@@ -1031,22 +941,21 @@ std::vector<Diagnostic> check_spec_text(const std::string& text,
 std::vector<Diagnostic> check_cell(const campaign::RunCell& cell,
                                    const Options& opts) {
   std::vector<Diagnostic> out;
-  const std::set<std::string> no_allow;
 
   if (protocol_oracles(cell.protocol).empty()) {
-    emit(&out, no_allow, Severity::kError, "bad-protocol", cell.id, 0,
+    emit(&out, nullptr, Severity::kError, "bad-protocol", cell.id, 0,
          "unknown protocol \"" + cell.protocol + "\"");
   } else if (!cell.oracle.empty()) {
     const auto& oracles = protocol_oracles(cell.protocol);
     if (std::find(oracles.begin(), oracles.end(), cell.oracle) ==
         oracles.end()) {
-      emit(&out, no_allow, Severity::kError, "bad-oracle", cell.id, 0,
+      emit(&out, nullptr, Severity::kError, "bad-oracle", cell.id, 0,
            "oracle \"" + cell.oracle + "\" is not valid for protocol " +
                cell.protocol);
     }
   }
   if (cell.duration > 0 && cell.warmup >= cell.duration) {
-    emit(&out, no_allow, Severity::kError, "empty-fault-window", cell.id, 0,
+    emit(&out, nullptr, Severity::kError, "empty-fault-window", cell.id, 0,
          "faults install after warmup (" +
              std::to_string(sim::to_seconds(cell.warmup)) +
              "s) but the run ends at " +
@@ -1058,11 +967,11 @@ std::vector<Diagnostic> check_cell(const campaign::RunCell& cell,
       auto sub = check_script(*contents, cell.script_file, opts);
       out.insert(out.end(), sub.begin(), sub.end());
     } else {
-      emit(&out, no_allow, Severity::kError, "missing-script", cell.id, 0,
+      emit(&out, nullptr, Severity::kError, "missing-script", cell.id, 0,
            "script \"" + cell.script_file + "\" not found");
     }
   } else {
-    check_schedule_into(cell.schedule, cell.protocol, cell.id, {}, &out);
+    check_schedule_into(cell.schedule, cell.protocol, cell.id, nullptr, &out);
   }
 
   sort_diagnostics(&out);

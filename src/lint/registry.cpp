@@ -149,4 +149,66 @@ const std::vector<std::string>& protocol_oracles(std::string_view protocol) {
   return none;
 }
 
+const std::vector<RuleInfo>& rule_catalog() {
+  // Sorted by id. Script-analysis rules first existed in v1; the
+  // flow-sensitive engine added use-before-def, invariant-loop,
+  // unused-proc and unused-suppression; the schedule canonicalizer added
+  // shadowed-fault.
+  static const std::vector<RuleInfo> rules = {
+      {"bad-arity", "command called with an argument count outside the "
+                    "implementation's bounds"},
+      {"bad-expr", "constant guard expression fails to evaluate"},
+      {"bad-occurrence", "fault occurrence can never match (occurrences are "
+                         "1-based) or plans zero events"},
+      {"bad-oracle", "oracle is not valid for the cell's protocol"},
+      {"bad-protocol", "protocol is unknown to the campaign runner"},
+      {"bad-target", "target node is outside the cluster"},
+      {"conflicting-faults", "two faults claim the same message occurrence "
+                             "(drop vs. other, or inside a reorder window)"},
+      {"constant-condition", "if/while guard folds to a constant on every "
+                             "reaching path"},
+      {"degenerate-reorder", "reorder window holds fewer than 2 messages; "
+                             "releasing it reversed is the identity"},
+      {"duplicate-event", "two schedule events are identical"},
+      {"empty-fault-window", "faults install after the run already ended"},
+      {"empty-schedule", "fault schedule has no events"},
+      {"infinite-loop", "loop can never exit, or runs past the "
+                        "interpreter's iteration budget"},
+      {"invariant-loop", "loop guard reads only variables the body never "
+                         "assigns"},
+      {"missing-script", "referenced script file does not exist"},
+      {"no-op-fault", "fault parameters make the fault do nothing"},
+      {"overlapping-windows", "two reorder hold windows overlap on one "
+                              "message type"},
+      {"parse-error", "script or spec source fails to parse"},
+      {"script-path", "script resolves relative to the process working "
+                      "directory, not the spec file"},
+      {"shadowed-fault", "send-side fault skews the arrival numbering a "
+                         "receive-side occurrence target relies on"},
+      {"undefined-var", "variable is read but never set in any visible "
+                        "scope"},
+      {"unknown-command", "command is neither a builtin, a registered host "
+                          "command, nor a script-defined proc"},
+      {"unknown-message-type", "message type is not produced by the "
+                               "protocol stub"},
+      {"unreachable-code", "command can never execute (the block already "
+                           "returned)"},
+      {"unused-proc", "proc is defined but never called"},
+      {"unused-suppression", "pfi-lint suppression comment matches no "
+                             "diagnostic"},
+      {"unused-var", "variable is set but never read"},
+      {"use-before-def", "an execution path reaches a read before any "
+                         "assignment"},
+  };
+  return rules;
+}
+
+int rule_index(std::string_view rule) {
+  const auto& rules = rule_catalog();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].id == rule) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 }  // namespace pfi::lint

@@ -45,4 +45,18 @@ const std::vector<std::string>& protocol_message_types(
 /// runner.cpp's known_oracle table). Empty for unknown protocols.
 const std::vector<std::string>& protocol_oracles(std::string_view protocol);
 
+/// One lint rule: the stable id suppressions name and a one-line
+/// description. The catalog feeds SARIF tool metadata and docs/LINT.md.
+struct RuleInfo {
+  std::string id;
+  std::string description;
+};
+
+/// Every rule id any pass can emit, sorted by id. tests/lint_test.cpp
+/// asserts the catalog covers exactly what the passes produce.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Index of `rule` in rule_catalog(); -1 when unknown.
+int rule_index(std::string_view rule);
+
 }  // namespace pfi::lint

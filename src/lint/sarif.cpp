@@ -1,0 +1,72 @@
+#include "lint/sarif.hpp"
+
+#include "campaign/json.hpp"
+#include "lint/registry.hpp"
+
+namespace pfi::lint {
+
+std::string diagnostics_sarif(const std::vector<Diagnostic>& diags) {
+  campaign::json::Writer w;
+  w.begin_object();
+  w.kv("$schema",
+       "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+       "Schemata/sarif-schema-2.1.0.json");
+  w.kv("version", "2.1.0");
+  w.key("runs").begin_array();
+  w.begin_object();
+
+  w.key("tool").begin_object();
+  w.key("driver").begin_object();
+  w.kv("name", "pfi_lint");
+  w.kv("version", "2.0.0");
+  w.kv("informationUri", "docs/LINT.md");
+  w.key("rules").begin_array();
+  for (const RuleInfo& r : rule_catalog()) {
+    w.begin_object();
+    w.kv("id", r.id);
+    w.key("shortDescription").begin_object();
+    w.kv("text", r.description);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();  // rules
+  w.end_object();  // driver
+  w.end_object();  // tool
+
+  w.key("results").begin_array();
+  for (const Diagnostic& d : diags) {
+    w.begin_object();
+    w.kv("ruleId", d.rule);
+    const int idx = rule_index(d.rule);
+    if (idx >= 0) w.kv("ruleIndex", idx);
+    w.kv("level", d.severity == Severity::kError ? "error" : "warning");
+    w.key("message").begin_object();
+    w.kv("text",
+         d.hint.empty() ? d.message : d.message + "; hint: " + d.hint);
+    w.end_object();
+    w.key("locations").begin_array();
+    w.begin_object();
+    w.key("physicalLocation").begin_object();
+    w.key("artifactLocation").begin_object();
+    w.kv("uri", d.file.empty() ? std::string{"<script>"} : d.file);
+    w.end_object();
+    if (d.line > 0) {
+      w.key("region").begin_object();
+      w.kv("startLine", d.line);
+      if (d.col > 0) w.kv("startColumn", d.col);
+      w.end_object();
+    }
+    w.end_object();  // physicalLocation
+    w.end_object();  // location
+    w.end_array();   // locations
+    w.end_object();  // result
+  }
+  w.end_array();  // results
+
+  w.end_object();  // run
+  w.end_array();   // runs
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace pfi::lint

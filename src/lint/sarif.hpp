@@ -1,0 +1,24 @@
+// SARIF 2.1.0 serialisation of lint diagnostics.
+//
+// SARIF (Static Analysis Results Interchange Format, OASIS) is what code
+// hosts and editors ingest for inline annotations; `pfi_lint --sarif`
+// emits one run whose tool.driver carries the full rule_catalog() and
+// whose results reference rules by index. Same determinism discipline as
+// diagnostics_json(): sorted input in, byte-stable document out — keys in
+// fixed order, no timestamps, no absolute paths beyond what the caller
+// passed in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+
+namespace pfi::lint {
+
+/// One SARIF 2.1.0 document for a diagnostic list (sorted input expected).
+/// Hints travel in the result message ("...; hint: ..."); diagnostics with
+/// line 0 (file-level findings) carry no region.
+std::string diagnostics_sarif(const std::vector<Diagnostic>& diags);
+
+}  // namespace pfi::lint

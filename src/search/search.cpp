@@ -9,6 +9,7 @@
 #include "campaign/journal.hpp"
 #include "campaign/json.hpp"
 #include "campaign/runner.hpp"
+#include "lint/canonical.hpp"
 #include "lint/lint.hpp"
 #include "obs/coverage.hpp"
 #include "search/jsonv.hpp"
@@ -29,6 +30,15 @@ struct Candidate {
   std::string key;  // campaign::cell_key of its cell (content hash)
   std::string op = "seed";
   int parent = -1;
+  /// lint::canonical_key, kept while this schedule may become the
+  /// representative for its equivalence class (pruning enabled, no
+  /// representative with a record yet).
+  std::string canon;
+  /// Provably equivalent to an already-recorded schedule: answer from
+  /// `rep_key`'s record instead of simulating. The record is never
+  /// re-journaled under this candidate's own key.
+  bool equivalent = false;
+  std::string rep_key;
 };
 
 RunCell template_cell(const campaign::CampaignSpec& spec) {
@@ -118,12 +128,6 @@ Outcome outcome_from_result(const RunResult& r) {
   return o;
 }
 
-void schedule_key_json(const FaultSchedule& s, std::string* out) {
-  campaign::json::Writer w;
-  s.to_json(w);
-  *out = w.str();
-}
-
 }  // namespace
 
 SearchResult explore(const campaign::CampaignSpec& spec,
@@ -177,6 +181,13 @@ SearchResult explore(const campaign::CampaignSpec& spec,
 
   // --- candidate bookkeeping ------------------------------------------------
   std::set<std::string> tried;  // cell keys ever queued (dedup)
+  // canonical_key -> first cell key executed (or journal-answered) for that
+  // equivalence class. Later mutants in the class reuse its record.
+  std::map<std::string, std::string> canon_rep;
+  // Budget charge: real simulations plus equivalence skips. With pruning
+  // off the two runs draw identical mutants and admit identical corpora;
+  // pruning only converts some charges from simulations into skips.
+  auto spent = [&res] { return res.executed + res.equiv_skipped; };
   // Resumed entries keep their stored digest/features; marking their
   // schedules as tried points the engine at new ground instead.
   for (const CorpusEntry& e : res.corpus.entries()) {
@@ -187,7 +198,7 @@ SearchResult explore(const campaign::CampaignSpec& spec,
   auto note_curve = [&] {
     const int digests = static_cast<int>(res.corpus.size());
     if (res.curve.empty() || res.curve.back().digests != digests) {
-      res.curve.push_back({res.executed, digests});
+      res.curve.push_back({spent(), digests});
     }
   };
 
@@ -221,7 +232,7 @@ SearchResult explore(const campaign::CampaignSpec& spec,
     e.schedule = cand.schedule;
     e.digest = o.coverage.digest;
     e.features = obs::coverage_features(o.coverage);
-    e.iteration = res.executed;
+    e.iteration = spent();
     e.parent = cand.parent;
     e.op = cand.op;
     const int idx = res.corpus.admit(std::move(e));
@@ -237,6 +248,7 @@ SearchResult explore(const campaign::CampaignSpec& spec,
     std::vector<RunCell> cells;
     for (const Candidate& cand : gen) {
       if (records.count(cand.key) != 0) continue;
+      if (cand.equivalent) continue;  // answered from rep_key's record
       cells.push_back(cell_for(tmpl, cand.schedule,
                                static_cast<int>(cells.size()), cand.key));
       fresh.push_back(&cand);
@@ -265,17 +277,51 @@ SearchResult explore(const campaign::CampaignSpec& spec,
       fresh_by_key[key] = &results[i];
       ++res.executed;
     }
+    // Charge all equivalence skips before processing (mirroring the
+    // executed count above), so admitted corpus entries carry the same
+    // iteration stamp a non-pruning run would give them.
+    for (const Candidate& cand : gen) {
+      if (cand.equivalent) ++res.equiv_skipped;
+    }
     for (const Candidate& cand : gen) {
       const auto fresh_it = fresh_by_key.find(cand.key);
       if (fresh_it != fresh_by_key.end()) {
+        if (!cand.canon.empty()) canon_rep.try_emplace(cand.canon, cand.key);
         process(cand, outcome_from_result(*fresh_it->second));
+        continue;
+      }
+      if (cand.equivalent) {
+        const auto rep_it = records.find(cand.rep_key);
+        if (rep_it != records.end()) {
+          process(cand, outcome_from_record(rep_it->second));
+        }
         continue;
       }
       const auto rec_it = records.find(cand.key);
       if (rec_it == records.end()) continue;  // skipped by interruption
       // Journaled before this generation ran: a free cache hit. (Keys the
       // generation itself just executed were handled above.)
+      if (!cand.canon.empty()) canon_rep.try_emplace(cand.canon, cand.key);
       process(cand, outcome_from_record(rec_it->second));
+    }
+  };
+
+  /// Annotate a deduped candidate with its equivalence-class fate: either
+  /// it may become the class representative (keep its canonical key) or a
+  /// recorded representative already exists (answer from that record).
+  auto annotate_equivalence = [&](Candidate* cand) {
+    // The canonical key is computed (and the class representative
+    // registered) even with pruning off, so the minimizer's probe cache
+    // resolves equivalences identically in both modes — a requirement for
+    // the byte-identical-report guarantee.
+    cand->canon = lint::canonical_key(cand->schedule, spec.protocol);
+    if (!opts.prune_equivalent) return;
+    if (records.count(cand->key) != 0) return;  // own journal record wins
+    const auto rep = canon_rep.find(cand->canon);
+    if (rep != canon_rep.end() && records.count(rep->second) != 0) {
+      cand->equivalent = true;
+      cand->rep_key = rep->second;
+      cand->canon.clear();
     }
   };
 
@@ -287,6 +333,7 @@ SearchResult explore(const campaign::CampaignSpec& spec,
       cand.key = campaign::cell_key(cell_for(tmpl, s, 0, "seed"));
       if (!tried.insert(cand.key).second) return;
       cand.schedule = std::move(s);
+      annotate_equivalence(&cand);
       if (records.count(cand.key) != 0) ++res.journal_hits;
       seeds.push_back(std::move(cand));
     };
@@ -302,14 +349,14 @@ SearchResult explore(const campaign::CampaignSpec& spec,
   }
 
   // --- the feedback loop ----------------------------------------------------
-  while (res.executed < opts.budget && !stopped()) {
+  while (spent() < opts.budget && !stopped()) {
     if (res.corpus.empty()) {
       res.error = "corpus is empty (every seed run errored); nothing to mutate";
       break;
     }
     ++generation;
     std::vector<Candidate> gen;
-    const int want = std::min(opts.batch, opts.budget - res.executed);
+    const int want = std::min(opts.batch, opts.budget - spent());
     for (int slot = 0; slot < want; ++slot) {
       for (int attempt = 0; attempt < std::max(1, opts.mutation_tries);
            ++attempt) {
@@ -338,6 +385,7 @@ SearchResult explore(const campaign::CampaignSpec& spec,
         cand.schedule = std::move(mutant);
         cand.op = to_string(op);
         cand.parent = static_cast<int>(parent);
+        annotate_equivalence(&cand);
         if (records.count(cand.key) != 0) ++res.journal_hits;
         gen.push_back(std::move(cand));
         break;
@@ -351,6 +399,7 @@ SearchResult explore(const campaign::CampaignSpec& spec,
     run_generation(gen);
     progress("gen " + std::to_string(generation) + ": executed " +
              std::to_string(res.executed) + "/" + std::to_string(opts.budget) +
+             " (+" + std::to_string(res.equiv_skipped) + " equiv-skipped)" +
              ", corpus " + std::to_string(res.corpus.size()) + ", violations " +
              std::to_string(res.violations.size()));
   }
@@ -368,6 +417,15 @@ SearchResult explore(const campaign::CampaignSpec& spec,
     mo.max_runs = opts.minimize_max_runs;
     mo.cache = &records;
     mo.journal = journal.is_open() ? &journal : nullptr;
+    // Probes resolve through the search's equivalence classes, so a subset
+    // whose canonical twin was executed answers from that record. Active in
+    // both pruning modes: annotate_equivalence registers representatives
+    // unconditionally, which keeps probe counters byte-identical.
+    mo.equivalent_key = [&](const campaign::RunCell& c) {
+      const auto rep =
+          canon_rep.find(lint::canonical_key(c.schedule, spec.protocol));
+      return rep != canon_rep.end() ? rep->second : std::string();
+    };
     const campaign::MinimizeResult m =
         campaign::minimize_schedule(cell_for(tmpl, v.schedule, 0, v.id), mo);
     v.minimize_attempted = true;
@@ -395,6 +453,7 @@ std::string report_json(const campaign::CampaignSpec& spec,
   w.kv("batch", opts.batch);
   w.kv("seeded", res.seeded);
   w.kv("executed", res.executed);
+  w.kv("equiv_skipped", res.equiv_skipped);
   w.kv("journal_hits", res.journal_hits);
   w.kv("duplicates", res.duplicates);
   w.kv("lint_skipped", res.lint_skipped);

@@ -43,6 +43,12 @@ struct SearchOptions {
   std::uint64_t seed = 0;
   /// Redraws per generation slot when lint rejects or duplicates collide.
   int mutation_tries = 8;
+  /// Answer mutants whose lint::canonical_key matches an already-executed
+  /// schedule from that representative's record instead of simulating them
+  /// (they still occupy their generation slot and budget charge, so corpus
+  /// evolution and the final violation set are byte-identical to a
+  /// non-pruning run — it just spends fewer real simulations).
+  bool prune_equivalent = true;
   int max_minimize = 8;  // violations minimised per run
   int minimize_max_runs = 256;
 
@@ -86,7 +92,7 @@ struct SearchViolation {
 };
 
 struct CurvePoint {
-  int executed = 0;  // fresh executions spent so far
+  int executed = 0;  // budget spent so far (executions + equivalence skips)
   int digests = 0;   // unique coverage digests discovered by then
 };
 
@@ -94,6 +100,7 @@ struct SearchResult {
   Corpus corpus;
   int seeded = 0;          // corpus entries taken from the planner seeds
   int executed = 0;        // fresh simulations run
+  int equiv_skipped = 0;   // mutants answered from an equivalent's record
   int journal_hits = 0;    // mutants answered from the journal cache
   int duplicates = 0;      // mutants identical to an already-tried schedule
   int lint_skipped = 0;    // mutants rejected by the static pre-screen

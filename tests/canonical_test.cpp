@@ -1,0 +1,293 @@
+// Schedule-canonicalizer tests: idempotence, each commutation/redundancy
+// rewrite and its conservative limits, the soundness property backing the
+// search's equivalence pruning (equal canonical key ⇒ identical live
+// coverage digest, checked against real simulations), and the
+// shadowed-fault interval diagnostics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/schedule.hpp"
+#include "campaign/spec.hpp"
+#include "lint/canonical.hpp"
+#include "search/mutate.hpp"
+#include "search/prng.hpp"
+
+namespace pfi::lint {
+namespace {
+
+using campaign::FaultEvent;
+using campaign::FaultSchedule;
+using core::scriptgen::FaultKind;
+
+FaultEvent ev(std::string type, FaultKind kind, int occ, bool on_send) {
+  FaultEvent e;
+  e.type = std::move(type);
+  e.kind = kind;
+  e.occurrence = occ;
+  e.on_send = on_send;
+  return e;
+}
+
+FaultSchedule sched(std::vector<FaultEvent> events) {
+  FaultSchedule s;
+  s.events = std::move(events);
+  return s;
+}
+
+std::string key(const FaultSchedule& s) { return canonical_key(s, "gmp"); }
+
+// ---- normal form ---------------------------------------------------------
+
+TEST(Canonical, Idempotent) {
+  const std::vector<FaultSchedule> samples = {
+      sched({}),
+      sched({ev("gmp-commit", FaultKind::kDrop, 2, false)}),
+      // Permuted independent events, both sides.
+      sched({ev("gmp-mc", FaultKind::kDelay, 1, false),
+             ev("gmp-heartbeat", FaultKind::kDrop, 2, false),
+             ev("gmp-commit", FaultKind::kDuplicate, 3, true)}),
+      // Redundancy: duplicate drops and a dominated delay.
+      sched({ev("gmp-ack", FaultKind::kDrop, 1, false),
+             ev("gmp-ack", FaultKind::kDrop, 1, false),
+             ev("gmp-ack", FaultKind::kDelay, 1, false)}),
+      // Wildcard mixed with concrete types (frozen side).
+      sched({ev("*", FaultKind::kDrop, 1, false),
+             ev("gmp-mc", FaultKind::kDelay, 2, false)}),
+  };
+  for (const FaultSchedule& s : samples) {
+    const FaultSchedule once = canonicalize(s, "gmp");
+    const FaultSchedule twice = canonicalize(once, "gmp");
+    EXPECT_EQ(key(once), key(s));
+    EXPECT_EQ(twice.events, once.events);
+  }
+}
+
+TEST(Canonical, IndependentEventPermutationsCollide) {
+  const FaultSchedule a = sched({ev("gmp-heartbeat", FaultKind::kDrop, 2, false),
+                                 ev("gmp-mc", FaultKind::kDelay, 1, false),
+                                 ev("gmp-commit", FaultKind::kDuplicate, 3, true)});
+  // Reversed event order: different first-seen type order, different
+  // compiled scripts, same behaviour.
+  FaultSchedule b = a;
+  std::reverse(b.events.begin(), b.events.end());
+  EXPECT_NE(a.compile().receive, b.compile().receive);
+  EXPECT_EQ(key(a), key(b));
+}
+
+TEST(Canonical, UnreadPayloadFieldsAreInvisible) {
+  FaultSchedule a = sched({ev("gmp-mc", FaultKind::kDrop, 1, false)});
+  FaultSchedule b = a;
+  b.events[0].delay = sim::msec(42);
+  b.events[0].copies = 7;
+  b.events[0].batch = 9;
+  EXPECT_EQ(key(a), key(b));
+  // But the field the kind does read distinguishes.
+  FaultSchedule c = sched({ev("gmp-mc", FaultKind::kDelay, 1, false)});
+  FaultSchedule d = c;
+  d.events[0].delay = sim::msec(42);
+  EXPECT_NE(key(c), key(d));
+}
+
+TEST(Canonical, ProvablyDeadEventsAreStripped) {
+  const FaultSchedule base = sched({ev("gmp-mc", FaultKind::kDrop, 1, false)});
+  // A type the gmp stub never produces.
+  FaultSchedule with_foreign = base;
+  with_foreign.events.push_back(ev("tcp-syn", FaultKind::kDelay, 1, false));
+  EXPECT_EQ(key(base), key(with_foreign));
+  // A 1-based counter can never reach occurrence 0.
+  FaultSchedule with_zero = base;
+  with_zero.events.push_back(ev("gmp-ack", FaultKind::kDrop, 0, false));
+  EXPECT_EQ(key(base), key(with_zero));
+  // No-op-looking payloads are NOT provably dead: the filter still
+  // intercepts, and a zero delay still reschedules delivery.
+  FaultSchedule with_zero_delay = base;
+  FaultEvent z = ev("gmp-ack", FaultKind::kDelay, 1, false);
+  z.delay = 0;
+  with_zero_delay.events.push_back(z);
+  EXPECT_NE(key(base), key(with_zero_delay));
+}
+
+// ---- same-slot redundancy (PfiLayer dispatch contract) -------------------
+
+TEST(Canonical, IdenticalDropsCollapse) {
+  const FaultSchedule once = sched({ev("gmp-mc", FaultKind::kDrop, 2, false)});
+  const FaultSchedule twice = sched({ev("gmp-mc", FaultKind::kDrop, 2, false),
+                                     ev("gmp-mc", FaultKind::kDrop, 2, false)});
+  EXPECT_EQ(key(once), key(twice));
+  EXPECT_EQ(canonicalize(twice, "gmp").events.size(), 1u);
+}
+
+TEST(Canonical, DropDominatesSameSlotDelayAndDuplicate) {
+  const FaultSchedule drop = sched({ev("gmp-mc", FaultKind::kDrop, 2, false)});
+  EXPECT_EQ(key(drop), key(sched({ev("gmp-mc", FaultKind::kDelay, 2, false),
+                                  ev("gmp-mc", FaultKind::kDrop, 2, false)})));
+  EXPECT_EQ(key(drop),
+            key(sched({ev("gmp-mc", FaultKind::kDrop, 2, false),
+                       ev("gmp-mc", FaultKind::kDuplicate, 2, false)})));
+  // A different occurrence is a different message: nothing collapses.
+  EXPECT_NE(key(drop), key(sched({ev("gmp-mc", FaultKind::kDrop, 2, false),
+                                  ev("gmp-mc", FaultKind::kDelay, 3, false)})));
+}
+
+TEST(Canonical, LastSameKindWriteWins) {
+  FaultEvent d100 = ev("gmp-mc", FaultKind::kDelay, 1, false);
+  d100.delay = sim::msec(100);
+  FaultEvent d200 = d100;
+  d200.delay = sim::msec(200);
+  EXPECT_EQ(key(sched({d100, d200})), key(sched({d200})));
+  EXPECT_NE(key(sched({d100, d200})), key(sched({d100})));
+  FaultEvent c2 = ev("gmp-mc", FaultKind::kDuplicate, 1, false);
+  c2.copies = 2;
+  FaultEvent c3 = c2;
+  c3.copies = 3;
+  EXPECT_EQ(key(sched({c2, c3})), key(sched({c3})));
+}
+
+TEST(Canonical, CorruptAndReorderAreExempt) {
+  // A masked corrupt still consumes dst_uniform randomness; a hold queue
+  // preempts the dropped flag. Neither may be stripped or deduped.
+  const FaultSchedule drop = sched({ev("gmp-mc", FaultKind::kDrop, 2, false)});
+  FaultSchedule with_corrupt = drop;
+  with_corrupt.events.push_back(ev("gmp-mc", FaultKind::kCorrupt, 2, false));
+  EXPECT_NE(key(drop), key(with_corrupt));
+  FaultSchedule with_reorder = drop;
+  with_reorder.events.push_back(ev("gmp-mc", FaultKind::kReorder, 2, false));
+  EXPECT_NE(key(drop), key(with_reorder));
+  EXPECT_EQ(canonicalize(with_reorder, "gmp").events.size(), 2u);
+}
+
+TEST(Canonical, RedundancyIsPerSideAndPerCounter) {
+  // Opposite sides are separate filter scripts.
+  const FaultSchedule cross = sched({ev("gmp-mc", FaultKind::kDrop, 2, true),
+                                     ev("gmp-mc", FaultKind::kDelay, 2, false)});
+  EXPECT_EQ(canonicalize(cross, "gmp").events.size(), 2u);
+  // The wildcard counter is its own stream: drop *#2 and delay gmp-mc#2
+  // may hit different messages.
+  const FaultSchedule star_vs_concrete =
+      sched({ev("*", FaultKind::kDrop, 2, false),
+             ev("gmp-mc", FaultKind::kDelay, 2, false)});
+  EXPECT_EQ(canonicalize(star_vs_concrete, "gmp").events.size(), 2u);
+  // But two wildcard events share the "*" counter and collapse.
+  const FaultSchedule star_pair = sched({ev("*", FaultKind::kDrop, 2, false),
+                                         ev("*", FaultKind::kDelay, 2, false)});
+  EXPECT_EQ(canonicalize(star_pair, "gmp").events.size(), 1u);
+}
+
+TEST(Canonical, NonCommutingOrdersStayDistinct) {
+  // Two corrupts on one slot run in block order and each draws randomness:
+  // the orders are behaviourally distinct and must not collide.
+  FaultEvent c0 = ev("gmp-mc", FaultKind::kCorrupt, 1, false);
+  c0.corrupt_offset = 0;
+  FaultEvent c4 = c0;
+  c4.corrupt_offset = 4;
+  EXPECT_NE(key(sched({c0, c4})), key(sched({c4, c0})));
+  // Disjoint occurrences commute and are sorted into one form.
+  FaultEvent c0_at2 = c0;
+  c0_at2.occurrence = 2;
+  EXPECT_EQ(key(sched({c0_at2, c4})), key(sched({c4, c0_at2})));
+  // A side mixing "*" with concrete types is frozen in source order.
+  const FaultSchedule mixed_a = sched({ev("*", FaultKind::kDrop, 1, false),
+                                       ev("gmp-mc", FaultKind::kDelay, 2, false)});
+  const FaultSchedule mixed_b = sched({ev("gmp-mc", FaultKind::kDelay, 2, false),
+                                       ev("*", FaultKind::kDrop, 1, false)});
+  EXPECT_NE(key(mixed_a), key(mixed_b));
+}
+
+// ---- soundness against live execution ------------------------------------
+
+campaign::RunCell cell_for(const FaultSchedule& s, const std::string& id) {
+  campaign::RunCell cell;
+  cell.id = "canon/" + id;
+  cell.protocol = "gmp";
+  cell.oracle = "quiet";
+  cell.schedule = s;
+  cell.seed = 1000;
+  cell.warmup = 0;
+  cell.duration = sim::sec(30);
+  return cell;
+}
+
+/// The property the search's pruning rests on: canonicalize() is the
+/// equivalence witness, so a schedule and its canonical form must drive
+/// byte-identical observable behaviour in a real simulation.
+TEST(Canonical, EqualKeyImpliesIdenticalLiveCoverageDigest) {
+  // Handcrafted pairs exercising every rewrite...
+  std::vector<FaultSchedule> samples = {
+      sched({ev("gmp-mc", FaultKind::kDelay, 1, false),
+             ev("gmp-heartbeat", FaultKind::kDrop, 2, false),
+             ev("gmp-commit", FaultKind::kDuplicate, 3, true)}),
+      sched({ev("gmp-mc", FaultKind::kDrop, 1, false),
+             ev("gmp-mc", FaultKind::kDrop, 1, false),
+             ev("gmp-mc", FaultKind::kDelay, 1, false),
+             ev("gmp-proclaim", FaultKind::kDrop, 2, false)}),
+  };
+  // ...plus random schedules drawn from the mutation pools.
+  const search::MutationPools pools =
+      search::pools_for({"gmp-heartbeat", "gmp-mc", "gmp-proclaim"}, "gmp");
+  search::SplitMix64 rng(0xc0ffee);
+  for (int i = 0; i < 4; ++i) {
+    FaultSchedule s;
+    const int n = 1 + static_cast<int>(rng.below(4));
+    for (int j = 0; j < n; ++j) {
+      s.events.push_back(search::random_event(pools, rng));
+    }
+    samples.push_back(std::move(s));
+  }
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const FaultSchedule& s = samples[i];
+    const FaultSchedule canon = canonicalize(s, "gmp");
+    ASSERT_EQ(key(s), canonical_key(canon, "gmp"));
+    const campaign::RunResult raw =
+        campaign::run_cell(cell_for(s, "raw" + std::to_string(i)));
+    const campaign::RunResult normal =
+        campaign::run_cell(cell_for(canon, "canon" + std::to_string(i)));
+    EXPECT_EQ(raw.coverage.digest, normal.coverage.digest)
+        << "schedule " << i << ": " << s.summary() << "  vs  "
+        << canon.summary();
+    EXPECT_EQ(raw.pass, normal.pass) << "schedule " << i;
+    EXPECT_EQ(raw.reason, normal.reason) << "schedule " << i;
+  }
+}
+
+// ---- shadowed-fault diagnostics ------------------------------------------
+
+TEST(Canonical, ShadowedFaultDiagnostics) {
+  // Cross-side: a send drop renumbers later receive occurrences.
+  const auto drop_shadow =
+      shadowed_faults(sched({ev("gmp-mc", FaultKind::kDrop, 1, true),
+                             ev("gmp-mc", FaultKind::kDelay, 3, false)}),
+                      "unit");
+  ASSERT_EQ(drop_shadow.size(), 1u);
+  EXPECT_EQ(drop_shadow[0].rule, "shadowed-fault");
+  EXPECT_NE(drop_shadow[0].message.find("never arrives"), std::string::npos);
+
+  // Cross-side: a receive occurrence inside a send reorder window.
+  const auto reorder_shadow =
+      shadowed_faults(sched({ev("gmp-mc", FaultKind::kReorder, 2, true),
+                             ev("gmp-mc", FaultKind::kDelay, 3, false)}),
+                      "unit");
+  ASSERT_EQ(reorder_shadow.size(), 1u);
+  EXPECT_NE(reorder_shadow[0].message.find("reorder window"),
+            std::string::npos);
+
+  // Same-side: a drop makes a same-slot delay dead.
+  const auto dead =
+      shadowed_faults(sched({ev("gmp-mc", FaultKind::kDrop, 2, false),
+                             ev("gmp-mc", FaultKind::kDelay, 2, false)}),
+                      "unit");
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_NE(dead[0].message.find("is dead"), std::string::npos);
+
+  // Receive-before-the-drop occurrences are unaffected.
+  EXPECT_TRUE(shadowed_faults(sched({ev("gmp-mc", FaultKind::kDrop, 3, true),
+                                     ev("gmp-mc", FaultKind::kDelay, 1, false)}),
+                              "unit")
+                  .empty());
+}
+
+}  // namespace
+}  // namespace pfi::lint

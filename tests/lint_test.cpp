@@ -16,6 +16,7 @@
 #include "campaign/spec.hpp"
 #include "lint/lint.hpp"
 #include "lint/registry.hpp"
+#include "lint/sarif.hpp"
 #include "pfi/pfi_layer.hpp"
 #include "pfi/scripted_driver.hpp"
 #include "pfi/stub.hpp"
@@ -181,8 +182,17 @@ TEST(LintScript, ConstantCondition) {
   const auto* d = find_rule(diags, "constant-condition");
   ASSERT_NE(d, nullptr);
   EXPECT_EQ(d->severity, Severity::kWarning);
-  EXPECT_TRUE(
-      check_script("set a 1\nif {$a > 0} { msg_log hit }\n").empty());
+  // v2: constants propagate through variables, so the guard folds with
+  // a = 1 (v1 only folded variable-free expressions).
+  const auto folded =
+      check_script("set a 1\nif {$a > 0} { msg_log hit }\n");
+  const auto* f = find_rule(folded, "constant-condition");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->hint.find("a = 1"), std::string::npos);
+  // A guard fed by runtime input still folds nowhere.
+  EXPECT_TRUE(check_script("#%receive\nset t [msg_type cur_msg]\n"
+                           "if {$t eq \"gmp-ack\"} { msg_log hit }\n")
+                  .empty());
 }
 
 TEST(LintScript, BadExpr) {
@@ -228,6 +238,154 @@ TEST(LintScript, SuppressionComment) {
       "unused-var"));
   EXPECT_TRUE(check_script("# pfi-lint: allow all\nbogus_cmd $nope\n")
                   .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Flow-sensitive passes (the v2 dataflow engine)
+// ---------------------------------------------------------------------------
+
+// The defect class the v1 flow-insensitive analyzer provably cannot flag: a
+// variable that IS defined somewhere in the scope (so the def/use sets
+// intersect cleanly) but not on every path reaching the use.
+TEST(LintFlow, PathSpecificUseBeforeDef) {
+  const auto diags = check_script(
+      "#%receive\n"
+      "set t [msg_type cur_msg]\n"
+      "if {$t eq \"gmp-ack\"} { set x 1 }\n"
+      "msg_log $x\n");
+  const Diagnostic* d = find_rule(diags, "use-before-def");
+  ASSERT_NE(d, nullptr);
+  // Filter scopes persist across invocations, so a path-specific gap is a
+  // warning (a previous message may have taken the assigning branch)...
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  // ...and the hint names the branch that leaves the variable unassigned.
+  EXPECT_NE(d->hint.find("line 3"), std::string::npos) << d->hint;
+
+  // Both branches assign: definitely assigned, no diagnostic.
+  EXPECT_FALSE(has_rule(
+      check_script("#%receive\n"
+                   "set t [msg_type cur_msg]\n"
+                   "if {$t eq \"gmp-ack\"} { set x 1 } else { set x 2 }\n"
+                   "msg_log $x\n"),
+      "use-before-def"));
+}
+
+TEST(LintFlow, StraightLineUseBeforeDefInSetup) {
+  // v1 sees `x` in the scope's def set and stays silent; the CFG knows the
+  // use executes first. Setup runs exactly once, so this is an error.
+  const auto diags = check_script("#%setup\nmsg_log $x\nset x 1\n");
+  const Diagnostic* d = find_rule(diags, "use-before-def");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->hint.find("line 3"), std::string::npos) << d->hint;
+}
+
+TEST(LintFlow, ZeroIterationLoopPath) {
+  // The loop body may never run; a use after the loop is path-specific.
+  EXPECT_TRUE(has_rule(
+      check_script("#%receive\n"
+                   "while {[msg_type cur_msg] eq \"gmp-ack\"} { set n 1 }\n"
+                   "msg_log $n\n"),
+      "use-before-def"));
+}
+
+TEST(LintFlow, InfoExistsChecksArePresenceAware) {
+  // Guarding with `info exists` is the idiomatic "first invocation" check;
+  // the engine must not flag the guarded use.
+  EXPECT_FALSE(has_rule(
+      check_script("#%receive\n"
+                   "if {[info exists seen]} { msg_log $seen }\n"
+                   "set seen 1\n"),
+      "use-before-def"));
+}
+
+TEST(LintFlow, ConstantGuardMakesLoopInfinite) {
+  // v1's literal scan only catches `while {1}`; constant propagation folds
+  // the variable guard to the same verdict.
+  const auto diags =
+      check_script("#%setup\nset go 1\nwhile {$go} { msg_log tick }\n");
+  EXPECT_TRUE(has_rule(diags, "infinite-loop"));
+  // A body that clears the flag exits: no diagnostic.
+  EXPECT_FALSE(has_rule(
+      check_script("#%setup\nset go 1\nwhile {$go} { set go 0 }\n"),
+      "infinite-loop"));
+}
+
+TEST(LintFlow, InvariantLoopGuard) {
+  // Non-constant guard, but nothing in the body can change it.
+  EXPECT_TRUE(has_rule(
+      check_script("#%receive\n"
+                   "set t [msg_type cur_msg]\n"
+                   "while {$t eq \"gmp-ack\"} { msg_log spin }\n"),
+      "invariant-loop"));
+  EXPECT_FALSE(has_rule(
+      check_script("#%receive\n"
+                   "set n 3\n"
+                   "while {$n > 0} { incr n -1 }\n"),
+      "invariant-loop"));
+}
+
+TEST(LintFlow, IntervalAnalysisBoundsLoopTripCount) {
+  // Init/step/bound are all known: the trip count is computable and
+  // exceeds the interpreter's iteration budget.
+  const auto diags = check_script(
+      "#%setup\nset i 0\nwhile {$i < 20000000} { incr i }\n");
+  const Diagnostic* d = find_rule(diags, "infinite-loop");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("iteration budget"), std::string::npos)
+      << d->message;
+  // The same shape under the budget is fine.
+  EXPECT_FALSE(has_rule(
+      check_script("#%setup\nset i 0\nwhile {$i < 200} { incr i }\n"),
+      "infinite-loop"));
+}
+
+TEST(LintFlow, UnusedProc) {
+  EXPECT_TRUE(has_rule(
+      check_script("#%setup\nproc helper {} { msg_log hi }\n"),
+      "unused-proc"));
+  EXPECT_FALSE(has_rule(
+      check_script("#%setup\nproc helper {} { msg_log hi }\nhelper\n"),
+      "unused-proc"));
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions v2: per-line adjacency, allow-file, unused-suppression
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppress, AllowCoversOnlyTheNextLine) {
+  const auto diags = check_script(
+      "# pfi-lint: allow unused-var\n"
+      "set x 1\n"
+      "set y 2\n");
+  EXPECT_FALSE(std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.rule == "unused-var" && d.message.find("\"x\"") != std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.rule == "unused-var" && d.message.find("\"y\"") != std::string::npos;
+  }));
+}
+
+TEST(LintSuppress, AllowFileCoversTheWholeFile) {
+  const auto diags = check_script(
+      "# pfi-lint: allow-file unused-var\n"
+      "set x 1\n"
+      "set y 2\n");
+  EXPECT_FALSE(has_rule(diags, "unused-var"));
+}
+
+TEST(LintSuppress, UnusedSuppressionIsDiagnosed) {
+  const auto diags = check_script(
+      "# pfi-lint: allow infinite-loop\n"
+      "set x 1\n"
+      "msg_log $x\n");
+  const Diagnostic* d = find_rule(diags, "unused-suppression");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("infinite-loop"), std::string::npos);
+  // A suppression that fires is not reported.
+  EXPECT_FALSE(has_rule(
+      check_script("# pfi-lint: allow unused-var\nset x 1\n"),
+      "unused-suppression"));
 }
 
 // ---------------------------------------------------------------------------
@@ -481,6 +639,58 @@ TEST(LintJson, SortedByPosition) {
   for (std::size_t i = 1; i < diags.size(); ++i) {
     EXPECT_LE(diags[i - 1].line, diags[i].line) << i;
   }
+}
+
+// Same-position diagnostics sort by rule id (then message, severity, hint):
+// the comparator is a total order, so --json output cannot depend on pass
+// execution order when multiple passes fire on one token.
+TEST(LintJson, SamePositionDiagnosticsSortByRule) {
+  auto mk = [](std::string rule, std::string msg) {
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.rule = std::move(rule);
+    d.file = "t.tcl";
+    d.line = 4;
+    d.col = 2;
+    d.message = std::move(msg);
+    return d;
+  };
+  std::vector<Diagnostic> diags = {mk("unused-var", "b"), mk("bad-arity", "a"),
+                                   mk("constant-condition", "c"),
+                                   mk("bad-arity", "a")};
+  sort_diagnostics(&diags);
+  const std::vector<std::string> want = {"bad-arity", "bad-arity",
+                                         "constant-condition", "unused-var"};
+  EXPECT_EQ(rules_of(diags), want);
+  // Idempotent under re-sort: a total order has one fixed point.
+  std::vector<Diagnostic> again = diags;
+  std::reverse(again.begin(), again.end());
+  sort_diagnostics(&again);
+  EXPECT_EQ(rules_of(again), want);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 output
+// ---------------------------------------------------------------------------
+
+TEST(LintSarif, StructuredReport) {
+  const auto diags = check_script("msg_log $late\nbogus_cmd\n", "t.tcl");
+  ASSERT_FALSE(diags.empty());
+  const std::string doc = diagnostics_sarif(diags);
+  EXPECT_NE(doc.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("sarif-schema-2.1.0"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"pfi_lint\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ruleId\":\"undefined-var\""), std::string::npos);
+  EXPECT_NE(doc.find("\"uri\":\"t.tcl\""), std::string::npos);
+  EXPECT_NE(doc.find("\"startLine\":1"), std::string::npos);
+  // Every result's ruleIndex points into the embedded rule catalog.
+  EXPECT_NE(doc.find("\"ruleIndex\":"), std::string::npos);
+  for (const auto& info : rule_catalog()) {
+    EXPECT_FALSE(info.description.empty()) << info.id;
+  }
+  // An empty diagnostic list is still a valid single-run log.
+  const std::string empty_doc = diagnostics_sarif({});
+  EXPECT_NE(empty_doc.find("\"results\":[]"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

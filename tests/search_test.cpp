@@ -305,7 +305,9 @@ TEST(SearchExplore, ByteIdenticalAcrossJobsAndIsolation) {
   o1.jobs = 1;
   const SearchResult r1 = explore(spec, o1);
   ASSERT_TRUE(r1.error.empty()) << r1.error;
-  EXPECT_EQ(r1.executed, 16);
+  // The budget charges executions plus equivalence skips; mutants answered
+  // from a canonical twin's record spend their slot without a simulation.
+  EXPECT_EQ(r1.executed + r1.equiv_skipped, 16);
 
   SearchOptions o8 = base_opts(16, 99);
   o8.jobs = 8;
@@ -322,6 +324,48 @@ TEST(SearchExplore, ByteIdenticalAcrossJobsAndIsolation) {
   EXPECT_EQ(violations_json(spec, o1, r1), violations_json(spec, oi, ri));
   // Sanity: the run discovered something beyond the seeds.
   EXPECT_GT(r1.corpus.size(), static_cast<std::size_t>(r1.seeded));
+}
+
+// Equivalence pruning (lint::canonical_key) must be pure throughput: a
+// pruning run spends part of its budget answering mutants from their
+// canonical twin's record, and everything observable — corpus evolution,
+// the coverage curve, the violation set, even the minimizer's probe
+// counters — is byte-identical to a run that simulates every mutant.
+TEST(SearchExplore, EquivalencePruningPreservesTheReport) {
+  const auto spec = small_gmp_spec();
+
+  SearchOptions on = base_opts(16, 99);
+  const SearchResult ron = explore(spec, on);
+  ASSERT_TRUE(ron.error.empty()) << ron.error;
+
+  SearchOptions off = base_opts(16, 99);
+  off.prune_equivalent = false;
+  const SearchResult roff = explore(spec, off);
+  ASSERT_TRUE(roff.error.empty()) << roff.error;
+
+  // The pruning run avoided at least one real simulation.
+  EXPECT_GT(ron.equiv_skipped, 0);
+  EXPECT_EQ(roff.equiv_skipped, 0);
+  EXPECT_EQ(ron.executed + ron.equiv_skipped, roff.executed);
+
+  EXPECT_EQ(ron.corpus.to_jsonl(), roff.corpus.to_jsonl());
+  ASSERT_EQ(ron.curve.size(), roff.curve.size());
+  for (std::size_t i = 0; i < ron.curve.size(); ++i) {
+    EXPECT_EQ(ron.curve[i].executed, roff.curve[i].executed);
+    EXPECT_EQ(ron.curve[i].digests, roff.curve[i].digests);
+  }
+  ASSERT_EQ(ron.violations.size(), roff.violations.size());
+  for (std::size_t i = 0; i < ron.violations.size(); ++i) {
+    const SearchViolation& a = ron.violations[i];
+    const SearchViolation& b = roff.violations[i];
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.reason, b.reason);
+    EXPECT_EQ(schedule_json(a.schedule), schedule_json(b.schedule));
+    EXPECT_EQ(schedule_json(a.minimized), schedule_json(b.minimized));
+    EXPECT_EQ(a.probe_runs, b.probe_runs);
+    EXPECT_EQ(a.probe_cache_hits, b.probe_cache_hits);
+  }
+  EXPECT_EQ(ron.minimize_runs, roff.minimize_runs);
 }
 
 // The reason the subsystem exists: at the same cell budget the search must
@@ -420,6 +464,30 @@ TEST(SearchGolden, FixedSeedRediscoversGoldenDigests) {
   for (const auto& d : golden) {
     EXPECT_TRUE(found.count(d) != 0) << "golden digest lost: " << d;
   }
+}
+
+// Golden equivalence-pruning counts on the shipped GMP spec: the canonical
+// classes a fixed-seed search collapses are as deterministic as the corpus
+// itself. If a canonicalizer change moves these numbers, re-run
+//   pfi_search scripts/campaign_gmp_omission.spec --budget 96 --seed 7
+// and confirm the violation set still matches a --no-prune run before
+// updating them.
+TEST(SearchGolden, ShippedSpecGoldenEquivSkipped) {
+  std::string err;
+  const auto spec = campaign::load_spec_file(
+      PFI_SCRIPTS_DIR "/campaign_gmp_omission.spec", &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+
+  SearchOptions o;
+  o.budget = 96;
+  o.batch = 16;
+  o.seed = 7;
+  o.jobs = 4;
+  const SearchResult r = explore(*spec, o);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.equiv_skipped, 1);
+  EXPECT_EQ(r.executed, 95);
+  EXPECT_EQ(r.executed + r.equiv_skipped, o.budget);
 }
 
 }  // namespace
