@@ -44,6 +44,7 @@
 #include "campaign/minimize.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "campaign/suite.hpp"
 #include "fabric/coordinator.hpp"
 #include "fabric/socket.hpp"
 #include "fabric/wire.hpp"
@@ -67,6 +68,7 @@ extern "C" void handle_sigint(int) {
 
 struct Args {
   std::string spec_path;
+  std::string suite;        // conformance-suite directory (replaces the spec)
   std::string filter;
   std::string out;          // empty = stdout
   std::string journal;      // empty = <spec>.journal when journaling
@@ -104,7 +106,12 @@ struct Args {
 int usage(int code) {
   std::printf(
       "usage: pfi_campaign <spec-file> [options]\n"
+      "       pfi_campaign --suite DIR [options]\n"
       "  --jobs N          worker threads / child processes (default 1)\n"
+      "  --suite DIR       run DIR's *.pdt conformance timelines instead of\n"
+      "                    a spec: each timeline x each vendor TcpProfile is\n"
+      "                    one cell under the `conformance` oracle\n"
+      "                    (docs/CONFORMANCE.md)\n"
       "  --filter SUBSTR   run only cells whose id contains SUBSTR\n"
       "  --timeout-ms N    per-cell wall-clock budget; overruns become\n"
       "                    deterministic `timeout` error records\n"
@@ -216,6 +223,8 @@ int main(int argc, char** argv) {
     };
     if (a == "--jobs") {
       args.jobs = std::atoi(next());
+    } else if (a == "--suite") {
+      args.suite = next();
     } else if (a == "--filter") {
       args.filter = next();
     } else if (a == "--timeout-ms") {
@@ -380,13 +389,26 @@ int main(int argc, char** argv) {
   }
 
   if (!positionals.empty()) args.spec_path = positionals.front();
-  if (args.spec_path.empty()) return usage(2);
+  if (args.spec_path.empty() && args.suite.empty()) return usage(2);
+  if (!args.suite.empty() &&
+      (!args.spec_path.empty() || !args.submit.empty() || args.explore > 0)) {
+    std::fprintf(stderr,
+                 "error: --suite replaces the spec and runs locally; it "
+                 "combines with neither a spec file, --submit nor "
+                 "--explore\n");
+    return 2;
+  }
 
   std::string err;
-  auto spec = load_spec_file(args.spec_path, &err);
-  if (!spec) {
-    std::fprintf(stderr, "error: %s\n", err.c_str());
-    return 2;
+  std::optional<CampaignSpec> spec;
+  if (!args.suite.empty()) {
+    spec = suite_spec(args.suite);
+  } else {
+    spec = load_spec_file(args.spec_path, &err);
+    if (!spec) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 2;
+    }
   }
   // CLI overrides win over the spec's own resilience knobs.
   if (args.timeout_ms >= 0) spec->timeout_ms = args.timeout_ms;
@@ -629,7 +651,18 @@ int main(int argc, char** argv) {
     return sres.violations.empty() ? 0 : 1;
   }
 
-  const auto cells = filter_cells(plan(*spec), args.filter);
+  std::vector<RunCell> planned;
+  if (!args.suite.empty()) {
+    auto suite_cells = plan_suite(args.suite, &err);
+    if (!suite_cells) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 2;
+    }
+    planned = std::move(*suite_cells);
+  } else {
+    planned = plan(*spec);
+  }
+  const auto cells = filter_cells(std::move(planned), args.filter);
   if (args.list) {
     for (const auto& c : cells) std::printf("%s\n", c.id.c_str());
     return 0;
@@ -642,7 +675,9 @@ int main(int argc, char** argv) {
   // ---- journal: content keys, prior records, the todo subset --------------
   const bool journaling = args.resume || !args.journal.empty();
   const std::string journal_path =
-      args.journal.empty() ? args.spec_path + ".journal" : args.journal;
+      !args.journal.empty()
+          ? args.journal
+          : (args.suite.empty() ? args.spec_path : args.suite) + ".journal";
   std::vector<std::string> keys;
   std::map<std::string, std::string> prior;
   if (journaling) {
@@ -704,7 +739,7 @@ int main(int argc, char** argv) {
         }
         continue;
       }
-      if (cells[i].script_file.empty()) {
+      if (cells[i].script_file.empty() && cells[i].conform_file.empty()) {
         equiv_groups[equiv_group_key(cells[i])].push_back(cells[i].id);
       }
     }

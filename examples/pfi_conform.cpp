@@ -1,0 +1,182 @@
+// pfi_conform — compile and run one declarative conformance timeline.
+//
+//   $ ./pfi_conform ../suites/tcp/t1_retransmission.pdt
+//   $ ./pfi_conform timeline.pdt --vendor solaris
+//   $ ./pfi_conform timeline.pdt --emit        # show the compiled scripts
+//   $ ./pfi_conform timeline.pdt --lint-only   # static checks, no run
+//
+// A .pdt timeline (docs/CONFORMANCE.md) is a packetdrill-style script of
+// `inject` / `expect` / `expect-no` steps. This tool compiles it to PFI
+// filter scripts, runs it against each requested vendor TcpProfile via the
+// campaign runner (so records match `pfi_campaign --suite` byte for byte),
+// and prints a per-step pass/fail table with the first divergence.
+//
+// Exit status: 0 every vendor conforms, 1 any step diverged (or a run
+// errored), 2 usage / parse / lint error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/json.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/suite.hpp"
+#include "conformance/conformance.hpp"
+#include "lint/lint.hpp"
+
+namespace {
+
+int usage(int code) {
+  std::printf(
+      "usage: pfi_conform <timeline.pdt> [options]\n"
+      "  --vendor NAME   run one vendor TcpProfile (sunos | aix | next |\n"
+      "                  solaris | reference); default: all four vendors\n"
+      "  --emit          print the compiled filter scripts and exit\n"
+      "  --lint-only     parse + lint the timeline and exit (no run)\n"
+      "  --json          per-vendor campaign records (JSONL) instead of the\n"
+      "                  step table\n"
+      "  --quiet         only the final summary line\n");
+  return code;
+}
+
+std::string read_all(const std::string& path, bool* ok) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *ok = false;
+    return {};
+  }
+  std::string out;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  *ok = true;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string vendor;
+  bool emit = false;
+  bool lint_only = false;
+  bool json = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--vendor") {
+      vendor = next();
+    } else if (a == "--emit") {
+      emit = true;
+    } else if (a == "--lint-only") {
+      lint_only = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(0);
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "pfi_conform: unknown option %s\n", a.c_str());
+      return usage(2);
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      return usage(2);
+    }
+  }
+  if (path.empty()) return usage(2);
+
+  bool ok = false;
+  const std::string text = read_all(path, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "pfi_conform: cannot read %s\n", path.c_str());
+    return 2;
+  }
+
+  // Lint first — parse errors and dead timelines are reported with
+  // positions whatever mode runs next.
+  const auto diags = pfi::lint::check_conformance(text, path);
+  for (const auto& d : diags) {
+    std::fprintf(stderr, "%s\n", pfi::lint::format_text(d).c_str());
+  }
+  if (pfi::lint::has_errors(diags)) return 2;
+  if (lint_only) {
+    if (!quiet) {
+      std::printf("%s: %zu diagnostic(s), no errors\n", path.c_str(),
+                  diags.size());
+    }
+    return 0;
+  }
+
+  std::vector<pfi::lint::Diagnostic> parse_diags;
+  const auto prog = pfi::conformance::parse(text, path, &parse_diags);
+  if (!prog) return 2;  // unreachable: lint already passed
+
+  if (emit) {
+    const auto scripts = pfi::conformance::compile(*prog);
+    std::printf("#%%setup\n%s#%%send\n%s#%%receive\n%s",
+                scripts.setup.c_str(), scripts.send.c_str(),
+                scripts.receive.c_str());
+    return 0;
+  }
+
+  std::vector<std::string> vendors;
+  if (!vendor.empty()) {
+    vendors.push_back(vendor);
+  } else {
+    vendors = pfi::campaign::suite_vendors();
+  }
+
+  if (!quiet && !json) {
+    std::printf("%s (%s): scenario %s, duration %.3fs, %zu step(s)\n",
+                prog->name.c_str(), path.c_str(),
+                prog->scenario.empty() ? "default" : prog->scenario.c_str(),
+                pfi::sim::to_seconds(prog->duration), prog->steps.size());
+  }
+
+  int failed = 0;
+  for (const std::string& v : vendors) {
+    pfi::campaign::RunCell cell;
+    cell.index = 0;
+    cell.id = "tcp/" + v + "/" + prog->name + "/s" +
+              std::to_string(prog->seed);
+    cell.protocol = "tcp";
+    cell.oracle = "conformance";
+    cell.vendor = v;
+    cell.conform_file = path;
+    cell.scenario = prog->scenario;
+    cell.seed = prog->seed;
+    cell.warmup = 0;
+    cell.duration = prog->duration;
+
+    const pfi::campaign::RunResult r = pfi::campaign::run_cell(cell);
+    const bool bad = !r.pass || r.errored();
+    if (bad) ++failed;
+    if (json) {
+      std::printf("%s\n", pfi::campaign::record_json(r).c_str());
+      continue;
+    }
+    if (!quiet) {
+      std::printf("\nvendor %s: %s\n", v.c_str(),
+                  r.errored() ? ("ERROR " + r.error).c_str()
+                              : (r.pass ? "PASS" : "FAIL"));
+      for (const std::string& step : r.steps) {
+        std::printf("  %s\n", step.c_str());
+      }
+      if (!r.pass && !r.reason.empty()) {
+        std::printf("  first divergence: %s\n", r.reason.c_str());
+      }
+    }
+  }
+  if (!json) {
+    std::printf("%s%zu vendor(s): %zu pass, %d fail\n", quiet ? "" : "\n",
+                vendors.size(), vendors.size() - failed, failed);
+  }
+  return failed > 0 ? 1 : 0;
+}

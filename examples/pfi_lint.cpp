@@ -3,10 +3,10 @@
 //   pfi_lint [--json|--sarif] [--strict] [--no-filter] [--no-driver] file...
 //
 // Files ending in .spec are parsed and checked as campaign specs (their
-// referenced scripts are linted too); everything else is checked as a
-// filter script. Exit status: 0 clean, 1 when any error-severity
-// diagnostic was reported (or any diagnostic at all under --strict),
-// 2 on usage / unreadable file.
+// referenced scripts are linted too); files ending in .pdt are checked as
+// conformance timelines; everything else is checked as a filter script.
+// Exit status: 0 clean, 1 when any error-severity diagnostic was reported
+// (or any diagnostic at all under --strict), 2 on usage / unreadable file.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -80,9 +80,12 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string text = buf.str();
-    const auto diags = ends_with(file, ".spec")
-                           ? pfi::lint::check_spec_text(text, file, opts)
-                           : pfi::lint::check_script(text, file, opts);
+    const auto diags =
+        ends_with(file, ".spec")
+            ? pfi::lint::check_spec_text(text, file, opts)
+            : ends_with(file, ".pdt")
+                  ? pfi::lint::check_conformance(text, file, opts)
+                  : pfi::lint::check_script(text, file, opts);
     all.insert(all.end(), diags.begin(), diags.end());
   }
   pfi::lint::sort_diagnostics(&all);

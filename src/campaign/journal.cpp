@@ -37,6 +37,21 @@ std::string cell_key(const RunCell& cell) {
   fnv.feed(cell.oracle);
   fnv.feed(cell.vendor);
 
+  // New identity axes feed only when set, so every pre-existing cell keeps
+  // its key (resume journals written before these axes stay valid).
+  if (!cell.scenario.empty()) fnv.feed("scenario:" + cell.scenario);
+  if (!cell.conform_file.empty()) {
+    std::ifstream in(cell.conform_file, std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      fnv.feed("conform");
+      fnv.feed(ss.str());
+    } else {
+      fnv.feed("unreadable:" + cell.conform_file);
+    }
+  }
+
   // Hash what actually executes, not how it was named: literal cells hash
   // the script file's *contents* (editing the .tcl invalidates the cached
   // record), schedule cells hash the compiled filter scripts.

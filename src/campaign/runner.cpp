@@ -4,7 +4,10 @@
 #include <memory>
 #include <optional>
 
+#include <algorithm>
+
 #include "campaign/watchdog.hpp"
+#include "conformance/conformance.hpp"
 #include "experiments/gmp_testbed.hpp"
 #include "experiments/oracles.hpp"
 #include "experiments/tcp_testbed.hpp"
@@ -32,9 +35,20 @@ bool known_oracle(const std::string& protocol, const std::string& oracle) {
   if (protocol == "gmp") {
     return oracle == "agreement" || oracle == "liveness" || oracle == "quiet";
   }
-  if (protocol == "tcp") return oracle == "spec" || oracle == "alive";
+  if (protocol == "tcp") {
+    return oracle == "spec" || oracle == "alive" || oracle == "conformance";
+  }
   if (protocol == "tpc") return oracle == "atomic";
   return false;
+}
+
+/// Driver workload shapes (conformance::known_scenarios) are a tcp-only
+/// axis; the empty string is the legacy 512 B / 500 ms shape everywhere.
+bool known_scenario(const std::string& protocol, const std::string& scenario) {
+  if (scenario.empty()) return true;
+  if (protocol != "tcp") return false;
+  const auto& known = conformance::known_scenarios();
+  return std::find(known.begin(), known.end(), scenario) != known.end();
 }
 
 /// Advance the simulation to `deadline`. With a watchdog, advance in slices
@@ -224,8 +238,10 @@ void run_gmp(const RunCell& cell, const core::failure::Scripts& scripts,
   finish_observability(cell, reg, tb.sched, tb.network, tb.trace, target, r);
 }
 
-void run_tcp(const RunCell& cell, const core::failure::Scripts& scripts,
-             Watchdog* wd, obs::Registry* reg, RunResult* r) {
+void run_tcp(const RunCell& cell, const std::string& scenario,
+             const conformance::Program* prog,
+             const core::failure::Scripts& scripts, Watchdog* wd,
+             obs::Registry* reg, RunResult* r) {
   experiments::TcpTestbed tb{vendor_profile(cell.vendor)};
   tb.network.reseed(cell.seed);
   tb.network.set_metrics(reg);
@@ -239,15 +255,54 @@ void run_tcp(const RunCell& cell, const core::failure::Scripts& scripts,
 
   tcp::TcpConnection* conn = tb.connect();
   core::TcpDriver driver{tb.sched, *conn};
-  driver.start(sim::msec(500), 512, 0);
+  if (scenario == "bulk") {
+    // Sustained one-way transfer, 10x the legacy rate.
+    driver.start(sim::msec(100), 1024, 0);
+  } else if (scenario == "echo") {
+    // Interactive request/response: the x-Kernel side answers every chunk,
+    // so tcp-data flows in BOTH filter directions.
+    driver.on_chunk = [&tb](std::size_t) {
+      if (tb.accepted() != nullptr) {
+        tb.accepted()->send(std::string(128, 'e'));
+      }
+    };
+    driver.start(sim::msec(500), 128, 0);
+  } else if (scenario == "zero-window") {
+    // The paper's Table 4 shape: let the handshake finish, stop draining
+    // the x-Kernel receive buffer, then pour 10 KiB into a 4 KiB window —
+    // the vendor stack must probe the closed window (persist timer).
+    advance(tb.sched, std::min<sim::Duration>(sim::msec(100), cell.duration),
+            wd);
+    if (tb.accepted() != nullptr) tb.accepted()->set_auto_drain(false);
+    driver.start(sim::msec(100), 512, 20);
+  } else if (scenario == "keepalive") {
+    // The paper's Table 3 shape: a short burst, then idle with keep-alive
+    // armed — the vendor must probe after its keepalive_idle elapses.
+    driver.start(sim::msec(100), 128, 3);
+    tb.sched.schedule(sim::sec(1), [conn] { conn->set_keepalive(true); });
+  } else {
+    driver.start(sim::msec(500), 512, 0);
+  }
   advance(tb.sched, cell.duration, wd);
 
-  const Verdict v = cell.oracle == "alive"
-                        ? experiments::oracles::tcp_alive(*conn)
-                        : experiments::oracles::tcp_spec(*checker);
+  Verdict v;
+  if (cell.oracle == "alive") {
+    v = experiments::oracles::tcp_alive(*conn);
+  } else if (cell.oracle == "conformance") {
+    const conformance::Outcome oc =
+        conformance::evaluate(*prog, tb.trace, cell.duration);
+    v.pass = oc.pass;
+    v.reason = oc.first_divergence;
+    r->steps.reserve(oc.steps.size());
+    for (const conformance::StepResult& s : oc.steps) {
+      r->steps.push_back(conformance::step_line(s));
+    }
+  } else {
+    v = experiments::oracles::tcp_spec(*checker);
+  }
   r->pass = v.pass;
   r->reason = v.reason;
-  if (cell.oracle != "alive") {
+  if (cell.oracle.empty() || cell.oracle == "spec") {
     // Satellite of ROADMAP "TCP campaign depth": the spec checker's full
     // violation text travels with the record, not just a pass/fail bit.
     for (const spec::Violation& viol : checker->violations()) {
@@ -340,8 +395,42 @@ RunResult run_cell(const RunCell& cell) {
     return r;
   }
 
+  // Conformance cells: the .pdt timeline is both the fault load (compiled
+  // windows) and, under the "conformance" oracle, the expectation to check.
+  std::optional<conformance::Program> prog;
   core::failure::Scripts scripts;
-  if (!resolve_scripts(cell, &scripts, &r.error)) return r;
+  if (!cell.conform_file.empty()) {
+    if (cell.protocol != "tcp") {
+      r.error = "conformance timelines require protocol tcp";
+      return r;
+    }
+    std::vector<lint::Diagnostic> diags;
+    prog = conformance::load_file(cell.conform_file, &diags);
+    if (!prog) {
+      lint::sort_diagnostics(&diags);
+      r.error = "conformance: " + cell.conform_file;
+      if (!diags.empty()) {
+        r.error += " [" + diags[0].rule + "] line " +
+                   std::to_string(diags[0].line) + ": " + diags[0].message;
+      }
+      return r;
+    }
+    scripts = conformance::compile(*prog);
+  } else if (cell.oracle == "conformance") {
+    r.error = "conformance oracle requires a .pdt timeline (conform_file)";
+    return r;
+  } else if (!resolve_scripts(cell, &scripts, &r.error)) {
+    return r;
+  }
+
+  const std::string scenario = !cell.scenario.empty() ? cell.scenario
+                               : prog ? prog->scenario
+                                      : std::string{};
+  if (!known_scenario(cell.protocol, scenario)) {
+    r.error =
+        "unknown scenario '" + scenario + "' for protocol " + cell.protocol;
+    return r;
+  }
 
   std::optional<Watchdog> wd;
   if (cell.timeout_ms > 0 || cell.max_sim_events > 0) {
@@ -357,7 +446,8 @@ RunResult run_cell(const RunCell& cell) {
     if (cell.protocol == "gmp") {
       run_gmp(cell, scripts, wdp, &reg, &r);
     } else if (cell.protocol == "tcp") {
-      run_tcp(cell, scripts, wdp, &reg, &r);
+      run_tcp(cell, scenario, prog ? &*prog : nullptr, scripts, wdp, &reg,
+              &r);
     } else if (cell.protocol == "tpc") {
       run_tpc(cell, scripts, wdp, &reg, &r);
     } else {
@@ -395,6 +485,11 @@ std::string record_json(const RunResult& r) {
   if (!r.violations.empty()) {
     w.key("violations").begin_array();
     for (const std::string& v : r.violations) w.value(v);
+    w.end_array();
+  }
+  if (!r.steps.empty()) {
+    w.key("steps").begin_array();
+    for (const std::string& s : r.steps) w.value(s);
     w.end_array();
   }
   if (!r.error.empty()) w.kv("error", r.error);

@@ -36,6 +36,11 @@ struct RunResult {
   /// Every spec-checker violation of a tcp `spec` cell ("rule @t: detail"),
   /// capped at kMaxViolations with a "+N more" tail entry.
   std::vector<std::string> violations;
+  /// Conformance cells only: one rendered line per .pdt timeline step
+  /// ("ok   expect tcp-synack @0.000s..2.000s  [first at 0.105s ...]").
+  /// Part of record_json when non-empty — the per-step pass/fail matrix the
+  /// golden suite pins.
+  std::vector<std::string> steps;
   std::string error;  // non-oracle failure (bad script file, bad protocol)
   /// Behavioural fingerprint of the run (message types, fired fault actions,
   /// protocol state transitions + FNV digest). Part of record_json when

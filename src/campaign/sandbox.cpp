@@ -105,6 +105,7 @@ std::string wire_encode(const RunResult& r) {
   put(&out, "error", r.error);
   put_u64(&out, "nviol", r.violations.size());
   for (const std::string& v : r.violations) put(&out, "viol", v);
+  for (const std::string& s : r.steps) put(&out, "step", s);
   // Coverage fingerprint: digest + the three sets. Counted pairs travel as
   // "<count> <name>" so names may contain spaces.
   if (!r.coverage.empty()) {
@@ -159,6 +160,8 @@ bool wire_decode(const std::string& bytes, RunResult* out) {
       r.error = value;
     } else if (key == "viol") {
       r.violations.push_back(value);
+    } else if (key == "step") {
+      r.steps.push_back(value);
     } else if (key == "cvd") {
       r.coverage.digest = value;
     } else if (key == "cvt" || key == "cva") {

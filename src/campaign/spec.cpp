@@ -125,6 +125,8 @@ std::optional<CampaignSpec> parse_spec(const std::string& text,
       for (const auto& a : args) spec.script_files.push_back(a);
     } else if (key == "vendors") {
       spec.vendors = args;
+    } else if (key == "scenario") {
+      spec.scenario = one();
     } else if (key == "burst") {
       spec.burst = std::atoi(one().c_str());
       if (spec.burst < 1) return fail("burst must be >= 1");
@@ -213,6 +215,7 @@ std::vector<RunCell> plan(const CampaignSpec& spec) {
     c.buggy = spec.buggy;
     c.timeout_ms = spec.timeout_ms;
     c.max_sim_events = spec.max_sim_events;
+    c.scenario = spec.scenario;
     return c;
   };
   auto id_prefix = [&](const std::string& vendor) {

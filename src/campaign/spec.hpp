@@ -41,6 +41,12 @@ struct CampaignSpec {
                                           // types x faults)
   std::vector<std::string> vendors;       // tcp only; empty = sunos
 
+  // --- workload -------------------------------------------------------------
+  /// Driver workload shape (tcp only; see conformance::known_scenarios()):
+  /// bulk | echo | zero-window | keepalive. Empty = the legacy 512 B /
+  /// 500 ms shape.
+  std::string scenario;
+
   // --- schedule shape -------------------------------------------------------
   int burst = 1;             // events per cell: occurrences first..first+burst-1
   int first_occurrence = 1;
@@ -78,6 +84,12 @@ struct RunCell {
   std::string vendor;       // tcp cells
   FaultSchedule schedule;   // schedule mode
   std::string script_file;  // literal-.tcl mode (schedule empty)
+  /// Conformance mode: a .pdt timeline file. Overrides schedule/script_file
+  /// as the fault load; required by (and usually paired with) the
+  /// "conformance" oracle. See src/conformance/.
+  std::string conform_file;
+  /// Driver workload shape (tcp; empty = legacy 512 B / 500 ms).
+  std::string scenario;
   std::uint64_t seed = 1;
   int nodes = 3;
   int target_node = 2;

@@ -1,0 +1,32 @@
+// Conformance-suite planner: a directory of .pdt timelines x the four
+// vendor TcpProfiles becomes one campaign plan. Each cell runs one .pdt
+// under one vendor profile with the "conformance" oracle, so
+// `pfi_campaign --suite suites/tcp` reproduces the paper's Tables 1-4
+// vendor-difference matrix as byte-deterministic records.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace pfi::campaign {
+
+/// The vendor axis of a suite plan, in profiles::all_vendors() order
+/// (CLI names understood by the runner).
+const std::vector<std::string>& suite_vendors();
+
+/// Plan `dir`'s *.pdt files (sorted by name, file-major: each timeline runs
+/// across every vendor before the next timeline starts). Cell ids are
+/// "tcp/<vendor>/<timeline>/s<seed>"; duration, scenario and seed come from
+/// each .pdt header. Returns nullopt and sets *err if the directory has no
+/// .pdt files or any of them fails to parse — a suite is a test corpus, so
+/// it fails fast rather than planning error cells.
+std::optional<std::vector<RunCell>> plan_suite(const std::string& dir,
+                                               std::string* err);
+
+/// The synthesized spec a suite plan runs under (report/journal naming).
+CampaignSpec suite_spec(const std::string& dir);
+
+}  // namespace pfi::campaign

@@ -1,0 +1,125 @@
+// Declarative conformance scripts (.pdt): packetdrill for the PFI stack.
+//
+// Packetdrill-in-INET (PAPERS.md's lead related work) showed that a TCP
+// conformance suite is best expressed as *data*: a timeline of timestamped
+// `inject` / `expect` steps. A .pdt file declares that timeline plus the
+// driver workload (`scenario`), and this module gives it three meanings:
+//
+//   parse()    — .pdt text -> Program, with positioned lint::Diagnostics
+//                (the same Diagnostic type pfi_lint renders and sorts);
+//   compile()  — Program -> PFI filter scripts: every `inject` becomes a
+//                scriptgen fault window gated on simulated time, and both
+//                filters get a `msg_log cur_msg` observation prelude so the
+//                run leaves a complete packet timeline in the TraceLog
+//                (the paper's "each packet was logged with a timestamp");
+//   evaluate() — Program x TraceLog -> per-step pass/fail with the first
+//                divergent step and its timestamp, packetdrill-style.
+//
+// The campaign runner runs a Program as one RunCell (oracle "conformance"),
+// so a directory of .pdt files x the four TcpProfiles is a plan — the
+// paper's Tables 1-4 as a portable suite (suites/tcp/, docs/CONFORMANCE.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "pfi/failure.hpp"
+#include "pfi/scriptgen.hpp"
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+namespace pfi::conformance {
+
+enum class StepKind { kInject, kExpect, kExpectNo };
+
+const char* to_string(StepKind k);
+
+/// One timestamped timeline step. `pattern` is a stub message type or "*".
+struct Step {
+  StepKind kind = StepKind::kExpect;
+  sim::TimePoint at = 0;  // step start, absolute simulated time
+  std::string pattern = "*";
+  int line = 0;  // 1-based .pdt source line (diagnostics + attribution)
+
+  // inject: fault shape (compiled via scriptgen::Window).
+  core::scriptgen::FaultKind fault = core::scriptgen::FaultKind::kDrop;
+  int after = 0;  // let N in-window matches through before faulting
+  int count = 0;  // fault at most N (0 = every match)
+  bool on_send_side = false;  // default receive: vendor -> x-Kernel, paper §4
+  sim::Duration delay = sim::msec(1000);  // delay faults
+  int copies = 1;                         // duplicate faults
+  std::size_t offset = 0;                 // corrupt faults
+  int batch = 3;                          // reorder faults
+
+  // expect / expect-no: observation window and match constraints.
+  sim::Duration window = -1;  // `within`/`for` span; < 0 = to end of run
+  std::string dir;            // "send" | "recv" | "" (either)
+  int min = 1;                // expect: minimum matching observations
+
+  /// Window end as absolute time, clamped to `end_of_run`.
+  [[nodiscard]] sim::TimePoint window_end(sim::Duration end_of_run) const;
+};
+
+/// A parsed .pdt file: header + timeline, in source order.
+struct Program {
+  std::string name;
+  std::string protocol = "tcp";
+  std::string scenario;  // "" = protocol default workload
+  sim::Duration duration = sim::sec(60);
+  std::uint64_t seed = 1;
+  std::vector<Step> steps;
+  std::string source_file;  // labels diagnostics; empty for inline text
+};
+
+/// Driver workloads a .pdt may select. The empty string (legacy default
+/// shape, 512 B every 500 ms) is valid everywhere but not spellable in a
+/// .pdt — scripts name an explicit shape.
+const std::vector<std::string>& known_scenarios();
+
+/// Parse .pdt text. Appends positioned diagnostics (rules: parse-error,
+/// unknown-directive, bad-scenario); returns nullopt iff any are errors.
+std::optional<Program> parse(const std::string& text,
+                             const std::string& file,
+                             std::vector<lint::Diagnostic>* diags);
+
+/// Read + parse a .pdt file. A missing/unreadable file becomes a
+/// file-level parse-error diagnostic.
+std::optional<Program> load_file(const std::string& path,
+                                 std::vector<lint::Diagnostic>* diags);
+
+/// Compile the timeline's inject steps to installable filter scripts, with
+/// a `msg_log cur_msg` observation prelude on both sides. Each inject's
+/// trace_note tag is "w<step-index>", which evaluate() reads back for
+/// fired-count attribution.
+core::failure::Scripts compile(const Program& prog);
+
+/// Verdict for one step after a run.
+struct StepResult {
+  int line = 0;
+  bool pass = true;
+  std::string label;  // "expect tcp-synack @0.000s..2.000s"
+  std::string note;   // "first at 0.105s (3 matched)" / "none in window"
+};
+
+/// Whole-timeline verdict: pass iff every expect/expect-no step passed.
+struct Outcome {
+  bool pass = true;
+  std::vector<StepResult> steps;  // one per Program step, in order
+  std::string first_divergence;   // "" when pass
+};
+
+/// Check the observed packet timeline against the script. Observations are
+/// the PFI layer's msg_log records (direction "send"/"recv"); inject steps
+/// report how often their window fired (trace_note "conform-* w<i>") and
+/// never fail by themselves.
+Outcome evaluate(const Program& prog, const trace::TraceLog& log,
+                 sim::Duration end_of_run);
+
+/// "ok|FAIL  <label>  <note>" — the per-step line rendered into RunResult
+/// steps, golden matrices and the pfi_conform table.
+std::string step_line(const StepResult& s);
+
+}  // namespace pfi::conformance

@@ -219,6 +219,10 @@ std::string encode_cell(const campaign::RunCell& cell) {
   kv::put(&out, "oracle", cell.oracle);
   kv::put(&out, "vendor", cell.vendor);
   kv::put(&out, "script_file", cell.script_file);
+  // New axes only travel when set — a v3 peer without them never sees the
+  // keys, and older decoders skip unknown keys.
+  if (!cell.conform_file.empty()) kv::put(&out, "conform", cell.conform_file);
+  if (!cell.scenario.empty()) kv::put(&out, "scenario", cell.scenario);
   kv::put_u64(&out, "seed", cell.seed);
   kv::put_i64(&out, "nodes", cell.nodes);
   kv::put_i64(&out, "target", cell.target_node);
@@ -310,6 +314,10 @@ bool decode_cell(std::string_view payload, campaign::RunCell* out) {
       cell.vendor = value;
     } else if (key == "script_file") {
       cell.script_file = value;
+    } else if (key == "conform") {
+      cell.conform_file = value;
+    } else if (key == "scenario") {
+      cell.scenario = value;
     } else if (key == "seed") {
       cell.seed = num.u64(value);
     } else if (key == "nodes") {

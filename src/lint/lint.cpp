@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "campaign/json.hpp"
+#include "conformance/conformance.hpp"
 #include "lint/canonical.hpp"
 #include "lint/cfg.hpp"
 #include "lint/flow.hpp"
@@ -844,6 +845,25 @@ std::vector<Diagnostic> check_spec(const campaign::CampaignSpec& spec,
          "valid: " + known);
   }
 
+  if (!spec.scenario.empty()) {
+    // Mirrors known_scenario() in src/campaign/runner.cpp: scenarios are a
+    // tcp driver axis; other protocols only run their fixed workload.
+    const auto& scen = conformance::known_scenarios();
+    if (spec.protocol != "tcp" ||
+        std::find(scen.begin(), scen.end(), spec.scenario) == scen.end()) {
+      std::string known;
+      for (const auto& s : scen) {
+        if (!known.empty()) known += " | ";
+        known += s;
+      }
+      emit(&out, &supp, Severity::kError, "bad-scenario", file,
+           line_of_token(text, "scenario"),
+           "scenario \"" + spec.scenario + "\" is not valid for protocol " +
+               spec.protocol,
+           "valid (tcp only): " + known);
+    }
+  }
+
   const auto& types = protocol_message_types(spec.protocol);
   for (const std::string& t : spec.types) {
     if (!types.empty() &&
@@ -938,6 +958,97 @@ std::vector<Diagnostic> check_spec_text(const std::string& text,
   return check_spec(*spec, file, text, opts);
 }
 
+std::vector<Diagnostic> check_conformance(const std::string& text,
+                                          const std::string& file,
+                                          const Options& /*opts*/) {
+  std::vector<Diagnostic> out;
+  const auto prog = conformance::parse(text, file, &out);
+  if (!prog) {
+    sort_diagnostics(&out);
+    return out;
+  }
+  Suppressions supp = collect_suppressions(text);
+
+  const auto& types = protocol_message_types(prog->protocol);
+  if (types.empty()) {
+    emit(&out, &supp, Severity::kError, "bad-protocol", file,
+         line_of_token(text, "protocol"),
+         "unknown protocol \"" + prog->protocol + "\"");
+  }
+
+  const auto fmt_s = [](sim::TimePoint t) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", sim::to_seconds(t));
+    return std::string(buf);
+  };
+  const auto collides = [](const std::string& a, const std::string& b) {
+    return a == "*" || b == "*" || a == b;
+  };
+
+  for (const conformance::Step& s : prog->steps) {
+    if (!types.empty() && s.pattern != "*" &&
+        std::find(types.begin(), types.end(), s.pattern) == types.end()) {
+      emit(&out, &supp, Severity::kWarning, "unknown-message-type", file,
+           s.line,
+           "message type \"" + s.pattern + "\" is not produced by the " +
+               prog->protocol + " stub; the step can never match");
+    }
+    if (s.kind == conformance::StepKind::kInject) {
+      if (s.at >= prog->duration) {
+        emit(&out, &supp, Severity::kError, "dead-timeline", file, s.line,
+             "inject window opens at " + fmt_s(s.at) +
+                 "s but the run ends at " + fmt_s(prog->duration) +
+                 "s; the fault can never fire");
+      } else if (s.window >= 0 &&
+                 (s.at + s.window) / sim::kMillisecond <=
+                     s.at / sim::kMillisecond) {
+        // The compiled guards are over now_ms, so a window narrower than
+        // the 1 ms guard granularity is open for zero whole milliseconds.
+        emit(&out, &supp, Severity::kError, "dead-timeline", file, s.line,
+             "inject window is narrower than the 1 ms guard granularity; "
+             "the fault can never fire",
+             "widen `for` to at least 1ms");
+      }
+      continue;
+    }
+    // expect / expect-no
+    if (s.at > prog->duration) {
+      emit(&out, &supp, Severity::kError, "unreachable-expect", file, s.line,
+           std::string(conformance::to_string(s.kind)) +
+               " window opens at " + fmt_s(s.at) + "s but the run ends at " +
+               fmt_s(prog->duration) + "s; it can never observe anything");
+      continue;
+    }
+    if (s.kind == conformance::StepKind::kExpect) {
+      // A .pdt reads top-down in time, packetdrill-style. An expect
+      // written AFTER an inject of a colliding type — so the author tied
+      // it to the fault — whose window nevertheless closes before every
+      // such inject opens is mis-ordered: it can only observe pre-fault
+      // traffic. (Baseline expects written before their injects are fine.)
+      bool any_collision = false;
+      bool reachable = false;
+      for (const conformance::Step& j : prog->steps) {
+        if (j.kind != conformance::StepKind::kInject) continue;
+        if (j.line >= s.line) break;  // only injects earlier in the file
+        if (!collides(s.pattern, j.pattern)) continue;
+        any_collision = true;
+        if (j.at <= s.window_end(prog->duration)) reachable = true;
+      }
+      if (any_collision && !reachable) {
+        emit(&out, &supp, Severity::kWarning, "expect-before-inject", file,
+             s.line,
+             "expect of a faulted type completes before any colliding "
+             "inject window opens; it can only observe pre-fault traffic",
+             "move the expect after the inject opens, or re-time it");
+      }
+    }
+  }
+
+  report_unused_suppressions(supp, file, &out);
+  sort_diagnostics(&out);
+  return out;
+}
+
 std::vector<Diagnostic> check_cell(const campaign::RunCell& cell,
                                    const Options& opts) {
   std::vector<Diagnostic> out;
@@ -954,6 +1065,15 @@ std::vector<Diagnostic> check_cell(const campaign::RunCell& cell,
                cell.protocol);
     }
   }
+  if (!cell.scenario.empty()) {
+    const auto& scen = conformance::known_scenarios();
+    if (cell.protocol != "tcp" ||
+        std::find(scen.begin(), scen.end(), cell.scenario) == scen.end()) {
+      emit(&out, nullptr, Severity::kError, "bad-scenario", cell.id, 0,
+           "scenario \"" + cell.scenario + "\" is not valid for protocol " +
+               cell.protocol);
+    }
+  }
   if (cell.duration > 0 && cell.warmup >= cell.duration) {
     emit(&out, nullptr, Severity::kError, "empty-fault-window", cell.id, 0,
          "faults install after warmup (" +
@@ -962,7 +1082,21 @@ std::vector<Diagnostic> check_cell(const campaign::RunCell& cell,
              std::to_string(sim::to_seconds(cell.duration)) + "s");
   }
 
-  if (!cell.script_file.empty()) {
+  if (!cell.conform_file.empty()) {
+    // Conformance cells compile their scripts from the .pdt, so the
+    // timeline is the thing to lint; script_file/schedule are ignored by
+    // the runner for these cells.
+    if (const auto contents = read_file(cell.conform_file)) {
+      auto sub = check_conformance(*contents, cell.conform_file, opts);
+      out.insert(out.end(), sub.begin(), sub.end());
+    } else {
+      emit(&out, nullptr, Severity::kError, "missing-script", cell.id, 0,
+           "conformance timeline \"" + cell.conform_file + "\" not found");
+    }
+  } else if (cell.oracle == "conformance") {
+    emit(&out, nullptr, Severity::kError, "bad-oracle", cell.id, 0,
+         "conformance oracle requires a .pdt timeline (conform_file)");
+  } else if (!cell.script_file.empty()) {
     if (const auto contents = read_file(cell.script_file)) {
       auto sub = check_script(*contents, cell.script_file, opts);
       out.insert(out.end(), sub.begin(), sub.end());

@@ -72,6 +72,18 @@ std::vector<Diagnostic> check_spec_text(const std::string& text,
                                         const std::string& file = {},
                                         const Options& opts = {});
 
+/// Lint .pdt conformance-timeline source (src/conformance/): parse errors
+/// (parse-error, unknown-directive, bad-scenario, positioned), then
+/// timeline analysis against the protocol stub and the declared duration —
+/// unknown-message-type, dead-timeline (an inject window that can never
+/// fire), unreachable-expect (an observation window outside the run) and
+/// expect-before-inject (an expect of a faulted type that completes before
+/// any colliding inject opens). `# pfi-lint: allow <rule>` comments work as
+/// in .tcl scripts.
+std::vector<Diagnostic> check_conformance(const std::string& text,
+                                          const std::string& file = {},
+                                          const Options& opts = {});
+
 /// Lint one planned cell: its oracle, its schedule or its script file.
 /// This is what `pfi_campaign --lint` runs per cell, and what a future
 /// schedule mutator calls to reject statically-invalid candidates.

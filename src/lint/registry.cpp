@@ -140,7 +140,8 @@ const std::vector<std::string>& protocol_oracles(std::string_view protocol) {
   // Mirrors known_oracle() in src/campaign/runner.cpp.
   static const std::vector<std::string> gmp = {"agreement", "liveness",
                                                "quiet"};
-  static const std::vector<std::string> tcp = {"alive", "spec"};
+  static const std::vector<std::string> tcp = {"alive", "conformance",
+                                               "spec"};
   static const std::vector<std::string> tpc = {"atomic"};
   static const std::vector<std::string> none;
   if (protocol == "gmp") return gmp;
@@ -162,6 +163,7 @@ const std::vector<RuleInfo>& rule_catalog() {
                          "1-based) or plans zero events"},
       {"bad-oracle", "oracle is not valid for the cell's protocol"},
       {"bad-protocol", "protocol is unknown to the campaign runner"},
+      {"bad-scenario", "driver scenario is unknown for the protocol"},
       {"bad-target", "target node is outside the cluster"},
       {"conflicting-faults", "two faults claim the same message occurrence "
                              "(drop vs. other, or inside a reorder window)"},
@@ -169,9 +171,12 @@ const std::vector<RuleInfo>& rule_catalog() {
                              "reaching path"},
       {"degenerate-reorder", "reorder window holds fewer than 2 messages; "
                              "releasing it reversed is the identity"},
+      {"dead-timeline", "conformance inject window can never fire"},
       {"duplicate-event", "two schedule events are identical"},
       {"empty-fault-window", "faults install after the run already ended"},
       {"empty-schedule", "fault schedule has no events"},
+      {"expect-before-inject", "expect of a faulted type completes before "
+                               "any colliding inject window opens"},
       {"infinite-loop", "loop can never exit, or runs past the "
                         "interpreter's iteration budget"},
       {"invariant-loop", "loop guard reads only variables the body never "
@@ -189,10 +194,14 @@ const std::vector<RuleInfo>& rule_catalog() {
                         "scope"},
       {"unknown-command", "command is neither a builtin, a registered host "
                           "command, nor a script-defined proc"},
+      {"unknown-directive", "conformance timeline directive is not part of "
+                            "the .pdt grammar"},
       {"unknown-message-type", "message type is not produced by the "
                                "protocol stub"},
       {"unreachable-code", "command can never execute (the block already "
                            "returned)"},
+      {"unreachable-expect", "expect window opens after the run already "
+                             "ended"},
       {"unused-proc", "proc is defined but never called"},
       {"unused-suppression", "pfi-lint suppression comment matches no "
                              "diagnostic"},

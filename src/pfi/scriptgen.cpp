@@ -1,5 +1,6 @@
 #include "pfi/scriptgen.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace pfi::core::scriptgen {
@@ -85,6 +86,83 @@ GeneratedTest generate(const ProtocolSpec& spec, const std::string& type,
     t.scripts.receive = script.str();
   }
   return t;
+}
+
+std::string window_fragment(const Window& w) {
+  std::ostringstream os;
+  std::string in;
+  int open = 0;
+  const auto push = [&](const std::string& cond) {
+    os << in << "if {" << cond << "} {\n";
+    in += "  ";
+    ++open;
+  };
+
+  // Time gate. start == 0 and an unbounded end are trivially true and
+  // omitted, so a whole-run window compiles to a guard-free fragment.
+  {
+    std::string cond;
+    if (w.start > 0) {
+      cond = "[now_ms] >= " + std::to_string(w.start / sim::kMillisecond);
+    }
+    if (w.end >= 0) {
+      if (!cond.empty()) cond += " && ";
+      cond += "[now_ms] < " + std::to_string(w.end / sim::kMillisecond);
+    }
+    if (!cond.empty()) push(cond);
+  }
+
+  // Type gate — skipped for "*" so the fragment stays clean under the
+  // strict unused-var rule (same discipline as schedule.cpp).
+  if (w.type != "*") {
+    os << in << "set t [msg_type cur_msg]\n";
+    push("$t eq \"" + w.type + "\"");
+  }
+
+  // Occurrence gate, counting only in-window matches. The counter is
+  // emitted only when a bound actually reads it.
+  if (w.after > 0 || w.count > 0) {
+    const std::string var = "cf_" + w.tag;
+    os << in << "incr " << var << "\n";
+    std::string cond = "$" + var + " > " + std::to_string(w.after);
+    if (w.count > 0) {
+      cond += " && $" + var + " <= " + std::to_string(w.after + w.count);
+    }
+    push(cond);
+  }
+
+  os << in << "trace_note conform-" << to_string(w.kind) << " " << w.tag
+     << "\n";
+  if (w.kind == FaultKind::kReorder) {
+    const std::string q = "cfq_" + w.tag;
+    const int batch = std::max(2, w.opts.reorder_batch);
+    os << in << "xHold " << q << "\n"
+       << in << "if {[xHeldCount " << q << "] >= " << batch
+       << "} { xReleaseReversed " << q << " }\n";
+  } else {
+    os << in << action_for(w.kind, w.opts) << "\n";
+  }
+
+  while (open-- > 0) {
+    in.resize(in.size() - 2);
+    os << in << "}\n";
+  }
+  return os.str();
+}
+
+failure::Scripts generate_windows(const std::vector<Window>& windows) {
+  failure::Scripts s;
+  std::ostringstream setup;
+  std::ostringstream send;
+  std::ostringstream receive;
+  for (const Window& w : windows) {
+    if (w.after > 0 || w.count > 0) setup << "set cf_" << w.tag << " 0\n";
+    (w.opts.on_send_side ? send : receive) << window_fragment(w);
+  }
+  s.setup = setup.str();
+  s.send = send.str();
+  s.receive = receive.str();
+  return s;
 }
 
 std::vector<GeneratedTest> generate_campaign(const ProtocolSpec& spec,

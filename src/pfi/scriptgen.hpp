@@ -74,4 +74,35 @@ std::vector<GeneratedTest> generate_campaign(
     const ProtocolSpec& spec, const std::vector<FaultKind>& kinds,
     const Options& opts = {});
 
+/// A time-bounded fault window: the conformance compiler's unit. The fault
+/// fires only while simulated time is in [start, end) — guards are emitted
+/// over `now_ms`, so the boundary granularity is one millisecond — and,
+/// when `after`/`count` gate it, only for in-window match occurrences
+/// `after+1 .. after+count`. A window whose start is at or past the run's
+/// end never fires (lint: dead-timeline).
+struct Window {
+  /// Names the window's occurrence counter (cf_<tag>) and hold queue
+  /// (cfq_<tag>); must be a valid Tcl identifier, unique per script.
+  std::string tag = "w0";
+  std::string type = "*";  // message type, "*" = every message
+  FaultKind kind = FaultKind::kDrop;
+  sim::Duration start = 0;
+  sim::Duration end = -1;  // exclusive; < 0 = to end of run
+  int after = 0;           // let N in-window matches through first
+  int count = 0;           // fault at most N matches (0 = every one)
+  /// Fault parameters + side. warmup_occurrences/max_faults are ignored —
+  /// `after`/`count` above are the windowed equivalents.
+  Options opts;
+};
+
+/// The filter-script fragment implementing one window (guards + counter +
+/// trace_note attribution + action; no setup). Concatenation-safe: each
+/// fragment is self-contained and ends with a newline.
+std::string window_fragment(const Window& w);
+
+/// Compile a window list to installable scripts: per-window counters in
+/// setup, fragments concatenated per side in input order. Emitted scripts
+/// are `pfi_lint --strict`-clean (counters only when read, no unused vars).
+failure::Scripts generate_windows(const std::vector<Window>& windows);
+
 }  // namespace pfi::core::scriptgen

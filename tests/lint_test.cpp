@@ -568,6 +568,29 @@ TEST(LintSpec, MissingScript) {
   EXPECT_TRUE(has_errors(diags));
 }
 
+TEST(LintSpec, BadScenario) {
+  const auto diags = check_spec_text(
+      "name t\nprotocol tcp\noracle alive\ntypes tcp-data\nfaults drop\n"
+      "scenario flood\n",
+      "x.spec");
+  const auto* d = find_rule(diags, "bad-scenario");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 6);
+  EXPECT_NE(d->hint.find("bulk"), std::string::npos);
+  // Scenarios are a tcp-only axis: the same value is rejected under gmp.
+  EXPECT_TRUE(has_rule(
+      check_spec_text("name t\nprotocol gmp\noracle agreement\n"
+                      "types gmp-commit\nfaults drop\nscenario bulk\n",
+                      "x.spec"),
+      "bad-scenario"));
+  // A known tcp scenario is clean.
+  EXPECT_FALSE(has_rule(
+      check_spec_text("name t\nprotocol tcp\noracle alive\ntypes tcp-data\n"
+                      "faults drop\nscenario bulk\n",
+                      "x.spec"),
+      "bad-scenario"));
+}
+
 TEST(LintSpec, SpecTextParseFailure) {
   const auto diags = check_spec_text("protocol gmp\nbogus_key 1\n", "x.spec");
   ASSERT_TRUE(has_rule(diags, "parse-error"));
@@ -764,6 +787,77 @@ TEST(LintCampaign, ScriptCellLintsTheFile) {
 
   cell.script_file = dir + "/does_not_exist.tcl";
   EXPECT_TRUE(has_rule(check_cell(cell), "missing-script"));
+}
+
+// ---------------------------------------------------------------------------
+// Conformance cells and the .pdt timeline rules
+// ---------------------------------------------------------------------------
+
+TEST(LintCampaign, ConformanceCellLintsTheTimeline) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/lint_conform_dead.pdt";
+  {
+    std::ofstream out{path};
+    // The inject opens at the end of the run: dead-timeline.
+    out << "duration 10s\nat 10s inject drop tcp-data\n";
+  }
+  campaign::RunCell cell;
+  cell.id = "tcp/sunos/dead/s1";
+  cell.protocol = "tcp";
+  cell.oracle = "conformance";
+  cell.conform_file = path;
+  EXPECT_TRUE(has_rule(check_cell(cell), "dead-timeline"));
+
+  cell.conform_file = dir + "/does_not_exist.pdt";
+  EXPECT_TRUE(has_rule(check_cell(cell), "missing-script"));
+
+  // The conformance oracle without a timeline is itself a lint error.
+  cell.conform_file.clear();
+  const auto diags = check_cell(cell);
+  const auto* d = find_rule(diags, "bad-oracle");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find(".pdt timeline"), std::string::npos);
+}
+
+TEST(LintCampaign, CellWithBadScenarioIsRejected) {
+  campaign::RunCell cell;
+  cell.id = "tcp/sunos/x/s1";
+  cell.protocol = "tcp";
+  cell.oracle = "alive";
+  cell.scenario = "flood";
+  EXPECT_TRUE(has_rule(check_cell(cell), "bad-scenario"));
+  cell.scenario = "zero-window";
+  EXPECT_FALSE(has_rule(check_cell(cell), "bad-scenario"));
+  // Scenario values never attach to non-tcp protocols.
+  cell.protocol = "gmp";
+  cell.oracle = "agreement";
+  cell.scenario = "bulk";
+  EXPECT_TRUE(has_rule(check_cell(cell), "bad-scenario"));
+}
+
+TEST(LintRegistry, ConformanceRulesAreCatalogued) {
+  for (const char* rule :
+       {"bad-scenario", "dead-timeline", "expect-before-inject",
+        "unknown-directive", "unreachable-expect"}) {
+    EXPECT_GE(rule_index(rule), 0) << rule;
+  }
+  // tcp accepts the conformance oracle.
+  const auto& oracles = protocol_oracles("tcp");
+  EXPECT_NE(std::find(oracles.begin(), oracles.end(), "conformance"),
+            oracles.end());
+}
+
+TEST(LintCorpus, ShippedTimelinesAreClean) {
+  int checked = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(PFI_SUITES_DIR "/tcp")) {
+    if (entry.path().extension().string() != ".pdt") continue;
+    const std::string path = entry.path().string();
+    const auto diags = check_conformance(slurp(path), path);
+    EXPECT_TRUE(diags.empty()) << path << ": " << format_text(diags.front());
+    ++checked;
+  }
+  EXPECT_EQ(checked, 5);  // the paper's Tables 1-4 corpus
 }
 
 }  // namespace

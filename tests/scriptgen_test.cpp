@@ -249,6 +249,126 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, GeneratedScriptFileRoundTrip,
                            return to_string(info.param);
                          });
 
+// ---- conformance fault windows (src/conformance compiles .pdt injects
+// ---- through these) ------------------------------------------------------
+
+void install_windows(Harness& h, const std::vector<Window>& ws) {
+  const failure::Scripts s = generate_windows(ws);
+  h.pfi->run_setup(s.setup);
+  h.pfi->set_send_script(s.send);
+  h.pfi->set_receive_script(s.receive);
+}
+
+void send_data_at(Harness& h, sim::TimePoint at, std::uint32_t id) {
+  h.sched.run_until(at);
+  h.app->send(ToyStub::make(ToyStub::kData, id));
+}
+
+TEST(ScriptGenWindow, WholeRunWindowCompilesGuardFree) {
+  Window w;
+  w.tag = "w0";
+  w.type = "*";
+  w.start = 0;
+  w.end = -1;
+  const std::string frag = window_fragment(w);
+  // start == 0 and an unbounded end are trivially true: no time guard, no
+  // counter, just attribution + action.
+  EXPECT_EQ(frag.find("now_ms"), std::string::npos) << frag;
+  EXPECT_EQ(frag.find("cf_"), std::string::npos) << frag;
+  EXPECT_NE(frag.find("trace_note conform-drop w0"), std::string::npos)
+      << frag;
+}
+
+TEST(ScriptGenWindow, CounterEmittedOnlyWhenGated) {
+  Window gated;
+  gated.tag = "a";
+  gated.after = 2;
+  gated.count = 3;
+  Window free_running;
+  free_running.tag = "b";
+  free_running.opts.on_send_side = false;
+  const failure::Scripts s = generate_windows({gated, free_running});
+  EXPECT_NE(s.setup.find("set cf_a 0"), std::string::npos) << s.setup;
+  EXPECT_EQ(s.setup.find("cf_b"), std::string::npos) << s.setup;
+  // Windows land on the side their options name.
+  EXPECT_NE(s.send.find("cf_a"), std::string::npos) << s.send;
+  EXPECT_EQ(s.receive.find("cf_"), std::string::npos) << s.receive;
+  EXPECT_NE(s.receive.find("trace_note conform-drop b"), std::string::npos)
+      << s.receive;
+  // The occurrence gate is `after < n <= after+count`.
+  EXPECT_NE(s.send.find("$cf_a > 2"), std::string::npos) << s.send;
+  EXPECT_NE(s.send.find("$cf_a <= 5"), std::string::npos) << s.send;
+}
+
+TEST(ScriptGenWindow, ReorderBatchClampedToTwo) {
+  Window w;
+  w.kind = FaultKind::kReorder;
+  w.opts.reorder_batch = 1;  // below the minimum meaningful batch
+  const std::string frag = window_fragment(w);
+  EXPECT_NE(frag.find(">= 2"), std::string::npos) << frag;
+}
+
+// Boundary round-trip: a [1s, 2s) drop window fires at exactly its start
+// millisecond and not at its (exclusive) end millisecond.
+TEST(ScriptGenWindow, BoundariesAreStartInclusiveEndExclusive) {
+  Harness h;
+  Window w;
+  w.type = "data";
+  w.start = sim::sec(1);
+  w.end = sim::sec(2);
+  install_windows(h, {w});
+  send_data_at(h, sim::msec(500), 1);    // before the window
+  send_data_at(h, sim::msec(1000), 2);   // first in-window millisecond
+  send_data_at(h, sim::msec(1999), 3);   // last in-window millisecond
+  send_data_at(h, sim::msec(2000), 4);   // end is exclusive
+  h.sched.run();
+  EXPECT_EQ(h.pfi->stats().script_errors, 0u) << h.pfi->last_error();
+  EXPECT_EQ(h.pfi->stats().dropped, 2u);
+  ASSERT_EQ(h.app->received().size(), 2u);
+  ToyStub stub;
+  EXPECT_EQ(stub.field(h.app->received()[0], "id"), 1);
+  EXPECT_EQ(stub.field(h.app->received()[1], "id"), 4);
+}
+
+// A t=0 window with a count budget fires immediately and stands down after
+// its quota — the shape `at 0 inject drop tcp-syn count 1` compiles to.
+TEST(ScriptGenWindow, ZeroStartWindowWithCountBudget) {
+  Harness h;
+  Window w;
+  w.type = "data";
+  w.start = 0;
+  w.end = -1;
+  w.count = 1;
+  install_windows(h, {w});
+  send_data_at(h, 0, 1);
+  send_data_at(h, sim::msec(100), 2);
+  send_data_at(h, sim::msec(200), 3);
+  h.sched.run();
+  EXPECT_EQ(h.pfi->stats().script_errors, 0u) << h.pfi->last_error();
+  EXPECT_EQ(h.pfi->stats().dropped, 1u);
+  ASSERT_EQ(h.app->received().size(), 2u);
+  ToyStub stub;
+  EXPECT_EQ(stub.field(h.app->received()[0], "id"), 2);
+}
+
+// A window opening at/after the end of traffic never fires (the runtime
+// half of the dead-timeline lint rule).
+TEST(ScriptGenWindow, WindowPastEndOfRunNeverFires) {
+  Harness h;
+  Window w;
+  w.type = "data";
+  w.start = sim::sec(10);
+  w.end = -1;
+  install_windows(h, {w});
+  for (int i = 1; i <= 3; ++i) {
+    send_data_at(h, sim::msec(100 * i), static_cast<std::uint32_t>(i));
+  }
+  h.sched.run();
+  EXPECT_EQ(h.pfi->stats().script_errors, 0u) << h.pfi->last_error();
+  EXPECT_EQ(h.pfi->stats().dropped, 0u);
+  EXPECT_EQ(h.app->received().size(), 3u);
+}
+
 // The paper-grade application: run a generated fault campaign against the
 // GMP cluster and check the SAFETY property (any two daemons that committed
 // the same view id agree on its membership) under every single-type fault.
